@@ -1,0 +1,74 @@
+//! Microbenchmark: BGP and BMP wire codecs.
+//!
+//! Every override injection and every BMP feed message crosses these.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ef_bgp::attrs::{AsPath, Origin, PathAttributes};
+use ef_bgp::bmp::{decode_bmp, encode_bmp, BmpMessage, BmpPeerHeader};
+use ef_bgp::message::{BgpMessage, UpdateMessage};
+use ef_bgp::peer::PeerId;
+use ef_bgp::wire::{decode_message, encode_message};
+use ef_net_types::{Asn, Community, Prefix};
+
+fn update(n_prefixes: u32) -> UpdateMessage {
+    UpdateMessage {
+        withdrawn: Vec::new(),
+        attrs: PathAttributes {
+            origin: Origin::Igp,
+            as_path: AsPath::sequence([Asn(65001), Asn(65002)]),
+            next_hop: Some("192.0.2.1".parse().unwrap()),
+            med: Some(50),
+            local_pref: Some(800),
+            communities: vec![Community::new(32934, 1), Community::new(32934, 999)],
+            unknown: Vec::new(),
+        },
+        announced: (0..n_prefixes)
+            .map(|i| Prefix::V4 {
+                addr: 0x1400_0000 + i * 256,
+                len: 24,
+            })
+            .collect(),
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for n in [1u32, 16, 256] {
+        let msg = BgpMessage::Update(update(n));
+        let bytes = encode_message(&msg).unwrap();
+        group.bench_with_input(BenchmarkId::new("bgp_encode", n), &msg, |b, msg| {
+            b.iter(|| encode_message(black_box(msg)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("bgp_decode", n), &bytes, |b, bytes| {
+            b.iter(|| {
+                let mut buf = bytes.clone();
+                decode_message(black_box(&mut buf)).unwrap()
+            })
+        });
+    }
+
+    let bmp = BmpMessage::RouteMonitoring {
+        peer: BmpPeerHeader {
+            peer: PeerId(7),
+            peer_asn: Asn(65001),
+            peer_bgp_id: "10.0.0.1".parse().unwrap(),
+            timestamp_ms: 123_456,
+        },
+        update: update(16),
+    };
+    let bmp_bytes = encode_bmp(&bmp).unwrap();
+    group.bench_function("bmp_encode_route_monitoring", |b| {
+        b.iter(|| encode_bmp(black_box(&bmp)).unwrap())
+    });
+    group.bench_function("bmp_decode_route_monitoring", |b| {
+        b.iter(|| {
+            let mut buf = bmp_bytes.clone();
+            decode_bmp(black_box(&mut buf)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

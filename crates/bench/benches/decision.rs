@@ -1,0 +1,58 @@
+//! Microbenchmark: the BGP decision process.
+//!
+//! The projection runs best-path selection for every prefix every epoch,
+//! so this is the controller's single hottest function.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ef_bgp::attrs::{AsPath, PathAttributes};
+use ef_bgp::decision::{best_route, best_route_where, rank_routes};
+use ef_bgp::peer::{PeerId, PeerKind};
+use ef_bgp::route::{EgressId, Route, RouteSource};
+use ef_net_types::Asn;
+
+fn candidates(n: usize) -> Vec<Route> {
+    (0..n)
+        .map(|i| Route {
+            prefix: "203.0.113.0/24".parse().unwrap(),
+            attrs: PathAttributes {
+                local_pref: Some(200 + ((i * 200) % 800) as u32),
+                as_path: AsPath::sequence((0..(i % 4 + 1)).map(|k| Asn(65000 + k as u32))),
+                med: Some((i * 7 % 100) as u32),
+                ..Default::default()
+            },
+            source: RouteSource {
+                peer: PeerId(i as u64),
+                peer_asn: Asn(65000 + i as u32),
+                kind: if i % 3 == 0 {
+                    PeerKind::Transit
+                } else {
+                    PeerKind::PrivatePeer
+                },
+            },
+            egress: EgressId(i as u32),
+        })
+        .collect()
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decision");
+    for n in [2usize, 4, 8, 16] {
+        let routes = candidates(n);
+        group.bench_with_input(BenchmarkId::new("best_route", n), &routes, |b, routes| {
+            b.iter(|| best_route(black_box(routes)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("best_route_where", n),
+            &routes,
+            |b, routes| b.iter(|| best_route_where(black_box(routes), |r| !r.is_override())),
+        );
+        group.bench_with_input(BenchmarkId::new("rank_routes", n), &routes, |b, routes| {
+            b.iter(|| rank_routes(black_box(routes)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decision);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Microbenchmark: longest-prefix-match FIB lookups.
+//!
+//! The simulator forwards every prefix's demand through the trie every
+//! epoch; routers in production do this per packet.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ef_net_types::{Prefix, PrefixTrie};
+
+fn build_trie(n: u32) -> PrefixTrie<u32> {
+    let mut trie = PrefixTrie::new();
+    for i in 0..n {
+        // Spread across the v4 space; mix of /16 and /24.
+        let addr = i.wrapping_mul(2_654_435_761);
+        let len = if i % 3 == 0 { 16 } else { 24 };
+        trie.insert(
+            Prefix::v4(std::net::Ipv4Addr::from(addr), len),
+            i,
+        );
+    }
+    trie
+}
+
+fn bench_lpm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lpm");
+    for n in [1_000u32, 10_000, 100_000] {
+        let trie = build_trie(n);
+        let keys: Vec<Prefix> = (0..1024u32)
+            .map(|i| Prefix::v4(std::net::Ipv4Addr::from(i.wrapping_mul(2_654_435_761)), 24))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("longest_match", n), &trie, |b, trie| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % keys.len();
+                black_box(trie.longest_match(keys[i]))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("insert", n), &n, |b, _| {
+            b.iter_with_large_drop(|| build_trie(1_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lpm);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! E10 / §6.1 — alternate-path performance vs the BGP-preferred path.
+//!
+//! Paper shape: for most (prefix, PoP) pairs, BGP's preferred path performs
+//! within a few ms of the best alternate; for a small tail (~5 %), an
+//! alternate is ≥20 ms *faster* than the preferred path; for a larger
+//! group, alternates are substantially worse (detours there would hurt).
+
+use std::collections::HashMap;
+
+use ef_bench::{cdf_points, write_json};
+use ef_bgp::route::EgressId;
+use ef_perf::compare::{compare_paths, summarize};
+use ef_sim::{PerfSimConfig, SimConfig, SimEngine};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig10Output {
+    improvement_cdf_ms: Vec<(f64, f64)>,
+    prefixes_compared: usize,
+    frac_equivalent_3ms: f64,
+    frac_alt_wins_20ms: f64,
+    frac_pref_wins_20ms: f64,
+}
+
+fn main() {
+    let mut cfg = SimConfig::default();
+    cfg.gen.n_pops = 10;
+    cfg.gen.n_ases = 250;
+    cfg.gen.n_prefixes = 1500;
+    cfg.gen.total_avg_gbps = 4000.0;
+    cfg.duration_secs = 4 * 3600;
+    cfg.epoch_secs = 30;
+    cfg.perf = Some(PerfSimConfig {
+        slice_fraction: 0.005,
+        steer: false,
+        ..Default::default()
+    });
+
+    eprintln!("[E10] running 4h measurement-only scenario over 10 PoPs...");
+    let mut engine = SimEngine::new(cfg);
+    engine.run();
+
+    let mut improvements: Vec<f64> = Vec::new();
+    let mut all = Vec::new();
+    for pop in &engine.pops {
+        let Some(measurer) = pop.measurer.as_ref() else { continue };
+        let preferred: HashMap<u32, EgressId> = measurer
+            .report()
+            .iter()
+            .filter_map(|d| {
+                let prefix = engine.prefix_of(d.key.prefix_idx);
+                pop.router.fib_entry(&prefix).map(|e| (d.key.prefix_idx, e.egress))
+            })
+            .collect();
+        let comparisons = compare_paths(measurer, &preferred);
+        improvements.extend(comparisons.iter().map(|c| c.improvement_ms));
+        all.extend(comparisons);
+    }
+    let summary = summarize(&all);
+
+    println!("E10 — best alternate minus preferred, median RTT (positive = alternate faster)");
+    let cdf = cdf_points(&improvements, 20);
+    println!("{:>12} {:>8}", "diff (ms)", "CDF");
+    for (d, f) in &cdf {
+        println!("{:>11.1} {:>8.3}", d, f);
+    }
+    println!("\nprefixes compared:           {}", summary.prefixes);
+    println!("preferred ~ best alternate (within 3 ms): {:.1}%", summary.frac_equivalent * 100.0);
+    println!("alternate >=20 ms faster:    {:.1}%", summary.frac_alt_wins_20ms * 100.0);
+    println!("preferred >=20 ms faster:    {:.1}%", summary.frac_pref_wins_20ms * 100.0);
+
+    // Paper-shape assertions.
+    assert!(summary.prefixes > 500);
+    assert!(
+        (0.01..0.15).contains(&summary.frac_alt_wins_20ms),
+        "a small tail has a much faster alternate ({:.3})",
+        summary.frac_alt_wins_20ms
+    );
+    assert!(
+        summary.median_improvement_ms < 0.0,
+        "BGP's choice is usually fine (median improvement negative)"
+    );
+
+    write_json(
+        "exp_fig10_altpath_rtt",
+        &Fig10Output {
+            improvement_cdf_ms: cdf,
+            prefixes_compared: summary.prefixes,
+            frac_equivalent_3ms: summary.frac_equivalent,
+            frac_alt_wins_20ms: summary.frac_alt_wins_20ms,
+            frac_pref_wins_20ms: summary.frac_pref_wins_20ms,
+        },
+    );
+}

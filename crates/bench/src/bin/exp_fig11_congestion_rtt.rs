@@ -1,0 +1,99 @@
+//! E11 / §6 — user-visible performance on a congested path, EF on/off.
+//!
+//! Paper shape: without Edge Fabric, the overloaded preferred interface
+//! inflates RTT (standing queues) and drops traffic through the whole
+//! evening peak; with Edge Fabric the same interface stays under the limit
+//! and the congestion penalty disappears.
+
+use ef_bench::{load_or_run, write_json, Arm};
+use ef_perf::rtt::{PathPerfModel, PerfConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig11Point {
+    t_secs: u64,
+    baseline_util: f64,
+    ef_util: f64,
+    baseline_extra_rtt_ms: f64,
+    ef_extra_rtt_ms: f64,
+    baseline_loss: f64,
+    ef_loss: f64,
+}
+
+fn main() {
+    let baseline = load_or_run(Arm::Baseline);
+    let ef = load_or_run(Arm::EdgeFabric);
+    // The RTT/loss inflation model (same knee both arms, by construction).
+    let perf = PathPerfModel::new(PerfConfig::default());
+
+    // The watched interface with the worst baseline overload.
+    let runs = baseline.max_consecutive_overload();
+    let (victim, (_, capacity)) = runs
+        .iter()
+        .max_by_key(|(_, (n, _))| *n)
+        .map(|(e, v)| (*e, *v))
+        .expect("a watched interface exists");
+
+    let base_series = &baseline.series[&victim];
+    let ef_series = &ef.series[&victim];
+
+    println!(
+        "E11 — watched interface if{victim} ({:.0} Mbps), one day, hourly samples",
+        capacity
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>11} {:>11} {:>9} {:>9}",
+        "t(h)", "base util", "EF util", "base RTT+", "EF RTT+", "base loss", "EF loss"
+    );
+
+    let mut points = Vec::new();
+    for ((t, base_load), (_, ef_load)) in base_series.iter().zip(ef_series.iter()) {
+        let bu = base_load / capacity;
+        let eu = ef_load / capacity;
+        let point = Fig11Point {
+            t_secs: *t,
+            baseline_util: bu,
+            ef_util: eu,
+            baseline_extra_rtt_ms: perf.congestion_delay_ms(bu),
+            ef_extra_rtt_ms: perf.congestion_delay_ms(eu),
+            baseline_loss: perf.loss_rate(bu),
+            ef_loss: perf.loss_rate(eu),
+        };
+        if t % 3600 == 0 {
+            println!(
+                "{:>6.0} {:>9.0}% {:>9.0}% {:>9.1}ms {:>9.1}ms {:>8.1}% {:>8.1}%",
+                *t as f64 / 3600.0,
+                bu * 100.0,
+                eu * 100.0,
+                point.baseline_extra_rtt_ms,
+                point.ef_extra_rtt_ms,
+                point.baseline_loss * 100.0,
+                point.ef_loss * 100.0
+            );
+        }
+        points.push(point);
+    }
+
+    let base_peak_rtt = points
+        .iter()
+        .map(|p| p.baseline_extra_rtt_ms)
+        .fold(0.0f64, f64::max);
+    let ef_peak_rtt = points.iter().map(|p| p.ef_extra_rtt_ms).fold(0.0f64, f64::max);
+    let base_loss_epochs = points.iter().filter(|p| p.baseline_loss > 0.0).count();
+    let ef_loss_epochs = points.iter().filter(|p| p.ef_loss > 0.0).count();
+    println!(
+        "\npeak congestion RTT penalty: baseline {base_peak_rtt:.0} ms vs EF {ef_peak_rtt:.0} ms"
+    );
+    println!(
+        "epochs with loss: baseline {base_loss_epochs} vs EF {ef_loss_epochs} (of {})",
+        points.len()
+    );
+
+    assert!(base_peak_rtt >= 60.0, "baseline peak hits the standing-queue regime");
+    assert!(
+        ef_loss_epochs * 20 <= base_loss_epochs,
+        "EF eliminates ~all loss epochs ({ef_loss_epochs} vs {base_loss_epochs})"
+    );
+
+    write_json("exp_fig11_congestion_rtt", &points);
+}

@@ -1,0 +1,53 @@
+//! E2 / Fig. 2 — route diversity per prefix, traffic-weighted.
+//!
+//! Paper shape: at almost every PoP, ≥95 % of traffic goes to prefixes
+//! with ≥2 routes, and at most PoPs the bulk of traffic has ≥4 routes —
+//! diversity is what gives the allocator somewhere to detour.
+
+use ef_bench::write_json;
+use ef_topology::stats::route_diversity;
+use ef_topology::{generate, GenConfig};
+
+fn main() {
+    let dep = generate(&GenConfig::default());
+    let rows = route_diversity(&dep);
+
+    println!("E2 / Fig. 2 — fraction of traffic to prefixes with >= N routes");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8}   (unweighted >=4: {:>8})",
+        "pop", ">=1", ">=2", ">=3", ">=4", ""
+    );
+    for d in &rows {
+        println!(
+            "{:<12} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%   (unweighted >=4: {:>6.1}%)",
+            d.name,
+            d.frac_traffic_ge[0] * 100.0,
+            d.frac_traffic_ge[1] * 100.0,
+            d.frac_traffic_ge[2] * 100.0,
+            d.frac_traffic_ge[3] * 100.0,
+            d.frac_prefixes_ge[3] * 100.0,
+        );
+    }
+
+    let pops_ge2_95 = rows.iter().filter(|d| d.frac_traffic_ge[1] >= 0.95).count();
+    let median_ge4 = {
+        let mut v: Vec<f64> = rows.iter().map(|d| d.frac_traffic_ge[3]).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    println!(
+        "\nPoPs where >=95% of traffic has >=2 routes: {} / {}",
+        pops_ge2_95,
+        rows.len()
+    );
+    println!("median PoP: {:.1}% of traffic has >=4 routes", median_ge4 * 100.0);
+
+    // Paper-shape assertions.
+    assert!(
+        pops_ge2_95 * 10 >= rows.len() * 9,
+        "route diversity: >=2 routes for >=95% of traffic at >=90% of PoPs"
+    );
+    assert!(median_ge4 > 0.5, "most traffic at the median PoP has >=4 routes");
+
+    write_json("exp_fig2_route_diversity", &rows);
+}

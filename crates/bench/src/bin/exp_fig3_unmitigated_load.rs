@@ -1,0 +1,88 @@
+//! E3 / Fig. 3 — the load BGP alone would place on egress interfaces.
+//!
+//! Paper shape: absent Edge Fabric, BGP keeps sending traffic to preferred
+//! interfaces past their capacity during daily peaks — a tail of
+//! (interface, interval) samples exceeds 100 % utilization, approaching
+//! ~2× capacity on the worst interfaces.
+
+use ef_bench::{cdf_points, load_or_run, write_json, Arm};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig3Output {
+    cdf_peering_util: Vec<(f64, f64)>,
+    interfaces_ever_over_capacity: usize,
+    peering_interfaces: usize,
+    worst_peak_util: f64,
+    frac_samples_over_capacity: f64,
+}
+
+fn main() {
+    let data = load_or_run(Arm::Baseline);
+
+    // Reconstruct the utilization sample distribution over all peering
+    // (capacity-constrained) interfaces from their histograms.
+    let mut samples: Vec<f64> = Vec::new();
+    let mut over = 0u64;
+    let mut total = 0u64;
+    for stats in data.peering_interfaces() {
+        for (bucket, count) in stats.util_histogram.iter().enumerate() {
+            let util = (bucket as f64 + 0.5) / 50.0;
+            for _ in 0..*count {
+                samples.push(util);
+            }
+            total += u64::from(*count);
+            if util > 1.0 {
+                over += u64::from(*count);
+            }
+        }
+    }
+    let cdf = cdf_points(&samples, 40);
+
+    println!("E3 / Fig. 3 — unmitigated utilization across peering interface-epochs");
+    println!("{:>12} {:>10}", "utilization", "CDF");
+    for (u, f) in &cdf {
+        if *f > 0.55 {
+            // The interesting part is the upper tail.
+            println!("{:>11.0}% {:>9.3}", u * 100.0, f);
+        }
+    }
+
+    let ever_over = data
+        .peering_interfaces()
+        .filter(|s| s.epochs_over_capacity > 0)
+        .count();
+    let n_peering = data.peering_interfaces().count();
+    let worst = data
+        .peering_interfaces()
+        .map(|s| s.peak_util)
+        .fold(0.0f64, f64::max);
+    println!(
+        "\ninterfaces that would exceed capacity: {} / {} peering interfaces",
+        ever_over, n_peering
+    );
+    println!("worst peak: {:.0}% of capacity", worst * 100.0);
+    println!(
+        "interface-epochs over capacity: {:.2}%",
+        100.0 * over as f64 / total as f64
+    );
+
+    // Paper-shape assertions: a real minority overloads, the worst nearing 2x.
+    assert!(ever_over > 0, "the problem exists");
+    assert!(
+        (ever_over as f64) < 0.5 * n_peering as f64,
+        "overload is a minority phenomenon"
+    );
+    assert!(worst > 1.4, "worst interfaces far exceed capacity (got {worst})");
+
+    write_json(
+        "exp_fig3_unmitigated_load",
+        &Fig3Output {
+            cdf_peering_util: cdf,
+            interfaces_ever_over_capacity: ever_over,
+            peering_interfaces: n_peering,
+            worst_peak_util: worst,
+            frac_samples_over_capacity: over as f64 / total as f64,
+        },
+    );
+}

@@ -1,0 +1,67 @@
+//! E4 / Fig. 4 — hours per day an interface would stay overloaded absent
+//! Edge Fabric.
+//!
+//! Paper shape: of the interfaces that overload at all, many would stay
+//! overloaded for *hours* each day (the whole regional evening peak), not
+//! just transient minutes.
+
+use ef_bench::{load_or_run, percentile, write_json, Arm};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig4Row {
+    egress: u32,
+    pop: u16,
+    kind: String,
+    capacity_mbps: f64,
+    overload_hours_per_day: f64,
+    peak_util: f64,
+}
+
+fn main() {
+    let data = load_or_run(Arm::Baseline);
+    let epoch = data.epoch_secs;
+
+    let mut rows: Vec<Fig4Row> = data
+        .peering_interfaces()
+        .filter(|s| s.epochs_over_capacity > 0)
+        .map(|s| Fig4Row {
+            egress: s.egress,
+            pop: s.pop,
+            kind: s.kind.clone(),
+            capacity_mbps: s.capacity_mbps,
+            overload_hours_per_day: s.overload_hours_per_day(epoch),
+            peak_util: s.peak_util,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.overload_hours_per_day.partial_cmp(&a.overload_hours_per_day).unwrap());
+
+    println!("E4 / Fig. 4 — overload hours per day, interfaces that overload at all");
+    println!(
+        "{:>8} {:>5} {:>13} {:>10} {:>10}",
+        "egress", "pop", "kind", "hours/day", "peak util"
+    );
+    for row in rows.iter().take(20) {
+        println!(
+            "{:>8} {:>5} {:>13} {:>10.2} {:>9.0}%",
+            row.egress, row.pop, row.kind, row.overload_hours_per_day, row.peak_util * 100.0
+        );
+    }
+
+    let hours: Vec<f64> = rows.iter().map(|r| r.overload_hours_per_day).collect();
+    println!("\noverloaded interfaces: {}", rows.len());
+    println!(
+        "hours/day overloaded: median {:.2}, p90 {:.2}, max {:.2}",
+        percentile(&hours, 50.0),
+        percentile(&hours, 90.0),
+        percentile(&hours, 100.0)
+    );
+
+    // Paper shape: the tail stays overloaded for hours.
+    assert!(
+        percentile(&hours, 90.0) > 2.0,
+        "the overload tail lasts hours per day"
+    );
+
+    write_json("exp_fig4_overload_hours", &rows);
+}

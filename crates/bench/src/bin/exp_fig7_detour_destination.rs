@@ -1,0 +1,60 @@
+//! E7 — where detoured traffic goes.
+//!
+//! Paper shape: most detoured volume lands on transit (the always-present,
+//! generously provisioned fallback); smaller shares fit onto other peer
+//! routes when those have headroom.
+
+use std::collections::HashMap;
+
+use ef_bench::{load_or_run, write_json, Arm};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig7Output {
+    share_by_target_kind: Vec<(String, f64)>,
+    total_detoured_mbps_epochs: f64,
+}
+
+fn main() {
+    let ef = load_or_run(Arm::EdgeFabric);
+
+    let mut by_kind: HashMap<String, f64> = HashMap::new();
+    let mut total = 0.0f64;
+    for r in &ef.pop_epochs {
+        for (kind, mbps) in &r.detoured_by_kind {
+            *by_kind.entry(kind.clone()).or_default() += mbps;
+            total += mbps;
+        }
+    }
+
+    let mut shares: Vec<(String, f64)> = by_kind
+        .into_iter()
+        .map(|(k, v)| (k, v / total.max(1e-9)))
+        .collect();
+    shares.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+
+    println!("E7 — destination of detoured traffic (share of detoured Mbps·epochs)");
+    for (kind, share) in &shares {
+        println!("{:<14} {:>6.1}%", kind, share * 100.0);
+    }
+    println!("\ntotal detoured: {:.0} Mbps·epochs over the day", total);
+
+    let transit_share = shares
+        .iter()
+        .find(|(k, _)| k == "transit")
+        .map(|(_, s)| *s)
+        .unwrap_or(0.0);
+    assert!(
+        transit_share > 0.5,
+        "most detoured traffic egresses via transit (got {:.1}%)",
+        transit_share * 100.0
+    );
+
+    write_json(
+        "exp_fig7_detour_destination",
+        &Fig7Output {
+            share_by_target_kind: shares,
+            total_detoured_mbps_epochs: total,
+        },
+    );
+}

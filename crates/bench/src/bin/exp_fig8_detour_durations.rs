@@ -1,0 +1,65 @@
+//! E8 — detour episode durations.
+//!
+//! Paper shape: heavy-tailed. Many overrides live for a single epoch or
+//! two (demand wobbling around the limit), while the tail rides out an
+//! entire regional peak — hours.
+
+use ef_bench::{load_or_run, percentile, write_json, Arm};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig8Output {
+    episodes: usize,
+    p10_secs: f64,
+    p50_secs: f64,
+    p90_secs: f64,
+    p99_secs: f64,
+    max_secs: f64,
+    frac_single_epoch: f64,
+    frac_over_30min: f64,
+}
+
+fn main() {
+    let ef = load_or_run(Arm::EdgeFabric);
+    let epoch = ef.epoch_secs as f64;
+
+    let durations: Vec<f64> = ef
+        .episodes
+        .iter()
+        .map(|e| e.duration_secs() as f64)
+        .collect();
+    assert!(!durations.is_empty(), "the controller detoured something");
+
+    let single = durations.iter().filter(|d| **d <= epoch).count() as f64 / durations.len() as f64;
+    let long = durations.iter().filter(|d| **d >= 1800.0).count() as f64 / durations.len() as f64;
+
+    println!("E8 — detour episode durations ({} episodes over one day)", durations.len());
+    println!("p10: {:>7.0}s", percentile(&durations, 10.0));
+    println!("p50: {:>7.0}s", percentile(&durations, 50.0));
+    println!("p90: {:>7.0}s", percentile(&durations, 90.0));
+    println!("p99: {:>7.0}s", percentile(&durations, 99.0));
+    println!("max: {:>7.0}s ({:.1}h)", percentile(&durations, 100.0), percentile(&durations, 100.0) / 3600.0);
+    println!("single-epoch episodes: {:.1}%", single * 100.0);
+    println!("episodes >= 30 min:   {:.1}%", long * 100.0);
+
+    // Shape: short head, long tail.
+    assert!(single > 0.2, "many single-epoch episodes");
+    assert!(
+        percentile(&durations, 100.0) >= 3600.0,
+        "the tail rides out a peak (hours)"
+    );
+
+    write_json(
+        "exp_fig8_detour_durations",
+        &Fig8Output {
+            episodes: durations.len(),
+            p10_secs: percentile(&durations, 10.0),
+            p50_secs: percentile(&durations, 50.0),
+            p90_secs: percentile(&durations, 90.0),
+            p99_secs: percentile(&durations, 99.0),
+            max_secs: percentile(&durations, 100.0),
+            frac_single_epoch: single,
+            frac_over_30min: long,
+        },
+    );
+}

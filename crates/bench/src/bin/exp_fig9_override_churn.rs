@@ -1,0 +1,136 @@
+//! E9 / §4.4 — override churn under the stateless-recompute design.
+//!
+//! Paper shape: although the controller recomputes the full override set
+//! every 30 s from scratch, the BGP churn it generates is small — steady
+//! state (same demand, same routes) produces zero updates, and changes
+//! concentrate around peak on/offset.
+
+use std::collections::HashMap;
+
+use ef_bench::{load_or_run, percentile, write_json, Arm};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig9Output {
+    epochs: usize,
+    frac_epochs_zero_churn: f64,
+    mean_updates_per_epoch: f64,
+    p99_updates_per_epoch: f64,
+    max_updates_per_epoch: f64,
+    mean_active_overrides: f64,
+    churn_to_active_ratio: f64,
+}
+
+fn main() {
+    let ef = load_or_run(Arm::EdgeFabric);
+
+    // Aggregate churn per (t, pop) epoch record.
+    let per_epoch: Vec<f64> = ef
+        .pop_epochs
+        .iter()
+        .map(|r| (r.churn_announced + r.churn_withdrawn) as f64)
+        .collect();
+    let zero = per_epoch.iter().filter(|c| **c == 0.0).count() as f64 / per_epoch.len() as f64;
+    let mean = per_epoch.iter().sum::<f64>() / per_epoch.len() as f64;
+    let active_mean = ef
+        .pop_epochs
+        .iter()
+        .map(|r| r.overrides_active as f64)
+        .sum::<f64>()
+        / ef.pop_epochs.len() as f64;
+
+    // Churn concentration in time: updates per wall-clock epoch across pops.
+    let mut by_t: HashMap<u64, f64> = HashMap::new();
+    for r in &ef.pop_epochs {
+        *by_t.entry(r.t_secs).or_default() += (r.churn_announced + r.churn_withdrawn) as f64;
+    }
+
+    println!("E9 — override churn (stateless recompute, one day, 20 PoPs)");
+    println!("pop-epochs observed:        {}", per_epoch.len());
+    println!("zero-churn pop-epochs:      {:.1}%", zero * 100.0);
+    println!("mean updates per pop-epoch: {:.2}", mean);
+    println!("p99 updates per pop-epoch:  {:.0}", percentile(&per_epoch, 99.0));
+    println!("max updates per pop-epoch:  {:.0}", percentile(&per_epoch, 100.0));
+    println!("mean active overrides/pop:  {:.1}", active_mean);
+    println!(
+        "churn-to-active ratio:      {:.3} (small = stable set, not flapping)",
+        mean / active_mean.max(1e-9)
+    );
+
+    // Shape: the steady state is quiet.
+    assert!(zero > 0.3, "a large share of epochs send no BGP updates at all");
+    assert!(
+        mean < active_mean.max(1.0),
+        "per-epoch churn stays below the standing override count"
+    );
+
+    // Ablation: withdraw hysteresis vs churn (6 h, smaller world, same
+    // seed across arms).
+    println!("\n-- ablation: withdraw hysteresis (6h, 8 PoPs) --");
+    println!(
+        "{:>12} {:>14} {:>16} {:>14}",
+        "hysteresis", "updates/epoch", "zero-churn %", "mean detour %"
+    );
+    let mut ablation = Vec::new();
+    for hysteresis in [0.0, 0.03, 0.08] {
+        let mut cfg = ef_sim::SimConfig::default();
+        cfg.gen.n_pops = 8;
+        cfg.gen.n_ases = 200;
+        cfg.gen.n_prefixes = 1200;
+        cfg.gen.total_avg_gbps = 3000.0;
+        cfg.duration_secs = 6 * 3600;
+        cfg.epoch_secs = 30;
+        cfg.controller.withdraw_hysteresis = hysteresis;
+        let mut engine = ef_sim::SimEngine::new(cfg);
+        engine.run();
+        let m = engine.take_metrics();
+        let churn: f64 = m
+            .pop_epochs
+            .iter()
+            .map(|r| (r.churn_announced + r.churn_withdrawn) as f64)
+            .sum::<f64>()
+            / m.pop_epochs.len() as f64;
+        let zero_frac = m
+            .pop_epochs
+            .iter()
+            .filter(|r| r.churn_announced + r.churn_withdrawn == 0)
+            .count() as f64
+            / m.pop_epochs.len() as f64;
+        let detour_frac = m
+            .pop_epochs
+            .iter()
+            .map(|r| r.detoured_mbps / r.offered_mbps.max(1.0))
+            .sum::<f64>()
+            / m.pop_epochs.len() as f64;
+        println!(
+            "{:>12.2} {:>14.2} {:>15.1}% {:>13.2}%",
+            hysteresis,
+            churn,
+            zero_frac * 100.0,
+            detour_frac * 100.0
+        );
+        ablation.push((hysteresis, churn, zero_frac, detour_frac));
+    }
+    // Hysteresis must reduce churn, at the cost of slightly more standing
+    // detours.
+    assert!(
+        ablation[1].1 < ablation[0].1,
+        "hysteresis reduces churn ({} vs {})",
+        ablation[1].1,
+        ablation[0].1
+    );
+    write_json("exp_fig9_hysteresis_ablation", &ablation);
+
+    write_json(
+        "exp_fig9_override_churn",
+        &Fig9Output {
+            epochs: per_epoch.len(),
+            frac_epochs_zero_churn: zero,
+            mean_updates_per_epoch: mean,
+            p99_updates_per_epoch: percentile(&per_epoch, 99.0),
+            max_updates_per_epoch: percentile(&per_epoch, 100.0),
+            mean_active_overrides: active_mean,
+            churn_to_active_ratio: mean / active_mean.max(1e-9),
+        },
+    );
+}

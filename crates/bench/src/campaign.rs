@@ -1,0 +1,176 @@
+//! The shared one-day campaign: baseline BGP vs. Edge Fabric on the same
+//! world, distilled and cached under `results/`.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use ef_bgp::route::EgressId;
+use ef_sim::{MetricsStore, SimConfig, SimEngine};
+use ef_topology::generate;
+
+use crate::output::results_dir;
+
+/// Which arm of the comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arm {
+    /// BGP alone: controller disabled; overloads land where BGP puts them.
+    Baseline,
+    /// Edge Fabric enabled.
+    EdgeFabric,
+}
+
+impl Arm {
+    fn label(self) -> &'static str {
+        match self {
+            Arm::Baseline => "baseline",
+            Arm::EdgeFabric => "edge_fabric",
+        }
+    }
+}
+
+/// Distilled metrics of one campaign arm (serializable cache).
+#[derive(Debug, Serialize, Deserialize)]
+pub struct CampaignData {
+    /// Scenario epoch length, seconds.
+    pub epoch_secs: u64,
+    /// Scenario duration, seconds.
+    pub duration_secs: u64,
+    /// Per-interface aggregates.
+    pub interfaces: Vec<ef_sim::InterfaceStats>,
+    /// Per-PoP per-epoch records.
+    pub pop_epochs: Vec<ef_sim::PopEpochRecord>,
+    /// Detour episodes (empty in the baseline arm).
+    pub episodes: Vec<ef_sim::DetourEpisode>,
+    /// Load series for the watched interfaces (egress → (t, Mbps)).
+    pub series: HashMap<u32, Vec<(u64, f64)>>,
+}
+
+/// The scenario both arms share: the default 20-PoP deployment, one
+/// simulated day of 30-second epochs, production-like sampled rates.
+pub fn campaign_config() -> SimConfig {
+    SimConfig {
+        duration_secs: 24 * 3600,
+        epoch_secs: 30,
+        ..Default::default()
+    }
+}
+
+/// The interfaces watched with full time series: chosen by a fast
+/// coarse-epoch baseline probe as the most-overloaded ones. Cached.
+pub fn watched_interfaces() -> Vec<u32> {
+    let path = results_dir().join("campaign_watched.json");
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(v) = serde_json::from_str::<Vec<u32>>(&text) {
+            return v;
+        }
+    }
+    eprintln!("[campaign] probing for the busiest interfaces (coarse baseline run)...");
+    let mut cfg = campaign_config().baseline();
+    cfg.epoch_secs = 300; // coarse: 288 epochs over the day
+    cfg.sampled_rates = false;
+    let mut engine = SimEngine::new(cfg);
+    engine.run();
+    let metrics = engine.take_metrics();
+    let watched: Vec<u32> = metrics
+        .worst_interfaces()
+        .iter()
+        .take(10)
+        .map(|s| s.egress)
+        .collect();
+    std::fs::write(&path, serde_json::to_string(&watched).unwrap()).expect("cache watched");
+    watched
+}
+
+fn distill(metrics: MetricsStore, cfg: &SimConfig) -> CampaignData {
+    CampaignData {
+        epoch_secs: cfg.epoch_secs,
+        duration_secs: cfg.duration_secs,
+        interfaces: metrics.interfaces.values().cloned().collect(),
+        pop_epochs: metrics.pop_epochs,
+        episodes: metrics.episodes,
+        series: metrics
+            .series
+            .into_iter()
+            .map(|(e, s)| (e.0, s))
+            .collect(),
+    }
+}
+
+/// Loads the cached campaign arm, or runs it (minutes) and caches it.
+pub fn load_or_run(arm: Arm) -> CampaignData {
+    let path = results_dir().join(format!("campaign_{}.json", arm.label()));
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(data) = serde_json::from_str::<CampaignData>(&text) {
+            eprintln!("[campaign] loaded cached {} arm from {}", arm.label(), path.display());
+            return data;
+        }
+    }
+    let watched = watched_interfaces();
+    let cfg = match arm {
+        Arm::Baseline => campaign_config().baseline(),
+        Arm::EdgeFabric => campaign_config(),
+    };
+    eprintln!(
+        "[campaign] running {} arm: {} epochs of {}s over {} PoPs...",
+        arm.label(),
+        cfg.epochs(),
+        cfg.epoch_secs,
+        cfg.gen.n_pops
+    );
+    let deployment = generate(&cfg.gen);
+    let mut engine = SimEngine::with_deployment(cfg.clone(), deployment);
+    for egress in &watched {
+        engine.flag_interface(EgressId(*egress));
+    }
+    let start = std::time::Instant::now();
+    engine.run();
+    eprintln!("[campaign] {} arm finished in {:?}", arm.label(), start.elapsed());
+    assert!(engine.all_sessions_up(), "sessions survived the day");
+    let data = distill(engine.take_metrics(), &cfg);
+    std::fs::write(&path, serde_json::to_string(&data).unwrap()).expect("cache campaign");
+    data
+}
+
+impl CampaignData {
+    /// Interfaces of peering kinds (the capacity-constrained ones).
+    pub fn peering_interfaces(&self) -> impl Iterator<Item = &ef_sim::InterfaceStats> {
+        self.interfaces
+            .iter()
+            .filter(|s| s.kind == "private" || s.kind == "public" || s.kind == "route-server")
+    }
+
+    /// Total offered and dropped traffic (Mbps·epochs).
+    pub fn totals(&self) -> (f64, f64) {
+        let offered = self.pop_epochs.iter().map(|r| r.offered_mbps).sum();
+        let dropped = self.pop_epochs.iter().map(|r| r.dropped_mbps).sum();
+        (offered, dropped)
+    }
+
+    /// Longest run of consecutive over-capacity epochs per watched
+    /// interface, from the recorded series.
+    pub fn max_consecutive_overload(&self) -> HashMap<u32, (usize, f64)> {
+        let caps: HashMap<u32, f64> = self
+            .interfaces
+            .iter()
+            .map(|s| (s.egress, s.capacity_mbps))
+            .collect();
+        self.series
+            .iter()
+            .filter_map(|(egress, series)| {
+                let cap = caps.get(egress)?;
+                let mut best = 0usize;
+                let mut run = 0usize;
+                for (_, load) in series {
+                    if load > cap {
+                        run += 1;
+                        best = best.max(run);
+                    } else {
+                        run = 0;
+                    }
+                }
+                Some((*egress, (best, *cap)))
+            })
+            .collect()
+    }
+}

@@ -1,0 +1,13 @@
+//! Experiment harness shared by the per-figure binaries.
+//!
+//! The heavyweight experiments (E3–E9, E11) share two simulation "arms" —
+//! baseline BGP and Edge Fabric — over the same one-day, 20-PoP scenario.
+//! [`campaign`] runs an arm once and caches its distilled metrics as JSON
+//! under `results/`, so each figure binary is cheap after the first run.
+//! [`output`] holds the small statistics/printing helpers.
+
+pub mod campaign;
+pub mod output;
+
+pub use campaign::{load_or_run, Arm, CampaignData};
+pub use output::{cdf_points, percentile, results_dir, write_json};

@@ -1,0 +1,326 @@
+//! ADD-PATH (RFC 7911): advertising multiple paths per prefix on one
+//! session.
+//!
+//! The paper (§4.1) notes two ways a controller can learn *all* of a
+//! router's routes rather than only the decision winners: a BMP feed (the
+//! deployed option, see [`crate::bmp`]) or BGP ADD-PATH. This module
+//! implements the ADD-PATH option so both feeds exist, as in the paper:
+//!
+//! * the capability (code 69) carried in OPEN, declaring per-AFI/SAFI
+//!   send/receive ability;
+//! * the NLRI encoding, where every prefix is preceded by a 4-octet path
+//!   identifier; and
+//! * [`AddPathExporter`], which numbers a router's candidate routes with
+//!   stable path IDs and emits the incremental add/withdraw stream a
+//!   controller-facing session would carry.
+//!
+//! An ADD-PATH announcement withdraws only the `(path id, prefix)` pair,
+//! so alternates survive a best-path change — precisely why the mechanism
+//! suits an Edge-Fabric-style consumer.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use ef_net_types::Prefix;
+
+use crate::attrs::PathAttributes;
+use crate::peer::PeerId;
+use crate::route::Route;
+use crate::wire::WireError;
+
+/// A `(path id, prefix)` pair as carried in ADD-PATH NLRI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathNlri {
+    /// The announcing speaker's path identifier (unique per prefix).
+    pub path_id: u32,
+    /// The prefix.
+    pub prefix: Prefix,
+}
+
+/// An UPDATE whose NLRI carry path identifiers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AddPathUpdate {
+    /// `(path id, prefix)` pairs no longer reachable.
+    pub withdrawn: Vec<PathNlri>,
+    /// Shared attributes for the announcements.
+    pub attrs: PathAttributes,
+    /// `(path id, prefix)` pairs announced with `attrs`.
+    pub announced: Vec<PathNlri>,
+}
+
+/// Builds the RFC 7911 capability payload for IPv4-unicast,
+/// send+receive (value 3).
+pub fn addpath_capability() -> (u8, Vec<u8>) {
+    // AFI 1 (IPv4), SAFI 1 (unicast), Send/Receive = 3 (both).
+    (69, vec![0, 1, 1, 3])
+}
+
+/// True if a parsed capability list declares ADD-PATH for IPv4-unicast.
+pub fn supports_addpath(capabilities: &[(u8, Vec<u8>)]) -> bool {
+    capabilities.iter().any(|(code, payload)| {
+        *code == 69
+            && payload
+                .chunks_exact(4)
+                .any(|c| c == [0, 1, 1, 1] || c == [0, 1, 1, 2] || c == [0, 1, 1, 3])
+    })
+}
+
+/// Encodes the *body* of an ADD-PATH UPDATE (withdrawn + attrs + NLRI).
+///
+/// ADD-PATH rides inside a normal BGP UPDATE message; this produces the
+/// path-id-prefixed NLRI sections. Attributes are encoded by composing a
+/// regular [`crate::message::UpdateMessage`] with empty NLRI; this helper
+/// handles only what RFC 7911 changes.
+pub fn encode_addpath_nlri(out: &mut BytesMut, nlri: &[PathNlri]) {
+    for item in nlri {
+        out.put_u32(item.path_id);
+        let len = item.prefix.len();
+        out.put_u8(len);
+        let nbytes = usize::from(len).div_ceil(8);
+        let bits = item.prefix.bits_left_aligned();
+        for i in 0..nbytes {
+            out.put_u8((bits >> (120 - 8 * i)) as u8);
+        }
+    }
+}
+
+/// Decodes path-id-prefixed IPv4 NLRI until the buffer is exhausted.
+pub fn decode_addpath_nlri(buf: &mut Bytes) -> Result<Vec<PathNlri>, WireError> {
+    let mut out = Vec::new();
+    while buf.has_remaining() {
+        if buf.len() < 5 {
+            return Err(WireError::Truncated);
+        }
+        let path_id = buf.get_u32();
+        let len = buf.get_u8();
+        if len > 32 {
+            return Err(WireError::BadPrefix("length out of range"));
+        }
+        let nbytes = usize::from(len).div_ceil(8);
+        if buf.len() < nbytes {
+            return Err(WireError::Truncated);
+        }
+        let mut addr: u32 = 0;
+        for i in 0..nbytes {
+            addr |= (buf.get_u8() as u32) << (24 - 8 * i);
+        }
+        if len > 0 {
+            addr &= u32::MAX << (32 - len as u32);
+        } else {
+            addr = 0;
+        }
+        out.push(PathNlri {
+            path_id,
+            prefix: Prefix::V4 { addr, len },
+        });
+    }
+    Ok(out)
+}
+
+/// Tracks stable path IDs for a router's candidate routes and emits the
+/// incremental ADD-PATH stream a monitoring session would carry.
+///
+/// Path IDs are allocated per `(prefix, source peer)` and never reused
+/// while the route lives, so a consumer can correlate replacements.
+#[derive(Debug, Default)]
+pub struct AddPathExporter {
+    next_id: u32,
+    /// (prefix, announcing peer) → path id.
+    ids: std::collections::HashMap<(Prefix, PeerId), u32>,
+}
+
+/// One exporter event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddPathEvent {
+    /// Announce `(path id, prefix)` with these attributes.
+    Announce(PathNlri, PathAttributes),
+    /// Withdraw `(path id, prefix)`.
+    Withdraw(PathNlri),
+}
+
+impl AddPathExporter {
+    /// Creates an exporter with no state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live `(prefix, peer)` paths.
+    pub fn live_paths(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// A route was installed or replaced in the candidate set.
+    pub fn on_install(&mut self, route: &Route) -> AddPathEvent {
+        let key = (route.prefix, route.source.peer);
+        let id = *self.ids.entry(key).or_insert_with(|| {
+            self.next_id += 1;
+            self.next_id
+        });
+        AddPathEvent::Announce(
+            PathNlri {
+                path_id: id,
+                prefix: route.prefix,
+            },
+            route.attrs.clone(),
+        )
+    }
+
+    /// A peer's route for a prefix was withdrawn.
+    pub fn on_withdraw(&mut self, prefix: Prefix, peer: PeerId) -> Option<AddPathEvent> {
+        self.ids
+            .remove(&(prefix, peer))
+            .map(|id| AddPathEvent::Withdraw(PathNlri { path_id: id, prefix }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AsPath;
+    use crate::peer::PeerKind;
+    use crate::route::{EgressId, RouteSource};
+    use ef_net_types::Asn;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn capability_round_trip() {
+        let (code, payload) = addpath_capability();
+        assert!(supports_addpath(&[(code, payload)]));
+        assert!(!supports_addpath(&[(2, vec![])]));
+        // Receive-only also counts as support.
+        assert!(supports_addpath(&[(69, vec![0, 1, 1, 1])]));
+        // IPv6-only declaration does not enable IPv4 ADD-PATH.
+        assert!(!supports_addpath(&[(69, vec![0, 2, 1, 3])]));
+    }
+
+    #[test]
+    fn nlri_round_trip() {
+        let nlri = vec![
+            PathNlri {
+                path_id: 1,
+                prefix: p("203.0.113.0/24"),
+            },
+            PathNlri {
+                path_id: 7,
+                prefix: p("10.0.0.0/8"),
+            },
+            PathNlri {
+                path_id: 42,
+                prefix: p("0.0.0.0/0"),
+            },
+        ];
+        let mut buf = BytesMut::new();
+        encode_addpath_nlri(&mut buf, &nlri);
+        let mut bytes = buf.freeze();
+        let decoded = decode_addpath_nlri(&mut bytes).unwrap();
+        assert_eq!(decoded, nlri);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn truncated_nlri_rejected() {
+        let mut buf = BytesMut::new();
+        encode_addpath_nlri(
+            &mut buf,
+            &[PathNlri {
+                path_id: 1,
+                prefix: p("203.0.113.0/24"),
+            }],
+        );
+        let mut short = buf.freeze().slice(..6);
+        assert_eq!(decode_addpath_nlri(&mut short), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_prefix_length_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        buf.put_u8(33);
+        let mut bytes = buf.freeze();
+        assert_eq!(
+            decode_addpath_nlri(&mut bytes),
+            Err(WireError::BadPrefix("length out of range"))
+        );
+    }
+
+    fn route(prefix: &str, peer: u64) -> Route {
+        Route {
+            prefix: p(prefix),
+            attrs: PathAttributes {
+                as_path: AsPath::sequence([Asn(65000 + peer as u32)]),
+                ..Default::default()
+            },
+            source: RouteSource {
+                peer: PeerId(peer),
+                peer_asn: Asn(65000 + peer as u32),
+                kind: PeerKind::Transit,
+            },
+            egress: EgressId(peer as u32),
+        }
+    }
+
+    #[test]
+    fn exporter_assigns_stable_distinct_ids() {
+        let mut exporter = AddPathExporter::new();
+        let a = exporter.on_install(&route("1.0.0.0/24", 1));
+        let b = exporter.on_install(&route("1.0.0.0/24", 2));
+        let (id_a, id_b) = match (&a, &b) {
+            (AddPathEvent::Announce(na, _), AddPathEvent::Announce(nb, _)) => {
+                (na.path_id, nb.path_id)
+            }
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_ne!(id_a, id_b, "two paths for one prefix get distinct ids");
+        assert_eq!(exporter.live_paths(), 2);
+
+        // Replacement from the same peer keeps the id.
+        let a2 = exporter.on_install(&route("1.0.0.0/24", 1));
+        match a2 {
+            AddPathEvent::Announce(n, _) => assert_eq!(n.path_id, id_a),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(exporter.live_paths(), 2);
+    }
+
+    #[test]
+    fn exporter_withdraws_only_the_named_path() {
+        let mut exporter = AddPathExporter::new();
+        exporter.on_install(&route("1.0.0.0/24", 1));
+        exporter.on_install(&route("1.0.0.0/24", 2));
+        let w = exporter.on_withdraw(p("1.0.0.0/24"), PeerId(1)).unwrap();
+        match w {
+            AddPathEvent::Withdraw(n) => assert_eq!(n.prefix, p("1.0.0.0/24")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(exporter.live_paths(), 1, "the alternate path survives");
+        assert!(exporter.on_withdraw(p("1.0.0.0/24"), PeerId(1)).is_none());
+    }
+
+    #[test]
+    fn exporter_stream_reconstructs_candidate_set() {
+        // A consumer replaying the event stream ends with the same
+        // (prefix, path) multiset the router holds — the property that
+        // makes ADD-PATH a valid substitute for BMP.
+        let mut exporter = AddPathExporter::new();
+        let mut consumer: std::collections::HashMap<u32, Prefix> = Default::default();
+        let routes = [
+            route("1.0.0.0/24", 1),
+            route("1.0.0.0/24", 2),
+            route("2.0.0.0/24", 1),
+        ];
+        for r in &routes {
+            if let AddPathEvent::Announce(n, _) = exporter.on_install(r) {
+                consumer.insert(n.path_id, n.prefix);
+            }
+        }
+        if let Some(AddPathEvent::Withdraw(n)) = exporter.on_withdraw(p("1.0.0.0/24"), PeerId(2)) {
+            consumer.remove(&n.path_id);
+        }
+        assert_eq!(consumer.len(), exporter.live_paths());
+        let mut prefixes: Vec<Prefix> = consumer.values().copied().collect();
+        prefixes.sort();
+        assert_eq!(prefixes, vec![p("1.0.0.0/24"), p("2.0.0.0/24")]);
+    }
+}

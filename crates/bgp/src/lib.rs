@@ -1,0 +1,78 @@
+//! BGP-4 substrate for the Edge Fabric reproduction.
+//!
+//! Edge Fabric's central trick is that it never replaces BGP: the controller
+//! *wins* the standard BGP decision process by injecting routes with a very
+//! high `LOCAL_PREF` over an ordinary BGP session. For that trick to be
+//! reproduced honestly, the routers in this workspace run a real decision
+//! process over real (wire-encodable) BGP routes, with import policy applied
+//! at the edge exactly as a production peering router would.
+//!
+//! The crate provides, bottom-up:
+//!
+//! * [`attrs`] — path attributes: origin, AS path, MED, local-pref,
+//!   communities.
+//! * [`message`] — the four BGP-4 message types.
+//! * [`wire`] — an RFC 4271 binary codec (4-octet ASNs assumed negotiated,
+//!   RFC 6793), plus MP_REACH/MP_UNREACH for IPv6 NLRI.
+//! * [`peer`] — peer identity and the four interconnect kinds the paper
+//!   distinguishes (transit / private peering / public peering / route
+//!   server), plus the controller pseudo-peer.
+//! * [`route`] — a received route bound to its source peer and egress.
+//! * [`policy`] — import/export policy engine (match → actions), with the
+//!   paper's default tiering policy as a constructor.
+//! * [`decision`] — the best-path selection ladder.
+//! * [`rib`] — Adj-RIB-In and Loc-RIB.
+//! * [`session`] — a simplified BGP FSM driven by simulated time.
+//! * [`router`] — a peering router: sessions in, policy, RIBs, decision,
+//!   FIB out; emits a BMP-style feed.
+//! * [`bmp`] — BGP Monitoring Protocol (RFC 7854 subset) messages, which is
+//!   how the controller learns *all* routes rather than only best ones.
+//!
+//! # Quick taste
+//!
+//! ```
+//! use ef_bgp::attrs::{AsPath, Origin, PathAttributes};
+//! use ef_bgp::decision::best_route;
+//! use ef_bgp::peer::{PeerId, PeerKind};
+//! use ef_bgp::route::{Route, RouteSource};
+//! use ef_net_types::Asn;
+//!
+//! let peer = RouteSource { peer: PeerId(1), peer_asn: Asn(65001), kind: PeerKind::PrivatePeer };
+//! let transit = RouteSource { peer: PeerId(2), peer_asn: Asn(65010), kind: PeerKind::Transit };
+//!
+//! let prefix = "203.0.113.0/24".parse().unwrap();
+//! let mk = |src: RouteSource, lp: u32, path: &[u32]| Route {
+//!     prefix,
+//!     attrs: PathAttributes {
+//!         local_pref: Some(lp),
+//!         as_path: AsPath::sequence(path.iter().map(|a| Asn(*a))),
+//!         origin: Origin::Igp,
+//!         ..Default::default()
+//!     },
+//!     source: src,
+//!     egress: ef_bgp::route::EgressId(src.peer.0 as u32),
+//! };
+//!
+//! // Peer route with higher local-pref wins over shorter transit path.
+//! let routes = vec![mk(transit, 100, &[65010]), mk(peer, 300, &[65001, 64999])];
+//! let best = best_route(&routes).unwrap();
+//! assert_eq!(best.source.peer, PeerId(1));
+//! ```
+
+pub mod addpath;
+pub mod attrs;
+pub mod bmp;
+pub mod decision;
+pub mod message;
+pub mod peer;
+pub mod policy;
+pub mod rib;
+pub mod route;
+pub mod router;
+pub mod session;
+pub mod wire;
+
+pub use attrs::{AsPath, Origin, PathAttributes};
+pub use message::{BgpMessage, NotificationMessage, OpenMessage, UpdateMessage};
+pub use peer::{PeerId, PeerKind};
+pub use route::{EgressId, Route, RouteSource};

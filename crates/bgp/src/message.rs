@@ -1,0 +1,197 @@
+//! The four BGP-4 message types (RFC 4271 §4).
+
+use std::net::Ipv4Addr;
+
+use serde::{Deserialize, Serialize};
+
+use ef_net_types::{Asn, Prefix};
+
+use crate::attrs::PathAttributes;
+
+/// BGP version this implementation speaks.
+pub const BGP_VERSION: u8 = 4;
+
+/// A BGP-4 message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BgpMessage {
+    /// Session negotiation (type 1).
+    Open(OpenMessage),
+    /// Route announcement/withdrawal (type 2).
+    Update(UpdateMessage),
+    /// Error + session teardown (type 3).
+    Notification(NotificationMessage),
+    /// Hold-timer refresh (type 4).
+    Keepalive,
+}
+
+impl BgpMessage {
+    /// Wire type code.
+    pub fn type_code(&self) -> u8 {
+        match self {
+            BgpMessage::Open(_) => 1,
+            BgpMessage::Update(_) => 2,
+            BgpMessage::Notification(_) => 3,
+            BgpMessage::Keepalive => 4,
+        }
+    }
+}
+
+/// OPEN message (RFC 4271 §4.2). Capabilities are modeled as raw
+/// `(code, payload)` pairs; the session layer interprets the 4-octet-AS
+/// capability (RFC 6793) which this implementation always advertises.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpenMessage {
+    /// Speaker's ASN. On the wire the 2-byte field carries AS_TRANS (23456)
+    /// when the ASN does not fit; the real ASN travels in the capability.
+    pub asn: Asn,
+    /// Proposed hold time in seconds (0 = no keepalives).
+    pub hold_time: u16,
+    /// Speaker's router ID.
+    pub router_id: Ipv4Addr,
+    /// Optional capabilities as raw `(code, payload)` pairs.
+    pub capabilities: Vec<(u8, Vec<u8>)>,
+}
+
+impl OpenMessage {
+    /// AS_TRANS, the 2-byte stand-in for 4-byte ASNs (RFC 6793).
+    pub const AS_TRANS: u16 = 23456;
+    /// Capability code for 4-octet AS support.
+    pub const CAP_FOUR_OCTET_AS: u8 = 65;
+
+    /// Builds an OPEN advertising the 4-octet-AS capability.
+    pub fn new(asn: Asn, hold_time: u16, router_id: Ipv4Addr) -> Self {
+        OpenMessage {
+            asn,
+            hold_time,
+            router_id,
+            capabilities: vec![(Self::CAP_FOUR_OCTET_AS, asn.0.to_be_bytes().to_vec())],
+        }
+    }
+}
+
+/// UPDATE message (RFC 4271 §4.3).
+///
+/// One UPDATE may withdraw prefixes and announce a set of prefixes sharing
+/// one attribute set. IPv6 NLRI ride in MP_REACH/MP_UNREACH attributes on
+/// the wire but are surfaced uniformly here: `announced`/`withdrawn` may mix
+/// families and the codec splits them.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct UpdateMessage {
+    /// Prefixes no longer reachable via this peer.
+    pub withdrawn: Vec<Prefix>,
+    /// Attributes shared by all `announced` prefixes.
+    pub attrs: PathAttributes,
+    /// Prefixes announced with `attrs`.
+    pub announced: Vec<Prefix>,
+}
+
+impl UpdateMessage {
+    /// An UPDATE announcing a single prefix.
+    pub fn announce(prefix: Prefix, attrs: PathAttributes) -> Self {
+        UpdateMessage {
+            withdrawn: Vec::new(),
+            attrs,
+            announced: vec![prefix],
+        }
+    }
+
+    /// An UPDATE withdrawing the given prefixes.
+    pub fn withdraw(prefixes: impl IntoIterator<Item = Prefix>) -> Self {
+        UpdateMessage {
+            withdrawn: prefixes.into_iter().collect(),
+            attrs: PathAttributes::default(),
+            announced: Vec::new(),
+        }
+    }
+
+    /// True if the message neither announces nor withdraws anything.
+    pub fn is_empty(&self) -> bool {
+        self.withdrawn.is_empty() && self.announced.is_empty()
+    }
+}
+
+/// NOTIFICATION message (RFC 4271 §4.5): an error code and the session ends.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NotificationMessage {
+    /// Major error code.
+    pub code: u8,
+    /// Subcode within the major code.
+    pub subcode: u8,
+    /// Diagnostic payload.
+    pub data: Vec<u8>,
+}
+
+impl NotificationMessage {
+    /// Error code 4: Hold Timer Expired.
+    pub fn hold_timer_expired() -> Self {
+        NotificationMessage {
+            code: 4,
+            subcode: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Error code 6, subcode 2: Administrative Shutdown (RFC 4486).
+    pub fn admin_shutdown() -> Self {
+        NotificationMessage {
+            code: 6,
+            subcode: 2,
+            data: Vec::new(),
+        }
+    }
+
+    /// Error code 3: UPDATE Message Error.
+    pub fn update_error(subcode: u8) -> Self {
+        NotificationMessage {
+            code: 3,
+            subcode,
+            data: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_codes_match_rfc() {
+        let open = BgpMessage::Open(OpenMessage::new(Asn(1), 90, Ipv4Addr::new(1, 1, 1, 1)));
+        assert_eq!(open.type_code(), 1);
+        assert_eq!(BgpMessage::Update(UpdateMessage::default()).type_code(), 2);
+        let notif = BgpMessage::Notification(NotificationMessage::admin_shutdown());
+        assert_eq!(notif.type_code(), 3);
+        assert_eq!(BgpMessage::Keepalive.type_code(), 4);
+    }
+
+    #[test]
+    fn open_advertises_four_octet_as() {
+        let open = OpenMessage::new(Asn(400_000), 90, Ipv4Addr::new(10, 0, 0, 1));
+        let cap = open
+            .capabilities
+            .iter()
+            .find(|(code, _)| *code == OpenMessage::CAP_FOUR_OCTET_AS)
+            .expect("capability present");
+        assert_eq!(cap.1, 400_000u32.to_be_bytes().to_vec());
+    }
+
+    #[test]
+    fn update_constructors() {
+        let p: Prefix = "203.0.113.0/24".parse().unwrap();
+        let ann = UpdateMessage::announce(p, PathAttributes::default());
+        assert_eq!(ann.announced, vec![p]);
+        assert!(!ann.is_empty());
+
+        let w = UpdateMessage::withdraw([p]);
+        assert_eq!(w.withdrawn, vec![p]);
+        assert!(UpdateMessage::default().is_empty());
+    }
+
+    #[test]
+    fn notification_constructors() {
+        assert_eq!(NotificationMessage::hold_timer_expired().code, 4);
+        let n = NotificationMessage::admin_shutdown();
+        assert_eq!((n.code, n.subcode), (6, 2));
+        assert_eq!(NotificationMessage::update_error(11).subcode, 11);
+    }
+}

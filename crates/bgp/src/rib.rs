@@ -1,0 +1,356 @@
+//! Routing Information Bases: per-peer Adj-RIB-In and the router-wide
+//! Loc-RIB.
+//!
+//! Edge Fabric needs more than a FIB view: the controller must see *every*
+//! route available for a prefix (paper §4.1, "the controller needs to know
+//! all routes, not just the best") in order to pick detour targets. The
+//! [`LocRib`] therefore keeps the full candidate set per prefix and exposes
+//! both the winner and the ranked alternatives.
+
+use std::collections::HashMap;
+
+use ef_net_types::Prefix;
+
+use crate::decision::{best_route, rank_routes};
+use crate::peer::PeerId;
+use crate::route::Route;
+
+/// The routes received from one peer, post-import-policy.
+#[derive(Debug, Clone, Default)]
+pub struct AdjRibIn {
+    routes: HashMap<Prefix, Route>,
+}
+
+impl AdjRibIn {
+    /// Creates an empty Adj-RIB-In.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs or replaces the peer's route for a prefix, returning the
+    /// previous route if one existed.
+    pub fn install(&mut self, route: Route) -> Option<Route> {
+        self.routes.insert(route.prefix, route)
+    }
+
+    /// Removes the peer's route for a prefix.
+    pub fn withdraw(&mut self, prefix: &Prefix) -> Option<Route> {
+        self.routes.remove(prefix)
+    }
+
+    /// The peer's route for a prefix, if any.
+    pub fn get(&self, prefix: &Prefix) -> Option<&Route> {
+        self.routes.get(prefix)
+    }
+
+    /// Number of prefixes this peer currently announces.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True if the peer announces nothing.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+
+    /// Iterates all routes (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Route> {
+        self.routes.values()
+    }
+
+    /// Drains every route, as on session teardown.
+    pub fn clear(&mut self) -> Vec<Route> {
+        self.routes.drain().map(|(_, r)| r).collect()
+    }
+}
+
+/// How the best route for a prefix changed after a RIB operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BestChange {
+    /// The best route is unchanged.
+    Unchanged,
+    /// The prefix gained its first route, or best switched to this route.
+    NewBest(Route),
+    /// The prefix no longer has any route.
+    Unreachable,
+}
+
+/// The router's collected view: every candidate route per prefix (at most
+/// one per peer) and the decision-process winner.
+#[derive(Debug, Clone, Default)]
+pub struct LocRib {
+    by_prefix: HashMap<Prefix, Vec<Route>>,
+}
+
+impl LocRib {
+    /// Creates an empty Loc-RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs or replaces `route` (keyed by its source peer), returning
+    /// how the best route changed.
+    pub fn install(&mut self, route: Route) -> BestChange {
+        let entry = self.by_prefix.entry(route.prefix).or_default();
+        let old_best = best_route(entry).cloned();
+        if let Some(existing) = entry
+            .iter_mut()
+            .find(|r| r.source.peer == route.source.peer)
+        {
+            *existing = route;
+        } else {
+            entry.push(route);
+        }
+        let new_best = best_route(entry).cloned().expect("nonempty");
+        if old_best.as_ref() == Some(&new_best) {
+            BestChange::Unchanged
+        } else {
+            BestChange::NewBest(new_best)
+        }
+    }
+
+    /// Removes the route for `prefix` learned from `peer`.
+    pub fn withdraw(&mut self, prefix: &Prefix, peer: PeerId) -> BestChange {
+        let Some(entry) = self.by_prefix.get_mut(prefix) else {
+            return BestChange::Unchanged;
+        };
+        let old_best = best_route(entry).cloned();
+        let before = entry.len();
+        entry.retain(|r| r.source.peer != peer);
+        if entry.len() == before {
+            return BestChange::Unchanged;
+        }
+        if entry.is_empty() {
+            self.by_prefix.remove(prefix);
+            return BestChange::Unreachable;
+        }
+        let new_best = best_route(entry).cloned().expect("nonempty");
+        if old_best.as_ref() == Some(&new_best) {
+            BestChange::Unchanged
+        } else {
+            BestChange::NewBest(new_best)
+        }
+    }
+
+    /// Removes every route learned from `peer` (session teardown). Returns
+    /// the per-prefix best-route changes that resulted.
+    pub fn withdraw_peer(&mut self, peer: PeerId) -> Vec<(Prefix, BestChange)> {
+        let prefixes: Vec<Prefix> = self
+            .by_prefix
+            .iter()
+            .filter(|(_, routes)| routes.iter().any(|r| r.source.peer == peer))
+            .map(|(p, _)| *p)
+            .collect();
+        prefixes
+            .into_iter()
+            .map(|p| {
+                let change = self.withdraw(&p, peer);
+                (p, change)
+            })
+            .filter(|(_, c)| *c != BestChange::Unchanged)
+            .collect()
+    }
+
+    /// All candidate routes for a prefix (unordered).
+    pub fn candidates(&self, prefix: &Prefix) -> &[Route] {
+        self.by_prefix
+            .get(prefix)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Candidates ranked best-first by the decision process.
+    pub fn ranked(&self, prefix: &Prefix) -> Vec<&Route> {
+        rank_routes(self.candidates(prefix))
+    }
+
+    /// The decision-process winner for a prefix.
+    pub fn best(&self, prefix: &Prefix) -> Option<&Route> {
+        best_route(self.candidates(prefix))
+    }
+
+    /// Number of prefixes with at least one route.
+    pub fn len(&self) -> usize {
+        self.by_prefix.len()
+    }
+
+    /// True if no prefix has a route.
+    pub fn is_empty(&self) -> bool {
+        self.by_prefix.is_empty()
+    }
+
+    /// Iterates `(prefix, candidates)` in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &[Route])> {
+        self.by_prefix.iter().map(|(p, v)| (p, v.as_slice()))
+    }
+
+    /// Iterates `(prefix, best route)` in arbitrary order.
+    pub fn iter_best(&self) -> impl Iterator<Item = (&Prefix, &Route)> {
+        self.by_prefix
+            .iter()
+            .filter_map(|(p, v)| best_route(v).map(|b| (p, b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{AsPath, PathAttributes};
+    use crate::peer::PeerKind;
+    use crate::route::{EgressId, RouteSource};
+    use ef_net_types::Asn;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn route(prefix: &str, peer: u64, lp: u32) -> Route {
+        Route {
+            prefix: p(prefix),
+            attrs: PathAttributes {
+                local_pref: Some(lp),
+                as_path: AsPath::sequence([Asn(65000 + peer as u32)]),
+                ..Default::default()
+            },
+            source: RouteSource {
+                peer: PeerId(peer),
+                peer_asn: Asn(65000 + peer as u32),
+                kind: PeerKind::Transit,
+            },
+            egress: EgressId(peer as u32),
+        }
+    }
+
+    #[test]
+    fn adj_rib_in_install_and_withdraw() {
+        let mut rib = AdjRibIn::new();
+        assert!(rib.is_empty());
+        assert!(rib.install(route("1.0.0.0/8", 1, 100)).is_none());
+        assert!(rib.install(route("1.0.0.0/8", 1, 200)).is_some());
+        assert_eq!(rib.len(), 1);
+        assert_eq!(
+            rib.get(&p("1.0.0.0/8")).unwrap().attrs.local_pref,
+            Some(200)
+        );
+        assert!(rib.withdraw(&p("1.0.0.0/8")).is_some());
+        assert!(rib.withdraw(&p("1.0.0.0/8")).is_none());
+    }
+
+    #[test]
+    fn adj_rib_in_clear_drains_everything() {
+        let mut rib = AdjRibIn::new();
+        rib.install(route("1.0.0.0/8", 1, 100));
+        rib.install(route("2.0.0.0/8", 1, 100));
+        let drained = rib.clear();
+        assert_eq!(drained.len(), 2);
+        assert!(rib.is_empty());
+    }
+
+    #[test]
+    fn loc_rib_first_route_is_new_best() {
+        let mut rib = LocRib::new();
+        let r = route("1.0.0.0/8", 1, 100);
+        assert_eq!(rib.install(r.clone()), BestChange::NewBest(r));
+        assert_eq!(rib.len(), 1);
+    }
+
+    #[test]
+    fn loc_rib_better_route_takes_over() {
+        let mut rib = LocRib::new();
+        rib.install(route("1.0.0.0/8", 1, 100));
+        let better = route("1.0.0.0/8", 2, 900);
+        assert_eq!(rib.install(better.clone()), BestChange::NewBest(better));
+        // A worse newcomer does not change best.
+        assert_eq!(
+            rib.install(route("1.0.0.0/8", 3, 50)),
+            BestChange::Unchanged
+        );
+        assert_eq!(rib.candidates(&p("1.0.0.0/8")).len(), 3);
+    }
+
+    #[test]
+    fn loc_rib_replacement_from_same_peer_does_not_duplicate() {
+        let mut rib = LocRib::new();
+        rib.install(route("1.0.0.0/8", 1, 100));
+        rib.install(route("1.0.0.0/8", 1, 150));
+        assert_eq!(rib.candidates(&p("1.0.0.0/8")).len(), 1);
+        assert_eq!(
+            rib.best(&p("1.0.0.0/8")).unwrap().attrs.local_pref,
+            Some(150)
+        );
+    }
+
+    #[test]
+    fn loc_rib_withdraw_best_promotes_runner_up() {
+        let mut rib = LocRib::new();
+        rib.install(route("1.0.0.0/8", 1, 900));
+        rib.install(route("1.0.0.0/8", 2, 100));
+        match rib.withdraw(&p("1.0.0.0/8"), PeerId(1)) {
+            BestChange::NewBest(r) => assert_eq!(r.source.peer, PeerId(2)),
+            other => panic!("expected NewBest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loc_rib_withdraw_non_best_is_unchanged() {
+        let mut rib = LocRib::new();
+        rib.install(route("1.0.0.0/8", 1, 900));
+        rib.install(route("1.0.0.0/8", 2, 100));
+        assert_eq!(
+            rib.withdraw(&p("1.0.0.0/8"), PeerId(2)),
+            BestChange::Unchanged
+        );
+    }
+
+    #[test]
+    fn loc_rib_last_withdraw_is_unreachable() {
+        let mut rib = LocRib::new();
+        rib.install(route("1.0.0.0/8", 1, 100));
+        assert_eq!(
+            rib.withdraw(&p("1.0.0.0/8"), PeerId(1)),
+            BestChange::Unreachable
+        );
+        assert!(rib.is_empty());
+        // Withdrawing again is a no-op.
+        assert_eq!(
+            rib.withdraw(&p("1.0.0.0/8"), PeerId(1)),
+            BestChange::Unchanged
+        );
+    }
+
+    #[test]
+    fn loc_rib_withdraw_peer_sweeps_all_prefixes() {
+        let mut rib = LocRib::new();
+        rib.install(route("1.0.0.0/8", 1, 900));
+        rib.install(route("2.0.0.0/8", 1, 900));
+        rib.install(route("2.0.0.0/8", 2, 100));
+        let changes = rib.withdraw_peer(PeerId(1));
+        assert_eq!(changes.len(), 2);
+        assert!(changes.iter().any(|(pfx, c)| *pfx == p("1.0.0.0/8")
+            && *c == BestChange::Unreachable));
+        assert!(changes
+            .iter()
+            .any(|(pfx, c)| *pfx == p("2.0.0.0/8") && matches!(c, BestChange::NewBest(_))));
+    }
+
+    #[test]
+    fn ranked_returns_decision_order() {
+        let mut rib = LocRib::new();
+        rib.install(route("1.0.0.0/8", 1, 100));
+        rib.install(route("1.0.0.0/8", 2, 900));
+        rib.install(route("1.0.0.0/8", 3, 500));
+        let ranked = rib.ranked(&p("1.0.0.0/8"));
+        let peers: Vec<u64> = ranked.iter().map(|r| r.source.peer.0).collect();
+        assert_eq!(peers, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn iter_best_covers_all_prefixes() {
+        let mut rib = LocRib::new();
+        rib.install(route("1.0.0.0/8", 1, 100));
+        rib.install(route("2.0.0.0/8", 2, 100));
+        let mut prefixes: Vec<Prefix> = rib.iter_best().map(|(p, _)| *p).collect();
+        prefixes.sort();
+        assert_eq!(prefixes, vec![p("1.0.0.0/8"), p("2.0.0.0/8")]);
+    }
+}

@@ -1,0 +1,948 @@
+//! A peering router (PR): BGP sessions in, import policy, RIBs, decision
+//! process, FIB out — plus the BMP feed the Edge Fabric controller taps.
+//!
+//! This is the device the controller manipulates. It has no knowledge of
+//! Edge Fabric beyond one extra BGP session (the controller pseudo-peer)
+//! whose routes carry a next hop encoding the target egress interface and a
+//! `LOCAL_PREF` high enough to win the decision process — exactly the
+//! injection mechanism of paper §4.3.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use bytes::Bytes;
+
+use ef_net_types::{Asn, Prefix, PrefixTrie};
+
+use crate::bmp::{BmpMessage, BmpPeerHeader};
+use crate::message::UpdateMessage;
+use crate::peer::{PeerId, PeerKind};
+use crate::policy::{Policy, PolicyVerdict};
+use crate::rib::{AdjRibIn, BestChange, LocRib};
+use crate::route::{EgressId, Route, RouteSource};
+use crate::session::{Millis, Session, SessionConfig, SessionEvent};
+
+/// Static identity of a router.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Human-readable name, e.g. `"pop3-pr1"`; also the BMP sysName.
+    pub name: String,
+    /// Local ASN (the content provider's).
+    pub asn: Asn,
+    /// BGP router ID.
+    pub router_id: Ipv4Addr,
+}
+
+/// How a peer is attached to this router.
+#[derive(Debug, Clone)]
+pub struct PeerAttachment {
+    /// Global peer identity.
+    pub peer: PeerId,
+    /// Peer's ASN.
+    pub peer_asn: Asn,
+    /// Interconnect kind (drives default policy and reporting).
+    pub kind: PeerKind,
+    /// The egress interface routes from this peer forward onto.
+    pub egress: EgressId,
+    /// Import policy applied to this peer's announcements.
+    pub policy: Policy,
+    /// Maximum accepted prefixes from this peer (0 = unlimited). Exceeding
+    /// the limit tears the session down with a Cease notification, the
+    /// standard max-prefix protection against leaks and fat-finger
+    /// announcements.
+    pub max_prefixes: usize,
+}
+
+/// A forwarding entry: where packets for a prefix leave the router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FibEntry {
+    /// Egress interface.
+    pub egress: EgressId,
+    /// The peer whose route won (for attribution in reports).
+    pub peer: PeerId,
+    /// True when the winning route was a controller override.
+    pub is_override: bool,
+}
+
+struct PeerState {
+    attach: PeerAttachment,
+    session: Session,
+    adj_in: AdjRibIn,
+    up: bool,
+}
+
+/// A BGP peering router.
+pub struct BgpRouter {
+    cfg: RouterConfig,
+    peers: HashMap<PeerId, PeerState>,
+    loc_rib: LocRib,
+    fib: PrefixTrie<FibEntry>,
+    bmp_queue: Vec<BmpMessage>,
+    /// Locally originated prefixes (the content provider's own nets),
+    /// exported to every real peer with the local ASN prepended.
+    local_origins: Vec<Prefix>,
+}
+
+impl BgpRouter {
+    /// Creates a router with no peers. Emits a BMP Initiation so any
+    /// monitoring station knows the feed (re)started.
+    pub fn new(cfg: RouterConfig) -> Self {
+        let bmp_queue = vec![BmpMessage::Initiation {
+            sys_name: cfg.name.clone(),
+        }];
+        BgpRouter {
+            cfg,
+            peers: HashMap::new(),
+            loc_rib: LocRib::new(),
+            fib: PrefixTrie::new(),
+            bmp_queue,
+            local_origins: Vec::new(),
+        }
+    }
+
+    /// Attributes this router exports with its own prefixes: origin IGP,
+    /// the local ASN as the path (eBGP prepend), a synthetic next hop.
+    fn export_attrs(&self) -> crate::attrs::PathAttributes {
+        crate::attrs::PathAttributes {
+            origin: crate::attrs::Origin::Igp,
+            as_path: crate::attrs::AsPath::sequence([self.cfg.asn]),
+            next_hop: Some(self.cfg.router_id),
+            ..Default::default()
+        }
+    }
+
+    /// Originates a locally owned prefix: it is announced immediately to
+    /// every established real peer (not the controller pseudo-peer) and to
+    /// every peer that comes up later. This is the provider's own address
+    /// space — what the eyeball networks route *toward*.
+    pub fn originate(&mut self, prefix: Prefix) {
+        if self.local_origins.contains(&prefix) {
+            return;
+        }
+        self.local_origins.push(prefix);
+        let attrs = self.export_attrs();
+        for state in self.peers.values_mut() {
+            if state.up && state.attach.kind != PeerKind::Controller {
+                let _ = state
+                    .session
+                    .send_update(UpdateMessage::announce(prefix, attrs.clone()));
+            }
+        }
+    }
+
+    /// Withdraws a locally originated prefix from every peer.
+    pub fn withdraw_origin(&mut self, prefix: Prefix) {
+        if let Some(pos) = self.local_origins.iter().position(|p| *p == prefix) {
+            self.local_origins.remove(pos);
+            for state in self.peers.values_mut() {
+                if state.up && state.attach.kind != PeerKind::Controller {
+                    let _ = state.session.send_update(UpdateMessage::withdraw([prefix]));
+                }
+            }
+        }
+    }
+
+    /// The locally originated prefixes.
+    pub fn local_origins(&self) -> &[Prefix] {
+        &self.local_origins
+    }
+
+    /// Router name.
+    pub fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    /// Local ASN.
+    pub fn asn(&self) -> Asn {
+        self.cfg.asn
+    }
+
+    /// Attaches a peer and starts its session (local side). The remote side
+    /// must drive the handshake by exchanging bytes via
+    /// [`deliver`](Self::deliver) / [`collect_outbox`](Self::collect_outbox),
+    /// or use [`PeerStub::pump`].
+    pub fn add_peer(&mut self, attach: PeerAttachment) {
+        let mut session = Session::new(SessionConfig::new(self.cfg.asn, self.cfg.router_id));
+        session.start();
+        session.transport_connected(0);
+        self.peers.insert(
+            attach.peer,
+            PeerState {
+                attach,
+                session,
+                adj_in: AdjRibIn::new(),
+                up: false,
+            },
+        );
+    }
+
+    /// Removes a peer entirely (deprovisioning), flushing its routes.
+    pub fn remove_peer(&mut self, peer: PeerId, now: Millis) {
+        if let Some(mut state) = self.peers.remove(&peer) {
+            state.adj_in.clear();
+            self.flush_peer_routes(peer, &state.attach, now, 2);
+        }
+    }
+
+    /// True if the session with `peer` is established.
+    pub fn peer_up(&self, peer: PeerId) -> bool {
+        self.peers.get(&peer).map(|p| p.up).unwrap_or(false)
+    }
+
+    /// The attachment metadata for a peer.
+    pub fn attachment(&self, peer: PeerId) -> Option<&PeerAttachment> {
+        self.peers.get(&peer).map(|p| &p.attach)
+    }
+
+    /// Peers attached to this router.
+    pub fn peer_ids(&self) -> Vec<PeerId> {
+        let mut v: Vec<PeerId> = self.peers.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Feeds bytes arriving from `peer`'s remote endpoint.
+    pub fn deliver(&mut self, peer: PeerId, bytes: &[u8], now: Millis) {
+        let Some(state) = self.peers.get_mut(&peer) else {
+            return;
+        };
+        let events = state.session.receive_bytes(bytes, now);
+        self.process_events(peer, events, now);
+    }
+
+    /// Drains bytes this router wants to send to `peer`'s remote endpoint.
+    pub fn collect_outbox(&mut self, peer: PeerId) -> Vec<Bytes> {
+        self.peers
+            .get_mut(&peer)
+            .map(|p| p.session.take_outbox())
+            .unwrap_or_default()
+    }
+
+    /// Advances session timers for every peer.
+    pub fn tick(&mut self, now: Millis) {
+        let ids: Vec<PeerId> = self.peers.keys().copied().collect();
+        for peer in ids {
+            let events = match self.peers.get_mut(&peer) {
+                Some(state) => state.session.tick(now),
+                None => continue,
+            };
+            self.process_events(peer, events, now);
+        }
+    }
+
+    fn process_events(&mut self, peer: PeerId, events: Vec<SessionEvent>, now: Millis) {
+        for ev in events {
+            match ev {
+                SessionEvent::Up(open) => {
+                    let export = self.export_attrs();
+                    let origins = self.local_origins.clone();
+                    if let Some(state) = self.peers.get_mut(&peer) {
+                        state.up = true;
+                        self.bmp_queue.push(BmpMessage::PeerUp(BmpPeerHeader {
+                            peer,
+                            peer_asn: open.asn,
+                            peer_bgp_id: open.router_id,
+                            timestamp_ms: now,
+                        }));
+                        // Export the provider's own prefixes to real peers.
+                        if state.attach.kind != PeerKind::Controller {
+                            for prefix in origins {
+                                let _ = state
+                                    .session
+                                    .send_update(UpdateMessage::announce(prefix, export.clone()));
+                            }
+                        }
+                    }
+                }
+                SessionEvent::Down(_) => {
+                    if let Some(state) = self.peers.get_mut(&peer) {
+                        state.up = false;
+                        state.adj_in.clear();
+                        let attach = state.attach.clone();
+                        self.flush_peer_routes(peer, &attach, now, 1);
+                    }
+                }
+                SessionEvent::Update(update) => self.apply_update(peer, update, now),
+            }
+        }
+    }
+
+    fn flush_peer_routes(&mut self, peer: PeerId, attach: &PeerAttachment, now: Millis, reason: u8) {
+        let changes = self.loc_rib.withdraw_peer(peer);
+        for (prefix, change) in changes {
+            Self::apply_best_change(&mut self.fib, prefix, change);
+        }
+        self.bmp_queue.push(BmpMessage::PeerDown {
+            peer: BmpPeerHeader {
+                peer,
+                peer_asn: attach.peer_asn,
+                peer_bgp_id: self.cfg.router_id,
+                timestamp_ms: now,
+            },
+            reason,
+        });
+    }
+
+    /// Applies an UPDATE from `peer`: import policy, RIBs, FIB, BMP.
+    fn apply_update(&mut self, peer: PeerId, update: UpdateMessage, now: Millis) {
+        let Some(state) = self.peers.get_mut(&peer) else {
+            return;
+        };
+        let attach = state.attach.clone();
+        let source = RouteSource {
+            peer,
+            peer_asn: attach.peer_asn,
+            kind: attach.kind,
+        };
+
+        let mut accepted: Vec<(Prefix, crate::attrs::PathAttributes)> = Vec::new();
+        let mut effective_withdrawals: Vec<Prefix> = update.withdrawn.clone();
+
+        for prefix in &update.announced {
+            let mut attrs = update.attrs.clone();
+            match attach.policy.apply(prefix, &mut attrs, &source) {
+                PolicyVerdict::Accept => {
+                    // Controller routes name their egress via the synthetic
+                    // next hop; organic routes use the attachment's egress.
+                    let egress = if attach.kind == PeerKind::Controller {
+                        attrs
+                            .next_hop
+                            .and_then(EgressId::from_next_hop)
+                            .unwrap_or(attach.egress)
+                    } else {
+                        attach.egress
+                    };
+                    let route = Route {
+                        prefix: *prefix,
+                        attrs: attrs.clone(),
+                        source,
+                        egress,
+                    };
+                    state.adj_in.install(route.clone());
+                    accepted.push((*prefix, attrs));
+                    let change = self.loc_rib.install(route);
+                    Self::apply_best_change(&mut self.fib, *prefix, change);
+                }
+                PolicyVerdict::Reject => {
+                    // A re-announcement that now fails policy removes any
+                    // previously accepted route (treat as withdraw).
+                    if state.adj_in.withdraw(prefix).is_some() {
+                        effective_withdrawals.push(*prefix);
+                        let change = self.loc_rib.withdraw(prefix, peer);
+                        Self::apply_best_change(&mut self.fib, *prefix, change);
+                    }
+                }
+            }
+        }
+
+        for prefix in &update.withdrawn {
+            if let Some(state) = self.peers.get_mut(&peer) {
+                state.adj_in.withdraw(prefix);
+            }
+            let change = self.loc_rib.withdraw(prefix, peer);
+            Self::apply_best_change(&mut self.fib, *prefix, change);
+        }
+
+        // Max-prefix protection: a peer exceeding its limit is cut off.
+        if let Some(state) = self.peers.get_mut(&peer) {
+            if attach.max_prefixes > 0 && state.adj_in.len() > attach.max_prefixes {
+                let _ = state.session.stop();
+                state.up = false;
+                state.adj_in.clear();
+                let attach = state.attach.clone();
+                self.flush_peer_routes(peer, &attach, now, 3);
+                return;
+            }
+        }
+
+        // Mirror the post-policy view onto the BMP feed. Announcements that
+        // shared attributes on the wire may have diverged post-policy, so
+        // group by rewritten attribute set.
+        let header = BmpPeerHeader {
+            peer,
+            peer_asn: attach.peer_asn,
+            peer_bgp_id: self.cfg.router_id,
+            timestamp_ms: now,
+        };
+        if !effective_withdrawals.is_empty() {
+            self.bmp_queue.push(BmpMessage::RouteMonitoring {
+                peer: header,
+                update: UpdateMessage::withdraw(effective_withdrawals),
+            });
+        }
+        let mut grouped: Vec<(crate::attrs::PathAttributes, Vec<Prefix>)> = Vec::new();
+        for (prefix, attrs) in accepted {
+            match grouped.iter_mut().find(|(a, _)| *a == attrs) {
+                Some((_, list)) => list.push(prefix),
+                None => grouped.push((attrs, vec![prefix])),
+            }
+        }
+        for (attrs, announced) in grouped {
+            self.bmp_queue.push(BmpMessage::RouteMonitoring {
+                peer: header,
+                update: UpdateMessage {
+                    withdrawn: Vec::new(),
+                    attrs,
+                    announced,
+                },
+            });
+        }
+    }
+
+    fn apply_best_change(fib: &mut PrefixTrie<FibEntry>, prefix: Prefix, change: BestChange) {
+        match change {
+            BestChange::Unchanged => {}
+            BestChange::NewBest(route) => {
+                fib.insert(
+                    prefix,
+                    FibEntry {
+                        egress: route.egress,
+                        peer: route.source.peer,
+                        is_override: route.is_override(),
+                    },
+                );
+            }
+            BestChange::Unreachable => {
+                fib.remove(&prefix);
+            }
+        }
+    }
+
+    /// Longest-prefix-match forwarding lookup.
+    pub fn fib_lookup(&self, key: Prefix) -> Option<(Prefix, &FibEntry)> {
+        self.fib.longest_match(key)
+    }
+
+    /// The exact FIB entry for a prefix, if installed.
+    pub fn fib_entry(&self, prefix: &Prefix) -> Option<&FibEntry> {
+        self.fib.get(prefix)
+    }
+
+    /// Number of prefixes in the FIB.
+    pub fn fib_len(&self) -> usize {
+        self.fib.len()
+    }
+
+    /// The router's full view of candidates for a prefix (all peers).
+    pub fn candidates(&self, prefix: &Prefix) -> &[Route] {
+        self.loc_rib.candidates(prefix)
+    }
+
+    /// Candidates ranked best-first.
+    pub fn ranked(&self, prefix: &Prefix) -> Vec<&Route> {
+        self.loc_rib.ranked(prefix)
+    }
+
+    /// The decision winner for a prefix.
+    pub fn best(&self, prefix: &Prefix) -> Option<&Route> {
+        self.loc_rib.best(prefix)
+    }
+
+    /// Iterates `(prefix, best)` over the whole Loc-RIB.
+    pub fn iter_best(&self) -> impl Iterator<Item = (&Prefix, &Route)> {
+        self.loc_rib.iter_best()
+    }
+
+    /// Iterates `(prefix, all candidates)`.
+    pub fn iter_candidates(&self) -> impl Iterator<Item = (&Prefix, &[Route])> {
+        self.loc_rib.iter()
+    }
+
+    /// Drains queued BMP messages (the monitoring feed).
+    pub fn drain_bmp(&mut self) -> Vec<BmpMessage> {
+        std::mem::take(&mut self.bmp_queue)
+    }
+
+    /// Produces the initial-state dump a freshly connected BMP station
+    /// receives (RFC 7854 §3.3): Initiation, a PeerUp per established
+    /// peer, and RouteMonitoring for every route currently in each
+    /// Adj-RIB-In. A restarted Edge Fabric controller resynchronizes its
+    /// collector from exactly this snapshot.
+    pub fn bmp_snapshot(&self, now: Millis) -> Vec<BmpMessage> {
+        let mut out = vec![BmpMessage::Initiation {
+            sys_name: self.cfg.name.clone(),
+        }];
+        let mut peers: Vec<&PeerState> = self.peers.values().collect();
+        peers.sort_by_key(|p| p.attach.peer);
+        for state in peers {
+            if !state.up {
+                continue;
+            }
+            let header = BmpPeerHeader {
+                peer: state.attach.peer,
+                peer_asn: state.attach.peer_asn,
+                peer_bgp_id: self.cfg.router_id,
+                timestamp_ms: now,
+            };
+            out.push(BmpMessage::PeerUp(header));
+            let mut routes: Vec<&Route> = state.adj_in.iter().collect();
+            routes.sort_by_key(|r| r.prefix);
+            for route in routes {
+                out.push(BmpMessage::RouteMonitoring {
+                    peer: header,
+                    update: UpdateMessage {
+                        withdrawn: Vec::new(),
+                        attrs: route.attrs.clone(),
+                        announced: vec![route.prefix],
+                    },
+                });
+            }
+        }
+        out
+    }
+}
+
+/// A minimal remote BGP speaker: holds one session toward a router and
+/// announces a configured route set. The topology uses one stub per peer
+/// interconnect; the Edge Fabric injector uses the same machinery for the
+/// controller pseudo-peer.
+pub struct PeerStub {
+    /// Identity this stub registers as on the router.
+    pub peer: PeerId,
+    session: Session,
+    /// UPDATEs the router sent this peer (its export view of us).
+    received: Vec<UpdateMessage>,
+}
+
+impl PeerStub {
+    /// Creates the stub's session (not yet connected).
+    pub fn new(peer: PeerId, asn: Asn, router_id: Ipv4Addr) -> Self {
+        let mut session = Session::new(SessionConfig::new(asn, router_id));
+        session.start();
+        session.transport_connected(0);
+        PeerStub {
+            peer,
+            session,
+            received: Vec::new(),
+        }
+    }
+
+    /// Announcements/withdrawals the router has exported to this peer.
+    pub fn received_updates(&self) -> &[UpdateMessage] {
+        &self.received
+    }
+
+    /// True once the session is established.
+    pub fn is_established(&self) -> bool {
+        self.session.is_established()
+    }
+
+    /// Runs the handshake / delivers pending data both ways until quiescent.
+    pub fn pump(&mut self, router: &mut BgpRouter, now: Millis) {
+        for _ in 0..8 {
+            let to_router = self.session.take_outbox();
+            let mut moved = !to_router.is_empty();
+            for bytes in to_router {
+                router.deliver(self.peer, &bytes, now);
+            }
+            let to_stub = router.collect_outbox(self.peer);
+            moved |= !to_stub.is_empty();
+            for bytes in to_stub {
+                for event in self.session.receive_bytes(&bytes, now) {
+                    if let crate::session::SessionEvent::Update(update) = event {
+                        self.received.push(update);
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    /// Announces a prefix with the given attributes and pumps.
+    pub fn announce(
+        &mut self,
+        router: &mut BgpRouter,
+        prefix: Prefix,
+        attrs: crate::attrs::PathAttributes,
+        now: Millis,
+    ) {
+        let mut attrs = attrs;
+        if attrs.next_hop.is_none() && prefix.is_v4() {
+            // Any next hop satisfies the wire requirement; organic peers'
+            // egress is fixed by the attachment anyway.
+            attrs.next_hop = Some(Ipv4Addr::new(192, 0, 2, 1));
+        }
+        self.session
+            .send_update(UpdateMessage::announce(prefix, attrs))
+            .expect("announce encodes");
+        self.pump(router, now);
+    }
+
+    /// Withdraws prefixes and pumps.
+    pub fn withdraw(
+        &mut self,
+        router: &mut BgpRouter,
+        prefixes: impl IntoIterator<Item = Prefix>,
+        now: Millis,
+    ) {
+        self.session
+            .send_update(UpdateMessage::withdraw(prefixes))
+            .expect("withdraw encodes");
+        self.pump(router, now);
+    }
+
+    /// Sends a raw UPDATE (used by the override injector) and pumps.
+    pub fn send_update(&mut self, router: &mut BgpRouter, update: UpdateMessage, now: Millis) {
+        self.session.send_update(update).expect("update encodes");
+        self.pump(router, now);
+    }
+
+    /// Tears the session down administratively and pumps the NOTIFICATION.
+    pub fn shutdown(&mut self, router: &mut BgpRouter, now: Millis) {
+        let _ = self.session.stop();
+        self.pump(router, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{AsPath, PathAttributes};
+
+    const LOCAL_AS: Asn = Asn(32934);
+
+    fn router() -> BgpRouter {
+        BgpRouter::new(RouterConfig {
+            name: "pop1-pr1".into(),
+            asn: LOCAL_AS,
+            router_id: Ipv4Addr::new(10, 0, 0, 1),
+        })
+    }
+
+    fn attach(peer: u64, asn: u32, kind: PeerKind, egress: u32) -> PeerAttachment {
+        PeerAttachment {
+            peer: PeerId(peer),
+            peer_asn: Asn(asn),
+            kind,
+            egress: EgressId(egress),
+            policy: Policy::default_import(LOCAL_AS, kind),
+            max_prefixes: 0,
+        }
+    }
+
+    fn stub(peer: u64, asn: u32) -> PeerStub {
+        PeerStub::new(PeerId(peer), Asn(asn), Ipv4Addr::new(10, 9, (peer & 0xff) as u8, 1))
+    }
+
+    fn attrs(path: &[u32]) -> PathAttributes {
+        PathAttributes {
+            as_path: AsPath::sequence(path.iter().map(|a| Asn(*a))),
+            ..Default::default()
+        }
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn wire_peer(r: &mut BgpRouter, peer: u64, asn: u32, kind: PeerKind, egress: u32) -> PeerStub {
+        r.add_peer(attach(peer, asn, kind, egress));
+        let mut s = stub(peer, asn);
+        s.pump(r, 0);
+        assert!(s.is_established(), "handshake completed");
+        assert!(r.peer_up(PeerId(peer)));
+        s
+    }
+
+    #[test]
+    fn peer_establishes_and_announces() {
+        let mut r = router();
+        let mut s = wire_peer(&mut r, 1, 65001, PeerKind::PrivatePeer, 11);
+        s.announce(&mut r, p("203.0.113.0/24"), attrs(&[65001]), 1);
+        let best = r.best(&p("203.0.113.0/24")).unwrap();
+        assert_eq!(best.source.peer, PeerId(1));
+        assert_eq!(best.egress, EgressId(11));
+        assert_eq!(
+            best.attrs.local_pref,
+            Some(PeerKind::PrivatePeer.default_local_pref()),
+            "import policy applied"
+        );
+        let fib = r.fib_entry(&p("203.0.113.0/24")).unwrap();
+        assert_eq!(fib.egress, EgressId(11));
+        assert!(!fib.is_override);
+    }
+
+    #[test]
+    fn decision_prefers_peer_over_transit() {
+        let mut r = router();
+        let mut transit = wire_peer(&mut r, 1, 65010, PeerKind::Transit, 10);
+        let mut peer = wire_peer(&mut r, 2, 65001, PeerKind::PublicPeer, 20);
+        // Transit path is shorter, but the tiered policy prefers the peer.
+        transit.announce(&mut r, p("203.0.113.0/24"), attrs(&[65010]), 1);
+        peer.announce(&mut r, p("203.0.113.0/24"), attrs(&[65001, 64999]), 1);
+        assert_eq!(r.fib_entry(&p("203.0.113.0/24")).unwrap().egress, EgressId(20));
+        assert_eq!(r.candidates(&p("203.0.113.0/24")).len(), 2);
+    }
+
+    #[test]
+    fn withdraw_falls_back_to_next_best() {
+        let mut r = router();
+        let mut transit = wire_peer(&mut r, 1, 65010, PeerKind::Transit, 10);
+        let mut peer = wire_peer(&mut r, 2, 65001, PeerKind::PrivatePeer, 20);
+        transit.announce(&mut r, p("203.0.113.0/24"), attrs(&[65010]), 1);
+        peer.announce(&mut r, p("203.0.113.0/24"), attrs(&[65001]), 1);
+        assert_eq!(r.fib_entry(&p("203.0.113.0/24")).unwrap().egress, EgressId(20));
+        peer.withdraw(&mut r, [p("203.0.113.0/24")], 2);
+        assert_eq!(r.fib_entry(&p("203.0.113.0/24")).unwrap().egress, EgressId(10));
+    }
+
+    #[test]
+    fn session_shutdown_flushes_routes() {
+        let mut r = router();
+        let mut peer = wire_peer(&mut r, 2, 65001, PeerKind::PrivatePeer, 20);
+        peer.announce(&mut r, p("203.0.113.0/24"), attrs(&[65001]), 1);
+        assert_eq!(r.fib_len(), 1);
+        peer.shutdown(&mut r, 2);
+        assert!(!r.peer_up(PeerId(2)));
+        assert_eq!(r.fib_len(), 0);
+        assert!(r.best(&p("203.0.113.0/24")).is_none());
+    }
+
+    #[test]
+    fn policy_rejection_keeps_rib_clean() {
+        let mut r = router();
+        let mut peer = wire_peer(&mut r, 1, 65001, PeerKind::PublicPeer, 10);
+        // /25 is over-specific under the default policy.
+        peer.announce(&mut r, p("203.0.113.0/25"), attrs(&[65001]), 1);
+        assert!(r.best(&p("203.0.113.0/25")).is_none());
+        assert_eq!(r.fib_len(), 0);
+    }
+
+    #[test]
+    fn as_loop_is_rejected() {
+        let mut r = router();
+        let mut peer = wire_peer(&mut r, 1, 65001, PeerKind::Transit, 10);
+        peer.announce(&mut r, p("203.0.113.0/24"), attrs(&[65001, LOCAL_AS.0]), 1);
+        assert!(r.best(&p("203.0.113.0/24")).is_none());
+    }
+
+    #[test]
+    fn controller_override_steers_fib_and_reverts() {
+        let mut r = router();
+        let mut organic = wire_peer(&mut r, 1, 65001, PeerKind::PrivatePeer, 11);
+        let mut transit = wire_peer(&mut r, 2, 65010, PeerKind::Transit, 12);
+        organic.announce(&mut r, p("203.0.113.0/24"), attrs(&[65001]), 1);
+        transit.announce(&mut r, p("203.0.113.0/24"), attrs(&[65010]), 1);
+        assert_eq!(r.fib_entry(&p("203.0.113.0/24")).unwrap().egress, EgressId(11));
+
+        // Controller pseudo-peer with a marker-checking policy.
+        let marker = ef_net_types::Community::new(32934, 999);
+        r.add_peer(PeerAttachment {
+            peer: PeerId(100),
+            peer_asn: LOCAL_AS,
+            kind: PeerKind::Controller,
+            egress: EgressId(0),
+            policy: Policy::controller_import(marker),
+            max_prefixes: 0,
+        });
+        let mut ctrl = stub(100, LOCAL_AS.0);
+        ctrl.pump(&mut r, 2);
+        assert!(r.peer_up(PeerId(100)));
+
+        // Inject an override steering the prefix to the transit interface.
+        let mut oattrs = PathAttributes {
+            next_hop: Some(EgressId(12).to_next_hop()),
+            ..Default::default()
+        };
+        oattrs.add_community(marker);
+        ctrl.announce(&mut r, p("203.0.113.0/24"), oattrs, 3);
+
+        let fib = r.fib_entry(&p("203.0.113.0/24")).unwrap();
+        assert_eq!(fib.egress, EgressId(12), "override steered the FIB");
+        assert!(fib.is_override);
+
+        // Withdrawal reverts to the organic best.
+        ctrl.withdraw(&mut r, [p("203.0.113.0/24")], 4);
+        let fib = r.fib_entry(&p("203.0.113.0/24")).unwrap();
+        assert_eq!(fib.egress, EgressId(11));
+        assert!(!fib.is_override);
+    }
+
+    #[test]
+    fn unmarked_controller_route_is_rejected() {
+        let mut r = router();
+        let marker = ef_net_types::Community::new(32934, 999);
+        r.add_peer(PeerAttachment {
+            peer: PeerId(100),
+            peer_asn: LOCAL_AS,
+            kind: PeerKind::Controller,
+            egress: EgressId(0),
+            policy: Policy::controller_import(marker),
+            max_prefixes: 0,
+        });
+        let mut ctrl = stub(100, LOCAL_AS.0);
+        ctrl.pump(&mut r, 0);
+        ctrl.announce(
+            &mut r,
+            p("203.0.113.0/24"),
+            PathAttributes {
+                next_hop: Some(EgressId(5).to_next_hop()),
+                ..Default::default()
+            },
+            1,
+        );
+        assert!(r.best(&p("203.0.113.0/24")).is_none());
+    }
+
+    #[test]
+    fn bmp_feed_reports_lifecycle() {
+        let mut r = router();
+        let mut peer = wire_peer(&mut r, 1, 65001, PeerKind::PrivatePeer, 11);
+        peer.announce(&mut r, p("203.0.113.0/24"), attrs(&[65001]), 5);
+        peer.withdraw(&mut r, [p("203.0.113.0/24")], 6);
+        peer.shutdown(&mut r, 7);
+
+        let feed = r.drain_bmp();
+        let kinds: Vec<u8> = feed.iter().map(|m| m.type_code()).collect();
+        // Initiation(4), PeerUp(3), RouteMonitoring announce(0),
+        // RouteMonitoring withdraw(0), PeerDown(2).
+        assert_eq!(kinds, vec![4, 3, 0, 0, 2]);
+
+        // The announce message carries post-policy attributes.
+        match &feed[2] {
+            BmpMessage::RouteMonitoring { update, .. } => {
+                assert_eq!(
+                    update.attrs.local_pref,
+                    Some(PeerKind::PrivatePeer.default_local_pref())
+                );
+                assert!(update
+                    .attrs
+                    .has_community(PeerKind::PrivatePeer.tag_community()));
+            }
+            other => panic!("expected RouteMonitoring, got {other:?}"),
+        }
+        // Draining again yields nothing.
+        assert!(r.drain_bmp().is_empty());
+    }
+
+    #[test]
+    fn fib_longest_match() {
+        let mut r = router();
+        let mut peer = wire_peer(&mut r, 1, 65001, PeerKind::Transit, 11);
+        peer.announce(&mut r, p("10.0.0.0/8"), attrs(&[65001]), 1);
+        peer.announce(&mut r, p("10.1.0.0/16"), attrs(&[65001, 65002]), 1);
+        let (matched, _) = r.fib_lookup(p("10.1.2.0/24")).unwrap();
+        assert_eq!(matched, p("10.1.0.0/16"));
+        let (matched, _) = r.fib_lookup(p("10.2.0.0/24")).unwrap();
+        assert_eq!(matched, p("10.0.0.0/8"));
+    }
+
+    #[test]
+    fn origination_exports_to_existing_and_future_peers() {
+        let mut r = router();
+        let mut early = wire_peer(&mut r, 1, 65001, PeerKind::PrivatePeer, 11);
+        // Originate after the first peer is up: it gets it immediately.
+        r.originate(p("157.240.0.0/17"));
+        early.pump(&mut r, 1);
+        let got = early.received_updates();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].announced, vec![p("157.240.0.0/17")]);
+        assert_eq!(got[0].attrs.as_path.neighbor_as(), Some(LOCAL_AS));
+        assert_eq!(got[0].attrs.origin, crate::attrs::Origin::Igp);
+
+        // A peer that comes up later receives the export at session-up.
+        let late = wire_peer(&mut r, 2, 65002, PeerKind::PublicPeer, 12);
+        let got = late.received_updates();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].announced, vec![p("157.240.0.0/17")]);
+
+        // Idempotent: re-originating the same prefix sends nothing new.
+        let mut early2 = early;
+        r.originate(p("157.240.0.0/17"));
+        early2.pump(&mut r, 2);
+        assert_eq!(early2.received_updates().len(), 1);
+    }
+
+    #[test]
+    fn withdraw_origin_notifies_peers() {
+        let mut r = router();
+        let mut peer = wire_peer(&mut r, 1, 65001, PeerKind::PrivatePeer, 11);
+        r.originate(p("157.240.0.0/17"));
+        r.withdraw_origin(p("157.240.0.0/17"));
+        peer.pump(&mut r, 1);
+        let got = peer.received_updates();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].withdrawn, vec![p("157.240.0.0/17")]);
+        assert!(r.local_origins().is_empty());
+    }
+
+    #[test]
+    fn controller_pseudo_peer_receives_no_exports() {
+        let mut r = router();
+        r.add_peer(PeerAttachment {
+            peer: PeerId(100),
+            peer_asn: LOCAL_AS,
+            kind: PeerKind::Controller,
+            egress: EgressId(0),
+            policy: Policy::controller_import(ef_net_types::Community::new(32934, 999)),
+            max_prefixes: 0,
+        });
+        let mut ctrl = stub(100, LOCAL_AS.0);
+        ctrl.pump(&mut r, 0);
+        r.originate(p("157.240.0.0/17"));
+        ctrl.pump(&mut r, 1);
+        assert!(ctrl.received_updates().is_empty());
+    }
+
+    #[test]
+    fn max_prefix_limit_tears_session_down() {
+        let mut r = router();
+        r.add_peer(PeerAttachment {
+            peer: PeerId(1),
+            peer_asn: Asn(65001),
+            kind: PeerKind::PublicPeer,
+            egress: EgressId(10),
+            policy: Policy::default_import(LOCAL_AS, PeerKind::PublicPeer),
+            max_prefixes: 3,
+        });
+        let mut s = stub(1, 65001);
+        s.pump(&mut r, 0);
+        for i in 0..3 {
+            s.announce(&mut r, p(&format!("50.0.{i}.0/24")), attrs(&[65001]), 1);
+        }
+        assert!(r.peer_up(PeerId(1)));
+        assert_eq!(r.fib_len(), 3);
+        // The fourth prefix breaches the limit: session reset, routes flushed.
+        s.announce(&mut r, p("50.0.3.0/24"), attrs(&[65001]), 2);
+        assert!(!r.peer_up(PeerId(1)), "session torn down");
+        assert_eq!(r.fib_len(), 0, "all routes flushed");
+        // BMP reports the PeerDown with the max-prefix reason code.
+        let feed = r.drain_bmp();
+        assert!(feed.iter().any(|m| matches!(
+            m,
+            BmpMessage::PeerDown { reason: 3, .. }
+        )));
+    }
+
+    #[test]
+    fn session_reestablishes_after_teardown() {
+        let mut r = router();
+        let mut s = wire_peer(&mut r, 1, 65001, PeerKind::PrivatePeer, 11);
+        s.announce(&mut r, p("203.0.113.0/24"), attrs(&[65001]), 1);
+        s.shutdown(&mut r, 2);
+        assert!(!r.peer_up(PeerId(1)));
+        assert_eq!(r.fib_len(), 0);
+
+        // Operational recovery: re-provision the peer (fresh sessions both
+        // sides) and re-announce.
+        let mut s = wire_peer(&mut r, 1, 65001, PeerKind::PrivatePeer, 11);
+        s.announce(&mut r, p("203.0.113.0/24"), attrs(&[65001]), 10);
+        assert!(r.peer_up(PeerId(1)));
+        assert_eq!(
+            r.fib_entry(&p("203.0.113.0/24")).unwrap().egress,
+            EgressId(11)
+        );
+    }
+
+    #[test]
+    fn remove_peer_flushes() {
+        let mut r = router();
+        let mut peer = wire_peer(&mut r, 1, 65001, PeerKind::Transit, 11);
+        peer.announce(&mut r, p("10.0.0.0/8"), attrs(&[65001]), 1);
+        r.remove_peer(PeerId(1), 2);
+        assert_eq!(r.fib_len(), 0);
+        assert!(r.attachment(PeerId(1)).is_none());
+    }
+}

@@ -1,0 +1,553 @@
+//! A BGP session finite-state machine driven by simulated time and an
+//! abstract byte transport.
+//!
+//! The FSM covers the states that matter to the reproduction — `Idle`,
+//! `Connect`, `OpenSent`, `OpenConfirm`, `Established` — with hold and
+//! keepalive timers. Transport is abstract: the embedding (the topology's
+//! in-memory links, or a test harness) moves the bytes this FSM queues in
+//! its outbox and feeds received bytes back in. All messages cross the
+//! boundary wire-encoded, so the codec is exercised on every exchange —
+//! including every Edge Fabric override injection.
+
+use std::collections::VecDeque;
+
+use bytes::{Bytes, BytesMut};
+
+use ef_net_types::Asn;
+
+use crate::message::{BgpMessage, NotificationMessage, OpenMessage, UpdateMessage};
+use crate::wire::{decode_message, encode_message, WireError};
+
+/// Simulated time in milliseconds since scenario start.
+pub type Millis = u64;
+
+/// Static configuration for one session endpoint.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Local ASN advertised in OPEN.
+    pub local_asn: Asn,
+    /// Local router ID advertised in OPEN.
+    pub local_router_id: std::net::Ipv4Addr,
+    /// Proposed hold time, seconds. Effective hold time is the minimum of
+    /// both sides' proposals (RFC 4271 §4.2); keepalives go out at a third
+    /// of it.
+    pub hold_time_secs: u16,
+    /// Advertise the ADD-PATH capability (RFC 7911) in OPEN.
+    pub advertise_addpath: bool,
+}
+
+impl SessionConfig {
+    /// A conventional 90-second-hold configuration.
+    pub fn new(local_asn: Asn, local_router_id: std::net::Ipv4Addr) -> Self {
+        SessionConfig {
+            local_asn,
+            local_router_id,
+            hold_time_secs: 90,
+            advertise_addpath: false,
+        }
+    }
+
+    /// Enables the ADD-PATH capability on this endpoint.
+    pub fn with_addpath(mut self) -> Self {
+        self.advertise_addpath = true;
+        self
+    }
+}
+
+/// FSM states (RFC 4271 §8.2.2; `Active` folded into `Connect` because the
+/// abstract transport either connects or does not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionState {
+    /// Not started or administratively down.
+    Idle,
+    /// Waiting for the transport to come up.
+    Connect,
+    /// OPEN sent, waiting for the peer's OPEN.
+    OpenSent,
+    /// OPENs exchanged, waiting for KEEPALIVE.
+    OpenConfirm,
+    /// Session up; UPDATEs flow.
+    Established,
+}
+
+/// Application-visible events produced by the FSM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionEvent {
+    /// Session reached `Established`; the peer's OPEN is attached.
+    Up(OpenMessage),
+    /// Session left `Established` (or failed to come up).
+    Down(DownReason),
+    /// An UPDATE arrived while established.
+    Update(UpdateMessage),
+}
+
+/// Why a session went down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DownReason {
+    /// We sent or received a NOTIFICATION.
+    Notification(NotificationMessage),
+    /// The hold timer expired.
+    HoldTimerExpired,
+    /// The transport reported loss of connectivity.
+    TransportClosed,
+    /// Local administrative stop.
+    AdminStop,
+    /// A protocol error (decode failure etc.).
+    ProtocolError(String),
+}
+
+/// One endpoint of a BGP session.
+#[derive(Debug)]
+pub struct Session {
+    cfg: SessionConfig,
+    state: SessionState,
+    /// Peer's OPEN once received.
+    peer_open: Option<OpenMessage>,
+    /// Effective hold time (ms); 0 disables both timers.
+    hold_ms: u64,
+    /// Deadline for the peer's next message.
+    hold_deadline: Option<Millis>,
+    /// When we must emit our next KEEPALIVE.
+    keepalive_deadline: Option<Millis>,
+    /// Wire-encoded messages waiting for the transport.
+    outbox: VecDeque<Bytes>,
+    /// Bytes received but not yet framed into a whole message.
+    inbuf: BytesMut,
+}
+
+impl Session {
+    /// Creates a session in `Idle`.
+    pub fn new(cfg: SessionConfig) -> Self {
+        Session {
+            cfg,
+            state: SessionState::Idle,
+            peer_open: None,
+            hold_ms: 0,
+            hold_deadline: None,
+            keepalive_deadline: None,
+            outbox: VecDeque::new(),
+            inbuf: BytesMut::new(),
+        }
+    }
+
+    /// Current FSM state.
+    pub fn state(&self) -> SessionState {
+        self.state
+    }
+
+    /// The peer's OPEN message, available once past `OpenSent`.
+    pub fn peer_open(&self) -> Option<&OpenMessage> {
+        self.peer_open.as_ref()
+    }
+
+    /// True if UPDATEs may be sent.
+    pub fn is_established(&self) -> bool {
+        self.state == SessionState::Established
+    }
+
+    /// True once established if the peer advertised ADD-PATH (RFC 7911)
+    /// for IPv4 unicast — i.e. this session may carry path-id NLRI.
+    pub fn peer_supports_addpath(&self) -> bool {
+        self.peer_open
+            .as_ref()
+            .map(|open| crate::addpath::supports_addpath(&open.capabilities))
+            .unwrap_or(false)
+    }
+
+    /// Administrative start: `Idle` → `Connect`.
+    pub fn start(&mut self) {
+        if self.state == SessionState::Idle {
+            self.state = SessionState::Connect;
+        }
+    }
+
+    /// The transport connected: send OPEN, `Connect` → `OpenSent`.
+    pub fn transport_connected(&mut self, _now: Millis) {
+        if self.state != SessionState::Connect {
+            return;
+        }
+        let mut open = OpenMessage::new(
+            self.cfg.local_asn,
+            self.cfg.hold_time_secs,
+            self.cfg.local_router_id,
+        );
+        if self.cfg.advertise_addpath {
+            open.capabilities.push(crate::addpath::addpath_capability());
+        }
+        self.enqueue(BgpMessage::Open(open));
+        self.state = SessionState::OpenSent;
+    }
+
+    /// The transport dropped.
+    pub fn transport_closed(&mut self) -> Option<SessionEvent> {
+        if self.state == SessionState::Idle {
+            return None;
+        }
+        self.reset();
+        Some(SessionEvent::Down(DownReason::TransportClosed))
+    }
+
+    /// Administrative stop: emit NOTIFICATION (Cease) and go `Idle`.
+    pub fn stop(&mut self) -> Option<SessionEvent> {
+        if self.state == SessionState::Idle {
+            return None;
+        }
+        self.enqueue(BgpMessage::Notification(NotificationMessage::admin_shutdown()));
+        self.reset();
+        Some(SessionEvent::Down(DownReason::AdminStop))
+    }
+
+    /// Queues an UPDATE. Errors unless established.
+    pub fn send_update(&mut self, update: UpdateMessage) -> Result<(), WireError> {
+        assert!(
+            self.is_established(),
+            "send_update on non-established session"
+        );
+        let bytes = encode_message(&BgpMessage::Update(update))?;
+        self.outbox.push_back(bytes);
+        Ok(())
+    }
+
+    /// Drains the wire bytes the transport should carry to the peer.
+    pub fn take_outbox(&mut self) -> Vec<Bytes> {
+        self.outbox.drain(..).collect()
+    }
+
+    /// Feeds received transport bytes; returns application events.
+    pub fn receive_bytes(&mut self, data: &[u8], now: Millis) -> Vec<SessionEvent> {
+        self.inbuf.extend_from_slice(data);
+        let mut events = Vec::new();
+        loop {
+            let mut probe = self.inbuf.clone().freeze();
+            match decode_message(&mut probe) {
+                Ok(msg) => {
+                    let consumed = self.inbuf.len() - probe.len();
+                    let _ = self.inbuf.split_to(consumed);
+                    if let Some(ev) = self.handle_message(msg, now) {
+                        events.push(ev);
+                        if matches!(events.last(), Some(SessionEvent::Down(_))) {
+                            break;
+                        }
+                    }
+                }
+                Err(WireError::Truncated) => break,
+                Err(e) => {
+                    self.enqueue(BgpMessage::Notification(NotificationMessage::update_error(0)));
+                    self.reset();
+                    events.push(SessionEvent::Down(DownReason::ProtocolError(e.to_string())));
+                    break;
+                }
+            }
+        }
+        events
+    }
+
+    /// Advances timers. Call at least once per simulated second.
+    pub fn tick(&mut self, now: Millis) -> Vec<SessionEvent> {
+        let mut events = Vec::new();
+        if self.hold_ms == 0 {
+            return events;
+        }
+        if let Some(dl) = self.keepalive_deadline {
+            if now >= dl && self.state == SessionState::Established {
+                self.enqueue(BgpMessage::Keepalive);
+                self.keepalive_deadline = Some(now + self.hold_ms / 3);
+            }
+        }
+        if let Some(dl) = self.hold_deadline {
+            if now >= dl
+                && matches!(
+                    self.state,
+                    SessionState::OpenSent | SessionState::OpenConfirm | SessionState::Established
+                )
+            {
+                self.enqueue(BgpMessage::Notification(
+                    NotificationMessage::hold_timer_expired(),
+                ));
+                self.reset();
+                events.push(SessionEvent::Down(DownReason::HoldTimerExpired));
+            }
+        }
+        events
+    }
+
+    fn handle_message(&mut self, msg: BgpMessage, now: Millis) -> Option<SessionEvent> {
+        match (self.state, msg) {
+            (SessionState::OpenSent, BgpMessage::Open(open)) => {
+                self.hold_ms =
+                    1000 * u64::from(open.hold_time.min(self.cfg.hold_time_secs));
+                self.peer_open = Some(open);
+                self.enqueue(BgpMessage::Keepalive);
+                self.arm_timers(now);
+                self.state = SessionState::OpenConfirm;
+                None
+            }
+            (SessionState::OpenConfirm, BgpMessage::Keepalive) => {
+                self.refresh_hold(now);
+                self.state = SessionState::Established;
+                Some(SessionEvent::Up(
+                    self.peer_open.clone().expect("OPEN received before confirm"),
+                ))
+            }
+            (SessionState::Established, BgpMessage::Keepalive) => {
+                self.refresh_hold(now);
+                None
+            }
+            (SessionState::Established, BgpMessage::Update(update)) => {
+                self.refresh_hold(now);
+                Some(SessionEvent::Update(update))
+            }
+            (_, BgpMessage::Notification(n)) => {
+                self.reset();
+                Some(SessionEvent::Down(DownReason::Notification(n)))
+            }
+            // Anything else out of order is a protocol error.
+            (state, msg) => {
+                self.enqueue(BgpMessage::Notification(NotificationMessage {
+                    code: 5, // FSM error
+                    subcode: 0,
+                    data: Vec::new(),
+                }));
+                self.reset();
+                Some(SessionEvent::Down(DownReason::ProtocolError(format!(
+                    "unexpected {:?} in {:?}",
+                    msg.type_code(),
+                    state
+                ))))
+            }
+        }
+    }
+
+    fn arm_timers(&mut self, now: Millis) {
+        if self.hold_ms > 0 {
+            self.hold_deadline = Some(now + self.hold_ms);
+            self.keepalive_deadline = Some(now + self.hold_ms / 3);
+        }
+    }
+
+    fn refresh_hold(&mut self, now: Millis) {
+        if self.hold_ms > 0 {
+            self.hold_deadline = Some(now + self.hold_ms);
+        }
+    }
+
+    fn enqueue(&mut self, msg: BgpMessage) {
+        let bytes = encode_message(&msg).expect("internally-built message encodes");
+        self.outbox.push_back(bytes);
+    }
+
+    fn reset(&mut self) {
+        self.state = SessionState::Idle;
+        self.peer_open = None;
+        self.hold_deadline = None;
+        self.keepalive_deadline = None;
+        self.inbuf.clear();
+    }
+}
+
+/// Drives two sessions to `Established` by shuttling their outboxes, a
+/// convenience for tests and for the topology's instant in-memory links.
+pub fn establish_pair(a: &mut Session, b: &mut Session, now: Millis) -> Vec<SessionEvent> {
+    a.start();
+    b.start();
+    a.transport_connected(now);
+    b.transport_connected(now);
+    let mut events = Vec::new();
+    // OPEN + KEEPALIVE exchange settles within a few rounds.
+    for _ in 0..4 {
+        for bytes in a.take_outbox() {
+            events.extend(b.receive_bytes(&bytes, now));
+        }
+        for bytes in b.take_outbox() {
+            events.extend(a.receive_bytes(&bytes, now));
+        }
+        if a.is_established() && b.is_established() {
+            break;
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::PathAttributes;
+    use std::net::Ipv4Addr;
+
+    fn pair() -> (Session, Session) {
+        let a = Session::new(SessionConfig::new(Asn(32934), Ipv4Addr::new(10, 0, 0, 1)));
+        let b = Session::new(SessionConfig::new(Asn(65001), Ipv4Addr::new(10, 0, 0, 2)));
+        (a, b)
+    }
+
+    #[test]
+    fn sessions_establish() {
+        let (mut a, mut b) = pair();
+        let events = establish_pair(&mut a, &mut b, 0);
+        assert!(a.is_established());
+        assert!(b.is_established());
+        // Each side saw exactly one Up event carrying the other's ASN.
+        let ups: Vec<&SessionEvent> = events
+            .iter()
+            .filter(|e| matches!(e, SessionEvent::Up(_)))
+            .collect();
+        assert_eq!(ups.len(), 2);
+        assert_eq!(a.peer_open().unwrap().asn, Asn(65001));
+        assert_eq!(b.peer_open().unwrap().asn, Asn(32934));
+    }
+
+    #[test]
+    fn update_flows_when_established() {
+        let (mut a, mut b) = pair();
+        establish_pair(&mut a, &mut b, 0);
+        let update = UpdateMessage::announce(
+            "203.0.113.0/24".parse().unwrap(),
+            PathAttributes {
+                next_hop: Some(Ipv4Addr::new(192, 0, 2, 1)),
+                ..Default::default()
+            },
+        );
+        a.send_update(update.clone()).unwrap();
+        let mut got = Vec::new();
+        for bytes in a.take_outbox() {
+            got.extend(b.receive_bytes(&bytes, 1));
+        }
+        assert_eq!(got, vec![SessionEvent::Update(update)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-established")]
+    fn update_before_established_panics() {
+        let (mut a, _) = pair();
+        let _ = a.send_update(UpdateMessage::default());
+    }
+
+    #[test]
+    fn hold_timer_expiry_takes_session_down() {
+        let (mut a, mut b) = pair();
+        establish_pair(&mut a, &mut b, 0);
+        // Negotiated hold is 90s. Silence until past the deadline.
+        let events = a.tick(90_001);
+        assert_eq!(
+            events,
+            vec![SessionEvent::Down(DownReason::HoldTimerExpired)]
+        );
+        assert_eq!(a.state(), SessionState::Idle);
+        // The NOTIFICATION is queued for the peer (possibly behind a final
+        // keepalive that was armed in the same tick).
+        let out = a.take_outbox();
+        assert!(!out.is_empty());
+        let mut down = Vec::new();
+        for bytes in out {
+            down.extend(b.receive_bytes(&bytes, 90_001));
+        }
+        assert!(matches!(
+            down.as_slice(),
+            [SessionEvent::Down(DownReason::Notification(_))]
+        ));
+    }
+
+    #[test]
+    fn keepalives_refresh_hold() {
+        let (mut a, mut b) = pair();
+        establish_pair(&mut a, &mut b, 0);
+        // a emits keepalives every hold/3 = 30s; deliver them to b.
+        let mut t = 0;
+        for _ in 0..5 {
+            t += 30_000;
+            a.tick(t);
+            b.tick(t);
+            for bytes in a.take_outbox() {
+                b.receive_bytes(&bytes, t);
+            }
+            for bytes in b.take_outbox() {
+                a.receive_bytes(&bytes, t);
+            }
+        }
+        assert!(a.is_established());
+        assert!(b.is_established());
+    }
+
+    #[test]
+    fn admin_stop_notifies_peer() {
+        let (mut a, mut b) = pair();
+        establish_pair(&mut a, &mut b, 0);
+        let ev = a.stop().unwrap();
+        assert_eq!(ev, SessionEvent::Down(DownReason::AdminStop));
+        for bytes in a.take_outbox() {
+            let evs = b.receive_bytes(&bytes, 1);
+            assert!(matches!(
+                evs.as_slice(),
+                [SessionEvent::Down(DownReason::Notification(n))] if n.code == 6
+            ));
+        }
+        assert_eq!(b.state(), SessionState::Idle);
+    }
+
+    #[test]
+    fn transport_close_resets() {
+        let (mut a, mut b) = pair();
+        establish_pair(&mut a, &mut b, 0);
+        let ev = a.transport_closed().unwrap();
+        assert_eq!(ev, SessionEvent::Down(DownReason::TransportClosed));
+        assert_eq!(a.state(), SessionState::Idle);
+        assert!(a.transport_closed().is_none(), "idempotent when idle");
+    }
+
+    #[test]
+    fn partial_bytes_are_buffered() {
+        let (mut a, mut b) = pair();
+        establish_pair(&mut a, &mut b, 0);
+        let update = UpdateMessage::announce(
+            "198.51.100.0/24".parse().unwrap(),
+            PathAttributes {
+                next_hop: Some(Ipv4Addr::new(192, 0, 2, 1)),
+                ..Default::default()
+            },
+        );
+        a.send_update(update.clone()).unwrap();
+        let bytes = a.take_outbox().remove(0);
+        let (first, second) = bytes.split_at(7);
+        assert!(b.receive_bytes(first, 1).is_empty());
+        let evs = b.receive_bytes(second, 1);
+        assert_eq!(evs, vec![SessionEvent::Update(update)]);
+    }
+
+    #[test]
+    fn addpath_capability_is_negotiated() {
+        let mut a = Session::new(
+            SessionConfig::new(Asn(32934), Ipv4Addr::new(10, 0, 0, 1)).with_addpath(),
+        );
+        let mut b = Session::new(
+            SessionConfig::new(Asn(65001), Ipv4Addr::new(10, 0, 0, 2)).with_addpath(),
+        );
+        establish_pair(&mut a, &mut b, 0);
+        assert!(a.peer_supports_addpath());
+        assert!(b.peer_supports_addpath());
+
+        // A plain endpoint does not claim support for its peer.
+        let mut c = Session::new(SessionConfig::new(Asn(32934), Ipv4Addr::new(10, 0, 0, 3)));
+        let mut d = Session::new(
+            SessionConfig::new(Asn(65001), Ipv4Addr::new(10, 0, 0, 4)).with_addpath(),
+        );
+        establish_pair(&mut c, &mut d, 0);
+        assert!(c.peer_supports_addpath(), "peer d advertised it");
+        assert!(!d.peer_supports_addpath(), "peer c did not");
+    }
+
+    #[test]
+    fn out_of_order_message_is_fsm_error() {
+        let (mut a, mut b) = pair();
+        a.start();
+        b.start();
+        a.transport_connected(0);
+        b.transport_connected(0);
+        // Deliver a KEEPALIVE to a peer in OpenSent (expects OPEN).
+        let keepalive = encode_message(&BgpMessage::Keepalive).unwrap();
+        let evs = b.receive_bytes(&keepalive, 0);
+        assert!(matches!(
+            evs.as_slice(),
+            [SessionEvent::Down(DownReason::ProtocolError(_))]
+        ));
+    }
+}

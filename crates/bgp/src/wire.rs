@@ -1,0 +1,870 @@
+//! Binary wire codec for BGP-4 messages (RFC 4271), with 4-octet ASNs
+//! (RFC 6793, assumed negotiated) and MP_REACH/MP_UNREACH (RFC 4760) for
+//! IPv6 NLRI.
+//!
+//! The codec is strict on encode (it refuses to build malformed or oversize
+//! messages) and defensive on decode (every length is validated before use,
+//! unknown attributes are preserved opaquely). Edge Fabric's override
+//! injector uses this codec so that overrides travel to the routers as real
+//! BGP bytes, and the BMP feed embeds these encodings verbatim.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use ef_net_types::{Asn, Community, Prefix};
+
+use crate::attrs::{AsPath, AsPathSegment, Origin, PathAttributes, UnknownAttribute};
+use crate::message::{BgpMessage, NotificationMessage, OpenMessage, UpdateMessage, BGP_VERSION};
+
+/// Fixed header length (marker + length + type).
+pub const HEADER_LEN: usize = 19;
+/// Maximum BGP message size (RFC 4271 §4).
+pub const MAX_MESSAGE_LEN: usize = 4096;
+
+/// Attribute flag: optional.
+const FLAG_OPTIONAL: u8 = 0x80;
+/// Attribute flag: transitive.
+const FLAG_TRANSITIVE: u8 = 0x40;
+/// Attribute flag: extended (2-byte) length.
+const FLAG_EXT_LEN: u8 = 0x10;
+
+/// Path attribute type codes used by the codec.
+mod attr_type {
+    pub const ORIGIN: u8 = 1;
+    pub const AS_PATH: u8 = 2;
+    pub const NEXT_HOP: u8 = 3;
+    pub const MED: u8 = 4;
+    pub const LOCAL_PREF: u8 = 5;
+    pub const COMMUNITIES: u8 = 8;
+    pub const MP_REACH_NLRI: u8 = 14;
+    pub const MP_UNREACH_NLRI: u8 = 15;
+}
+
+/// Errors surfaced by the decoder (and by over-size encodes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes available than a complete message requires.
+    Truncated,
+    /// The 16-byte marker was not all-ones.
+    BadMarker,
+    /// Header length field out of range or inconsistent.
+    BadLength(u16),
+    /// Unknown message type code.
+    BadType(u8),
+    /// Unsupported BGP version in OPEN.
+    BadVersion(u8),
+    /// Malformed path attribute.
+    BadAttribute(&'static str),
+    /// Malformed NLRI prefix encoding.
+    BadPrefix(&'static str),
+    /// Message would exceed [`MAX_MESSAGE_LEN`] when encoded.
+    TooLong(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated message"),
+            WireError::BadMarker => write!(f, "bad marker"),
+            WireError::BadLength(l) => write!(f, "bad length {l}"),
+            WireError::BadType(t) => write!(f, "bad message type {t}"),
+            WireError::BadVersion(v) => write!(f, "unsupported BGP version {v}"),
+            WireError::BadAttribute(why) => write!(f, "bad path attribute: {why}"),
+            WireError::BadPrefix(why) => write!(f, "bad NLRI prefix: {why}"),
+            WireError::TooLong(n) => write!(f, "message of {n} bytes exceeds 4096"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Encodes one message, including the 19-byte header.
+pub fn encode_message(msg: &BgpMessage) -> Result<Bytes, WireError> {
+    let body = match msg {
+        BgpMessage::Open(open) => encode_open(open),
+        BgpMessage::Update(update) => encode_update(update)?,
+        BgpMessage::Notification(n) => encode_notification(n),
+        BgpMessage::Keepalive => BytesMut::new(),
+    };
+    let total = HEADER_LEN + body.len();
+    if total > MAX_MESSAGE_LEN {
+        return Err(WireError::TooLong(total));
+    }
+    let mut out = BytesMut::with_capacity(total);
+    out.put_bytes(0xFF, 16);
+    out.put_u16(total as u16);
+    out.put_u8(msg.type_code());
+    out.extend_from_slice(&body);
+    Ok(out.freeze())
+}
+
+fn encode_open(open: &OpenMessage) -> BytesMut {
+    let mut body = BytesMut::new();
+    body.put_u8(BGP_VERSION);
+    let as16 = if open.asn.is_16bit() {
+        open.asn.0 as u16
+    } else {
+        OpenMessage::AS_TRANS
+    };
+    body.put_u16(as16);
+    body.put_u16(open.hold_time);
+    body.put_u32(u32::from(open.router_id));
+    // Optional parameters: a single type-2 (Capabilities) parameter holding
+    // every capability, the common layout in practice.
+    let mut caps = BytesMut::new();
+    for (code, payload) in &open.capabilities {
+        caps.put_u8(*code);
+        caps.put_u8(payload.len() as u8);
+        caps.extend_from_slice(payload);
+    }
+    if caps.is_empty() {
+        body.put_u8(0);
+    } else {
+        body.put_u8((caps.len() + 2) as u8); // opt params len
+        body.put_u8(2); // param type: capabilities
+        body.put_u8(caps.len() as u8);
+        body.extend_from_slice(&caps);
+    }
+    body
+}
+
+fn encode_notification(n: &NotificationMessage) -> BytesMut {
+    let mut body = BytesMut::with_capacity(2 + n.data.len());
+    body.put_u8(n.code);
+    body.put_u8(n.subcode);
+    body.extend_from_slice(&n.data);
+    body
+}
+
+fn encode_update(update: &UpdateMessage) -> Result<BytesMut, WireError> {
+    let (withdrawn_v4, withdrawn_v6): (Vec<&Prefix>, Vec<&Prefix>) =
+        update.withdrawn.iter().partition(|p| p.is_v4());
+    let (announced_v4, announced_v6): (Vec<&Prefix>, Vec<&Prefix>) =
+        update.announced.iter().partition(|p| p.is_v4());
+
+    let mut body = BytesMut::new();
+
+    // Withdrawn v4 routes.
+    let mut wd = BytesMut::new();
+    for p in &withdrawn_v4 {
+        encode_prefix(&mut wd, p);
+    }
+    body.put_u16(wd.len() as u16);
+    body.extend_from_slice(&wd);
+
+    // Path attributes.
+    let mut attrs = BytesMut::new();
+    let announcing = !announced_v4.is_empty() || !announced_v6.is_empty();
+    if announcing {
+        encode_attributes(&mut attrs, &update.attrs)?;
+        if !announced_v6.is_empty() {
+            encode_mp_reach(&mut attrs, &update.attrs, &announced_v6)?;
+        }
+    }
+    if !withdrawn_v6.is_empty() {
+        encode_mp_unreach(&mut attrs, &withdrawn_v6);
+    }
+    body.put_u16(attrs.len() as u16);
+    body.extend_from_slice(&attrs);
+
+    // v4 NLRI.
+    for p in &announced_v4 {
+        encode_prefix(&mut body, p);
+    }
+
+    // RFC 4271 requires NEXT_HOP when v4 NLRI are present; enforce at encode
+    // so malformed updates cannot be produced.
+    if !announced_v4.is_empty() && update.attrs.next_hop.is_none() {
+        return Err(WireError::BadAttribute("v4 NLRI without NEXT_HOP"));
+    }
+    Ok(body)
+}
+
+fn put_attr_header(out: &mut BytesMut, flags: u8, type_code: u8, len: usize) {
+    if len > 255 {
+        out.put_u8(flags | FLAG_EXT_LEN);
+        out.put_u8(type_code);
+        out.put_u16(len as u16);
+    } else {
+        out.put_u8(flags);
+        out.put_u8(type_code);
+        out.put_u8(len as u8);
+    }
+}
+
+fn encode_attributes(out: &mut BytesMut, attrs: &PathAttributes) -> Result<(), WireError> {
+    // ORIGIN
+    put_attr_header(out, FLAG_TRANSITIVE, attr_type::ORIGIN, 1);
+    out.put_u8(attrs.origin.code());
+
+    // AS_PATH (4-octet ASNs; RFC 6793 negotiated)
+    let mut path = BytesMut::new();
+    for seg in &attrs.as_path.segments {
+        let (code, asns) = match seg {
+            AsPathSegment::Set(v) => (1u8, v),
+            AsPathSegment::Sequence(v) => (2u8, v),
+        };
+        if asns.len() > 255 {
+            return Err(WireError::BadAttribute("AS path segment > 255 ASNs"));
+        }
+        path.put_u8(code);
+        path.put_u8(asns.len() as u8);
+        for asn in asns {
+            path.put_u32(asn.0);
+        }
+    }
+    put_attr_header(out, FLAG_TRANSITIVE, attr_type::AS_PATH, path.len());
+    out.extend_from_slice(&path);
+
+    // NEXT_HOP
+    if let Some(nh) = attrs.next_hop {
+        put_attr_header(out, FLAG_TRANSITIVE, attr_type::NEXT_HOP, 4);
+        out.put_u32(u32::from(nh));
+    }
+
+    // MED
+    if let Some(med) = attrs.med {
+        put_attr_header(out, FLAG_OPTIONAL, attr_type::MED, 4);
+        out.put_u32(med);
+    }
+
+    // LOCAL_PREF
+    if let Some(lp) = attrs.local_pref {
+        put_attr_header(out, FLAG_TRANSITIVE, attr_type::LOCAL_PREF, 4);
+        out.put_u32(lp);
+    }
+
+    // COMMUNITIES
+    if !attrs.communities.is_empty() {
+        put_attr_header(
+            out,
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            attr_type::COMMUNITIES,
+            attrs.communities.len() * 4,
+        );
+        for c in &attrs.communities {
+            out.put_u32(c.0);
+        }
+    }
+
+    // Unknown attributes, re-emitted verbatim.
+    for u in &attrs.unknown {
+        put_attr_header(out, u.flags & !FLAG_EXT_LEN, u.type_code, u.value.len());
+        out.extend_from_slice(&u.value);
+    }
+    Ok(())
+}
+
+fn encode_mp_reach(
+    out: &mut BytesMut,
+    attrs: &PathAttributes,
+    prefixes: &[&Prefix],
+) -> Result<(), WireError> {
+    let mut v = BytesMut::new();
+    v.put_u16(2); // AFI: IPv6
+    v.put_u8(1); // SAFI: unicast
+    // Next hop: a v6 next hop is not modeled separately; embed the v4 next
+    // hop IPv4-mapped, or :: when absent (egress is structural in this
+    // reproduction).
+    v.put_u8(16);
+    let nh6: Ipv6Addr = match attrs.next_hop {
+        Some(v4) => v4.to_ipv6_mapped(),
+        None => Ipv6Addr::UNSPECIFIED,
+    };
+    v.put_u128(u128::from(nh6));
+    v.put_u8(0); // reserved
+    for p in prefixes {
+        encode_prefix(&mut v, p);
+    }
+    put_attr_header(out, FLAG_OPTIONAL, attr_type::MP_REACH_NLRI, v.len());
+    out.extend_from_slice(&v);
+    Ok(())
+}
+
+fn encode_mp_unreach(out: &mut BytesMut, prefixes: &[&Prefix]) {
+    let mut v = BytesMut::new();
+    v.put_u16(2);
+    v.put_u8(1);
+    for p in prefixes {
+        encode_prefix(&mut v, p);
+    }
+    put_attr_header(out, FLAG_OPTIONAL, attr_type::MP_UNREACH_NLRI, v.len());
+    out.extend_from_slice(&v);
+}
+
+/// Encodes a prefix in NLRI form: length byte then ceil(len/8) bytes.
+fn encode_prefix(out: &mut BytesMut, p: &Prefix) {
+    let len = p.len();
+    out.put_u8(len);
+    let nbytes = usize::from(len).div_ceil(8);
+    let bits = p.bits_left_aligned();
+    for i in 0..nbytes {
+        out.put_u8((bits >> (120 - 8 * i)) as u8);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Attempts to decode one message from the front of `buf`.
+///
+/// On success the message's bytes are consumed. Returns
+/// `Err(WireError::Truncated)` without consuming anything if `buf` holds an
+/// incomplete message — the framing pattern for a byte-stream transport.
+pub fn decode_message(buf: &mut Bytes) -> Result<BgpMessage, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    let header = &buf[..HEADER_LEN];
+    if header[..16].iter().any(|b| *b != 0xFF) {
+        return Err(WireError::BadMarker);
+    }
+    let total = u16::from_be_bytes([header[16], header[17]]) as usize;
+    if !(HEADER_LEN..=MAX_MESSAGE_LEN).contains(&total) {
+        return Err(WireError::BadLength(total as u16));
+    }
+    if buf.len() < total {
+        return Err(WireError::Truncated);
+    }
+    let type_code = header[18];
+    let mut msg = buf.split_to(total);
+    msg.advance(HEADER_LEN);
+    let mut body = msg;
+    match type_code {
+        1 => decode_open(&mut body),
+        2 => decode_update(&mut body),
+        3 => decode_notification(&mut body),
+        4 => {
+            if body.is_empty() {
+                Ok(BgpMessage::Keepalive)
+            } else {
+                Err(WireError::BadLength((HEADER_LEN + body.len()) as u16))
+            }
+        }
+        t => Err(WireError::BadType(t)),
+    }
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
+    if buf.len() < n {
+        Err(WireError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn decode_open(body: &mut Bytes) -> Result<BgpMessage, WireError> {
+    need(body, 10)?;
+    let version = body.get_u8();
+    if version != BGP_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let as16 = body.get_u16();
+    let hold_time = body.get_u16();
+    let router_id = Ipv4Addr::from(body.get_u32());
+    let opt_len = body.get_u8() as usize;
+    need(body, opt_len)?;
+    let mut opts = body.split_to(opt_len);
+    let mut capabilities = Vec::new();
+    while opts.has_remaining() {
+        need(&opts, 2)?;
+        let ptype = opts.get_u8();
+        let plen = opts.get_u8() as usize;
+        need(&opts, plen)?;
+        let mut pval = opts.split_to(plen);
+        if ptype == 2 {
+            while pval.has_remaining() {
+                need(&pval, 2)?;
+                let code = pval.get_u8();
+                let clen = pval.get_u8() as usize;
+                need(&pval, clen)?;
+                capabilities.push((code, pval.split_to(clen).to_vec()));
+            }
+        }
+    }
+    // Resolve the true ASN from the 4-octet capability if present.
+    let asn = capabilities
+        .iter()
+        .find(|(code, v)| *code == OpenMessage::CAP_FOUR_OCTET_AS && v.len() == 4)
+        .map(|(_, v)| Asn(u32::from_be_bytes([v[0], v[1], v[2], v[3]])))
+        .unwrap_or(Asn(as16 as u32));
+    Ok(BgpMessage::Open(OpenMessage {
+        asn,
+        hold_time,
+        router_id,
+        capabilities,
+    }))
+}
+
+fn decode_notification(body: &mut Bytes) -> Result<BgpMessage, WireError> {
+    need(body, 2)?;
+    let code = body.get_u8();
+    let subcode = body.get_u8();
+    Ok(BgpMessage::Notification(NotificationMessage {
+        code,
+        subcode,
+        data: body.split_to(body.len()).to_vec(),
+    }))
+}
+
+fn decode_update(body: &mut Bytes) -> Result<BgpMessage, WireError> {
+    need(body, 2)?;
+    let wd_len = body.get_u16() as usize;
+    need(body, wd_len)?;
+    let mut wd = body.split_to(wd_len);
+    let mut withdrawn = Vec::new();
+    while wd.has_remaining() {
+        withdrawn.push(decode_prefix(&mut wd, false)?);
+    }
+
+    need(body, 2)?;
+    let attrs_len = body.get_u16() as usize;
+    need(body, attrs_len)?;
+    let mut raw_attrs = body.split_to(attrs_len);
+
+    let mut attrs = PathAttributes::default();
+    let mut announced = Vec::new();
+    while raw_attrs.has_remaining() {
+        decode_attribute(&mut raw_attrs, &mut attrs, &mut announced, &mut withdrawn)?;
+    }
+
+    // Remaining bytes are v4 NLRI.
+    while body.has_remaining() {
+        announced.push(decode_prefix(body, false)?);
+    }
+
+    Ok(BgpMessage::Update(UpdateMessage {
+        withdrawn,
+        attrs,
+        announced,
+    }))
+}
+
+fn decode_attribute(
+    buf: &mut Bytes,
+    attrs: &mut PathAttributes,
+    announced: &mut Vec<Prefix>,
+    withdrawn: &mut Vec<Prefix>,
+) -> Result<(), WireError> {
+    need(buf, 2)?;
+    let flags = buf.get_u8();
+    let type_code = buf.get_u8();
+    let len = if flags & FLAG_EXT_LEN != 0 {
+        need(buf, 2)?;
+        buf.get_u16() as usize
+    } else {
+        need(buf, 1)?;
+        buf.get_u8() as usize
+    };
+    need(buf, len)?;
+    let mut value = buf.split_to(len);
+
+    match type_code {
+        attr_type::ORIGIN => {
+            if value.len() != 1 {
+                return Err(WireError::BadAttribute("ORIGIN length"));
+            }
+            attrs.origin = Origin::from_code(value.get_u8())
+                .ok_or(WireError::BadAttribute("ORIGIN code"))?;
+        }
+        attr_type::AS_PATH => {
+            let mut segments = Vec::new();
+            while value.has_remaining() {
+                need(&value, 2)?;
+                let seg_type = value.get_u8();
+                let count = value.get_u8() as usize;
+                need(&value, count * 4)?;
+                let mut asns = Vec::with_capacity(count);
+                for _ in 0..count {
+                    asns.push(Asn(value.get_u32()));
+                }
+                segments.push(match seg_type {
+                    1 => AsPathSegment::Set(asns),
+                    2 => AsPathSegment::Sequence(asns),
+                    _ => return Err(WireError::BadAttribute("AS_PATH segment type")),
+                });
+            }
+            attrs.as_path = AsPath { segments };
+        }
+        attr_type::NEXT_HOP => {
+            if value.len() != 4 {
+                return Err(WireError::BadAttribute("NEXT_HOP length"));
+            }
+            attrs.next_hop = Some(Ipv4Addr::from(value.get_u32()));
+        }
+        attr_type::MED => {
+            if value.len() != 4 {
+                return Err(WireError::BadAttribute("MED length"));
+            }
+            attrs.med = Some(value.get_u32());
+        }
+        attr_type::LOCAL_PREF => {
+            if value.len() != 4 {
+                return Err(WireError::BadAttribute("LOCAL_PREF length"));
+            }
+            attrs.local_pref = Some(value.get_u32());
+        }
+        attr_type::COMMUNITIES => {
+            if !value.len().is_multiple_of(4) {
+                return Err(WireError::BadAttribute("COMMUNITIES length"));
+            }
+            while value.has_remaining() {
+                attrs.add_community(Community(value.get_u32()));
+            }
+        }
+        attr_type::MP_REACH_NLRI => {
+            need(&value, 4)?;
+            let afi = value.get_u16();
+            let _safi = value.get_u8();
+            let nh_len = value.get_u8() as usize;
+            need(&value, nh_len + 1)?;
+            // Recover an IPv4-mapped next hop (the encoder's form) so
+            // consumers that resolve egress from the next hop — the Edge
+            // Fabric override path — work for IPv6 NLRI too.
+            if nh_len == 16 {
+                let nh6 = Ipv6Addr::from(value.get_u128());
+                if let Some(v4) = nh6.to_ipv4_mapped() {
+                    if attrs.next_hop.is_none() && !v4.is_unspecified() {
+                        attrs.next_hop = Some(v4);
+                    }
+                }
+            } else {
+                value.advance(nh_len);
+            }
+            value.advance(1); // reserved
+            if afi != 2 {
+                return Err(WireError::BadAttribute("MP_REACH AFI"));
+            }
+            while value.has_remaining() {
+                announced.push(decode_prefix(&mut value, true)?);
+            }
+        }
+        attr_type::MP_UNREACH_NLRI => {
+            need(&value, 3)?;
+            let afi = value.get_u16();
+            let _safi = value.get_u8();
+            if afi != 2 {
+                return Err(WireError::BadAttribute("MP_UNREACH AFI"));
+            }
+            while value.has_remaining() {
+                withdrawn.push(decode_prefix(&mut value, true)?);
+            }
+        }
+        _ => {
+            attrs.unknown.push(UnknownAttribute {
+                flags,
+                type_code,
+                value: value.to_vec(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn decode_prefix(buf: &mut Bytes, v6: bool) -> Result<Prefix, WireError> {
+    need(buf, 1)?;
+    let len = buf.get_u8();
+    let max = if v6 { 128 } else { 32 };
+    if len > max {
+        return Err(WireError::BadPrefix("length out of range"));
+    }
+    let nbytes = usize::from(len).div_ceil(8);
+    need(buf, nbytes)?;
+    let mut bits: u128 = 0;
+    for i in 0..nbytes {
+        bits |= (buf.get_u8() as u128) << (120 - 8 * i);
+    }
+    // Zero any host bits inside the final byte (defensive normalization).
+    if len > 0 {
+        bits &= u128::MAX << (128 - len as u32);
+    } else {
+        bits = 0;
+    }
+    Ok(if v6 {
+        Prefix::V6 { addr: bits, len }
+    } else {
+        Prefix::V4 {
+            addr: (bits >> 96) as u32,
+            len,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn round_trip(msg: BgpMessage) -> BgpMessage {
+        let mut bytes = encode_message(&msg).expect("encode");
+        let decoded = decode_message(&mut bytes).expect("decode");
+        assert!(bytes.is_empty(), "decode must consume the whole message");
+        decoded
+    }
+
+    fn sample_attrs() -> PathAttributes {
+        PathAttributes {
+            origin: Origin::Igp,
+            as_path: AsPath::sequence([Asn(65001), Asn(70000)]),
+            next_hop: Some(Ipv4Addr::new(192, 0, 2, 1)),
+            med: Some(50),
+            local_pref: Some(800),
+            communities: vec![Community::new(32934, 1), Community::new(32934, 4)],
+            unknown: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn keepalive_round_trip() {
+        assert_eq!(round_trip(BgpMessage::Keepalive), BgpMessage::Keepalive);
+    }
+
+    #[test]
+    fn open_round_trip_with_4byte_asn() {
+        let open = OpenMessage::new(Asn(400_000), 90, Ipv4Addr::new(10, 0, 0, 1));
+        let decoded = round_trip(BgpMessage::Open(open.clone()));
+        match decoded {
+            BgpMessage::Open(o) => {
+                assert_eq!(o.asn, Asn(400_000));
+                assert_eq!(o.hold_time, 90);
+                assert_eq!(o.router_id, Ipv4Addr::new(10, 0, 0, 1));
+            }
+            other => panic!("wrong type: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_without_capability_uses_16bit_field() {
+        let open = OpenMessage {
+            asn: Asn(65001),
+            hold_time: 30,
+            router_id: Ipv4Addr::new(1, 2, 3, 4),
+            capabilities: Vec::new(),
+        };
+        match round_trip(BgpMessage::Open(open)) {
+            BgpMessage::Open(o) => assert_eq!(o.asn, Asn(65001)),
+            other => panic!("wrong type: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn notification_round_trip() {
+        let n = NotificationMessage {
+            code: 6,
+            subcode: 2,
+            data: vec![1, 2, 3],
+        };
+        assert_eq!(
+            round_trip(BgpMessage::Notification(n.clone())),
+            BgpMessage::Notification(n)
+        );
+    }
+
+    #[test]
+    fn update_v4_round_trip() {
+        let update = UpdateMessage {
+            withdrawn: vec!["198.51.100.0/24".parse().unwrap()],
+            attrs: sample_attrs(),
+            announced: vec![
+                "203.0.113.0/24".parse().unwrap(),
+                "203.0.112.0/23".parse().unwrap(),
+            ],
+        };
+        assert_eq!(
+            round_trip(BgpMessage::Update(update.clone())),
+            BgpMessage::Update(update)
+        );
+    }
+
+    #[test]
+    fn update_v6_round_trip_via_mp_attrs() {
+        let update = UpdateMessage {
+            withdrawn: vec!["2001:db8:dead::/48".parse().unwrap()],
+            attrs: sample_attrs(),
+            announced: vec!["2001:db8::/32".parse().unwrap()],
+        };
+        let decoded = round_trip(BgpMessage::Update(update.clone()));
+        assert_eq!(decoded, BgpMessage::Update(update));
+    }
+
+    #[test]
+    fn update_withdraw_only_needs_no_next_hop() {
+        let update = UpdateMessage::withdraw(["10.0.0.0/8".parse().unwrap()]);
+        match round_trip(BgpMessage::Update(update)) {
+            BgpMessage::Update(u) => {
+                assert_eq!(u.withdrawn.len(), 1);
+                assert!(u.announced.is_empty());
+            }
+            other => panic!("wrong type: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn announce_without_next_hop_is_rejected() {
+        let mut attrs = sample_attrs();
+        attrs.next_hop = None;
+        let update = UpdateMessage::announce("1.0.0.0/8".parse().unwrap(), attrs);
+        assert_eq!(
+            encode_message(&BgpMessage::Update(update)),
+            Err(WireError::BadAttribute("v4 NLRI without NEXT_HOP"))
+        );
+    }
+
+    #[test]
+    fn unknown_attribute_survives_round_trip() {
+        let mut attrs = sample_attrs();
+        attrs.unknown.push(UnknownAttribute {
+            flags: FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            type_code: 32, // LARGE_COMMUNITY, not interpreted
+            value: vec![0; 12],
+        });
+        let update = UpdateMessage::announce("9.9.9.0/24".parse().unwrap(), attrs.clone());
+        match round_trip(BgpMessage::Update(update)) {
+            BgpMessage::Update(u) => assert_eq!(u.attrs.unknown, attrs.unknown),
+            other => panic!("wrong type: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_marker_is_rejected() {
+        let mut bytes = encode_message(&BgpMessage::Keepalive).unwrap().to_vec();
+        bytes[0] = 0;
+        let mut buf = Bytes::from(bytes);
+        assert_eq!(decode_message(&mut buf), Err(WireError::BadMarker));
+    }
+
+    #[test]
+    fn truncated_stream_waits_for_more() {
+        let full = encode_message(&BgpMessage::Keepalive).unwrap();
+        let mut partial = full.slice(..10);
+        assert_eq!(decode_message(&mut partial), Err(WireError::Truncated));
+        assert_eq!(partial.len(), 10, "nothing consumed on Truncated");
+    }
+
+    #[test]
+    fn two_messages_frame_correctly() {
+        let a = encode_message(&BgpMessage::Keepalive).unwrap();
+        let b = encode_message(&BgpMessage::Notification(NotificationMessage::admin_shutdown()))
+            .unwrap();
+        let mut stream = BytesMut::new();
+        stream.extend_from_slice(&a);
+        stream.extend_from_slice(&b);
+        let mut buf = stream.freeze();
+        assert_eq!(decode_message(&mut buf).unwrap(), BgpMessage::Keepalive);
+        assert!(matches!(
+            decode_message(&mut buf).unwrap(),
+            BgpMessage::Notification(_)
+        ));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn bad_type_code_is_rejected() {
+        let mut bytes = encode_message(&BgpMessage::Keepalive).unwrap().to_vec();
+        bytes[18] = 9;
+        let mut buf = Bytes::from(bytes);
+        assert_eq!(decode_message(&mut buf), Err(WireError::BadType(9)));
+    }
+
+    #[test]
+    fn oversize_update_is_refused_at_encode() {
+        // ~1300 /24 announcements at 4 bytes each overflow 4096.
+        let announced: Vec<Prefix> = (0u32..1300)
+            .map(|i| Prefix::V4 {
+                addr: i << 8,
+                len: 24,
+            })
+            .collect();
+        let update = UpdateMessage {
+            withdrawn: Vec::new(),
+            attrs: sample_attrs(),
+            announced,
+        };
+        assert!(matches!(
+            encode_message(&BgpMessage::Update(update)),
+            Err(WireError::TooLong(_))
+        ));
+    }
+
+    #[test]
+    fn garbage_attribute_lengths_are_rejected() {
+        // ORIGIN with length 2 is malformed.
+        let mut body = BytesMut::new();
+        body.put_u16(0); // withdrawn len
+        let mut attrs = BytesMut::new();
+        attrs.put_u8(FLAG_TRANSITIVE);
+        attrs.put_u8(attr_type::ORIGIN);
+        attrs.put_u8(2);
+        attrs.put_u16(0);
+        body.put_u16(attrs.len() as u16);
+        body.extend_from_slice(&attrs);
+
+        let total = HEADER_LEN + body.len();
+        let mut msg = BytesMut::new();
+        msg.put_bytes(0xFF, 16);
+        msg.put_u16(total as u16);
+        msg.put_u8(2);
+        msg.extend_from_slice(&body);
+        let mut buf = msg.freeze();
+        assert_eq!(
+            decode_message(&mut buf),
+            Err(WireError::BadAttribute("ORIGIN length"))
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_v4_update_round_trips(
+            addrs in proptest::collection::vec(any::<u32>(), 1..40),
+            lens in proptest::collection::vec(8u8..=32, 1..40),
+            lp in any::<u32>(),
+            med in proptest::option::of(any::<u32>()),
+            path in proptest::collection::vec(1u32..1u32<<31, 0..6),
+        ) {
+            let n = addrs.len().min(lens.len());
+            let announced: Vec<Prefix> = (0..n)
+                .map(|i| Prefix::v4(Ipv4Addr::from(addrs[i]), lens[i]))
+                .collect();
+            let update = UpdateMessage {
+                withdrawn: Vec::new(),
+                attrs: PathAttributes {
+                    origin: Origin::Egp,
+                    as_path: AsPath::sequence(path.iter().map(|a| Asn(*a))),
+                    next_hop: Some(Ipv4Addr::new(192, 0, 2, 9)),
+                    med,
+                    local_pref: Some(lp),
+                    communities: vec![Community::new(1, 2)],
+                    unknown: Vec::new(),
+                },
+                announced: announced.clone(),
+            };
+            let mut bytes = encode_message(&BgpMessage::Update(update.clone())).unwrap();
+            let decoded = decode_message(&mut bytes).unwrap();
+            // NLRI order is preserved but duplicates may normalize equal;
+            // compare directly since our encoding preserves order.
+            prop_assert_eq!(decoded, BgpMessage::Update(update));
+        }
+
+        #[test]
+        fn prop_decoder_never_panics_on_fuzzed_body(
+            body in proptest::collection::vec(any::<u8>(), 0..256),
+            ty in 1u8..=4,
+        ) {
+            let total = HEADER_LEN + body.len();
+            let mut msg = BytesMut::new();
+            msg.put_bytes(0xFF, 16);
+            msg.put_u16(total as u16);
+            msg.put_u8(ty);
+            msg.extend_from_slice(&body);
+            let mut buf = msg.freeze();
+            // Must not panic; errors are fine.
+            let _ = decode_message(&mut buf);
+        }
+    }
+}

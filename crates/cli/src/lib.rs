@@ -1,0 +1,423 @@
+//! Library backing `efctl`: argument parsing and command implementations,
+//! kept out of `main.rs` so they are unit-testable.
+//!
+//! `efctl` is the operator's front door to the reproduction:
+//!
+//! ```text
+//! efctl gen        [--seed N] [--pops N] [--prefixes N] [--out FILE]
+//! efctl table1     [--seed N] [--pops N]
+//! efctl diversity  [--seed N] [--pops N]
+//! efctl run        [--seed N] [--hours H] [--baseline] [--hysteresis X]
+//!                  [--epoch SECS] [--out FILE]
+//! efctl help
+//! ```
+
+use std::fmt::Write as _;
+
+use ef_sim::{SimConfig, SimEngine};
+use ef_topology::stats::{pop_summaries, route_diversity};
+use ef_topology::{generate, GenConfig};
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a deployment and dump it as JSON.
+    Gen(CommonArgs),
+    /// Print the Table-1-style PoP summary.
+    Table1(CommonArgs),
+    /// Print traffic-weighted route diversity.
+    Diversity(CommonArgs),
+    /// Run a simulation scenario and print/dump a report.
+    Run(RunArgs),
+    /// Show usage.
+    Help,
+}
+
+/// Options shared by deployment-shaped commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommonArgs {
+    /// Generator seed.
+    pub seed: u64,
+    /// Number of PoPs.
+    pub pops: usize,
+    /// Number of prefixes.
+    pub prefixes: usize,
+    /// Optional output path for JSON.
+    pub out: Option<String>,
+}
+
+impl Default for CommonArgs {
+    fn default() -> Self {
+        CommonArgs {
+            seed: 7,
+            pops: 20,
+            prefixes: 3000,
+            out: None,
+        }
+    }
+}
+
+/// Options for `efctl run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Deployment options.
+    pub common: CommonArgs,
+    /// Simulated duration in hours.
+    pub hours: f64,
+    /// Run without the controller (baseline BGP).
+    pub baseline: bool,
+    /// Withdraw hysteresis (0 = paper-stateless).
+    pub hysteresis: f64,
+    /// Enable prefix splitting (§7 future work).
+    pub split: bool,
+    /// Enable the global demand shifter (future-work layer).
+    pub global: bool,
+    /// Controller epoch seconds.
+    pub epoch_secs: u64,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        RunArgs {
+            common: CommonArgs::default(),
+            hours: 3.0,
+            baseline: false,
+            hysteresis: 0.0,
+            split: false,
+            global: false,
+            epoch_secs: 30,
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+efctl — Edge Fabric reproduction CLI
+
+USAGE:
+  efctl gen        [--seed N] [--pops N] [--prefixes N] [--out FILE]
+  efctl table1     [--seed N] [--pops N] [--prefixes N]
+  efctl diversity  [--seed N] [--pops N] [--prefixes N]
+  efctl run        [--seed N] [--pops N] [--prefixes N] [--hours H]
+                   [--baseline] [--hysteresis X] [--split] [--global]
+                   [--epoch SECS] [--out FILE]
+  efctl help
+";
+
+/// Parsing failure with a human-readable reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Parses `argv[1..]` into a [`Command`].
+pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "gen" => Ok(Command::Gen(parse_common(rest)?)),
+        "table1" => Ok(Command::Table1(parse_common(rest)?)),
+        "diversity" => Ok(Command::Diversity(parse_common(rest)?)),
+        "run" => Ok(Command::Run(parse_run(rest)?)),
+        other => Err(ParseError(format!("unknown command {other:?}; try 'efctl help'"))),
+    }
+}
+
+fn take_value<'a>(
+    flag: &str,
+    iter: &mut std::slice::Iter<'a, String>,
+) -> Result<&'a str, ParseError> {
+    iter.next()
+        .map(|s| s.as_str())
+        .ok_or_else(|| ParseError(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, ParseError> {
+    value
+        .parse()
+        .map_err(|_| ParseError(format!("{flag}: cannot parse {value:?}")))
+}
+
+fn parse_common(args: &[String]) -> Result<CommonArgs, ParseError> {
+    let mut out = CommonArgs::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--seed" => out.seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--pops" => out.pops = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--prefixes" => out.prefixes = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--out" => out.out = Some(take_value(flag, &mut iter)?.to_string()),
+            other => return Err(ParseError(format!("unknown flag {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_run(args: &[String]) -> Result<RunArgs, ParseError> {
+    let mut out = RunArgs::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--seed" => out.common.seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--pops" => out.common.pops = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--prefixes" => {
+                out.common.prefixes = parse_num(flag, take_value(flag, &mut iter)?)?
+            }
+            "--out" => out.common.out = Some(take_value(flag, &mut iter)?.to_string()),
+            "--hours" => out.hours = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--baseline" => out.baseline = true,
+            "--split" => out.split = true,
+            "--global" => out.global = true,
+            "--hysteresis" => out.hysteresis = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--epoch" => out.epoch_secs = parse_num(flag, take_value(flag, &mut iter)?)?,
+            other => return Err(ParseError(format!("unknown flag {other:?}"))),
+        }
+    }
+    if out.hours <= 0.0 {
+        return Err(ParseError("--hours must be positive".into()));
+    }
+    Ok(out)
+}
+
+fn gen_config(common: &CommonArgs) -> GenConfig {
+    GenConfig {
+        seed: common.seed,
+        n_pops: common.pops,
+        n_prefixes: common.prefixes,
+        // Scale companion parameters with size so small worlds stay sane.
+        n_ases: (common.prefixes / 8).clamp(8, 400),
+        total_avg_gbps: 400.0 * common.pops as f64,
+        ..GenConfig::default()
+    }
+}
+
+/// Executes a command, returning the text to print.
+pub fn execute(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Gen(common) => {
+            let dep = generate(&gen_config(&common));
+            let errors = dep.validate();
+            if !errors.is_empty() {
+                return Err(format!("generated deployment failed validation: {errors:?}"));
+            }
+            let json = serde_json::to_string_pretty(&dep).map_err(|e| e.to_string())?;
+            if let Some(path) = &common.out {
+                std::fs::write(path, &json).map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "wrote deployment (seed {}, {} PoPs, {} prefixes) to {path}\n",
+                    common.seed, common.pops, common.prefixes
+                ))
+            } else {
+                Ok(json)
+            }
+        }
+        Command::Table1(common) => {
+            let dep = generate(&gen_config(&common));
+            let mut out = String::new();
+            writeln!(
+                out,
+                "{:<12} {:>3} {:>4} {:>8} {:>8} {:>7} {:>6} {:>10} {:>10}",
+                "pop", "reg", "PRs", "transit", "private", "public", "rs", "cap(Gbps)", "avg(Gbps)"
+            )
+            .unwrap();
+            for r in pop_summaries(&dep) {
+                writeln!(
+                    out,
+                    "{:<12} {:>3} {:>4} {:>8} {:>8} {:>7} {:>6} {:>10.0} {:>10.1}",
+                    r.name,
+                    r.region,
+                    r.routers,
+                    r.transit_peers,
+                    r.private_peers,
+                    r.public_peers,
+                    r.route_server_peers,
+                    r.capacity_gbps,
+                    r.avg_demand_gbps
+                )
+                .unwrap();
+            }
+            Ok(out)
+        }
+        Command::Diversity(common) => {
+            let dep = generate(&gen_config(&common));
+            let mut out = String::new();
+            writeln!(out, "{:<12} {:>8} {:>8} {:>8} {:>8}", "pop", ">=1", ">=2", ">=3", ">=4")
+                .unwrap();
+            for d in route_diversity(&dep) {
+                writeln!(
+                    out,
+                    "{:<12} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+                    d.name,
+                    d.frac_traffic_ge[0] * 100.0,
+                    d.frac_traffic_ge[1] * 100.0,
+                    d.frac_traffic_ge[2] * 100.0,
+                    d.frac_traffic_ge[3] * 100.0
+                )
+                .unwrap();
+            }
+            Ok(out)
+        }
+        Command::Run(args) => {
+            let mut cfg = SimConfig {
+                gen: gen_config(&args.common),
+                duration_secs: (args.hours * 3600.0) as u64,
+                epoch_secs: args.epoch_secs,
+                controller_enabled: !args.baseline,
+                ..Default::default()
+            };
+            cfg.controller.withdraw_hysteresis = args.hysteresis;
+            if args.split {
+                cfg.controller.split_depth = 1;
+            }
+            if args.global {
+                cfg.global_shift = Some(ef_sim::GlobalShifterConfig::default());
+            }
+            let mut engine = SimEngine::new(cfg);
+            engine.run();
+            let metrics = engine.take_metrics();
+            let report = ef_sim::RunReport::from_metrics(&metrics);
+
+            let mut out = String::new();
+            writeln!(
+                out,
+                "arm: {}",
+                if args.baseline { "baseline BGP" } else { "edge fabric" }
+            )
+            .unwrap();
+            out.push_str(&report.render());
+
+            if let Some(path) = &args.common.out {
+                // Dump the distilled epoch records for downstream analysis.
+                #[derive(serde::Serialize)]
+                struct Dump<'a> {
+                    pop_epochs: &'a [ef_sim::PopEpochRecord],
+                    episodes: &'a [ef_sim::DetourEpisode],
+                }
+                let json = serde_json::to_string_pretty(&Dump {
+                    pop_epochs: &metrics.pop_epochs,
+                    episodes: &metrics.episodes,
+                })
+                .map_err(|e| e.to_string())?;
+                std::fs::write(path, json).map_err(|e| e.to_string())?;
+                writeln!(out, "[wrote {path}]").unwrap();
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("--help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(parse_args(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn gen_defaults_and_flags() {
+        match parse_args(&argv("gen")).unwrap() {
+            Command::Gen(c) => assert_eq!(c, CommonArgs::default()),
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("gen --seed 11 --pops 4 --prefixes 100 --out d.json")).unwrap() {
+            Command::Gen(c) => {
+                assert_eq!(c.seed, 11);
+                assert_eq!(c.pops, 4);
+                assert_eq!(c.prefixes, 100);
+                assert_eq!(c.out.as_deref(), Some("d.json"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_flags() {
+        match parse_args(&argv(
+            "run --hours 2 --baseline --hysteresis 0.03 --split --global --epoch 60",
+        ))
+        .unwrap()
+        {
+            Command::Run(r) => {
+                assert_eq!(r.hours, 2.0);
+                assert!(r.baseline);
+                assert_eq!(r.hysteresis, 0.03);
+                assert!(r.split);
+                assert!(r.global);
+                assert_eq!(r.epoch_secs, 60);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("run")).unwrap() {
+            Command::Run(r) => {
+                assert!(!r.split);
+                assert!(!r.global);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_values_error_cleanly() {
+        assert!(parse_args(&argv("run --hours banana")).is_err());
+        assert!(parse_args(&argv("run --hours -1")).is_err());
+        assert!(parse_args(&argv("gen --seed")).is_err());
+        assert!(parse_args(&argv("gen --frob 1")).is_err());
+    }
+
+    #[test]
+    fn table1_and_diversity_render() {
+        let common = CommonArgs {
+            seed: 3,
+            pops: 4,
+            prefixes: 200,
+            out: None,
+        };
+        let t = execute(Command::Table1(common.clone())).unwrap();
+        assert!(t.contains("pop0"));
+        assert!(t.lines().count() >= 5);
+        let d = execute(Command::Diversity(common)).unwrap();
+        assert!(d.contains('%'));
+    }
+
+    #[test]
+    fn run_small_scenario_end_to_end() {
+        let mut args = RunArgs::default();
+        args.common.pops = 4;
+        args.common.prefixes = 200;
+        args.common.seed = 3;
+        args.hours = 0.25;
+        args.epoch_secs = 60;
+        let out = execute(Command::Run(args)).unwrap();
+        assert!(out.contains("edge fabric"));
+        assert!(out.contains("dropped:"));
+    }
+
+    #[test]
+    fn help_text_lists_commands() {
+        let help = execute(Command::Help).unwrap();
+        for cmd in ["gen", "table1", "diversity", "run"] {
+            assert!(help.contains(cmd));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! `efctl` — command-line front end for the Edge Fabric reproduction.
+
+use ef_cli::{execute, parse_args, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(cmd) => match execute(cmd) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("efctl: {e}");
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("efctl: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

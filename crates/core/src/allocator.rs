@@ -1,0 +1,735 @@
+//! The detour allocator (paper §4.2, steps 2–3).
+//!
+//! Given the unmitigated projection, finds interfaces whose utilization
+//! would exceed the limit and computes the minimal-ish set of prefix
+//! detours that brings every interface under it, subject to:
+//!
+//! * a detour target must be a real alternate route for the prefix (the
+//!   controller can only pick among BGP-learned paths);
+//! * a detour must not push its target over the limit (checked against the
+//!   running post-detour load, so a cascade of detours cannot overload a
+//!   target);
+//! * prefixes already owned by a performance override are not touched; and
+//! * the safety valves in [`ControllerConfig`]
+//!   (max detour fraction, max override count) are respected.
+//!
+//! Two prefix-selection strategies are provided for the ablation the paper
+//! invites: *best-alternative-first* (the paper's preference: detour
+//! prefixes whose next-best route is closest in preference, minimizing
+//! performance impact) and *largest-first* (fewest overrides).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use ef_bgp::route::{EgressId, Route};
+use ef_net_types::Prefix;
+
+use crate::collector::RouteCollector;
+use crate::config::ControllerConfig;
+use crate::overrides::{Override, OverrideReason, OverrideSet};
+use crate::projection::Projection;
+use crate::state::InterfaceMap;
+
+/// Prefix-selection order when shedding load from a hot interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetourStrategy {
+    /// Prefer prefixes whose best feasible alternate is closest in BGP
+    /// preference to the current route; break ties by larger demand.
+    BestAlternativeFirst,
+    /// Prefer the largest prefixes (fewest overrides to relieve overload).
+    LargestFirst,
+}
+
+/// What the allocator did in one epoch.
+#[derive(Debug, Clone, Default)]
+pub struct AllocationOutcome {
+    /// The desired override set (performance overrides passed in, plus the
+    /// capacity detours computed this epoch).
+    pub overrides: OverrideSet,
+    /// Interfaces that were projected over the limit, with their projected
+    /// utilization, sorted worst-first.
+    pub overloaded_before: Vec<(EgressId, f64)>,
+    /// Interfaces still over the limit after allocation (shed everything
+    /// movable and it wasn't enough), with residual utilization.
+    pub residual_overloaded: Vec<(EgressId, f64)>,
+    /// Post-allocation predicted load per interface, Mbps.
+    pub post_load: HashMap<EgressId, f64>,
+    /// Demand detoured for capacity this epoch, Mbps.
+    pub capacity_detoured_mbps: f64,
+}
+
+impl AllocationOutcome {
+    /// Post-allocation utilization of an interface.
+    pub fn post_utilization(&self, egress: EgressId, interfaces: &InterfaceMap) -> f64 {
+        let cap = interfaces
+            .get(&egress)
+            .map(|i| i.capacity_mbps)
+            .unwrap_or(f64::INFINITY);
+        self.post_load.get(&egress).copied().unwrap_or(0.0) / cap
+    }
+}
+
+/// Runs the allocator.
+///
+/// `perf_overrides` are pre-existing intents (paper §6) that the capacity
+/// pass must honor: their demand is charged to their targets before
+/// overload detection, and their prefixes are not re-steered.
+///
+/// `previous` is the override set currently announced. With the default
+/// config it is ignored (fully stateless recompute, as in the paper); when
+/// [`ControllerConfig::withdraw_hysteresis`] is positive, standing capacity
+/// overrides are retained while their source interface still projects
+/// above `util_limit − hysteresis`, damping flaps when demand hovers at
+/// the limit.
+pub fn allocate(
+    cfg: &ControllerConfig,
+    interfaces: &InterfaceMap,
+    routes: &RouteCollector,
+    traffic: &HashMap<Prefix, f64>,
+    projection: &Projection,
+    perf_overrides: &OverrideSet,
+    previous: &OverrideSet,
+) -> AllocationOutcome {
+    let mut load = projection.load_mbps.clone();
+    let mut overrides = OverrideSet::new();
+
+    let limit_of = |egress: EgressId| -> f64 {
+        interfaces
+            .get(&egress)
+            .map(|i| i.capacity_mbps * cfg.util_limit)
+            .unwrap_or(f64::INFINITY)
+    };
+    let util_of = |egress: EgressId, load: &HashMap<EgressId, f64>| -> f64 {
+        let cap = interfaces
+            .get(&egress)
+            .map(|i| i.capacity_mbps)
+            .unwrap_or(f64::INFINITY);
+        load.get(&egress).copied().unwrap_or(0.0) / cap
+    };
+
+    // Charge performance overrides to their targets first.
+    for o in perf_overrides.iter_sorted() {
+        let demand = traffic.get(&o.prefix).copied().unwrap_or(0.0);
+        if let Some(src) = projection.assignment.get(&o.prefix) {
+            if *src != o.target {
+                *load.entry(*src).or_default() -= demand;
+                *load.entry(o.target).or_default() += demand;
+            }
+        }
+        overrides.insert(Override {
+            moved_mbps: demand,
+            ..*o
+        });
+    }
+
+    // Withdraw hysteresis: retain standing capacity overrides while the
+    // interface they relieve still projects inside the hysteresis band.
+    if cfg.withdraw_hysteresis > 0.0 {
+        let keep_above = cfg.util_limit - cfg.withdraw_hysteresis;
+        for o in previous.iter_sorted() {
+            if o.reason != OverrideReason::Capacity || overrides.contains(&o.prefix) {
+                continue;
+            }
+            let demand = traffic.get(&o.prefix).copied().unwrap_or(0.0);
+            if demand <= 0.0 {
+                continue;
+            }
+            let Some(src) = projection.assignment.get(&o.prefix).copied() else {
+                continue;
+            };
+            if src == o.target {
+                continue;
+            }
+            // The detour target must still be a live organic route with room.
+            let Some(route) = routes
+                .candidates(&o.prefix)
+                .iter()
+                .find(|r| !r.is_override() && r.egress == o.target)
+            else {
+                continue;
+            };
+            let src_util = util_of(src, &load);
+            let room = load.get(&o.target).copied().unwrap_or(0.0) + demand <= limit_of(o.target);
+            if src_util > keep_above && room {
+                *load.entry(src).or_default() -= demand;
+                *load.entry(o.target).or_default() += demand;
+                overrides.insert(Override {
+                    moved_mbps: demand,
+                    target_kind: route.source.kind,
+                    ..*o
+                });
+            }
+        }
+    }
+
+    // Overloaded interfaces, worst first.
+    let mut overloaded: Vec<(EgressId, f64)> = interfaces
+        .keys()
+        .filter_map(|e| {
+            let u = util_of(*e, &load);
+            (u > cfg.util_limit).then_some((*e, u))
+        })
+        .collect();
+    overloaded.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let overloaded_before = overloaded.clone();
+
+    // Safety budgets.
+    let total_demand: f64 = traffic.values().sum();
+    let detour_budget = if cfg.max_detour_fraction > 0.0 {
+        total_demand * cfg.max_detour_fraction
+    } else {
+        f64::INFINITY
+    };
+    let mut capacity_detoured = 0.0f64;
+
+    for (hot, _) in &overloaded {
+        // Prefixes currently assigned to the hot interface, with demand.
+        let mut victims: Vec<(Prefix, f64)> = projection
+            .assignment
+            .iter()
+            .filter(|(prefix, egress)| {
+                **egress == *hot
+                    && !overrides.contains(prefix) // perf- or hysteresis-owned
+                    && traffic.get(*prefix).copied().unwrap_or(0.0) > 0.0
+            })
+            .map(|(prefix, _)| (*prefix, traffic[prefix]))
+            .collect();
+
+        // Order by strategy. The alternate-rank distance is the position of
+        // the first alternate route (off the hot interface) in the BGP
+        // preference ranking — 1 means "the very next choice".
+        match cfg.strategy {
+            DetourStrategy::LargestFirst => {
+                victims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            }
+            DetourStrategy::BestAlternativeFirst => {
+                // Preference distance: how far (in effective LOCAL_PREF)
+                // the first off-interface alternate sits below the current
+                // best route. Prefixes whose alternate is close in
+                // preference lose the least by being detoured.
+                let mut keyed: Vec<(i64, Prefix, f64)> = victims
+                    .into_iter()
+                    .map(|(prefix, mbps)| {
+                        let ranked: Vec<&Route> = routes
+                            .ranked(&prefix)
+                            .into_iter()
+                            .filter(|r| !r.is_override())
+                            .collect();
+                        let gap = match (
+                            ranked.first(),
+                            ranked.iter().find(|r| r.egress != *hot),
+                        ) {
+                            (Some(best), Some(alt)) => {
+                                i64::from(best.attrs.effective_local_pref())
+                                    - i64::from(alt.attrs.effective_local_pref())
+                            }
+                            _ => i64::MAX,
+                        };
+                        (gap, prefix, mbps)
+                    })
+                    .collect();
+                keyed.sort_by(|a, b| {
+                    a.0.cmp(&b.0)
+                        .then(b.2.partial_cmp(&a.2).unwrap())
+                        .then(a.1.cmp(&b.1))
+                });
+                victims = keyed.into_iter().map(|(_, p, m)| (p, m)).collect();
+            }
+        }
+
+        // Worklist of (steer-unit prefix, demand, route-lookup prefix,
+        // remaining split depth). Splitting (paper §7 future work) pushes
+        // a prefix's two more-specific halves as independent units whose
+        // alternates come from the *parent's* route set.
+        let mut worklist: std::collections::VecDeque<(Prefix, f64, Prefix, u8)> = victims
+            .into_iter()
+            .map(|(prefix, mbps)| (prefix, mbps, prefix, cfg.split_depth))
+            .collect();
+        while let Some((unit, mbps, lookup, depth)) = worklist.pop_front() {
+            if load.get(hot).copied().unwrap_or(0.0) <= limit_of(*hot) {
+                break; // interface relieved
+            }
+            if capacity_detoured + mbps > detour_budget {
+                continue; // this prefix would bust the safety budget
+            }
+            if cfg.max_overrides > 0 && overrides.len() >= cfg.max_overrides {
+                break;
+            }
+            // Find the most-preferred feasible alternate.
+            let target: Option<Route> = routes
+                .ranked(&lookup)
+                .into_iter()
+                .filter(|r| !r.is_override() && r.egress != *hot)
+                .find(|r| {
+                    load.get(&r.egress).copied().unwrap_or(0.0) + mbps <= limit_of(r.egress)
+                })
+                .cloned();
+            let Some(target) = target else {
+                // Nowhere to put the whole unit: try its halves.
+                if depth > 0 {
+                    if let Some((lo, hi)) = unit.halves() {
+                        worklist.push_back((lo, mbps / 2.0, lookup, depth - 1));
+                        worklist.push_back((hi, mbps / 2.0, lookup, depth - 1));
+                    }
+                }
+                continue;
+            };
+            *load.entry(*hot).or_default() -= mbps;
+            *load.entry(target.egress).or_default() += mbps;
+            capacity_detoured += mbps;
+            overrides.insert(Override {
+                prefix: unit,
+                target: target.egress,
+                target_kind: target.source.kind,
+                reason: OverrideReason::Capacity,
+                moved_mbps: mbps,
+            });
+        }
+    }
+
+    let residual_overloaded: Vec<(EgressId, f64)> = interfaces
+        .keys()
+        .filter_map(|e| {
+            let u = util_of(*e, &load);
+            (u > cfg.util_limit).then_some((*e, u))
+        })
+        .collect();
+
+    AllocationOutcome {
+        overrides,
+        overloaded_before,
+        residual_overloaded,
+        post_load: load,
+        capacity_detoured_mbps: capacity_detoured,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::project;
+    use crate::state::InterfaceInfo;
+    use ef_bgp::attrs::{AsPath, PathAttributes};
+    use ef_bgp::bmp::{BmpMessage, BmpPeerHeader};
+    use ef_bgp::message::UpdateMessage;
+    use ef_bgp::peer::{PeerId, PeerKind};
+    use ef_net_types::Asn;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// Builds a collector with a private peer (egress 1), a public peer
+    /// (egress 2), and a transit (egress 3), all announcing `prefixes`.
+    fn standard_world(prefixes: &[&str]) -> (RouteCollector, InterfaceMap) {
+        let mut c = RouteCollector::new(HashMap::from([
+            (PeerId(1), EgressId(1)),
+            (PeerId(2), EgressId(2)),
+            (PeerId(3), EgressId(3)),
+        ]));
+        let peers = [
+            (1u64, 65001u32, PeerKind::PrivatePeer),
+            (2, 65002, PeerKind::PublicPeer),
+            (3, 65010, PeerKind::Transit),
+        ];
+        for prefix in prefixes {
+            for (peer, asn, kind) in peers {
+                let mut attrs = PathAttributes {
+                    local_pref: Some(kind.default_local_pref()),
+                    as_path: AsPath::sequence([Asn(asn)]),
+                    ..Default::default()
+                };
+                attrs.add_community(kind.tag_community());
+                c.ingest([BmpMessage::RouteMonitoring {
+                    peer: BmpPeerHeader {
+                        peer: PeerId(peer),
+                        peer_asn: Asn(asn),
+                        peer_bgp_id: "10.0.0.1".parse().unwrap(),
+                        timestamp_ms: 0,
+                    },
+                    update: UpdateMessage::announce(p(prefix), attrs),
+                }]);
+            }
+        }
+        let interfaces = HashMap::from([
+            (
+                EgressId(1),
+                InterfaceInfo {
+                    capacity_mbps: 100.0,
+                    kind: PeerKind::PrivatePeer,
+                },
+            ),
+            (
+                EgressId(2),
+                InterfaceInfo {
+                    capacity_mbps: 100.0,
+                    kind: PeerKind::PublicPeer,
+                },
+            ),
+            (
+                EgressId(3),
+                InterfaceInfo {
+                    capacity_mbps: 100_000.0,
+                    kind: PeerKind::Transit,
+                },
+            ),
+        ]);
+        (c, interfaces)
+    }
+
+    fn run(
+        cfg: &ControllerConfig,
+        c: &RouteCollector,
+        interfaces: &InterfaceMap,
+        traffic: &HashMap<Prefix, f64>,
+    ) -> AllocationOutcome {
+        let proj = project(c, traffic);
+        allocate(cfg, interfaces, c, traffic, &proj, &OverrideSet::new(), &OverrideSet::new())
+    }
+
+    #[test]
+    fn no_overload_no_overrides() {
+        let (c, ifaces) = standard_world(&["1.0.0.0/24"]);
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 50.0)]);
+        let out = run(&ControllerConfig::default(), &c, &ifaces, &traffic);
+        assert!(out.overrides.is_empty());
+        assert!(out.overloaded_before.is_empty());
+        assert!(out.residual_overloaded.is_empty());
+        assert_eq!(out.capacity_detoured_mbps, 0.0);
+    }
+
+    #[test]
+    fn overload_is_relieved_to_next_preferred() {
+        let (c, ifaces) = standard_world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        // Both prefer egress 1 (private, 100 Mbps): 80 + 60 = 140 Mbps.
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 60.0)]);
+        let out = run(&ControllerConfig::default(), &c, &ifaces, &traffic);
+        assert_eq!(out.overloaded_before.len(), 1);
+        assert_eq!(out.overloaded_before[0].0, EgressId(1));
+        assert_eq!(out.overrides.len(), 1, "one detour suffices");
+        let o = out.overrides.iter_sorted()[0];
+        // Next-preferred is the public peer (egress 2), which fits.
+        assert_eq!(o.target, EgressId(2));
+        assert_eq!(o.target_kind, PeerKind::PublicPeer);
+        assert!(out.residual_overloaded.is_empty());
+        // Post-load respects the limit on every interface.
+        for (e, info) in &ifaces {
+            let u = out.post_utilization(*e, &ifaces);
+            assert!(u <= 0.95 + 1e-9, "{e} at {u} (cap {})", info.capacity_mbps);
+        }
+    }
+
+    #[test]
+    fn detour_skips_full_intermediate_and_lands_on_transit() {
+        let (c, ifaces) = standard_world(&["1.0.0.0/24", "2.0.0.0/24", "3.0.0.0/24"]);
+        // 1.0/2.0 fill private (egress 1); 3.0 pins public (egress 2) near
+        // its limit so the detour must skip to transit.
+        let traffic = HashMap::from([
+            (p("1.0.0.0/24"), 90.0),
+            (p("2.0.0.0/24"), 60.0),
+            (p("3.0.0.0/24"), 90.0),
+        ]);
+        // 3.0.0.0/24 prefers private too... need it on public. Instead,
+        // shrink public capacity so nothing fits there.
+        let mut ifaces = ifaces;
+        ifaces.get_mut(&EgressId(2)).unwrap().capacity_mbps = 10.0;
+        let out = run(&ControllerConfig::default(), &c, &ifaces, &traffic);
+        // All three prefixes preferred egress 1 (240 Mbps on 100). The
+        // allocator must shed to transit since public can't take anything.
+        assert!(!out.overrides.is_empty());
+        for o in out.overrides.iter_sorted() {
+            assert_eq!(o.target, EgressId(3), "public is full, use transit");
+            assert_eq!(o.target_kind, PeerKind::Transit);
+        }
+        assert!(out.residual_overloaded.is_empty());
+    }
+
+    #[test]
+    fn detours_never_overload_their_target() {
+        let (c, mut ifaces) = standard_world(&["1.0.0.0/24", "2.0.0.0/24", "3.0.0.0/24"]);
+        // Make even transit small: not everything can be placed.
+        ifaces.get_mut(&EgressId(3)).unwrap().capacity_mbps = 60.0;
+        ifaces.get_mut(&EgressId(2)).unwrap().capacity_mbps = 60.0;
+        let traffic = HashMap::from([
+            (p("1.0.0.0/24"), 90.0),
+            (p("2.0.0.0/24"), 80.0),
+            (p("3.0.0.0/24"), 70.0),
+        ]);
+        let cfg = ControllerConfig {
+            max_detour_fraction: 1.0,
+            ..Default::default()
+        };
+        let out = run(&cfg, &c, &ifaces, &traffic);
+        // Whatever happened, no *target* may exceed the limit; the hot
+        // interface itself may stay overloaded (reported as residual).
+        for (e, info) in &ifaces {
+            if *e == EgressId(1) {
+                continue;
+            }
+            let u = out.post_load.get(e).copied().unwrap_or(0.0) / info.capacity_mbps;
+            assert!(u <= 0.95 + 1e-9, "target {e} overloaded to {u}");
+        }
+        assert!(
+            out.residual_overloaded.iter().any(|(e, _)| *e == EgressId(1)),
+            "unplaceable overload is reported, not hidden"
+        );
+    }
+
+    #[test]
+    fn largest_first_moves_fewer_prefixes() {
+        let prefixes = ["1.0.0.0/24", "2.0.0.0/24", "3.0.0.0/24", "4.0.0.0/24"];
+        let (c, ifaces) = standard_world(&prefixes);
+        let traffic = HashMap::from([
+            (p("1.0.0.0/24"), 70.0),
+            (p("2.0.0.0/24"), 40.0),
+            (p("3.0.0.0/24"), 10.0),
+            (p("4.0.0.0/24"), 10.0),
+        ]);
+        let largest = run(
+            &ControllerConfig {
+                strategy: DetourStrategy::LargestFirst,
+                ..Default::default()
+            },
+            &c,
+            &ifaces,
+            &traffic,
+        );
+        // 130 total on 100-cap: moving the 70 clears it in one override.
+        assert_eq!(largest.overrides.len(), 1);
+        assert_eq!(largest.overrides.iter_sorted()[0].prefix, p("1.0.0.0/24"));
+    }
+
+    #[test]
+    fn max_overrides_cap_is_respected() {
+        let prefixes = ["1.0.0.0/24", "2.0.0.0/24", "3.0.0.0/24", "4.0.0.0/24"];
+        let (c, ifaces) = standard_world(&prefixes);
+        let traffic: HashMap<Prefix, f64> =
+            prefixes.iter().map(|s| (p(s), 50.0)).collect();
+        let cfg = ControllerConfig {
+            max_overrides: 1,
+            strategy: DetourStrategy::LargestFirst,
+            ..Default::default()
+        };
+        let out = run(&cfg, &c, &ifaces, &traffic);
+        assert_eq!(out.overrides.len(), 1);
+        assert!(!out.residual_overloaded.is_empty());
+    }
+
+    #[test]
+    fn detour_budget_limits_moved_volume() {
+        let (c, ifaces) = standard_world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 90.0), (p("2.0.0.0/24"), 90.0)]);
+        let cfg = ControllerConfig {
+            max_detour_fraction: 0.1, // 18 Mbps budget; nothing fits
+            ..Default::default()
+        };
+        let out = run(&cfg, &c, &ifaces, &traffic);
+        assert!(out.overrides.is_empty());
+        assert!(!out.residual_overloaded.is_empty());
+    }
+
+    #[test]
+    fn perf_overrides_are_honored_and_charged() {
+        let (c, ifaces) = standard_world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 50.0), (p("2.0.0.0/24"), 50.0)]);
+        // Performance override steers 1.0/24 to transit already.
+        let mut perf = OverrideSet::new();
+        perf.insert(Override {
+            prefix: p("1.0.0.0/24"),
+            target: EgressId(3),
+            target_kind: PeerKind::Transit,
+            reason: OverrideReason::Performance,
+            moved_mbps: 0.0,
+        });
+        let proj = project(&c, &traffic);
+        let out = allocate(
+            &ControllerConfig::default(),
+            &ifaces,
+            &c,
+            &traffic,
+            &proj,
+            &perf,
+            &OverrideSet::new(),
+        );
+        // 100 Mbps total would overload nothing once 1.0/24 sits on transit.
+        assert!(out.overloaded_before.is_empty());
+        let o = out.overrides.get(&p("1.0.0.0/24")).unwrap();
+        assert_eq!(o.reason, OverrideReason::Performance);
+        assert_eq!(o.moved_mbps, 50.0, "demand charged to the perf override");
+        assert_eq!(out.post_load[&EgressId(3)], 50.0);
+        assert_eq!(out.post_load[&EgressId(1)], 50.0);
+    }
+
+    #[test]
+    fn splitting_places_a_half_when_whole_prefix_fits_nowhere() {
+        // A single 120 Mbps prefix overloads the 100 Mbps PNI; the
+        // alternates have only 65 Mbps each, so the whole prefix fits
+        // nowhere — but half of it (60) does, and moving one half already
+        // brings the PNI under its limit.
+        let (c, mut ifaces) = standard_world(&["1.0.0.0/24"]);
+        ifaces.get_mut(&EgressId(2)).unwrap().capacity_mbps = 65.0; // limit 61.75
+        ifaces.get_mut(&EgressId(3)).unwrap().capacity_mbps = 65.0;
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 120.0)]);
+
+        // Without splitting: stuck.
+        let no_split = run(&ControllerConfig::default(), &c, &ifaces, &traffic);
+        assert!(no_split.overrides.is_empty());
+        assert!(
+            !no_split.residual_overloaded.is_empty(),
+            "whole-prefix allocator is stuck"
+        );
+
+        // With splitting: one /25 moves, the PNI is relieved.
+        let cfg = ControllerConfig {
+            split_depth: 1,
+            ..Default::default()
+        };
+        let split = run(&cfg, &c, &ifaces, &traffic);
+        assert!(
+            split.residual_overloaded.is_empty(),
+            "splitting relieves the overload: {:?}",
+            split.residual_overloaded
+        );
+        let halves: Vec<&Override> = split
+            .overrides
+            .iter_sorted()
+            .into_iter()
+            .filter(|o| o.prefix.len() == 25)
+            .collect();
+        assert_eq!(halves.len(), 1, "one /25 override suffices");
+        assert!(p("1.0.0.0/24").contains(&halves[0].prefix));
+        assert_eq!(halves[0].moved_mbps, 60.0);
+        // The target respects its limit.
+        let post = split.post_load[&halves[0].target];
+        assert!(post <= 61.75 + 1e-9);
+    }
+
+    #[test]
+    fn splitting_disabled_by_default() {
+        let cfg = ControllerConfig::default();
+        assert_eq!(cfg.split_depth, 0);
+        let bad = ControllerConfig {
+            split_depth: 2,
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn hysteresis_keeps_override_in_the_band_and_drops_it_below() {
+        let (c, ifaces) = standard_world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let cfg = ControllerConfig {
+            withdraw_hysteresis: 0.10, // keep while util > 0.85
+            ..Default::default()
+        };
+
+        // Epoch 1: 150 Mbps overloads the 100 Mbps PNI → one override.
+        let peak = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 70.0)]);
+        let proj = project(&c, &peak);
+        let first = allocate(&cfg, &ifaces, &c, &peak, &proj, &OverrideSet::new(), &OverrideSet::new());
+        assert_eq!(first.overrides.len(), 1);
+
+        // Epoch 2: demand eases to 90 Mbps total — under the 95 limit but
+        // inside the hysteresis band (>85): the override must persist.
+        let band = HashMap::from([(p("1.0.0.0/24"), 50.0), (p("2.0.0.0/24"), 40.0)]);
+        let proj = project(&c, &band);
+        let second = allocate(&cfg, &ifaces, &c, &band, &proj, &OverrideSet::new(), &first.overrides);
+        assert_eq!(second.overrides.len(), 1, "kept inside the band");
+        assert_eq!(
+            second.overrides.iter_sorted()[0].prefix,
+            first.overrides.iter_sorted()[0].prefix
+        );
+
+        // Epoch 3: demand falls to 60 Mbps — below the band: withdrawn.
+        let quiet = HashMap::from([(p("1.0.0.0/24"), 35.0), (p("2.0.0.0/24"), 25.0)]);
+        let proj = project(&c, &quiet);
+        let third = allocate(&cfg, &ifaces, &c, &quiet, &proj, &OverrideSet::new(), &second.overrides);
+        assert!(third.overrides.is_empty(), "dropped below the band");
+
+        // Without hysteresis the epoch-2 override would have been dropped.
+        let proj = project(&c, &band);
+        let stateless = allocate(
+            &ControllerConfig::default(),
+            &ifaces,
+            &c,
+            &band,
+            &proj,
+            &OverrideSet::new(),
+            &first.overrides,
+        );
+        assert!(stateless.overrides.is_empty());
+    }
+
+    #[test]
+    fn hysteresis_does_not_keep_overrides_onto_dead_routes() {
+        let (c, ifaces) = standard_world(&["1.0.0.0/24"]);
+        let cfg = ControllerConfig {
+            withdraw_hysteresis: 0.10,
+            ..Default::default()
+        };
+        // Previous override points at an egress with no route.
+        let mut previous = OverrideSet::new();
+        previous.insert(Override {
+            prefix: p("1.0.0.0/24"),
+            target: EgressId(77),
+            target_kind: PeerKind::Transit,
+            reason: OverrideReason::Capacity,
+            moved_mbps: 50.0,
+        });
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 92.0)]);
+        let proj = project(&c, &traffic);
+        let out = allocate(&cfg, &ifaces, &c, &traffic, &proj, &OverrideSet::new(), &previous);
+        assert!(
+            out.overrides.get(&p("1.0.0.0/24")).map(|o| o.target) != Some(EgressId(77)),
+            "stale override not retained"
+        );
+    }
+
+    #[test]
+    fn best_alternative_first_prefers_close_alternates() {
+        // Prefix A's only alternate is transit (rank distance large);
+        // prefix B has a public alternate (rank distance 1). With the
+        // BestAlternativeFirst strategy and both equally sized, B moves.
+        let mut c = RouteCollector::new(HashMap::from([
+            (PeerId(1), EgressId(1)),
+            (PeerId(2), EgressId(2)),
+            (PeerId(3), EgressId(3)),
+        ]));
+        let announce = |c: &mut RouteCollector, peer: u64, asn: u32, kind: PeerKind, prefix: &str| {
+            let mut attrs = PathAttributes {
+                local_pref: Some(kind.default_local_pref()),
+                as_path: AsPath::sequence([Asn(asn)]),
+                ..Default::default()
+            };
+            attrs.add_community(kind.tag_community());
+            c.ingest([BmpMessage::RouteMonitoring {
+                peer: BmpPeerHeader {
+                    peer: PeerId(peer),
+                    peer_asn: Asn(asn),
+                    peer_bgp_id: "10.0.0.1".parse().unwrap(),
+                    timestamp_ms: 0,
+                },
+                update: UpdateMessage::announce(p(prefix), attrs),
+            }]);
+        };
+        // Both prefixes on private; only B has the public alternate.
+        announce(&mut c, 1, 65001, PeerKind::PrivatePeer, "10.0.0.0/24"); // A
+        announce(&mut c, 3, 65010, PeerKind::Transit, "10.0.0.0/24");
+        announce(&mut c, 1, 65001, PeerKind::PrivatePeer, "11.0.0.0/24"); // B
+        announce(&mut c, 2, 65002, PeerKind::PublicPeer, "11.0.0.0/24");
+        announce(&mut c, 3, 65010, PeerKind::Transit, "11.0.0.0/24");
+
+        let interfaces = HashMap::from([
+            (EgressId(1), InterfaceInfo { capacity_mbps: 100.0, kind: PeerKind::PrivatePeer }),
+            (EgressId(2), InterfaceInfo { capacity_mbps: 1000.0, kind: PeerKind::PublicPeer }),
+            (EgressId(3), InterfaceInfo { capacity_mbps: 100_000.0, kind: PeerKind::Transit }),
+        ]);
+        let traffic = HashMap::from([(p("10.0.0.0/24"), 60.0), (p("11.0.0.0/24"), 60.0)]);
+        let out = run(&ControllerConfig::default(), &c, &interfaces, &traffic);
+        assert_eq!(out.overrides.len(), 1);
+        let o = out.overrides.iter_sorted()[0];
+        assert_eq!(o.prefix, p("11.0.0.0/24"), "B has the closer alternate");
+        assert_eq!(o.target, EgressId(2));
+    }
+}

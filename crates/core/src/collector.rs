@@ -1,0 +1,290 @@
+//! BMP route collection (paper §4.1).
+//!
+//! The controller never peers with routers to learn routes — it consumes
+//! their BMP feeds, which export every post-policy route (not only the
+//! decision winners). [`RouteCollector`] folds those messages into a
+//! [`LocRib`]-shaped view the projection and allocator operate on.
+//!
+//! Routes are classified by the interconnect-kind community the routers'
+//! import policy tagged at the edge; the egress interface of a route is the
+//! attachment egress of the peer it came from (supplied as static config),
+//! except controller-injected routes, whose egress rides in the synthetic
+//! next hop.
+
+use std::collections::HashMap;
+
+use ef_bgp::bmp::BmpMessage;
+use ef_bgp::peer::{PeerId, PeerKind};
+use ef_bgp::rib::LocRib;
+use ef_bgp::route::{EgressId, Route, RouteSource};
+use ef_net_types::Prefix;
+
+/// Maintains the controller's merged route view from BMP.
+#[derive(Debug, Default)]
+pub struct RouteCollector {
+    /// Peer → egress interface, from PoP config.
+    peer_egress: HashMap<PeerId, EgressId>,
+    rib: LocRib,
+    /// Messages that could not be attributed (unknown peer, missing tag).
+    dropped: usize,
+}
+
+impl RouteCollector {
+    /// Creates a collector knowing each peer's egress interface.
+    pub fn new(peer_egress: HashMap<PeerId, EgressId>) -> Self {
+        RouteCollector {
+            peer_egress,
+            rib: LocRib::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Registers a (late-provisioned) peer's egress mapping.
+    pub fn add_peer(&mut self, peer: PeerId, egress: EgressId) {
+        self.peer_egress.insert(peer, egress);
+    }
+
+    /// Number of messages dropped for lack of attribution.
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+
+    /// Folds a batch of BMP messages into the route view.
+    pub fn ingest(&mut self, messages: impl IntoIterator<Item = BmpMessage>) {
+        for msg in messages {
+            match msg {
+                BmpMessage::RouteMonitoring { peer, update } => {
+                    // Kind is recovered from the import-tag community.
+                    let kind = update
+                        .attrs
+                        .communities
+                        .iter()
+                        .find_map(|c| {
+                            (c.asn_part() == (ef_net_types::Asn::LOCAL.0 & 0xFFFF) as u16)
+                                .then(|| PeerKind::from_tag_code(c.value_part()))
+                                .flatten()
+                        });
+                    for prefix in &update.withdrawn {
+                        self.rib.withdraw(prefix, peer.peer);
+                    }
+                    if update.announced.is_empty() {
+                        continue;
+                    }
+                    let Some(kind) = kind else {
+                        self.dropped += 1;
+                        continue;
+                    };
+                    let egress = if kind == PeerKind::Controller {
+                        update.attrs.next_hop.and_then(EgressId::from_next_hop)
+                    } else {
+                        self.peer_egress.get(&peer.peer).copied()
+                    };
+                    let Some(egress) = egress else {
+                        self.dropped += 1;
+                        continue;
+                    };
+                    let source = RouteSource {
+                        peer: peer.peer,
+                        peer_asn: peer.peer_asn,
+                        kind,
+                    };
+                    for prefix in &update.announced {
+                        self.rib.install(Route {
+                            prefix: *prefix,
+                            attrs: update.attrs.clone(),
+                            source,
+                            egress,
+                        });
+                    }
+                }
+                BmpMessage::PeerDown { peer, .. } => {
+                    self.rib.withdraw_peer(peer.peer);
+                }
+                BmpMessage::PeerUp(_) | BmpMessage::Initiation { .. } | BmpMessage::Termination => {}
+            }
+        }
+    }
+
+    /// Every candidate route for a prefix.
+    pub fn candidates(&self, prefix: &Prefix) -> &[Route] {
+        self.rib.candidates(prefix)
+    }
+
+    /// Candidates ranked best-first by the BGP decision process.
+    pub fn ranked(&self, prefix: &Prefix) -> Vec<&Route> {
+        self.rib.ranked(prefix)
+    }
+
+    /// Number of prefixes with at least one route.
+    pub fn prefix_count(&self) -> usize {
+        self.rib.len()
+    }
+
+    /// Iterates `(prefix, candidates)`.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &[Route])> {
+        self.rib.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ef_bgp::attrs::{AsPath, PathAttributes};
+    use ef_bgp::bmp::BmpPeerHeader;
+    use ef_bgp::message::UpdateMessage;
+    use ef_net_types::Asn;
+
+    fn header(peer: u64, asn: u32) -> BmpPeerHeader {
+        BmpPeerHeader {
+            peer: PeerId(peer),
+            peer_asn: Asn(asn),
+            peer_bgp_id: "10.0.0.1".parse().unwrap(),
+            timestamp_ms: 0,
+        }
+    }
+
+    fn tagged_attrs(kind: PeerKind, path: &[u32]) -> PathAttributes {
+        let mut attrs = PathAttributes {
+            local_pref: Some(kind.default_local_pref()),
+            as_path: AsPath::sequence(path.iter().map(|a| Asn(*a))),
+            ..Default::default()
+        };
+        attrs.add_community(kind.tag_community());
+        attrs
+    }
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn collector() -> RouteCollector {
+        RouteCollector::new(HashMap::from([
+            (PeerId(1), EgressId(11)),
+            (PeerId(2), EgressId(12)),
+        ]))
+    }
+
+    #[test]
+    fn announce_and_withdraw_flow_through() {
+        let mut c = collector();
+        c.ingest([BmpMessage::RouteMonitoring {
+            peer: header(1, 65001),
+            update: UpdateMessage::announce(
+                p("203.0.113.0/24"),
+                tagged_attrs(PeerKind::PrivatePeer, &[65001]),
+            ),
+        }]);
+        assert_eq!(c.prefix_count(), 1);
+        let routes = c.candidates(&p("203.0.113.0/24"));
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].egress, EgressId(11));
+        assert_eq!(routes[0].source.kind, PeerKind::PrivatePeer);
+
+        c.ingest([BmpMessage::RouteMonitoring {
+            peer: header(1, 65001),
+            update: UpdateMessage::withdraw([p("203.0.113.0/24")]),
+        }]);
+        assert_eq!(c.prefix_count(), 0);
+    }
+
+    #[test]
+    fn ranked_respects_decision_process() {
+        let mut c = collector();
+        c.ingest([
+            BmpMessage::RouteMonitoring {
+                peer: header(2, 65010),
+                update: UpdateMessage::announce(
+                    p("203.0.113.0/24"),
+                    tagged_attrs(PeerKind::Transit, &[65010]),
+                ),
+            },
+            BmpMessage::RouteMonitoring {
+                peer: header(1, 65001),
+                update: UpdateMessage::announce(
+                    p("203.0.113.0/24"),
+                    tagged_attrs(PeerKind::PrivatePeer, &[65001, 64999]),
+                ),
+            },
+        ]);
+        let ranked = c.ranked(&p("203.0.113.0/24"));
+        assert_eq!(ranked.len(), 2);
+        assert_eq!(ranked[0].source.kind, PeerKind::PrivatePeer, "tier beats length");
+    }
+
+    #[test]
+    fn peer_down_flushes_routes() {
+        let mut c = collector();
+        for prefix in ["1.0.0.0/24", "2.0.0.0/24"] {
+            c.ingest([BmpMessage::RouteMonitoring {
+                peer: header(1, 65001),
+                update: UpdateMessage::announce(
+                    p(prefix),
+                    tagged_attrs(PeerKind::PrivatePeer, &[65001]),
+                ),
+            }]);
+        }
+        assert_eq!(c.prefix_count(), 2);
+        c.ingest([BmpMessage::PeerDown {
+            peer: header(1, 65001),
+            reason: 1,
+        }]);
+        assert_eq!(c.prefix_count(), 0);
+    }
+
+    #[test]
+    fn untagged_routes_are_dropped_and_counted() {
+        let mut c = collector();
+        c.ingest([BmpMessage::RouteMonitoring {
+            peer: header(1, 65001),
+            update: UpdateMessage::announce(
+                p("203.0.113.0/24"),
+                PathAttributes::default(), // no kind tag
+            ),
+        }]);
+        assert_eq!(c.prefix_count(), 0);
+        assert_eq!(c.dropped(), 1);
+    }
+
+    #[test]
+    fn unknown_peer_is_dropped() {
+        let mut c = collector();
+        c.ingest([BmpMessage::RouteMonitoring {
+            peer: header(99, 65099),
+            update: UpdateMessage::announce(
+                p("203.0.113.0/24"),
+                tagged_attrs(PeerKind::PublicPeer, &[65099]),
+            ),
+        }]);
+        assert_eq!(c.prefix_count(), 0);
+        assert_eq!(c.dropped(), 1);
+    }
+
+    #[test]
+    fn controller_routes_resolve_egress_from_next_hop() {
+        let mut c = collector();
+        let mut attrs = tagged_attrs(PeerKind::Controller, &[]);
+        attrs.next_hop = Some(EgressId(42).to_next_hop());
+        c.ingest([BmpMessage::RouteMonitoring {
+            peer: header(100, 32934),
+            update: UpdateMessage::announce(p("203.0.113.0/24"), attrs),
+        }]);
+        let routes = c.candidates(&p("203.0.113.0/24"));
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].egress, EgressId(42));
+        assert!(routes[0].is_override());
+    }
+
+    #[test]
+    fn late_peer_registration_works() {
+        let mut c = RouteCollector::new(HashMap::new());
+        c.add_peer(PeerId(5), EgressId(50));
+        c.ingest([BmpMessage::RouteMonitoring {
+            peer: header(5, 65005),
+            update: UpdateMessage::announce(
+                p("5.0.0.0/24"),
+                tagged_attrs(PeerKind::PublicPeer, &[65005]),
+            ),
+        }]);
+        assert_eq!(c.prefix_count(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Controller configuration.
+
+use serde::{Deserialize, Serialize};
+
+use ef_net_types::Community;
+
+use crate::allocator::DetourStrategy;
+
+/// Tunables for one PoP's controller.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ControllerConfig {
+    /// Utilization limit: an interface whose projected load exceeds
+    /// `limit × capacity` is overloaded and must shed traffic. The paper
+    /// runs ≈0.95, holding headroom for projection error and sub-cycle
+    /// bursts.
+    pub util_limit: f64,
+    /// Controller cycle length, seconds (paper: ~30 s).
+    pub epoch_secs: u64,
+    /// How the allocator picks which prefixes to detour.
+    pub strategy: DetourStrategy,
+    /// Community stamped on every injected override so routers can verify
+    /// provenance and operators can audit.
+    pub override_marker: Community,
+    /// Safety valve: at most this fraction of the PoP's total demand may be
+    /// detoured in one epoch. 1.0 (the default) disables the guard;
+    /// production deployments would set something like 0.25.
+    pub max_detour_fraction: f64,
+    /// Safety valve: hard cap on concurrently active overrides
+    /// (0 = unlimited).
+    pub max_overrides: usize,
+    /// Dry-run: compute and report overrides but never inject them.
+    pub dry_run: bool,
+    /// Withdraw hysteresis: a standing capacity override is kept while its
+    /// source interface still projects above `util_limit − hysteresis`,
+    /// preventing flapping when demand hovers at the limit. 0 (default)
+    /// reproduces the paper's fully stateless recompute.
+    pub withdraw_hysteresis: f64,
+    /// Prefix splitting (paper §7 future work): when a whole prefix fits on
+    /// no single alternate, allow detouring its two more-specific halves
+    /// independently. 0 = off (paper-faithful); 1 = one halving.
+    pub split_depth: u8,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        ControllerConfig {
+            util_limit: 0.95,
+            epoch_secs: 30,
+            strategy: DetourStrategy::BestAlternativeFirst,
+            override_marker: Community::new(32934, 999),
+            max_detour_fraction: 1.0,
+            max_overrides: 0,
+            dry_run: false,
+            withdraw_hysteresis: 0.0,
+            split_depth: 0,
+        }
+    }
+}
+
+impl ControllerConfig {
+    /// Validates invariants; call after deserializing external config.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0 < self.util_limit && self.util_limit <= 1.0) {
+            return Err(format!("util_limit {} outside (0, 1]", self.util_limit));
+        }
+        if self.epoch_secs == 0 {
+            return Err("epoch_secs must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.max_detour_fraction) {
+            return Err(format!(
+                "max_detour_fraction {} outside [0, 1]",
+                self.max_detour_fraction
+            ));
+        }
+        if !(0.0..self.util_limit).contains(&self.withdraw_hysteresis) {
+            return Err(format!(
+                "withdraw_hysteresis {} outside [0, util_limit)",
+                self.withdraw_hysteresis
+            ));
+        }
+        if self.split_depth > 1 {
+            return Err(format!("split_depth {} > 1 unsupported", self.split_depth));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper() {
+        let cfg = ControllerConfig::default();
+        cfg.validate().unwrap();
+        assert!((cfg.util_limit - 0.95).abs() < 1e-12);
+        assert_eq!(cfg.epoch_secs, 30);
+        assert!(!cfg.dry_run);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        let bad = |f: fn(&mut ControllerConfig)| {
+            let mut cfg = ControllerConfig::default();
+            f(&mut cfg);
+            cfg.validate().is_err()
+        };
+        assert!(bad(|c| c.util_limit = 0.0));
+        assert!(bad(|c| c.util_limit = 1.2));
+        assert!(bad(|c| c.epoch_secs = 0));
+        assert!(bad(|c| c.max_detour_fraction = 1.5));
+        assert!(bad(|c| c.withdraw_hysteresis = 0.95));
+        assert!(bad(|c| c.split_depth = 2));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = ControllerConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ControllerConfig = serde_json::from_str(&json).unwrap();
+        assert!((back.util_limit - cfg.util_limit).abs() < 1e-12);
+        assert_eq!(back.epoch_secs, cfg.epoch_secs);
+    }
+}

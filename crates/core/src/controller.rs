@@ -1,0 +1,461 @@
+//! The per-PoP control loop (paper §4).
+//!
+//! [`PopController`] owns the collector, the injector, and the epoch cycle.
+//! It holds no cross-epoch decision state: each call to
+//! [`run_epoch`](PopController::run_epoch) recomputes the full desired
+//! override set from fresh routes and traffic and lets the injector apply
+//! the diff. The paper argues this stateless design keeps the controller
+//! simple and self-correcting — an operator can restart it at any time and
+//! the next epoch converges to the same answer.
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+
+use ef_bgp::bmp::BmpMessage;
+use ef_bgp::peer::{PeerId, PeerKind};
+use ef_bgp::route::EgressId;
+use ef_bgp::router::BgpRouter;
+use ef_bgp::session::Millis;
+
+use crate::allocator::allocate;
+use crate::collector::RouteCollector;
+use crate::config::ControllerConfig;
+use crate::injector::Injector;
+use crate::overrides::OverrideSet;
+use crate::projection::project;
+use crate::state::{InterfaceMap, TrafficState};
+
+/// What one controller epoch observed and did, for telemetry and the
+/// evaluation harness.
+#[derive(Debug, Clone, Serialize)]
+pub struct EpochReport {
+    /// Simulated time of the epoch, ms.
+    pub now_ms: u64,
+    /// PoP this controller serves.
+    pub pop: u16,
+    /// Prefixes with at least one route in the collector.
+    pub prefixes_known: usize,
+    /// Total demand presented, Mbps.
+    pub total_demand_mbps: f64,
+    /// Demand with no route at all, Mbps.
+    pub unrouted_mbps: f64,
+    /// Interfaces projected over the limit before mitigation
+    /// `(egress, projected utilization)`, worst first.
+    pub overloaded_before: Vec<(u32, f64)>,
+    /// Interfaces still over the limit after mitigation.
+    pub residual_overloaded: Vec<(u32, f64)>,
+    /// Overrides active after this epoch.
+    pub overrides_active: usize,
+    /// Demand detoured by active overrides, Mbps.
+    pub detoured_mbps: f64,
+    /// Demand detoured per target interconnect kind, Mbps.
+    pub detoured_by_kind: HashMap<String, f64>,
+    /// BGP announcements sent this epoch.
+    pub churn_announced: usize,
+    /// BGP withdrawals sent this epoch.
+    pub churn_withdrawn: usize,
+    /// Projected (unmitigated) load per interface, Mbps.
+    pub projected_load: HashMap<u32, f64>,
+    /// Predicted post-mitigation load per interface, Mbps.
+    pub post_load: HashMap<u32, f64>,
+}
+
+/// The Edge Fabric controller for one PoP.
+pub struct PopController {
+    pop: u16,
+    cfg: ControllerConfig,
+    interfaces: InterfaceMap,
+    collector: RouteCollector,
+    injector: Injector,
+    perf_overrides: OverrideSet,
+}
+
+impl PopController {
+    /// Creates a controller and attaches its BGP session to the PoP's
+    /// router. The collector's peer→egress map is read from the router's
+    /// current attachments.
+    pub fn new(
+        pop: u16,
+        cfg: ControllerConfig,
+        interfaces: InterfaceMap,
+        router: &mut BgpRouter,
+    ) -> Self {
+        cfg.validate().expect("controller config invalid");
+        let mut peer_egress = HashMap::new();
+        for peer in router.peer_ids() {
+            if let Some(attach) = router.attachment(peer) {
+                peer_egress.insert(peer, attach.egress);
+            }
+        }
+        let injector = Injector::attach(
+            router,
+            PeerId(1_000_000 + pop as u64),
+            cfg.override_marker,
+            0,
+        );
+        PopController {
+            pop,
+            cfg,
+            interfaces,
+            collector: RouteCollector::new(peer_egress),
+            injector,
+            perf_overrides: OverrideSet::new(),
+        }
+    }
+
+    /// The PoP this controller serves.
+    pub fn pop(&self) -> u16 {
+        self.pop
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &ControllerConfig {
+        &self.cfg
+    }
+
+    /// Read access to the collected route state.
+    pub fn collector(&self) -> &RouteCollector {
+        &self.collector
+    }
+
+    /// The overrides currently announced to the router.
+    pub fn active_overrides(&self) -> &OverrideSet {
+        self.injector.announced()
+    }
+
+    /// Interface facts the controller operates with.
+    pub fn interfaces(&self) -> &InterfaceMap {
+        &self.interfaces
+    }
+
+    /// Feeds BMP messages from the router into the route collector. Call
+    /// whenever the feed has data; at minimum once per epoch before
+    /// [`run_epoch`](Self::run_epoch).
+    pub fn ingest_bmp(&mut self, messages: impl IntoIterator<Item = BmpMessage>) {
+        self.collector.ingest(messages);
+    }
+
+    /// Installs the §6 performance-override intents the capacity pass must
+    /// honor from now on (empty set disables the extension).
+    pub fn set_perf_overrides(&mut self, set: OverrideSet) {
+        self.perf_overrides = set;
+    }
+
+    /// Runs one controller cycle against `traffic` (per-prefix Mbps).
+    pub fn run_epoch(
+        &mut self,
+        traffic: &TrafficState,
+        router: &mut BgpRouter,
+        now: Millis,
+    ) -> EpochReport {
+        let projection = project(&self.collector, traffic);
+        let outcome = allocate(
+            &self.cfg,
+            &self.interfaces,
+            &self.collector,
+            traffic,
+            &projection,
+            &self.perf_overrides,
+            self.injector.announced(),
+        );
+
+        let diff = if self.cfg.dry_run {
+            Default::default()
+        } else {
+            self.injector.apply(router, &outcome.overrides, now)
+        };
+
+        // Pull the router's BMP echoes of our own changes immediately so
+        // the collector's view stays current within the epoch.
+        self.collector.ingest(router.drain_bmp());
+
+        let active = self.injector.announced();
+        EpochReport {
+            now_ms: now,
+            pop: self.pop,
+            prefixes_known: self.collector.prefix_count(),
+            total_demand_mbps: traffic.values().sum(),
+            unrouted_mbps: projection.unrouted_mbps,
+            overloaded_before: outcome
+                .overloaded_before
+                .iter()
+                .map(|(e, u)| (e.0, *u))
+                .collect(),
+            residual_overloaded: outcome
+                .residual_overloaded
+                .iter()
+                .map(|(e, u)| (e.0, *u))
+                .collect(),
+            overrides_active: active.len(),
+            detoured_mbps: active.total_moved_mbps(),
+            detoured_by_kind: active
+                .moved_by_target_kind()
+                .into_iter()
+                .map(|(k, v)| (k.label().to_string(), v))
+                .collect(),
+            churn_announced: diff.announce.len(),
+            churn_withdrawn: diff.withdraw.len(),
+            projected_load: projection
+                .load_mbps
+                .iter()
+                .map(|(e, v)| (e.0, *v))
+                .collect(),
+            post_load: outcome.post_load.iter().map(|(e, v)| (e.0, *v)).collect(),
+        }
+    }
+
+    /// Withdraws every override (drain before maintenance).
+    pub fn drain(&mut self, router: &mut BgpRouter, now: Millis) {
+        self.injector.drain(router, now);
+    }
+
+    /// Utilization limit in Mbps for an interface, as the allocator sees it.
+    pub fn limit_mbps(&self, egress: EgressId) -> f64 {
+        self.interfaces
+            .get(&egress)
+            .map(|i| i.capacity_mbps * self.cfg.util_limit)
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// Classifies an interface (for reports).
+    pub fn interface_kind(&self, egress: EgressId) -> Option<PeerKind> {
+        self.interfaces.get(&egress).map(|i| i.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::InterfaceInfo;
+    use ef_bgp::attrs::{AsPath, PathAttributes};
+    use ef_bgp::policy::Policy;
+    use ef_bgp::router::{PeerAttachment, PeerStub, RouterConfig};
+    use ef_net_types::{Asn, Prefix};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    struct World {
+        router: BgpRouter,
+        #[allow(dead_code)]
+        peer: PeerStub,
+        #[allow(dead_code)]
+        transit: PeerStub,
+        controller: PopController,
+    }
+
+    /// One private peer (egress 1, 100 Mbps) + one transit (egress 2, big),
+    /// both announcing the given prefixes.
+    fn world(prefixes: &[&str]) -> World {
+        let mut router = BgpRouter::new(RouterConfig {
+            name: "pop0-pr0".into(),
+            asn: Asn::LOCAL,
+            router_id: "10.0.0.1".parse().unwrap(),
+        });
+        for (id, asn, kind, egress) in [
+            (1u64, 65001u32, PeerKind::PrivatePeer, 1u32),
+            (2, 65010, PeerKind::Transit, 2),
+        ] {
+            router.add_peer(PeerAttachment {
+                peer: PeerId(id),
+                peer_asn: Asn(asn),
+                kind,
+                egress: EgressId(egress),
+                policy: Policy::default_import(Asn::LOCAL, kind),
+                max_prefixes: 0,
+            });
+        }
+        let mut peer = PeerStub::new(PeerId(1), Asn(65001), "10.9.0.1".parse().unwrap());
+        let mut transit = PeerStub::new(PeerId(2), Asn(65010), "10.9.0.2".parse().unwrap());
+        peer.pump(&mut router, 0);
+        transit.pump(&mut router, 0);
+        for prefix in prefixes {
+            peer.announce(
+                &mut router,
+                p(prefix),
+                PathAttributes {
+                    as_path: AsPath::sequence([Asn(65001)]),
+                    ..Default::default()
+                },
+                0,
+            );
+            transit.announce(
+                &mut router,
+                p(prefix),
+                PathAttributes {
+                    as_path: AsPath::sequence([Asn(65010)]),
+                    ..Default::default()
+                },
+                0,
+            );
+        }
+        let interfaces = HashMap::from([
+            (
+                EgressId(1),
+                InterfaceInfo {
+                    capacity_mbps: 100.0,
+                    kind: PeerKind::PrivatePeer,
+                },
+            ),
+            (
+                EgressId(2),
+                InterfaceInfo {
+                    capacity_mbps: 100_000.0,
+                    kind: PeerKind::Transit,
+                },
+            ),
+        ]);
+        let mut controller =
+            PopController::new(0, ControllerConfig::default(), interfaces, &mut router);
+        controller.ingest_bmp(router.drain_bmp());
+        World {
+            router,
+            peer,
+            transit,
+            controller,
+        }
+    }
+
+    #[test]
+    fn quiet_epoch_changes_nothing() {
+        let mut w = world(&["1.0.0.0/24"]);
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 40.0)]);
+        let report = w.controller.run_epoch(&traffic, &mut w.router, 30_000);
+        assert_eq!(report.overrides_active, 0);
+        assert_eq!(report.churn_announced + report.churn_withdrawn, 0);
+        assert!(report.overloaded_before.is_empty());
+        assert_eq!(report.total_demand_mbps, 40.0);
+        assert_eq!(
+            w.router.fib_entry(&p("1.0.0.0/24")).unwrap().egress,
+            EgressId(1)
+        );
+    }
+
+    #[test]
+    fn overload_triggers_detour_and_recovery_reverts_it() {
+        let mut w = world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        // Peak: 150 Mbps on a 100 Mbps PNI.
+        let peak = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 70.0)]);
+        let report = w.controller.run_epoch(&peak, &mut w.router, 30_000);
+        assert_eq!(report.overloaded_before.len(), 1);
+        assert_eq!(report.overrides_active, 1);
+        assert!(report.detoured_mbps > 0.0);
+        assert!(report.residual_overloaded.is_empty());
+        assert!(report.detoured_by_kind.contains_key("transit"));
+        // One prefix steered to transit.
+        let steered = [p("1.0.0.0/24"), p("2.0.0.0/24")]
+            .iter()
+            .filter(|pre| w.router.fib_entry(pre).unwrap().egress == EgressId(2))
+            .count();
+        assert_eq!(steered, 1);
+
+        // Off-peak: demand drops; the stateless recompute withdraws.
+        let off_peak = HashMap::from([(p("1.0.0.0/24"), 30.0), (p("2.0.0.0/24"), 20.0)]);
+        let report = w.controller.run_epoch(&off_peak, &mut w.router, 60_000);
+        assert_eq!(report.overrides_active, 0);
+        assert_eq!(report.churn_withdrawn, 1);
+        assert_eq!(
+            w.router.fib_entry(&p("1.0.0.0/24")).unwrap().egress,
+            EgressId(1)
+        );
+        assert_eq!(
+            w.router.fib_entry(&p("2.0.0.0/24")).unwrap().egress,
+            EgressId(1)
+        );
+    }
+
+    #[test]
+    fn steady_overload_causes_no_churn_after_first_epoch() {
+        let mut w = world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let peak = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 70.0)]);
+        let first = w.controller.run_epoch(&peak, &mut w.router, 30_000);
+        assert_eq!(first.churn_announced, 1);
+        for i in 2..6 {
+            let again = w.controller.run_epoch(&peak, &mut w.router, 30_000 * i);
+            assert_eq!(
+                again.churn_announced + again.churn_withdrawn,
+                0,
+                "steady state is churn-free (epoch {i})"
+            );
+            assert_eq!(again.overrides_active, 1);
+        }
+    }
+
+    #[test]
+    fn dry_run_reports_but_does_not_steer() {
+        let mut w = world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        // Swap in a dry-run controller. The original controller already
+        // consumed the BMP backlog, so hand the dry one its collected view
+        // by replaying fresh announcements from the peers.
+        let cfg = ControllerConfig {
+            dry_run: true,
+            ..Default::default()
+        };
+        let interfaces = w.controller.interfaces().clone();
+        let mut dry = PopController::new(1, cfg, interfaces, &mut w.router);
+        w.router.drain_bmp();
+        for prefix in ["1.0.0.0/24", "2.0.0.0/24"] {
+            w.peer.announce(
+                &mut w.router,
+                p(prefix),
+                PathAttributes {
+                    as_path: AsPath::sequence([Asn(65001)]),
+                    ..Default::default()
+                },
+                1,
+            );
+            w.transit.announce(
+                &mut w.router,
+                p(prefix),
+                PathAttributes {
+                    as_path: AsPath::sequence([Asn(65010)]),
+                    ..Default::default()
+                },
+                1,
+            );
+        }
+        dry.ingest_bmp(w.router.drain_bmp());
+        let peak = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 70.0)]);
+        let report = dry.run_epoch(&peak, &mut w.router, 30_000);
+        assert_eq!(report.overloaded_before.len(), 1, "overload detected");
+        assert_eq!(report.overrides_active, 0, "but nothing injected");
+        assert_eq!(
+            w.router.fib_entry(&p("1.0.0.0/24")).unwrap().egress,
+            EgressId(1)
+        );
+    }
+
+    #[test]
+    fn unrouted_demand_is_surfaced() {
+        let mut w = world(&["1.0.0.0/24"]);
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 10.0), (p("99.0.0.0/24"), 5.0)]);
+        let report = w.controller.run_epoch(&traffic, &mut w.router, 30_000);
+        assert_eq!(report.unrouted_mbps, 5.0);
+    }
+
+    #[test]
+    fn limit_and_kind_helpers() {
+        let w = world(&[]);
+        assert!((w.controller.limit_mbps(EgressId(1)) - 95.0).abs() < 1e-9);
+        assert_eq!(w.controller.limit_mbps(EgressId(77)), f64::INFINITY);
+        assert_eq!(
+            w.controller.interface_kind(EgressId(1)),
+            Some(PeerKind::PrivatePeer)
+        );
+        assert_eq!(w.controller.interface_kind(EgressId(77)), None);
+    }
+
+    #[test]
+    fn drain_withdraws_all() {
+        let mut w = world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let peak = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 70.0)]);
+        w.controller.run_epoch(&peak, &mut w.router, 30_000);
+        assert_eq!(w.controller.active_overrides().len(), 1);
+        w.controller.drain(&mut w.router, 60_000);
+        assert!(w.controller.active_overrides().is_empty());
+        assert!(!w.router.fib_entry(&p("1.0.0.0/24")).unwrap().is_override);
+        assert!(!w.router.fib_entry(&p("2.0.0.0/24")).unwrap().is_override);
+    }
+}

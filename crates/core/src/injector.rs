@@ -1,0 +1,247 @@
+//! Override injection over BGP (paper §4.3).
+//!
+//! The controller holds an ordinary BGP session to each peering router and
+//! expresses detours as route announcements: the override's next hop names
+//! the chosen egress interface, a marker community proves provenance, and
+//! the router's import policy lifts the route into the controller
+//! `LOCAL_PREF` tier so the standard decision process installs it.
+//! Withdrawing the announcement reverts the detour instantly to the organic
+//! best path — the failure mode of a crashed controller is plain BGP.
+//!
+//! Every injection crosses the real wire codec: the injector speaks through
+//! a [`PeerStub`] session whose UPDATEs are encoded and re-decoded by the
+//! router exactly like any peer's.
+
+use ef_bgp::attrs::{Origin, PathAttributes};
+use ef_bgp::message::UpdateMessage;
+use ef_bgp::peer::PeerId;
+use ef_bgp::router::{BgpRouter, PeerAttachment, PeerStub};
+use ef_bgp::session::Millis;
+use ef_net_types::Community;
+
+use crate::overrides::{OverrideDiff, OverrideSet};
+
+/// The controller's BGP mouthpiece toward one router.
+pub struct Injector {
+    stub: PeerStub,
+    marker: Community,
+    announced: OverrideSet,
+}
+
+impl Injector {
+    /// Attaches the controller pseudo-peer to `router` and establishes the
+    /// session. `peer_id` must be unique on the router.
+    pub fn attach(
+        router: &mut BgpRouter,
+        peer_id: PeerId,
+        marker: Community,
+        now: Millis,
+    ) -> Self {
+        router.add_peer(PeerAttachment {
+            peer: peer_id,
+            peer_asn: router.asn(),
+            kind: ef_bgp::peer::PeerKind::Controller,
+            egress: ef_bgp::route::EgressId(0),
+            policy: ef_bgp::policy::Policy::controller_import(marker),
+            max_prefixes: 0,
+        });
+        let mut stub = PeerStub::new(
+            peer_id,
+            router.asn(),
+            std::net::Ipv4Addr::new(10, 200, (peer_id.0 >> 8) as u8, peer_id.0 as u8),
+        );
+        stub.pump(router, now);
+        assert!(
+            stub.is_established(),
+            "controller session failed to establish"
+        );
+        Injector {
+            stub,
+            marker,
+            announced: OverrideSet::new(),
+        }
+    }
+
+    /// What is currently announced to the router.
+    pub fn announced(&self) -> &OverrideSet {
+        &self.announced
+    }
+
+    /// True while the BGP session is up.
+    pub fn session_up(&self) -> bool {
+        self.stub.is_established()
+    }
+
+    /// Moves the router from the currently-announced override set to
+    /// `desired`, sending only the diff. Returns the diff applied.
+    pub fn apply(
+        &mut self,
+        router: &mut BgpRouter,
+        desired: &OverrideSet,
+        now: Millis,
+    ) -> OverrideDiff {
+        let diff = self.announced.diff_to(desired);
+        if !diff.withdraw.is_empty() {
+            self.stub.send_update(
+                router,
+                UpdateMessage::withdraw(diff.withdraw.iter().copied()),
+                now,
+            );
+        }
+        for o in &diff.announce {
+            let mut attrs = PathAttributes {
+                origin: Origin::Igp,
+                next_hop: Some(o.target.to_next_hop()),
+                ..Default::default()
+            };
+            attrs.add_community(self.marker);
+            self.stub
+                .send_update(router, UpdateMessage::announce(o.prefix, attrs), now);
+        }
+        self.announced = desired.clone();
+        diff
+    }
+
+    /// Withdraws everything (controlled shutdown / failover drain).
+    pub fn drain(&mut self, router: &mut BgpRouter, now: Millis) {
+        let empty = OverrideSet::new();
+        self.apply(router, &empty, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::overrides::{Override, OverrideReason};
+    use ef_bgp::attrs::AsPath;
+    use ef_bgp::peer::PeerKind;
+    use ef_bgp::policy::Policy;
+    use ef_bgp::route::EgressId;
+    use ef_bgp::router::RouterConfig;
+    use ef_net_types::{Asn, Prefix};
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn world() -> (BgpRouter, PeerStub, PeerStub) {
+        let mut router = BgpRouter::new(RouterConfig {
+            name: "pr".into(),
+            asn: Asn::LOCAL,
+            router_id: "10.0.0.1".parse().unwrap(),
+        });
+        for (id, asn, kind, egress) in [
+            (1u64, 65001u32, PeerKind::PrivatePeer, 1u32),
+            (2, 65010, PeerKind::Transit, 2),
+        ] {
+            router.add_peer(PeerAttachment {
+                peer: PeerId(id),
+                peer_asn: Asn(asn),
+                kind,
+                egress: EgressId(egress),
+                policy: Policy::default_import(Asn::LOCAL, kind),
+                max_prefixes: 0,
+            });
+        }
+        let mut peer = PeerStub::new(PeerId(1), Asn(65001), "10.9.0.1".parse().unwrap());
+        let mut transit = PeerStub::new(PeerId(2), Asn(65010), "10.9.0.2".parse().unwrap());
+        peer.pump(&mut router, 0);
+        transit.pump(&mut router, 0);
+        let attrs = |asn: u32| PathAttributes {
+            as_path: AsPath::sequence([Asn(asn)]),
+            ..Default::default()
+        };
+        peer.announce(&mut router, p("1.0.0.0/24"), attrs(65001), 0);
+        transit.announce(&mut router, p("1.0.0.0/24"), attrs(65010), 0);
+        (router, peer, transit)
+    }
+
+    fn ov(prefix: &str, target: u32) -> Override {
+        Override {
+            prefix: p(prefix),
+            target: EgressId(target),
+            target_kind: PeerKind::Transit,
+            reason: OverrideReason::Capacity,
+            moved_mbps: 10.0,
+        }
+    }
+
+    #[test]
+    fn inject_and_withdraw_steers_fib() {
+        let (mut router, _peer, _transit) = world();
+        let marker = Community::new(32934, 999);
+        let mut inj = Injector::attach(&mut router, PeerId(1000), marker, 0);
+        assert!(inj.session_up());
+        assert_eq!(router.fib_entry(&p("1.0.0.0/24")).unwrap().egress, EgressId(1));
+
+        let mut desired = OverrideSet::new();
+        desired.insert(ov("1.0.0.0/24", 2));
+        let diff = inj.apply(&mut router, &desired, 10);
+        assert_eq!(diff.announce.len(), 1);
+        assert!(diff.withdraw.is_empty());
+        let fib = router.fib_entry(&p("1.0.0.0/24")).unwrap();
+        assert_eq!(fib.egress, EgressId(2));
+        assert!(fib.is_override);
+
+        // Re-applying the same desired state is churn-free.
+        let diff = inj.apply(&mut router, &desired, 20);
+        assert!(diff.is_empty());
+
+        // Withdrawal reverts.
+        let diff = inj.apply(&mut router, &OverrideSet::new(), 30);
+        assert_eq!(diff.withdraw.len(), 1);
+        let fib = router.fib_entry(&p("1.0.0.0/24")).unwrap();
+        assert_eq!(fib.egress, EgressId(1));
+        assert!(!fib.is_override);
+    }
+
+    #[test]
+    fn retarget_is_single_announce() {
+        let (mut router, _peer, _transit) = world();
+        let marker = Community::new(32934, 999);
+        let mut inj = Injector::attach(&mut router, PeerId(1000), marker, 0);
+
+        let mut a = OverrideSet::new();
+        a.insert(ov("1.0.0.0/24", 2));
+        inj.apply(&mut router, &a, 10);
+
+        let mut b = OverrideSet::new();
+        b.insert(ov("1.0.0.0/24", 1));
+        let diff = inj.apply(&mut router, &b, 20);
+        assert_eq!(diff.announce.len(), 1);
+        assert!(diff.withdraw.is_empty(), "retarget needs no withdraw");
+        assert_eq!(router.fib_entry(&p("1.0.0.0/24")).unwrap().egress, EgressId(1));
+    }
+
+    #[test]
+    fn drain_removes_everything() {
+        let (mut router, _peer, _transit) = world();
+        let marker = Community::new(32934, 999);
+        let mut inj = Injector::attach(&mut router, PeerId(1000), marker, 0);
+        let mut desired = OverrideSet::new();
+        desired.insert(ov("1.0.0.0/24", 2));
+        inj.apply(&mut router, &desired, 10);
+        inj.drain(&mut router, 20);
+        assert!(inj.announced().is_empty());
+        assert!(!router.fib_entry(&p("1.0.0.0/24")).unwrap().is_override);
+    }
+
+    #[test]
+    fn injected_routes_show_in_bmp_as_controller_kind() {
+        let (mut router, _peer, _transit) = world();
+        router.drain_bmp();
+        let marker = Community::new(32934, 999);
+        let mut inj = Injector::attach(&mut router, PeerId(1000), marker, 0);
+        let mut desired = OverrideSet::new();
+        desired.insert(ov("1.0.0.0/24", 2));
+        inj.apply(&mut router, &desired, 10);
+        let feed = router.drain_bmp();
+        let monitored = feed.iter().any(|m| match m {
+            ef_bgp::bmp::BmpMessage::RouteMonitoring { update, .. } => update
+                .attrs
+                .has_community(PeerKind::Controller.tag_community()),
+            _ => false,
+        });
+        assert!(monitored, "override visible on the BMP feed, tagged");
+    }
+}

@@ -1,0 +1,161 @@
+//! Demand projection (paper §4.2, step 1).
+//!
+//! Predicts what every egress interface would carry if BGP ran *without*
+//! controller intervention: each prefix's demand lands on its best
+//! non-override route. This "unmitigated" projection is what overload
+//! detection runs against — projecting against the already-overridden state
+//! would make the controller blind to whether its own detours are still
+//! needed (the paper's stateless-recompute design falls out of this).
+
+use std::collections::HashMap;
+
+use ef_bgp::decision::best_route_where;
+use ef_bgp::route::EgressId;
+use ef_net_types::Prefix;
+
+use crate::collector::RouteCollector;
+use crate::state::TrafficState;
+
+/// The result of projecting demand onto BGP-preferred routes.
+#[derive(Debug, Clone, Default)]
+pub struct Projection {
+    /// Predicted load per interface, Mbps.
+    pub load_mbps: HashMap<EgressId, f64>,
+    /// The route each prefix was assigned to (prefix → preferred egress).
+    pub assignment: HashMap<Prefix, EgressId>,
+    /// Demand (Mbps) that had no route at all (blackhole risk; reported,
+    /// not steered).
+    pub unrouted_mbps: f64,
+}
+
+impl Projection {
+    /// Load on one interface, Mbps (0 if untouched).
+    pub fn load(&self, egress: EgressId) -> f64 {
+        self.load_mbps.get(&egress).copied().unwrap_or(0.0)
+    }
+
+    /// Total projected demand, Mbps.
+    pub fn total_mbps(&self) -> f64 {
+        self.load_mbps.values().sum()
+    }
+}
+
+/// Projects `traffic` onto the best non-override route per prefix.
+///
+/// Prefixes present in traffic but absent from the route table contribute
+/// to `unrouted_mbps`. Prefixes with routes but no demand simply do not
+/// appear in the assignment (they carry nothing).
+pub fn project(routes: &RouteCollector, traffic: &TrafficState) -> Projection {
+    let mut projection = Projection::default();
+    for (prefix, mbps) in traffic {
+        if *mbps <= 0.0 {
+            continue;
+        }
+        match best_route_where(routes.candidates(prefix), |r| !r.is_override()) {
+            Some(best) => {
+                *projection.load_mbps.entry(best.egress).or_default() += mbps;
+                projection.assignment.insert(*prefix, best.egress);
+            }
+            None => projection.unrouted_mbps += mbps,
+        }
+    }
+    projection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ef_bgp::attrs::{AsPath, PathAttributes};
+    use ef_bgp::bmp::{BmpMessage, BmpPeerHeader};
+    use ef_bgp::message::UpdateMessage;
+    use ef_bgp::peer::{PeerId, PeerKind};
+    use ef_net_types::Asn;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn announce(c: &mut RouteCollector, peer: u64, asn: u32, kind: PeerKind, prefix: &str) {
+        let mut attrs = PathAttributes {
+            local_pref: Some(kind.default_local_pref()),
+            as_path: AsPath::sequence([Asn(asn)]),
+            ..Default::default()
+        };
+        attrs.add_community(kind.tag_community());
+        if kind == PeerKind::Controller {
+            attrs.next_hop = Some(EgressId(99).to_next_hop());
+        }
+        c.ingest([BmpMessage::RouteMonitoring {
+            peer: BmpPeerHeader {
+                peer: PeerId(peer),
+                peer_asn: Asn(asn),
+                peer_bgp_id: "10.0.0.1".parse().unwrap(),
+                timestamp_ms: 0,
+            },
+            update: UpdateMessage::announce(p(prefix), attrs),
+        }]);
+    }
+
+    fn collector() -> RouteCollector {
+        RouteCollector::new(HashMap::from([
+            (PeerId(1), EgressId(11)),
+            (PeerId(2), EgressId(12)),
+            (PeerId(100), EgressId(0)),
+        ]))
+    }
+
+    #[test]
+    fn demand_lands_on_preferred_route() {
+        let mut c = collector();
+        announce(&mut c, 1, 65001, PeerKind::PrivatePeer, "1.0.0.0/24");
+        announce(&mut c, 2, 65010, PeerKind::Transit, "1.0.0.0/24");
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 100.0)]);
+        let proj = project(&c, &traffic);
+        assert_eq!(proj.load(EgressId(11)), 100.0);
+        assert_eq!(proj.load(EgressId(12)), 0.0);
+        assert_eq!(proj.assignment[&p("1.0.0.0/24")], EgressId(11));
+        assert_eq!(proj.unrouted_mbps, 0.0);
+        assert_eq!(proj.total_mbps(), 100.0);
+    }
+
+    #[test]
+    fn loads_accumulate_across_prefixes() {
+        let mut c = collector();
+        announce(&mut c, 1, 65001, PeerKind::PrivatePeer, "1.0.0.0/24");
+        announce(&mut c, 1, 65001, PeerKind::PrivatePeer, "2.0.0.0/24");
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 60.0), (p("2.0.0.0/24"), 40.0)]);
+        let proj = project(&c, &traffic);
+        assert_eq!(proj.load(EgressId(11)), 100.0);
+    }
+
+    #[test]
+    fn overrides_are_ignored_by_projection() {
+        // The whole point: projection answers "what would BGP do alone?".
+        let mut c = collector();
+        announce(&mut c, 1, 65001, PeerKind::PrivatePeer, "1.0.0.0/24");
+        announce(&mut c, 100, 32934, PeerKind::Controller, "1.0.0.0/24");
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 100.0)]);
+        let proj = project(&c, &traffic);
+        assert_eq!(proj.load(EgressId(11)), 100.0, "organic route carries it");
+        assert_eq!(proj.load(EgressId(99)), 0.0, "override egress not projected");
+    }
+
+    #[test]
+    fn unrouted_demand_is_reported() {
+        let c = collector();
+        let traffic = HashMap::from([(p("9.9.9.0/24"), 50.0)]);
+        let proj = project(&c, &traffic);
+        assert_eq!(proj.unrouted_mbps, 50.0);
+        assert!(proj.assignment.is_empty());
+    }
+
+    #[test]
+    fn zero_and_negative_demand_skipped() {
+        let mut c = collector();
+        announce(&mut c, 1, 65001, PeerKind::PrivatePeer, "1.0.0.0/24");
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 0.0)]);
+        let proj = project(&c, &traffic);
+        assert!(proj.assignment.is_empty());
+        assert_eq!(proj.total_mbps(), 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Controller input state: what the controller knows about its PoP.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use ef_bgp::peer::PeerKind;
+use ef_bgp::route::EgressId;
+use ef_net_types::Prefix;
+
+/// Static facts about one egress interface, as configured into the
+/// controller (capacity comes from the provisioning system, not from BGP).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InterfaceInfo {
+    /// Usable capacity, Mbps.
+    pub capacity_mbps: f64,
+    /// Interconnect kind (for reporting and detour-target statistics).
+    pub kind: PeerKind,
+}
+
+/// Per-prefix demand estimates for one epoch, Mbps.
+pub type TrafficState = HashMap<Prefix, f64>;
+
+/// Per-interface static info map.
+pub type InterfaceMap = HashMap<EgressId, InterfaceInfo>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interface_info_is_plain_data() {
+        let info = InterfaceInfo {
+            capacity_mbps: 10_000.0,
+            kind: PeerKind::PrivatePeer,
+        };
+        let json = serde_json::to_string(&info).unwrap();
+        let back: InterfaceInfo = serde_json::from_str(&json).unwrap();
+        assert_eq!(info, back);
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests of the allocator's safety invariants over random
+//! worlds: whatever the demand and capacity mix, the allocator must never
+//! overload a detour target, never invent routes, and never steer a prefix
+//! that has no alternative.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use edge_fabric::allocator::{allocate, DetourStrategy};
+use edge_fabric::collector::RouteCollector;
+use edge_fabric::config::ControllerConfig;
+use edge_fabric::overrides::OverrideSet;
+use edge_fabric::projection::project;
+use edge_fabric::state::{InterfaceInfo, InterfaceMap};
+use ef_bgp::attrs::{AsPath, PathAttributes};
+use ef_bgp::bmp::{BmpMessage, BmpPeerHeader};
+use ef_bgp::message::UpdateMessage;
+use ef_bgp::peer::{PeerId, PeerKind};
+use ef_bgp::route::EgressId;
+use ef_net_types::{Asn, Prefix};
+
+/// A randomly generated single-PoP world.
+#[derive(Debug, Clone)]
+struct World {
+    /// Per interface: (kind, capacity).
+    interfaces: Vec<(PeerKind, f64)>,
+    /// Per prefix: demand and the subset of interfaces announcing it.
+    prefixes: Vec<(f64, Vec<usize>)>,
+}
+
+fn world_strategy() -> impl Strategy<Value = World> {
+    // 2..6 interfaces with mixed kinds and capacities.
+    let iface = (0usize..4, 20.0f64..500.0).prop_map(|(k, cap)| {
+        let kind = match k {
+            0 => PeerKind::PrivatePeer,
+            1 => PeerKind::PublicPeer,
+            2 => PeerKind::RouteServer,
+            _ => PeerKind::Transit,
+        };
+        (kind, cap)
+    });
+    proptest::collection::vec(iface, 2..6).prop_flat_map(|interfaces| {
+        let n = interfaces.len();
+        let prefix = (
+            1.0f64..80.0,
+            proptest::collection::vec(0..n, 1..=n),
+        );
+        (
+            Just(interfaces),
+            proptest::collection::vec(prefix, 1..25),
+        )
+            .prop_map(|(interfaces, prefixes)| World {
+                interfaces,
+                prefixes: prefixes
+                    .into_iter()
+                    .map(|(d, mut vias)| {
+                        vias.sort_unstable();
+                        vias.dedup();
+                        (d, vias)
+                    })
+                    .collect(),
+            })
+    })
+}
+
+/// Builds the collector / interface map / traffic for a world.
+fn materialize(world: &World) -> (RouteCollector, InterfaceMap, HashMap<Prefix, f64>) {
+    let peer_egress: HashMap<PeerId, EgressId> = (0..world.interfaces.len())
+        .map(|i| (PeerId(i as u64), EgressId(i as u32)))
+        .collect();
+    let mut collector = RouteCollector::new(peer_egress);
+    let mut traffic = HashMap::new();
+    for (pi, (demand, vias)) in world.prefixes.iter().enumerate() {
+        let prefix = Prefix::V4 {
+            addr: 0x1400_0000 + (pi as u32) * 256,
+            len: 24,
+        };
+        for via in vias {
+            let kind = world.interfaces[*via].0;
+            let mut attrs = PathAttributes {
+                local_pref: Some(kind.default_local_pref()),
+                as_path: AsPath::sequence([Asn(65000 + *via as u32)]),
+                ..Default::default()
+            };
+            attrs.add_community(kind.tag_community());
+            collector.ingest([BmpMessage::RouteMonitoring {
+                peer: BmpPeerHeader {
+                    peer: PeerId(*via as u64),
+                    peer_asn: Asn(65000 + *via as u32),
+                    peer_bgp_id: "10.0.0.1".parse().unwrap(),
+                    timestamp_ms: 0,
+                },
+                update: UpdateMessage::announce(prefix, attrs),
+            }]);
+        }
+        traffic.insert(prefix, *demand);
+    }
+    let interfaces: InterfaceMap = world
+        .interfaces
+        .iter()
+        .enumerate()
+        .map(|(i, (kind, cap))| {
+            (
+                EgressId(i as u32),
+                InterfaceInfo {
+                    capacity_mbps: *cap,
+                    kind: *kind,
+                },
+            )
+        })
+        .collect();
+    (collector, interfaces, traffic)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Core safety invariant: no detour target ends above the limit, and
+    /// every interface that was fine stays fine.
+    #[test]
+    fn allocator_never_overloads_a_target(world in world_strategy(), largest: bool) {
+        let (collector, interfaces, traffic) = materialize(&world);
+        let cfg = ControllerConfig {
+            strategy: if largest { DetourStrategy::LargestFirst } else { DetourStrategy::BestAlternativeFirst },
+            ..Default::default()
+        };
+        let projection = project(&collector, &traffic);
+        let out = allocate(&cfg, &interfaces, &collector, &traffic, &projection, &OverrideSet::new(), &OverrideSet::new());
+
+        let overloaded_before: std::collections::HashSet<u32> = out
+            .overloaded_before
+            .iter()
+            .map(|(e, _)| e.0)
+            .collect();
+        for (egress, info) in &interfaces {
+            let post = out.post_load.get(egress).copied().unwrap_or(0.0);
+            let post_util = post / info.capacity_mbps;
+            if !overloaded_before.contains(&egress.0) {
+                // Was fine → must stay fine.
+                prop_assert!(
+                    post_util <= cfg.util_limit + 1e-9,
+                    "{egress:?} newly overloaded: {post_util}"
+                );
+            }
+        }
+        // Residual overload is only ever reported on originally hot interfaces.
+        for (egress, _) in &out.residual_overloaded {
+            prop_assert!(overloaded_before.contains(&egress.0));
+        }
+    }
+
+    /// Overrides only use routes that exist, and never target the interface
+    /// the prefix was already on.
+    #[test]
+    fn overrides_reference_real_alternates(world in world_strategy()) {
+        let (collector, interfaces, traffic) = materialize(&world);
+        let cfg = ControllerConfig::default();
+        let projection = project(&collector, &traffic);
+        let out = allocate(&cfg, &interfaces, &collector, &traffic, &projection, &OverrideSet::new(), &OverrideSet::new());
+
+        for o in out.overrides.iter_sorted() {
+            let candidates = collector.candidates(&o.prefix);
+            prop_assert!(
+                candidates.iter().any(|r| r.egress == o.target),
+                "override to nonexistent route"
+            );
+            let preferred = projection.assignment.get(&o.prefix).copied();
+            prop_assert_ne!(Some(o.target), preferred, "detour must move the prefix");
+        }
+    }
+
+    /// Load conservation: total post-allocation load equals total projected
+    /// load (detouring moves traffic, never creates or destroys it).
+    #[test]
+    fn load_is_conserved(world in world_strategy()) {
+        let (collector, interfaces, traffic) = materialize(&world);
+        let cfg = ControllerConfig::default();
+        let projection = project(&collector, &traffic);
+        let out = allocate(&cfg, &interfaces, &collector, &traffic, &projection, &OverrideSet::new(), &OverrideSet::new());
+        let before: f64 = projection.load_mbps.values().sum();
+        let after: f64 = out.post_load.values().sum();
+        prop_assert!((before - after).abs() < 1e-6, "{before} vs {after}");
+    }
+
+    /// Monotonicity of the safety cap: allowing fewer overrides never
+    /// produces more.
+    #[test]
+    fn override_cap_is_respected(world in world_strategy(), cap in 1usize..5) {
+        let (collector, interfaces, traffic) = materialize(&world);
+        let cfg = ControllerConfig {
+            max_overrides: cap,
+            ..Default::default()
+        };
+        let projection = project(&collector, &traffic);
+        let out = allocate(&cfg, &interfaces, &collector, &traffic, &projection, &OverrideSet::new(), &OverrideSet::new());
+        prop_assert!(out.overrides.len() <= cap);
+    }
+
+    /// Determinism: identical inputs produce identical outcomes.
+    #[test]
+    fn allocation_is_deterministic(world in world_strategy()) {
+        let (collector, interfaces, traffic) = materialize(&world);
+        let cfg = ControllerConfig::default();
+        let projection = project(&collector, &traffic);
+        let a = allocate(&cfg, &interfaces, &collector, &traffic, &projection, &OverrideSet::new(), &OverrideSet::new());
+        let b = allocate(&cfg, &interfaces, &collector, &traffic, &projection, &OverrideSet::new(), &OverrideSet::new());
+        prop_assert_eq!(a.overrides, b.overrides);
+        prop_assert_eq!(a.capacity_detoured_mbps, b.capacity_detoured_mbps);
+    }
+}

@@ -1,0 +1,28 @@
+//! Core network types shared by every crate in the Edge Fabric reproduction.
+//!
+//! This crate is dependency-light on purpose: it defines the vocabulary —
+//! [`Prefix`], [`Asn`], [`Community`] — and one data structure that several
+//! subsystems need, the longest-prefix-match [`PrefixTrie`].
+//!
+//! # Examples
+//!
+//! ```
+//! use ef_net_types::{Prefix, PrefixTrie};
+//!
+//! let mut trie: PrefixTrie<&str> = PrefixTrie::new();
+//! trie.insert("10.0.0.0/8".parse().unwrap(), "coarse");
+//! trie.insert("10.1.0.0/16".parse().unwrap(), "fine");
+//!
+//! let hit = trie.longest_match("10.1.2.0/24".parse().unwrap()).unwrap();
+//! assert_eq!(*hit.1, "fine");
+//! ```
+
+mod asn;
+mod community;
+mod prefix;
+mod trie;
+
+pub use asn::Asn;
+pub use community::Community;
+pub use prefix::{Prefix, PrefixParseError};
+pub use trie::PrefixTrie;

@@ -1,0 +1,244 @@
+//! The simulation engine: builds every PoP runtime from a scenario and
+//! steps them through controller epochs, in parallel across PoPs.
+
+use ef_bgp::route::EgressId;
+use ef_net_types::Prefix;
+use ef_perf::rtt::{PathPerfModel, PerfConfig};
+use ef_topology::{generate, Deployment, PopId};
+use ef_traffic::demand::DemandModel;
+
+use crate::global::GlobalShifter;
+use crate::metrics::MetricsStore;
+use crate::runtime::PopRuntime;
+use crate::scenario::SimConfig;
+
+/// A full simulation run in progress.
+pub struct SimEngine {
+    /// The scenario being run.
+    pub cfg: SimConfig,
+    /// The generated deployment (shared, immutable).
+    pub deployment: Deployment,
+    demand: DemandModel,
+    /// One runtime per PoP.
+    pub pops: Vec<PopRuntime>,
+    /// The latent path-performance model.
+    pub perf_model: PathPerfModel,
+    /// Cross-PoP demand shifting, when the scenario enables it.
+    pub shifter: Option<GlobalShifter>,
+    t_secs: u64,
+}
+
+impl SimEngine {
+    /// Builds the engine: generates the deployment, brings up every PoP's
+    /// BGP sessions and announcements, and attaches controllers.
+    pub fn new(cfg: SimConfig) -> Self {
+        let deployment = generate(&cfg.gen);
+        Self::with_deployment(cfg, deployment)
+    }
+
+    /// Builds the engine over an existing deployment (lets the two arms of
+    /// a with/without comparison share the exact same world).
+    pub fn with_deployment(cfg: SimConfig, deployment: Deployment) -> Self {
+        let demand = DemandModel::new(&deployment, cfg.demand_seed);
+        let pop_ids: Vec<PopId> = deployment.pops.iter().map(|p| p.id).collect();
+        // PoP construction is independent; build in parallel.
+        let pops: Vec<PopRuntime> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = pop_ids
+                .iter()
+                .map(|pop_id| {
+                    let deployment = &deployment;
+                    let cfg = &cfg;
+                    let pop_id = *pop_id;
+                    s.spawn(move |_| PopRuntime::build(deployment, pop_id, cfg))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("build")).collect()
+        })
+        .expect("scope");
+        let perf_model = PathPerfModel::new(PerfConfig {
+            seed: cfg.demand_seed ^ 0xE0E0,
+            ..Default::default()
+        });
+        let shifter = cfg.global_shift.map(GlobalShifter::new);
+        SimEngine {
+            cfg,
+            deployment,
+            demand,
+            pops,
+            perf_model,
+            shifter,
+            t_secs: 0,
+        }
+    }
+
+    /// Current simulated time, seconds.
+    pub fn now_secs(&self) -> u64 {
+        self.t_secs
+    }
+
+    /// Requests full load-series recording for an interface.
+    pub fn flag_interface(&mut self, egress: EgressId) {
+        for pop in &mut self.pops {
+            if pop.pop.interfaces.iter().any(|i| i.id == egress) {
+                pop.flag_interface(egress);
+            }
+        }
+    }
+
+    /// Advances one epoch across every PoP (parallel).
+    pub fn step(&mut self) {
+        let t = self.t_secs;
+        let demand_model = &self.demand;
+        let deployment = &self.deployment;
+        let perf_model = &self.perf_model;
+
+        if let Some(shifter) = &self.shifter {
+            // Global arm: compute every PoP's demand first, let the shifter
+            // redistribute it, then step (parallel) and feed observations
+            // back.
+            let mut demands: Vec<(PopId, Vec<ef_traffic::demand::DemandPoint>)> = self
+                .pops
+                .iter()
+                .map(|pop| (pop.pop.id, demand_model.offered(deployment, pop.pop.id, t)))
+                .collect();
+            shifter.apply(deployment, &mut demands);
+            let outcomes: Vec<(PopId, crate::runtime::StepOutcome)> =
+                crossbeam::thread::scope(|s| {
+                    let handles: Vec<_> = self
+                        .pops
+                        .iter_mut()
+                        .zip(demands.iter())
+                        .map(|(pop, (pop_id, demand))| {
+                            let pop_id = *pop_id;
+                            s.spawn(move |_| (pop_id, pop.step(t, demand, perf_model)))
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().expect("step")).collect()
+                })
+                .expect("scope");
+            let shifter = self.shifter.as_mut().expect("checked above");
+            for (pop_id, outcome) in outcomes {
+                shifter.observe(pop_id, outcome.residual_overloaded);
+            }
+        } else {
+            crossbeam::thread::scope(|s| {
+                for pop in self.pops.iter_mut() {
+                    s.spawn(move |_| {
+                        let demand = demand_model.offered(deployment, pop.pop.id, t);
+                        pop.step(t, &demand, perf_model);
+                    });
+                }
+            })
+            .expect("scope");
+        }
+        self.t_secs += self.cfg.epoch_secs;
+    }
+
+    /// Runs `n` epochs.
+    pub fn run_epochs(&mut self, n: u64) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Runs the scenario to completion.
+    pub fn run(&mut self) {
+        let remaining = self.cfg.epochs().saturating_sub(self.t_secs / self.cfg.epoch_secs);
+        self.run_epochs(remaining);
+    }
+
+    /// Finishes episode tracking and merges every PoP's metrics into one
+    /// store. Call once, after the run.
+    pub fn take_metrics(&mut self) -> MetricsStore {
+        let t = self.t_secs;
+        let mut merged = MetricsStore::new();
+        for pop in &mut self.pops {
+            pop.finish(t);
+            merged.merge(std::mem::take(&mut pop.metrics));
+        }
+        merged
+    }
+
+    /// The prefix for a universe index.
+    pub fn prefix_of(&self, idx: u32) -> Prefix {
+        self.deployment.universe.prefixes[idx as usize].prefix
+    }
+
+    /// Every BGP session still established? (sanity for long runs)
+    pub fn all_sessions_up(&self) -> bool {
+        self.pops.iter().all(|p| p.all_sessions_up())
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_engine(enabled: bool) -> SimEngine {
+        let mut cfg = SimConfig::test_small(5);
+        cfg.controller_enabled = enabled;
+        cfg.duration_secs = 10 * 60;
+        cfg.epoch_secs = 60;
+        SimEngine::new(cfg)
+    }
+
+    #[test]
+    fn engine_builds_and_sessions_establish() {
+        let engine = small_engine(true);
+        assert_eq!(engine.pops.len(), 4);
+        assert!(engine.all_sessions_up());
+        // Every PoP's router learned routes.
+        for pop in &engine.pops {
+            assert!(pop.router.fib_len() > 0, "{} has routes", pop.pop.name);
+        }
+    }
+
+    #[test]
+    fn epochs_advance_time_and_record_metrics() {
+        let mut engine = small_engine(true);
+        engine.run_epochs(3);
+        assert_eq!(engine.now_secs(), 180);
+        let metrics = engine.take_metrics();
+        // 4 pops × 3 epochs of records.
+        assert_eq!(metrics.pop_epochs.len(), 12);
+        for stats in metrics.interfaces.values() {
+            assert_eq!(stats.epochs_total, 3);
+        }
+    }
+
+    #[test]
+    fn baseline_arm_records_but_never_overrides() {
+        let mut engine = small_engine(false);
+        engine.run_epochs(3);
+        let metrics = engine.take_metrics();
+        assert!(metrics.pop_epochs.iter().all(|r| r.overrides_active == 0));
+        assert!(metrics.episodes.is_empty());
+    }
+
+    #[test]
+    fn flagged_interface_records_series() {
+        let mut engine = small_engine(true);
+        let iface = engine.deployment.pops[0].interfaces[0].id;
+        engine.flag_interface(iface);
+        engine.run_epochs(2);
+        let metrics = engine.take_metrics();
+        assert_eq!(metrics.series[&iface].len(), 2);
+    }
+
+    #[test]
+    fn run_respects_duration() {
+        let mut engine = small_engine(true);
+        engine.run();
+        assert_eq!(engine.now_secs(), 600);
+    }
+
+    #[test]
+    fn shared_deployment_gives_identical_worlds() {
+        let cfg = SimConfig::test_small(9);
+        let dep = generate(&cfg.gen);
+        let a = SimEngine::with_deployment(cfg.clone(), dep.clone());
+        let b = SimEngine::with_deployment(cfg.baseline(), dep);
+        assert_eq!(a.deployment, b.deployment);
+    }
+}

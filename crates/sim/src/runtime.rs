@@ -1,0 +1,408 @@
+//! Per-PoP runtime: the live substrate for one point of presence.
+
+use std::collections::HashMap;
+
+use ef_bgp::attrs::{AsPath, PathAttributes};
+use ef_bgp::peer::PeerId;
+use ef_bgp::route::EgressId;
+use ef_bgp::router::{BgpRouter, PeerAttachment, PeerStub, RouterConfig};
+use ef_net_types::Prefix;
+use ef_perf::measurement::{AltPathMeasurer, CandidatePath, MeasurerConfig};
+use ef_perf::rtt::PathPerfModel;
+use ef_traffic::demand::DemandPoint;
+use ef_traffic::estimator::RateEstimator;
+use ef_traffic::sampler::{SamplerConfig, SflowSampler};
+use edge_fabric::controller::PopController;
+use edge_fabric::perf_aware::{adapt_comparisons, build_perf_overrides};
+use edge_fabric::state::{InterfaceInfo, InterfaceMap};
+use ef_topology::{Deployment, Pop, PopId};
+
+use crate::metrics::{MetricsStore, PopEpochRecord};
+use crate::scenario::SimConfig;
+
+/// Cap on prefixes measured per epoch (heaviest first), bounding
+/// measurement work like production's heavy-hitter focus.
+const MEASURE_TOP_K: usize = 150;
+
+/// Signals one epoch hands to the global (cross-PoP) layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// The controller reported overload it could not relieve (or, in the
+    /// baseline arm, traffic was dropped).
+    pub residual_overloaded: bool,
+    /// Traffic dropped at this PoP this epoch, Mbps.
+    pub dropped_mbps: f64,
+}
+
+/// One PoP's live state: router, peer sessions, optional controller,
+/// optional measurement, and this PoP's metrics.
+pub struct PopRuntime {
+    /// Topology facts for this PoP.
+    pub pop: Pop,
+    /// The consolidated routing view (see DESIGN.md on PR consolidation).
+    pub router: BgpRouter,
+    stubs: HashMap<PeerId, PeerStub>,
+    /// The Edge Fabric controller, when the scenario enables it.
+    pub controller: Option<PopController>,
+    sampler: Option<SflowSampler>,
+    estimator: Option<RateEstimator>,
+    /// Alternate-path measurement, when the scenario enables it.
+    pub measurer: Option<AltPathMeasurer>,
+    /// Metrics collected at this PoP.
+    pub metrics: MetricsStore,
+    /// Prefix index → prefix for the whole universe.
+    prefix_of: Vec<Prefix>,
+    epoch_secs: u64,
+    util_limit: f64,
+    /// When the controller may split prefixes, demand must be forwarded at
+    /// half-prefix granularity so /25 (or /49) overrides take effect.
+    split_lookup: bool,
+    perf_steer: bool,
+    perf_aware_cfg: edge_fabric::perf_aware::PerfAwareConfig,
+}
+
+impl PopRuntime {
+    /// Builds the runtime: router, peers, announcements, controller.
+    pub fn build(deployment: &Deployment, pop_id: PopId, cfg: &SimConfig) -> Self {
+        let pop = deployment.pop(pop_id).clone();
+        let mut router = BgpRouter::new(RouterConfig {
+            name: format!("{}-pr0", pop.name),
+            asn: deployment.local_asn,
+            router_id: std::net::Ipv4Addr::new(
+                10,
+                100,
+                (pop_id.0 >> 8) as u8,
+                pop_id.0 as u8,
+            ),
+        });
+
+        // Attach every peer and bring its session up.
+        let mut stubs = HashMap::new();
+        for conn in &pop.peers {
+            router.add_peer(PeerAttachment {
+                peer: conn.peer,
+                peer_asn: conn.asn,
+                kind: conn.kind,
+                egress: conn.egress,
+                policy: ef_bgp::policy::Policy::default_import(deployment.local_asn, conn.kind),
+                max_prefixes: 0,
+            });
+            let mut stub = PeerStub::new(
+                conn.peer,
+                conn.asn,
+                std::net::Ipv4Addr::new(
+                    10,
+                    210,
+                    (conn.peer.0 >> 8) as u8,
+                    conn.peer.0 as u8,
+                ),
+            );
+            stub.pump(&mut router, 0);
+            debug_assert!(stub.is_established());
+            stubs.insert(conn.peer, stub);
+        }
+
+        // Originate the provider's own prefixes toward every peer.
+        for prefix in &deployment.local_prefixes {
+            router.originate(*prefix);
+        }
+
+        // Announce the deployment's route set over the real sessions.
+        for spec in deployment.routes_at(pop_id) {
+            let prefix = deployment.universe.prefixes[spec.prefix_idx as usize].prefix;
+            let attrs = PathAttributes {
+                as_path: AsPath::sequence(spec.as_path.iter().copied()),
+                med: spec.med,
+                ..Default::default()
+            };
+            if let Some(stub) = stubs.get_mut(&spec.via) {
+                stub.announce(&mut router, prefix, attrs, 0);
+            }
+        }
+
+        // Controller, fed by the router's BMP feed.
+        let controller = cfg.controller_enabled.then(|| {
+            let interfaces: InterfaceMap = pop
+                .interfaces
+                .iter()
+                .map(|i| {
+                    (
+                        i.id,
+                        InterfaceInfo {
+                            capacity_mbps: i.capacity_mbps,
+                            kind: i.kind,
+                        },
+                    )
+                })
+                .collect();
+            let mut controller_cfg = cfg.controller;
+            controller_cfg.epoch_secs = cfg.epoch_secs;
+            let mut ctl = PopController::new(pop_id.0, controller_cfg, interfaces, &mut router);
+            ctl.ingest_bmp(router.drain_bmp());
+            ctl
+        });
+        // Baseline runs drop the BMP backlog (nothing consumes it).
+        router.drain_bmp();
+
+        let (sampler, estimator) = if cfg.sampled_rates {
+            (
+                Some(SflowSampler::new(SamplerConfig {
+                    sample_rate: cfg.sample_rate,
+                    packet_bytes: 1200,
+                    seed: cfg.demand_seed ^ (pop_id.0 as u64) << 17,
+                })),
+                Some(RateEstimator::new(cfg.epoch_secs.max(1))),
+            )
+        } else {
+            (None, None)
+        };
+
+        let measurer = cfg.perf.map(|p| {
+            AltPathMeasurer::new(
+                pop_id.0,
+                MeasurerConfig {
+                    slice_fraction: p.slice_fraction,
+                    ..Default::default()
+                },
+            )
+        });
+
+        let mut metrics = MetricsStore::new();
+        for iface in &pop.interfaces {
+            metrics.register_interface(pop.id, iface.id, iface.capacity_mbps, iface.kind.label());
+        }
+
+        PopRuntime {
+            pop,
+            router,
+            stubs,
+            controller,
+            sampler,
+            estimator,
+            measurer,
+            metrics,
+            prefix_of: deployment.universe.prefixes.iter().map(|p| p.prefix).collect(),
+            epoch_secs: cfg.epoch_secs,
+            util_limit: cfg.controller.util_limit,
+            split_lookup: cfg.controller.split_depth > 0,
+            perf_steer: cfg.perf.map(|p| p.steer).unwrap_or(false),
+            perf_aware_cfg: cfg
+                .perf
+                .map(|p| p.aware)
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Flags an interface for full time-series recording.
+    pub fn flag_interface(&mut self, egress: EgressId) {
+        self.metrics.flag_interface(egress);
+    }
+
+    /// Runs one epoch at simulated time `t_secs` with the given offered
+    /// demand. Returns the outcome signals the global layer consumes.
+    pub fn step(
+        &mut self,
+        t_secs: u64,
+        demand: &[DemandPoint],
+        perf_model: &PathPerfModel,
+    ) -> StepOutcome {
+        // --- 1. Forward demand through the current FIB ---------------------
+        let mut load: HashMap<EgressId, f64> = HashMap::new();
+        let mut offered = 0.0f64;
+        let mut detoured = 0.0f64;
+        for point in demand {
+            offered += point.mbps;
+            let prefix = self.prefix_of[point.prefix_idx as usize];
+            // With splitting enabled, traffic inside a prefix is uniform,
+            // so each half carries half the demand and is looked up
+            // independently (a /25 override then captures exactly half).
+            let units: [(Prefix, f64); 2] = if self.split_lookup {
+                match prefix.halves() {
+                    Some((lo, hi)) => [(lo, point.mbps / 2.0), (hi, point.mbps / 2.0)],
+                    None => [(prefix, point.mbps), (prefix, 0.0)],
+                }
+            } else {
+                [(prefix, point.mbps), (prefix, 0.0)]
+            };
+            for (unit, mbps) in units {
+                if mbps <= 0.0 {
+                    continue;
+                }
+                if let Some((_, entry)) = self.router.fib_lookup(unit) {
+                    *load.entry(entry.egress).or_default() += mbps;
+                    if entry.is_override {
+                        detoured += mbps;
+                    }
+                }
+            }
+        }
+
+        // --- 2. Record interface metrics -----------------------------------
+        let mut dropped = 0.0f64;
+        for iface in &self.pop.interfaces {
+            let l = load.get(&iface.id).copied().unwrap_or(0.0);
+            self.metrics
+                .record_interface(t_secs, iface.id, l, self.util_limit);
+            if l > iface.capacity_mbps {
+                dropped += l - iface.capacity_mbps;
+            }
+        }
+
+        // --- 3. Alternate-path measurement ----------------------------------
+        if let Some(measurer) = self.measurer.as_mut() {
+            let mut top: Vec<&DemandPoint> = demand.iter().collect();
+            top.sort_by(|a, b| b.mbps.partial_cmp(&a.mbps).unwrap());
+            top.truncate(MEASURE_TOP_K);
+            let entries: Vec<(u32, f64, Vec<CandidatePath>)> = top
+                .iter()
+                .map(|point| {
+                    let prefix = self.prefix_of[point.prefix_idx as usize];
+                    let paths: Vec<CandidatePath> = self
+                        .router
+                        .candidates(&prefix)
+                        .iter()
+                        .filter(|r| !r.is_override())
+                        .map(|r| CandidatePath {
+                            egress: r.egress,
+                            kind: r.source.kind,
+                        })
+                        .collect();
+                    (point.prefix_idx, point.mbps, paths)
+                })
+                .collect();
+            let utilization: HashMap<EgressId, f64> = self
+                .pop
+                .interfaces
+                .iter()
+                .map(|i| {
+                    (
+                        i.id,
+                        load.get(&i.id).copied().unwrap_or(0.0) / i.capacity_mbps,
+                    )
+                })
+                .collect();
+            measurer.collect_epoch(perf_model, &entries, &utilization);
+        }
+
+        // --- 4. Controller epoch --------------------------------------------
+        if let Some(controller) = self.controller.as_mut() {
+            // Performance steering (§6.2): refresh perf overrides from the
+            // measurement digests before the capacity pass.
+            if self.perf_steer {
+                if let Some(measurer) = self.measurer.as_ref() {
+                    // Compare alternates against the *organic* BGP choice
+                    // (ignoring our own overrides), otherwise a steered
+                    // prefix would look "already optimal" and flap out of
+                    // the override set every other epoch.
+                    let preferred: HashMap<u32, EgressId> = demand
+                        .iter()
+                        .filter_map(|point| {
+                            let prefix = self.prefix_of[point.prefix_idx as usize];
+                            ef_bgp::decision::best_route_where(
+                                self.router.candidates(&prefix),
+                                |r| !r.is_override(),
+                            )
+                            .map(|r| (point.prefix_idx, r.egress))
+                        })
+                        .collect();
+                    let comparisons = ef_perf::compare::compare_paths(measurer, &preferred);
+                    let index_to_prefix: HashMap<u32, Prefix> = comparisons
+                        .iter()
+                        .map(|c| (c.prefix_idx, self.prefix_of[c.prefix_idx as usize]))
+                        .collect();
+                    let adapted: Vec<_> = adapt_comparisons(
+                        &comparisons,
+                        &index_to_prefix,
+                        self.perf_aware_cfg.min_samples,
+                    )
+                    .collect();
+                    let set = build_perf_overrides(
+                        &self.perf_aware_cfg,
+                        controller.collector(),
+                        adapted,
+                    );
+                    controller.set_perf_overrides(set);
+                }
+            }
+
+            // Build the traffic estimate the controller sees.
+            let traffic: HashMap<Prefix, f64> = match (&mut self.sampler, &mut self.estimator) {
+                (Some(sampler), Some(estimator)) => {
+                    let samples = sampler.sample_all(
+                        demand.iter().map(|d| (d.prefix_idx, d.mbps)),
+                        self.epoch_secs as f64,
+                    );
+                    estimator.ingest(t_secs, &samples);
+                    estimator
+                        .all_rates_mbps(t_secs)
+                        .into_iter()
+                        .map(|(idx, mbps)| (self.prefix_of[idx as usize], mbps))
+                        .collect()
+                }
+                _ => demand
+                    .iter()
+                    .map(|d| (self.prefix_of[d.prefix_idx as usize], d.mbps))
+                    .collect(),
+            };
+
+            controller.ingest_bmp(self.router.drain_bmp());
+            let report = controller.run_epoch(&traffic, &mut self.router, t_secs * 1000);
+
+            self.metrics.record_pop_epoch(PopEpochRecord {
+                t_secs,
+                pop: self.pop.id.0,
+                offered_mbps: offered,
+                detoured_mbps: detoured,
+                detoured_by_kind: report.detoured_by_kind.clone(),
+                overrides_active: report.overrides_active,
+                churn_announced: report.churn_announced,
+                churn_withdrawn: report.churn_withdrawn,
+                overloaded_before: report.overloaded_before.len(),
+                residual_overloaded: report.residual_overloaded.len(),
+                dropped_mbps: dropped,
+            });
+            let active: Vec<Prefix> = controller
+                .active_overrides()
+                .iter_sorted()
+                .iter()
+                .map(|o| o.prefix)
+                .collect();
+            self.metrics.update_episodes(self.pop.id, t_secs, active);
+            StepOutcome {
+                residual_overloaded: !report.residual_overloaded.is_empty(),
+                dropped_mbps: dropped,
+            }
+        } else {
+            // Baseline arm: record the epoch without controller fields and
+            // discard the unconsumed BMP feed.
+            self.router.drain_bmp();
+            self.metrics.record_pop_epoch(PopEpochRecord {
+                t_secs,
+                pop: self.pop.id.0,
+                offered_mbps: offered,
+                detoured_mbps: 0.0,
+                detoured_by_kind: Default::default(),
+                overrides_active: 0,
+                churn_announced: 0,
+                churn_withdrawn: 0,
+                overloaded_before: 0,
+                residual_overloaded: 0,
+                dropped_mbps: dropped,
+            });
+            StepOutcome {
+                residual_overloaded: dropped > 0.0,
+                dropped_mbps: dropped,
+            }
+        }
+    }
+
+    /// Whether any stub session dropped (sanity check for long runs).
+    pub fn all_sessions_up(&self) -> bool {
+        self.stubs.values().all(|s| s.is_established())
+    }
+
+    /// Closes open detour episodes at simulation end.
+    pub fn finish(&mut self, t_secs: u64) {
+        self.metrics.finish(t_secs);
+    }
+}

@@ -1,0 +1,124 @@
+//! Scenario configuration: everything an experiment run needs, in one
+//! serializable bundle.
+
+use serde::{Deserialize, Serialize};
+
+use edge_fabric::config::ControllerConfig;
+use edge_fabric::perf_aware::PerfAwareConfig;
+use ef_topology::GenConfig;
+
+use crate::global::GlobalShifterConfig;
+
+/// Performance-measurement arm of a scenario.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PerfSimConfig {
+    /// Slice fraction per alternate path (see `ef_perf::MeasurerConfig`).
+    pub slice_fraction: f64,
+    /// Whether measured comparisons feed performance overrides (§6.2). If
+    /// false, measurement runs but only reports (§6.1).
+    pub steer: bool,
+    /// Guardrails for steering.
+    pub aware: PerfAwareConfig,
+}
+
+impl Default for PerfSimConfig {
+    fn default() -> Self {
+        PerfSimConfig {
+            slice_fraction: 0.005,
+            steer: false,
+            aware: PerfAwareConfig::default(),
+        }
+    }
+}
+
+/// A complete simulation scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Deployment generator parameters (includes the topology seed).
+    #[serde(skip, default)]
+    pub gen: GenConfig,
+    /// Seed for the demand model's noise.
+    pub demand_seed: u64,
+    /// Controller tunables.
+    pub controller: ControllerConfig,
+    /// Run the Edge Fabric controller (false = baseline BGP arm).
+    pub controller_enabled: bool,
+    /// Simulated duration, seconds.
+    pub duration_secs: u64,
+    /// Controller epoch / metric sampling period, seconds.
+    pub epoch_secs: u64,
+    /// Feed the controller sampled rate estimates (true, production-like)
+    /// or exact demand (false, for isolating allocator behaviour).
+    pub sampled_rates: bool,
+    /// 1-in-N packet sampling rate when `sampled_rates`.
+    pub sample_rate: u32,
+    /// Alternate-path measurement arm, if any.
+    pub perf: Option<PerfSimConfig>,
+    /// Global (cross-PoP) demand shifting, the paper's future-work layer.
+    pub global_shift: Option<GlobalShifterConfig>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            gen: GenConfig::default(),
+            demand_seed: 42,
+            controller: ControllerConfig::default(),
+            controller_enabled: true,
+            duration_secs: 24 * 3600,
+            epoch_secs: 30,
+            sampled_rates: true,
+            sample_rate: 1000,
+            perf: None,
+            global_shift: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A fast scenario for unit tests: tiny deployment, two hours.
+    pub fn test_small(seed: u64) -> Self {
+        SimConfig {
+            gen: GenConfig::small(seed),
+            duration_secs: 2 * 3600,
+            epoch_secs: 60,
+            ..Default::default()
+        }
+    }
+
+    /// The same scenario with the controller switched off (baseline arm).
+    pub fn baseline(mut self) -> Self {
+        self.controller_enabled = false;
+        self
+    }
+
+    /// Number of epochs the scenario runs.
+    pub fn epochs(&self) -> u64 {
+        self.duration_secs / self.epoch_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epochs_division() {
+        let cfg = SimConfig {
+            duration_secs: 3600,
+            epoch_secs: 30,
+            ..Default::default()
+        };
+        assert_eq!(cfg.epochs(), 120);
+    }
+
+    #[test]
+    fn baseline_flips_only_the_controller() {
+        let cfg = SimConfig::test_small(1);
+        let base = cfg.clone().baseline();
+        assert!(cfg.controller_enabled);
+        assert!(!base.controller_enabled);
+        assert_eq!(cfg.demand_seed, base.demand_seed);
+        assert_eq!(cfg.duration_secs, base.duration_secs);
+    }
+}

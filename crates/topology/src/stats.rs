@@ -1,0 +1,169 @@
+//! Deployment summaries backing the paper's descriptive tables/figures:
+//! Table 1 (PoP interconnection characteristics) and Fig. 2 (route
+//! diversity per prefix, traffic-weighted).
+
+use std::collections::HashMap;
+
+use serde::Serialize;
+
+use ef_bgp::peer::PeerKind;
+
+use crate::model::{Deployment, PopId};
+
+/// One row of the Table-1-style deployment summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct PopSummary {
+    /// PoP id.
+    pub pop: PopId,
+    /// PoP name.
+    pub name: String,
+    /// Region label.
+    pub region: String,
+    /// Number of peering routers.
+    pub routers: usize,
+    /// Transit providers.
+    pub transit_peers: usize,
+    /// Private interconnects.
+    pub private_peers: usize,
+    /// Public (bilateral IXP) peers.
+    pub public_peers: usize,
+    /// Route-server adjacencies.
+    pub route_server_peers: usize,
+    /// Egress interfaces.
+    pub interfaces: usize,
+    /// Total egress capacity, Gbps.
+    pub capacity_gbps: f64,
+    /// Average demand served, Gbps.
+    pub avg_demand_gbps: f64,
+}
+
+/// Builds the per-PoP interconnection summary (experiment E1 / Table 1).
+pub fn pop_summaries(dep: &Deployment) -> Vec<PopSummary> {
+    dep.pops
+        .iter()
+        .map(|pop| PopSummary {
+            pop: pop.id,
+            name: pop.name.clone(),
+            region: pop.region.label().to_string(),
+            routers: pop.routers.len(),
+            transit_peers: pop.peers_of_kind(PeerKind::Transit).count(),
+            private_peers: pop.peers_of_kind(PeerKind::PrivatePeer).count(),
+            public_peers: pop.peers_of_kind(PeerKind::PublicPeer).count(),
+            route_server_peers: pop.peers_of_kind(PeerKind::RouteServer).count(),
+            interfaces: pop.interfaces.len(),
+            capacity_gbps: pop.interfaces.iter().map(|i| i.capacity_mbps).sum::<f64>() / 1000.0,
+            avg_demand_gbps: pop.total_avg_demand_mbps() / 1000.0,
+        })
+        .collect()
+}
+
+/// Route diversity at one PoP: what fraction of prefixes (and of traffic)
+/// have at least N routes available, for N = 1..=4.
+#[derive(Debug, Clone, Serialize)]
+pub struct RouteDiversity {
+    /// PoP id.
+    pub pop: PopId,
+    /// PoP name.
+    pub name: String,
+    /// `frac_prefixes_ge[n-1]` = fraction of served prefixes with ≥n routes.
+    pub frac_prefixes_ge: [f64; 4],
+    /// Same, weighted by each prefix's average demand at this PoP.
+    pub frac_traffic_ge: [f64; 4],
+}
+
+/// Computes route diversity for every PoP (experiment E2 / Fig. 2).
+pub fn route_diversity(dep: &Deployment) -> Vec<RouteDiversity> {
+    dep.pops
+        .iter()
+        .enumerate()
+        .map(|(pi, pop)| {
+            let mut counts: HashMap<u32, usize> = HashMap::new();
+            for spec in &dep.routes[pi] {
+                *counts.entry(spec.prefix_idx).or_default() += 1;
+            }
+            let mut frac_prefixes_ge = [0.0f64; 4];
+            let mut frac_traffic_ge = [0.0f64; 4];
+            let mut total_traffic = 0.0;
+            let n_served = pop.served.len().max(1);
+            for s in &pop.served {
+                let c = counts.get(&s.prefix_idx).copied().unwrap_or(0);
+                total_traffic += s.avg_mbps;
+                for n in 1..=4usize {
+                    if c >= n {
+                        frac_prefixes_ge[n - 1] += 1.0;
+                        frac_traffic_ge[n - 1] += s.avg_mbps;
+                    }
+                }
+            }
+            for n in 0..4 {
+                frac_prefixes_ge[n] /= n_served as f64;
+                if total_traffic > 0.0 {
+                    frac_traffic_ge[n] /= total_traffic;
+                }
+            }
+            RouteDiversity {
+                pop: pop.id,
+                name: pop.name.clone(),
+                frac_prefixes_ge,
+                frac_traffic_ge,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+
+    #[test]
+    fn summaries_cover_every_pop() {
+        let dep = generate(&GenConfig::small(3));
+        let rows = pop_summaries(&dep);
+        assert_eq!(rows.len(), dep.pops.len());
+        for row in &rows {
+            assert!(row.transit_peers >= 2);
+            assert!(row.capacity_gbps > 0.0);
+            assert!(row.avg_demand_gbps > 0.0);
+            assert_eq!(
+                row.interfaces,
+                dep.pop(row.pop).interfaces.len()
+            );
+        }
+    }
+
+    #[test]
+    fn diversity_fractions_are_monotone_and_bounded() {
+        let dep = generate(&GenConfig::small(3));
+        for d in route_diversity(&dep) {
+            for n in 0..4 {
+                assert!((0.0..=1.0).contains(&d.frac_prefixes_ge[n]));
+                assert!((0.0..=1.0).contains(&d.frac_traffic_ge[n]));
+                if n > 0 {
+                    assert!(d.frac_prefixes_ge[n] <= d.frac_prefixes_ge[n - 1] + 1e-12);
+                    assert!(d.frac_traffic_ge[n] <= d.frac_traffic_ge[n - 1] + 1e-12);
+                }
+            }
+            // Every served prefix has at least the transit routes.
+            assert!(d.frac_prefixes_ge[0] > 0.999);
+            assert!(d.frac_traffic_ge[1] > 0.9, "most traffic has >=2 routes");
+        }
+    }
+
+    #[test]
+    fn traffic_weighted_diversity_exceeds_unweighted() {
+        // Popular prefixes peer more, so the traffic-weighted >=3 fraction
+        // should (weakly) dominate the unweighted one at most PoPs.
+        let dep = generate(&GenConfig::default());
+        let rows = route_diversity(&dep);
+        let better = rows
+            .iter()
+            .filter(|d| d.frac_traffic_ge[2] >= d.frac_prefixes_ge[2] - 0.05)
+            .count();
+        assert!(
+            better * 10 >= rows.len() * 8,
+            "traffic-weighted diversity should dominate at >=80% of PoPs ({better}/{})",
+            rows.len()
+        );
+    }
+}

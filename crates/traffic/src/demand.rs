@@ -1,0 +1,205 @@
+//! The offered-demand model: what each prefix *actually* asks of each PoP
+//! at each instant.
+//!
+//! Rate = (deployment average for the `(PoP, prefix)` pair)
+//!      × (diurnal multiplier phased by the prefix's home region)
+//!      × (slow multiplicative noise, deterministic in the seed).
+//!
+//! The noise term is a sum of two incommensurate sinusoids with
+//! prefix-specific phases — smooth enough that 30-second controller cycles
+//! see a quasi-static demand (as the paper assumes), but varied enough that
+//! projections are never exactly right.
+
+use ef_topology::{Deployment, PopId, Region};
+
+use crate::diurnal::DiurnalCurve;
+
+/// One prefix's offered demand at a PoP at some instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DemandPoint {
+    /// Index into the deployment universe's prefix list.
+    pub prefix_idx: u32,
+    /// Offered rate, Mbps.
+    pub mbps: f64,
+}
+
+/// Deterministic offered-demand generator over a deployment.
+#[derive(Debug, Clone)]
+pub struct DemandModel {
+    curve: DiurnalCurve,
+    /// Noise amplitude (0 disables noise).
+    noise_amplitude: f64,
+    seed: u64,
+    /// Per-prefix home region, precomputed from the deployment.
+    prefix_region: Vec<Region>,
+}
+
+impl DemandModel {
+    /// Builds a model over `deployment` with default curve and ±10% noise.
+    pub fn new(deployment: &Deployment, seed: u64) -> Self {
+        Self::with_curve(deployment, seed, DiurnalCurve::default(), 0.10)
+    }
+
+    /// Builds a model with explicit curve and noise amplitude.
+    pub fn with_curve(
+        deployment: &Deployment,
+        seed: u64,
+        curve: DiurnalCurve,
+        noise_amplitude: f64,
+    ) -> Self {
+        let prefix_region = deployment
+            .universe
+            .prefixes
+            .iter()
+            .map(|p| deployment.universe.origin_of(p).region)
+            .collect();
+        DemandModel {
+            curve,
+            noise_amplitude,
+            seed,
+            prefix_region,
+        }
+    }
+
+    /// The diurnal curve in use.
+    pub fn curve(&self) -> DiurnalCurve {
+        self.curve
+    }
+
+    /// Offered rate multiplier for `prefix_idx` at `utc_secs`.
+    pub fn multiplier(&self, prefix_idx: u32, utc_secs: u64) -> f64 {
+        let region = self.prefix_region[prefix_idx as usize];
+        let diurnal = self.curve.multiplier_at_secs(utc_secs, region);
+        diurnal * self.noise(prefix_idx, utc_secs)
+    }
+
+    /// Offered demand for every prefix served by `pop` at `utc_secs`.
+    pub fn offered(
+        &self,
+        deployment: &Deployment,
+        pop: PopId,
+        utc_secs: u64,
+    ) -> Vec<DemandPoint> {
+        deployment
+            .pop(pop)
+            .served
+            .iter()
+            .map(|s| DemandPoint {
+                prefix_idx: s.prefix_idx,
+                mbps: s.avg_mbps * self.multiplier(s.prefix_idx, utc_secs),
+            })
+            .collect()
+    }
+
+    /// Smooth multiplicative noise in `[1-a, 1+a]`, deterministic in
+    /// `(seed, prefix)`, continuous in time.
+    fn noise(&self, prefix_idx: u32, utc_secs: u64) -> f64 {
+        if self.noise_amplitude == 0.0 {
+            return 1.0;
+        }
+        let phase = splitmix(self.seed ^ u64::from(prefix_idx));
+        let p1 = (phase & 0xFFFF) as f64 / 65536.0 * std::f64::consts::TAU;
+        let p2 = ((phase >> 16) & 0xFFFF) as f64 / 65536.0 * std::f64::consts::TAU;
+        let t = utc_secs as f64;
+        // Periods of ~37 and ~101 minutes: slow against 30 s cycles.
+        let s = 0.6 * (t / 2220.0 * std::f64::consts::TAU + p1).sin()
+            + 0.4 * (t / 6060.0 * std::f64::consts::TAU + p2).sin();
+        1.0 + self.noise_amplitude * s
+    }
+}
+
+/// SplitMix64 — tiny, deterministic hash for phase derivation.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ef_topology::{generate, GenConfig};
+
+    fn dep() -> Deployment {
+        generate(&GenConfig::small(3))
+    }
+
+    #[test]
+    fn offered_is_deterministic() {
+        let d = dep();
+        let m = DemandModel::new(&d, 42);
+        let a = m.offered(&d, PopId(0), 3600);
+        let b = m.offered(&d, PopId(0), 3600);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn offered_covers_served_prefixes() {
+        let d = dep();
+        let m = DemandModel::new(&d, 42);
+        let offered = m.offered(&d, PopId(1), 0);
+        assert_eq!(offered.len(), d.pop(PopId(1)).served.len());
+        assert!(offered.iter().all(|p| p.mbps > 0.0));
+    }
+
+    #[test]
+    fn demand_rises_into_the_regional_peak() {
+        let d = dep();
+        // No noise: isolate the diurnal effect.
+        let m = DemandModel::with_curve(&d, 1, DiurnalCurve::default(), 0.0);
+        let pop = d
+            .pops
+            .iter()
+            .find(|p| p.region == Region::Europe)
+            .expect("an EU PoP exists");
+        // For an EU-origin prefix the peak is 19:00 UTC, the trough 07:00.
+        let eu_prefix = pop
+            .served
+            .iter()
+            .map(|s| s.prefix_idx)
+            .find(|pi| {
+                d.universe.origin_of(&d.universe.prefixes[*pi as usize]).region == Region::Europe
+            })
+            .expect("an EU prefix is served");
+        let peak = m.multiplier(eu_prefix, 19 * 3600);
+        let trough = m.multiplier(eu_prefix, 7 * 3600);
+        assert!(peak / trough > 5.0, "peak {peak} vs trough {trough}");
+    }
+
+    #[test]
+    fn noise_is_bounded_and_smooth() {
+        let d = dep();
+        let m = DemandModel::new(&d, 9);
+        let mut prev = None;
+        for t in (0..7200).step_by(30) {
+            let v = m.multiplier(0, t);
+            if let Some(p) = prev {
+                let rel: f64 = (v - p) / p;
+                assert!(
+                    rel.abs() < 0.25,
+                    "30s demand step jumped {:.1}%",
+                    rel * 100.0
+                );
+            }
+            prev = Some(v);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_noise() {
+        let d = dep();
+        let a = DemandModel::new(&d, 1).multiplier(5, 1234);
+        let b = DemandModel::new(&d, 2).multiplier(5, 1234);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_noise_is_pure_diurnal() {
+        let d = dep();
+        let m = DemandModel::with_curve(&d, 1, DiurnalCurve::default(), 0.0);
+        let region = d.universe.origin_of(&d.universe.prefixes[0]).region;
+        let expect = DiurnalCurve::default().multiplier_at_secs(555, region);
+        assert!((m.multiplier(0, 555) - expect).abs() < 1e-12);
+    }
+}

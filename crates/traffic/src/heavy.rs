@@ -1,0 +1,205 @@
+//! Space-Saving heavy-hitter tracking (Metwally et al., 2005).
+//!
+//! A PoP serves orders of magnitude more prefixes than the allocator can
+//! reason about per 30-second cycle. Production Edge Fabric bounds its work
+//! by focusing on the prefixes that carry the traffic; [`SpaceSaving`]
+//! provides that top-k view with bounded memory and the classic guarantee:
+//! any prefix whose true count exceeds `total/capacity` is present in the
+//! summary, and every reported count overestimates truth by at most the
+//! minimum tracked count.
+
+use std::collections::HashMap;
+
+/// Space-Saving summary over `u32` keys (prefix indices) with `u64` counts.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving {
+    capacity: usize,
+    /// key → (count, overestimation error at insertion).
+    entries: HashMap<u32, (u64, u64)>,
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// Creates a summary tracking at most `capacity` keys (≥1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "capacity must be positive");
+        SpaceSaving {
+            capacity,
+            entries: HashMap::with_capacity(capacity + 1),
+            total: 0,
+        }
+    }
+
+    /// Total weight observed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of keys currently tracked.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Observes `weight` for `key`.
+    pub fn observe(&mut self, key: u32, weight: u64) {
+        self.total += weight;
+        if let Some(entry) = self.entries.get_mut(&key) {
+            entry.0 += weight;
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.entries.insert(key, (weight, 0));
+            return;
+        }
+        // Evict the minimum-count entry; newcomer inherits its count as the
+        // overestimation bound.
+        let (&min_key, &(min_count, _)) = self
+            .entries
+            .iter()
+            .min_by_key(|(_, (c, _))| *c)
+            .expect("nonempty at capacity");
+        self.entries.remove(&min_key);
+        self.entries.insert(key, (min_count + weight, min_count));
+    }
+
+    /// The tracked keys sorted by estimated count, heaviest first. Each
+    /// element is `(key, estimated_count, max_overestimation)`.
+    pub fn top(&self) -> Vec<(u32, u64, u64)> {
+        let mut v: Vec<(u32, u64, u64)> = self
+            .entries
+            .iter()
+            .map(|(k, (c, e))| (*k, *c, *e))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Estimated count for a key (0 if untracked).
+    pub fn estimate(&self, key: u32) -> u64 {
+        self.entries.get(&key).map(|(c, _)| *c).unwrap_or(0)
+    }
+
+    /// True if `key` is *guaranteed* heavy: its count minus error still
+    /// exceeds `threshold`.
+    pub fn guaranteed_above(&self, key: u32, threshold: u64) -> bool {
+        self.entries
+            .get(&key)
+            .map(|(c, e)| c.saturating_sub(*e) > threshold)
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn tracks_everything_under_capacity() {
+        let mut ss = SpaceSaving::new(10);
+        for k in 0..5 {
+            ss.observe(k, (k + 1) as u64);
+        }
+        assert_eq!(ss.len(), 5);
+        assert_eq!(ss.estimate(4), 5);
+        assert_eq!(ss.estimate(9), 0);
+        assert_eq!(ss.total(), 1 + 2 + 3 + 4 + 5);
+    }
+
+    #[test]
+    fn top_is_sorted_heaviest_first() {
+        let mut ss = SpaceSaving::new(10);
+        ss.observe(1, 5);
+        ss.observe(2, 50);
+        ss.observe(3, 20);
+        let keys: Vec<u32> = ss.top().iter().map(|(k, _, _)| *k).collect();
+        assert_eq!(keys, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn eviction_keeps_heavy_keys() {
+        let mut ss = SpaceSaving::new(3);
+        ss.observe(1, 1000);
+        ss.observe(2, 900);
+        ss.observe(3, 800);
+        // A burst of singletons must not displace the heavies.
+        for k in 100..200 {
+            ss.observe(k, 1);
+        }
+        let top = ss.top();
+        let heavy: Vec<u32> = top.iter().take(2).map(|(k, _, _)| *k).collect();
+        assert!(heavy.contains(&1));
+        assert!(heavy.contains(&2));
+    }
+
+    #[test]
+    fn overestimation_is_bounded_by_min() {
+        let mut ss = SpaceSaving::new(2);
+        ss.observe(1, 10);
+        ss.observe(2, 20);
+        ss.observe(3, 1); // evicts key 1 (count 10); key 3 reports 11, err 10
+        assert_eq!(ss.estimate(3), 11);
+        let (_, _, err) = *ss.top().iter().find(|(k, _, _)| *k == 3).unwrap();
+        assert_eq!(err, 10);
+        assert!(!ss.guaranteed_above(3, 5), "3's true count may be just 1");
+    }
+
+    #[test]
+    fn guaranteed_above_for_clean_entries() {
+        let mut ss = SpaceSaving::new(4);
+        ss.observe(1, 100);
+        assert!(ss.guaranteed_above(1, 99));
+        assert!(!ss.guaranteed_above(1, 100));
+        assert!(!ss.guaranteed_above(2, 0));
+    }
+
+    #[test]
+    fn classic_guarantee_on_zipf_stream() {
+        // Any key with true count > total/capacity must be tracked.
+        let mut rng = StdRng::seed_from_u64(7);
+        let capacity = 20;
+        let mut ss = SpaceSaving::new(capacity);
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        for _ in 0..20_000 {
+            // Zipf-ish: low keys much more likely.
+            let r: f64 = rng.gen();
+            let key = (1.0 / r).log2().floor() as u32;
+            ss.observe(key, 1);
+            *truth.entry(key).or_default() += 1;
+        }
+        let threshold = ss.total() / capacity as u64;
+        for (key, count) in truth {
+            if count > threshold {
+                assert!(
+                    ss.estimate(key) >= count,
+                    "heavy key {key} (true {count}) missing or undercounted"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        /// Estimates never undercount the truth.
+        #[test]
+        fn prop_never_undercounts(stream in proptest::collection::vec(0u32..50, 0..500)) {
+            let mut ss = SpaceSaving::new(8);
+            let mut truth: HashMap<u32, u64> = HashMap::new();
+            for k in &stream {
+                ss.observe(*k, 1);
+                *truth.entry(*k).or_default() += 1;
+            }
+            for (k, (count, _)) in &ss.entries {
+                prop_assert!(*count >= truth.get(k).copied().unwrap_or(0));
+            }
+            prop_assert!(ss.len() <= 8);
+            prop_assert_eq!(ss.total(), stream.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Congestion response: with/without Edge Fabric on the same world.
+//!
+//! Runs the same deployment, demand, and seeds twice — once with the
+//! controller disabled (baseline BGP) and once enabled — through an evening
+//! peak, then compares the busiest interface's utilization trajectory, the
+//! drop volume, and the user-visible RTT on the congested path.
+//!
+//! Run with: `cargo run --release --example congestion_response`
+
+use ef_bgp::route::EgressId;
+use ef_sim::{SimConfig, SimEngine};
+use ef_topology::generate;
+
+fn main() {
+    let mut cfg = SimConfig::default();
+    cfg.gen.n_pops = 8;
+    cfg.gen.n_ases = 200;
+    cfg.gen.n_prefixes = 1200;
+    cfg.gen.total_avg_gbps = 3000.0;
+    cfg.duration_secs = 6 * 3600; // span a regional peak
+    cfg.epoch_secs = 30;
+
+    let deployment = generate(&cfg.gen);
+
+    // Pick the tightest private interconnect to watch: run a short baseline
+    // probe and take the interface with the most overload.
+    println!("== Probing for the busiest interface ==");
+    let mut probe = SimEngine::with_deployment(cfg.clone().baseline(), deployment.clone());
+    probe.run_epochs(cfg.duration_secs / cfg.epoch_secs / 4);
+    let probe_metrics = probe.take_metrics();
+    let victim = probe_metrics
+        .worst_interfaces()
+        .first()
+        .map(|s| EgressId(s.egress))
+        .expect("some interface exists");
+    let victim_stats = &probe_metrics.interfaces[&victim];
+    println!(
+        "watching if{} ({}, {:.0} Mbps capacity, peak {:.0}% in probe)\n",
+        victim.0,
+        victim_stats.kind,
+        victim_stats.capacity_mbps,
+        victim_stats.peak_util * 100.0
+    );
+
+    let run_arm = |label: &str, arm_cfg: SimConfig| -> (Vec<(u64, f64)>, f64, f64) {
+        println!("== Running {label} arm ==");
+        let mut engine = SimEngine::with_deployment(arm_cfg, deployment.clone());
+        engine.flag_interface(victim);
+        engine.run();
+        let metrics = engine.take_metrics();
+        let series = metrics.series.get(&victim).cloned().unwrap_or_default();
+        let drops: f64 = metrics.pop_epochs.iter().map(|r| r.dropped_mbps).sum();
+        let offered: f64 = metrics.pop_epochs.iter().map(|r| r.offered_mbps).sum();
+        (series, drops, offered)
+    };
+
+    let (base_series, base_drops, base_offered) = run_arm("baseline BGP", cfg.clone().baseline());
+    let (ef_series, ef_drops, ef_offered) = run_arm("Edge Fabric", cfg.clone());
+
+    let capacity = victim_stats.capacity_mbps;
+    let perf = &SimEngine::with_deployment(cfg.clone(), deployment.clone()).perf_model;
+
+    println!("\n-- if{} utilization through the peak (20-min samples) --", victim.0);
+    println!(
+        "{:>6} {:>14} {:>14} {:>12} {:>12}",
+        "t(h)", "baseline util", "EF util", "base RTT+", "EF RTT+"
+    );
+    for (i, ((t, base_load), (_, ef_load))) in
+        base_series.iter().zip(ef_series.iter()).enumerate()
+    {
+        if i % 40 != 0 {
+            continue; // print every 40th epoch = 20 min
+        }
+        let bu = base_load / capacity;
+        let eu = ef_load / capacity;
+        println!(
+            "{:>6.1} {:>13.0}% {:>13.0}% {:>10.1}ms {:>10.1}ms",
+            *t as f64 / 3600.0,
+            bu * 100.0,
+            eu * 100.0,
+            perf.congestion_delay_ms(bu),
+            perf.congestion_delay_ms(eu)
+        );
+    }
+
+    println!("\n-- Outcome --");
+    println!(
+        "baseline: dropped {:.3}% of offered traffic; peak util {:.0}%",
+        100.0 * base_drops / base_offered,
+        base_series
+            .iter()
+            .map(|(_, l)| l / capacity)
+            .fold(0.0f64, f64::max)
+            * 100.0
+    );
+    println!(
+        "edge fabric: dropped {:.3}% of offered traffic; peak util {:.0}%",
+        100.0 * ef_drops / ef_offered,
+        ef_series
+            .iter()
+            .map(|(_, l)| l / capacity)
+            .fold(0.0f64, f64::max)
+            * 100.0
+    );
+    let improvement = if ef_drops > 0.0 {
+        base_drops / ef_drops
+    } else {
+        f64::INFINITY
+    };
+    println!("drop reduction: {improvement:.0}x");
+}
