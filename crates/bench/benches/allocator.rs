@@ -98,7 +98,10 @@ fn bench_allocator(c: &mut Criterion) {
             b.iter(|| project(black_box(&collector), black_box(&traffic)))
         });
         let projection = project(&collector, &traffic);
-        for strategy in [DetourStrategy::BestAlternativeFirst, DetourStrategy::LargestFirst] {
+        for strategy in [
+            DetourStrategy::BestAlternativeFirst,
+            DetourStrategy::LargestFirst,
+        ] {
             let cfg = ControllerConfig {
                 strategy,
                 ..Default::default()
@@ -127,13 +130,24 @@ fn bench_allocator(c: &mut Criterion) {
     let (collector, interfaces, traffic) = world(2000);
     let projection = project(&collector, &traffic);
     println!("\n-- ablation: utilization limit (2000 prefixes, PNI at 143% demand) --");
-    println!("{:>6} {:>11} {:>16} {:>10}", "limit", "overrides", "detoured (Mbps)", "residual");
+    println!(
+        "{:>6} {:>11} {:>16} {:>10}",
+        "limit", "overrides", "detoured (Mbps)", "residual"
+    );
     for limit in [0.90, 0.95, 0.99] {
         let cfg = ControllerConfig {
             util_limit: limit,
             ..Default::default()
         };
-        let out = allocate(&cfg, &interfaces, &collector, &traffic, &projection, &OverrideSet::new(), &OverrideSet::new());
+        let out = allocate(
+            &cfg,
+            &interfaces,
+            &collector,
+            &traffic,
+            &projection,
+            &OverrideSet::new(),
+            &OverrideSet::new(),
+        );
         println!(
             "{:>6.2} {:>11} {:>16.0} {:>10}",
             limit,
@@ -144,12 +158,23 @@ fn bench_allocator(c: &mut Criterion) {
     }
     // Ablation: strategy vs override count.
     println!("\n-- ablation: detour strategy (same world) --");
-    for strategy in [DetourStrategy::BestAlternativeFirst, DetourStrategy::LargestFirst] {
+    for strategy in [
+        DetourStrategy::BestAlternativeFirst,
+        DetourStrategy::LargestFirst,
+    ] {
         let cfg = ControllerConfig {
             strategy,
             ..Default::default()
         };
-        let out = allocate(&cfg, &interfaces, &collector, &traffic, &projection, &OverrideSet::new(), &OverrideSet::new());
+        let out = allocate(
+            &cfg,
+            &interfaces,
+            &collector,
+            &traffic,
+            &projection,
+            &OverrideSet::new(),
+            &OverrideSet::new(),
+        );
         println!(
             "{:<24?} overrides: {:>5}  detoured: {:>8.0} Mbps",
             strategy,

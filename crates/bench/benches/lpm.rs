@@ -13,10 +13,7 @@ fn build_trie(n: u32) -> PrefixTrie<u32> {
         // Spread across the v4 space; mix of /16 and /24.
         let addr = i.wrapping_mul(2_654_435_761);
         let len = if i % 3 == 0 { 16 } else { 24 };
-        trie.insert(
-            Prefix::v4(std::net::Ipv4Addr::from(addr), len),
-            i,
-        );
+        trie.insert(Prefix::v4(std::net::Ipv4Addr::from(addr), len), i);
     }
     trie
 }

@@ -43,13 +43,17 @@ fn main() {
     let mut improvements: Vec<f64> = Vec::new();
     let mut all = Vec::new();
     for pop in &engine.pops {
-        let Some(measurer) = pop.measurer.as_ref() else { continue };
+        let Some(measurer) = pop.measurer.as_ref() else {
+            continue;
+        };
         let preferred: HashMap<u32, EgressId> = measurer
             .report()
             .iter()
             .filter_map(|d| {
                 let prefix = engine.prefix_of(d.key.prefix_idx);
-                pop.router.fib_entry(&prefix).map(|e| (d.key.prefix_idx, e.egress))
+                pop.router
+                    .fib_entry(&prefix)
+                    .map(|e| (d.key.prefix_idx, e.egress))
             })
             .collect();
         let comparisons = compare_paths(measurer, &preferred);
@@ -65,9 +69,18 @@ fn main() {
         println!("{:>11.1} {:>8.3}", d, f);
     }
     println!("\nprefixes compared:           {}", summary.prefixes);
-    println!("preferred ~ best alternate (within 3 ms): {:.1}%", summary.frac_equivalent * 100.0);
-    println!("alternate >=20 ms faster:    {:.1}%", summary.frac_alt_wins_20ms * 100.0);
-    println!("preferred >=20 ms faster:    {:.1}%", summary.frac_pref_wins_20ms * 100.0);
+    println!(
+        "preferred ~ best alternate (within 3 ms): {:.1}%",
+        summary.frac_equivalent * 100.0
+    );
+    println!(
+        "alternate >=20 ms faster:    {:.1}%",
+        summary.frac_alt_wins_20ms * 100.0
+    );
+    println!(
+        "preferred >=20 ms faster:    {:.1}%",
+        summary.frac_pref_wins_20ms * 100.0
+    );
 
     // Paper-shape assertions.
     assert!(summary.prefixes > 500);

@@ -78,7 +78,10 @@ fn main() {
         .iter()
         .map(|p| p.baseline_extra_rtt_ms)
         .fold(0.0f64, f64::max);
-    let ef_peak_rtt = points.iter().map(|p| p.ef_extra_rtt_ms).fold(0.0f64, f64::max);
+    let ef_peak_rtt = points
+        .iter()
+        .map(|p| p.ef_extra_rtt_ms)
+        .fold(0.0f64, f64::max);
     let base_loss_epochs = points.iter().filter(|p| p.baseline_loss > 0.0).count();
     let ef_loss_epochs = points.iter().filter(|p| p.ef_loss > 0.0).count();
     println!(
@@ -89,7 +92,10 @@ fn main() {
         points.len()
     );
 
-    assert!(base_peak_rtt >= 60.0, "baseline peak hits the standing-queue regime");
+    assert!(
+        base_peak_rtt >= 60.0,
+        "baseline peak hits the standing-queue regime"
+    );
     assert!(
         ef_loss_epochs * 20 <= base_loss_epochs,
         "EF eliminates ~all loss epochs ({ef_loss_epochs} vs {base_loss_epochs})"

@@ -50,13 +50,17 @@ fn run_arm(steer: bool, deployment: &ef_topology::Deployment) -> (usize, usize, 
     let mut tail = 0usize;
     let mut tail_on_best = 0usize;
     for pop in &engine.pops {
-        let Some(measurer) = pop.measurer.as_ref() else { continue };
+        let Some(measurer) = pop.measurer.as_ref() else {
+            continue;
+        };
         let preferred: HashMap<u32, EgressId> = measurer
             .report()
             .iter()
             .filter_map(|d| {
                 let prefix = engine.prefix_of(d.key.prefix_idx);
-                pop.router.fib_entry(&prefix).map(|e| (d.key.prefix_idx, e.egress))
+                pop.router
+                    .fib_entry(&prefix)
+                    .map(|e| (d.key.prefix_idx, e.egress))
             })
             .collect();
         // Tail definition must be arm-independent: compare latent medians,
@@ -118,7 +122,10 @@ fn main() {
 
     println!("E13 / §6.2 — performance-aware steering");
     println!("{:<44} {:>12} {:>12}", "", "measure-only", "steering");
-    println!("{:<44} {:>12} {:>12}", "tail prefixes (alt >=20 ms faster)", tail_a, tail_b);
+    println!(
+        "{:<44} {:>12} {:>12}",
+        "tail prefixes (alt >=20 ms faster)", tail_a, tail_b
+    );
     println!(
         "{:<44} {:>12} {:>12}",
         "tail prefixes egressing via fastest path", on_best_a, on_best_b

@@ -32,7 +32,7 @@ fn main() {
     let pops_ge2_95 = rows.iter().filter(|d| d.frac_traffic_ge[1] >= 0.95).count();
     let median_ge4 = {
         let mut v: Vec<f64> = rows.iter().map(|d| d.frac_traffic_ge[3]).collect();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(|a, b| a.total_cmp(b));
         v[v.len() / 2]
     };
     println!(
@@ -40,14 +40,20 @@ fn main() {
         pops_ge2_95,
         rows.len()
     );
-    println!("median PoP: {:.1}% of traffic has >=4 routes", median_ge4 * 100.0);
+    println!(
+        "median PoP: {:.1}% of traffic has >=4 routes",
+        median_ge4 * 100.0
+    );
 
     // Paper-shape assertions.
     assert!(
         pops_ge2_95 * 10 >= rows.len() * 9,
         "route diversity: >=2 routes for >=95% of traffic at >=90% of PoPs"
     );
-    assert!(median_ge4 > 0.5, "most traffic at the median PoP has >=4 routes");
+    assert!(
+        median_ge4 > 0.5,
+        "most traffic at the median PoP has >=4 routes"
+    );
 
     write_json("exp_fig2_route_diversity", &rows);
 }

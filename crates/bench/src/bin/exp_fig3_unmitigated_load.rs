@@ -73,7 +73,10 @@ fn main() {
         (ever_over as f64) < 0.5 * n_peering as f64,
         "overload is a minority phenomenon"
     );
-    assert!(worst > 1.4, "worst interfaces far exceed capacity (got {worst})");
+    assert!(
+        worst > 1.4,
+        "worst interfaces far exceed capacity (got {worst})"
+    );
 
     write_json(
         "exp_fig3_unmitigated_load",

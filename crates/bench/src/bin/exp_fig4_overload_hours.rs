@@ -34,7 +34,10 @@ fn main() {
             peak_util: s.peak_util,
         })
         .collect();
-    rows.sort_by(|a, b| b.overload_hours_per_day.partial_cmp(&a.overload_hours_per_day).unwrap());
+    rows.sort_by(|a, b| {
+        b.overload_hours_per_day
+            .total_cmp(&a.overload_hours_per_day)
+    });
 
     println!("E4 / Fig. 4 — overload hours per day, interfaces that overload at all");
     println!(
@@ -44,7 +47,11 @@ fn main() {
     for row in rows.iter().take(20) {
         println!(
             "{:>8} {:>5} {:>13} {:>10.2} {:>9.0}%",
-            row.egress, row.pop, row.kind, row.overload_hours_per_day, row.peak_util * 100.0
+            row.egress,
+            row.pop,
+            row.kind,
+            row.overload_hours_per_day,
+            row.peak_util * 100.0
         );
     }
 

@@ -62,7 +62,11 @@ fn main() {
     );
     println!(
         "\ndrop reduction: {:.0}x",
-        if ef_frac > 0.0 { base_frac / ef_frac } else { f64::INFINITY }
+        if ef_frac > 0.0 {
+            base_frac / ef_frac
+        } else {
+            f64::INFINITY
+        }
     );
     println!("(EF residual drops are single-epoch reaction transients and");
     println!(" sampling-error blips; baseline overloads persist for hours.)");

@@ -37,14 +37,21 @@ fn main() {
                 pop: *pop,
                 mean_detour_frac: fracs.iter().sum::<f64>() / fracs.len() as f64,
                 peak_detour_frac: fracs.iter().cloned().fold(0.0, f64::max),
-                peak_overrides: records.iter().map(|r| r.overrides_active).max().unwrap_or(0),
+                peak_overrides: records
+                    .iter()
+                    .map(|r| r.overrides_active)
+                    .max()
+                    .unwrap_or(0),
             }
         })
         .collect();
     rows.sort_by_key(|r| r.pop);
 
     println!("E6 — fraction of PoP traffic detoured by Edge Fabric (one day)");
-    println!("{:>5} {:>12} {:>12} {:>15}", "pop", "mean", "peak", "peak overrides");
+    println!(
+        "{:>5} {:>12} {:>12} {:>15}",
+        "pop", "mean", "peak", "peak overrides"
+    );
     for r in &rows {
         println!(
             "{:>5} {:>11.2}% {:>11.2}% {:>15}",

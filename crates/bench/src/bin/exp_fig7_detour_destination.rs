@@ -31,7 +31,7 @@ fn main() {
         .into_iter()
         .map(|(k, v)| (k, v / total.max(1e-9)))
         .collect();
-    shares.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    shares.sort_by(|a, b| b.1.total_cmp(&a.1));
 
     println!("E7 — destination of detoured traffic (share of detoured Mbps·epochs)");
     for (kind, share) in &shares {

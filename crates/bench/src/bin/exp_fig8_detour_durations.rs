@@ -33,12 +33,19 @@ fn main() {
     let single = durations.iter().filter(|d| **d <= epoch).count() as f64 / durations.len() as f64;
     let long = durations.iter().filter(|d| **d >= 1800.0).count() as f64 / durations.len() as f64;
 
-    println!("E8 — detour episode durations ({} episodes over one day)", durations.len());
+    println!(
+        "E8 — detour episode durations ({} episodes over one day)",
+        durations.len()
+    );
     println!("p10: {:>7.0}s", percentile(&durations, 10.0));
     println!("p50: {:>7.0}s", percentile(&durations, 50.0));
     println!("p90: {:>7.0}s", percentile(&durations, 90.0));
     println!("p99: {:>7.0}s", percentile(&durations, 99.0));
-    println!("max: {:>7.0}s ({:.1}h)", percentile(&durations, 100.0), percentile(&durations, 100.0) / 3600.0);
+    println!(
+        "max: {:>7.0}s ({:.1}h)",
+        percentile(&durations, 100.0),
+        percentile(&durations, 100.0) / 3600.0
+    );
     println!("single-epoch episodes: {:.1}%", single * 100.0);
     println!("episodes >= 30 min:   {:.1}%", long * 100.0);
 

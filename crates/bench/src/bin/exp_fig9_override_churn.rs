@@ -49,8 +49,14 @@ fn main() {
     println!("pop-epochs observed:        {}", per_epoch.len());
     println!("zero-churn pop-epochs:      {:.1}%", zero * 100.0);
     println!("mean updates per pop-epoch: {:.2}", mean);
-    println!("p99 updates per pop-epoch:  {:.0}", percentile(&per_epoch, 99.0));
-    println!("max updates per pop-epoch:  {:.0}", percentile(&per_epoch, 100.0));
+    println!(
+        "p99 updates per pop-epoch:  {:.0}",
+        percentile(&per_epoch, 99.0)
+    );
+    println!(
+        "max updates per pop-epoch:  {:.0}",
+        percentile(&per_epoch, 100.0)
+    );
     println!("mean active overrides/pop:  {:.1}", active_mean);
     println!(
         "churn-to-active ratio:      {:.3} (small = stable set, not flapping)",
@@ -58,7 +64,10 @@ fn main() {
     );
 
     // Shape: the steady state is quiet.
-    assert!(zero > 0.3, "a large share of epochs send no BGP updates at all");
+    assert!(
+        zero > 0.3,
+        "a large share of epochs send no BGP updates at all"
+    );
     assert!(
         mean < active_mean.max(1.0),
         "per-epoch churn stays below the standing override count"

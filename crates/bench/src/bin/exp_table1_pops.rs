@@ -12,10 +12,22 @@ fn main() {
     let dep = generate(&GenConfig::default());
     let rows = pop_summaries(&dep);
 
-    println!("E1 / Table 1 — PoP interconnection characteristics (seed {})", dep.seed);
+    println!(
+        "E1 / Table 1 — PoP interconnection characteristics (seed {})",
+        dep.seed
+    );
     println!(
         "{:<12} {:>3} {:>4} {:>8} {:>8} {:>7} {:>6} {:>7} {:>10} {:>10}",
-        "pop", "reg", "PRs", "transit", "private", "public", "rs", "ifaces", "cap(Gbps)", "avg(Gbps)"
+        "pop",
+        "reg",
+        "PRs",
+        "transit",
+        "private",
+        "public",
+        "rs",
+        "ifaces",
+        "cap(Gbps)",
+        "avg(Gbps)"
     );
     for row in &rows {
         println!(
@@ -49,7 +61,10 @@ fn main() {
     // Shape checks mirroring the paper's description.
     assert!(rows.iter().all(|r| (2..=4).contains(&r.routers)));
     assert!(rows.iter().all(|r| r.transit_peers >= 2));
-    assert!(rows.iter().any(|r| r.private_peers >= 10), "big PoPs peer widely");
+    assert!(
+        rows.iter().any(|r| r.private_peers >= 10),
+        "big PoPs peer widely"
+    );
 
     write_json("exp_table1_pops", &rows);
 }

@@ -89,11 +89,7 @@ fn distill(metrics: MetricsStore, cfg: &SimConfig) -> CampaignData {
         interfaces: metrics.interfaces.values().cloned().collect(),
         pop_epochs: metrics.pop_epochs,
         episodes: metrics.episodes,
-        series: metrics
-            .series
-            .into_iter()
-            .map(|(e, s)| (e.0, s))
-            .collect(),
+        series: metrics.series.into_iter().map(|(e, s)| (e.0, s)).collect(),
     }
 }
 
@@ -102,7 +98,11 @@ pub fn load_or_run(arm: Arm) -> CampaignData {
     let path = results_dir().join(format!("campaign_{}.json", arm.label()));
     if let Ok(text) = std::fs::read_to_string(&path) {
         if let Ok(data) = serde_json::from_str::<CampaignData>(&text) {
-            eprintln!("[campaign] loaded cached {} arm from {}", arm.label(), path.display());
+            eprintln!(
+                "[campaign] loaded cached {} arm from {}",
+                arm.label(),
+                path.display()
+            );
             return data;
         }
     }
@@ -125,7 +125,11 @@ pub fn load_or_run(arm: Arm) -> CampaignData {
     }
     let start = std::time::Instant::now();
     engine.run();
-    eprintln!("[campaign] {} arm finished in {:?}", arm.label(), start.elapsed());
+    eprintln!(
+        "[campaign] {} arm finished in {:?}",
+        arm.label(),
+        start.elapsed()
+    );
     assert!(engine.all_sessions_up(), "sessions survived the day");
     let data = distill(engine.take_metrics(), &cfg);
     std::fs::write(&path, serde_json::to_string(&data).unwrap()).expect("cache campaign");

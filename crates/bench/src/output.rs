@@ -37,7 +37,7 @@ pub fn cdf_points(values: &[f64], n: usize) -> Vec<(f64, f64)> {
         return Vec::new();
     }
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     let len = v.len();
     let mut out = Vec::with_capacity(n + 1);
     for i in 0..n {
@@ -53,7 +53,7 @@ pub fn cdf_points(values: &[f64], n: usize) -> Vec<(f64, f64)> {
 pub fn percentile(values: &[f64], p: f64) -> f64 {
     assert!(!values.is_empty(), "percentile of empty slice");
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v.sort_by(|a, b| a.total_cmp(b));
     let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
     v[rank.min(v.len() - 1)]
 }

@@ -166,9 +166,12 @@ impl AddPathExporter {
 
     /// A peer's route for a prefix was withdrawn.
     pub fn on_withdraw(&mut self, prefix: Prefix, peer: PeerId) -> Option<AddPathEvent> {
-        self.ids
-            .remove(&(prefix, peer))
-            .map(|id| AddPathEvent::Withdraw(PathNlri { path_id: id, prefix }))
+        self.ids.remove(&(prefix, peer)).map(|id| {
+            AddPathEvent::Withdraw(PathNlri {
+                path_id: id,
+                prefix,
+            })
+        })
     }
 }
 

@@ -13,8 +13,9 @@ use serde::{Deserialize, Serialize};
 use ef_net_types::{Asn, Community};
 
 /// The ORIGIN attribute (RFC 4271 §5.1.1). Lower is preferred.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub enum Origin {
     /// Route originated by an IGP (code 0).
     Igp,
@@ -45,7 +46,6 @@ impl Origin {
         }
     }
 }
-
 
 impl fmt::Display for Origin {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -119,7 +119,9 @@ impl AsPath {
     /// this route was learned from. MED comparison is only valid between
     /// routes with the same neighbor AS.
     pub fn neighbor_as(&self) -> Option<Asn> {
-        self.segments.first().and_then(|s| s.asns().first().copied())
+        self.segments
+            .first()
+            .and_then(|s| s.asns().first().copied())
     }
 
     /// The origin AS: last ASN of the path (who announced the prefix).
@@ -154,7 +156,10 @@ impl AsPath {
 
     /// Flattened view of every ASN in order (sets flattened in stored order).
     pub fn flat(&self) -> Vec<Asn> {
-        self.segments.iter().flat_map(|s| s.asns().iter().copied()).collect()
+        self.segments
+            .iter()
+            .flat_map(|s| s.asns().iter().copied())
+            .collect()
     }
 }
 

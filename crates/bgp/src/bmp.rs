@@ -346,7 +346,10 @@ mod tests {
             decode_bmp(&mut buf).unwrap(),
             BmpMessage::Initiation { .. }
         ));
-        assert!(matches!(decode_bmp(&mut buf).unwrap(), BmpMessage::PeerUp(_)));
+        assert!(matches!(
+            decode_bmp(&mut buf).unwrap(),
+            BmpMessage::PeerUp(_)
+        ));
         assert!(buf.is_empty());
     }
 }

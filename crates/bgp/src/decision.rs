@@ -283,7 +283,9 @@ mod tests {
     #[test]
     fn controller_override_always_wins() {
         let organic = route(1).lp(800).path(&[65001]).done();
-        let mut injected = route(9).lp(PeerKind::Controller.default_local_pref()).done();
+        let mut injected = route(9)
+            .lp(PeerKind::Controller.default_local_pref())
+            .done();
         injected.source.kind = PeerKind::Controller;
         let routes = vec![organic, injected.clone()];
         assert_eq!(best_route(&routes).unwrap().source.peer, PeerId(9));
@@ -316,6 +318,9 @@ mod tests {
             .filter(|r| r.source.peer != ranked[0].source.peer)
             .cloned()
             .collect();
-        assert_eq!(best_route(&tail).unwrap().source.peer, ranked[1].source.peer);
+        assert_eq!(
+            best_route(&tail).unwrap().source.peer,
+            ranked[1].source.peer
+        );
     }
 }

@@ -130,10 +130,18 @@ mod tests {
     #[test]
     fn preference_tiers_match_paper_policy() {
         // §3.1: peers preferred over transit; controller overrides beat all.
-        assert!(PeerKind::Controller.default_local_pref() > PeerKind::PrivatePeer.default_local_pref());
-        assert!(PeerKind::PrivatePeer.default_local_pref() > PeerKind::PublicPeer.default_local_pref());
-        assert!(PeerKind::PublicPeer.default_local_pref() > PeerKind::RouteServer.default_local_pref());
-        assert!(PeerKind::RouteServer.default_local_pref() > PeerKind::Transit.default_local_pref());
+        assert!(
+            PeerKind::Controller.default_local_pref() > PeerKind::PrivatePeer.default_local_pref()
+        );
+        assert!(
+            PeerKind::PrivatePeer.default_local_pref() > PeerKind::PublicPeer.default_local_pref()
+        );
+        assert!(
+            PeerKind::PublicPeer.default_local_pref() > PeerKind::RouteServer.default_local_pref()
+        );
+        assert!(
+            PeerKind::RouteServer.default_local_pref() > PeerKind::Transit.default_local_pref()
+        );
     }
 
     #[test]

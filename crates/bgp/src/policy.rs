@@ -103,11 +103,7 @@ pub struct Rule {
 
 impl Rule {
     /// Convenience constructor.
-    pub fn new(
-        name: impl Into<String>,
-        matchers: Vec<Matcher>,
-        actions: Vec<Action>,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, matchers: Vec<Matcher>, actions: Vec<Action>) -> Self {
         Rule {
             name: name.into(),
             matchers,
@@ -235,17 +231,15 @@ impl Policy {
     /// controller tier preference so overrides win the decision process.
     pub fn controller_import(override_marker: Community) -> Policy {
         Policy {
-            rules: vec![
-                Rule::new(
-                    "require-override-marker",
-                    vec![Matcher::HasCommunity(override_marker)],
-                    vec![
-                        Action::SetLocalPref(PeerKind::Controller.default_local_pref()),
-                        Action::AddCommunity(PeerKind::Controller.tag_community()),
-                        Action::Accept,
-                    ],
-                ),
-            ],
+            rules: vec![Rule::new(
+                "require-override-marker",
+                vec![Matcher::HasCommunity(override_marker)],
+                vec![
+                    Action::SetLocalPref(PeerKind::Controller.default_local_pref()),
+                    Action::AddCommunity(PeerKind::Controller.tag_community()),
+                    Action::Accept,
+                ],
+            )],
             default_accept: false,
         }
     }
@@ -348,13 +342,21 @@ mod tests {
         let policy = Policy::controller_import(marker);
         let mut unmarked = attrs(&[]);
         assert_eq!(
-            policy.apply(&p("203.0.113.0/24"), &mut unmarked, &src(PeerKind::Controller)),
+            policy.apply(
+                &p("203.0.113.0/24"),
+                &mut unmarked,
+                &src(PeerKind::Controller)
+            ),
             PolicyVerdict::Reject
         );
         let mut marked = attrs(&[]);
         marked.add_community(marker);
         assert_eq!(
-            policy.apply(&p("203.0.113.0/24"), &mut marked, &src(PeerKind::Controller)),
+            policy.apply(
+                &p("203.0.113.0/24"),
+                &mut marked,
+                &src(PeerKind::Controller)
+            ),
             PolicyVerdict::Accept
         );
         assert_eq!(

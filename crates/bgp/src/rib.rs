@@ -326,8 +326,9 @@ mod tests {
         rib.install(route("2.0.0.0/8", 2, 100));
         let changes = rib.withdraw_peer(PeerId(1));
         assert_eq!(changes.len(), 2);
-        assert!(changes.iter().any(|(pfx, c)| *pfx == p("1.0.0.0/8")
-            && *c == BestChange::Unreachable));
+        assert!(changes
+            .iter()
+            .any(|(pfx, c)| *pfx == p("1.0.0.0/8") && *c == BestChange::Unreachable));
         assert!(changes
             .iter()
             .any(|(pfx, c)| *pfx == p("2.0.0.0/8") && matches!(c, BestChange::NewBest(_))));

@@ -37,7 +37,11 @@ impl EgressId {
     /// [`from_next_hop`](Self::from_next_hop). Supports up to 2²⁴
     /// interfaces.
     pub fn to_next_hop(self) -> std::net::Ipv4Addr {
-        assert!(self.0 < (1 << 24), "EgressId {} too large for next-hop encoding", self.0);
+        assert!(
+            self.0 < (1 << 24),
+            "EgressId {} too large for next-hop encoding",
+            self.0
+        );
         let [_, b, c, d] = self.0.to_be_bytes();
         std::net::Ipv4Addr::new(10, b, c, d)
     }
@@ -154,10 +158,7 @@ mod tests {
 
     #[test]
     fn foreign_next_hop_is_not_an_egress() {
-        assert_eq!(
-            EgressId::from_next_hop("192.0.2.1".parse().unwrap()),
-            None
-        );
+        assert_eq!(EgressId::from_next_hop("192.0.2.1".parse().unwrap()), None);
     }
 
     #[test]

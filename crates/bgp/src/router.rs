@@ -267,7 +267,13 @@ impl BgpRouter {
         }
     }
 
-    fn flush_peer_routes(&mut self, peer: PeerId, attach: &PeerAttachment, now: Millis, reason: u8) {
+    fn flush_peer_routes(
+        &mut self,
+        peer: PeerId,
+        attach: &PeerAttachment,
+        now: Millis,
+        reason: u8,
+    ) {
         let changes = self.loc_rib.withdraw_peer(peer);
         for (prefix, change) in changes {
             Self::apply_best_change(&mut self.fib, prefix, change);
@@ -623,7 +629,11 @@ mod tests {
     }
 
     fn stub(peer: u64, asn: u32) -> PeerStub {
-        PeerStub::new(PeerId(peer), Asn(asn), Ipv4Addr::new(10, 9, (peer & 0xff) as u8, 1))
+        PeerStub::new(
+            PeerId(peer),
+            Asn(asn),
+            Ipv4Addr::new(10, 9, (peer & 0xff) as u8, 1),
+        )
     }
 
     fn attrs(path: &[u32]) -> PathAttributes {
@@ -672,7 +682,10 @@ mod tests {
         // Transit path is shorter, but the tiered policy prefers the peer.
         transit.announce(&mut r, p("203.0.113.0/24"), attrs(&[65010]), 1);
         peer.announce(&mut r, p("203.0.113.0/24"), attrs(&[65001, 64999]), 1);
-        assert_eq!(r.fib_entry(&p("203.0.113.0/24")).unwrap().egress, EgressId(20));
+        assert_eq!(
+            r.fib_entry(&p("203.0.113.0/24")).unwrap().egress,
+            EgressId(20)
+        );
         assert_eq!(r.candidates(&p("203.0.113.0/24")).len(), 2);
     }
 
@@ -683,9 +696,15 @@ mod tests {
         let mut peer = wire_peer(&mut r, 2, 65001, PeerKind::PrivatePeer, 20);
         transit.announce(&mut r, p("203.0.113.0/24"), attrs(&[65010]), 1);
         peer.announce(&mut r, p("203.0.113.0/24"), attrs(&[65001]), 1);
-        assert_eq!(r.fib_entry(&p("203.0.113.0/24")).unwrap().egress, EgressId(20));
+        assert_eq!(
+            r.fib_entry(&p("203.0.113.0/24")).unwrap().egress,
+            EgressId(20)
+        );
         peer.withdraw(&mut r, [p("203.0.113.0/24")], 2);
-        assert_eq!(r.fib_entry(&p("203.0.113.0/24")).unwrap().egress, EgressId(10));
+        assert_eq!(
+            r.fib_entry(&p("203.0.113.0/24")).unwrap().egress,
+            EgressId(10)
+        );
     }
 
     #[test]
@@ -725,7 +744,10 @@ mod tests {
         let mut transit = wire_peer(&mut r, 2, 65010, PeerKind::Transit, 12);
         organic.announce(&mut r, p("203.0.113.0/24"), attrs(&[65001]), 1);
         transit.announce(&mut r, p("203.0.113.0/24"), attrs(&[65010]), 1);
-        assert_eq!(r.fib_entry(&p("203.0.113.0/24")).unwrap().egress, EgressId(11));
+        assert_eq!(
+            r.fib_entry(&p("203.0.113.0/24")).unwrap().egress,
+            EgressId(11)
+        );
 
         // Controller pseudo-peer with a marker-checking policy.
         let marker = ef_net_types::Community::new(32934, 999);
@@ -910,10 +932,9 @@ mod tests {
         assert_eq!(r.fib_len(), 0, "all routes flushed");
         // BMP reports the PeerDown with the max-prefix reason code.
         let feed = r.drain_bmp();
-        assert!(feed.iter().any(|m| matches!(
-            m,
-            BmpMessage::PeerDown { reason: 3, .. }
-        )));
+        assert!(feed
+            .iter()
+            .any(|m| matches!(m, BmpMessage::PeerDown { reason: 3, .. })));
     }
 
     #[test]

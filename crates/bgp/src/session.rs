@@ -192,7 +192,9 @@ impl Session {
         if self.state == SessionState::Idle {
             return None;
         }
-        self.enqueue(BgpMessage::Notification(NotificationMessage::admin_shutdown()));
+        self.enqueue(BgpMessage::Notification(
+            NotificationMessage::admin_shutdown(),
+        ));
         self.reset();
         Some(SessionEvent::Down(DownReason::AdminStop))
     }
@@ -232,7 +234,9 @@ impl Session {
                 }
                 Err(WireError::Truncated) => break,
                 Err(e) => {
-                    self.enqueue(BgpMessage::Notification(NotificationMessage::update_error(0)));
+                    self.enqueue(BgpMessage::Notification(NotificationMessage::update_error(
+                        0,
+                    )));
                     self.reset();
                     events.push(SessionEvent::Down(DownReason::ProtocolError(e.to_string())));
                     break;
@@ -274,8 +278,7 @@ impl Session {
     fn handle_message(&mut self, msg: BgpMessage, now: Millis) -> Option<SessionEvent> {
         match (self.state, msg) {
             (SessionState::OpenSent, BgpMessage::Open(open)) => {
-                self.hold_ms =
-                    1000 * u64::from(open.hold_time.min(self.cfg.hold_time_secs));
+                self.hold_ms = 1000 * u64::from(open.hold_time.min(self.cfg.hold_time_secs));
                 self.peer_open = Some(open);
                 self.enqueue(BgpMessage::Keepalive);
                 self.arm_timers(now);
@@ -286,7 +289,9 @@ impl Session {
                 self.refresh_hold(now);
                 self.state = SessionState::Established;
                 Some(SessionEvent::Up(
-                    self.peer_open.clone().expect("OPEN received before confirm"),
+                    self.peer_open
+                        .clone()
+                        .expect("OPEN received before confirm"),
                 ))
             }
             (SessionState::Established, BgpMessage::Keepalive) => {
@@ -515,21 +520,18 @@ mod tests {
 
     #[test]
     fn addpath_capability_is_negotiated() {
-        let mut a = Session::new(
-            SessionConfig::new(Asn(32934), Ipv4Addr::new(10, 0, 0, 1)).with_addpath(),
-        );
-        let mut b = Session::new(
-            SessionConfig::new(Asn(65001), Ipv4Addr::new(10, 0, 0, 2)).with_addpath(),
-        );
+        let mut a =
+            Session::new(SessionConfig::new(Asn(32934), Ipv4Addr::new(10, 0, 0, 1)).with_addpath());
+        let mut b =
+            Session::new(SessionConfig::new(Asn(65001), Ipv4Addr::new(10, 0, 0, 2)).with_addpath());
         establish_pair(&mut a, &mut b, 0);
         assert!(a.peer_supports_addpath());
         assert!(b.peer_supports_addpath());
 
         // A plain endpoint does not claim support for its peer.
         let mut c = Session::new(SessionConfig::new(Asn(32934), Ipv4Addr::new(10, 0, 0, 3)));
-        let mut d = Session::new(
-            SessionConfig::new(Asn(65001), Ipv4Addr::new(10, 0, 0, 4)).with_addpath(),
-        );
+        let mut d =
+            Session::new(SessionConfig::new(Asn(65001), Ipv4Addr::new(10, 0, 0, 4)).with_addpath());
         establish_pair(&mut c, &mut d, 0);
         assert!(c.peer_supports_addpath(), "peer d advertised it");
         assert!(!d.peer_supports_addpath(), "peer c did not");

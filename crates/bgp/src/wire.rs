@@ -268,9 +268,9 @@ fn encode_mp_reach(
     let mut v = BytesMut::new();
     v.put_u16(2); // AFI: IPv6
     v.put_u8(1); // SAFI: unicast
-    // Next hop: a v6 next hop is not modeled separately; embed the v4 next
-    // hop IPv4-mapped, or :: when absent (egress is structural in this
-    // reproduction).
+                 // Next hop: a v6 next hop is not modeled separately; embed the v4 next
+                 // hop IPv4-mapped, or :: when absent (egress is structural in this
+                 // reproduction).
     v.put_u8(16);
     let nh6: Ipv6Addr = match attrs.next_hop {
         Some(v4) => v4.to_ipv6_mapped(),
@@ -470,8 +470,8 @@ fn decode_attribute(
             if value.len() != 1 {
                 return Err(WireError::BadAttribute("ORIGIN length"));
             }
-            attrs.origin = Origin::from_code(value.get_u8())
-                .ok_or(WireError::BadAttribute("ORIGIN code"))?;
+            attrs.origin =
+                Origin::from_code(value.get_u8()).ok_or(WireError::BadAttribute("ORIGIN code"))?;
         }
         attr_type::AS_PATH => {
             let mut segments = Vec::new();
@@ -750,8 +750,10 @@ mod tests {
     #[test]
     fn two_messages_frame_correctly() {
         let a = encode_message(&BgpMessage::Keepalive).unwrap();
-        let b = encode_message(&BgpMessage::Notification(NotificationMessage::admin_shutdown()))
-            .unwrap();
+        let b = encode_message(&BgpMessage::Notification(
+            NotificationMessage::admin_shutdown(),
+        ))
+        .unwrap();
         let mut stream = BytesMut::new();
         stream.extend_from_slice(&a);
         stream.extend_from_slice(&b);

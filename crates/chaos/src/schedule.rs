@@ -1,0 +1,381 @@
+//! The fault-schedule data model.
+//!
+//! A schedule is an ordered list of [`FaultEvent`]s. Each event names a
+//! [`FaultTarget`] (a PoP, one of its BGP peers, or one of its egress
+//! interfaces), a [`FaultKind`], and a `[t_start, t_start + duration)`
+//! window in simulated seconds. Events are plain data: the simulator asks
+//! [`FaultSchedule::active_at`] each tick and applies/reverts faults as
+//! windows open and close.
+
+use serde::{Deserialize, Serialize};
+
+/// What a fault acts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultTarget {
+    /// A whole PoP (controller, feeds, demand).
+    Pop { pop: usize },
+    /// One BGP peering session at a PoP, by stable peer id.
+    Peer { pop: usize, peer: u64 },
+    /// One egress interface at a PoP, by egress id.
+    Interface { pop: usize, egress: u32 },
+}
+
+impl FaultTarget {
+    /// The PoP this target lives at.
+    pub fn pop(&self) -> usize {
+        match *self {
+            FaultTarget::Pop { pop }
+            | FaultTarget::Peer { pop, .. }
+            | FaultTarget::Interface { pop, .. } => pop,
+        }
+    }
+}
+
+/// The failure modes of every controller input and output.
+///
+/// Parameterized kinds carry their severity so a schedule is fully
+/// self-describing and replayable from JSON alone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A BGP peering session drops (routes withdrawn) and re-establishes
+    /// when the window closes. Target: `Peer`.
+    PeerFailure,
+    /// An egress interface loses part of its capacity (link flap /
+    /// LAG-member loss). Target: `Interface`.
+    LinkCapacityLoss {
+        /// Fraction of nominal capacity lost, in `(0, 1]`.
+        fraction: f64,
+    },
+    /// The BMP feed stalls: the controller sees a frozen Adj-RIB-In until
+    /// the window closes, then the queued updates arrive. Target: `Pop`.
+    BmpStall,
+    /// sFlow sample loss: the rate estimator is starved of this fraction
+    /// of samples. Target: `Pop`.
+    SflowLoss {
+        /// Fraction of samples dropped, in `(0, 1]`.
+        drop_fraction: f64,
+    },
+    /// The controller process crashes: epochs are skipped, the injector
+    /// session drops (implicitly withdrawing every override), and on
+    /// restart the controller must resync from a fresh BMP snapshot.
+    /// Target: `Pop`.
+    ControllerCrash,
+    /// Only the injector's BGP session to the peering router drops; the
+    /// controller keeps running and re-announces once it reconnects.
+    /// Target: `Pop`.
+    InjectorLoss,
+    /// A flash crowd multiplies the PoP's demand for the window.
+    /// Target: `Pop`.
+    FlashCrowd {
+        /// Demand multiplier, `> 1`.
+        multiplier: f64,
+    },
+}
+
+impl FaultKind {
+    /// Short stable label for metrics tagging and reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::PeerFailure => "peer_failure",
+            FaultKind::LinkCapacityLoss { .. } => "link_capacity_loss",
+            FaultKind::BmpStall => "bmp_stall",
+            FaultKind::SflowLoss { .. } => "sflow_loss",
+            FaultKind::ControllerCrash => "controller_crash",
+            FaultKind::InjectorLoss => "injector_loss",
+            FaultKind::FlashCrowd { .. } => "flash_crowd",
+        }
+    }
+
+    /// All labels, in declaration order (for matrix sweeps and reports).
+    pub const ALL_LABELS: [&'static str; 7] = [
+        "peer_failure",
+        "link_capacity_loss",
+        "bmp_stall",
+        "sflow_loss",
+        "controller_crash",
+        "injector_loss",
+        "flash_crowd",
+    ];
+}
+
+/// One fault: `kind` applied to `target` for `[t_start, t_start + duration)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    pub t_start_secs: u64,
+    pub duration_secs: u64,
+    pub target: FaultTarget,
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Exclusive end of the fault window.
+    pub fn t_end_secs(&self) -> u64 {
+        self.t_start_secs.saturating_add(self.duration_secs)
+    }
+
+    /// True while the fault is in effect at `t_secs`.
+    pub fn active_at(&self, t_secs: u64) -> bool {
+        t_secs >= self.t_start_secs && t_secs < self.t_end_secs()
+    }
+
+    /// Validates the event's parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.duration_secs == 0 {
+            return Err(format!(
+                "fault at t={} has zero duration",
+                self.t_start_secs
+            ));
+        }
+        match (self.kind, self.target) {
+            (FaultKind::PeerFailure, FaultTarget::Peer { .. }) => Ok(()),
+            (FaultKind::PeerFailure, t) => {
+                Err(format!("peer_failure must target a Peer, got {t:?}"))
+            }
+            (FaultKind::LinkCapacityLoss { fraction }, FaultTarget::Interface { .. }) => {
+                if fraction > 0.0 && fraction <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "link_capacity_loss fraction {fraction} outside (0, 1]"
+                    ))
+                }
+            }
+            (FaultKind::LinkCapacityLoss { .. }, t) => Err(format!(
+                "link_capacity_loss must target an Interface, got {t:?}"
+            )),
+            (FaultKind::SflowLoss { drop_fraction }, FaultTarget::Pop { .. }) => {
+                if drop_fraction > 0.0 && drop_fraction <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "sflow_loss drop_fraction {drop_fraction} outside (0, 1]"
+                    ))
+                }
+            }
+            (FaultKind::FlashCrowd { multiplier }, FaultTarget::Pop { .. }) => {
+                if multiplier > 1.0 && multiplier.is_finite() {
+                    Ok(())
+                } else {
+                    Err(format!("flash_crowd multiplier {multiplier} must be > 1"))
+                }
+            }
+            (
+                FaultKind::BmpStall | FaultKind::ControllerCrash | FaultKind::InjectorLoss,
+                FaultTarget::Pop { .. },
+            ) => Ok(()),
+            (k, t) => Err(format!("{} must target a Pop, got {t:?}", k.label())),
+        }
+    }
+}
+
+/// An ordered, validated collection of fault events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSchedule {
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// Builds a schedule, sorting events into canonical order and
+    /// validating each one.
+    pub fn new(mut events: Vec<FaultEvent>) -> Result<Self, String> {
+        for e in &events {
+            e.validate()?;
+        }
+        events.sort_by_key(|e| (e.t_start_secs, e.duration_secs, kind_rank(&e.kind)));
+        Ok(FaultSchedule { events })
+    }
+
+    /// An empty schedule (no faults — sunny-day run).
+    pub fn empty() -> Self {
+        FaultSchedule::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Event indices and events in effect at `t_secs`, in schedule order.
+    /// Indices are stable identities the simulator uses to diff the active
+    /// set between ticks.
+    pub fn active_at(&self, t_secs: u64) -> impl Iterator<Item = (usize, &FaultEvent)> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(move |(_, e)| e.active_at(t_secs))
+    }
+
+    /// Active events at `t_secs` whose target lives at `pop`.
+    pub fn active_at_pop(
+        &self,
+        t_secs: u64,
+        pop: usize,
+    ) -> impl Iterator<Item = (usize, &FaultEvent)> {
+        self.active_at(t_secs)
+            .filter(move |(_, e)| e.target.pop() == pop)
+    }
+
+    /// The last instant at which any fault is still active, or 0.
+    pub fn horizon_secs(&self) -> u64 {
+        self.events
+            .iter()
+            .map(FaultEvent::t_end_secs)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Parses a schedule from JSON, re-validating every event.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let parsed: FaultSchedule =
+            serde_json::from_str(text).map_err(|e| format!("bad fault schedule JSON: {e}"))?;
+        FaultSchedule::new(parsed.events)
+    }
+
+    /// Serializes the schedule as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("schedule serializes")
+    }
+}
+
+fn kind_rank(kind: &FaultKind) -> u8 {
+    match kind {
+        FaultKind::PeerFailure => 0,
+        FaultKind::LinkCapacityLoss { .. } => 1,
+        FaultKind::BmpStall => 2,
+        FaultKind::SflowLoss { .. } => 3,
+        FaultKind::ControllerCrash => 4,
+        FaultKind::InjectorLoss => 5,
+        FaultKind::FlashCrowd { .. } => 6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, d: u64, kind: FaultKind, target: FaultTarget) -> FaultEvent {
+        FaultEvent {
+            t_start_secs: t,
+            duration_secs: d,
+            target,
+            kind,
+        }
+    }
+
+    #[test]
+    fn windows_are_half_open() {
+        let e = ev(100, 50, FaultKind::BmpStall, FaultTarget::Pop { pop: 0 });
+        assert!(!e.active_at(99));
+        assert!(e.active_at(100));
+        assert!(e.active_at(149));
+        assert!(!e.active_at(150));
+    }
+
+    #[test]
+    fn schedule_sorts_and_queries_by_pop() {
+        let sched = FaultSchedule::new(vec![
+            ev(
+                200,
+                60,
+                FaultKind::InjectorLoss,
+                FaultTarget::Pop { pop: 1 },
+            ),
+            ev(
+                100,
+                60,
+                FaultKind::LinkCapacityLoss { fraction: 0.5 },
+                FaultTarget::Interface { pop: 0, egress: 3 },
+            ),
+            ev(
+                100,
+                30,
+                FaultKind::PeerFailure,
+                FaultTarget::Peer { pop: 1, peer: 7 },
+            ),
+        ])
+        .unwrap();
+        assert_eq!(sched.events[0].t_start_secs, 100);
+        assert_eq!(sched.horizon_secs(), 260);
+        let at_pop1: Vec<_> = sched.active_at_pop(110, 1).collect();
+        assert_eq!(at_pop1.len(), 1);
+        assert!(matches!(at_pop1[0].1.kind, FaultKind::PeerFailure));
+        assert_eq!(sched.active_at(110).count(), 2);
+        assert_eq!(sched.active_at(500).count(), 0);
+    }
+
+    #[test]
+    fn validation_rejects_mismatched_targets() {
+        assert!(
+            ev(0, 10, FaultKind::PeerFailure, FaultTarget::Pop { pop: 0 })
+                .validate()
+                .is_err()
+        );
+        assert!(ev(
+            0,
+            10,
+            FaultKind::BmpStall,
+            FaultTarget::Interface { pop: 0, egress: 1 }
+        )
+        .validate()
+        .is_err());
+        assert!(ev(
+            0,
+            10,
+            FaultKind::LinkCapacityLoss { fraction: 1.5 },
+            FaultTarget::Interface { pop: 0, egress: 1 }
+        )
+        .validate()
+        .is_err());
+        assert!(ev(
+            0,
+            10,
+            FaultKind::FlashCrowd { multiplier: 0.5 },
+            FaultTarget::Pop { pop: 0 }
+        )
+        .validate()
+        .is_err());
+        assert!(ev(0, 0, FaultKind::BmpStall, FaultTarget::Pop { pop: 0 })
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_schedule() {
+        let sched = FaultSchedule::new(vec![
+            ev(
+                30,
+                120,
+                FaultKind::LinkCapacityLoss { fraction: 0.4 },
+                FaultTarget::Interface { pop: 2, egress: 0 },
+            ),
+            ev(
+                60,
+                90,
+                FaultKind::SflowLoss {
+                    drop_fraction: 0.95,
+                },
+                FaultTarget::Pop { pop: 2 },
+            ),
+            ev(
+                10,
+                40,
+                FaultKind::FlashCrowd { multiplier: 2.5 },
+                FaultTarget::Pop { pop: 0 },
+            ),
+        ])
+        .unwrap();
+        let json = sched.to_json();
+        let back = FaultSchedule::from_json(&json).unwrap();
+        assert_eq!(back, sched);
+    }
+
+    #[test]
+    fn from_json_rejects_invalid_events() {
+        let json = r#"{"events":[{"t_start_secs":0,"duration_secs":0,
+            "target":{"Pop":{"pop":0}},"kind":"BmpStall"}]}"#;
+        assert!(FaultSchedule::from_json(json).is_err());
+    }
+}

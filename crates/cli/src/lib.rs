@@ -9,6 +9,8 @@
 //! efctl diversity  [--seed N] [--pops N]
 //! efctl run        [--seed N] [--hours H] [--baseline] [--hysteresis X]
 //!                  [--epoch SECS] [--out FILE]
+//! efctl chaos      [--seed N] [--hours H] [--schedule FILE]
+//!                  [--chaos-seed N] [--events N] [--baseline] [--out FILE]
 //! efctl help
 //! ```
 
@@ -29,6 +31,8 @@ pub enum Command {
     Diversity(CommonArgs),
     /// Run a simulation scenario and print/dump a report.
     Run(RunArgs),
+    /// Run a scenario under a fault schedule (from file or generated).
+    Chaos(ChaosArgs),
     /// Show usage.
     Help,
 }
@@ -90,6 +94,40 @@ impl Default for RunArgs {
     }
 }
 
+/// Options for `efctl chaos`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosArgs {
+    /// Deployment options.
+    pub common: CommonArgs,
+    /// Simulated duration in hours.
+    pub hours: f64,
+    /// Run without the controller (fault exposure of plain BGP).
+    pub baseline: bool,
+    /// Controller epoch seconds.
+    pub epoch_secs: u64,
+    /// JSON fault schedule to run (see `ef_chaos::FaultSchedule`); when
+    /// absent, a schedule is generated from `chaos_seed`/`events`.
+    pub schedule: Option<String>,
+    /// Seed for the generated schedule.
+    pub chaos_seed: u64,
+    /// Number of generated fault events.
+    pub events: usize,
+}
+
+impl Default for ChaosArgs {
+    fn default() -> Self {
+        ChaosArgs {
+            common: CommonArgs::default(),
+            hours: 1.0,
+            baseline: false,
+            epoch_secs: 30,
+            schedule: None,
+            chaos_seed: 1,
+            events: 8,
+        }
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 efctl — Edge Fabric reproduction CLI
@@ -101,6 +139,9 @@ USAGE:
   efctl run        [--seed N] [--pops N] [--prefixes N] [--hours H]
                    [--baseline] [--hysteresis X] [--split] [--global]
                    [--epoch SECS] [--out FILE]
+  efctl chaos      [--seed N] [--pops N] [--prefixes N] [--hours H]
+                   [--schedule FILE] [--chaos-seed N] [--events N]
+                   [--baseline] [--epoch SECS] [--out FILE]
   efctl help
 ";
 
@@ -126,7 +167,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "table1" => Ok(Command::Table1(parse_common(rest)?)),
         "diversity" => Ok(Command::Diversity(parse_common(rest)?)),
         "run" => Ok(Command::Run(parse_run(rest)?)),
-        other => Err(ParseError(format!("unknown command {other:?}; try 'efctl help'"))),
+        "chaos" => Ok(Command::Chaos(parse_chaos(rest)?)),
+        other => Err(ParseError(format!(
+            "unknown command {other:?}; try 'efctl help'"
+        ))),
     }
 }
 
@@ -167,9 +211,7 @@ fn parse_run(args: &[String]) -> Result<RunArgs, ParseError> {
         match flag.as_str() {
             "--seed" => out.common.seed = parse_num(flag, take_value(flag, &mut iter)?)?,
             "--pops" => out.common.pops = parse_num(flag, take_value(flag, &mut iter)?)?,
-            "--prefixes" => {
-                out.common.prefixes = parse_num(flag, take_value(flag, &mut iter)?)?
-            }
+            "--prefixes" => out.common.prefixes = parse_num(flag, take_value(flag, &mut iter)?)?,
             "--out" => out.common.out = Some(take_value(flag, &mut iter)?.to_string()),
             "--hours" => out.hours = parse_num(flag, take_value(flag, &mut iter)?)?,
             "--baseline" => out.baseline = true,
@@ -182,6 +224,35 @@ fn parse_run(args: &[String]) -> Result<RunArgs, ParseError> {
     }
     if out.hours <= 0.0 {
         return Err(ParseError("--hours must be positive".into()));
+    }
+    Ok(out)
+}
+
+fn parse_chaos(args: &[String]) -> Result<ChaosArgs, ParseError> {
+    let mut out = ChaosArgs::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--seed" => out.common.seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--pops" => out.common.pops = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--prefixes" => out.common.prefixes = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--out" => out.common.out = Some(take_value(flag, &mut iter)?.to_string()),
+            "--hours" => out.hours = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--baseline" => out.baseline = true,
+            "--epoch" => out.epoch_secs = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--schedule" => out.schedule = Some(take_value(flag, &mut iter)?.to_string()),
+            "--chaos-seed" => out.chaos_seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--events" => out.events = parse_num(flag, take_value(flag, &mut iter)?)?,
+            other => return Err(ParseError(format!("unknown flag {other:?}"))),
+        }
+    }
+    if out.hours <= 0.0 {
+        return Err(ParseError("--hours must be positive".into()));
+    }
+    if out.events == 0 && out.schedule.is_none() {
+        return Err(ParseError(
+            "--events must be positive (or pass --schedule)".into(),
+        ));
     }
     Ok(out)
 }
@@ -206,7 +277,9 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             let dep = generate(&gen_config(&common));
             let errors = dep.validate();
             if !errors.is_empty() {
-                return Err(format!("generated deployment failed validation: {errors:?}"));
+                return Err(format!(
+                    "generated deployment failed validation: {errors:?}"
+                ));
             }
             let json = serde_json::to_string_pretty(&dep).map_err(|e| e.to_string())?;
             if let Some(path) = &common.out {
@@ -249,8 +322,12 @@ pub fn execute(cmd: Command) -> Result<String, String> {
         Command::Diversity(common) => {
             let dep = generate(&gen_config(&common));
             let mut out = String::new();
-            writeln!(out, "{:<12} {:>8} {:>8} {:>8} {:>8}", "pop", ">=1", ">=2", ">=3", ">=4")
-                .unwrap();
+            writeln!(
+                out,
+                "{:<12} {:>8} {:>8} {:>8} {:>8}",
+                "pop", ">=1", ">=2", ">=3", ">=4"
+            )
+            .unwrap();
             for d in route_diversity(&dep) {
                 writeln!(
                     out,
@@ -289,13 +366,122 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             writeln!(
                 out,
                 "arm: {}",
-                if args.baseline { "baseline BGP" } else { "edge fabric" }
+                if args.baseline {
+                    "baseline BGP"
+                } else {
+                    "edge fabric"
+                }
             )
             .unwrap();
             out.push_str(&report.render());
 
             if let Some(path) = &args.common.out {
                 // Dump the distilled epoch records for downstream analysis.
+                #[derive(serde::Serialize)]
+                struct Dump<'a> {
+                    pop_epochs: &'a [ef_sim::PopEpochRecord],
+                    episodes: &'a [ef_sim::DetourEpisode],
+                }
+                let json = serde_json::to_string_pretty(&Dump {
+                    pop_epochs: &metrics.pop_epochs,
+                    episodes: &metrics.episodes,
+                })
+                .map_err(|e| e.to_string())?;
+                std::fs::write(path, json).map_err(|e| e.to_string())?;
+                writeln!(out, "[wrote {path}]").unwrap();
+            }
+            Ok(out)
+        }
+        Command::Chaos(args) => {
+            let mut cfg = SimConfig {
+                gen: gen_config(&args.common),
+                duration_secs: (args.hours * 3600.0) as u64,
+                epoch_secs: args.epoch_secs,
+                controller_enabled: !args.baseline,
+                ..Default::default()
+            };
+            let deployment = generate(&cfg.gen);
+            let schedule = match &args.schedule {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {path}: {e}"))?;
+                    ef_chaos::FaultSchedule::from_json(&text)?
+                }
+                None => {
+                    let profile = ef_chaos::ChaosProfile {
+                        duration_secs: cfg.duration_secs,
+                        warmup_secs: cfg.duration_secs / 6,
+                        events: args.events,
+                        min_fault_secs: (2 * cfg.epoch_secs).max(60),
+                        max_fault_secs: (cfg.duration_secs / 4).max((2 * cfg.epoch_secs).max(60)),
+                        kinds: Vec::new(),
+                    };
+                    ef_chaos::generate(
+                        &profile,
+                        &ef_sim::chaos_surface(&deployment),
+                        args.chaos_seed,
+                    )?
+                }
+            };
+            if schedule.horizon_secs() > cfg.duration_secs {
+                return Err(format!(
+                    "schedule runs to t={}s but the scenario ends at {}s",
+                    schedule.horizon_secs(),
+                    cfg.duration_secs
+                ));
+            }
+
+            let mut out = String::new();
+            writeln!(
+                out,
+                "arm: {} under {} fault(s)",
+                if args.baseline {
+                    "baseline BGP"
+                } else {
+                    "edge fabric"
+                },
+                schedule.len()
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "{:>20} {:>6} {:>8} {:>8}",
+                "fault", "pop", "start", "secs"
+            )
+            .unwrap();
+            for e in &schedule.events {
+                writeln!(
+                    out,
+                    "{:>20} {:>6} {:>8} {:>8}",
+                    e.kind.label(),
+                    e.target.pop(),
+                    e.t_start_secs,
+                    e.duration_secs
+                )
+                .unwrap();
+            }
+
+            cfg.chaos = Some(schedule);
+            let mut engine = SimEngine::with_deployment(cfg, deployment);
+            engine.run();
+            let metrics = engine.take_metrics();
+
+            let faulted = metrics
+                .pop_epochs
+                .iter()
+                .filter(|r| !r.active_faults.is_empty())
+                .count();
+            let degraded = metrics.pop_epochs.iter().filter(|r| r.degraded).count();
+            let fail_open = metrics.pop_epochs.iter().filter(|r| r.fail_open).count();
+            let report = ef_sim::RunReport::from_metrics(&metrics);
+            out.push_str(&report.render());
+            writeln!(
+                out,
+                "fault epochs: {faulted} ({degraded} degraded, {fail_open} fail-open)"
+            )
+            .unwrap();
+
+            if let Some(path) = &args.common.out {
                 #[derive(serde::Serialize)]
                 struct Dump<'a> {
                     pop_epochs: &'a [ef_sim::PopEpochRecord],
@@ -416,8 +602,83 @@ mod tests {
     #[test]
     fn help_text_lists_commands() {
         let help = execute(Command::Help).unwrap();
-        for cmd in ["gen", "table1", "diversity", "run"] {
+        for cmd in ["gen", "table1", "diversity", "run", "chaos"] {
             assert!(help.contains(cmd));
         }
+    }
+
+    #[test]
+    fn chaos_flags() {
+        match parse_args(&argv(
+            "chaos --seed 3 --hours 0.5 --chaos-seed 9 --events 4 --baseline --epoch 60",
+        ))
+        .unwrap()
+        {
+            Command::Chaos(c) => {
+                assert_eq!(c.common.seed, 3);
+                assert_eq!(c.hours, 0.5);
+                assert_eq!(c.chaos_seed, 9);
+                assert_eq!(c.events, 4);
+                assert!(c.baseline);
+                assert_eq!(c.epoch_secs, 60);
+                assert!(c.schedule.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("chaos --schedule faults.json")).unwrap() {
+            Command::Chaos(c) => assert_eq!(c.schedule.as_deref(), Some("faults.json")),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&argv("chaos --events 0")).is_err());
+        assert!(parse_args(&argv("chaos --hours 0")).is_err());
+    }
+
+    #[test]
+    fn chaos_missing_schedule_file_errors() {
+        let args = ChaosArgs {
+            schedule: Some("/nonexistent/faults.json".into()),
+            ..Default::default()
+        };
+        let err = execute(Command::Chaos(args)).unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+
+    #[test]
+    fn chaos_small_scenario_end_to_end() {
+        let mut args = ChaosArgs::default();
+        args.common.pops = 4;
+        args.common.prefixes = 200;
+        args.common.seed = 3;
+        args.hours = 0.5;
+        args.epoch_secs = 60;
+        args.events = 4;
+        let out = execute(Command::Chaos(args)).unwrap();
+        assert!(out.contains("under 4 fault(s)"));
+        assert!(out.contains("fault epochs:"));
+    }
+
+    #[test]
+    fn chaos_schedule_file_end_to_end() {
+        use ef_chaos::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
+        let schedule = FaultSchedule::new(vec![FaultEvent {
+            t_start_secs: 300,
+            duration_secs: 300,
+            target: FaultTarget::Pop { pop: 0 },
+            kind: FaultKind::BmpStall,
+        }])
+        .unwrap();
+        let dir = std::env::temp_dir().join("efctl-chaos-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("faults.json");
+        std::fs::write(&path, schedule.to_json()).unwrap();
+        let mut args = ChaosArgs::default();
+        args.common.pops = 4;
+        args.common.prefixes = 200;
+        args.common.seed = 3;
+        args.hours = 0.5;
+        args.epoch_secs = 60;
+        args.schedule = Some(path.to_string_lossy().into_owned());
+        let out = execute(Command::Chaos(args)).unwrap();
+        assert!(out.contains("bmp_stall"));
     }
 }

@@ -171,11 +171,11 @@ pub fn allocate(
             (u > cfg.util_limit).then_some((*e, u))
         })
         .collect();
-    overloaded.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    overloaded.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let overloaded_before = overloaded.clone();
 
     // Safety budgets.
-    let total_demand: f64 = traffic.values().sum();
+    let total_demand: f64 = crate::state::total_traffic_mbps(traffic);
     let detour_budget = if cfg.max_detour_fraction > 0.0 {
         total_demand * cfg.max_detour_fraction
     } else {
@@ -201,7 +201,7 @@ pub fn allocate(
         // preference ranking — 1 means "the very next choice".
         match cfg.strategy {
             DetourStrategy::LargestFirst => {
-                victims.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+                victims.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
             }
             DetourStrategy::BestAlternativeFirst => {
                 // Preference distance: how far (in effective LOCAL_PREF)
@@ -216,10 +216,7 @@ pub fn allocate(
                             .into_iter()
                             .filter(|r| !r.is_override())
                             .collect();
-                        let gap = match (
-                            ranked.first(),
-                            ranked.iter().find(|r| r.egress != *hot),
-                        ) {
+                        let gap = match (ranked.first(), ranked.iter().find(|r| r.egress != *hot)) {
                             (Some(best), Some(alt)) => {
                                 i64::from(best.attrs.effective_local_pref())
                                     - i64::from(alt.attrs.effective_local_pref())
@@ -229,11 +226,7 @@ pub fn allocate(
                         (gap, prefix, mbps)
                     })
                     .collect();
-                keyed.sort_by(|a, b| {
-                    a.0.cmp(&b.0)
-                        .then(b.2.partial_cmp(&a.2).unwrap())
-                        .then(a.1.cmp(&b.1))
-                });
+                keyed.sort_by(|a, b| a.0.cmp(&b.0).then(b.2.total_cmp(&a.2)).then(a.1.cmp(&b.1)));
                 victims = keyed.into_iter().map(|(_, p, m)| (p, m)).collect();
             }
         }
@@ -261,9 +254,7 @@ pub fn allocate(
                 .ranked(&lookup)
                 .into_iter()
                 .filter(|r| !r.is_override() && r.egress != *hot)
-                .find(|r| {
-                    load.get(&r.egress).copied().unwrap_or(0.0) + mbps <= limit_of(r.egress)
-                })
+                .find(|r| load.get(&r.egress).copied().unwrap_or(0.0) + mbps <= limit_of(r.egress))
                 .cloned();
             let Some(target) = target else {
                 // Nowhere to put the whole unit: try its halves.
@@ -385,7 +376,15 @@ mod tests {
         traffic: &HashMap<Prefix, f64>,
     ) -> AllocationOutcome {
         let proj = project(c, traffic);
-        allocate(cfg, interfaces, c, traffic, &proj, &OverrideSet::new(), &OverrideSet::new())
+        allocate(
+            cfg,
+            interfaces,
+            c,
+            traffic,
+            &proj,
+            &OverrideSet::new(),
+            &OverrideSet::new(),
+        )
     }
 
     #[test]
@@ -471,7 +470,9 @@ mod tests {
             assert!(u <= 0.95 + 1e-9, "target {e} overloaded to {u}");
         }
         assert!(
-            out.residual_overloaded.iter().any(|(e, _)| *e == EgressId(1)),
+            out.residual_overloaded
+                .iter()
+                .any(|(e, _)| *e == EgressId(1)),
             "unplaceable overload is reported, not hidden"
         );
     }
@@ -504,8 +505,7 @@ mod tests {
     fn max_overrides_cap_is_respected() {
         let prefixes = ["1.0.0.0/24", "2.0.0.0/24", "3.0.0.0/24", "4.0.0.0/24"];
         let (c, ifaces) = standard_world(&prefixes);
-        let traffic: HashMap<Prefix, f64> =
-            prefixes.iter().map(|s| (p(s), 50.0)).collect();
+        let traffic: HashMap<Prefix, f64> = prefixes.iter().map(|s| (p(s), 50.0)).collect();
         let cfg = ControllerConfig {
             max_overrides: 1,
             strategy: DetourStrategy::LargestFirst,
@@ -627,14 +627,30 @@ mod tests {
         // Epoch 1: 150 Mbps overloads the 100 Mbps PNI → one override.
         let peak = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 70.0)]);
         let proj = project(&c, &peak);
-        let first = allocate(&cfg, &ifaces, &c, &peak, &proj, &OverrideSet::new(), &OverrideSet::new());
+        let first = allocate(
+            &cfg,
+            &ifaces,
+            &c,
+            &peak,
+            &proj,
+            &OverrideSet::new(),
+            &OverrideSet::new(),
+        );
         assert_eq!(first.overrides.len(), 1);
 
         // Epoch 2: demand eases to 90 Mbps total — under the 95 limit but
         // inside the hysteresis band (>85): the override must persist.
         let band = HashMap::from([(p("1.0.0.0/24"), 50.0), (p("2.0.0.0/24"), 40.0)]);
         let proj = project(&c, &band);
-        let second = allocate(&cfg, &ifaces, &c, &band, &proj, &OverrideSet::new(), &first.overrides);
+        let second = allocate(
+            &cfg,
+            &ifaces,
+            &c,
+            &band,
+            &proj,
+            &OverrideSet::new(),
+            &first.overrides,
+        );
         assert_eq!(second.overrides.len(), 1, "kept inside the band");
         assert_eq!(
             second.overrides.iter_sorted()[0].prefix,
@@ -644,7 +660,15 @@ mod tests {
         // Epoch 3: demand falls to 60 Mbps — below the band: withdrawn.
         let quiet = HashMap::from([(p("1.0.0.0/24"), 35.0), (p("2.0.0.0/24"), 25.0)]);
         let proj = project(&c, &quiet);
-        let third = allocate(&cfg, &ifaces, &c, &quiet, &proj, &OverrideSet::new(), &second.overrides);
+        let third = allocate(
+            &cfg,
+            &ifaces,
+            &c,
+            &quiet,
+            &proj,
+            &OverrideSet::new(),
+            &second.overrides,
+        );
         assert!(third.overrides.is_empty(), "dropped below the band");
 
         // Without hysteresis the epoch-2 override would have been dropped.
@@ -679,7 +703,15 @@ mod tests {
         });
         let traffic = HashMap::from([(p("1.0.0.0/24"), 92.0)]);
         let proj = project(&c, &traffic);
-        let out = allocate(&cfg, &ifaces, &c, &traffic, &proj, &OverrideSet::new(), &previous);
+        let out = allocate(
+            &cfg,
+            &ifaces,
+            &c,
+            &traffic,
+            &proj,
+            &OverrideSet::new(),
+            &previous,
+        );
         assert!(
             out.overrides.get(&p("1.0.0.0/24")).map(|o| o.target) != Some(EgressId(77)),
             "stale override not retained"
@@ -696,23 +728,24 @@ mod tests {
             (PeerId(2), EgressId(2)),
             (PeerId(3), EgressId(3)),
         ]));
-        let announce = |c: &mut RouteCollector, peer: u64, asn: u32, kind: PeerKind, prefix: &str| {
-            let mut attrs = PathAttributes {
-                local_pref: Some(kind.default_local_pref()),
-                as_path: AsPath::sequence([Asn(asn)]),
-                ..Default::default()
+        let announce =
+            |c: &mut RouteCollector, peer: u64, asn: u32, kind: PeerKind, prefix: &str| {
+                let mut attrs = PathAttributes {
+                    local_pref: Some(kind.default_local_pref()),
+                    as_path: AsPath::sequence([Asn(asn)]),
+                    ..Default::default()
+                };
+                attrs.add_community(kind.tag_community());
+                c.ingest([BmpMessage::RouteMonitoring {
+                    peer: BmpPeerHeader {
+                        peer: PeerId(peer),
+                        peer_asn: Asn(asn),
+                        peer_bgp_id: "10.0.0.1".parse().unwrap(),
+                        timestamp_ms: 0,
+                    },
+                    update: UpdateMessage::announce(p(prefix), attrs),
+                }]);
             };
-            attrs.add_community(kind.tag_community());
-            c.ingest([BmpMessage::RouteMonitoring {
-                peer: BmpPeerHeader {
-                    peer: PeerId(peer),
-                    peer_asn: Asn(asn),
-                    peer_bgp_id: "10.0.0.1".parse().unwrap(),
-                    timestamp_ms: 0,
-                },
-                update: UpdateMessage::announce(p(prefix), attrs),
-            }]);
-        };
         // Both prefixes on private; only B has the public alternate.
         announce(&mut c, 1, 65001, PeerKind::PrivatePeer, "10.0.0.0/24"); // A
         announce(&mut c, 3, 65010, PeerKind::Transit, "10.0.0.0/24");
@@ -721,9 +754,27 @@ mod tests {
         announce(&mut c, 3, 65010, PeerKind::Transit, "11.0.0.0/24");
 
         let interfaces = HashMap::from([
-            (EgressId(1), InterfaceInfo { capacity_mbps: 100.0, kind: PeerKind::PrivatePeer }),
-            (EgressId(2), InterfaceInfo { capacity_mbps: 1000.0, kind: PeerKind::PublicPeer }),
-            (EgressId(3), InterfaceInfo { capacity_mbps: 100_000.0, kind: PeerKind::Transit }),
+            (
+                EgressId(1),
+                InterfaceInfo {
+                    capacity_mbps: 100.0,
+                    kind: PeerKind::PrivatePeer,
+                },
+            ),
+            (
+                EgressId(2),
+                InterfaceInfo {
+                    capacity_mbps: 1000.0,
+                    kind: PeerKind::PublicPeer,
+                },
+            ),
+            (
+                EgressId(3),
+                InterfaceInfo {
+                    capacity_mbps: 100_000.0,
+                    kind: PeerKind::Transit,
+                },
+            ),
         ]);
         let traffic = HashMap::from([(p("10.0.0.0/24"), 60.0), (p("11.0.0.0/24"), 60.0)]);
         let out = run(&ControllerConfig::default(), &c, &interfaces, &traffic);

@@ -55,15 +55,11 @@ impl RouteCollector {
             match msg {
                 BmpMessage::RouteMonitoring { peer, update } => {
                     // Kind is recovered from the import-tag community.
-                    let kind = update
-                        .attrs
-                        .communities
-                        .iter()
-                        .find_map(|c| {
-                            (c.asn_part() == (ef_net_types::Asn::LOCAL.0 & 0xFFFF) as u16)
-                                .then(|| PeerKind::from_tag_code(c.value_part()))
-                                .flatten()
-                        });
+                    let kind = update.attrs.communities.iter().find_map(|c| {
+                        (c.asn_part() == (ef_net_types::Asn::LOCAL.0 & 0xFFFF) as u16)
+                            .then(|| PeerKind::from_tag_code(c.value_part()))
+                            .flatten()
+                    });
                     for prefix in &update.withdrawn {
                         self.rib.withdraw(prefix, peer.peer);
                     }
@@ -100,7 +96,8 @@ impl RouteCollector {
                 BmpMessage::PeerDown { peer, .. } => {
                     self.rib.withdraw_peer(peer.peer);
                 }
-                BmpMessage::PeerUp(_) | BmpMessage::Initiation { .. } | BmpMessage::Termination => {}
+                BmpMessage::PeerUp(_) | BmpMessage::Initiation { .. } | BmpMessage::Termination => {
+                }
             }
         }
     }
@@ -208,7 +205,11 @@ mod tests {
         ]);
         let ranked = c.ranked(&p("203.0.113.0/24"));
         assert_eq!(ranked.len(), 2);
-        assert_eq!(ranked[0].source.kind, PeerKind::PrivatePeer, "tier beats length");
+        assert_eq!(
+            ranked[0].source.kind,
+            PeerKind::PrivatePeer,
+            "tier beats length"
+        );
     }
 
     #[test]

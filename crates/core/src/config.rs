@@ -39,6 +39,21 @@ pub struct ControllerConfig {
     /// no single alternate, allow detouring its two more-specific halves
     /// independently. 0 = off (paper-faithful); 1 = one halving.
     pub split_depth: u8,
+    /// Graceful degradation: when the controller's inputs (BMP feed or
+    /// traffic estimates) are older than this horizon, the epoch runs in
+    /// degraded mode — the override set may shrink or hold but never grow,
+    /// and every kept detour target is re-validated against the (stale)
+    /// routes and capacity.
+    pub stale_input_secs: u64,
+    /// Graceful degradation: past this input age the controller stops
+    /// trusting its view entirely and fails open — every override is
+    /// withdrawn, returning the PoP to plain BGP (paper §4.4's fail-static
+    /// argument, made explicit).
+    pub fail_open_secs: u64,
+    /// Blast-radius cap: at most this fraction of the PoP's total demand
+    /// may be *newly* shifted (prefixes not already overridden) in a single
+    /// epoch. 1.0 disables the guard.
+    pub max_shift_fraction_per_epoch: f64,
 }
 
 impl Default for ControllerConfig {
@@ -53,6 +68,9 @@ impl Default for ControllerConfig {
             dry_run: false,
             withdraw_hysteresis: 0.0,
             split_depth: 0,
+            stale_input_secs: 120,
+            fail_open_secs: 600,
+            max_shift_fraction_per_epoch: 1.0,
         }
     }
 }
@@ -80,6 +98,21 @@ impl ControllerConfig {
         }
         if self.split_depth > 1 {
             return Err(format!("split_depth {} > 1 unsupported", self.split_depth));
+        }
+        if self.stale_input_secs == 0 {
+            return Err("stale_input_secs must be positive".into());
+        }
+        if self.fail_open_secs < self.stale_input_secs {
+            return Err(format!(
+                "fail_open_secs {} shorter than stale_input_secs {}",
+                self.fail_open_secs, self.stale_input_secs
+            ));
+        }
+        if !(0.0 < self.max_shift_fraction_per_epoch && self.max_shift_fraction_per_epoch <= 1.0) {
+            return Err(format!(
+                "max_shift_fraction_per_epoch {} outside (0, 1]",
+                self.max_shift_fraction_per_epoch
+            ));
         }
         Ok(())
     }
@@ -111,6 +144,21 @@ mod tests {
         assert!(bad(|c| c.max_detour_fraction = 1.5));
         assert!(bad(|c| c.withdraw_hysteresis = 0.95));
         assert!(bad(|c| c.split_depth = 2));
+        assert!(bad(|c| c.stale_input_secs = 0));
+        assert!(bad(|c| c.fail_open_secs = 10)); // < stale_input_secs
+        assert!(bad(|c| c.max_shift_fraction_per_epoch = 0.0));
+        assert!(bad(|c| c.max_shift_fraction_per_epoch = 1.5));
+    }
+
+    #[test]
+    fn degradation_horizons_are_ordered_by_default() {
+        let cfg = ControllerConfig::default();
+        assert!(
+            cfg.stale_input_secs >= cfg.epoch_secs,
+            "fresh epochs never degrade"
+        );
+        assert!(cfg.fail_open_secs >= cfg.stale_input_secs);
+        assert_eq!(cfg.max_shift_fraction_per_epoch, 1.0, "cap off by default");
     }
 
     #[test]

@@ -7,6 +7,17 @@
 //! the diff. The paper argues this stateless design keeps the controller
 //! simple and self-correcting — an operator can restart it at any time and
 //! the next epoch converges to the same answer.
+//!
+//! [`run_epoch_guarded`](PopController::run_epoch_guarded) adds the
+//! graceful-degradation guards around that loop. The paper's safety story
+//! (§4.4) is *fail static*: a wedged controller stops changing routing, and
+//! dropped override announcements revert to plain BGP. The guards extend
+//! this to *degraded but alive* inputs: when the BMP feed or the traffic
+//! estimates are stale, the controller refuses to grow its override
+//! footprint (it may only hold or shrink it, re-validating every kept
+//! detour target), and past a fail-open horizon it withdraws everything. A
+//! blast-radius cap bounds how much traffic a single epoch may newly shift
+//! even with fresh inputs, so one bad projection cannot swing a PoP.
 
 use std::collections::HashMap;
 
@@ -23,7 +34,7 @@ use crate::collector::RouteCollector;
 use crate::config::ControllerConfig;
 use crate::injector::Injector;
 use crate::overrides::OverrideSet;
-use crate::projection::project;
+use crate::projection::{project, Projection};
 use crate::state::{InterfaceMap, TrafficState};
 
 /// What one controller epoch observed and did, for telemetry and the
@@ -59,7 +70,65 @@ pub struct EpochReport {
     pub projected_load: HashMap<u32, f64>,
     /// Predicted post-mitigation load per interface, Mbps.
     pub post_load: HashMap<u32, f64>,
+    /// Worst input age this epoch ran with, ms.
+    pub input_age_ms: u64,
+    /// The epoch ran in degraded mode (stale inputs: override set frozen
+    /// to hold-or-shrink).
+    pub degraded: bool,
+    /// The epoch failed open (inputs past the trust horizon: every
+    /// override withdrawn).
+    pub fail_open: bool,
+    /// Demand the blast-radius cap refused to newly shift this epoch, Mbps.
+    pub shift_capped_mbps: f64,
 }
+
+/// Input freshness for one guarded epoch. Ages are "now minus the time the
+/// input was last refreshed"; [`EpochInputs::default`] means both inputs
+/// are fresh (the plain [`run_epoch`](PopController::run_epoch) path).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochInputs {
+    /// Age of the newest BMP route state, ms.
+    pub bmp_age_ms: u64,
+    /// Age of the newest traffic estimate, ms.
+    pub traffic_age_ms: u64,
+}
+
+impl EpochInputs {
+    /// Both inputs refreshed this instant.
+    pub fn fresh() -> Self {
+        Self::default()
+    }
+
+    /// The age that drives degradation decisions: the staler input bounds
+    /// how much the combined view can be trusted.
+    pub fn age_ms(&self) -> u64 {
+        self.bmp_age_ms.max(self.traffic_age_ms)
+    }
+}
+
+/// Why a guarded epoch was skipped instead of run. These are operational
+/// conditions, not bugs: the controller's reaction is to do nothing this
+/// cycle (fail static) and let the embedding decide whether to reattach or
+/// restart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochError {
+    /// The injector's BGP session to the peering router is down. Every
+    /// override is already implicitly withdrawn by BGP; nothing can be
+    /// steered until [`PopController::reattach_injector`] succeeds.
+    InjectorDown,
+}
+
+impl std::fmt::Display for EpochError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EpochError::InjectorDown => {
+                write!(f, "injector session down; epoch skipped (fail-open)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EpochError {}
 
 /// The Edge Fabric controller for one PoP.
 pub struct PopController {
@@ -81,7 +150,21 @@ impl PopController {
         interfaces: InterfaceMap,
         router: &mut BgpRouter,
     ) -> Self {
-        cfg.validate().expect("controller config invalid");
+        match Self::try_new(pop, cfg, interfaces, router) {
+            Ok(ctl) => ctl,
+            Err(e) => panic!("controller config invalid: {e}"),
+        }
+    }
+
+    /// Fallible construction: rejects an invalid config instead of
+    /// panicking (for embeddings that take config from outside).
+    pub fn try_new(
+        pop: u16,
+        cfg: ControllerConfig,
+        interfaces: InterfaceMap,
+        router: &mut BgpRouter,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
         let mut peer_egress = HashMap::new();
         for peer in router.peer_ids() {
             if let Some(attach) = router.attachment(peer) {
@@ -94,14 +177,19 @@ impl PopController {
             cfg.override_marker,
             0,
         );
-        PopController {
+        Ok(PopController {
             pop,
             cfg,
             interfaces,
             collector: RouteCollector::new(peer_egress),
             injector,
             perf_overrides: OverrideSet::new(),
-        }
+        })
+    }
+
+    /// The stable peer id of this controller's injector session.
+    pub fn injector_peer_id(&self) -> PeerId {
+        PeerId(1_000_000 + self.pop as u64)
     }
 
     /// The PoP this controller serves.
@@ -142,13 +230,51 @@ impl PopController {
         self.perf_overrides = set;
     }
 
-    /// Runs one controller cycle against `traffic` (per-prefix Mbps).
+    /// Runs one controller cycle against `traffic` (per-prefix Mbps),
+    /// assuming both inputs are fresh. If the injector session is down the
+    /// epoch is skipped (a no-op report, never a panic) — use
+    /// [`run_epoch_guarded`](Self::run_epoch_guarded) to observe that
+    /// condition as a typed error.
     pub fn run_epoch(
         &mut self,
         traffic: &TrafficState,
         router: &mut BgpRouter,
         now: Millis,
     ) -> EpochReport {
+        match self.run_epoch_guarded(traffic, router, now, EpochInputs::fresh()) {
+            Ok(report) => report,
+            Err(EpochError::InjectorDown) => self.skipped_report(traffic, now),
+        }
+    }
+
+    /// Runs one controller cycle with explicit input freshness, applying
+    /// the graceful-degradation guards:
+    ///
+    /// - inputs older than `stale_input_secs`: **degraded mode** — the
+    ///   override set may hold or shrink but never grow, and every kept
+    ///   override's detour target is re-validated (route still present,
+    ///   projected target load still under the limit);
+    /// - inputs older than `fail_open_secs`: **fail open** — every
+    ///   override is withdrawn and the PoP runs plain BGP;
+    /// - always: the **blast-radius cap** limits newly shifted demand to
+    ///   `max_shift_fraction_per_epoch` of the PoP's total.
+    ///
+    /// Returns [`EpochError::InjectorDown`] (epoch skipped) when the
+    /// injector session is down and this is not a dry run.
+    pub fn run_epoch_guarded(
+        &mut self,
+        traffic: &TrafficState,
+        router: &mut BgpRouter,
+        now: Millis,
+        inputs: EpochInputs,
+    ) -> Result<EpochReport, EpochError> {
+        if !self.cfg.dry_run && !self.injector.session_up() {
+            return Err(EpochError::InjectorDown);
+        }
+        let age_ms = inputs.age_ms();
+        let fail_open = age_ms >= self.cfg.fail_open_secs.saturating_mul(1000);
+        let degraded = !fail_open && age_ms >= self.cfg.stale_input_secs.saturating_mul(1000);
+
         let projection = project(&self.collector, traffic);
         let outcome = allocate(
             &self.cfg,
@@ -160,10 +286,23 @@ impl PopController {
             self.injector.announced(),
         );
 
+        let mut shift_capped_mbps = 0.0;
+        let desired = if fail_open {
+            // Nothing the allocator computed is trustworthy at this age.
+            OverrideSet::new()
+        } else if degraded {
+            self.hold_or_shrink(&outcome.overrides, &projection)
+        } else {
+            let mut desired = outcome.overrides.clone();
+            shift_capped_mbps =
+                self.cap_blast_radius(&mut desired, crate::state::total_traffic_mbps(traffic));
+            desired
+        };
+
         let diff = if self.cfg.dry_run {
             Default::default()
         } else {
-            self.injector.apply(router, &outcome.overrides, now)
+            self.injector.apply(router, &desired, now)
         };
 
         // Pull the router's BMP echoes of our own changes immediately so
@@ -171,11 +310,11 @@ impl PopController {
         self.collector.ingest(router.drain_bmp());
 
         let active = self.injector.announced();
-        EpochReport {
+        Ok(EpochReport {
             now_ms: now,
             pop: self.pop,
             prefixes_known: self.collector.prefix_count(),
-            total_demand_mbps: traffic.values().sum(),
+            total_demand_mbps: crate::state::total_traffic_mbps(traffic),
             unrouted_mbps: projection.unrouted_mbps,
             overloaded_before: outcome
                 .overloaded_before
@@ -202,6 +341,133 @@ impl PopController {
                 .map(|(e, v)| (e.0, *v))
                 .collect(),
             post_load: outcome.post_load.iter().map(|(e, v)| (e.0, *v)).collect(),
+            input_age_ms: age_ms,
+            degraded,
+            fail_open,
+            shift_capped_mbps,
+        })
+    }
+
+    /// Degraded-mode desired set: the intersection of what the allocator
+    /// wants and what is already announced (never enlarge on stale inputs),
+    /// with each survivor's detour target re-validated against the current
+    /// (stale) route view and interface limits.
+    fn hold_or_shrink(&self, desired: &OverrideSet, projection: &Projection) -> OverrideSet {
+        let announced = self.injector.announced();
+        let mut kept = OverrideSet::new();
+        // Load already attracted to each target by overrides kept so far,
+        // on top of the organic projection.
+        let mut extra: HashMap<EgressId, f64> = HashMap::new();
+        for o in desired.iter_sorted() {
+            if !announced.contains(&o.prefix) {
+                continue; // would enlarge the set
+            }
+            let target_has_route = self
+                .collector
+                .candidates(&o.prefix)
+                .iter()
+                .any(|r| r.egress == o.target && !r.is_override());
+            if !target_has_route {
+                continue; // detour target vanished from the (stale) view
+            }
+            let base = projection.load_mbps.get(&o.target).copied().unwrap_or(0.0);
+            let added = extra.get(&o.target).copied().unwrap_or(0.0);
+            if base + added + o.moved_mbps > self.limit_mbps(o.target) {
+                continue; // target can no longer absorb this detour
+            }
+            *extra.entry(o.target).or_default() += o.moved_mbps;
+            kept.insert(*o);
+        }
+        kept
+    }
+
+    /// Enforces the per-epoch blast-radius cap: overrides for prefixes not
+    /// already announced are dropped (in deterministic prefix order) once
+    /// their cumulative demand exceeds the allowed fraction of the PoP's
+    /// total. Returns the demand refused, Mbps.
+    fn cap_blast_radius(&self, desired: &mut OverrideSet, total_demand_mbps: f64) -> f64 {
+        if self.cfg.max_shift_fraction_per_epoch >= 1.0 {
+            return 0.0;
+        }
+        let budget = self.cfg.max_shift_fraction_per_epoch * total_demand_mbps;
+        let announced = self.injector.announced();
+        let mut new_shift = 0.0f64;
+        let mut refused: Vec<(ef_net_types::Prefix, f64)> = Vec::new();
+        for o in desired.iter_sorted() {
+            if announced.contains(&o.prefix) {
+                continue; // already shifted in an earlier epoch
+            }
+            if new_shift + o.moved_mbps > budget {
+                refused.push((o.prefix, o.moved_mbps));
+            } else {
+                new_shift += o.moved_mbps;
+            }
+        }
+        let mut capped = 0.0;
+        for (prefix, mbps) in refused {
+            desired.remove(&prefix);
+            capped += mbps;
+        }
+        capped
+    }
+
+    /// The report for an epoch that could not run (injector down): nothing
+    /// was observed or changed; BGP semantics already withdrew every
+    /// override.
+    fn skipped_report(&self, traffic: &TrafficState, now: Millis) -> EpochReport {
+        EpochReport {
+            now_ms: now,
+            pop: self.pop,
+            prefixes_known: self.collector.prefix_count(),
+            total_demand_mbps: crate::state::total_traffic_mbps(traffic),
+            unrouted_mbps: 0.0,
+            overloaded_before: Vec::new(),
+            residual_overloaded: Vec::new(),
+            overrides_active: 0,
+            detoured_mbps: 0.0,
+            detoured_by_kind: HashMap::new(),
+            churn_announced: 0,
+            churn_withdrawn: 0,
+            projected_load: HashMap::new(),
+            post_load: HashMap::new(),
+            input_age_ms: 0,
+            degraded: false,
+            fail_open: true,
+            shift_capped_mbps: 0.0,
+        }
+    }
+
+    /// True while the injector's BGP session to the router is up.
+    pub fn injector_up(&self) -> bool {
+        self.injector.session_up()
+    }
+
+    /// Records a router-side loss of the injector session (the fault model
+    /// or a real transport removed the controller pseudo-peer). All
+    /// overrides are implicitly withdrawn by BGP; subsequent guarded
+    /// epochs return [`EpochError::InjectorDown`] until
+    /// [`reattach_injector`](Self::reattach_injector).
+    pub fn injector_session_lost(&mut self) {
+        self.injector.session_lost();
+    }
+
+    /// Re-establishes the injector session after a loss. The announced set
+    /// starts empty (stateless restart); the next epoch recomputes and
+    /// re-announces whatever the inputs justify.
+    pub fn reattach_injector(&mut self, router: &mut BgpRouter, now: Millis) {
+        self.injector = Injector::attach(
+            router,
+            self.injector_peer_id(),
+            self.cfg.override_marker,
+            now,
+        );
+    }
+
+    /// Updates an interface's usable capacity (provisioning change or
+    /// fault-model link degradation). Unknown interfaces are ignored.
+    pub fn set_interface_capacity(&mut self, egress: EgressId, capacity_mbps: f64) {
+        if let Some(info) = self.interfaces.get_mut(&egress) {
+            info.capacity_mbps = capacity_mbps;
         }
     }
 
@@ -445,6 +711,215 @@ mod tests {
             Some(PeerKind::PrivatePeer)
         );
         assert_eq!(w.controller.interface_kind(EgressId(77)), None);
+    }
+
+    #[test]
+    fn fresh_inputs_behave_like_run_epoch() {
+        let mut w = world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let peak = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 70.0)]);
+        let report = w
+            .controller
+            .run_epoch_guarded(&peak, &mut w.router, 30_000, EpochInputs::fresh())
+            .unwrap();
+        assert!(!report.degraded);
+        assert!(!report.fail_open);
+        assert_eq!(report.input_age_ms, 0);
+        assert_eq!(report.overrides_active, 1);
+        assert_eq!(report.shift_capped_mbps, 0.0);
+    }
+
+    #[test]
+    fn stale_inputs_never_enlarge_the_override_set() {
+        let mut w = world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let peak = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 70.0)]);
+        // Overload appears while inputs are stale: the controller must not
+        // create the detour it would otherwise inject.
+        let stale = EpochInputs {
+            bmp_age_ms: w.controller.config().stale_input_secs * 1000,
+            traffic_age_ms: 0,
+        };
+        let report = w
+            .controller
+            .run_epoch_guarded(&peak, &mut w.router, 30_000, stale)
+            .unwrap();
+        assert!(report.degraded);
+        assert!(!report.fail_open);
+        assert_eq!(report.overloaded_before.len(), 1, "overload still observed");
+        assert_eq!(report.overrides_active, 0, "but nothing new injected");
+        assert_eq!(report.churn_announced, 0);
+    }
+
+    #[test]
+    fn stale_inputs_keep_existing_overrides_that_revalidate() {
+        let mut w = world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let peak = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 70.0)]);
+        // Fresh epoch installs the detour.
+        let first = w.controller.run_epoch(&peak, &mut w.router, 30_000);
+        assert_eq!(first.overrides_active, 1);
+        // Inputs go stale while the overload persists: the standing
+        // override is held (target still routed, still has room).
+        let stale = EpochInputs {
+            bmp_age_ms: 0,
+            traffic_age_ms: w.controller.config().stale_input_secs * 1000 + 1,
+        };
+        let report = w
+            .controller
+            .run_epoch_guarded(&peak, &mut w.router, 60_000, stale)
+            .unwrap();
+        assert!(report.degraded);
+        assert_eq!(report.overrides_active, 1, "standing override held");
+        assert_eq!(report.churn_announced + report.churn_withdrawn, 0);
+    }
+
+    #[test]
+    fn stale_inputs_drop_overrides_whose_target_vanished() {
+        let mut w = world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let peak = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 70.0)]);
+        w.controller.run_epoch(&peak, &mut w.router, 30_000);
+        assert_eq!(w.controller.active_overrides().len(), 1);
+        let steered = *w
+            .controller
+            .active_overrides()
+            .iter_sorted()
+            .first()
+            .unwrap();
+        // The transit route under the detour disappears; the BMP withdraw
+        // reaches the collector, but the traffic input is stale.
+        w.transit.withdraw(&mut w.router, [steered.prefix], 50_000);
+        w.controller.ingest_bmp(w.router.drain_bmp());
+        let stale = EpochInputs {
+            bmp_age_ms: 0,
+            traffic_age_ms: w.controller.config().stale_input_secs * 1000,
+        };
+        let report = w
+            .controller
+            .run_epoch_guarded(&peak, &mut w.router, 60_000, stale)
+            .unwrap();
+        assert!(report.degraded);
+        assert_eq!(
+            report.overrides_active, 0,
+            "override to a vanished target is not kept"
+        );
+    }
+
+    #[test]
+    fn fail_open_horizon_withdraws_everything() {
+        let mut w = world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let peak = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 70.0)]);
+        w.controller.run_epoch(&peak, &mut w.router, 30_000);
+        assert_eq!(w.controller.active_overrides().len(), 1);
+        let ancient = EpochInputs {
+            bmp_age_ms: w.controller.config().fail_open_secs * 1000,
+            traffic_age_ms: 0,
+        };
+        let report = w
+            .controller
+            .run_epoch_guarded(&peak, &mut w.router, 700_000, ancient)
+            .unwrap();
+        assert!(report.fail_open);
+        assert!(!report.degraded);
+        assert_eq!(report.overrides_active, 0);
+        assert_eq!(report.churn_withdrawn, 1);
+        assert!(!w.router.fib_entry(&p("1.0.0.0/24")).unwrap().is_override);
+        assert!(!w.router.fib_entry(&p("2.0.0.0/24")).unwrap().is_override);
+    }
+
+    #[test]
+    fn blast_radius_cap_limits_new_shift_per_epoch() {
+        let prefixes = ["1.0.0.0/24", "2.0.0.0/24", "3.0.0.0/24", "4.0.0.0/24"];
+        let mut w = world(&prefixes);
+        let mut cfg = *w.controller.config();
+        cfg.max_shift_fraction_per_epoch = 0.15;
+        // Rebuild a capped controller over the same router state.
+        let interfaces = w.controller.interfaces().clone();
+        w.controller.drain(&mut w.router, 0);
+        let mut capped = PopController::new(2, cfg, interfaces, &mut w.router);
+        w.router.drain_bmp();
+        for prefix in prefixes {
+            for (stub, asn) in [(&mut w.peer, 65001u32), (&mut w.transit, 65010)] {
+                stub.announce(
+                    &mut w.router,
+                    p(prefix),
+                    PathAttributes {
+                        as_path: AsPath::sequence([Asn(asn)]),
+                        ..Default::default()
+                    },
+                    1,
+                );
+            }
+        }
+        capped.ingest_bmp(w.router.drain_bmp());
+        // 240 Mbps offered against a 100 Mbps PNI: the allocator wants to
+        // move ~150 Mbps at once; the cap allows 0.15 × 240 = 36 Mbps.
+        let heavy: HashMap<_, _> = prefixes.iter().map(|s| (p(s), 60.0)).collect();
+        let report = capped
+            .run_epoch_guarded(&heavy, &mut w.router, 30_000, EpochInputs::fresh())
+            .unwrap();
+        assert!(report.shift_capped_mbps > 0.0, "cap engaged");
+        assert!(
+            report.detoured_mbps <= 36.0 + 1e-9,
+            "newly shifted demand {} within the 36 Mbps budget",
+            report.detoured_mbps
+        );
+        // Across epochs the cap still lets the controller converge.
+        let mut last = report;
+        for i in 2..6 {
+            last = capped
+                .run_epoch_guarded(&heavy, &mut w.router, 30_000 * i, EpochInputs::fresh())
+                .unwrap();
+        }
+        assert!(
+            last.residual_overloaded.is_empty(),
+            "converged under the cap"
+        );
+    }
+
+    #[test]
+    fn injector_loss_skips_epochs_and_reattach_recovers() {
+        let mut w = world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let peak = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 70.0)]);
+        w.controller.run_epoch(&peak, &mut w.router, 30_000);
+        assert_eq!(w.controller.active_overrides().len(), 1);
+
+        // The router loses the controller pseudo-peer.
+        let injector_peer = w.controller.injector_peer_id();
+        w.router.remove_peer(injector_peer, 40_000);
+        w.controller.injector_session_lost();
+        assert!(!w.controller.injector_up());
+        assert!(!w.router.fib_entry(&p("1.0.0.0/24")).unwrap().is_override);
+
+        let err = w
+            .controller
+            .run_epoch_guarded(&peak, &mut w.router, 60_000, EpochInputs::fresh())
+            .unwrap_err();
+        assert_eq!(err, EpochError::InjectorDown);
+        // The infallible wrapper reports a skipped, failed-open epoch.
+        let report = w.controller.run_epoch(&peak, &mut w.router, 90_000);
+        assert!(report.fail_open);
+        assert_eq!(report.overrides_active, 0);
+
+        // Reattach: the next epoch restores the needed detour.
+        w.controller.reattach_injector(&mut w.router, 100_000);
+        assert!(w.controller.injector_up());
+        let report = w.controller.run_epoch(&peak, &mut w.router, 120_000);
+        assert_eq!(report.overrides_active, 1);
+        assert_eq!(report.churn_announced, 1);
+    }
+
+    #[test]
+    fn capacity_updates_feed_the_next_epoch() {
+        let mut w = world(&["1.0.0.0/24"]);
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 60.0)]);
+        let quiet = w.controller.run_epoch(&traffic, &mut w.router, 30_000);
+        assert_eq!(quiet.overrides_active, 0);
+        // The PNI loses half its capacity: 60 Mbps no longer fits 50.
+        w.controller.set_interface_capacity(EgressId(1), 50.0);
+        let report = w.controller.run_epoch(&traffic, &mut w.router, 60_000);
+        assert_eq!(report.overrides_active, 1, "detour after capacity loss");
+        // Restore: the stateless recompute reverts.
+        w.controller.set_interface_capacity(EgressId(1), 100.0);
+        let report = w.controller.run_epoch(&traffic, &mut w.router, 90_000);
+        assert_eq!(report.overrides_active, 0);
     }
 
     #[test]

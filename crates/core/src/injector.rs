@@ -26,17 +26,15 @@ pub struct Injector {
     stub: PeerStub,
     marker: Community,
     announced: OverrideSet,
+    /// Cleared by [`session_lost`](Self::session_lost) when the router-side
+    /// session drops out from under us.
+    up: bool,
 }
 
 impl Injector {
     /// Attaches the controller pseudo-peer to `router` and establishes the
     /// session. `peer_id` must be unique on the router.
-    pub fn attach(
-        router: &mut BgpRouter,
-        peer_id: PeerId,
-        marker: Community,
-        now: Millis,
-    ) -> Self {
+    pub fn attach(router: &mut BgpRouter, peer_id: PeerId, marker: Community, now: Millis) -> Self {
         router.add_peer(PeerAttachment {
             peer: peer_id,
             peer_asn: router.asn(),
@@ -59,6 +57,7 @@ impl Injector {
             stub,
             marker,
             announced: OverrideSet::new(),
+            up: true,
         }
     }
 
@@ -69,7 +68,16 @@ impl Injector {
 
     /// True while the BGP session is up.
     pub fn session_up(&self) -> bool {
-        self.stub.is_established()
+        self.up && self.stub.is_established()
+    }
+
+    /// Records a router-side session loss. BGP semantics do the safety
+    /// work: a dropped session implicitly withdraws every route the peer
+    /// announced, so the announced set is now empty — the PoP is back on
+    /// plain BGP. Call [`Injector::attach`] again to reconnect.
+    pub fn session_lost(&mut self) {
+        self.up = false;
+        self.announced = OverrideSet::new();
     }
 
     /// Moves the router from the currently-announced override set to
@@ -172,7 +180,10 @@ mod tests {
         let marker = Community::new(32934, 999);
         let mut inj = Injector::attach(&mut router, PeerId(1000), marker, 0);
         assert!(inj.session_up());
-        assert_eq!(router.fib_entry(&p("1.0.0.0/24")).unwrap().egress, EgressId(1));
+        assert_eq!(
+            router.fib_entry(&p("1.0.0.0/24")).unwrap().egress,
+            EgressId(1)
+        );
 
         let mut desired = OverrideSet::new();
         desired.insert(ov("1.0.0.0/24", 2));
@@ -210,7 +221,10 @@ mod tests {
         let diff = inj.apply(&mut router, &b, 20);
         assert_eq!(diff.announce.len(), 1);
         assert!(diff.withdraw.is_empty(), "retarget needs no withdraw");
-        assert_eq!(router.fib_entry(&p("1.0.0.0/24")).unwrap().egress, EgressId(1));
+        assert_eq!(
+            router.fib_entry(&p("1.0.0.0/24")).unwrap().egress,
+            EgressId(1)
+        );
     }
 
     #[test]
@@ -224,6 +238,33 @@ mod tests {
         inj.drain(&mut router, 20);
         assert!(inj.announced().is_empty());
         assert!(!router.fib_entry(&p("1.0.0.0/24")).unwrap().is_override);
+    }
+
+    #[test]
+    fn session_loss_clears_announced_state() {
+        let (mut router, _peer, _transit) = world();
+        let marker = Community::new(32934, 999);
+        let mut inj = Injector::attach(&mut router, PeerId(1000), marker, 0);
+        let mut desired = OverrideSet::new();
+        desired.insert(ov("1.0.0.0/24", 2));
+        inj.apply(&mut router, &desired, 10);
+        assert!(inj.session_up());
+
+        // The router drops the controller pseudo-peer (session loss): its
+        // routes are flushed and the injector must account for that.
+        router.remove_peer(PeerId(1000), 20);
+        inj.session_lost();
+        assert!(!inj.session_up());
+        assert!(inj.announced().is_empty());
+        let fib = router.fib_entry(&p("1.0.0.0/24")).unwrap();
+        assert!(!fib.is_override, "override implicitly withdrawn");
+        assert_eq!(fib.egress, EgressId(1));
+
+        // Reattaching restores steering capability from a clean slate.
+        let mut inj = Injector::attach(&mut router, PeerId(1000), marker, 30);
+        assert!(inj.session_up());
+        inj.apply(&mut router, &desired, 40);
+        assert!(router.fib_entry(&p("1.0.0.0/24")).unwrap().is_override);
     }
 
     #[test]

@@ -97,6 +97,6 @@ pub mod state;
 pub use allocator::{AllocationOutcome, DetourStrategy};
 pub use collector::RouteCollector;
 pub use config::ControllerConfig;
-pub use controller::{EpochReport, PopController};
+pub use controller::{EpochError, EpochInputs, EpochReport, PopController};
 pub use overrides::{Override, OverrideReason, OverrideSet};
 pub use projection::{project, Projection};

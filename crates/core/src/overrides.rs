@@ -103,9 +103,10 @@ impl OverrideSet {
         self.map.is_empty()
     }
 
-    /// Total demand moved, Mbps.
+    /// Total demand moved, Mbps (summed in prefix order for run-to-run
+    /// reproducibility).
     pub fn total_moved_mbps(&self) -> f64 {
-        self.map.values().map(|o| o.moved_mbps).sum()
+        self.iter_sorted().iter().map(|o| o.moved_mbps).sum()
     }
 
     /// Overrides sorted by prefix (deterministic iteration).
@@ -146,10 +147,11 @@ impl OverrideSet {
         m
     }
 
-    /// Demand moved per target interconnect kind, Mbps.
+    /// Demand moved per target interconnect kind, Mbps (accumulated in
+    /// prefix order for run-to-run reproducibility).
     pub fn moved_by_target_kind(&self) -> HashMap<PeerKind, f64> {
         let mut m = HashMap::new();
-        for o in self.map.values() {
+        for o in self.iter_sorted() {
             *m.entry(o.target_kind).or_default() += o.moved_mbps;
         }
         m
@@ -236,7 +238,11 @@ mod tests {
         s.insert(ov("9.0.0.0/24", 1, 1.0));
         s.insert(ov("1.0.0.0/24", 1, 1.0));
         s.insert(ov("5.0.0.0/24", 1, 1.0));
-        let order: Vec<String> = s.iter_sorted().iter().map(|o| o.prefix.to_string()).collect();
+        let order: Vec<String> = s
+            .iter_sorted()
+            .iter()
+            .map(|o| o.prefix.to_string())
+            .collect();
         assert_eq!(order, vec!["1.0.0.0/24", "5.0.0.0/24", "9.0.0.0/24"]);
     }
 }

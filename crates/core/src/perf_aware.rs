@@ -84,8 +84,7 @@ pub fn build_perf_overrides(
         .collect();
     eligible.sort_by(|a, b| {
         b.0.improvement_ms
-            .partial_cmp(&a.0.improvement_ms)
-            .unwrap()
+            .total_cmp(&a.0.improvement_ms)
             .then(a.0.prefix.cmp(&b.0.prefix))
     });
     if cfg.max_overrides > 0 {
@@ -113,13 +112,15 @@ pub fn adapt_comparisons<'a>(
     samples: usize,
 ) -> impl Iterator<Item = MeasuredComparison> + 'a {
     comparisons.iter().filter_map(move |c| {
-        index_to_prefix.get(&c.prefix_idx).map(|prefix| MeasuredComparison {
-            prefix: *prefix,
-            preferred: EgressId(c.preferred_egress),
-            best_alt: EgressId(c.best_alt_egress),
-            improvement_ms: c.improvement_ms,
-            samples,
-        })
+        index_to_prefix
+            .get(&c.prefix_idx)
+            .map(|prefix| MeasuredComparison {
+                prefix: *prefix,
+                preferred: EgressId(c.preferred_egress),
+                best_alt: EgressId(c.best_alt_egress),
+                improvement_ms: c.improvement_ms,
+                samples,
+            })
     })
 }
 
@@ -257,8 +258,7 @@ mod tests {
             alternates: 1,
         }];
         let map = HashMap::from([(7u32, p("9.9.9.0/24"))]);
-        let adapted: Vec<MeasuredComparison> =
-            adapt_comparisons(&comparisons, &map, 64).collect();
+        let adapted: Vec<MeasuredComparison> = adapt_comparisons(&comparisons, &map, 64).collect();
         assert_eq!(adapted.len(), 1);
         assert_eq!(adapted[0].prefix, p("9.9.9.0/24"));
         assert_eq!(adapted[0].improvement_ms, 30.0);

@@ -34,9 +34,12 @@ impl Projection {
         self.load_mbps.get(&egress).copied().unwrap_or(0.0)
     }
 
-    /// Total projected demand, Mbps.
+    /// Total projected demand, Mbps (summed in interface order, so the
+    /// result is identical run to run).
     pub fn total_mbps(&self) -> f64 {
-        self.load_mbps.values().sum()
+        let mut entries: Vec<(&EgressId, &f64)> = self.load_mbps.iter().collect();
+        entries.sort_by_key(|(e, _)| **e);
+        entries.iter().map(|(_, mbps)| **mbps).sum()
     }
 }
 
@@ -47,7 +50,11 @@ impl Projection {
 /// appear in the assignment (they carry nothing).
 pub fn project(routes: &RouteCollector, traffic: &TrafficState) -> Projection {
     let mut projection = Projection::default();
-    for (prefix, mbps) in traffic {
+    // Canonical (prefix) order: the per-interface sums below are float
+    // accumulations, and map iteration order must not leak into them.
+    let mut entries: Vec<(&Prefix, &f64)> = traffic.iter().collect();
+    entries.sort_by_key(|(p, _)| **p);
+    for (prefix, mbps) in entries {
         if *mbps <= 0.0 {
             continue;
         }
@@ -137,7 +144,11 @@ mod tests {
         let traffic = HashMap::from([(p("1.0.0.0/24"), 100.0)]);
         let proj = project(&c, &traffic);
         assert_eq!(proj.load(EgressId(11)), 100.0, "organic route carries it");
-        assert_eq!(proj.load(EgressId(99)), 0.0, "override egress not projected");
+        assert_eq!(
+            proj.load(EgressId(99)),
+            0.0,
+            "override egress not projected"
+        );
     }
 
     #[test]

@@ -21,6 +21,16 @@ pub struct InterfaceInfo {
 /// Per-prefix demand estimates for one epoch, Mbps.
 pub type TrafficState = HashMap<Prefix, f64>;
 
+/// Total demand, summed in prefix order. Float addition is not
+/// associative, so summing in `HashMap` iteration order would make the
+/// low bits of every budget differ run to run; deterministic runs (and
+/// the seed-reproducibility guarantee) need a canonical order.
+pub fn total_traffic_mbps(traffic: &TrafficState) -> f64 {
+    let mut entries: Vec<(&Prefix, &f64)> = traffic.iter().collect();
+    entries.sort_by_key(|(p, _)| **p);
+    entries.iter().map(|(_, mbps)| **mbps).sum()
+}
+
 /// Per-interface static info map.
 pub type InterfaceMap = HashMap<EgressId, InterfaceInfo>;
 

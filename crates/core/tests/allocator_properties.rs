@@ -42,15 +42,9 @@ fn world_strategy() -> impl Strategy<Value = World> {
     });
     proptest::collection::vec(iface, 2..6).prop_flat_map(|interfaces| {
         let n = interfaces.len();
-        let prefix = (
-            1.0f64..80.0,
-            proptest::collection::vec(0..n, 1..=n),
-        );
-        (
-            Just(interfaces),
-            proptest::collection::vec(prefix, 1..25),
-        )
-            .prop_map(|(interfaces, prefixes)| World {
+        let prefix = (1.0f64..80.0, proptest::collection::vec(0..n, 1..=n));
+        (Just(interfaces), proptest::collection::vec(prefix, 1..25)).prop_map(
+            |(interfaces, prefixes)| World {
                 interfaces,
                 prefixes: prefixes
                     .into_iter()
@@ -60,7 +54,8 @@ fn world_strategy() -> impl Strategy<Value = World> {
                         (d, vias)
                     })
                     .collect(),
-            })
+            },
+        )
     })
 }
 

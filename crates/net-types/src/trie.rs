@@ -307,7 +307,10 @@ mod tests {
         t.insert(p("10.1.0.0/16"), 16);
         let m = t.matches(p("10.1.2.0/24"));
         let prefixes: Vec<Prefix> = m.iter().map(|(pfx, _)| *pfx).collect();
-        assert_eq!(prefixes, vec![p("0.0.0.0/0"), p("10.0.0.0/8"), p("10.1.0.0/16")]);
+        assert_eq!(
+            prefixes,
+            vec![p("0.0.0.0/0"), p("10.0.0.0/8"), p("10.1.0.0/16")]
+        );
     }
 
     #[test]
@@ -320,7 +323,12 @@ mod tests {
         let got: Vec<Prefix> = t.iter().map(|(pfx, _)| pfx).collect();
         assert_eq!(
             got,
-            vec![p("9.0.0.0/8"), p("10.0.0.0/8"), p("10.1.0.0/16"), p("2001:db8::/32")]
+            vec![
+                p("9.0.0.0/8"),
+                p("10.0.0.0/8"),
+                p("10.1.0.0/16"),
+                p("2001:db8::/32")
+            ]
         );
     }
 

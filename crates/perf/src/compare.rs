@@ -53,9 +53,7 @@ pub fn compare_paths(
         let Some(&pref_egress) = preferred.get(&prefix_idx) else {
             continue;
         };
-        let Some(&(_, pref_median)) = digests
-            .iter()
-            .find(|(d, _)| d.key.egress == pref_egress)
+        let Some(&(_, pref_median)) = digests.iter().find(|(d, _)| d.key.egress == pref_egress)
         else {
             continue;
         };
@@ -69,7 +67,7 @@ pub fn compare_paths(
         let (best, best_median) = alts
             .iter()
             .map(|(d, m)| (*d, *m))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .unwrap();
         out.push(PathComparison {
             prefix_idx,
@@ -115,7 +113,7 @@ pub fn summarize(comparisons: &[PathComparison]) -> ComparisonSummary {
         };
     }
     let mut diffs: Vec<f64> = comparisons.iter().map(|c| c.improvement_ms).collect();
-    diffs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    diffs.sort_by(|a, b| a.total_cmp(b));
     ComparisonSummary {
         prefixes: n,
         frac_equivalent: comparisons
@@ -168,8 +166,7 @@ mod tests {
         for _ in 0..20 {
             m.collect_epoch(&model, &entries, &HashMap::new());
         }
-        let preferred: HashMap<u32, EgressId> =
-            (0..prefixes).map(|p| (p, EgressId(1))).collect();
+        let preferred: HashMap<u32, EgressId> = (0..prefixes).map(|p| (p, EgressId(1))).collect();
         (m, preferred)
     }
 
@@ -183,10 +180,7 @@ mod tests {
             assert_eq!(c.best_alt_egress, 2);
             assert_eq!(c.alternates, 1);
             assert!(
-                (c.improvement_ms
-                    - (c.preferred_median_ms - c.best_alt_median_ms))
-                    .abs()
-                    < 1e-9
+                (c.improvement_ms - (c.preferred_median_ms - c.best_alt_median_ms)).abs() < 1e-9
             );
         }
     }

@@ -256,7 +256,10 @@ mod tests {
             .median_rtt_ms()
             .unwrap();
         let base = mdl.base_rtt_ms(0, 7, EgressId(1), PeerKind::PrivatePeer);
-        assert!(hot > base + 40.0, "congestion visible: {hot} vs base {base}");
+        assert!(
+            hot > base + 40.0,
+            "congestion visible: {hot} vs base {base}"
+        );
     }
 
     #[test]

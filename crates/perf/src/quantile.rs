@@ -54,7 +54,7 @@ impl P2Quantile {
             self.boot[self.count] = x;
             self.count += 1;
             if self.count == 5 {
-                self.boot.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                self.boot.sort_by(|a, b| a.total_cmp(b));
                 self.q = self.boot;
             }
             return;
@@ -124,7 +124,7 @@ impl P2Quantile {
             0 => None,
             c if c < 5 => {
                 let mut v = self.boot[..c].to_vec();
-                v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                v.sort_by(|a, b| a.total_cmp(b));
                 let idx = ((c as f64 - 1.0) * self.p).round() as usize;
                 Some(v[idx])
             }
@@ -141,7 +141,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn exact_quantile(mut v: Vec<f64>, p: f64) -> f64 {
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(|a, b| a.total_cmp(b));
         v[((v.len() as f64 - 1.0) * p).round() as usize]
     }
 
@@ -203,7 +203,10 @@ mod tests {
             q.observe(x);
         }
         let est = q.estimate().unwrap();
-        assert!((15.0..30.0).contains(&est), "median in the heavy mode: {est}");
+        assert!(
+            (15.0..30.0).contains(&est),
+            "median in the heavy mode: {est}"
+        );
     }
 
     #[test]

@@ -70,9 +70,7 @@ impl PathPerfModel {
     /// fast-transit tail where a transit path undercuts peers by 20 ms+.
     pub fn base_rtt_ms(&self, pop: u16, prefix_idx: u32, egress: EgressId, kind: PeerKind) -> f64 {
         let mut rng = StdRng::seed_from_u64(
-            self.cfg
-                .seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            self.cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ ((pop as u64) << 48)
                 ^ ((prefix_idx as u64) << 16)
                 ^ egress.0 as u64,
@@ -132,12 +130,7 @@ impl PathPerfModel {
     }
 
     /// One experienced RTT sample: base + congestion + jitter.
-    pub fn sample_rtt_ms(
-        &self,
-        base_ms: f64,
-        utilization: f64,
-        rng: &mut StdRng,
-    ) -> f64 {
+    pub fn sample_rtt_ms(&self, base_ms: f64, utilization: f64, rng: &mut StdRng) -> f64 {
         let jitter = rng.gen_range(-1.0..1.0) * self.cfg.jitter_ms * 1.7;
         (base_ms + self.congestion_delay_ms(utilization) + jitter).max(1.0)
     }

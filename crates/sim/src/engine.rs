@@ -52,9 +52,12 @@ impl SimEngine {
                     s.spawn(move |_| PopRuntime::build(deployment, pop_id, cfg))
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("build")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("PoP build worker panicked"))
+                .collect()
         })
-        .expect("scope");
+        .expect("sim worker panicked");
         let perf_model = PathPerfModel::new(PerfConfig {
             seed: cfg.demand_seed ^ 0xE0E0,
             ..Default::default()
@@ -113,9 +116,12 @@ impl SimEngine {
                             s.spawn(move |_| (pop_id, pop.step(t, demand, perf_model)))
                         })
                         .collect();
-                    handles.into_iter().map(|h| h.join().expect("step")).collect()
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("PoP step worker panicked"))
+                        .collect()
                 })
-                .expect("scope");
+                .expect("sim worker panicked");
             let shifter = self.shifter.as_mut().expect("checked above");
             for (pop_id, outcome) in outcomes {
                 shifter.observe(pop_id, outcome.residual_overloaded);
@@ -129,7 +135,7 @@ impl SimEngine {
                     });
                 }
             })
-            .expect("scope");
+            .expect("sim worker panicked");
         }
         self.t_secs += self.cfg.epoch_secs;
     }
@@ -143,7 +149,10 @@ impl SimEngine {
 
     /// Runs the scenario to completion.
     pub fn run(&mut self) {
-        let remaining = self.cfg.epochs().saturating_sub(self.t_secs / self.cfg.epoch_secs);
+        let remaining = self
+            .cfg
+            .epochs()
+            .saturating_sub(self.t_secs / self.cfg.epoch_secs);
         self.run_epochs(remaining);
     }
 
@@ -168,7 +177,6 @@ impl SimEngine {
     pub fn all_sessions_up(&self) -> bool {
         self.pops.iter().all(|p| p.all_sessions_up())
     }
-
 }
 
 #[cfg(test)]

@@ -82,11 +82,7 @@ impl GlobalShifter {
     /// proportionally to their current demand for it. Demand is conserved
     /// except for prefixes served nowhere else (their shift is kept local —
     /// users cannot be sent to a PoP with no serving footprint).
-    pub fn apply(
-        &self,
-        deployment: &Deployment,
-        demands: &mut [(PopId, Vec<DemandPoint>)],
-    ) {
+    pub fn apply(&self, deployment: &Deployment, demands: &mut [(PopId, Vec<DemandPoint>)]) {
         if !self.is_active() {
             return;
         }
@@ -95,7 +91,10 @@ impl GlobalShifter {
         let mut by_prefix: HashMap<u32, Vec<(usize, usize)>> = HashMap::new();
         for (arm, (_, points)) in demands.iter().enumerate() {
             for (pi, point) in points.iter().enumerate() {
-                by_prefix.entry(point.prefix_idx).or_default().push((arm, pi));
+                by_prefix
+                    .entry(point.prefix_idx)
+                    .or_default()
+                    .push((arm, pi));
             }
         }
         let _ = deployment; // placement reuses the serving footprint in `demands`

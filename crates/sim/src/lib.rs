@@ -21,6 +21,7 @@
 //! baseline-BGP arm of every with/without comparison in the paper's
 //! evaluation; both arms share seeds, so differences are causal.
 
+pub mod chaos;
 pub mod engine;
 pub mod global;
 pub mod metrics;
@@ -28,8 +29,9 @@ pub mod report;
 pub mod runtime;
 pub mod scenario;
 
+pub use chaos::surface as chaos_surface;
 pub use engine::SimEngine;
-pub use metrics::{DetourEpisode, InterfaceStats, MetricsStore, PopEpochRecord};
 pub use global::{GlobalShifter, GlobalShifterConfig};
+pub use metrics::{DetourEpisode, InterfaceStats, MetricsStore, PopEpochRecord};
 pub use report::{PopReport, RunReport};
 pub use scenario::{PerfSimConfig, SimConfig};

@@ -144,6 +144,17 @@ pub struct PopEpochRecord {
     pub residual_overloaded: usize,
     /// Traffic dropped this epoch across the PoP, Mbps.
     pub dropped_mbps: f64,
+    /// Labels of fault-schedule events active at this PoP this epoch
+    /// (empty on sunny-day epochs), in schedule order.
+    #[serde(default)]
+    pub active_faults: Vec<String>,
+    /// The controller ran this epoch in degraded (stale-input) mode.
+    #[serde(default)]
+    pub degraded: bool,
+    /// The controller failed open this epoch (inputs past the trust
+    /// horizon, or the injector session was down).
+    #[serde(default)]
+    pub fail_open: bool,
 }
 
 /// Metric sink for one simulation run.
@@ -194,7 +205,10 @@ impl MetricsStore {
             stats.record(load_mbps, limit);
         }
         if self.flagged.contains(&egress) {
-            self.series.entry(egress).or_default().push((t_secs, load_mbps));
+            self.series
+                .entry(egress)
+                .or_default()
+                .push((t_secs, load_mbps));
         }
     }
 
@@ -220,13 +234,14 @@ impl MetricsStore {
             .copied()
             .collect();
         for key in ended {
-            let start = self.open_episodes.remove(&key).expect("present");
-            self.episodes.push(DetourEpisode {
-                pop: pop.0,
-                prefix: key.1.to_string(),
-                start_secs: start,
-                end_secs: t_secs,
-            });
+            if let Some(start) = self.open_episodes.remove(&key) {
+                self.episodes.push(DetourEpisode {
+                    pop: pop.0,
+                    prefix: key.1.to_string(),
+                    start_secs: start,
+                    end_secs: t_secs,
+                });
+            }
         }
         // Open new ones.
         for prefix in active {
@@ -245,7 +260,8 @@ impl MetricsStore {
                 end_secs: t_secs,
             });
         }
-        self.episodes.sort_by_key(|e| (e.pop, e.start_secs, e.prefix.clone()));
+        self.episodes
+            .sort_by_key(|e| (e.pop, e.start_secs, e.prefix.clone()));
     }
 
     /// Merges another store (used to combine per-PoP parallel runs).
@@ -269,7 +285,7 @@ impl MetricsStore {
         v.sort_by(|a, b| {
             let fa = a.epochs_over_capacity as f64 / a.epochs_total.max(1) as f64;
             let fb = b.epochs_over_capacity as f64 / b.epochs_total.max(1) as f64;
-            fb.partial_cmp(&fa).unwrap().then(a.egress.cmp(&b.egress))
+            fb.total_cmp(&fa).then(a.egress.cmp(&b.egress))
         });
         v
     }
@@ -335,10 +351,18 @@ mod tests {
         m.update_episodes(pop, 60, [p("2.0.0.0/24")]); // 1.0 closes
         m.finish(90); // 2.0 closes at end
         assert_eq!(m.episodes.len(), 2);
-        let one = m.episodes.iter().find(|e| e.prefix == "1.0.0.0/24").unwrap();
+        let one = m
+            .episodes
+            .iter()
+            .find(|e| e.prefix == "1.0.0.0/24")
+            .unwrap();
         assert_eq!((one.start_secs, one.end_secs), (0, 60));
         assert_eq!(one.duration_secs(), 60);
-        let two = m.episodes.iter().find(|e| e.prefix == "2.0.0.0/24").unwrap();
+        let two = m
+            .episodes
+            .iter()
+            .find(|e| e.prefix == "2.0.0.0/24")
+            .unwrap();
         assert_eq!((two.start_secs, two.end_secs), (30, 90));
     }
 
@@ -375,6 +399,9 @@ mod tests {
             overloaded_before: 0,
             residual_overloaded: 0,
             dropped_mbps: 0.0,
+            active_faults: Vec::new(),
+            degraded: false,
+            fail_open: false,
         });
         a.merge(b);
         assert_eq!(a.interfaces.len(), 2);

@@ -82,17 +82,13 @@ impl RunReport {
                         .map(|r| r.churn_announced + r.churn_withdrawn)
                         .sum(),
                     dropped_mbps_epochs: records.iter().map(|r| r.dropped_mbps).sum(),
-                    residual_epochs: records
-                        .iter()
-                        .filter(|r| r.residual_overloaded > 0)
-                        .count(),
+                    residual_epochs: records.iter().filter(|r| r.residual_overloaded > 0).count(),
                 }
             })
             .collect();
         pops.sort_by_key(|r| r.pop);
 
-        let mut durations: Vec<u64> =
-            metrics.episodes.iter().map(|e| e.duration_secs()).collect();
+        let mut durations: Vec<u64> = metrics.episodes.iter().map(|e| e.duration_secs()).collect();
         durations.sort_unstable();
 
         RunReport {
@@ -106,10 +102,7 @@ impl RunReport {
                 .count(),
             interfaces_total: metrics.interfaces.len(),
             episodes: metrics.episodes.len(),
-            median_episode_secs: durations
-                .get(durations.len() / 2)
-                .copied()
-                .unwrap_or(0),
+            median_episode_secs: durations.get(durations.len() / 2).copied().unwrap_or(0),
             pops,
         }
     }

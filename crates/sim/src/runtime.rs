@@ -1,21 +1,35 @@
 //! Per-PoP runtime: the live substrate for one point of presence.
+//!
+//! Besides the sunny-day loop (forward demand, measure, run a controller
+//! epoch), the runtime interprets the scenario's [`FaultSchedule`]: each
+//! tick it diffs the set of active fault windows and applies start/end
+//! transitions to the live substrate — tearing BGP sessions, degrading
+//! interface capacity, stalling the BMP feed, starving the sampler,
+//! crashing the controller, dropping the injector session, or inflating
+//! demand. The controller itself is never told a fault is active; it only
+//! sees the degraded inputs (that is the point — the graceful-degradation
+//! guards in `edge-fabric` must react to input staleness, not to an
+//! out-of-band oracle).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
+use edge_fabric::config::ControllerConfig;
+use edge_fabric::controller::{EpochError, EpochInputs, PopController};
+use edge_fabric::perf_aware::{adapt_comparisons, build_perf_overrides};
+use edge_fabric::state::{InterfaceInfo, InterfaceMap};
 use ef_bgp::attrs::{AsPath, PathAttributes};
+use ef_bgp::bmp::BmpMessage;
 use ef_bgp::peer::PeerId;
 use ef_bgp::route::EgressId;
 use ef_bgp::router::{BgpRouter, PeerAttachment, PeerStub, RouterConfig};
-use ef_net_types::Prefix;
+use ef_chaos::{FaultEvent, FaultKind, FaultTarget};
+use ef_net_types::{Asn, Prefix};
 use ef_perf::measurement::{AltPathMeasurer, CandidatePath, MeasurerConfig};
 use ef_perf::rtt::PathPerfModel;
+use ef_topology::{Deployment, Pop, PopId};
 use ef_traffic::demand::DemandPoint;
 use ef_traffic::estimator::RateEstimator;
 use ef_traffic::sampler::{SamplerConfig, SflowSampler};
-use edge_fabric::controller::PopController;
-use edge_fabric::perf_aware::{adapt_comparisons, build_perf_overrides};
-use edge_fabric::state::{InterfaceInfo, InterfaceMap};
-use ef_topology::{Deployment, Pop, PopId};
 
 use crate::metrics::{MetricsStore, PopEpochRecord};
 use crate::scenario::SimConfig;
@@ -23,6 +37,12 @@ use crate::scenario::SimConfig;
 /// Cap on prefixes measured per epoch (heaviest first), bounding
 /// measurement work like production's heavy-hitter focus.
 const MEASURE_TOP_K: usize = 150;
+
+/// An sFlow loss spike at or above this drop fraction starves the
+/// estimator outright: the controller keeps its last estimate and its
+/// traffic-input age starts growing. Below it, the collector still gets
+/// (under-counted) fresh estimates.
+const SEVERE_SFLOW_DROP: f64 = 0.9;
 
 /// Signals one epoch hands to the global (cross-PoP) layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,6 +79,28 @@ pub struct PopRuntime {
     split_lookup: bool,
     perf_steer: bool,
     perf_aware_cfg: edge_fabric::perf_aware::PerfAwareConfig,
+
+    // --- Fault-injection state ---------------------------------------
+    /// This PoP's slice of the scenario fault schedule.
+    chaos_events: Vec<FaultEvent>,
+    /// Indices into `chaos_events` whose windows were active last tick.
+    active_faults: BTreeSet<usize>,
+    /// Nominal interface capacities, for restoring after capacity faults.
+    base_capacity: HashMap<EgressId, f64>,
+    /// Each peer's original announcements, replayed when a failed peer's
+    /// session is re-established.
+    announcements: HashMap<PeerId, Vec<(Prefix, PathAttributes)>>,
+    /// Controller construction facts, for rebuilding after a crash.
+    controller_enabled: bool,
+    controller_cfg: ControllerConfig,
+    local_asn: Asn,
+    /// BMP messages withheld from the controller during a feed stall.
+    stalled_bmp: Vec<BmpMessage>,
+    /// Last simulated second the controller saw a live BMP feed.
+    last_bmp_secs: u64,
+    /// Last fresh traffic estimate `(t_secs, estimate)`, replayed (with a
+    /// growing age) while a severe sFlow loss starves the estimator.
+    last_traffic: Option<(u64, HashMap<Prefix, f64>)>,
 }
 
 impl PopRuntime {
@@ -68,12 +110,7 @@ impl PopRuntime {
         let mut router = BgpRouter::new(RouterConfig {
             name: format!("{}-pr0", pop.name),
             asn: deployment.local_asn,
-            router_id: std::net::Ipv4Addr::new(
-                10,
-                100,
-                (pop_id.0 >> 8) as u8,
-                pop_id.0 as u8,
-            ),
+            router_id: std::net::Ipv4Addr::new(10, 100, (pop_id.0 >> 8) as u8, pop_id.0 as u8),
         });
 
         // Attach every peer and bring its session up.
@@ -90,12 +127,7 @@ impl PopRuntime {
             let mut stub = PeerStub::new(
                 conn.peer,
                 conn.asn,
-                std::net::Ipv4Addr::new(
-                    10,
-                    210,
-                    (conn.peer.0 >> 8) as u8,
-                    conn.peer.0 as u8,
-                ),
+                std::net::Ipv4Addr::new(10, 210, (conn.peer.0 >> 8) as u8, conn.peer.0 as u8),
             );
             stub.pump(&mut router, 0);
             debug_assert!(stub.is_established());
@@ -107,7 +139,10 @@ impl PopRuntime {
             router.originate(*prefix);
         }
 
-        // Announce the deployment's route set over the real sessions.
+        // Announce the deployment's route set over the real sessions,
+        // remembering each peer's announcements so a failed session can be
+        // replayed on recovery.
+        let mut announcements: HashMap<PeerId, Vec<(Prefix, PathAttributes)>> = HashMap::new();
         for spec in deployment.routes_at(pop_id) {
             let prefix = deployment.universe.prefixes[spec.prefix_idx as usize].prefix;
             let attrs = PathAttributes {
@@ -116,11 +151,17 @@ impl PopRuntime {
                 ..Default::default()
             };
             if let Some(stub) = stubs.get_mut(&spec.via) {
-                stub.announce(&mut router, prefix, attrs, 0);
+                stub.announce(&mut router, prefix, attrs.clone(), 0);
+                announcements
+                    .entry(spec.via)
+                    .or_default()
+                    .push((prefix, attrs));
             }
         }
 
         // Controller, fed by the router's BMP feed.
+        let mut controller_cfg = cfg.controller;
+        controller_cfg.epoch_secs = cfg.epoch_secs;
         let controller = cfg.controller_enabled.then(|| {
             let interfaces: InterfaceMap = pop
                 .interfaces
@@ -135,8 +176,6 @@ impl PopRuntime {
                     )
                 })
                 .collect();
-            let mut controller_cfg = cfg.controller;
-            controller_cfg.epoch_secs = cfg.epoch_secs;
             let mut ctl = PopController::new(pop_id.0, controller_cfg, interfaces, &mut router);
             ctl.ingest_bmp(router.drain_bmp());
             ctl
@@ -172,6 +211,25 @@ impl PopRuntime {
             metrics.register_interface(pop.id, iface.id, iface.capacity_mbps, iface.kind.label());
         }
 
+        // This PoP's slice of the fault schedule.
+        let chaos_events: Vec<FaultEvent> = cfg
+            .chaos
+            .as_ref()
+            .map(|schedule| {
+                schedule
+                    .events
+                    .iter()
+                    .filter(|e| e.target.pop() == pop_id.0 as usize)
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        let base_capacity = pop
+            .interfaces
+            .iter()
+            .map(|i| (i.id, i.capacity_mbps))
+            .collect();
+
         PopRuntime {
             pop,
             router,
@@ -181,21 +239,208 @@ impl PopRuntime {
             estimator,
             measurer,
             metrics,
-            prefix_of: deployment.universe.prefixes.iter().map(|p| p.prefix).collect(),
+            prefix_of: deployment
+                .universe
+                .prefixes
+                .iter()
+                .map(|p| p.prefix)
+                .collect(),
             epoch_secs: cfg.epoch_secs,
             util_limit: cfg.controller.util_limit,
             split_lookup: cfg.controller.split_depth > 0,
             perf_steer: cfg.perf.map(|p| p.steer).unwrap_or(false),
-            perf_aware_cfg: cfg
-                .perf
-                .map(|p| p.aware)
-                .unwrap_or_default(),
+            perf_aware_cfg: cfg.perf.map(|p| p.aware).unwrap_or_default(),
+            chaos_events,
+            active_faults: BTreeSet::new(),
+            base_capacity,
+            announcements,
+            controller_enabled: cfg.controller_enabled,
+            controller_cfg,
+            local_asn: deployment.local_asn,
+            stalled_bmp: Vec::new(),
+            last_bmp_secs: 0,
+            last_traffic: None,
         }
     }
 
     /// Flags an interface for full time-series recording.
     pub fn flag_interface(&mut self, egress: EgressId) {
         self.metrics.flag_interface(egress);
+    }
+
+    // --- Fault transitions -------------------------------------------
+
+    /// Diffs the schedule's active windows against last tick's and applies
+    /// start/end transitions. Returns the labels of currently active
+    /// faults plus the per-tick signal levels (demand multiplier, sFlow
+    /// drop fraction, BMP stall flag).
+    fn apply_fault_transitions(&mut self, t_secs: u64) -> (Vec<String>, f64, f64, bool) {
+        let now_ms = t_secs * 1000;
+        let desired: BTreeSet<usize> = self
+            .chaos_events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.active_at(t_secs))
+            .map(|(i, _)| i)
+            .collect();
+        let ending: Vec<usize> = self.active_faults.difference(&desired).copied().collect();
+        let starting: Vec<usize> = desired.difference(&self.active_faults).copied().collect();
+        for idx in ending {
+            let event = self.chaos_events[idx];
+            self.end_fault(&event, now_ms, t_secs);
+        }
+        for idx in starting {
+            let event = self.chaos_events[idx];
+            self.start_fault(&event, now_ms);
+        }
+        self.active_faults = desired;
+
+        let mut labels = Vec::new();
+        let mut demand_multiplier = 1.0f64;
+        let mut sflow_drop = 0.0f64;
+        let mut bmp_stalled = false;
+        for idx in &self.active_faults {
+            let event = &self.chaos_events[*idx];
+            labels.push(event.kind.label().to_string());
+            match event.kind {
+                FaultKind::FlashCrowd { multiplier } => demand_multiplier *= multiplier,
+                FaultKind::SflowLoss { drop_fraction } => {
+                    sflow_drop = sflow_drop.max(drop_fraction)
+                }
+                FaultKind::BmpStall => bmp_stalled = true,
+                _ => {}
+            }
+        }
+        (labels, demand_multiplier, sflow_drop, bmp_stalled)
+    }
+
+    fn start_fault(&mut self, event: &FaultEvent, now_ms: u64) {
+        match (&event.kind, &event.target) {
+            (FaultKind::PeerFailure, FaultTarget::Peer { peer, .. }) => {
+                if let Some(stub) = self.stubs.get_mut(&PeerId(*peer)) {
+                    stub.shutdown(&mut self.router, now_ms);
+                }
+            }
+            (FaultKind::LinkCapacityLoss { fraction }, FaultTarget::Interface { egress, .. }) => {
+                let id = EgressId(*egress);
+                let base = self.base_capacity.get(&id).copied();
+                if let (Some(base), Some(iface)) =
+                    (base, self.pop.interfaces.iter_mut().find(|i| i.id == id))
+                {
+                    iface.capacity_mbps = base * (1.0 - fraction);
+                    if let Some(ctl) = self.controller.as_mut() {
+                        ctl.set_interface_capacity(id, iface.capacity_mbps);
+                    }
+                }
+            }
+            (FaultKind::ControllerCrash, _) => {
+                // The crashed controller's pseudo-session drops with it, so
+                // BGP withdraws every override (fail-open, paper §4.4).
+                if let Some(ctl) = self.controller.take() {
+                    self.router.remove_peer(ctl.injector_peer_id(), now_ms);
+                }
+            }
+            (FaultKind::InjectorLoss, _) => {
+                if let Some(ctl) = self.controller.as_mut() {
+                    self.router.remove_peer(ctl.injector_peer_id(), now_ms);
+                    ctl.injector_session_lost();
+                }
+            }
+            // Per-tick faults (stall, sample loss, flash crowd) have no
+            // edge-triggered action.
+            _ => {}
+        }
+    }
+
+    fn end_fault(&mut self, event: &FaultEvent, now_ms: u64, t_secs: u64) {
+        match (&event.kind, &event.target) {
+            (FaultKind::PeerFailure, FaultTarget::Peer { peer, .. }) => {
+                let peer = PeerId(*peer);
+                if let Some(conn) = self.pop.peers.iter().find(|c| c.peer == peer).cloned() {
+                    self.router.remove_peer(conn.peer, now_ms);
+                    self.router.add_peer(PeerAttachment {
+                        peer: conn.peer,
+                        peer_asn: conn.asn,
+                        kind: conn.kind,
+                        egress: conn.egress,
+                        policy: ef_bgp::policy::Policy::default_import(self.local_asn, conn.kind),
+                        max_prefixes: 0,
+                    });
+                    let mut stub = PeerStub::new(
+                        conn.peer,
+                        conn.asn,
+                        std::net::Ipv4Addr::new(
+                            10,
+                            210,
+                            (conn.peer.0 >> 8) as u8,
+                            conn.peer.0 as u8,
+                        ),
+                    );
+                    stub.pump(&mut self.router, now_ms);
+                    for (prefix, attrs) in self
+                        .announcements
+                        .get(&conn.peer)
+                        .cloned()
+                        .unwrap_or_default()
+                    {
+                        stub.announce(&mut self.router, prefix, attrs, now_ms);
+                    }
+                    self.stubs.insert(conn.peer, stub);
+                }
+            }
+            (FaultKind::LinkCapacityLoss { .. }, FaultTarget::Interface { egress, .. }) => {
+                let id = EgressId(*egress);
+                if let (Some(base), Some(iface)) = (
+                    self.base_capacity.get(&id).copied(),
+                    self.pop.interfaces.iter_mut().find(|i| i.id == id),
+                ) {
+                    iface.capacity_mbps = base;
+                    if let Some(ctl) = self.controller.as_mut() {
+                        ctl.set_interface_capacity(id, base);
+                    }
+                }
+            }
+            (FaultKind::ControllerCrash, _)
+                if self.controller_enabled && self.controller.is_none() =>
+            {
+                // Stateless restart (paper §4.4): a fresh controller
+                // resyncs its collector from the router's BMP snapshot
+                // and recomputes the override set from scratch.
+                let interfaces: InterfaceMap = self
+                    .pop
+                    .interfaces
+                    .iter()
+                    .map(|i| {
+                        (
+                            i.id,
+                            InterfaceInfo {
+                                capacity_mbps: i.capacity_mbps,
+                                kind: i.kind,
+                            },
+                        )
+                    })
+                    .collect();
+                let mut ctl = PopController::new(
+                    self.pop.id.0,
+                    self.controller_cfg,
+                    interfaces,
+                    &mut self.router,
+                );
+                // The incremental feed accumulated while dead is
+                // superseded by the snapshot.
+                let _ = self.router.drain_bmp();
+                self.stalled_bmp.clear();
+                ctl.ingest_bmp(self.router.bmp_snapshot(now_ms));
+                self.last_bmp_secs = t_secs;
+                self.controller = Some(ctl);
+            }
+            (FaultKind::InjectorLoss, _) => {
+                if let Some(ctl) = self.controller.as_mut() {
+                    ctl.reattach_injector(&mut self.router, now_ms);
+                }
+            }
+            _ => {}
+        }
     }
 
     /// Runs one epoch at simulated time `t_secs` with the given offered
@@ -206,6 +451,23 @@ impl PopRuntime {
         demand: &[DemandPoint],
         perf_model: &PathPerfModel,
     ) -> StepOutcome {
+        // --- 0. Fault windows ----------------------------------------------
+        let (fault_labels, demand_multiplier, sflow_drop, bmp_stalled) =
+            self.apply_fault_transitions(t_secs);
+        let scaled_demand: Vec<DemandPoint>;
+        let demand: &[DemandPoint] = if demand_multiplier != 1.0 {
+            scaled_demand = demand
+                .iter()
+                .map(|d| DemandPoint {
+                    prefix_idx: d.prefix_idx,
+                    mbps: d.mbps * demand_multiplier,
+                })
+                .collect();
+            &scaled_demand
+        } else {
+            demand
+        };
+
         // --- 1. Forward demand through the current FIB ---------------------
         let mut load: HashMap<EgressId, f64> = HashMap::new();
         let mut offered = 0.0f64;
@@ -251,7 +513,7 @@ impl PopRuntime {
         // --- 3. Alternate-path measurement ----------------------------------
         if let Some(measurer) = self.measurer.as_mut() {
             let mut top: Vec<&DemandPoint> = demand.iter().collect();
-            top.sort_by(|a, b| b.mbps.partial_cmp(&a.mbps).unwrap());
+            top.sort_by(|a, b| b.mbps.total_cmp(&a.mbps));
             top.truncate(MEASURE_TOP_K);
             let entries: Vec<(u32, f64, Vec<CandidatePath>)> = top
                 .iter()
@@ -316,51 +578,109 @@ impl PopRuntime {
                         self.perf_aware_cfg.min_samples,
                     )
                     .collect();
-                    let set = build_perf_overrides(
-                        &self.perf_aware_cfg,
-                        controller.collector(),
-                        adapted,
-                    );
+                    let set =
+                        build_perf_overrides(&self.perf_aware_cfg, controller.collector(), adapted);
                     controller.set_perf_overrides(set);
                 }
             }
 
-            // Build the traffic estimate the controller sees.
-            let traffic: HashMap<Prefix, f64> = match (&mut self.sampler, &mut self.estimator) {
-                (Some(sampler), Some(estimator)) => {
-                    let samples = sampler.sample_all(
-                        demand.iter().map(|d| (d.prefix_idx, d.mbps)),
-                        self.epoch_secs as f64,
-                    );
-                    estimator.ingest(t_secs, &samples);
-                    estimator
-                        .all_rates_mbps(t_secs)
-                        .into_iter()
-                        .map(|(idx, mbps)| (self.prefix_of[idx as usize], mbps))
-                        .collect()
-                }
-                _ => demand
-                    .iter()
-                    .map(|d| (self.prefix_of[d.prefix_idx as usize], d.mbps))
-                    .collect(),
+            // BMP feed: a stall buffers the incremental feed instead of
+            // delivering it, and the controller's BMP input age grows.
+            self.stalled_bmp.extend(self.router.drain_bmp());
+            let bmp_age_ms = if bmp_stalled {
+                t_secs.saturating_sub(self.last_bmp_secs) * 1000
+            } else {
+                controller.ingest_bmp(std::mem::take(&mut self.stalled_bmp));
+                self.last_bmp_secs = t_secs;
+                0
             };
 
-            controller.ingest_bmp(self.router.drain_bmp());
-            let report = controller.run_epoch(&traffic, &mut self.router, t_secs * 1000);
+            // Traffic estimate: a severe sFlow loss starves the estimator
+            // (the controller replays its last estimate, aging); a partial
+            // loss under-counts fresh estimates.
+            let (traffic, traffic_age_ms) = if sflow_drop >= SEVERE_SFLOW_DROP {
+                match &self.last_traffic {
+                    Some((t0, stale)) => (stale.clone(), t_secs.saturating_sub(*t0) * 1000),
+                    None => (HashMap::new(), t_secs * 1000),
+                }
+            } else {
+                let mut fresh: HashMap<Prefix, f64> = match (&mut self.sampler, &mut self.estimator)
+                {
+                    (Some(sampler), Some(estimator)) => {
+                        let samples = sampler.sample_all(
+                            demand.iter().map(|d| (d.prefix_idx, d.mbps)),
+                            self.epoch_secs as f64,
+                        );
+                        estimator.ingest(t_secs, &samples);
+                        estimator
+                            .all_rates_mbps(t_secs)
+                            .into_iter()
+                            .map(|(idx, mbps)| (self.prefix_of[idx as usize], mbps))
+                            .collect()
+                    }
+                    _ => demand
+                        .iter()
+                        .map(|d| (self.prefix_of[d.prefix_idx as usize], d.mbps))
+                        .collect(),
+                };
+                if sflow_drop > 0.0 {
+                    for mbps in fresh.values_mut() {
+                        *mbps *= 1.0 - sflow_drop;
+                    }
+                }
+                self.last_traffic = Some((t_secs, fresh.clone()));
+                (fresh, 0)
+            };
 
-            self.metrics.record_pop_epoch(PopEpochRecord {
-                t_secs,
-                pop: self.pop.id.0,
-                offered_mbps: offered,
-                detoured_mbps: detoured,
-                detoured_by_kind: report.detoured_by_kind.clone(),
-                overrides_active: report.overrides_active,
-                churn_announced: report.churn_announced,
-                churn_withdrawn: report.churn_withdrawn,
-                overloaded_before: report.overloaded_before.len(),
-                residual_overloaded: report.residual_overloaded.len(),
-                dropped_mbps: dropped,
-            });
+            let inputs = EpochInputs {
+                bmp_age_ms,
+                traffic_age_ms,
+            };
+            let epoch =
+                controller.run_epoch_guarded(&traffic, &mut self.router, t_secs * 1000, inputs);
+            let (record, residual) = match epoch {
+                Ok(report) => (
+                    PopEpochRecord {
+                        t_secs,
+                        pop: self.pop.id.0,
+                        offered_mbps: offered,
+                        detoured_mbps: detoured,
+                        detoured_by_kind: report.detoured_by_kind.clone(),
+                        overrides_active: report.overrides_active,
+                        churn_announced: report.churn_announced,
+                        churn_withdrawn: report.churn_withdrawn,
+                        overloaded_before: report.overloaded_before.len(),
+                        residual_overloaded: report.residual_overloaded.len(),
+                        dropped_mbps: dropped,
+                        active_faults: fault_labels,
+                        degraded: report.degraded,
+                        fail_open: report.fail_open,
+                    },
+                    !report.residual_overloaded.is_empty(),
+                ),
+                // The injector session is down: the epoch is skipped
+                // entirely and BGP has already reverted every override.
+                Err(EpochError::InjectorDown) => (
+                    PopEpochRecord {
+                        t_secs,
+                        pop: self.pop.id.0,
+                        offered_mbps: offered,
+                        detoured_mbps: detoured,
+                        detoured_by_kind: Default::default(),
+                        overrides_active: 0,
+                        churn_announced: 0,
+                        churn_withdrawn: 0,
+                        overloaded_before: 0,
+                        residual_overloaded: 0,
+                        dropped_mbps: dropped,
+                        active_faults: fault_labels,
+                        degraded: false,
+                        fail_open: true,
+                    },
+                    dropped > 0.0,
+                ),
+            };
+            self.metrics.record_pop_epoch(record);
             let active: Vec<Prefix> = controller
                 .active_overrides()
                 .iter_sorted()
@@ -369,18 +689,19 @@ impl PopRuntime {
                 .collect();
             self.metrics.update_episodes(self.pop.id, t_secs, active);
             StepOutcome {
-                residual_overloaded: !report.residual_overloaded.is_empty(),
+                residual_overloaded: residual,
                 dropped_mbps: dropped,
             }
         } else {
-            // Baseline arm: record the epoch without controller fields and
-            // discard the unconsumed BMP feed.
+            // Baseline arm (or a crashed controller): record the epoch
+            // without controller fields and discard the unconsumed BMP feed.
             self.router.drain_bmp();
+            self.stalled_bmp.clear();
             self.metrics.record_pop_epoch(PopEpochRecord {
                 t_secs,
                 pop: self.pop.id.0,
                 offered_mbps: offered,
-                detoured_mbps: 0.0,
+                detoured_mbps: detoured,
                 detoured_by_kind: Default::default(),
                 overrides_active: 0,
                 churn_announced: 0,
@@ -388,7 +709,12 @@ impl PopRuntime {
                 overloaded_before: 0,
                 residual_overloaded: 0,
                 dropped_mbps: dropped,
+                active_faults: fault_labels,
+                degraded: false,
+                fail_open: self.controller_enabled,
             });
+            self.metrics
+                .update_episodes(self.pop.id, t_secs, Vec::new());
             StepOutcome {
                 residual_overloaded: dropped > 0.0,
                 dropped_mbps: dropped,

@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 
 use edge_fabric::config::ControllerConfig;
 use edge_fabric::perf_aware::PerfAwareConfig;
+use ef_chaos::FaultSchedule;
 use ef_topology::GenConfig;
 
 use crate::global::GlobalShifterConfig;
@@ -56,6 +57,9 @@ pub struct SimConfig {
     pub perf: Option<PerfSimConfig>,
     /// Global (cross-PoP) demand shifting, the paper's future-work layer.
     pub global_shift: Option<GlobalShifterConfig>,
+    /// Fault schedule the run interprets (`None` = sunny-day run).
+    #[serde(default)]
+    pub chaos: Option<FaultSchedule>,
 }
 
 impl Default for SimConfig {
@@ -71,6 +75,7 @@ impl Default for SimConfig {
             sample_rate: 1000,
             perf: None,
             global_shift: None,
+            chaos: None,
         }
     }
 }
@@ -120,5 +125,29 @@ mod tests {
         assert!(!base.controller_enabled);
         assert_eq!(cfg.demand_seed, base.demand_seed);
         assert_eq!(cfg.duration_secs, base.duration_secs);
+        assert_eq!(cfg.chaos, base.chaos, "both arms share the fault schedule");
+    }
+
+    #[test]
+    fn chaos_schedule_survives_serde() {
+        use ef_chaos::{FaultEvent, FaultKind, FaultTarget};
+        let mut cfg = SimConfig::test_small(1);
+        cfg.chaos = Some(
+            FaultSchedule::new(vec![FaultEvent {
+                t_start_secs: 600,
+                duration_secs: 300,
+                target: FaultTarget::Pop { pop: 0 },
+                kind: FaultKind::BmpStall,
+            }])
+            .unwrap(),
+        );
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.chaos, cfg.chaos);
+        // Absent field defaults to no chaos.
+        let plain: SimConfig =
+            serde_json::from_str(&serde_json::to_string(&SimConfig::test_small(2)).unwrap())
+                .unwrap();
+        assert!(plain.chaos.is_none());
     }
 }

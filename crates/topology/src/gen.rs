@@ -159,9 +159,18 @@ pub fn generate(cfg: &GenConfig) -> Deployment {
         // The provider's own (Facebook-like) address space, anycast from
         // every PoP.
         local_prefixes: vec![
-            Prefix::V4 { addr: 0x9DF0_0000, len: 17 }, // 157.240.0.0/17
-            Prefix::V4 { addr: 0x1F0D_1800, len: 21 }, // 31.13.24.0/21
-            Prefix::V6 { addr: 0x2a03_2880_0000_0000_0000_0000_0000_0000, len: 32 },
+            Prefix::V4 {
+                addr: 0x9DF0_0000,
+                len: 17,
+            }, // 157.240.0.0/17
+            Prefix::V4 {
+                addr: 0x1F0D_1800,
+                len: 21,
+            }, // 31.13.24.0/21
+            Prefix::V6 {
+                addr: 0x2a03_2880_0000_0000_0000_0000_0000_0000,
+                len: 32,
+            },
         ],
         seed: cfg.seed,
     }
@@ -455,12 +464,12 @@ fn populate_pop(
         let route_server = same_region && rng.gen_bool(p_rs);
 
         let attach = |kind: PeerKind,
-                          egress: EgressId,
-                          router: RouterId,
-                          pop: &mut Pop,
-                          specs: &mut Vec<RouteSpec>,
-                          next_peer: &mut u64,
-                          rng: &mut StdRng| {
+                      egress: EgressId,
+                      router: RouterId,
+                      pop: &mut Pop,
+                      specs: &mut Vec<RouteSpec>,
+                      next_peer: &mut u64,
+                      rng: &mut StdRng| {
             let peer = alloc_peer(next_peer);
             pop.peers.push(PeerConn {
                 peer,
@@ -625,7 +634,12 @@ mod tests {
             }
         }
         // The default config is dual-stack: ~15% v6.
-        let v6 = dep.universe.prefixes.iter().filter(|p| !p.prefix.is_v4()).count();
+        let v6 = dep
+            .universe
+            .prefixes
+            .iter()
+            .filter(|p| !p.prefix.is_v4())
+            .count();
         let frac = v6 as f64 / dep.universe.prefixes.len() as f64;
         assert!(
             (0.10..0.20).contains(&frac),
@@ -791,7 +805,10 @@ mod tests {
             }
             let _ = &mut tight;
         }
-        assert!(peering_total > 50, "default config has a real PNI population");
+        assert!(
+            peering_total > 50,
+            "default config has a real PNI population"
+        );
     }
 
     #[test]

@@ -238,7 +238,10 @@ impl Deployment {
                     errors.push(format!("{}: duplicate interface {}", pop.name, iface.id));
                 }
                 if iface.capacity_mbps <= 0.0 {
-                    errors.push(format!("{}: {} has nonpositive capacity", pop.name, iface.id));
+                    errors.push(format!(
+                        "{}: {} has nonpositive capacity",
+                        pop.name, iface.id
+                    ));
                 }
                 if !pop.routers.contains(&iface.router) {
                     errors.push(format!("{}: {} on foreign router", pop.name, iface.id));
@@ -254,7 +257,10 @@ impl Deployment {
             }
             for s in &pop.served {
                 if s.prefix_idx as usize >= self.universe.prefixes.len() {
-                    errors.push(format!("{}: served prefix {} out of range", pop.name, s.prefix_idx));
+                    errors.push(format!(
+                        "{}: served prefix {} out of range",
+                        pop.name, s.prefix_idx
+                    ));
                 }
                 if s.avg_mbps < 0.0 {
                     errors.push(format!("{}: negative demand", pop.name));
@@ -346,7 +352,10 @@ mod tests {
     #[test]
     fn pop_accessors() {
         let pop = tiny_pop();
-        assert_eq!(pop.interface(EgressId(1)).unwrap().kind, PeerKind::PrivatePeer);
+        assert_eq!(
+            pop.interface(EgressId(1)).unwrap().kind,
+            PeerKind::PrivatePeer
+        );
         assert!(pop.interface(EgressId(9)).is_none());
         assert_eq!(pop.peers_of_kind(PeerKind::Transit).count(), 1);
         assert_eq!(pop.total_avg_demand_mbps(), 2000.0);

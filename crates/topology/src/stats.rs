@@ -125,10 +125,7 @@ mod tests {
             assert!(row.transit_peers >= 2);
             assert!(row.capacity_gbps > 0.0);
             assert!(row.avg_demand_gbps > 0.0);
-            assert_eq!(
-                row.interfaces,
-                dep.pop(row.pop).interfaces.len()
-            );
+            assert_eq!(row.interfaces, dep.pop(row.pop).interfaces.len());
         }
     }
 

@@ -74,12 +74,7 @@ impl DemandModel {
     }
 
     /// Offered demand for every prefix served by `pop` at `utc_secs`.
-    pub fn offered(
-        &self,
-        deployment: &Deployment,
-        pop: PopId,
-        utc_secs: u64,
-    ) -> Vec<DemandPoint> {
+    pub fn offered(&self, deployment: &Deployment, pop: PopId, utc_secs: u64) -> Vec<DemandPoint> {
         deployment
             .pop(pop)
             .served
@@ -159,7 +154,10 @@ mod tests {
             .iter()
             .map(|s| s.prefix_idx)
             .find(|pi| {
-                d.universe.origin_of(&d.universe.prefixes[*pi as usize]).region == Region::Europe
+                d.universe
+                    .origin_of(&d.universe.prefixes[*pi as usize])
+                    .region
+                    == Region::Europe
             })
             .expect("an EU prefix is served");
         let peak = m.multiplier(eu_prefix, 19 * 3600);

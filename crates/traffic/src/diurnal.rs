@@ -80,7 +80,10 @@ mod tests {
         let eu = curve.multiplier(19.0, Region::Europe);
         let eas = curve.multiplier(19.0, Region::EastAsia);
         assert!(eu > 1.7);
-        assert!(eas < 0.65, "East Asia at local 04:00 is near trough, got {eas}");
+        assert!(
+            eas < 0.65,
+            "East Asia at local 04:00 is near trough, got {eas}"
+        );
     }
 
     #[test]

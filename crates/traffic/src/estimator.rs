@@ -26,7 +26,9 @@ impl RateEstimator {
         assert!(window_secs >= 1, "window must be at least one second");
         RateEstimator {
             window_secs,
-            buckets: (0..window_secs).map(|_| (u64::MAX, HashMap::new())).collect(),
+            buckets: (0..window_secs)
+                .map(|_| (u64::MAX, HashMap::new()))
+                .collect(),
         }
     }
 

@@ -73,7 +73,12 @@ impl SflowSampler {
     /// Returns the aggregated sample record, or `None` when no packet was
     /// sampled (common for small prefixes — they are invisible to the
     /// collector, exactly as in production).
-    pub fn sample_prefix(&mut self, prefix_idx: u32, mbps: f64, dt_secs: f64) -> Option<FlowSample> {
+    pub fn sample_prefix(
+        &mut self,
+        prefix_idx: u32,
+        mbps: f64,
+        dt_secs: f64,
+    ) -> Option<FlowSample> {
         if mbps <= 0.0 || dt_secs <= 0.0 {
             return None;
         }
@@ -205,8 +210,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for lambda in [0.5, 5.0, 200.0] {
             let n = 3000;
-            let mean: f64 =
-                (0..n).map(|_| poisson(&mut rng, lambda) as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n)
+                .map(|_| poisson(&mut rng, lambda) as f64)
+                .sum::<f64>()
+                / n as f64;
             let rel = (mean - lambda).abs() / lambda;
             assert!(rel < 0.12, "λ={lambda}: sample mean {mean}");
         }

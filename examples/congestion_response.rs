@@ -60,13 +60,15 @@ fn main() {
     let capacity = victim_stats.capacity_mbps;
     let perf = &SimEngine::with_deployment(cfg.clone(), deployment.clone()).perf_model;
 
-    println!("\n-- if{} utilization through the peak (20-min samples) --", victim.0);
+    println!(
+        "\n-- if{} utilization through the peak (20-min samples) --",
+        victim.0
+    );
     println!(
         "{:>6} {:>14} {:>14} {:>12} {:>12}",
         "t(h)", "baseline util", "EF util", "base RTT+", "EF RTT+"
     );
-    for (i, ((t, base_load), (_, ef_load))) in
-        base_series.iter().zip(ef_series.iter()).enumerate()
+    for (i, ((t, base_load), (_, ef_load))) in base_series.iter().zip(ef_series.iter()).enumerate()
     {
         if i % 40 != 0 {
             continue; // print every 40th epoch = 20 min

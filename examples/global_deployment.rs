@@ -50,7 +50,10 @@ fn main() {
     }
 
     println!("\n-- Fig 2 shape: traffic-weighted route diversity --");
-    println!("{:<12} {:>7} {:>7} {:>7} {:>7}", "pop", ">=1", ">=2", ">=3", ">=4");
+    println!(
+        "{:<12} {:>7} {:>7} {:>7} {:>7}",
+        "pop", ">=1", ">=2", ">=3", ">=4"
+    );
     for d in route_diversity(dep) {
         println!(
             "{:<12} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
@@ -62,9 +65,15 @@ fn main() {
         );
     }
 
-    println!("\n== Simulating {} epochs of 30 s with Edge Fabric enabled ==", 3 * 120);
+    println!(
+        "\n== Simulating {} epochs of 30 s with Edge Fabric enabled ==",
+        3 * 120
+    );
     engine.run();
-    assert!(engine.all_sessions_up(), "all BGP sessions survived the run");
+    assert!(
+        engine.all_sessions_up(),
+        "all BGP sessions survived the run"
+    );
     let metrics = engine.take_metrics();
 
     // Per-PoP rollup.
@@ -91,7 +100,11 @@ fn main() {
             .map(|r| r.detoured_mbps / r.offered_mbps.max(1.0))
             .sum::<f64>()
             / records.len() as f64;
-        let max_ov = records.iter().map(|r| r.overrides_active).max().unwrap_or(0);
+        let max_ov = records
+            .iter()
+            .map(|r| r.overrides_active)
+            .max()
+            .unwrap_or(0);
         let announces: usize = records.iter().map(|r| r.churn_announced).sum();
         let withdraws: usize = records.iter().map(|r| r.churn_withdrawn).sum();
         println!(

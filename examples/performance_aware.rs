@@ -60,7 +60,10 @@ fn main() {
         );
         all_summaries.push(summary);
     }
-    let mean_tail: f64 = all_summaries.iter().map(|s| s.frac_alt_wins_20ms).sum::<f64>()
+    let mean_tail: f64 = all_summaries
+        .iter()
+        .map(|s| s.frac_alt_wins_20ms)
+        .sum::<f64>()
         / all_summaries.len().max(1) as f64;
     println!(
         "\nAcross PoPs, ~{:.1}% of measured prefixes have an alternate >=20 ms faster",
@@ -103,7 +106,9 @@ fn main() {
                 .count()
         })
         .sum();
-    println!("active overrides at end of run: {perf_overrides} performance, {cap_overrides} capacity");
+    println!(
+        "active overrides at end of run: {perf_overrides} performance, {cap_overrides} capacity"
+    );
 
     let over_cap = metrics
         .interfaces

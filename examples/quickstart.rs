@@ -88,7 +88,8 @@ fn main() {
             },
         ),
     ]);
-    let mut controller = PopController::new(0, ControllerConfig::default(), interfaces, &mut router);
+    let mut controller =
+        PopController::new(0, ControllerConfig::default(), interfaces, &mut router);
     controller.ingest_bmp(router.drain_bmp());
 
     let show_fib = |router: &BgpRouter, label: &str| {
@@ -98,7 +99,11 @@ fn main() {
             println!(
                 "    {prefix} -> if{}{}",
                 entry.egress.0,
-                if entry.is_override { "  [controller override]" } else { "" }
+                if entry.is_override {
+                    "  [controller override]"
+                } else {
+                    ""
+                }
             );
         }
     };

@@ -1,0 +1,28 @@
+//! # edge-fabric-suite
+//!
+//! Umbrella crate for the Edge Fabric reproduction (*"Engineering Egress
+//! with Edge Fabric: Steering Oceans of Content to the World"*, SIGCOMM
+//! 2017). Re-exports every workspace crate under one roof so the runnable
+//! examples and the cross-crate integration tests in `tests/` can depend
+//! on a single package.
+//!
+//! The individual crates:
+//!
+//! - [`net_types`] — prefixes, ASNs, communities, the LPM trie.
+//! - [`bgp`] — wire codec, session FSM, router model, BMP feed.
+//! - [`topology`] — PoPs, regions, interconnect inventory.
+//! - [`traffic`] — demand models, sFlow-style sampling, rate estimation.
+//! - [`perf`] — alternate-path measurement and quantile sketches.
+//! - [`core`] — the per-PoP controller: collector, projection, allocator,
+//!   injector, and the graceful-degradation guards.
+//! - [`sim`] — the multi-PoP discrete-time simulator.
+//! - [`chaos`] — seeded fault-injection schedules for robustness tests.
+
+pub use edge_fabric as core;
+pub use ef_bgp as bgp;
+pub use ef_chaos as chaos;
+pub use ef_net_types as net_types;
+pub use ef_perf as perf;
+pub use ef_sim as sim;
+pub use ef_topology as topology;
+pub use ef_traffic as traffic;

@@ -1,0 +1,63 @@
+//! Seed determinism: the same scenario seed must reproduce byte-identical
+//! metrics, with and without fault injection. Every experiment's
+//! credibility rests on this (the paper comparisons attribute arm
+//! differences to the controller, which only holds if nothing else in the
+//! run is nondeterministic).
+
+use ef_sim::{SimConfig, SimEngine};
+
+/// Serialized fingerprint of everything a run records.
+fn fingerprint(cfg: SimConfig) -> String {
+    let mut engine = SimEngine::new(cfg);
+    engine.run();
+    let metrics = engine.take_metrics();
+    serde_json::to_string(&(&metrics.pop_epochs, &metrics.episodes)).expect("metrics serialize")
+}
+
+fn short_config(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::test_small(seed);
+    cfg.duration_secs = 900;
+    cfg.epoch_secs = 60;
+    cfg
+}
+
+#[test]
+fn same_seed_runs_are_byte_identical() {
+    let a = fingerprint(short_config(11));
+    let b = fingerprint(short_config(11));
+    assert_eq!(a, b, "two runs of the same seed diverged");
+}
+
+#[test]
+fn same_seed_runs_with_chaos_are_byte_identical() {
+    let mut cfg = short_config(11);
+    let deployment = ef_topology::generate(&cfg.gen);
+    let profile = ef_chaos::ChaosProfile {
+        duration_secs: cfg.duration_secs,
+        warmup_secs: 120,
+        events: 6,
+        min_fault_secs: 120,
+        max_fault_secs: 240,
+        kinds: Vec::new(),
+    };
+    let schedule = ef_chaos::generate(&profile, &ef_sim::chaos_surface(&deployment), 5)
+        .expect("schedule generates");
+    cfg.chaos = Some(schedule);
+    let a = fingerprint(cfg.clone());
+    let b = fingerprint(cfg);
+    assert_eq!(a, b, "two chaotic runs of the same seed diverged");
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = fingerprint(short_config(11));
+    let b = fingerprint(short_config(12));
+    assert_ne!(a, b, "different demand seeds produced identical runs");
+}
+
+#[test]
+fn baseline_arm_is_deterministic_too() {
+    let a = fingerprint(short_config(11).baseline());
+    let b = fingerprint(short_config(11).baseline());
+    assert_eq!(a, b);
+}

@@ -1,0 +1,43 @@
+//! Whole-system comparison: Edge Fabric on vs. off over the same world.
+
+use ef_sim::{SimConfig, SimEngine};
+
+fn run(cfg: SimConfig, deployment: ef_topology::Deployment) -> ef_sim::MetricsStore {
+    let mut engine = SimEngine::with_deployment(cfg, deployment);
+    engine.run();
+    assert!(engine.all_sessions_up());
+    engine.take_metrics()
+}
+
+#[test]
+fn edge_fabric_drops_no_more_than_baseline() {
+    let mut cfg = SimConfig::test_small(7);
+    cfg.duration_secs = 3600;
+    cfg.epoch_secs = 60;
+    let deployment = ef_topology::generate(&cfg.gen);
+
+    let ef = run(cfg.clone(), deployment.clone());
+    let base = run(cfg.baseline(), deployment);
+
+    let dropped =
+        |m: &ef_sim::MetricsStore| -> f64 { m.pop_epochs.iter().map(|r| r.dropped_mbps).sum() };
+    let (ef_dropped, base_dropped) = (dropped(&ef), dropped(&base));
+    assert!(
+        ef_dropped <= base_dropped,
+        "EF must not drop more than baseline ({ef_dropped:.1} vs {base_dropped:.1} Mbps-epochs)"
+    );
+    // The scenario is sized to overload: the controller must actually be
+    // doing something, not vacuously passing.
+    assert!(
+        base_dropped > 0.0,
+        "scenario never overloads; comparison is vacuous"
+    );
+    assert!(
+        ef.pop_epochs.iter().any(|r| r.overrides_active > 0),
+        "controller never overrode anything"
+    );
+    assert!(base.pop_epochs.iter().all(|r| r.overrides_active == 0));
+    // And its report renders.
+    let report = ef_sim::RunReport::from_metrics(&ef);
+    assert!(!report.render().is_empty());
+}

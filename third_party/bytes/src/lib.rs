@@ -1,0 +1,455 @@
+//! Offline stand-in for the `bytes` crate: [`Bytes`], [`BytesMut`], and the
+//! [`Buf`]/[`BufMut`] cursor traits, covering the subset the BGP wire codec
+//! and session framing use. Semantics follow the real crate (big-endian
+//! getters/putters, panics on under-run) but cheap zero-copy splitting is
+//! approximated with an `Arc<Vec<u8>>` window.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Read cursor over a contiguous byte region.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer under-run");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+
+    fn get_u128(&mut self) -> u128 {
+        let mut b = [0u8; 16];
+        self.copy_to_slice(&mut b);
+        u128::from_be_bytes(b)
+    }
+
+    fn get_i32(&mut self) -> i32 {
+        self.get_u32() as i32
+    }
+
+    fn get_i64(&mut self) -> i64 {
+        self.get_u64() as i64
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer under-run");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor appending to a growable byte region.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_u128(&mut self, v: u128) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    fn put_bytes(&mut self, val: u8, cnt: usize) {
+        for _ in 0..cnt {
+            self.put_u8(val);
+        }
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Immutable shared byte window.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes::from(Vec::new())
+    }
+
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes::from(src.to_vec())
+    }
+
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// A sub-window of this window (indices relative to `self`).
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        let lo = match range.start_bound() {
+            std::ops::Bound::Included(&n) => n,
+            std::ops::Bound::Excluded(&n) => n + 1,
+            std::ops::Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            std::ops::Bound::Included(&n) => n + 1,
+            std::ops::Bound::Excluded(&n) => n,
+            std::ops::Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    /// Splits off and returns the first `at` bytes, advancing `self`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.slice(..at);
+        self.start += at;
+        head
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::new(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for Bytes {
+    fn from(v: &[u8; N]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer under-run");
+        self.start += cnt;
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state)
+    }
+}
+
+impl std::iter::FromIterator<u8> for Bytes {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> Self {
+        Bytes::from(iter.into_iter().collect::<Vec<u8>>())
+    }
+}
+
+/// Growable byte buffer with a consumed-prefix read offset.
+#[derive(Clone, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+    off: usize,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+            off: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.off
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.off = 0;
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Splits off and returns the first `at` unread bytes.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = BytesMut {
+            buf: self.buf[self.off..self.off + at].to_vec(),
+            off: 0,
+        };
+        self.off += at;
+        // Reclaim the consumed prefix once it dominates the buffer.
+        if self.off > 4096 && self.off * 2 > self.buf.len() {
+            self.buf.drain(..self.off);
+            self.off = 0;
+        }
+        head
+    }
+
+    /// Freezes the unread bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        let mut buf = self.buf;
+        if self.off > 0 {
+            buf.drain(..self.off);
+        }
+        Bytes::from(buf)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf[self.off..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer under-run");
+        self.off += cnt;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            write!(f, "\\x{b:02x}")?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for BytesMut {}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut {
+            buf: v.to_vec(),
+            off: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buf_round_trip_be() {
+        let mut out = Vec::new();
+        out.put_u8(7);
+        out.put_u16(0x0102);
+        out.put_u32(0xDEADBEEF);
+        out.put_u64(42);
+        let mut b = Bytes::from(out);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u16(), 0x0102);
+        assert_eq!(b.get_u32(), 0xDEADBEEF);
+        assert_eq!(b.get_u64(), 42);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn bytes_slice_and_split() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        assert_eq!(b.slice(1..3), [2u8, 3]);
+        let head = b.split_to(2);
+        assert_eq!(head, [1u8, 2]);
+        assert_eq!(b, [3u8, 4, 5]);
+    }
+
+    #[test]
+    fn bytesmut_framing_pattern() {
+        // The BGP session layer probes with a frozen clone, then consumes.
+        let mut inbuf = BytesMut::new();
+        inbuf.extend_from_slice(&[9, 9, 1, 2, 3]);
+        let probe = inbuf.clone().freeze();
+        let mut cursor = probe.clone();
+        assert_eq!(cursor.get_u16(), 0x0909);
+        let consumed = probe.len() - cursor.len();
+        inbuf.split_to(consumed);
+        assert_eq!(&inbuf[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "under-run")]
+    fn underrun_panics() {
+        let mut b = Bytes::from(vec![1]);
+        b.get_u32();
+    }
+}

@@ -1,0 +1,585 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Keeps the strategy-combinator programming model (`proptest!`, `any`,
+//! `prop_oneof!`, `prop_map`, `prop_flat_map`, `collection::vec`, …) but
+//! replaces the runner with plain deterministic sampling: each test's RNG
+//! is seeded from a hash of the test name, every case simply generates and
+//! runs, and failures panic without shrinking. That trades minimal
+//! counterexamples for zero dependencies — acceptable here because the
+//! environment cannot reach a package registry.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// The RNG handed to strategies while generating a case.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn from_seed_u64(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is consulted.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_shrink_iters: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+}
+
+/// Runs `cases` iterations of a generated test body. Used by the
+/// [`proptest!`] macro expansion; not public API in real proptest.
+pub fn run_cases(
+    cfg: test_runner::ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng),
+) {
+    // FNV-1a over the test name: deterministic, stable across runs.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut rng = TestRng::from_seed_u64(seed);
+    for _ in 0..cfg.cases {
+        case(&mut rng);
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Uniform choice among boxed alternatives; backs [`prop_oneof!`].
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($n:tt $s:ident),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategies! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "anything goes" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            // Finite values across magnitudes; non-finite bit patterns are
+            // excluded so arithmetic-heavy properties stay meaningful.
+            let mantissa: f64 = rng.gen_range(-1.0..1.0);
+            let exp: i32 = rng.gen_range(-60..60);
+            mantissa * (exp as f64).exp2()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            f64::arbitrary(rng) as f32
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// Size bounds for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.lo + 1 >= self.hi {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::{SizeRange, TestRng};
+    use std::collections::HashMap;
+    use std::hash::Hash;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vectors of `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct HashMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// Hash maps with entry count drawn from `size` (duplicate keys
+    /// collapse, so maps may come out smaller — same as real proptest).
+    pub fn hash_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> HashMapStrategy<K, V> {
+        HashMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for HashMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Eq + Hash,
+        V: Strategy,
+    {
+        type Value = HashMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> HashMap<K::Value, V::Value> {
+            let n = self.size.sample(rng);
+            (0..n)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+// --- macros ---------------------------------------------------------------
+
+/// Declares property tests. Each function body runs `cases` times with
+/// freshly generated arguments; failures panic immediately (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases($cfg, concat!(module_path!(), "::", stringify!($name)), |__proptest_rng| {
+                $crate::__bind_args! { __proptest_rng, $body, $($args)* }
+            });
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __bind_args {
+    ($rng:ident, $body:block,) => { $body };
+    ($rng:ident, $body:block, $pat:pat in $strat:expr, $($rest:tt)*) => {{
+        let $pat = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $crate::__bind_args! { $rng, $body, $($rest)* }
+    }};
+    ($rng:ident, $body:block, $pat:pat in $strat:expr) => {{
+        let $pat = $crate::strategy::Strategy::generate(&($strat), $rng);
+        $body
+    }};
+    ($rng:ident, $body:block, $name:ident: $ty:ty, $($rest:tt)*) => {{
+        let $name: $ty =
+            $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$ty>(), $rng);
+        $crate::__bind_args! { $rng, $body, $($rest)* }
+    }};
+    ($rng:ident, $body:block, $name:ident: $ty:ty) => {{
+        let $name: $ty =
+            $crate::strategy::Strategy::generate(&$crate::arbitrary::any::<$ty>(), $rng);
+        $body
+    }};
+}
+
+/// Like `assert!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Like `assert_eq!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Like `assert_ne!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Skips the rest of the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 5u32..10, f in -1.0f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn typed_args_generate(_flag: bool, n: u8) {
+            prop_assert!(u32::from(n) < 256);
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec(any::<u32>(), 1..8),
+            opt in crate::option::of(0u8..4),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            if let Some(x) = opt {
+                prop_assert!(x < 4);
+            }
+        }
+
+        #[test]
+        fn oneof_and_maps(tag in prop_oneof![Just(0u8), Just(1u8), (2u8..=3).prop_map(|x| x)]) {
+            prop_assert!(tag <= 3);
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_dependent_data() {
+        let strat =
+            (1usize..5).prop_flat_map(|n| (Just(n), crate::collection::vec(0usize..n, 1..=n)));
+        crate::run_cases(ProptestConfig::with_cases(64), "flat_map", |rng| {
+            let (n, v) = strat.generate(rng);
+            assert!(v.len() <= n);
+            assert!(v.iter().all(|&x| x < n));
+        });
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_name() {
+        let collect = |name: &str| {
+            let mut out = Vec::new();
+            crate::run_cases(ProptestConfig::with_cases(16), name, |rng| {
+                out.push((0u64..1_000_000).generate(rng));
+            });
+            out
+        };
+        assert_eq!(collect("alpha"), collect("alpha"));
+        assert_ne!(collect("alpha"), collect("beta"));
+    }
+}

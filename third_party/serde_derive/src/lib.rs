@@ -1,0 +1,623 @@
+//! Derive macros for the vendored offline `serde` stand-in.
+//!
+//! The registry mirror is unreachable in this build environment, so we
+//! cannot pull `syn`/`quote`. Instead this crate parses the derive input
+//! token stream by hand — enough to recover the item name, generics, and
+//! field/variant structure (field *types* are never needed: the generated
+//! code leans on inference from struct literals) — and emits impl blocks
+//! as formatted strings.
+//!
+//! Supported shapes and attributes match exactly what the workspace uses:
+//! named/tuple/unit structs, enums with unit/newtype/tuple/struct variants
+//! (externally tagged), `#[serde(transparent)]`, field-level
+//! `#[serde(default)]` and `#[serde(skip)]`, and container-level
+//! `#[serde(try_from = "T", into = "T")]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct Attrs {
+    transparent: bool,
+    try_from: Option<String>,
+    into: Option<String>,
+    use_default: bool,
+    skip: bool,
+}
+
+struct Field {
+    name: String,
+    attrs: Attrs,
+}
+
+enum Body {
+    /// `named` distinguishes `{ .. }` structs from tuple structs.
+    Struct {
+        named: bool,
+        fields: Vec<Field>,
+    },
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Input {
+    name: String,
+    /// Generic parameter names in declaration order, lifetimes first as
+    /// written; type parameters get trait bounds added per derive.
+    lifetimes: Vec<String>,
+    type_params: Vec<String>,
+    attrs: Attrs,
+    body: Body,
+}
+
+impl Input {
+    /// `<'a, T: ::serde::Serialize>` (or empty) for the impl header.
+    fn impl_generics(&self, bound: &str) -> String {
+        if self.lifetimes.is_empty() && self.type_params.is_empty() {
+            return String::new();
+        }
+        let mut parts: Vec<String> = self.lifetimes.clone();
+        for tp in &self.type_params {
+            parts.push(format!("{tp}: ::serde::{bound}"));
+        }
+        format!("<{}>", parts.join(", "))
+    }
+
+    /// `<'a, T>` (or empty) for the type being implemented.
+    fn type_generics(&self) -> String {
+        if self.lifetimes.is_empty() && self.type_params.is_empty() {
+            return String::new();
+        }
+        let mut parts: Vec<String> = self.lifetimes.clone();
+        parts.extend(self.type_params.iter().cloned());
+        format!("<{}>", parts.join(", "))
+    }
+}
+
+// --- token-stream parsing -------------------------------------------------
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(tt: &TokenTree, s: &str) -> bool {
+    matches!(tt, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Reads `#[...]` attribute groups off the front of `iter`, folding any
+/// `#[serde(...)]` contents into `attrs`.
+fn take_attrs(
+    iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+    attrs: &mut Attrs,
+) {
+    while matches!(iter.peek(), Some(tt) if is_punct(tt, '#')) {
+        iter.next();
+        if let Some(TokenTree::Group(g)) = iter.next() {
+            merge_serde_attr(attrs, g.stream());
+        }
+    }
+}
+
+/// Folds one attribute body (the tokens inside `#[...]`) into `attrs` if it
+/// is a `serde(...)` attribute; other attributes (doc comments, etc.) are
+/// ignored.
+fn merge_serde_attr(attrs: &mut Attrs, ts: TokenStream) {
+    let mut iter = ts.into_iter();
+    match iter.next() {
+        Some(tt) if is_ident(&tt, "serde") => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(g)) = iter.next() else {
+        return;
+    };
+    let mut items = g.stream().into_iter().peekable();
+    while let Some(tt) = items.next() {
+        let TokenTree::Ident(key) = tt else { continue };
+        let key = key.to_string();
+        let mut value = None;
+        if matches!(items.peek(), Some(tt) if is_punct(tt, '=')) {
+            items.next();
+            if let Some(TokenTree::Literal(lit)) = items.next() {
+                value = Some(lit.to_string().trim_matches('"').to_string());
+            }
+        }
+        match key.as_str() {
+            "transparent" => attrs.transparent = true,
+            "default" => attrs.use_default = true,
+            "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
+            "try_from" => attrs.try_from = value,
+            "into" => attrs.into = value,
+            other => panic!("unsupported serde attribute `{other}` (offline serde stand-in)"),
+        }
+        // Consume through the item-separating comma, if any.
+        for tt in items.by_ref() {
+            if is_punct(&tt, ',') {
+                break;
+            }
+        }
+    }
+}
+
+/// Skips a type expression: consumes tokens until a top-level `,` (which is
+/// also consumed) or the end of the stream. Tracks `<`/`>` nesting; `->`
+/// (in fn-pointer types) does not close an angle bracket.
+fn skip_type(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut depth: i32 = 0;
+    let mut prev_dash = false;
+    while let Some(tt) = iter.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && !prev_dash => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                iter.next();
+                return;
+            }
+            _ => {}
+        }
+        prev_dash = matches!(tt, TokenTree::Punct(p) if p.as_char() == '-');
+        iter.next();
+    }
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
+    let mut iter = ts.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let mut attrs = Attrs::default();
+        take_attrs(&mut iter, &mut attrs);
+        if matches!(iter.peek(), Some(tt) if is_ident(tt, "pub")) {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        match iter.next() {
+            Some(tt) if is_punct(&tt, ':') => {}
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&mut iter);
+        fields.push(Field {
+            name: name.to_string(),
+            attrs,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(ts: TokenStream) -> Vec<Field> {
+    let mut iter = ts.into_iter().peekable();
+    let mut fields = Vec::new();
+    let mut index = 0usize;
+    while iter.peek().is_some() {
+        let mut attrs = Attrs::default();
+        take_attrs(&mut iter, &mut attrs);
+        if matches!(iter.peek(), Some(tt) if is_ident(tt, "pub")) {
+            iter.next();
+            if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                iter.next();
+            }
+        }
+        if iter.peek().is_none() {
+            break; // trailing comma
+        }
+        skip_type(&mut iter);
+        fields.push(Field {
+            name: index.to_string(),
+            attrs,
+        });
+        index += 1;
+    }
+    fields
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut iter = ts.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let mut attrs = Attrs::default();
+        take_attrs(&mut iter, &mut attrs);
+        let Some(TokenTree::Ident(name)) = iter.next() else {
+            break;
+        };
+        let kind = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = parse_tuple_fields(g.stream()).len();
+                iter.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                iter.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume through the separating comma (also skips `= discr`).
+        for tt in iter.by_ref() {
+            if is_punct(&tt, ',') {
+                break;
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    variants
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let mut iter = ts.into_iter().peekable();
+    let mut attrs = Attrs::default();
+    take_attrs(&mut iter, &mut attrs);
+    if matches!(iter.peek(), Some(tt) if is_ident(tt, "pub")) {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+    let kw = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+
+    // Generic parameters: split the `<...>` region on top-level commas and
+    // keep only each parameter's name (bounds are re-derived per trait).
+    let mut lifetimes = Vec::new();
+    let mut type_params = Vec::new();
+    if matches!(iter.peek(), Some(tt) if is_punct(tt, '<')) {
+        iter.next();
+        let mut depth = 1i32;
+        let mut at_param_start = true;
+        let mut in_bounds = false;
+        let mut pending_lifetime = false;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    at_param_start = true;
+                    in_bounds = false;
+                    continue;
+                }
+                TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => in_bounds = true,
+                TokenTree::Punct(p) if p.as_char() == '\'' && depth == 1 && !in_bounds => {
+                    if at_param_start {
+                        pending_lifetime = true;
+                    }
+                    continue;
+                }
+                TokenTree::Ident(i) if depth == 1 && at_param_start && !in_bounds => {
+                    let s = i.to_string();
+                    if pending_lifetime {
+                        lifetimes.push(format!("'{s}"));
+                        pending_lifetime = false;
+                    } else if s != "const" {
+                        type_params.push(s);
+                    }
+                    at_param_start = false;
+                    continue;
+                }
+                _ => {}
+            }
+            let _ = tt;
+        }
+    }
+
+    let body = match kw.as_str() {
+        "struct" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Body::Struct {
+                named: true,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Body::Struct {
+                named: false,
+                fields: parse_tuple_fields(g.stream()),
+            },
+            Some(tt) if is_punct(&tt, ';') => Body::Unit,
+            other => panic!("unexpected struct body: {other:?}"),
+        },
+        "enum" => match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+
+    Input {
+        name,
+        lifetimes,
+        type_params,
+        attrs,
+        body,
+    }
+}
+
+// --- code generation ------------------------------------------------------
+
+/// Expression serializing one struct field (named or positional).
+fn ser_field(f: &Field) -> String {
+    format!("::serde::Serialize::to_value(&self.{})", f.name)
+}
+
+/// Expression deserializing one named field out of object value `src`,
+/// honoring `skip`/`default` and the `Option`-tolerates-missing hook.
+fn de_field(f: &Field, src: &str) -> String {
+    if f.attrs.skip {
+        return "::core::default::Default::default()".to_string();
+    }
+    let name = &f.name;
+    let on_missing = if f.attrs.use_default {
+        "::core::default::Default::default()".to_string()
+    } else {
+        format!(
+            "match ::serde::Deserialize::from_missing() {{ \
+             Some(x) => x, \
+             None => return Err(::serde::Error::missing_field(\"{name}\")) }}"
+        )
+    };
+    format!(
+        "match {src}.get(\"{name}\") {{ \
+         Some(fv) => ::serde::Deserialize::from_value(fv)?, \
+         None => {on_missing} }}"
+    )
+}
+
+fn generate_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let ig = input.impl_generics("Serialize");
+    let tg = input.type_generics();
+
+    let body = if let Some(ty) = &input.attrs.into {
+        format!(
+            "let converted: {ty} = ::core::convert::Into::into(::core::clone::Clone::clone(self));\n        \
+             ::serde::Serialize::to_value(&converted)"
+        )
+    } else {
+        match &input.body {
+            Body::Unit => "::serde::Value::Null".to_string(),
+            Body::Struct { named, fields } => {
+                let live: Vec<&Field> = fields.iter().filter(|f| !f.attrs.skip).collect();
+                if input.attrs.transparent || (!named && live.len() == 1) {
+                    let f = live
+                        .first()
+                        .unwrap_or_else(|| panic!("transparent struct `{name}` has no field"));
+                    ser_field(f)
+                } else if *named {
+                    let pushes: String = live
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "        fields.push((\"{}\".to_string(), {}));\n",
+                                f.name,
+                                ser_field(f)
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}        ::serde::Value::Object(fields)"
+                    )
+                } else {
+                    let items: Vec<String> = live.iter().map(|f| ser_field(f)).collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+            }
+            Body::Enum(variants) => {
+                let arms: String = variants
+                    .iter()
+                    .map(|v| {
+                        let vname = &v.name;
+                        match &v.kind {
+                            VariantKind::Unit => format!(
+                                "            {name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                            ),
+                            VariantKind::Tuple(1) => format!(
+                                "            {name}::{vname}(x0) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_value(x0))]),\n"
+                            ),
+                            VariantKind::Tuple(n) => {
+                                let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "            {name}::{vname}({}) => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                                    binds.join(", "),
+                                    items.join(", ")
+                                )
+                            }
+                            VariantKind::Struct(fields) => {
+                                let binds: Vec<String> =
+                                    fields.iter().map(|f| f.name.clone()).collect();
+                                let pushes: Vec<String> = fields
+                                    .iter()
+                                    .filter(|f| !f.attrs.skip)
+                                    .map(|f| {
+                                        format!(
+                                            "(\"{0}\".to_string(), ::serde::Serialize::to_value({0}))",
+                                            f.name
+                                        )
+                                    })
+                                    .collect();
+                                format!(
+                                    "            {name}::{vname} {{ {} }} => ::serde::Value::Object(vec![(\"{vname}\".to_string(), ::serde::Value::Object(vec![{}]))]),\n",
+                                    binds.join(", "),
+                                    pushes.join(", ")
+                                )
+                            }
+                        }
+                    })
+                    .collect();
+                format!("match self {{\n{arms}        }}")
+            }
+        }
+    };
+
+    format!(
+        "impl{ig} ::serde::Serialize for {name}{tg} {{\n    \
+         fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    )
+}
+
+fn generate_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let ig = input.impl_generics("Deserialize");
+    let tg = input.type_generics();
+
+    let body = if let Some(ty) = &input.attrs.try_from {
+        format!(
+            "let raw: {ty} = ::serde::Deserialize::from_value(v)?;\n        \
+             ::core::convert::TryFrom::try_from(raw).map_err(::serde::Error::custom)"
+        )
+    } else {
+        match &input.body {
+            Body::Unit => format!(
+                "match v {{ ::serde::Value::Null => Ok({name}), other => Err(::serde::Error::expected(\"null\", other)) }}"
+            ),
+            Body::Struct { named, fields } => {
+                let live: Vec<&Field> = fields.iter().filter(|f| !f.attrs.skip).collect();
+                if input.attrs.transparent || (!named && live.len() == 1) {
+                    if *named {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.attrs.skip {
+                                    format!("{}: ::core::default::Default::default()", f.name)
+                                } else {
+                                    format!("{}: ::serde::Deserialize::from_value(v)?", f.name)
+                                }
+                            })
+                            .collect();
+                        format!("Ok({name} {{ {} }})", inits.join(", "))
+                    } else {
+                        format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                    }
+                } else if *named {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("            {}: {},\n", f.name, de_field(f, "v")))
+                        .collect();
+                    format!(
+                        "if v.as_object().is_none() {{\n            \
+                         return Err(::serde::Error::expected(\"object\", v));\n        }}\n        \
+                         Ok({name} {{\n{}        }})",
+                        inits.join("")
+                    )
+                } else {
+                    let n = live.len();
+                    let items: Vec<String> = (0..n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let items = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", v))?;\n        \
+                         if items.len() != {n} {{\n            \
+                         return Err(::serde::Error::custom(format!(\"expected array of {n}, found {{}}\", items.len())));\n        }}\n        \
+                         Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+            }
+            Body::Enum(variants) => {
+                let unit_arms: String = variants
+                    .iter()
+                    .filter(|v| matches!(v.kind, VariantKind::Unit))
+                    .map(|v| format!("                \"{0}\" => Ok({name}::{0}),\n", v.name))
+                    .collect();
+                let data_arms: String = variants
+                    .iter()
+                    .filter_map(|v| {
+                        let vname = &v.name;
+                        match &v.kind {
+                            VariantKind::Unit => None,
+                            VariantKind::Tuple(1) => Some(format!(
+                                "                    \"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                            )),
+                            VariantKind::Tuple(n) => {
+                                let items: Vec<String> = (0..*n)
+                                    .map(|i| {
+                                        format!("::serde::Deserialize::from_value(&items[{i}])?")
+                                    })
+                                    .collect();
+                                Some(format!(
+                                    "                    \"{vname}\" => {{\n                        \
+                                     let items = inner.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", inner))?;\n                        \
+                                     if items.len() != {n} {{ return Err(::serde::Error::custom(\"wrong tuple-variant arity\")); }}\n                        \
+                                     Ok({name}::{vname}({}))\n                    }}\n",
+                                    items.join(", ")
+                                ))
+                            }
+                            VariantKind::Struct(fields) => {
+                                let inits: Vec<String> = fields
+                                    .iter()
+                                    .map(|f| format!("{}: {}", f.name, de_field(f, "inner")))
+                                    .collect();
+                                Some(format!(
+                                    "                    \"{vname}\" => Ok({name}::{vname} {{ {} }}),\n",
+                                    inits.join(", ")
+                                ))
+                            }
+                        }
+                    })
+                    .collect();
+                format!(
+                    "match v {{\n            \
+                     ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}                \
+                     other => Err(::serde::Error::custom(format!(\"unknown variant {{other:?}}\"))),\n            }},\n            \
+                     ::serde::Value::Object(fields) if fields.len() == 1 => {{\n                \
+                     let (tag, inner) = &fields[0];\n                \
+                     match tag.as_str() {{\n{data_arms}                    \
+                     other => Err(::serde::Error::custom(format!(\"unknown variant {{other:?}}\"))),\n                }}\n            }}\n            \
+                     other => Err(::serde::Error::expected(\"variant\", other)),\n        }}"
+                )
+            }
+        }
+    };
+
+    format!(
+        "impl{ig} ::serde::Deserialize for {name}{tg} {{\n    \
+         fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n        \
+         #![allow(unused_variables, clippy::all)]\n        {body}\n    }}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = generate_serialize(&parsed);
+    code.parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = generate_deserialize(&parsed);
+    code.parse().expect("generated Deserialize impl must parse")
+}
