@@ -46,6 +46,9 @@ fn base_config() -> SimConfig {
     cfg.sampled_rates = false; // exact rates isolate the fault response
     cfg.controller.stale_input_secs = STALE_SECS;
     cfg.controller.fail_open_secs = FAIL_OPEN_SECS;
+    // EF_TELEMETRY=<path> streams events/explains/audits to a JSON-lines
+    // file; results/ output is byte-identical either way.
+    cfg.telemetry = ef_bench::telemetry_from_env();
     cfg
 }
 

@@ -52,6 +52,7 @@ pub fn campaign_config() -> SimConfig {
     SimConfig {
         duration_secs: 24 * 3600,
         epoch_secs: 30,
+        telemetry: crate::output::telemetry_from_env(),
         ..Default::default()
     }
 }

@@ -10,4 +10,4 @@ pub mod campaign;
 pub mod output;
 
 pub use campaign::{load_or_run, Arm, CampaignData};
-pub use output::{cdf_points, percentile, results_dir, write_json};
+pub use output::{cdf_points, percentile, results_dir, telemetry_from_env, write_json};

@@ -22,6 +22,27 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
+/// Opt-in telemetry sink for experiment binaries: when the `EF_TELEMETRY`
+/// environment variable names a file, every telemetry record streams there
+/// as JSON lines; otherwise telemetry stays disabled. The sink is pure
+/// I/O — attaching it never changes what lands in the byte-compared
+/// `results/` files (the CI determinism job runs with it enabled).
+pub fn telemetry_from_env() -> ef_telemetry::TelemetryHandle {
+    match std::env::var("EF_TELEMETRY") {
+        Ok(path) if !path.is_empty() => match ef_telemetry::TelemetryHandle::to_file(&path) {
+            Ok(handle) => {
+                eprintln!("[telemetry] streaming records to {path}");
+                handle
+            }
+            Err(e) => {
+                eprintln!("[telemetry] cannot open {path}: {e}; telemetry disabled");
+                ef_telemetry::TelemetryHandle::disabled()
+            }
+        },
+        _ => ef_telemetry::TelemetryHandle::disabled(),
+    }
+}
+
 /// Serializes `value` as pretty JSON into `results/<name>.json`.
 pub fn write_json<T: Serialize>(name: &str, value: &T) {
     let path = results_dir().join(format!("{name}.json"));

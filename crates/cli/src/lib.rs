@@ -11,12 +11,20 @@
 //!                  [--epoch SECS] [--out FILE]
 //! efctl chaos      [--seed N] [--hours H] [--schedule FILE]
 //!                  [--chaos-seed N] [--events N] [--baseline] [--out FILE]
+//! efctl trace      [--seed N] [--hours H] [--epoch SECS] [--limit N]
+//! efctl explain PREFIX [--seed N] [--hours H] [--epoch SECS]
 //! efctl help
 //! ```
+//!
+//! Every command keeps its stdout machine-parseable (JSON, or JSON lines
+//! for `trace`); human-readable tables and progress notes go to stderr so
+//! `efctl ... | jq` always works. `--quiet` silences the stderr half.
 
 use std::fmt::Write as _;
 
+use ef_net_types::Prefix;
 use ef_sim::{SimConfig, SimEngine};
+use ef_telemetry::{ExplainRecord, TelemetryHandle, TelemetryRecord};
 use ef_topology::stats::{pop_summaries, route_diversity};
 use ef_topology::{generate, GenConfig};
 
@@ -33,6 +41,10 @@ pub enum Command {
     Run(RunArgs),
     /// Run a scenario under a fault schedule (from file or generated).
     Chaos(ChaosArgs),
+    /// Run a scenario with telemetry captured and dump the record stream.
+    Trace(TraceArgs),
+    /// Run a scenario and show decision provenance for one prefix.
+    Explain(ExplainArgs),
     /// Show usage.
     Help,
 }
@@ -48,6 +60,8 @@ pub struct CommonArgs {
     pub prefixes: usize,
     /// Optional output path for JSON.
     pub out: Option<String>,
+    /// Suppress the human-readable stderr stream.
+    pub quiet: bool,
 }
 
 impl Default for CommonArgs {
@@ -57,6 +71,7 @@ impl Default for CommonArgs {
             pops: 20,
             prefixes: 3000,
             out: None,
+            quiet: false,
         }
     }
 }
@@ -128,9 +143,73 @@ impl Default for ChaosArgs {
     }
 }
 
+/// Options for `efctl trace`: a scenario run with a memory sink attached,
+/// dumped as JSON lines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceArgs {
+    /// Deployment options (`--out` redirects the JSON lines to a file).
+    pub common: CommonArgs,
+    /// Simulated duration in hours.
+    pub hours: f64,
+    /// Controller epoch seconds.
+    pub epoch_secs: u64,
+    /// Cap on the number of records printed (0 = everything).
+    pub limit: usize,
+}
+
+impl Default for TraceArgs {
+    fn default() -> Self {
+        TraceArgs {
+            common: CommonArgs::default(),
+            hours: 0.5,
+            epoch_secs: 30,
+            limit: 0,
+        }
+    }
+}
+
+/// Options for `efctl explain PREFIX`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainArgs {
+    /// Deployment options.
+    pub common: CommonArgs,
+    /// Simulated duration in hours.
+    pub hours: f64,
+    /// Controller epoch seconds.
+    pub epoch_secs: u64,
+    /// The prefix to explain. A covering or covered prefix also matches,
+    /// so `efctl explain 10.0.0.0/8` shows every decision inside that /8.
+    pub prefix: String,
+}
+
+impl Default for ExplainArgs {
+    fn default() -> Self {
+        ExplainArgs {
+            common: CommonArgs::default(),
+            hours: 0.5,
+            epoch_secs: 30,
+            prefix: String::new(),
+        }
+    }
+}
+
+/// What a command produced: machine-readable stdout (JSON / JSON lines)
+/// and human-readable stderr (tables, notes). `main` prints each half to
+/// its stream; tests assert on them separately.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Output {
+    /// Machine-parseable result, printed to stdout.
+    pub stdout: String,
+    /// Human-readable rendering and notes, printed to stderr.
+    pub stderr: String,
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 efctl — Edge Fabric reproduction CLI
+
+Machine-readable JSON goes to stdout; human tables and notes go to
+stderr (silence them with --quiet).
 
 USAGE:
   efctl gen        [--seed N] [--pops N] [--prefixes N] [--out FILE]
@@ -142,7 +221,13 @@ USAGE:
   efctl chaos      [--seed N] [--pops N] [--prefixes N] [--hours H]
                    [--schedule FILE] [--chaos-seed N] [--events N]
                    [--baseline] [--epoch SECS] [--out FILE]
+  efctl trace      [--seed N] [--pops N] [--prefixes N] [--hours H]
+                   [--epoch SECS] [--limit N] [--out FILE]
+  efctl explain PREFIX [--seed N] [--pops N] [--prefixes N]
+                   [--hours H] [--epoch SECS]
   efctl help
+
+All commands accept --quiet.
 ";
 
 /// Parsing failure with a human-readable reason.
@@ -168,6 +253,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "diversity" => Ok(Command::Diversity(parse_common(rest)?)),
         "run" => Ok(Command::Run(parse_run(rest)?)),
         "chaos" => Ok(Command::Chaos(parse_chaos(rest)?)),
+        "trace" => Ok(Command::Trace(parse_trace(rest)?)),
+        "explain" => Ok(Command::Explain(parse_explain(rest)?)),
         other => Err(ParseError(format!(
             "unknown command {other:?}; try 'efctl help'"
         ))),
@@ -198,6 +285,7 @@ fn parse_common(args: &[String]) -> Result<CommonArgs, ParseError> {
             "--pops" => out.pops = parse_num(flag, take_value(flag, &mut iter)?)?,
             "--prefixes" => out.prefixes = parse_num(flag, take_value(flag, &mut iter)?)?,
             "--out" => out.out = Some(take_value(flag, &mut iter)?.to_string()),
+            "--quiet" => out.quiet = true,
             other => return Err(ParseError(format!("unknown flag {other:?}"))),
         }
     }
@@ -213,6 +301,7 @@ fn parse_run(args: &[String]) -> Result<RunArgs, ParseError> {
             "--pops" => out.common.pops = parse_num(flag, take_value(flag, &mut iter)?)?,
             "--prefixes" => out.common.prefixes = parse_num(flag, take_value(flag, &mut iter)?)?,
             "--out" => out.common.out = Some(take_value(flag, &mut iter)?.to_string()),
+            "--quiet" => out.common.quiet = true,
             "--hours" => out.hours = parse_num(flag, take_value(flag, &mut iter)?)?,
             "--baseline" => out.baseline = true,
             "--split" => out.split = true,
@@ -237,6 +326,7 @@ fn parse_chaos(args: &[String]) -> Result<ChaosArgs, ParseError> {
             "--pops" => out.common.pops = parse_num(flag, take_value(flag, &mut iter)?)?,
             "--prefixes" => out.common.prefixes = parse_num(flag, take_value(flag, &mut iter)?)?,
             "--out" => out.common.out = Some(take_value(flag, &mut iter)?.to_string()),
+            "--quiet" => out.common.quiet = true,
             "--hours" => out.hours = parse_num(flag, take_value(flag, &mut iter)?)?,
             "--baseline" => out.baseline = true,
             "--epoch" => out.epoch_secs = parse_num(flag, take_value(flag, &mut iter)?)?,
@@ -257,6 +347,70 @@ fn parse_chaos(args: &[String]) -> Result<ChaosArgs, ParseError> {
     Ok(out)
 }
 
+fn parse_trace(args: &[String]) -> Result<TraceArgs, ParseError> {
+    let mut out = TraceArgs::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--seed" => out.common.seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--pops" => out.common.pops = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--prefixes" => out.common.prefixes = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--out" => out.common.out = Some(take_value(flag, &mut iter)?.to_string()),
+            "--quiet" => out.common.quiet = true,
+            "--hours" => out.hours = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--epoch" => out.epoch_secs = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--limit" => out.limit = parse_num(flag, take_value(flag, &mut iter)?)?,
+            other => return Err(ParseError(format!("unknown flag {other:?}"))),
+        }
+    }
+    if out.hours <= 0.0 {
+        return Err(ParseError("--hours must be positive".into()));
+    }
+    Ok(out)
+}
+
+fn parse_explain(args: &[String]) -> Result<ExplainArgs, ParseError> {
+    let mut out = ExplainArgs::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => out.common.seed = parse_num(arg, take_value(arg, &mut iter)?)?,
+            "--pops" => out.common.pops = parse_num(arg, take_value(arg, &mut iter)?)?,
+            "--prefixes" => out.common.prefixes = parse_num(arg, take_value(arg, &mut iter)?)?,
+            "--quiet" => out.common.quiet = true,
+            "--hours" => out.hours = parse_num(arg, take_value(arg, &mut iter)?)?,
+            "--epoch" => out.epoch_secs = parse_num(arg, take_value(arg, &mut iter)?)?,
+            flag if flag.starts_with("--") => {
+                return Err(ParseError(format!("unknown flag {flag:?}")))
+            }
+            positional => {
+                if !out.prefix.is_empty() {
+                    return Err(ParseError(format!(
+                        "explain takes one prefix, got {:?} and {positional:?}",
+                        out.prefix
+                    )));
+                }
+                out.prefix = positional.to_string();
+            }
+        }
+    }
+    if out.prefix.is_empty() {
+        return Err(ParseError(
+            "explain needs a prefix, e.g. 'efctl explain 10.0.0.0/24'".into(),
+        ));
+    }
+    if out.prefix.parse::<Prefix>().is_err() {
+        return Err(ParseError(format!(
+            "cannot parse prefix {:?} (expected a.b.c.d/len)",
+            out.prefix
+        )));
+    }
+    if out.hours <= 0.0 {
+        return Err(ParseError("--hours must be positive".into()));
+    }
+    Ok(out)
+}
+
 fn gen_config(common: &CommonArgs) -> GenConfig {
     GenConfig {
         seed: common.seed,
@@ -269,10 +423,62 @@ fn gen_config(common: &CommonArgs) -> GenConfig {
     }
 }
 
-/// Executes a command, returning the text to print.
-pub fn execute(cmd: Command) -> Result<String, String> {
+/// Sort key for telemetry records: simulated time, then PoP. Records from
+/// different PoPs arrive in thread-scheduling order; sorting restores a
+/// stable reading order for the dumped stream.
+fn record_key(r: &TelemetryRecord) -> (u64, u16) {
+    match r {
+        TelemetryRecord::Event(e) => (e.now_ms, e.pop),
+        TelemetryRecord::Explain { pop, now_ms, .. } => (*now_ms, *pop),
+        TelemetryRecord::Metrics { pop, now_ms, .. } => (*now_ms, *pop),
+    }
+}
+
+/// Runs a telemetry-captured scenario and returns the collected records
+/// in `(now_ms, pop)` order.
+fn traced_run(
+    common: &CommonArgs,
+    hours: f64,
+    epoch_secs: u64,
+) -> Result<Vec<TelemetryRecord>, String> {
+    let (handle, sink) = TelemetryHandle::memory();
+    let cfg = SimConfig {
+        gen: gen_config(common),
+        duration_secs: (hours * 3600.0) as u64,
+        epoch_secs,
+        telemetry: handle,
+        ..Default::default()
+    };
+    let mut engine = SimEngine::new(cfg);
+    engine.run();
+    let mut records = sink.records();
+    records.sort_by_key(record_key);
+    Ok(records)
+}
+
+/// Executes a command, returning its stdout/stderr halves.
+pub fn execute(cmd: Command) -> Result<Output, String> {
+    let quiet = match &cmd {
+        Command::Gen(c) | Command::Table1(c) | Command::Diversity(c) => c.quiet,
+        Command::Run(a) => a.common.quiet,
+        Command::Chaos(a) => a.common.quiet,
+        Command::Trace(a) => a.common.quiet,
+        Command::Explain(a) => a.common.quiet,
+        Command::Help => false,
+    };
+    let mut out = execute_inner(cmd)?;
+    if quiet {
+        out.stderr.clear();
+    }
+    Ok(out)
+}
+
+fn execute_inner(cmd: Command) -> Result<Output, String> {
+    let mut out = Output::default();
     match cmd {
-        Command::Help => Ok(USAGE.to_string()),
+        Command::Help => {
+            out.stdout = USAGE.to_string();
+        }
         Command::Gen(common) => {
             let dep = generate(&gen_config(&common));
             let errors = dep.validate();
@@ -284,26 +490,31 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             let json = serde_json::to_string_pretty(&dep).map_err(|e| e.to_string())?;
             if let Some(path) = &common.out {
                 std::fs::write(path, &json).map_err(|e| e.to_string())?;
-                Ok(format!(
-                    "wrote deployment (seed {}, {} PoPs, {} prefixes) to {path}\n",
+                writeln!(
+                    out.stderr,
+                    "wrote deployment (seed {}, {} PoPs, {} prefixes) to {path}",
                     common.seed, common.pops, common.prefixes
-                ))
+                )
+                .unwrap();
             } else {
-                Ok(json)
+                out.stdout = json;
+                out.stdout.push('\n');
             }
         }
         Command::Table1(common) => {
             let dep = generate(&gen_config(&common));
-            let mut out = String::new();
+            let rows = pop_summaries(&dep);
+            out.stdout = serde_json::to_string_pretty(&rows).map_err(|e| e.to_string())?;
+            out.stdout.push('\n');
             writeln!(
-                out,
+                out.stderr,
                 "{:<12} {:>3} {:>4} {:>8} {:>8} {:>7} {:>6} {:>10} {:>10}",
                 "pop", "reg", "PRs", "transit", "private", "public", "rs", "cap(Gbps)", "avg(Gbps)"
             )
             .unwrap();
-            for r in pop_summaries(&dep) {
+            for r in &rows {
                 writeln!(
-                    out,
+                    out.stderr,
                     "{:<12} {:>3} {:>4} {:>8} {:>8} {:>7} {:>6} {:>10.0} {:>10.1}",
                     r.name,
                     r.region,
@@ -317,20 +528,21 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 )
                 .unwrap();
             }
-            Ok(out)
         }
         Command::Diversity(common) => {
             let dep = generate(&gen_config(&common));
-            let mut out = String::new();
+            let rows = route_diversity(&dep);
+            out.stdout = serde_json::to_string_pretty(&rows).map_err(|e| e.to_string())?;
+            out.stdout.push('\n');
             writeln!(
-                out,
+                out.stderr,
                 "{:<12} {:>8} {:>8} {:>8} {:>8}",
                 "pop", ">=1", ">=2", ">=3", ">=4"
             )
             .unwrap();
-            for d in route_diversity(&dep) {
+            for d in &rows {
                 writeln!(
-                    out,
+                    out.stderr,
                     "{:<12} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
                     d.name,
                     d.frac_traffic_ge[0] * 100.0,
@@ -340,7 +552,6 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 )
                 .unwrap();
             }
-            Ok(out)
         }
         Command::Run(args) => {
             let mut cfg = SimConfig {
@@ -361,19 +572,26 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             engine.run();
             let metrics = engine.take_metrics();
             let report = ef_sim::RunReport::from_metrics(&metrics);
+            let arm = if args.baseline {
+                "baseline BGP"
+            } else {
+                "edge fabric"
+            };
 
-            let mut out = String::new();
-            writeln!(
-                out,
-                "arm: {}",
-                if args.baseline {
-                    "baseline BGP"
-                } else {
-                    "edge fabric"
-                }
-            )
-            .unwrap();
-            out.push_str(&report.render());
+            #[derive(serde::Serialize)]
+            struct Summary<'a> {
+                arm: &'a str,
+                report: &'a ef_sim::RunReport,
+            }
+            out.stdout = serde_json::to_string_pretty(&Summary {
+                arm,
+                report: &report,
+            })
+            .map_err(|e| e.to_string())?;
+            out.stdout.push('\n');
+
+            writeln!(out.stderr, "arm: {arm}").unwrap();
+            out.stderr.push_str(&report.render());
 
             if let Some(path) = &args.common.out {
                 // Dump the distilled epoch records for downstream analysis.
@@ -388,9 +606,8 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 })
                 .map_err(|e| e.to_string())?;
                 std::fs::write(path, json).map_err(|e| e.to_string())?;
-                writeln!(out, "[wrote {path}]").unwrap();
+                writeln!(out.stderr, "[wrote {path}]").unwrap();
             }
-            Ok(out)
         }
         Command::Chaos(args) => {
             let mut cfg = SimConfig {
@@ -431,27 +648,21 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 ));
             }
 
-            let mut out = String::new();
+            let arm = if args.baseline {
+                "baseline BGP"
+            } else {
+                "edge fabric"
+            };
+            writeln!(out.stderr, "arm: {arm} under {} fault(s)", schedule.len()).unwrap();
             writeln!(
-                out,
-                "arm: {} under {} fault(s)",
-                if args.baseline {
-                    "baseline BGP"
-                } else {
-                    "edge fabric"
-                },
-                schedule.len()
-            )
-            .unwrap();
-            writeln!(
-                out,
+                out.stderr,
                 "{:>20} {:>6} {:>8} {:>8}",
                 "fault", "pop", "start", "secs"
             )
             .unwrap();
             for e in &schedule.events {
                 writeln!(
-                    out,
+                    out.stderr,
                     "{:>20} {:>6} {:>8} {:>8}",
                     e.kind.label(),
                     e.target.pop(),
@@ -461,6 +672,7 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 .unwrap();
             }
 
+            let n_faults = schedule.len();
             cfg.chaos = Some(schedule);
             let mut engine = SimEngine::with_deployment(cfg, deployment);
             engine.run();
@@ -474,9 +686,30 @@ pub fn execute(cmd: Command) -> Result<String, String> {
             let degraded = metrics.pop_epochs.iter().filter(|r| r.degraded).count();
             let fail_open = metrics.pop_epochs.iter().filter(|r| r.fail_open).count();
             let report = ef_sim::RunReport::from_metrics(&metrics);
-            out.push_str(&report.render());
+
+            #[derive(serde::Serialize)]
+            struct Summary<'a> {
+                arm: &'a str,
+                faults: usize,
+                fault_epochs: usize,
+                degraded_epochs: usize,
+                fail_open_epochs: usize,
+                report: &'a ef_sim::RunReport,
+            }
+            out.stdout = serde_json::to_string_pretty(&Summary {
+                arm,
+                faults: n_faults,
+                fault_epochs: faulted,
+                degraded_epochs: degraded,
+                fail_open_epochs: fail_open,
+                report: &report,
+            })
+            .map_err(|e| e.to_string())?;
+            out.stdout.push('\n');
+
+            out.stderr.push_str(&report.render());
             writeln!(
-                out,
+                out.stderr,
                 "fault epochs: {faulted} ({degraded} degraded, {fail_open} fail-open)"
             )
             .unwrap();
@@ -493,11 +726,106 @@ pub fn execute(cmd: Command) -> Result<String, String> {
                 })
                 .map_err(|e| e.to_string())?;
                 std::fs::write(path, json).map_err(|e| e.to_string())?;
-                writeln!(out, "[wrote {path}]").unwrap();
+                writeln!(out.stderr, "[wrote {path}]").unwrap();
             }
-            Ok(out)
+        }
+        Command::Trace(args) => {
+            let records = traced_run(&args.common, args.hours, args.epoch_secs)?;
+            let total = records.len();
+            let shown = if args.limit > 0 {
+                args.limit.min(total)
+            } else {
+                total
+            };
+            let mut lines = String::new();
+            for r in records.iter().take(shown) {
+                lines.push_str(&serde_json::to_string(r).map_err(|e| e.to_string())?);
+                lines.push('\n');
+            }
+            let events = records.iter().filter(|r| r.as_event().is_some()).count();
+            let explains = records.iter().filter(|r| r.as_explain().is_some()).count();
+            let snapshots = total - events - explains;
+            if let Some(path) = &args.common.out {
+                std::fs::write(path, &lines).map_err(|e| e.to_string())?;
+                writeln!(out.stderr, "[wrote {shown} records to {path}]").unwrap();
+            } else {
+                out.stdout = lines;
+            }
+            writeln!(
+                out.stderr,
+                "{total} telemetry records ({events} events, {explains} explains, \
+                 {snapshots} metric snapshots); showing {shown}"
+            )
+            .unwrap();
+        }
+        Command::Explain(args) => {
+            let query: Prefix = args
+                .prefix
+                .parse()
+                .map_err(|_| format!("cannot parse prefix {:?}", args.prefix))?;
+            let records = traced_run(&args.common, args.hours, args.epoch_secs)?;
+
+            #[derive(serde::Serialize)]
+            struct Row<'a> {
+                pop: u16,
+                now_ms: u64,
+                explain: &'a ExplainRecord,
+            }
+            let mut rows: Vec<(u16, u64, &ExplainRecord)> = Vec::new();
+            for r in &records {
+                if let Some((pop, now_ms, rec)) = r.as_explain() {
+                    let matches = rec
+                        .prefix
+                        .parse::<Prefix>()
+                        .map(|p| query.contains(&p) || p.contains(&query))
+                        .unwrap_or(false);
+                    if matches {
+                        rows.push((pop, now_ms, rec));
+                    }
+                }
+            }
+            out.stdout = serde_json::to_string_pretty(
+                &rows
+                    .iter()
+                    .map(|(pop, now_ms, explain)| Row {
+                        pop: *pop,
+                        now_ms: *now_ms,
+                        explain,
+                    })
+                    .collect::<Vec<_>>(),
+            )
+            .map_err(|e| e.to_string())?;
+            out.stdout.push('\n');
+
+            if rows.is_empty() {
+                writeln!(
+                    out.stderr,
+                    "no steering decisions touched {} in this scenario",
+                    args.prefix
+                )
+                .unwrap();
+            } else {
+                writeln!(
+                    out.stderr,
+                    "{} decision(s) touching {}:",
+                    rows.len(),
+                    args.prefix
+                )
+                .unwrap();
+                for (pop, now_ms, rec) in &rows {
+                    writeln!(
+                        out.stderr,
+                        "t={}s pop{}: {}",
+                        now_ms / 1000,
+                        pop,
+                        rec.render()
+                    )
+                    .unwrap();
+                }
+            }
         }
     }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -564,11 +892,60 @@ mod tests {
     }
 
     #[test]
+    fn quiet_parses_everywhere() {
+        for cmd in [
+            "gen --quiet",
+            "table1 --quiet",
+            "run --quiet",
+            "chaos --quiet",
+            "trace --quiet",
+            "explain 1.0.0.0/24 --quiet",
+        ] {
+            let parsed = parse_args(&argv(cmd)).unwrap();
+            let quiet = match parsed {
+                Command::Gen(c) | Command::Table1(c) | Command::Diversity(c) => c.quiet,
+                Command::Run(a) => a.common.quiet,
+                Command::Chaos(a) => a.common.quiet,
+                Command::Trace(a) => a.common.quiet,
+                Command::Explain(a) => a.common.quiet,
+                Command::Help => false,
+            };
+            assert!(quiet, "{cmd}");
+        }
+    }
+
+    #[test]
+    fn trace_and_explain_flags() {
+        match parse_args(&argv("trace --seed 3 --hours 0.5 --epoch 60 --limit 10")).unwrap() {
+            Command::Trace(t) => {
+                assert_eq!(t.common.seed, 3);
+                assert_eq!(t.hours, 0.5);
+                assert_eq!(t.epoch_secs, 60);
+                assert_eq!(t.limit, 10);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("explain 10.0.0.0/24 --seed 3 --hours 0.5")).unwrap() {
+            Command::Explain(e) => {
+                assert_eq!(e.prefix, "10.0.0.0/24");
+                assert_eq!(e.common.seed, 3);
+                assert_eq!(e.hours, 0.5);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Missing, malformed, or duplicate prefixes are rejected.
+        assert!(parse_args(&argv("explain")).is_err());
+        assert!(parse_args(&argv("explain banana")).is_err());
+        assert!(parse_args(&argv("explain 1.0.0.0/24 2.0.0.0/24")).is_err());
+    }
+
+    #[test]
     fn bad_values_error_cleanly() {
         assert!(parse_args(&argv("run --hours banana")).is_err());
         assert!(parse_args(&argv("run --hours -1")).is_err());
         assert!(parse_args(&argv("gen --seed")).is_err());
         assert!(parse_args(&argv("gen --frob 1")).is_err());
+        assert!(parse_args(&argv("trace --hours 0")).is_err());
     }
 
     #[test]
@@ -578,12 +955,30 @@ mod tests {
             pops: 4,
             prefixes: 200,
             out: None,
+            quiet: false,
         };
         let t = execute(Command::Table1(common.clone())).unwrap();
-        assert!(t.contains("pop0"));
-        assert!(t.lines().count() >= 5);
+        assert!(t.stderr.contains("pop0"));
+        assert!(t.stderr.lines().count() >= 5);
+        let rows = serde_json::parse_value(&t.stdout).unwrap();
+        assert!(rows.as_array().is_some_and(|a| a.len() == 4));
         let d = execute(Command::Diversity(common)).unwrap();
-        assert!(d.contains('%'));
+        assert!(d.stderr.contains('%'));
+        serde_json::parse_value(&d.stdout).unwrap();
+    }
+
+    #[test]
+    fn quiet_clears_stderr_but_keeps_stdout() {
+        let common = CommonArgs {
+            seed: 3,
+            pops: 4,
+            prefixes: 200,
+            out: None,
+            quiet: true,
+        };
+        let t = execute(Command::Table1(common)).unwrap();
+        assert!(t.stderr.is_empty());
+        assert!(!t.stdout.is_empty());
     }
 
     #[test]
@@ -595,15 +990,29 @@ mod tests {
         args.hours = 0.25;
         args.epoch_secs = 60;
         let out = execute(Command::Run(args)).unwrap();
-        assert!(out.contains("edge fabric"));
-        assert!(out.contains("dropped:"));
+        assert!(out.stderr.contains("edge fabric"));
+        assert!(out.stderr.contains("dropped:"));
+        let summary = serde_json::parse_value(&out.stdout).unwrap();
+        assert!(matches!(
+            summary.get("arm"),
+            Some(serde_json::Value::Str(s)) if s == "edge fabric"
+        ));
+        assert!(summary.get("report").is_some());
     }
 
     #[test]
     fn help_text_lists_commands() {
         let help = execute(Command::Help).unwrap();
-        for cmd in ["gen", "table1", "diversity", "run", "chaos"] {
-            assert!(help.contains(cmd));
+        for cmd in [
+            "gen",
+            "table1",
+            "diversity",
+            "run",
+            "chaos",
+            "trace",
+            "explain",
+        ] {
+            assert!(help.stdout.contains(cmd));
         }
     }
 
@@ -653,8 +1062,14 @@ mod tests {
         args.epoch_secs = 60;
         args.events = 4;
         let out = execute(Command::Chaos(args)).unwrap();
-        assert!(out.contains("under 4 fault(s)"));
-        assert!(out.contains("fault epochs:"));
+        assert!(out.stderr.contains("under 4 fault(s)"));
+        assert!(out.stderr.contains("fault epochs:"));
+        let summary = serde_json::parse_value(&out.stdout).unwrap();
+        assert!(matches!(
+            summary.get("faults"),
+            Some(serde_json::Value::U64(4))
+        ));
+        assert!(summary.get("report").is_some());
     }
 
     #[test]
@@ -679,6 +1094,74 @@ mod tests {
         args.epoch_secs = 60;
         args.schedule = Some(path.to_string_lossy().into_owned());
         let out = execute(Command::Chaos(args)).unwrap();
-        assert!(out.contains("bmp_stall"));
+        assert!(out.stderr.contains("bmp_stall"));
+    }
+
+    #[test]
+    fn trace_emits_parseable_json_lines() {
+        let mut args = TraceArgs::default();
+        args.common.pops = 4;
+        args.common.prefixes = 200;
+        args.common.seed = 3;
+        args.hours = 0.25;
+        args.epoch_secs = 60;
+        let out = execute(Command::Trace(args.clone())).unwrap();
+        assert!(!out.stdout.is_empty());
+        let mut saw_epoch = false;
+        for line in out.stdout.lines() {
+            let rec: TelemetryRecord = serde_json::from_str(line).unwrap();
+            if rec.as_event().is_some_and(|e| e.name == "epoch") {
+                saw_epoch = true;
+            }
+        }
+        assert!(saw_epoch, "trace must contain per-epoch events");
+        assert!(out.stderr.contains("telemetry records"));
+
+        // --limit caps the stream.
+        args.limit = 3;
+        let capped = execute(Command::Trace(args)).unwrap();
+        assert_eq!(capped.stdout.lines().count(), 3);
+    }
+
+    #[test]
+    fn explain_renders_provenance_for_a_steered_prefix() {
+        // Find a prefix that was actually steered by tracing first.
+        let mut targs = TraceArgs::default();
+        targs.common.pops = 4;
+        targs.common.prefixes = 200;
+        targs.common.seed = 3;
+        targs.hours = 0.25;
+        targs.epoch_secs = 60;
+        let records = traced_run(&targs.common, targs.hours, targs.epoch_secs).unwrap();
+        let steered = records
+            .iter()
+            .filter_map(|r| r.as_explain())
+            .map(|(_, _, rec)| rec.prefix.clone())
+            .next()
+            .expect("scenario produces at least one steering decision");
+
+        let args = ExplainArgs {
+            common: targs.common.clone(),
+            hours: targs.hours,
+            epoch_secs: targs.epoch_secs,
+            prefix: steered.clone(),
+        };
+        let out = execute(Command::Explain(args)).unwrap();
+        let rows = serde_json::parse_value(&out.stdout).unwrap();
+        assert!(rows.as_array().is_some_and(|a| !a.is_empty()));
+        assert!(out.stderr.contains(&steered));
+        assert!(out.stderr.contains("pop"));
+
+        // A prefix nothing touches renders an empty result, not an error.
+        let args = ExplainArgs {
+            common: targs.common,
+            hours: targs.hours,
+            epoch_secs: targs.epoch_secs,
+            prefix: "203.0.113.0/24".into(),
+        };
+        let out = execute(Command::Explain(args)).unwrap();
+        let rows = serde_json::parse_value(&out.stdout).unwrap();
+        assert!(rows.as_array().is_some_and(|a| a.is_empty()));
+        assert!(out.stderr.contains("no steering decisions"));
     }
 }

@@ -24,6 +24,7 @@ use serde::{Deserialize, Serialize};
 
 use ef_bgp::route::{EgressId, Route};
 use ef_net_types::Prefix;
+use ef_telemetry::{ExplainRecord, ExplainVerdict, RejectReason, RejectedAlternative};
 
 use crate::collector::RouteCollector;
 use crate::config::ControllerConfig;
@@ -57,6 +58,10 @@ pub struct AllocationOutcome {
     pub post_load: HashMap<EgressId, f64>,
     /// Demand detoured for capacity this epoch, Mbps.
     pub capacity_detoured_mbps: f64,
+    /// Decision provenance: one record per steering decision considered,
+    /// in the deterministic order the allocator made them. The controller
+    /// amends verdicts when its guards later drop a decision.
+    pub explains: Vec<ExplainRecord>,
 }
 
 impl AllocationOutcome {
@@ -93,6 +98,7 @@ pub fn allocate(
 ) -> AllocationOutcome {
     let mut load = projection.load_mbps.clone();
     let mut overrides = OverrideSet::new();
+    let mut explains: Vec<ExplainRecord> = Vec::new();
 
     let limit_of = |egress: EgressId| -> f64 {
         interfaces
@@ -111,12 +117,24 @@ pub fn allocate(
     // Charge performance overrides to their targets first.
     for o in perf_overrides.iter_sorted() {
         let demand = traffic.get(&o.prefix).copied().unwrap_or(0.0);
-        if let Some(src) = projection.assignment.get(&o.prefix) {
-            if *src != o.target {
-                *load.entry(*src).or_default() -= demand;
+        let src = projection.assignment.get(&o.prefix).copied();
+        if let Some(src) = src {
+            if src != o.target {
+                *load.entry(src).or_default() -= demand;
                 *load.entry(o.target).or_default() += demand;
             }
         }
+        explains.push(ExplainRecord {
+            prefix: o.prefix.to_string(),
+            trigger: "performance".into(),
+            hot_egress: src.map(|e| e.0),
+            hot_util: src.map(|e| util_of(e, &load)).unwrap_or(0.0),
+            demand_mbps: demand,
+            chosen_egress: Some(o.target.0),
+            chosen_kind: Some(o.target_kind.label().to_string()),
+            rejected: Vec::new(),
+            verdict: ExplainVerdict::Emitted,
+        });
         overrides.insert(Override {
             moved_mbps: demand,
             ..*o
@@ -154,6 +172,17 @@ pub fn allocate(
             if src_util > keep_above && room {
                 *load.entry(src).or_default() -= demand;
                 *load.entry(o.target).or_default() += demand;
+                explains.push(ExplainRecord {
+                    prefix: o.prefix.to_string(),
+                    trigger: "hysteresis".into(),
+                    hot_egress: Some(src.0),
+                    hot_util: src_util,
+                    demand_mbps: demand,
+                    chosen_egress: Some(o.target.0),
+                    chosen_kind: Some(route.source.kind.label().to_string()),
+                    rejected: Vec::new(),
+                    verdict: ExplainVerdict::Emitted,
+                });
                 overrides.insert(Override {
                     moved_mbps: demand,
                     target_kind: route.source.kind,
@@ -243,20 +272,76 @@ pub fn allocate(
             if load.get(hot).copied().unwrap_or(0.0) <= limit_of(*hot) {
                 break; // interface relieved
             }
+            let hot_util = util_of(*hot, &load);
+            let explain = |rejected, chosen: Option<&Route>, verdict| ExplainRecord {
+                prefix: unit.to_string(),
+                trigger: "capacity".into(),
+                hot_egress: Some(hot.0),
+                hot_util,
+                demand_mbps: mbps,
+                chosen_egress: chosen.map(|r| r.egress.0),
+                chosen_kind: chosen.map(|r| r.source.kind.label().to_string()),
+                rejected,
+                verdict,
+            };
             if capacity_detoured + mbps > detour_budget {
-                continue; // this prefix would bust the safety budget
+                // This prefix would bust the safety budget.
+                explains.push(explain(
+                    vec![RejectedAlternative {
+                        egress: None,
+                        kind: None,
+                        reason: RejectReason::DetourBudget,
+                    }],
+                    None,
+                    ExplainVerdict::DroppedDetourBudget,
+                ));
+                continue;
             }
             if cfg.max_overrides > 0 && overrides.len() >= cfg.max_overrides {
+                explains.push(explain(
+                    vec![RejectedAlternative {
+                        egress: None,
+                        kind: None,
+                        reason: RejectReason::OverrideCountCap,
+                    }],
+                    None,
+                    ExplainVerdict::DroppedOverrideCap,
+                ));
                 break;
             }
-            // Find the most-preferred feasible alternate.
-            let target: Option<Route> = routes
+            // Find the most-preferred feasible alternate, keeping the
+            // rejection trail for provenance.
+            let mut rejected: Vec<RejectedAlternative> = Vec::new();
+            let mut target: Option<Route> = None;
+            for r in routes
                 .ranked(&lookup)
                 .into_iter()
                 .filter(|r| !r.is_override() && r.egress != *hot)
-                .find(|r| load.get(&r.egress).copied().unwrap_or(0.0) + mbps <= limit_of(r.egress))
-                .cloned();
+            {
+                let projected = load.get(&r.egress).copied().unwrap_or(0.0) + mbps;
+                let limit = limit_of(r.egress);
+                if projected <= limit {
+                    target = Some(r.clone());
+                    break;
+                }
+                rejected.push(RejectedAlternative {
+                    egress: Some(r.egress.0),
+                    kind: Some(r.source.kind.label().to_string()),
+                    reason: RejectReason::NoSpareCapacity {
+                        projected_mbps: projected,
+                        limit_mbps: limit,
+                    },
+                });
+            }
             let Some(target) = target else {
+                if rejected.is_empty() {
+                    rejected.push(RejectedAlternative {
+                        egress: None,
+                        kind: None,
+                        reason: RejectReason::NoRoute,
+                    });
+                }
+                explains.push(explain(rejected, None, ExplainVerdict::NoFeasibleAlternate));
                 // Nowhere to put the whole unit: try its halves.
                 if depth > 0 {
                     if let Some((lo, hi)) = unit.halves() {
@@ -266,6 +351,7 @@ pub fn allocate(
                 }
                 continue;
             };
+            explains.push(explain(rejected, Some(&target), ExplainVerdict::Emitted));
             *load.entry(*hot).or_default() -= mbps;
             *load.entry(target.egress).or_default() += mbps;
             capacity_detoured += mbps;
@@ -293,6 +379,7 @@ pub fn allocate(
         residual_overloaded,
         post_load: load,
         capacity_detoured_mbps: capacity_detoured,
+        explains,
     }
 }
 
@@ -716,6 +803,85 @@ mod tests {
             out.overrides.get(&p("1.0.0.0/24")).map(|o| o.target) != Some(EgressId(77)),
             "stale override not retained"
         );
+    }
+
+    #[test]
+    fn explains_cover_every_override_and_record_rejections() {
+        let (c, mut ifaces) = standard_world(&["1.0.0.0/24", "2.0.0.0/24", "3.0.0.0/24"]);
+        // Public (egress 2) can take nothing: every detour must record a
+        // no-spare-capacity rejection for it before landing on transit.
+        ifaces.get_mut(&EgressId(2)).unwrap().capacity_mbps = 10.0;
+        let traffic = HashMap::from([
+            (p("1.0.0.0/24"), 90.0),
+            (p("2.0.0.0/24"), 60.0),
+            (p("3.0.0.0/24"), 90.0),
+        ]);
+        let out = run(&ControllerConfig::default(), &c, &ifaces, &traffic);
+        assert!(!out.overrides.is_empty());
+        for o in out.overrides.iter_sorted() {
+            let rec = out
+                .explains
+                .iter()
+                .find(|e| e.prefix == o.prefix.to_string() && e.emitted())
+                .expect("every override has an emitted explain");
+            assert_eq!(rec.chosen_egress, Some(o.target.0));
+            assert_eq!(rec.trigger, "capacity");
+            assert_eq!(rec.hot_egress, Some(1));
+            assert!(rec.hot_util > 0.95, "decision made while hot");
+            assert!(
+                rec.rejected.iter().any(|r| r.egress == Some(2)
+                    && matches!(r.reason, RejectReason::NoSpareCapacity { .. })),
+                "the full public peer shows up in the rejection trail: {rec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn explains_record_budget_and_infeasible_verdicts() {
+        let (c, ifaces) = standard_world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 90.0), (p("2.0.0.0/24"), 90.0)]);
+        let cfg = ControllerConfig {
+            max_detour_fraction: 0.1, // 18 Mbps budget; nothing fits
+            ..Default::default()
+        };
+        let out = run(&cfg, &c, &ifaces, &traffic);
+        assert!(out.overrides.is_empty());
+        assert!(
+            out.explains
+                .iter()
+                .all(|e| e.verdict == ExplainVerdict::DroppedDetourBudget),
+            "{:?}",
+            out.explains
+        );
+        assert_eq!(out.explains.len(), 2, "one record per considered victim");
+    }
+
+    #[test]
+    fn perf_and_hysteresis_decisions_are_explained() {
+        let (c, ifaces) = standard_world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 50.0), (p("2.0.0.0/24"), 50.0)]);
+        let mut perf = OverrideSet::new();
+        perf.insert(Override {
+            prefix: p("1.0.0.0/24"),
+            target: EgressId(3),
+            target_kind: PeerKind::Transit,
+            reason: OverrideReason::Performance,
+            moved_mbps: 0.0,
+        });
+        let proj = project(&c, &traffic);
+        let out = allocate(
+            &ControllerConfig::default(),
+            &ifaces,
+            &c,
+            &traffic,
+            &proj,
+            &perf,
+            &OverrideSet::new(),
+        );
+        let rec = &out.explains[0];
+        assert_eq!(rec.trigger, "performance");
+        assert_eq!(rec.chosen_egress, Some(3));
+        assert!(rec.emitted());
     }
 
     #[test]

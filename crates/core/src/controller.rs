@@ -28,6 +28,7 @@ use ef_bgp::peer::{PeerId, PeerKind};
 use ef_bgp::route::EgressId;
 use ef_bgp::router::BgpRouter;
 use ef_bgp::session::Millis;
+use ef_telemetry::{audit_overrides, ExplainRecord, ExplainVerdict, TelemetryHandle};
 
 use crate::allocator::allocate;
 use crate::collector::RouteCollector;
@@ -80,6 +81,12 @@ pub struct EpochReport {
     pub fail_open: bool,
     /// Demand the blast-radius cap refused to newly shift this epoch, Mbps.
     pub shift_capped_mbps: f64,
+    /// Decision provenance: one record per steering decision the allocator
+    /// considered, with verdicts amended by the guards (blast-radius,
+    /// hold-or-shrink, fail-open). Always populated — it is derived purely
+    /// from simulation state, so reports stay byte-identical whether or not
+    /// a telemetry sink is attached.
+    pub explains: Vec<ExplainRecord>,
 }
 
 /// Input freshness for one guarded epoch. Ages are "now minus the time the
@@ -138,6 +145,9 @@ pub struct PopController {
     collector: RouteCollector,
     injector: Injector,
     perf_overrides: OverrideSet,
+    telemetry: TelemetryHandle,
+    last_degraded: bool,
+    last_fail_open: bool,
 }
 
 impl PopController {
@@ -184,7 +194,24 @@ impl PopController {
             collector: RouteCollector::new(peer_egress),
             injector,
             perf_overrides: OverrideSet::new(),
+            telemetry: TelemetryHandle::disabled(),
+            last_degraded: false,
+            last_fail_open: false,
         })
+    }
+
+    /// Attaches (or detaches, with a disabled handle) the telemetry
+    /// pipeline. Telemetry observes the epoch cycle — phase timings,
+    /// decision provenance, mode transitions, override audits — but never
+    /// influences it: all control decisions are computed before any
+    /// telemetry call, and timers read 0 when disabled.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry handle (disabled by default).
+    pub fn telemetry(&self) -> &TelemetryHandle {
+        &self.telemetry
     }
 
     /// The stable peer id of this controller's injector session.
@@ -268,14 +295,26 @@ impl PopController {
         now: Millis,
         inputs: EpochInputs,
     ) -> Result<EpochReport, EpochError> {
+        let epoch_timer = self.telemetry.timer();
         if !self.cfg.dry_run && !self.injector.session_up() {
+            self.telemetry.counter("epoch.skipped", 1);
+            self.telemetry.emit(
+                self.pop,
+                now,
+                "epoch.skipped",
+                &[("reason", "injector_down".into())],
+            );
             return Err(EpochError::InjectorDown);
         }
         let age_ms = inputs.age_ms();
         let fail_open = age_ms >= self.cfg.fail_open_secs.saturating_mul(1000);
         let degraded = !fail_open && age_ms >= self.cfg.stale_input_secs.saturating_mul(1000);
 
+        let projection_timer = self.telemetry.timer();
         let projection = project(&self.collector, traffic);
+        let projection_us = projection_timer.elapsed_us();
+
+        let allocation_timer = self.telemetry.timer();
         let outcome = allocate(
             &self.cfg,
             &self.interfaces,
@@ -285,31 +324,136 @@ impl PopController {
             &self.perf_overrides,
             self.injector.announced(),
         );
+        let allocation_us = allocation_timer.elapsed_us();
 
+        let guard_timer = self.telemetry.timer();
+        let mut explains = outcome.explains.clone();
         let mut shift_capped_mbps = 0.0;
         let desired = if fail_open {
             // Nothing the allocator computed is trustworthy at this age.
+            for rec in explains.iter_mut().filter(|r| r.emitted()) {
+                rec.verdict = ExplainVerdict::DroppedFailOpen;
+            }
             OverrideSet::new()
         } else if degraded {
-            self.hold_or_shrink(&outcome.overrides, &projection)
+            let kept = self.hold_or_shrink(&outcome.overrides, &projection);
+            for rec in explains.iter_mut().filter(|r| r.emitted()) {
+                let retained = rec
+                    .prefix
+                    .parse::<ef_net_types::Prefix>()
+                    .map(|p| kept.contains(&p))
+                    .unwrap_or(false);
+                if !retained {
+                    rec.verdict = ExplainVerdict::DroppedStaleInput;
+                }
+            }
+            kept
         } else {
             let mut desired = outcome.overrides.clone();
-            shift_capped_mbps =
+            let refused =
                 self.cap_blast_radius(&mut desired, crate::state::total_traffic_mbps(traffic));
+            for (prefix, mbps) in &refused {
+                shift_capped_mbps += mbps;
+                let name = prefix.to_string();
+                for rec in explains
+                    .iter_mut()
+                    .filter(|r| r.emitted() && r.prefix == name)
+                {
+                    rec.verdict = ExplainVerdict::DroppedBlastRadius;
+                }
+            }
             desired
         };
+        let guards_us = guard_timer.elapsed_us();
 
+        self.note_mode_transitions(degraded, fail_open, age_ms, now);
+
+        let injection_timer = self.telemetry.timer();
         let diff = if self.cfg.dry_run {
             Default::default()
         } else {
             self.injector.apply(router, &desired, now)
         };
+        let injection_us = injection_timer.elapsed_us();
 
         // Pull the router's BMP echoes of our own changes immediately so
         // the collector's view stays current within the epoch.
+        let bmp_timer = self.telemetry.timer();
         self.collector.ingest(router.drain_bmp());
+        let bmp_ingest_us = bmp_timer.elapsed_us();
 
         let active = self.injector.announced();
+        if self.telemetry.enabled() {
+            for rec in &explains {
+                self.telemetry.explain(self.pop, now, rec);
+            }
+            for o in &diff.announce {
+                self.telemetry.emit(
+                    self.pop,
+                    now,
+                    "override.announce",
+                    &[
+                        ("prefix", o.prefix.to_string().into()),
+                        ("target", o.target.0.into()),
+                        ("kind", o.target_kind.label().into()),
+                        ("mbps", o.moved_mbps.into()),
+                        ("reason", o.reason.label().into()),
+                    ],
+                );
+            }
+            for prefix in &diff.withdraw {
+                self.telemetry.emit(
+                    self.pop,
+                    now,
+                    "override.withdraw",
+                    &[("prefix", prefix.to_string().into())],
+                );
+            }
+            if !self.cfg.dry_run {
+                // Verify the router state matches what we believe we did.
+                let expected: Vec<_> = active
+                    .iter_sorted()
+                    .into_iter()
+                    .map(|o| (o.prefix, o.target))
+                    .collect();
+                let audit = audit_overrides(router, &expected, &diff.withdraw);
+                audit.emit(&self.telemetry, self.pop, now);
+            }
+            self.telemetry
+                .counter("overrides.announced", diff.announce.len() as u64);
+            self.telemetry
+                .counter("overrides.withdrawn", diff.withdraw.len() as u64);
+            self.telemetry.gauge(
+                &format!("pop{}.overrides_active", self.pop),
+                active.len() as f64,
+            );
+            self.telemetry.gauge(
+                &format!("pop{}.detoured_mbps", self.pop),
+                active.total_moved_mbps(),
+            );
+            let total_us = epoch_timer.elapsed_us();
+            self.telemetry.observe("epoch_duration_us", total_us as f64);
+            self.telemetry.emit(
+                self.pop,
+                now,
+                "epoch",
+                &[
+                    ("input_age_ms", age_ms.into()),
+                    ("degraded", degraded.into()),
+                    ("fail_open", fail_open.into()),
+                    ("overrides_active", active.len().into()),
+                    ("announced", diff.announce.len().into()),
+                    ("withdrawn", diff.withdraw.len().into()),
+                    ("projection_us", projection_us.into()),
+                    ("allocation_us", allocation_us.into()),
+                    ("guards_us", guards_us.into()),
+                    ("injection_us", injection_us.into()),
+                    ("bmp_ingest_us", bmp_ingest_us.into()),
+                    ("total_us", total_us.into()),
+                ],
+            );
+            self.telemetry.snapshot_metrics(self.pop, now);
+        }
         Ok(EpochReport {
             now_ms: now,
             pop: self.pop,
@@ -345,7 +489,42 @@ impl PopController {
             degraded,
             fail_open,
             shift_capped_mbps,
+            explains,
         })
+    }
+
+    /// Emits enter/exit events (and bumps transition counters) when the
+    /// controller crosses into or out of degraded / fail-open mode. These
+    /// replace the ad-hoc debug prints an operator would otherwise add: the
+    /// transition, its trigger (input age), and the override footprint at
+    /// the moment of crossing are all structured fields.
+    fn note_mode_transitions(&mut self, degraded: bool, fail_open: bool, age_ms: u64, now: Millis) {
+        let overrides_active = self.injector.announced().len();
+        let fields = [
+            ("input_age_ms", age_ms.into()),
+            ("overrides_active", overrides_active.into()),
+        ];
+        if degraded != self.last_degraded {
+            let name = if degraded {
+                self.telemetry.counter("controller.degraded_transitions", 1);
+                "controller.degraded.enter"
+            } else {
+                "controller.degraded.exit"
+            };
+            self.telemetry.emit(self.pop, now, name, &fields);
+        }
+        if fail_open != self.last_fail_open {
+            let name = if fail_open {
+                self.telemetry
+                    .counter("controller.fail_open_transitions", 1);
+                "controller.fail_open.enter"
+            } else {
+                "controller.fail_open.exit"
+            };
+            self.telemetry.emit(self.pop, now, name, &fields);
+        }
+        self.last_degraded = degraded;
+        self.last_fail_open = fail_open;
     }
 
     /// Degraded-mode desired set: the intersection of what the allocator
@@ -384,10 +563,15 @@ impl PopController {
     /// Enforces the per-epoch blast-radius cap: overrides for prefixes not
     /// already announced are dropped (in deterministic prefix order) once
     /// their cumulative demand exceeds the allowed fraction of the PoP's
-    /// total. Returns the demand refused, Mbps.
-    fn cap_blast_radius(&self, desired: &mut OverrideSet, total_demand_mbps: f64) -> f64 {
+    /// total. Returns the refused `(prefix, demand)` pairs so provenance
+    /// records can carry the rejection.
+    fn cap_blast_radius(
+        &self,
+        desired: &mut OverrideSet,
+        total_demand_mbps: f64,
+    ) -> Vec<(ef_net_types::Prefix, f64)> {
         if self.cfg.max_shift_fraction_per_epoch >= 1.0 {
-            return 0.0;
+            return Vec::new();
         }
         let budget = self.cfg.max_shift_fraction_per_epoch * total_demand_mbps;
         let announced = self.injector.announced();
@@ -403,12 +587,10 @@ impl PopController {
                 new_shift += o.moved_mbps;
             }
         }
-        let mut capped = 0.0;
-        for (prefix, mbps) in refused {
-            desired.remove(&prefix);
-            capped += mbps;
+        for (prefix, _) in &refused {
+            desired.remove(prefix);
         }
-        capped
+        refused
     }
 
     /// The report for an epoch that could not run (injector down): nothing
@@ -434,6 +616,7 @@ impl PopController {
             degraded: false,
             fail_open: true,
             shift_capped_mbps: 0.0,
+            explains: Vec::new(),
         }
     }
 
@@ -920,6 +1103,135 @@ mod tests {
         w.controller.set_interface_capacity(EgressId(1), 100.0);
         let report = w.controller.run_epoch(&traffic, &mut w.router, 90_000);
         assert_eq!(report.overrides_active, 0);
+    }
+
+    #[test]
+    fn telemetry_captures_epoch_events_explains_and_clean_audit() {
+        let mut w = world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let (handle, sink) = TelemetryHandle::memory();
+        w.controller.set_telemetry(handle);
+        let peak = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 70.0)]);
+        let report = w.controller.run_epoch(&peak, &mut w.router, 30_000);
+        assert_eq!(report.overrides_active, 1);
+
+        // Every announced override has an emitted explain, in the sink and
+        // in the report (identical records).
+        let explains = sink.explains();
+        assert!(!explains.is_empty());
+        assert_eq!(
+            explains
+                .iter()
+                .map(|(_, _, e)| e.clone())
+                .collect::<Vec<_>>(),
+            report.explains
+        );
+        for o in w.controller.active_overrides().iter_sorted() {
+            assert!(
+                report
+                    .explains
+                    .iter()
+                    .any(|e| e.emitted() && e.prefix == o.prefix.to_string()),
+                "override {} lacks provenance",
+                o.prefix
+            );
+        }
+
+        // The announce event carries the structured fields.
+        let announces = sink.events_named("override.announce");
+        assert_eq!(announces.len(), 1);
+        assert_eq!(announces[0].str_field("kind"), Some("transit"));
+
+        // The epoch event has the per-phase wall-clock timings.
+        let epochs = sink.events_named("epoch");
+        assert_eq!(epochs.len(), 1);
+        for key in [
+            "projection_us",
+            "allocation_us",
+            "guards_us",
+            "injection_us",
+            "bmp_ingest_us",
+            "total_us",
+        ] {
+            assert!(epochs[0].field(key).is_some(), "missing {key}");
+        }
+
+        // The audit ran and found the router state consistent.
+        assert!(sink.events_named("audit.override_leaked").is_empty());
+        assert!(sink.events_named("audit.override_not_installed").is_empty());
+        let snaps = sink.snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].2.counters["audit.checked"], 1);
+        assert_eq!(snaps[0].2.counters.get("audit.failures"), Some(&0));
+        assert_eq!(snaps[0].2.counters["overrides.announced"], 1);
+        assert_eq!(snaps[0].2.gauges["pop0.overrides_active"], 1.0);
+        assert_eq!(snaps[0].2.histograms["epoch_duration_us"].count, 1);
+    }
+
+    #[test]
+    fn telemetry_records_mode_transitions_and_amends_verdicts() {
+        let mut w = world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let (handle, sink) = TelemetryHandle::memory();
+        w.controller.set_telemetry(handle);
+        let peak = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 70.0)]);
+
+        // Stale inputs: the detour the allocator wants is dropped and its
+        // provenance says so.
+        let stale = EpochInputs {
+            bmp_age_ms: w.controller.config().stale_input_secs * 1000,
+            traffic_age_ms: 0,
+        };
+        let report = w
+            .controller
+            .run_epoch_guarded(&peak, &mut w.router, 30_000, stale)
+            .unwrap();
+        assert!(report.degraded);
+        assert_eq!(sink.events_named("controller.degraded.enter").len(), 1);
+        assert!(report
+            .explains
+            .iter()
+            .any(|e| e.verdict == ExplainVerdict::DroppedStaleInput));
+
+        // Ancient inputs: fail-open enter (and degraded exit), with the
+        // allocator's wish recorded as dropped by fail-open.
+        let ancient = EpochInputs {
+            bmp_age_ms: w.controller.config().fail_open_secs * 1000,
+            traffic_age_ms: 0,
+        };
+        let report = w
+            .controller
+            .run_epoch_guarded(&peak, &mut w.router, 60_000, ancient)
+            .unwrap();
+        assert!(report.fail_open);
+        assert_eq!(sink.events_named("controller.fail_open.enter").len(), 1);
+        assert_eq!(sink.events_named("controller.degraded.exit").len(), 1);
+        assert!(report
+            .explains
+            .iter()
+            .all(|e| e.verdict != ExplainVerdict::Emitted));
+
+        // Recovery: both modes exit.
+        let report = w.controller.run_epoch(&peak, &mut w.router, 90_000);
+        assert!(!report.fail_open && !report.degraded);
+        assert_eq!(sink.events_named("controller.fail_open.exit").len(), 1);
+    }
+
+    #[test]
+    fn reports_are_identical_with_and_without_telemetry() {
+        let peak = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 70.0)]);
+        let run = |telemetry: bool| -> Vec<String> {
+            let mut w = world(&["1.0.0.0/24", "2.0.0.0/24"]);
+            if telemetry {
+                let (handle, _sink) = TelemetryHandle::memory();
+                w.controller.set_telemetry(handle);
+            }
+            (1..4)
+                .map(|i| {
+                    let r = w.controller.run_epoch(&peak, &mut w.router, 30_000 * i);
+                    serde_json::to_string(&r).unwrap()
+                })
+                .collect()
+        };
+        assert_eq!(run(false), run(true), "telemetry must not perturb results");
     }
 
     #[test]

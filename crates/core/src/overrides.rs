@@ -23,6 +23,16 @@ pub enum OverrideReason {
     Performance,
 }
 
+impl OverrideReason {
+    /// Short label for telemetry fields and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OverrideReason::Capacity => "capacity",
+            OverrideReason::Performance => "performance",
+        }
+    }
+}
+
 /// One desired detour.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Override {

@@ -380,6 +380,88 @@ mod tests {
     }
 
     #[test]
+    fn histogram_clamps_loads_beyond_twice_capacity() {
+        let mut m = MetricsStore::new();
+        m.register_interface(PopId(0), EgressId(1), 100.0, "private");
+        // 199 % lands in the last regular bucket; 200 %, 300 %, and an
+        // absurd 50× all clamp into the final bucket instead of indexing
+        // out of bounds.
+        m.record_interface(0, EgressId(1), 199.0, 0.95);
+        m.record_interface(30, EgressId(1), 200.0, 0.95);
+        m.record_interface(60, EgressId(1), 300.0, 0.95);
+        m.record_interface(90, EgressId(1), 5_000.0, 0.95);
+        let s = &m.interfaces[&EgressId(1)];
+        assert_eq!(s.util_histogram.len(), UTIL_BUCKETS);
+        assert_eq!(s.util_histogram[UTIL_BUCKETS - 1], 4);
+        assert_eq!(s.epochs_over_capacity, 4);
+        assert!((s.peak_util - 50.0).abs() < 1e-9);
+        // frac_above saturates: every threshold inside the histogram range
+        // counts the clamped epochs, and one beyond the range counts none.
+        assert!((s.frac_above(1.9) - 1.0).abs() < 1e-9);
+        assert_eq!(s.frac_above(2.5), 0.0, "beyond the histogram range");
+    }
+
+    #[test]
+    fn continuous_override_spans_epoch_boundaries_as_one_episode() {
+        let mut m = MetricsStore::new();
+        let pop = PopId(1);
+        // The same prefix is active for five consecutive epochs: episode
+        // tracking must coalesce them, not open one per epoch.
+        for t in (0..150).step_by(30) {
+            m.update_episodes(pop, t, [p("1.0.0.0/24")]);
+        }
+        assert!(m.episodes.is_empty(), "still open");
+        m.update_episodes(pop, 150, []);
+        assert_eq!(m.episodes.len(), 1);
+        assert_eq!(m.episodes[0].duration_secs(), 150);
+        m.finish(180);
+        assert_eq!(m.episodes.len(), 1, "finish does not duplicate it");
+    }
+
+    #[test]
+    fn fail_open_withdrawal_closes_every_episode_at_once() {
+        let mut m = MetricsStore::new();
+        let pop = PopId(2);
+        let active = [p("1.0.0.0/24"), p("2.0.0.0/24"), p("3.0.0.0/24")];
+        m.update_episodes(pop, 0, active);
+        m.update_episodes(pop, 30, active);
+        // Fail-open withdraws the whole override set in one epoch.
+        m.update_episodes(pop, 60, []);
+        assert_eq!(m.episodes.len(), 3);
+        assert!(m.episodes.iter().all(|e| e.end_secs == 60));
+        // Churn bookkeeping for that epoch records the mass withdrawal.
+        m.record_pop_epoch(PopEpochRecord {
+            t_secs: 60,
+            pop: 2,
+            offered_mbps: 100.0,
+            detoured_mbps: 0.0,
+            detoured_by_kind: Default::default(),
+            overrides_active: 0,
+            churn_announced: 0,
+            churn_withdrawn: active.len(),
+            overloaded_before: 1,
+            residual_overloaded: 1,
+            dropped_mbps: 0.0,
+            active_faults: vec!["bmp_stall".into()],
+            degraded: false,
+            fail_open: true,
+        });
+        let rec = m.pop_epochs.last().unwrap();
+        assert_eq!(rec.churn_withdrawn, 3);
+        assert!(rec.fail_open);
+        // Recovery afterwards opens fresh episodes, not resumed ones.
+        m.update_episodes(pop, 90, [p("1.0.0.0/24")]);
+        m.finish(120);
+        assert_eq!(m.episodes.len(), 4);
+        let reopened = m
+            .episodes
+            .iter()
+            .find(|e| e.prefix == "1.0.0.0/24" && e.start_secs == 90)
+            .unwrap();
+        assert_eq!(reopened.end_secs, 120);
+    }
+
+    #[test]
     fn merge_combines_stores() {
         let mut a = MetricsStore::new();
         a.register_interface(PopId(0), EgressId(1), 100.0, "private");

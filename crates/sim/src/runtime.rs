@@ -101,6 +101,8 @@ pub struct PopRuntime {
     /// Last fresh traffic estimate `(t_secs, estimate)`, replayed (with a
     /// growing age) while a severe sFlow loss starves the estimator.
     last_traffic: Option<(u64, HashMap<Prefix, f64>)>,
+    /// Telemetry pipeline shared with the controller (disabled by default).
+    telemetry: ef_telemetry::TelemetryHandle,
 }
 
 impl PopRuntime {
@@ -177,6 +179,7 @@ impl PopRuntime {
                 })
                 .collect();
             let mut ctl = PopController::new(pop_id.0, controller_cfg, interfaces, &mut router);
+            ctl.set_telemetry(cfg.telemetry.clone());
             ctl.ingest_bmp(router.drain_bmp());
             ctl
         });
@@ -260,6 +263,7 @@ impl PopRuntime {
             stalled_bmp: Vec::new(),
             last_bmp_secs: 0,
             last_traffic: None,
+            telemetry: cfg.telemetry.clone(),
         }
     }
 
@@ -315,6 +319,16 @@ impl PopRuntime {
     }
 
     fn start_fault(&mut self, event: &FaultEvent, now_ms: u64) {
+        self.telemetry.emit(
+            self.pop.id.0,
+            now_ms,
+            "fault.start",
+            &[
+                ("kind", event.kind.label().into()),
+                ("target", format!("{:?}", event.target).into()),
+            ],
+        );
+        self.telemetry.counter("faults.started", 1);
         match (&event.kind, &event.target) {
             (FaultKind::PeerFailure, FaultTarget::Peer { peer, .. }) => {
                 if let Some(stub) = self.stubs.get_mut(&PeerId(*peer)) {
@@ -353,6 +367,15 @@ impl PopRuntime {
     }
 
     fn end_fault(&mut self, event: &FaultEvent, now_ms: u64, t_secs: u64) {
+        self.telemetry.emit(
+            self.pop.id.0,
+            now_ms,
+            "fault.end",
+            &[
+                ("kind", event.kind.label().into()),
+                ("target", format!("{:?}", event.target).into()),
+            ],
+        );
         match (&event.kind, &event.target) {
             (FaultKind::PeerFailure, FaultTarget::Peer { peer, .. }) => {
                 let peer = PeerId(*peer);
@@ -426,6 +449,7 @@ impl PopRuntime {
                     interfaces,
                     &mut self.router,
                 );
+                ctl.set_telemetry(self.telemetry.clone());
                 // The incremental feed accumulated while dead is
                 // superseded by the snapshot.
                 let _ = self.router.drain_bmp();

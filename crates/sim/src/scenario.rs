@@ -60,6 +60,12 @@ pub struct SimConfig {
     /// Fault schedule the run interprets (`None` = sunny-day run).
     #[serde(default)]
     pub chaos: Option<FaultSchedule>,
+    /// Telemetry pipeline every PoP controller (and the engine's fault
+    /// bookkeeping) reports into. Disabled by default; never serialized —
+    /// a sink is an I/O handle, not part of the scenario, and keeping it
+    /// out of the config JSON is part of the determinism contract.
+    #[serde(skip, default)]
+    pub telemetry: ef_telemetry::TelemetryHandle,
 }
 
 impl Default for SimConfig {
@@ -76,6 +82,7 @@ impl Default for SimConfig {
             perf: None,
             global_shift: None,
             chaos: None,
+            telemetry: ef_telemetry::TelemetryHandle::disabled(),
         }
     }
 }

@@ -1,0 +1,45 @@
+//! Structured telemetry for the Edge Fabric reproduction.
+//!
+//! The paper's controller is operable because every decision it takes is
+//! observable (§4–§5): each projection/allocation cycle is logged, every
+//! detour carries a "why", and injected overrides are continuously audited
+//! against the routers' actual BGP decision. This crate is the hand-rolled
+//! equivalent for the reproduction — the build is offline, so it depends
+//! only on the vendored `serde`/`serde_json` stand-ins, not on `tracing`.
+//!
+//! Four pieces, one per module:
+//!
+//! * [`event`] — a structured [`Event`](event::Event) with flat typed
+//!   fields, plus the [`TelemetryRecord`](event::TelemetryRecord) envelope
+//!   a sink receives (events, decision provenance, metric snapshots) —
+//!   JSON-lines on disk, one record per line;
+//! * [`explain`] — decision provenance: one
+//!   [`ExplainRecord`](explain::ExplainRecord) per override decision,
+//!   naming the overloaded interface, the chosen alternate, and every
+//!   rejected alternative with its rejection reason;
+//! * [`registry`] — counters / gauges / histograms, snapshotted into the
+//!   event stream once per controller epoch;
+//! * [`audit`] — the override auditor: re-runs the BGP decision process
+//!   after an epoch and reports overrides that failed to install or leaked
+//!   past their withdrawal.
+//!
+//! Everything hangs off a cheap, cloneable [`TelemetryHandle`]: a disabled
+//! handle (the default) makes every call a no-op, so instrumented code
+//! pays nothing in ordinary runs. **Determinism contract**: telemetry only
+//! ever writes to its own sink. Wall-clock readings never feed back into
+//! control decisions or simulation results — `tests/determinism.rs` proves
+//! a run's `results/` output is byte-identical with the sink on or off.
+
+pub mod audit;
+pub mod event;
+pub mod explain;
+pub mod handle;
+pub mod registry;
+pub mod sink;
+
+pub use audit::{audit_overrides, AuditFinding, AuditOutcome};
+pub use event::{Event, FieldValue, TelemetryRecord};
+pub use explain::{ExplainRecord, ExplainVerdict, RejectReason, RejectedAlternative};
+pub use handle::{PhaseTimer, TelemetryHandle};
+pub use registry::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use sink::{JsonLinesSink, MemorySink, Sink};

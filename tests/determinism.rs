@@ -61,3 +61,53 @@ fn baseline_arm_is_deterministic_too() {
     let b = fingerprint(short_config(11).baseline());
     assert_eq!(a, b);
 }
+
+#[test]
+fn telemetry_sink_never_changes_results() {
+    // Attaching a telemetry sink is pure observation: the run's recorded
+    // metrics must be byte-identical with and without one, sunny-day and
+    // under chaos. This is the determinism half of the telemetry contract
+    // (the sink gets wall-clock timings and thread-interleaved records;
+    // none of that may leak into results).
+    let plain = fingerprint(short_config(11));
+    let (handle, sink) = ef_telemetry::TelemetryHandle::memory();
+    let mut cfg = short_config(11);
+    cfg.telemetry = handle;
+    let observed = fingerprint(cfg);
+    assert_eq!(
+        plain, observed,
+        "telemetry sink changed the recorded metrics"
+    );
+    assert!(
+        !sink.is_empty(),
+        "the observed run actually produced telemetry"
+    );
+
+    // Same check under a fault schedule, where the controller's degraded
+    // and fail-open paths emit far more telemetry.
+    let mut cfg = short_config(11);
+    let deployment = ef_topology::generate(&cfg.gen);
+    let profile = ef_chaos::ChaosProfile {
+        duration_secs: cfg.duration_secs,
+        warmup_secs: 120,
+        events: 6,
+        min_fault_secs: 120,
+        max_fault_secs: 240,
+        kinds: Vec::new(),
+    };
+    let schedule = ef_chaos::generate(&profile, &ef_sim::chaos_surface(&deployment), 5)
+        .expect("schedule generates");
+    cfg.chaos = Some(schedule);
+    let plain = fingerprint(cfg.clone());
+    let (handle, sink) = ef_telemetry::TelemetryHandle::memory();
+    cfg.telemetry = handle;
+    let observed = fingerprint(cfg);
+    assert_eq!(
+        plain, observed,
+        "telemetry sink changed the recorded metrics under chaos"
+    );
+    assert!(
+        sink.events().iter().any(|e| e.name == "fault.start"),
+        "chaotic observed run logged its faults"
+    );
+}

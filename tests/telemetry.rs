@@ -1,0 +1,176 @@
+//! The telemetry pipeline end to end through `ef-sim`: a run with a
+//! memory sink attached must explain every override it announces, audit
+//! cleanly, time every epoch phase, and log fault and mode transitions
+//! with structured fields.
+
+use ef_chaos::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
+use ef_sim::{SimConfig, SimEngine};
+use ef_telemetry::{ExplainVerdict, MemorySink, TelemetryHandle};
+
+use std::sync::Arc;
+
+fn base_cfg(seed: u64) -> SimConfig {
+    let mut cfg = SimConfig::test_small(seed);
+    cfg.duration_secs = 1500;
+    cfg.epoch_secs = 60;
+    cfg.sampled_rates = false;
+    cfg
+}
+
+fn observed_run(mut cfg: SimConfig) -> Arc<MemorySink> {
+    let (handle, sink) = TelemetryHandle::memory();
+    cfg.telemetry = handle;
+    let mut engine = SimEngine::new(cfg);
+    engine.run();
+    sink
+}
+
+#[test]
+fn every_announced_override_has_emitted_provenance() {
+    let sink = observed_run(base_cfg(11));
+
+    let announces = sink.events_named("override.announce");
+    assert!(!announces.is_empty(), "scenario produces overrides");
+    let explains = sink.explains();
+    for a in &announces {
+        let prefix = a.str_field("prefix").expect("announce carries its prefix");
+        assert!(
+            explains.iter().any(|(pop, now_ms, rec)| *pop == a.pop
+                && *now_ms == a.now_ms
+                && rec.prefix == prefix
+                && rec.verdict == ExplainVerdict::Emitted),
+            "announce of {prefix} at pop{} t={}ms lacks an emitted explain",
+            a.pop,
+            a.now_ms
+        );
+    }
+    // Every emitted explain names its chosen alternate.
+    for (_, _, rec) in explains.iter().filter(|(_, _, r)| r.emitted()) {
+        assert!(rec.chosen_egress.is_some(), "emitted explain chose nothing");
+        assert!(rec.chosen_kind.is_some());
+    }
+}
+
+#[test]
+fn auditor_is_clean_and_epochs_carry_phase_timings() {
+    let sink = observed_run(base_cfg(11));
+
+    // The auditor re-runs the PR decision process after every epoch; a
+    // healthy run has zero leaked or missing overrides.
+    assert!(sink.events_named("audit.override_leaked").is_empty());
+    assert!(sink.events_named("audit.override_not_installed").is_empty());
+
+    let epochs = sink.events_named("epoch");
+    assert!(!epochs.is_empty(), "every epoch logs a span event");
+    for e in &epochs {
+        for key in [
+            "bmp_ingest_us",
+            "projection_us",
+            "allocation_us",
+            "guards_us",
+            "injection_us",
+            "total_us",
+        ] {
+            assert!(e.field(key).is_some(), "epoch event lacks {key}");
+        }
+    }
+
+    // Metric snapshots flow once per PoP per epoch; the registry is shared
+    // so the largest counter values cover the whole run.
+    let snapshots = sink.snapshots();
+    assert!(!snapshots.is_empty(), "per-epoch snapshots present");
+    let announced_max = snapshots
+        .iter()
+        .filter_map(|(_, _, s)| s.counters.get("overrides.announced").copied())
+        .max()
+        .unwrap_or(0);
+    assert_eq!(
+        announced_max as usize,
+        sink.events_named("override.announce").len(),
+        "counter agrees with the announce events"
+    );
+    let audits = snapshots
+        .iter()
+        .filter_map(|(_, _, s)| s.counters.get("audit.checked").copied())
+        .max()
+        .unwrap_or(0);
+    assert!(audits > 0, "auditor ran");
+    assert!(
+        snapshots
+            .iter()
+            .any(|(_, _, s)| s.histograms.contains_key("epoch_duration_us")),
+        "epoch duration histogram recorded"
+    );
+}
+
+#[test]
+fn faults_and_mode_transitions_are_logged_with_structured_fields() {
+    // Stall PoP 0's BMP feed long enough to cross the degraded horizon
+    // (120s) and the fail-open horizon (360s).
+    let mut cfg = base_cfg(7);
+    cfg.controller.stale_input_secs = 120;
+    cfg.controller.fail_open_secs = 360;
+    cfg.chaos = Some(
+        FaultSchedule::new(vec![FaultEvent {
+            t_start_secs: 300,
+            duration_secs: 600,
+            target: FaultTarget::Pop { pop: 0 },
+            kind: FaultKind::BmpStall,
+        }])
+        .expect("valid schedule"),
+    );
+    let sink = observed_run(cfg);
+
+    let starts = sink.events_named("fault.start");
+    assert_eq!(starts.len(), 1);
+    assert_eq!(starts[0].str_field("kind"), Some("bmp_stall"));
+    let ends = sink.events_named("fault.end");
+    assert_eq!(ends.len(), 1);
+    assert!(ends[0].now_ms > starts[0].now_ms);
+
+    let degraded = sink.events_named("controller.degraded.enter");
+    assert!(
+        degraded.iter().any(|e| e.pop == 0),
+        "stalled PoP logged degraded-mode entry"
+    );
+    for e in &degraded {
+        assert!(e.field("input_age_ms").is_some());
+        assert!(e.field("overrides_active").is_some());
+    }
+    let fail_open = sink.events_named("controller.fail_open.enter");
+    assert!(
+        fail_open.iter().any(|e| e.pop == 0),
+        "stall outlasts the fail-open horizon"
+    );
+    assert!(
+        sink.events_named("controller.fail_open.exit")
+            .iter()
+            .any(|e| e.pop == 0),
+        "recovery logged once the stall ended"
+    );
+
+    // Mode transitions also bump the registry counters.
+    let transitions = sink
+        .snapshots()
+        .iter()
+        .filter_map(|(_, _, s)| s.counters.get("controller.fail_open_transitions").copied())
+        .max()
+        .unwrap_or(0);
+    assert!(transitions >= 1);
+}
+
+#[test]
+fn disabled_handle_emits_nothing() {
+    // The default config has no sink; the same run must work and the
+    // handle must stay silent (this is what every non-observed test and
+    // experiment binary exercises implicitly, pinned here explicitly).
+    let cfg = base_cfg(11);
+    assert!(!cfg.telemetry.enabled());
+    let mut engine = SimEngine::new(cfg);
+    engine.run();
+    // Nothing to assert on a sink — there is none; the run completing is
+    // the contract. Spot-check the handle API used by callers:
+    let handle = TelemetryHandle::disabled();
+    assert_eq!(handle.timer().elapsed_us(), 0);
+    assert!(handle.metrics().is_none());
+}
