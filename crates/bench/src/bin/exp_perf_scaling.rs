@@ -1,0 +1,282 @@
+//! Epoch-engine throughput sweep — incremental vs. from-scratch hot paths.
+//!
+//! Runs the same seeded scenario twice per sweep point, once with the
+//! incremental epoch engine (dirty-prefix projection memo, version-checked
+//! FIB lookup cache, dense load accumulators) and once with
+//! `incremental = false`, which takes the pre-existing from-scratch paths.
+//! The determinism suite proves the two arms byte-identical; this binary
+//! measures what the equivalence buys, sweeping (#PoPs × #prefixes) and
+//! reporting pop-epochs/second plus mean per-phase wall time from the
+//! controller's `epoch` telemetry events.
+//!
+//! Output: `results/BENCH_epoch.json`. With `--smoke`, only the smallest
+//! point runs, results land in `results/BENCH_epoch_smoke.json`, and the
+//! binary exits nonzero if the cached arm's throughput regressed more than
+//! 2x against the committed `BENCH_epoch.json` baseline (the 2x headroom
+//! absorbs machine-to-machine variance in CI).
+
+use std::time::Instant;
+
+use ef_bench::{results_dir, write_json};
+use ef_sim::{SimConfig, SimEngine};
+use ef_telemetry::{Event, FieldValue, TelemetryHandle};
+use ef_topology::{generate, Deployment, GenConfig};
+use serde::{Deserialize, Serialize};
+
+const SEED: u64 = 7;
+const EPOCH_SECS: u64 = 30;
+const DURATION_SECS: u64 = 1800;
+const SMOKE_DURATION_SECS: u64 = 600;
+
+/// Sweep points: (n_pops, n_prefixes). The first is the smoke point.
+const SWEEP: [(usize, usize); 3] = [(2, 400), (4, 1200), (4, 6000)];
+
+#[derive(Serialize, Deserialize)]
+struct PhaseUs {
+    projection_us: f64,
+    allocation_us: f64,
+    guards_us: f64,
+    injection_us: f64,
+    bmp_ingest_us: f64,
+    total_us: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct ArmResult {
+    wall_secs: f64,
+    pop_epochs_per_sec: f64,
+    phase_us: PhaseUs,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SweepPoint {
+    n_pops: usize,
+    n_prefixes: usize,
+    n_ases: usize,
+    pop_epochs: u64,
+    incremental: ArmResult,
+    scratch: ArmResult,
+    speedup: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct BenchReport {
+    seed: u64,
+    epoch_secs: u64,
+    duration_secs: u64,
+    points: Vec<SweepPoint>,
+}
+
+fn config(n_pops: usize, n_prefixes: usize, duration_secs: u64) -> SimConfig {
+    let n_ases = (n_prefixes / 10).max(20);
+    let mut cfg = SimConfig::test_small(SEED);
+    cfg.gen = GenConfig {
+        seed: SEED,
+        n_pops,
+        n_ases,
+        n_prefixes,
+        total_avg_gbps: 100.0 * n_pops as f64,
+        ..GenConfig::small(SEED)
+    };
+    cfg.epoch_secs = EPOCH_SECS;
+    cfg.duration_secs = duration_secs;
+    cfg.sampled_rates = false;
+    cfg.perf = None;
+    // Splitting doubles the lookup units per prefix — the hardest case for
+    // the FIB cache, and the configuration the determinism suite pins.
+    cfg.controller.split_depth = 1;
+    cfg
+}
+
+fn mean_field(events: &[Event], key: &str) -> f64 {
+    let vals: Vec<f64> = events
+        .iter()
+        .filter_map(|e| match e.field(key) {
+            Some(FieldValue::U64(n)) => Some(*n as f64),
+            Some(FieldValue::I64(n)) => Some(*n as f64),
+            Some(FieldValue::F64(f)) => Some(*f),
+            _ => None,
+        })
+        .collect();
+    if vals.is_empty() {
+        0.0
+    } else {
+        vals.iter().sum::<f64>() / vals.len() as f64
+    }
+}
+
+/// Per-phase means from an untimed telemetry pass (the memory sink skews
+/// absolute numbers, so these are for relative attribution only).
+fn phase_profile(cfg: &SimConfig, deployment: &Deployment, incremental: bool) -> PhaseUs {
+    let (handle, sink) = TelemetryHandle::memory();
+    let mut cfg = cfg.clone();
+    cfg.incremental = incremental;
+    cfg.telemetry = handle;
+    let mut engine = SimEngine::with_deployment(cfg, deployment.clone());
+    engine.run();
+    let epochs = sink.events_named("epoch");
+    PhaseUs {
+        projection_us: mean_field(&epochs, "projection_us"),
+        allocation_us: mean_field(&epochs, "allocation_us"),
+        guards_us: mean_field(&epochs, "guards_us"),
+        injection_us: mean_field(&epochs, "injection_us"),
+        bmp_ingest_us: mean_field(&epochs, "bmp_ingest_us"),
+        total_us: mean_field(&epochs, "total_us"),
+    }
+}
+
+/// One telemetry-free timed run; returns wall seconds.
+fn timed_wall(cfg: &SimConfig, deployment: &Deployment, incremental: bool) -> f64 {
+    let mut cfg = cfg.clone();
+    cfg.incremental = incremental;
+    let mut engine = SimEngine::with_deployment(cfg, deployment.clone());
+    let start = Instant::now();
+    engine.run();
+    start.elapsed().as_secs_f64()
+}
+
+/// Timed repetitions per arm; arms are interleaved so drift (thermal,
+/// noisy neighbors) hits both equally, and the fastest rep is kept — the
+/// standard steady-state estimator under one-sided noise.
+const TIMED_REPS: usize = 3;
+
+fn run_point(n_pops: usize, n_prefixes: usize, duration_secs: u64) -> SweepPoint {
+    let cfg = config(n_pops, n_prefixes, duration_secs);
+    let deployment = generate(&cfg.gen);
+    let pop_epochs = cfg.epochs() * n_pops as u64;
+    eprintln!("[perf-scaling] {n_pops} PoPs x {n_prefixes} prefixes: phase profiles...");
+    let inc_phases = phase_profile(&cfg, &deployment, true);
+    let scr_phases = phase_profile(&cfg, &deployment, false);
+    let mut inc_wall = f64::INFINITY;
+    let mut scr_wall = f64::INFINITY;
+    for rep in 1..=TIMED_REPS {
+        eprintln!(
+            "[perf-scaling] {n_pops} PoPs x {n_prefixes} prefixes: timed rep {rep}/{TIMED_REPS}..."
+        );
+        inc_wall = inc_wall.min(timed_wall(&cfg, &deployment, true));
+        scr_wall = scr_wall.min(timed_wall(&cfg, &deployment, false));
+    }
+    let incremental = ArmResult {
+        wall_secs: inc_wall,
+        pop_epochs_per_sec: pop_epochs as f64 / inc_wall,
+        phase_us: inc_phases,
+    };
+    let scratch = ArmResult {
+        wall_secs: scr_wall,
+        pop_epochs_per_sec: pop_epochs as f64 / scr_wall,
+        phase_us: scr_phases,
+    };
+    let speedup = incremental.pop_epochs_per_sec / scratch.pop_epochs_per_sec;
+    SweepPoint {
+        n_pops,
+        n_prefixes,
+        n_ases: cfg.gen.n_ases,
+        pop_epochs,
+        incremental,
+        scratch,
+        speedup,
+    }
+}
+
+fn print_table(points: &[SweepPoint]) {
+    println!("Epoch-engine throughput, incremental vs. from-scratch");
+    println!(
+        "{:>6} {:>9} {:>14} {:>14} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "pops",
+        "prefixes",
+        "inc ep/s",
+        "scratch ep/s",
+        "speedup",
+        "inc proj us",
+        "scr proj us",
+        "inc tot us",
+        "scr tot us"
+    );
+    for p in points {
+        println!(
+            "{:>6} {:>9} {:>14.1} {:>14.1} {:>7.2}x {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            p.n_pops,
+            p.n_prefixes,
+            p.incremental.pop_epochs_per_sec,
+            p.scratch.pop_epochs_per_sec,
+            p.speedup,
+            p.incremental.phase_us.projection_us,
+            p.scratch.phase_us.projection_us,
+            p.incremental.phase_us.total_us,
+            p.scratch.phase_us.total_us,
+        );
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+
+    if smoke {
+        // Regression gate: compare against the committed full-sweep
+        // baseline, read before running so a broken run cannot clobber it.
+        let baseline_path = results_dir().join("BENCH_epoch.json");
+        let baseline: Option<BenchReport> = std::fs::read_to_string(&baseline_path)
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok());
+
+        let (n_pops, n_prefixes) = SWEEP[0];
+        let point = run_point(n_pops, n_prefixes, SMOKE_DURATION_SECS);
+        print_table(std::slice::from_ref(&point));
+        let report = BenchReport {
+            seed: SEED,
+            epoch_secs: EPOCH_SECS,
+            duration_secs: SMOKE_DURATION_SECS,
+            points: vec![point],
+        };
+        write_json("BENCH_epoch_smoke", &report);
+
+        let Some(baseline) = baseline else {
+            eprintln!(
+                "[perf-scaling] no committed baseline at {baseline_path:?}; smoke passes vacuously"
+            );
+            return;
+        };
+        let Some(reference) = baseline
+            .points
+            .iter()
+            .find(|p| p.n_pops == n_pops && p.n_prefixes == n_prefixes)
+        else {
+            eprintln!("[perf-scaling] baseline lacks the smoke point; smoke passes vacuously");
+            return;
+        };
+        let measured = report.points[0].incremental.pop_epochs_per_sec;
+        let floor = reference.incremental.pop_epochs_per_sec / 2.0;
+        println!(
+            "smoke gate: measured {measured:.1} pop-epochs/s, baseline {:.1}, floor {floor:.1}",
+            reference.incremental.pop_epochs_per_sec
+        );
+        if measured < floor {
+            eprintln!(
+                "[perf-scaling] FAIL: throughput regressed more than 2x vs committed baseline"
+            );
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let points: Vec<SweepPoint> = SWEEP
+        .iter()
+        .map(|&(n_pops, n_prefixes)| run_point(n_pops, n_prefixes, DURATION_SECS))
+        .collect();
+    print_table(&points);
+    let largest = points.last().expect("sweep is non-empty");
+    assert!(
+        largest.speedup >= 2.0,
+        "incremental engine must be at least 2x from-scratch at the largest point (got {:.2}x)",
+        largest.speedup
+    );
+    write_json(
+        "BENCH_epoch",
+        &BenchReport {
+            seed: SEED,
+            epoch_secs: EPOCH_SECS,
+            duration_secs: DURATION_SECS,
+            points,
+        },
+    );
+}

@@ -81,6 +81,10 @@ pub struct BgpRouter {
     /// Locally originated prefixes (the content provider's own nets),
     /// exported to every real peer with the local ASN prepended.
     local_origins: Vec<Prefix>,
+    /// Monotonic counter bumped on every FIB mutation (install, replace,
+    /// remove). Embedders can snapshot it to revalidate cached lookup
+    /// results without walking the trie.
+    fib_version: u64,
 }
 
 impl BgpRouter {
@@ -97,6 +101,7 @@ impl BgpRouter {
             fib: PrefixTrie::new(),
             bmp_queue,
             local_origins: Vec::new(),
+            fib_version: 0,
         }
     }
 
@@ -276,7 +281,7 @@ impl BgpRouter {
     ) {
         let changes = self.loc_rib.withdraw_peer(peer);
         for (prefix, change) in changes {
-            Self::apply_best_change(&mut self.fib, prefix, change);
+            Self::apply_best_change(&mut self.fib, &mut self.fib_version, prefix, change);
         }
         self.bmp_queue.push(BmpMessage::PeerDown {
             peer: BmpPeerHeader {
@@ -327,7 +332,7 @@ impl BgpRouter {
                     state.adj_in.install(route.clone());
                     accepted.push((*prefix, attrs));
                     let change = self.loc_rib.install(route);
-                    Self::apply_best_change(&mut self.fib, *prefix, change);
+                    Self::apply_best_change(&mut self.fib, &mut self.fib_version, *prefix, change);
                 }
                 PolicyVerdict::Reject => {
                     // A re-announcement that now fails policy removes any
@@ -335,7 +340,12 @@ impl BgpRouter {
                     if state.adj_in.withdraw(prefix).is_some() {
                         effective_withdrawals.push(*prefix);
                         let change = self.loc_rib.withdraw(prefix, peer);
-                        Self::apply_best_change(&mut self.fib, *prefix, change);
+                        Self::apply_best_change(
+                            &mut self.fib,
+                            &mut self.fib_version,
+                            *prefix,
+                            change,
+                        );
                     }
                 }
             }
@@ -346,7 +356,7 @@ impl BgpRouter {
                 state.adj_in.withdraw(prefix);
             }
             let change = self.loc_rib.withdraw(prefix, peer);
-            Self::apply_best_change(&mut self.fib, *prefix, change);
+            Self::apply_best_change(&mut self.fib, &mut self.fib_version, *prefix, change);
         }
 
         // Max-prefix protection: a peer exceeding its limit is cut off.
@@ -395,9 +405,16 @@ impl BgpRouter {
         }
     }
 
-    fn apply_best_change(fib: &mut PrefixTrie<FibEntry>, prefix: Prefix, change: BestChange) {
+    // Static over `&mut self` because callers hold disjoint borrows into
+    // `self.peers` while mutating the FIB.
+    fn apply_best_change(
+        fib: &mut PrefixTrie<FibEntry>,
+        version: &mut u64,
+        prefix: Prefix,
+        change: BestChange,
+    ) {
         match change {
-            BestChange::Unchanged => {}
+            BestChange::Unchanged => return,
             BestChange::NewBest(route) => {
                 fib.insert(
                     prefix,
@@ -412,6 +429,14 @@ impl BgpRouter {
                 fib.remove(&prefix);
             }
         }
+        *version += 1;
+    }
+
+    /// Monotonic FIB version: changes iff the FIB changed since the last
+    /// observation, so `fib_version() == cached_version` proves every cached
+    /// [`fib_lookup`](Self::fib_lookup) result is still current.
+    pub fn fib_version(&self) -> u64 {
+        self.fib_version
     }
 
     /// Longest-prefix-match forwarding lookup.
@@ -954,6 +979,38 @@ mod tests {
         assert_eq!(
             r.fib_entry(&p("203.0.113.0/24")).unwrap().egress,
             EgressId(11)
+        );
+    }
+
+    #[test]
+    fn fib_version_tracks_fib_mutations_only() {
+        let mut r = router();
+        let v0 = r.fib_version();
+        let mut transit = wire_peer(&mut r, 1, 65010, PeerKind::Transit, 10);
+        let mut peer = wire_peer(&mut r, 2, 65001, PeerKind::PrivatePeer, 20);
+        assert_eq!(
+            r.fib_version(),
+            v0,
+            "session handshakes leave the FIB alone"
+        );
+
+        transit.announce(&mut r, p("203.0.113.0/24"), attrs(&[65010]), 1);
+        let v1 = r.fib_version();
+        assert!(v1 > v0, "install bumps the version");
+
+        // A losing candidate changes the RIB but not the FIB best.
+        peer.announce(&mut r, p("203.0.113.0/24"), attrs(&[65001]), 1);
+        let v2 = r.fib_version();
+        assert!(v2 > v1, "best switched to the preferred peer");
+
+        // Re-announcing the identical losing route is FIB-invisible.
+        transit.announce(&mut r, p("203.0.113.0/24"), attrs(&[65010]), 2);
+        assert_eq!(r.fib_version(), v2, "unchanged best leaves the version");
+
+        peer.shutdown(&mut r, 3);
+        assert!(
+            r.fib_version() > v2,
+            "flushing a peer's winning route bumps the version"
         );
     }
 

@@ -117,7 +117,7 @@ pub fn allocate(
     // Charge performance overrides to their targets first.
     for o in perf_overrides.iter_sorted() {
         let demand = traffic.get(&o.prefix).copied().unwrap_or(0.0);
-        let src = projection.assignment.get(&o.prefix).copied();
+        let src = projection.assigned_egress(&o.prefix);
         if let Some(src) = src {
             if src != o.target {
                 *load.entry(src).or_default() -= demand;
@@ -153,7 +153,7 @@ pub fn allocate(
             if demand <= 0.0 {
                 continue;
             }
-            let Some(src) = projection.assignment.get(&o.prefix).copied() else {
+            let Some(src) = projection.assigned_egress(&o.prefix) else {
                 continue;
             };
             if src == o.target {
@@ -203,8 +203,9 @@ pub fn allocate(
     overloaded.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     let overloaded_before = overloaded.clone();
 
-    // Safety budgets.
-    let total_demand: f64 = crate::state::total_traffic_mbps(traffic);
+    // Safety budgets. The projection already summed all presented demand
+    // in canonical prefix order — no second sorted pass over the map.
+    let total_demand: f64 = projection.demand_total_mbps();
     let detour_budget = if cfg.max_detour_fraction > 0.0 {
         total_demand * cfg.max_detour_fraction
     } else {
@@ -212,18 +213,36 @@ pub fn allocate(
     };
     let mut capacity_detoured = 0.0f64;
 
+    // Victim candidates grouped by projected egress, built once: scanning
+    // the full assignment again for every overloaded interface is quadratic
+    // at scale. The override-ownership filter stays per-interface below
+    // (the set grows as earlier hot interfaces shed), so only the
+    // loop-invariant demand filter is applied here. Ordering is irrelevant:
+    // every strategy sort below uses a total key.
+    let mut victims_by_egress: HashMap<EgressId, Vec<(Prefix, f64)>> = HashMap::new();
+    if !overloaded.is_empty() {
+        // `routed` already carries each prefix's demand (all positive), so
+        // this is one linear scan with no per-prefix traffic lookups.
+        for &(prefix, demand, egress) in &projection.routed {
+            victims_by_egress
+                .entry(egress)
+                .or_default()
+                .push((prefix, demand));
+        }
+    }
+
     for (hot, _) in &overloaded {
         // Prefixes currently assigned to the hot interface, with demand.
-        let mut victims: Vec<(Prefix, f64)> = projection
-            .assignment
-            .iter()
-            .filter(|(prefix, egress)| {
-                **egress == *hot
-                    && !overrides.contains(prefix) // perf- or hysteresis-owned
-                    && traffic.get(*prefix).copied().unwrap_or(0.0) > 0.0
+        let mut victims: Vec<(Prefix, f64)> = victims_by_egress
+            .get(hot)
+            .map(|candidates| {
+                candidates
+                    .iter()
+                    .filter(|(prefix, _)| !overrides.contains(prefix)) // perf- or hysteresis-owned
+                    .copied()
+                    .collect()
             })
-            .map(|(prefix, _)| (*prefix, traffic[prefix]))
-            .collect();
+            .unwrap_or_default();
 
         // Order by strategy. The alternate-rank distance is the position of
         // the first alternate route (off the hot interface) in the BGP

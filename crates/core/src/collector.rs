@@ -27,6 +27,11 @@ pub struct RouteCollector {
     rib: LocRib,
     /// Messages that could not be attributed (unknown peer, missing tag).
     dropped: usize,
+    /// Global generation counter; the source of per-prefix stamps.
+    generation: u64,
+    /// Per-prefix generation, bumped whenever the prefix's *non-override*
+    /// candidate set changes (see [`generation_of`](Self::generation_of)).
+    generations: HashMap<Prefix, u64>,
 }
 
 impl RouteCollector {
@@ -36,7 +41,34 @@ impl RouteCollector {
             peer_egress,
             rib: LocRib::new(),
             dropped: 0,
+            generation: 0,
+            generations: HashMap::new(),
         }
+    }
+
+    /// Stamps `prefix` with a fresh generation.
+    fn touch(&mut self, prefix: Prefix) {
+        self.generation += 1;
+        self.generations.insert(prefix, self.generation);
+    }
+
+    /// The prefix's generation stamp: guaranteed to change whenever the set
+    /// of non-override candidate routes for the prefix changes, and
+    /// guaranteed *not* to change on controller-route (override) churn —
+    /// projection ignores overrides, so its memoized per-prefix decision
+    /// stays valid exactly as long as this stamp does. Prefixes never seen
+    /// report 0.
+    pub fn generation_of(&self, prefix: &Prefix) -> u64 {
+        self.generations.get(prefix).copied().unwrap_or(0)
+    }
+
+    /// The global generation counter: strictly increases every time *any*
+    /// prefix's non-override candidate set changes, and never moves on
+    /// override churn. When two snapshots of this counter agree, every
+    /// per-prefix stamp taken in between is still valid — the projection
+    /// cache's steady-state fast path.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Registers a (late-provisioned) peer's egress mapping.
@@ -61,7 +93,18 @@ impl RouteCollector {
                             .flatten()
                     });
                     for prefix in &update.withdrawn {
+                        // Dirty only if the withdrawal removes a route that
+                        // projection could see (non-override); withdrawing
+                        // nothing, or an override, leaves its view intact.
+                        let dirties = self
+                            .rib
+                            .candidates(prefix)
+                            .iter()
+                            .any(|r| r.source.peer == peer.peer && !r.is_override());
                         self.rib.withdraw(prefix, peer.peer);
+                        if dirties {
+                            self.touch(*prefix);
+                        }
                     }
                     if update.announced.is_empty() {
                         continue;
@@ -91,10 +134,31 @@ impl RouteCollector {
                             source,
                             egress,
                         });
+                        // Controller self-echoes are overrides: projection
+                        // never reads them, so they must not dirty the memo.
+                        if kind != PeerKind::Controller {
+                            self.touch(*prefix);
+                        }
                     }
                 }
                 BmpMessage::PeerDown { peer, .. } => {
+                    // `withdraw_peer` reports overall-best changes, which is
+                    // the wrong signal here (overrides mask organic churn);
+                    // scan for prefixes losing a non-override route instead.
+                    let dirty: Vec<Prefix> = self
+                        .rib
+                        .iter()
+                        .filter(|(_, routes)| {
+                            routes
+                                .iter()
+                                .any(|r| r.source.peer == peer.peer && !r.is_override())
+                        })
+                        .map(|(prefix, _)| *prefix)
+                        .collect();
                     self.rib.withdraw_peer(peer.peer);
+                    for prefix in dirty {
+                        self.touch(prefix);
+                    }
                 }
                 BmpMessage::PeerUp(_) | BmpMessage::Initiation { .. } | BmpMessage::Termination => {
                 }
@@ -273,6 +337,84 @@ mod tests {
         assert_eq!(routes.len(), 1);
         assert_eq!(routes[0].egress, EgressId(42));
         assert!(routes[0].is_override());
+    }
+
+    #[test]
+    fn generations_track_non_override_churn_only() {
+        let mut c = collector();
+        let prefix = p("203.0.113.0/24");
+        assert_eq!(c.generation_of(&prefix), 0, "unseen prefix is generation 0");
+
+        c.ingest([BmpMessage::RouteMonitoring {
+            peer: header(1, 65001),
+            update: UpdateMessage::announce(prefix, tagged_attrs(PeerKind::PrivatePeer, &[65001])),
+        }]);
+        let g1 = c.generation_of(&prefix);
+        assert!(g1 > 0, "organic announce dirties");
+
+        // Override churn is invisible to projection and must not dirty.
+        let mut oattrs = tagged_attrs(PeerKind::Controller, &[]);
+        oattrs.next_hop = Some(EgressId(42).to_next_hop());
+        c.ingest([BmpMessage::RouteMonitoring {
+            peer: header(100, 32934),
+            update: UpdateMessage::announce(prefix, oattrs),
+        }]);
+        assert_eq!(c.generation_of(&prefix), g1, "override announce is clean");
+        c.ingest([BmpMessage::RouteMonitoring {
+            peer: header(100, 32934),
+            update: UpdateMessage::withdraw([prefix]),
+        }]);
+        assert_eq!(c.generation_of(&prefix), g1, "override withdraw is clean");
+
+        // Withdrawing a route the peer does not hold leaves the set alone.
+        c.ingest([BmpMessage::RouteMonitoring {
+            peer: header(2, 65010),
+            update: UpdateMessage::withdraw([prefix]),
+        }]);
+        assert_eq!(c.generation_of(&prefix), g1, "no-op withdraw is clean");
+
+        // A real withdrawal dirties.
+        c.ingest([BmpMessage::RouteMonitoring {
+            peer: header(1, 65001),
+            update: UpdateMessage::withdraw([prefix]),
+        }]);
+        assert!(c.generation_of(&prefix) > g1, "organic withdraw dirties");
+    }
+
+    #[test]
+    fn peer_down_dirties_exactly_the_peers_prefixes() {
+        let mut c = collector();
+        c.ingest([
+            BmpMessage::RouteMonitoring {
+                peer: header(1, 65001),
+                update: UpdateMessage::announce(
+                    p("1.0.0.0/24"),
+                    tagged_attrs(PeerKind::PrivatePeer, &[65001]),
+                ),
+            },
+            BmpMessage::RouteMonitoring {
+                peer: header(2, 65010),
+                update: UpdateMessage::announce(
+                    p("2.0.0.0/24"),
+                    tagged_attrs(PeerKind::Transit, &[65010]),
+                ),
+            },
+        ]);
+        let g1 = c.generation_of(&p("1.0.0.0/24"));
+        let g2 = c.generation_of(&p("2.0.0.0/24"));
+        c.ingest([BmpMessage::PeerDown {
+            peer: header(1, 65001),
+            reason: 1,
+        }]);
+        assert!(
+            c.generation_of(&p("1.0.0.0/24")) > g1,
+            "downed peer's prefix dirtied"
+        );
+        assert_eq!(
+            c.generation_of(&p("2.0.0.0/24")),
+            g2,
+            "unrelated prefix untouched"
+        );
     }
 
     #[test]

@@ -54,6 +54,16 @@ pub struct ControllerConfig {
     /// may be *newly* shifted (prefixes not already overridden) in a single
     /// epoch. 1.0 disables the guard.
     pub max_shift_fraction_per_epoch: f64,
+    /// Use the incremental projection cache (per-prefix memoization fenced
+    /// by collector generation stamps). Purely an implementation strategy:
+    /// epoch output is byte-identical either way. Off is only useful for
+    /// cross-checking and benchmarking the from-scratch path.
+    #[serde(default = "default_incremental")]
+    pub incremental: bool,
+}
+
+fn default_incremental() -> bool {
+    true
 }
 
 impl Default for ControllerConfig {
@@ -71,6 +81,7 @@ impl Default for ControllerConfig {
             stale_input_secs: 120,
             fail_open_secs: 600,
             max_shift_fraction_per_epoch: 1.0,
+            incremental: true,
         }
     }
 }
@@ -159,6 +170,18 @@ mod tests {
         );
         assert!(cfg.fail_open_secs >= cfg.stale_input_secs);
         assert_eq!(cfg.max_shift_fraction_per_epoch, 1.0, "cap off by default");
+    }
+
+    #[test]
+    fn incremental_defaults_on_for_old_configs() {
+        // Configs serialized before the flag existed must load with it on.
+        let json = serde_json::to_string(&ControllerConfig::default()).unwrap();
+        let mut value = serde_json::parse_value(&json).unwrap();
+        if let serde::Value::Object(fields) = &mut value {
+            fields.retain(|(key, _)| key != "incremental");
+        }
+        let back = <ControllerConfig as serde::Deserialize>::from_value(&value).unwrap();
+        assert!(back.incremental);
     }
 
     #[test]

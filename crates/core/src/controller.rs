@@ -35,7 +35,7 @@ use crate::collector::RouteCollector;
 use crate::config::ControllerConfig;
 use crate::injector::Injector;
 use crate::overrides::OverrideSet;
-use crate::projection::{project, Projection};
+use crate::projection::{project, project_cached, Projection, ProjectionCache};
 use crate::state::{InterfaceMap, TrafficState};
 
 /// What one controller epoch observed and did, for telemetry and the
@@ -143,6 +143,9 @@ pub struct PopController {
     cfg: ControllerConfig,
     interfaces: InterfaceMap,
     collector: RouteCollector,
+    /// Memoized projection decisions (used when `cfg.incremental`); holds
+    /// no semantic state — a fresh cache converges on the first epoch.
+    projection_cache: ProjectionCache,
     injector: Injector,
     perf_overrides: OverrideSet,
     telemetry: TelemetryHandle,
@@ -192,6 +195,7 @@ impl PopController {
             cfg,
             interfaces,
             collector: RouteCollector::new(peer_egress),
+            projection_cache: ProjectionCache::new(),
             injector,
             perf_overrides: OverrideSet::new(),
             telemetry: TelemetryHandle::disabled(),
@@ -311,11 +315,15 @@ impl PopController {
         let degraded = !fail_open && age_ms >= self.cfg.stale_input_secs.saturating_mul(1000);
 
         let projection_timer = self.telemetry.timer();
-        let projection = project(&self.collector, traffic);
+        let projection = if self.cfg.incremental {
+            project_cached(&mut self.projection_cache, &self.collector, traffic)
+        } else {
+            project(&self.collector, traffic)
+        };
         let projection_us = projection_timer.elapsed_us();
 
         let allocation_timer = self.telemetry.timer();
-        let outcome = allocate(
+        let mut outcome = allocate(
             &self.cfg,
             &self.interfaces,
             &self.collector,
@@ -327,7 +335,7 @@ impl PopController {
         let allocation_us = allocation_timer.elapsed_us();
 
         let guard_timer = self.telemetry.timer();
-        let mut explains = outcome.explains.clone();
+        let mut explains = std::mem::take(&mut outcome.explains);
         let mut shift_capped_mbps = 0.0;
         let desired = if fail_open {
             // Nothing the allocator computed is trustworthy at this age.
@@ -349,9 +357,8 @@ impl PopController {
             }
             kept
         } else {
-            let mut desired = outcome.overrides.clone();
-            let refused =
-                self.cap_blast_radius(&mut desired, crate::state::total_traffic_mbps(traffic));
+            let mut desired = std::mem::take(&mut outcome.overrides);
+            let refused = self.cap_blast_radius(&mut desired, projection.demand_total_mbps());
             for (prefix, mbps) in &refused {
                 shift_capped_mbps += mbps;
                 let name = prefix.to_string();
@@ -458,7 +465,7 @@ impl PopController {
             now_ms: now,
             pop: self.pop,
             prefixes_known: self.collector.prefix_count(),
-            total_demand_mbps: crate::state::total_traffic_mbps(traffic),
+            total_demand_mbps: projection.demand_total_mbps(),
             unrouted_mbps: projection.unrouted_mbps,
             overloaded_before: outcome
                 .overloaded_before

@@ -21,11 +21,25 @@ use crate::state::TrafficState;
 pub struct Projection {
     /// Predicted load per interface, Mbps.
     pub load_mbps: HashMap<EgressId, f64>,
-    /// The route each prefix was assigned to (prefix → preferred egress).
-    pub assignment: HashMap<Prefix, EgressId>,
+    /// `(prefix, demand_mbps, egress)` for every prefix that carried
+    /// positive demand onto a non-override route, in canonical prefix
+    /// order. This doubles as the assignment table (see
+    /// [`assigned_egress`](Self::assigned_egress)) and as the allocator's
+    /// victim list — a sorted vector is both cheaper to build than a map
+    /// and cheaper to scan.
+    pub routed: Vec<(Prefix, f64, EgressId)>,
     /// Demand (Mbps) that had no route at all (blackhole risk; reported,
     /// not steered).
     pub unrouted_mbps: f64,
+    /// Running total of routed demand, accumulated in canonical prefix
+    /// order as the projection is built (so `total_mbps` is O(1) and still
+    /// identical run to run).
+    total: f64,
+    /// Every entry's demand (routed or not), summed in canonical prefix
+    /// order — the same sequence `state::total_traffic_mbps` produces, so
+    /// budget math downstream needs no second sorted pass over the
+    /// traffic map.
+    demand: f64,
 }
 
 impl Projection {
@@ -34,12 +48,26 @@ impl Projection {
         self.load_mbps.get(&egress).copied().unwrap_or(0.0)
     }
 
-    /// Total projected demand, Mbps (summed in interface order, so the
-    /// result is identical run to run).
+    /// Total projected demand, Mbps (maintained at build time in canonical
+    /// prefix order; identical run to run).
     pub fn total_mbps(&self) -> f64 {
-        let mut entries: Vec<(&EgressId, &f64)> = self.load_mbps.iter().collect();
-        entries.sort_by_key(|(e, _)| **e);
-        entries.iter().map(|(_, mbps)| **mbps).sum()
+        self.total
+    }
+
+    /// Total presented demand, Mbps — routed, unrouted and zero entries
+    /// alike, summed in canonical prefix order. Bit-identical to
+    /// `state::total_traffic_mbps` over the same traffic map.
+    pub fn demand_total_mbps(&self) -> f64 {
+        self.demand
+    }
+
+    /// The egress the prefix's demand was projected onto, if it carried
+    /// positive demand and had a non-override route.
+    pub fn assigned_egress(&self, prefix: &Prefix) -> Option<EgressId> {
+        self.routed
+            .binary_search_by(|(p, _, _)| p.cmp(prefix))
+            .ok()
+            .map(|i| self.routed[i].2)
     }
 }
 
@@ -55,17 +83,199 @@ pub fn project(routes: &RouteCollector, traffic: &TrafficState) -> Projection {
     let mut entries: Vec<(&Prefix, &f64)> = traffic.iter().collect();
     entries.sort_by_key(|(p, _)| **p);
     for (prefix, mbps) in entries {
+        projection.demand += *mbps;
         if *mbps <= 0.0 {
             continue;
         }
         match best_route_where(routes.candidates(prefix), |r| !r.is_override()) {
             Some(best) => {
                 *projection.load_mbps.entry(best.egress).or_default() += mbps;
-                projection.assignment.insert(*prefix, best.egress);
+                projection.routed.push((*prefix, *mbps, best.egress));
+                projection.total += mbps;
             }
             None => projection.unrouted_mbps += mbps,
         }
     }
+    projection
+}
+
+/// Memoized per-prefix projection decisions, invalidated by the
+/// collector's generation stamps.
+///
+/// Purely an implementation detail of the stateless-recompute contract:
+/// [`project_cached`] produces output byte-identical to [`project`] — the
+/// per-prefix `best_route_where` call is skipped when the prefix's
+/// non-override candidate set provably has not changed, but demand is
+/// accumulated in exactly the same canonical order either way, so even the
+/// float sums match bit for bit.
+///
+/// The memo is a prefix-sorted vector walked in lockstep with the sorted
+/// traffic entries (the hot loop is a merge join, not a map probe), and
+/// per-egress loads accumulate into dense slots. On epochs where the
+/// collector's global generation has not moved — the steady state, since
+/// the controller's own override churn never bumps it — the per-prefix
+/// stamp lookups are skipped entirely, so a fully warm epoch performs no
+/// hashing at all. Every buffer is kept alive across epochs.
+#[derive(Debug, Default)]
+pub struct ProjectionCache {
+    /// Prefix-sorted memo: `(prefix, generation stamp, slot + 1)`, where
+    /// slot 0 encodes "no non-override route".
+    memo: Vec<(Prefix, u64, u32)>,
+    /// Double buffer for the next epoch's memo.
+    memo_next: Vec<(Prefix, u64, u32)>,
+    /// Slot → egress registry (slots are dense, assigned on first sight).
+    slot_egress: Vec<EgressId>,
+    /// Egress → slot; consulted only on memo misses.
+    slot_of: HashMap<EgressId, u32>,
+    /// Per-slot load accumulator for the current epoch.
+    slot_sum: Vec<f64>,
+    /// Epoch stamp of each slot's last touch (lazily resets `slot_sum`).
+    slot_epoch: Vec<u64>,
+    /// Monotone epoch counter for `slot_epoch`.
+    epoch: u64,
+    /// Slots touched this epoch, in first-touch order — the exact order
+    /// `project` creates its `load_mbps` entries in.
+    touched: Vec<u32>,
+    /// Collector global generation after the last projection.
+    synced: u64,
+    /// False until the first projection (or after [`clear`](Self::clear)).
+    valid: bool,
+    /// Reusable sorted `(prefix, mbps)` scratch.
+    entries: Vec<(Prefix, f64)>,
+}
+
+impl ProjectionCache {
+    /// An empty cache (first projection recomputes everything).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops every memoized decision. A controller that resyncs against a
+    /// *replacement* collector must call this: generation stamps are only
+    /// comparable within one collector's lifetime.
+    pub fn clear(&mut self) {
+        self.memo.clear();
+        self.slot_egress.clear();
+        self.slot_of.clear();
+        self.slot_sum.clear();
+        self.slot_epoch.clear();
+        self.touched.clear();
+        self.synced = 0;
+        self.valid = false;
+    }
+
+    /// Number of memoized prefixes (diagnostics only).
+    pub fn len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.memo.is_empty()
+    }
+}
+
+/// [`project`], but re-running the BGP decision only for prefixes whose
+/// generation stamp moved since the memoized answer was recorded.
+pub fn project_cached(
+    cache: &mut ProjectionCache,
+    routes: &RouteCollector,
+    traffic: &TrafficState,
+) -> Projection {
+    let mut entries = std::mem::take(&mut cache.entries);
+    entries.clear();
+    entries.extend(traffic.iter().map(|(p, m)| (*p, *m)));
+    // Same canonical order as `project`: float accumulation order is part
+    // of the byte-identical contract. Unstable sort is fine — prefixes are
+    // unique map keys — and avoids the stable sort's scratch allocation.
+    entries.sort_unstable_by_key(|(p, _)| *p);
+
+    // Steady-state fast path: if the collector's global generation has not
+    // moved since the memo was recorded, every stamp in it is still valid
+    // and the per-prefix checks can be skipped wholesale.
+    let generation = routes.generation();
+    let all_clean = cache.valid && generation == cache.synced;
+
+    cache.epoch += 1;
+    cache.touched.clear();
+    let memo = std::mem::take(&mut cache.memo);
+    let mut memo_next = std::mem::take(&mut cache.memo_next);
+    memo_next.clear();
+    memo_next.reserve(entries.len());
+
+    let mut projection = Projection {
+        routed: Vec::with_capacity(entries.len()),
+        ..Default::default()
+    };
+    let mut mi = 0usize;
+    for &(prefix, mbps) in &entries {
+        projection.demand += mbps;
+        if mbps <= 0.0 {
+            continue;
+        }
+        while mi < memo.len() && memo[mi].0 < prefix {
+            mi += 1;
+        }
+        let memo_hit = match memo.get(mi) {
+            Some(&(p, stamp, _)) if p == prefix => {
+                all_clean || stamp == routes.generation_of(&prefix)
+            }
+            _ => false,
+        };
+        let (stamp, slot1) = if memo_hit {
+            (memo[mi].1, memo[mi].2)
+        } else {
+            let best = best_route_where(routes.candidates(&prefix), |r| !r.is_override())
+                .map(|r| r.egress);
+            let slot1 = match best {
+                None => 0,
+                Some(egress) => match cache.slot_of.get(&egress) {
+                    Some(&slot) => slot + 1,
+                    None => {
+                        let slot = cache.slot_egress.len() as u32;
+                        cache.slot_egress.push(egress);
+                        cache.slot_of.insert(egress, slot);
+                        cache.slot_sum.push(0.0);
+                        cache.slot_epoch.push(0);
+                        slot + 1
+                    }
+                },
+            };
+            (routes.generation_of(&prefix), slot1)
+        };
+        memo_next.push((prefix, stamp, slot1));
+        if slot1 == 0 {
+            projection.unrouted_mbps += mbps;
+        } else {
+            let slot = (slot1 - 1) as usize;
+            if cache.slot_epoch[slot] != cache.epoch {
+                cache.slot_epoch[slot] = cache.epoch;
+                cache.slot_sum[slot] = 0.0;
+                cache.touched.push(slot as u32);
+            }
+            cache.slot_sum[slot] += mbps;
+            projection
+                .routed
+                .push((prefix, mbps, cache.slot_egress[slot]));
+            projection.total += mbps;
+        }
+    }
+
+    // Interfaces enter `load_mbps` in first-touch order — the same order
+    // `project`'s `entry(...)` calls create them in.
+    projection.load_mbps.reserve(cache.touched.len());
+    for &slot in &cache.touched {
+        projection.load_mbps.insert(
+            cache.slot_egress[slot as usize],
+            cache.slot_sum[slot as usize],
+        );
+    }
+
+    cache.memo = memo_next;
+    cache.memo_next = memo;
+    cache.entries = entries;
+    cache.synced = generation;
+    cache.valid = true;
     projection
 }
 
@@ -120,9 +330,10 @@ mod tests {
         let proj = project(&c, &traffic);
         assert_eq!(proj.load(EgressId(11)), 100.0);
         assert_eq!(proj.load(EgressId(12)), 0.0);
-        assert_eq!(proj.assignment[&p("1.0.0.0/24")], EgressId(11));
+        assert_eq!(proj.assigned_egress(&p("1.0.0.0/24")), Some(EgressId(11)));
         assert_eq!(proj.unrouted_mbps, 0.0);
         assert_eq!(proj.total_mbps(), 100.0);
+        assert_eq!(proj.demand_total_mbps(), 100.0);
     }
 
     #[test]
@@ -157,7 +368,87 @@ mod tests {
         let traffic = HashMap::from([(p("9.9.9.0/24"), 50.0)]);
         let proj = project(&c, &traffic);
         assert_eq!(proj.unrouted_mbps, 50.0);
-        assert!(proj.assignment.is_empty());
+        assert!(proj.routed.is_empty());
+        assert_eq!(proj.demand_total_mbps(), 50.0, "unrouted still presented");
+    }
+
+    fn withdraw(c: &mut RouteCollector, peer: u64, asn: u32, prefix: &str) {
+        c.ingest([BmpMessage::RouteMonitoring {
+            peer: BmpPeerHeader {
+                peer: PeerId(peer),
+                peer_asn: Asn(asn),
+                peer_bgp_id: "10.0.0.1".parse().unwrap(),
+                timestamp_ms: 0,
+            },
+            update: UpdateMessage::withdraw([p(prefix)]),
+        }]);
+    }
+
+    fn assert_projections_match(
+        c: &RouteCollector,
+        cache: &mut ProjectionCache,
+        traffic: &TrafficState,
+    ) {
+        let fresh = project(c, traffic);
+        let cached = project_cached(cache, c, traffic);
+        assert_eq!(fresh.load_mbps, cached.load_mbps);
+        assert_eq!(fresh.routed, cached.routed);
+        assert_eq!(fresh.unrouted_mbps, cached.unrouted_mbps);
+        assert_eq!(fresh.total_mbps(), cached.total_mbps());
+        assert_eq!(fresh.demand_total_mbps(), cached.demand_total_mbps());
+    }
+
+    #[test]
+    fn cached_projection_matches_fresh_through_churn() {
+        let mut c = collector();
+        let mut cache = ProjectionCache::new();
+        let traffic = HashMap::from([
+            (p("1.0.0.0/24"), 60.0),
+            (p("2.0.0.0/24"), 40.0),
+            (p("3.0.0.0/24"), 25.0),
+        ]);
+
+        announce(&mut c, 1, 65001, PeerKind::PrivatePeer, "1.0.0.0/24");
+        announce(&mut c, 2, 65010, PeerKind::Transit, "1.0.0.0/24");
+        announce(&mut c, 2, 65010, PeerKind::Transit, "2.0.0.0/24");
+        assert_projections_match(&c, &mut cache, &traffic);
+
+        // Preferred route withdrawn: memo must fall back to transit.
+        withdraw(&mut c, 1, 65001, "1.0.0.0/24");
+        assert_projections_match(&c, &mut cache, &traffic);
+
+        // Route appears for a previously unrouted prefix.
+        announce(&mut c, 1, 65001, PeerKind::PrivatePeer, "3.0.0.0/24");
+        assert_projections_match(&c, &mut cache, &traffic);
+
+        // Override churn hits the memoized answers without invalidating.
+        announce(&mut c, 100, 32934, PeerKind::Controller, "2.0.0.0/24");
+        let before = cache.len();
+        assert_projections_match(&c, &mut cache, &traffic);
+        assert_eq!(cache.len(), before, "override did not grow the memo");
+    }
+
+    #[test]
+    fn cached_projection_survives_peer_down() {
+        let mut c = collector();
+        let mut cache = ProjectionCache::new();
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 60.0), (p("2.0.0.0/24"), 40.0)]);
+        announce(&mut c, 1, 65001, PeerKind::PrivatePeer, "1.0.0.0/24");
+        announce(&mut c, 1, 65001, PeerKind::PrivatePeer, "2.0.0.0/24");
+        announce(&mut c, 2, 65010, PeerKind::Transit, "1.0.0.0/24");
+        assert_projections_match(&c, &mut cache, &traffic);
+
+        // Peer failure (the chaos fault path) flushes peer 1 wholesale.
+        c.ingest([BmpMessage::PeerDown {
+            peer: BmpPeerHeader {
+                peer: PeerId(1),
+                peer_asn: Asn(65001),
+                peer_bgp_id: "10.0.0.1".parse().unwrap(),
+                timestamp_ms: 0,
+            },
+            reason: 1,
+        }]);
+        assert_projections_match(&c, &mut cache, &traffic);
     }
 
     #[test]
@@ -166,7 +457,7 @@ mod tests {
         announce(&mut c, 1, 65001, PeerKind::PrivatePeer, "1.0.0.0/24");
         let traffic = HashMap::from([(p("1.0.0.0/24"), 0.0)]);
         let proj = project(&c, &traffic);
-        assert!(proj.assignment.is_empty());
+        assert!(proj.routed.is_empty());
         assert_eq!(proj.total_mbps(), 0.0);
     }
 }

@@ -160,7 +160,7 @@ proptest! {
                 candidates.iter().any(|r| r.egress == o.target),
                 "override to nonexistent route"
             );
-            let preferred = projection.assignment.get(&o.prefix).copied();
+            let preferred = projection.assigned_egress(&o.prefix);
             prop_assert_ne!(Some(o.target), preferred, "detour must move the prefix");
         }
     }

@@ -12,6 +12,7 @@
 //! out-of-band oracle).
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 use edge_fabric::config::ControllerConfig;
 use edge_fabric::controller::{EpochError, EpochInputs, PopController};
@@ -43,6 +44,20 @@ const MEASURE_TOP_K: usize = 150;
 /// traffic-input age starts growing. Below it, the collector still gets
 /// (under-counted) fresh estimates.
 const SEVERE_SFLOW_DROP: f64 = 0.9;
+
+/// One slot of the per-prefix-unit FIB lookup cache. `Unknown` means the
+/// unit has not been looked up since the cache was last invalidated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FibCacheEntry {
+    Unknown,
+    /// The trie has no route for this unit.
+    NoRoute,
+    /// Longest-match result for the unit: egress and override flag.
+    Route {
+        egress: EgressId,
+        is_override: bool,
+    },
+}
 
 /// Signals one epoch hands to the global (cross-PoP) layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,6 +92,26 @@ pub struct PopRuntime {
     /// When the controller may split prefixes, demand must be forwarded at
     /// half-prefix granularity so /25 (or /49) overrides take effect.
     split_lookup: bool,
+    /// Run the forwarding loop through the version-checked FIB cache
+    /// (`SimConfig::incremental`). Off recomputes every lookup from the
+    /// trie — same results, for cross-checking and benchmarking.
+    incremental: bool,
+    /// Per-universe-prefix lookup units, precomputed once: the unit to
+    /// look up, plus the second half when split forwarding is on and the
+    /// prefix is splittable.
+    lookup_units: Vec<(Prefix, Option<Prefix>)>,
+    /// FIB lookup cache, two slots per universe prefix (whole prefix in
+    /// slot 0; halves in slots 0 and 1 under split forwarding). Valid only
+    /// while the router's FIB version equals `fib_cache_version`.
+    fib_cache: Vec<[FibCacheEntry; 2]>,
+    /// Router FIB version the cache entries were resolved against.
+    fib_cache_version: u64,
+    /// Interface → dense slot in `load_scratch` (position in
+    /// `pop.interfaces`, which never reorders).
+    slot_of: HashMap<EgressId, usize>,
+    /// Per-interface load accumulator, zeroed each tick; loads on egresses
+    /// that are not PoP interfaces are not tracked (nothing reads them).
+    load_scratch: Vec<f64>,
     perf_steer: bool,
     perf_aware_cfg: edge_fabric::perf_aware::PerfAwareConfig,
 
@@ -100,7 +135,9 @@ pub struct PopRuntime {
     last_bmp_secs: u64,
     /// Last fresh traffic estimate `(t_secs, estimate)`, replayed (with a
     /// growing age) while a severe sFlow loss starves the estimator.
-    last_traffic: Option<(u64, HashMap<Prefix, f64>)>,
+    /// Shared via `Arc` so the replay path does not clone the whole map
+    /// every epoch of a long outage.
+    last_traffic: Option<(u64, Arc<HashMap<Prefix, f64>>)>,
     /// Telemetry pipeline shared with the controller (disabled by default).
     telemetry: ef_telemetry::TelemetryHandle,
 }
@@ -164,6 +201,7 @@ impl PopRuntime {
         // Controller, fed by the router's BMP feed.
         let mut controller_cfg = cfg.controller;
         controller_cfg.epoch_secs = cfg.epoch_secs;
+        controller_cfg.incremental = cfg.incremental;
         let controller = cfg.controller_enabled.then(|| {
             let interfaces: InterfaceMap = pop
                 .interfaces
@@ -233,6 +271,39 @@ impl PopRuntime {
             .map(|i| (i.id, i.capacity_mbps))
             .collect();
 
+        let prefix_of: Vec<Prefix> = deployment
+            .universe
+            .prefixes
+            .iter()
+            .map(|p| p.prefix)
+            .collect();
+        let split_lookup = cfg.controller.split_depth > 0;
+        // Lookup units are a pure function of the universe and the split
+        // setting: precompute them once instead of re-deriving the halves
+        // on every forwarding tick.
+        let lookup_units: Vec<(Prefix, Option<Prefix>)> = prefix_of
+            .iter()
+            .map(|prefix| {
+                if split_lookup {
+                    match prefix.halves() {
+                        Some((lo, hi)) => (lo, Some(hi)),
+                        None => (*prefix, None),
+                    }
+                } else {
+                    (*prefix, None)
+                }
+            })
+            .collect();
+        let slot_of: HashMap<EgressId, usize> = pop
+            .interfaces
+            .iter()
+            .enumerate()
+            .map(|(slot, iface)| (iface.id, slot))
+            .collect();
+        let load_scratch = vec![0.0; pop.interfaces.len()];
+        let fib_cache = vec![[FibCacheEntry::Unknown; 2]; prefix_of.len()];
+        let fib_cache_version = router.fib_version();
+
         PopRuntime {
             pop,
             router,
@@ -242,15 +313,16 @@ impl PopRuntime {
             estimator,
             measurer,
             metrics,
-            prefix_of: deployment
-                .universe
-                .prefixes
-                .iter()
-                .map(|p| p.prefix)
-                .collect(),
+            prefix_of,
             epoch_secs: cfg.epoch_secs,
             util_limit: cfg.controller.util_limit,
-            split_lookup: cfg.controller.split_depth > 0,
+            split_lookup,
+            incremental: cfg.incremental,
+            lookup_units,
+            fib_cache,
+            fib_cache_version,
+            slot_of,
+            load_scratch,
             perf_steer: cfg.perf.map(|p| p.steer).unwrap_or(false),
             perf_aware_cfg: cfg.perf.map(|p| p.aware).unwrap_or_default(),
             chaos_events,
@@ -493,31 +565,106 @@ impl PopRuntime {
         };
 
         // --- 1. Forward demand through the current FIB ---------------------
-        let mut load: HashMap<EgressId, f64> = HashMap::new();
+        // Demand accumulates into the dense per-interface scratch (same
+        // adds in the same order as the old per-tick HashMap, so the float
+        // sums are bit-identical); egresses that are not PoP interfaces
+        // are skipped — nothing downstream ever read their loads.
         let mut offered = 0.0f64;
         let mut detoured = 0.0f64;
-        for point in demand {
-            offered += point.mbps;
-            let prefix = self.prefix_of[point.prefix_idx as usize];
-            // With splitting enabled, traffic inside a prefix is uniform,
-            // so each half carries half the demand and is looked up
-            // independently (a /25 override then captures exactly half).
-            let units: [(Prefix, f64); 2] = if self.split_lookup {
-                match prefix.halves() {
-                    Some((lo, hi)) => [(lo, point.mbps / 2.0), (hi, point.mbps / 2.0)],
-                    None => [(prefix, point.mbps), (prefix, 0.0)],
+        self.load_scratch.iter_mut().for_each(|l| *l = 0.0);
+        if self.incremental {
+            // Version-checked lookup cache: when the FIB is unchanged since
+            // the last tick (the steady state between routing events), every
+            // lookup is a vector index instead of a trie walk. Any install,
+            // withdraw, or peer flush — including the chaos faults — bumps
+            // the router's FIB version and empties the cache here.
+            let version = self.router.fib_version();
+            if version != self.fib_cache_version {
+                self.fib_cache
+                    .iter_mut()
+                    .for_each(|slots| *slots = [FibCacheEntry::Unknown; 2]);
+                self.fib_cache_version = version;
+            }
+            let router = &self.router;
+            let fib_cache = &mut self.fib_cache;
+            let slot_of = &self.slot_of;
+            let load = &mut self.load_scratch;
+            let mut forward = |idx: usize, half: usize, unit: Prefix, mbps: f64, det: &mut f64| {
+                let entry = match fib_cache[idx][half] {
+                    FibCacheEntry::Unknown => {
+                        let resolved = match router.fib_lookup(unit) {
+                            Some((_, e)) => FibCacheEntry::Route {
+                                egress: e.egress,
+                                is_override: e.is_override,
+                            },
+                            None => FibCacheEntry::NoRoute,
+                        };
+                        fib_cache[idx][half] = resolved;
+                        resolved
+                    }
+                    cached => cached,
+                };
+                if let FibCacheEntry::Route {
+                    egress,
+                    is_override,
+                } = entry
+                {
+                    if let Some(&slot) = slot_of.get(&egress) {
+                        load[slot] += mbps;
+                    }
+                    if is_override {
+                        *det += mbps;
+                    }
                 }
-            } else {
-                [(prefix, point.mbps), (prefix, 0.0)]
             };
-            for (unit, mbps) in units {
-                if mbps <= 0.0 {
-                    continue;
+            for point in demand {
+                offered += point.mbps;
+                let idx = point.prefix_idx as usize;
+                let (unit, second) = self.lookup_units[idx];
+                match second {
+                    // Split forwarding: traffic inside a prefix is uniform,
+                    // so each half carries half the demand and is looked up
+                    // independently (a /25 override captures exactly half).
+                    Some(hi) => {
+                        let half = point.mbps / 2.0;
+                        if half > 0.0 {
+                            forward(idx, 0, unit, half, &mut detoured);
+                            forward(idx, 1, hi, half, &mut detoured);
+                        }
+                    }
+                    None => {
+                        if point.mbps > 0.0 {
+                            forward(idx, 0, unit, point.mbps, &mut detoured);
+                        }
+                    }
                 }
-                if let Some((_, entry)) = self.router.fib_lookup(unit) {
-                    *load.entry(entry.egress).or_default() += mbps;
-                    if entry.is_override {
-                        detoured += mbps;
+            }
+        } else {
+            // From-scratch arm: a fresh trie walk per unit, as before the
+            // cache existed. Kept for determinism cross-checks and as the
+            // benchmark's uncached reference.
+            for point in demand {
+                offered += point.mbps;
+                let prefix = self.prefix_of[point.prefix_idx as usize];
+                let units: [(Prefix, f64); 2] = if self.split_lookup {
+                    match prefix.halves() {
+                        Some((lo, hi)) => [(lo, point.mbps / 2.0), (hi, point.mbps / 2.0)],
+                        None => [(prefix, point.mbps), (prefix, 0.0)],
+                    }
+                } else {
+                    [(prefix, point.mbps), (prefix, 0.0)]
+                };
+                for (unit, mbps) in units {
+                    if mbps <= 0.0 {
+                        continue;
+                    }
+                    if let Some((_, entry)) = self.router.fib_lookup(unit) {
+                        if let Some(&slot) = self.slot_of.get(&entry.egress) {
+                            self.load_scratch[slot] += mbps;
+                        }
+                        if entry.is_override {
+                            detoured += mbps;
+                        }
                     }
                 }
             }
@@ -525,8 +672,8 @@ impl PopRuntime {
 
         // --- 2. Record interface metrics -----------------------------------
         let mut dropped = 0.0f64;
-        for iface in &self.pop.interfaces {
-            let l = load.get(&iface.id).copied().unwrap_or(0.0);
+        for (slot, iface) in self.pop.interfaces.iter().enumerate() {
+            let l = self.load_scratch[slot];
             self.metrics
                 .record_interface(t_secs, iface.id, l, self.util_limit);
             if l > iface.capacity_mbps {
@@ -560,12 +707,8 @@ impl PopRuntime {
                 .pop
                 .interfaces
                 .iter()
-                .map(|i| {
-                    (
-                        i.id,
-                        load.get(&i.id).copied().unwrap_or(0.0) / i.capacity_mbps,
-                    )
-                })
+                .enumerate()
+                .map(|(slot, i)| (i.id, self.load_scratch[slot] / i.capacity_mbps))
                 .collect();
             measurer.collect_epoch(perf_model, &entries, &utilization);
         }
@@ -624,8 +767,10 @@ impl PopRuntime {
             // loss under-counts fresh estimates.
             let (traffic, traffic_age_ms) = if sflow_drop >= SEVERE_SFLOW_DROP {
                 match &self.last_traffic {
-                    Some((t0, stale)) => (stale.clone(), t_secs.saturating_sub(*t0) * 1000),
-                    None => (HashMap::new(), t_secs * 1000),
+                    // Replaying the stale estimate is an Arc bump, not a
+                    // full map clone per epoch of the outage.
+                    Some((t0, stale)) => (Arc::clone(stale), t_secs.saturating_sub(*t0) * 1000),
+                    None => (Arc::new(HashMap::new()), t_secs * 1000),
                 }
             } else {
                 let mut fresh: HashMap<Prefix, f64> = match (&mut self.sampler, &mut self.estimator)
@@ -652,7 +797,8 @@ impl PopRuntime {
                         *mbps *= 1.0 - sflow_drop;
                     }
                 }
-                self.last_traffic = Some((t_secs, fresh.clone()));
+                let fresh = Arc::new(fresh);
+                self.last_traffic = Some((t_secs, Arc::clone(&fresh)));
                 (fresh, 0)
             };
 

@@ -60,6 +60,13 @@ pub struct SimConfig {
     /// Fault schedule the run interprets (`None` = sunny-day run).
     #[serde(default)]
     pub chaos: Option<FaultSchedule>,
+    /// Run the epoch hot paths incrementally: the controller's projection
+    /// memo and the runtime's version-checked FIB lookup cache (this flag
+    /// is copied over `controller.incremental` at build time). Results are
+    /// byte-identical either way — the determinism suite and the perf
+    /// benches flip it to compare against the from-scratch paths.
+    #[serde(default = "default_incremental")]
+    pub incremental: bool,
     /// Telemetry pipeline every PoP controller (and the engine's fault
     /// bookkeeping) reports into. Disabled by default; never serialized —
     /// a sink is an I/O handle, not part of the scenario, and keeping it
@@ -82,9 +89,14 @@ impl Default for SimConfig {
             perf: None,
             global_shift: None,
             chaos: None,
+            incremental: true,
             telemetry: ef_telemetry::TelemetryHandle::disabled(),
         }
     }
+}
+
+fn default_incremental() -> bool {
+    true
 }
 
 impl SimConfig {

@@ -62,6 +62,50 @@ fn baseline_arm_is_deterministic_too() {
     assert_eq!(a, b);
 }
 
+/// The chaos schedule the cache-equivalence tests reuse.
+fn chaos_schedule(cfg: &SimConfig) -> ef_chaos::FaultSchedule {
+    let deployment = ef_topology::generate(&cfg.gen);
+    let profile = ef_chaos::ChaosProfile {
+        duration_secs: cfg.duration_secs,
+        warmup_secs: 120,
+        events: 6,
+        min_fault_secs: 120,
+        max_fault_secs: 240,
+        kinds: Vec::new(),
+    };
+    ef_chaos::generate(&profile, &ef_sim::chaos_surface(&deployment), 5)
+        .expect("schedule generates")
+}
+
+#[test]
+fn caches_off_matches_caches_on() {
+    // The incremental epoch engine (projection memo + FIB lookup cache) is
+    // an implementation strategy, not a semantic change: flipping it off
+    // must reproduce the exact same bytes.
+    let cached = fingerprint(short_config(11));
+    let mut cfg = short_config(11);
+    cfg.incremental = false;
+    let scratch = fingerprint(cfg);
+    assert_eq!(cached, scratch, "caching changed the results");
+}
+
+#[test]
+fn caches_off_matches_caches_on_under_chaos_and_splitting() {
+    // Same equivalence where it is hardest to keep: faults invalidate the
+    // caches mid-run (peer failures, controller crash-resync, capacity
+    // loss) and prefix splitting doubles the lookup units per prefix.
+    let mut cfg = short_config(11);
+    cfg.controller.split_depth = 1;
+    cfg.chaos = Some(chaos_schedule(&cfg));
+    let cached = fingerprint(cfg.clone());
+    cfg.incremental = false;
+    let scratch = fingerprint(cfg);
+    assert_eq!(
+        cached, scratch,
+        "caching changed the results under chaos with splitting"
+    );
+}
+
 #[test]
 fn telemetry_sink_never_changes_results() {
     // Attaching a telemetry sink is pure observation: the run's recorded

@@ -10,8 +10,8 @@
 //! Supported shapes and attributes match exactly what the workspace uses:
 //! named/tuple/unit structs, enums with unit/newtype/tuple/struct variants
 //! (externally tagged), `#[serde(transparent)]`, field-level
-//! `#[serde(default)]` and `#[serde(skip)]`, and container-level
-//! `#[serde(try_from = "T", into = "T")]`.
+//! `#[serde(default)]` / `#[serde(default = "path")]` and `#[serde(skip)]`,
+//! and container-level `#[serde(try_from = "T", into = "T")]`.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -21,6 +21,9 @@ struct Attrs {
     try_from: Option<String>,
     into: Option<String>,
     use_default: bool,
+    /// `default = "path"`: call `path()` for a missing field instead of
+    /// `Default::default()`.
+    default_path: Option<String>,
     skip: bool,
 }
 
@@ -133,7 +136,10 @@ fn merge_serde_attr(attrs: &mut Attrs, ts: TokenStream) {
         }
         match key.as_str() {
             "transparent" => attrs.transparent = true,
-            "default" => attrs.use_default = true,
+            "default" => {
+                attrs.use_default = true;
+                attrs.default_path = value;
+            }
             "skip" | "skip_serializing" | "skip_deserializing" => attrs.skip = true,
             "try_from" => attrs.try_from = value,
             "into" => attrs.into = value,
@@ -374,7 +380,9 @@ fn de_field(f: &Field, src: &str) -> String {
         return "::core::default::Default::default()".to_string();
     }
     let name = &f.name;
-    let on_missing = if f.attrs.use_default {
+    let on_missing = if let Some(path) = &f.attrs.default_path {
+        format!("{path}()")
+    } else if f.attrs.use_default {
         "::core::default::Default::default()".to_string()
     } else {
         format!(
