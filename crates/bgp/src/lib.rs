@@ -22,7 +22,10 @@
 //!   paper's default tiering policy as a constructor.
 //! * [`decision`] — the best-path selection ladder.
 //! * [`rib`] — Adj-RIB-In and Loc-RIB.
-//! * [`session`] — a simplified BGP FSM driven by simulated time.
+//! * [`session`] — a simplified BGP FSM driven by simulated time, with
+//!   RFC 7606 graded error handling on the receive path.
+//! * [`backoff`] — seeded-deterministic reconnect governance (exponential
+//!   backoff, decorrelated jitter, flap damping).
 //! * [`router`] — a peering router: sessions in, policy, RIBs, decision,
 //!   FIB out; emits a BMP-style feed.
 //! * [`bmp`] — BGP Monitoring Protocol (RFC 7854 subset) messages, which is
@@ -61,6 +64,7 @@
 
 pub mod addpath;
 pub mod attrs;
+pub mod backoff;
 pub mod bmp;
 pub mod decision;
 pub mod message;

@@ -533,6 +533,9 @@ pub struct PeerStub {
     session: Session,
     /// UPDATEs the router sent this peer (its export view of us).
     received: Vec<UpdateMessage>,
+    /// Sends refused by the session (not established, or encode failure),
+    /// recorded by the infallible convenience senders instead of panicking.
+    send_errors: u64,
 }
 
 impl PeerStub {
@@ -545,12 +548,19 @@ impl PeerStub {
             peer,
             session,
             received: Vec::new(),
+            send_errors: 0,
         }
     }
 
     /// Announcements/withdrawals the router has exported to this peer.
     pub fn received_updates(&self) -> &[UpdateMessage] {
         &self.received
+    }
+
+    /// Sends dropped by the infallible convenience senders because the
+    /// session refused them (not established, or encode failure).
+    pub fn send_errors(&self) -> u64 {
+        self.send_errors
     }
 
     /// True once the session is established.
@@ -582,6 +592,10 @@ impl PeerStub {
     }
 
     /// Announces a prefix with the given attributes and pumps.
+    ///
+    /// INVARIANT: a single-prefix announce with a next hop is far below the
+    /// wire size ceiling, so on an established session this cannot fail;
+    /// callers pump/establish first. Failures are counted, never panicked.
     pub fn announce(
         &mut self,
         router: &mut BgpRouter,
@@ -595,29 +609,47 @@ impl PeerStub {
             // egress is fixed by the attachment anyway.
             attrs.next_hop = Some(Ipv4Addr::new(192, 0, 2, 1));
         }
-        self.session
-            .send_update(UpdateMessage::announce(prefix, attrs))
-            .expect("announce encodes");
-        self.pump(router, now);
+        if self
+            .try_send_update(router, UpdateMessage::announce(prefix, attrs), now)
+            .is_err()
+        {
+            self.send_errors += 1;
+        }
     }
 
-    /// Withdraws prefixes and pumps.
+    /// Withdraws prefixes and pumps. Failures are counted, never panicked.
     pub fn withdraw(
         &mut self,
         router: &mut BgpRouter,
         prefixes: impl IntoIterator<Item = Prefix>,
         now: Millis,
     ) {
-        self.session
-            .send_update(UpdateMessage::withdraw(prefixes))
-            .expect("withdraw encodes");
-        self.pump(router, now);
+        if self
+            .try_send_update(router, UpdateMessage::withdraw(prefixes), now)
+            .is_err()
+        {
+            self.send_errors += 1;
+        }
     }
 
-    /// Sends a raw UPDATE (used by the override injector) and pumps.
+    /// Sends a raw UPDATE and pumps. Failures are counted, never panicked.
     pub fn send_update(&mut self, router: &mut BgpRouter, update: UpdateMessage, now: Millis) {
-        self.session.send_update(update).expect("update encodes");
+        if self.try_send_update(router, update, now).is_err() {
+            self.send_errors += 1;
+        }
+    }
+
+    /// Sends a raw UPDATE and pumps, surfacing session refusal as a typed
+    /// error (the override injector's retry path needs to see failures).
+    pub fn try_send_update(
+        &mut self,
+        router: &mut BgpRouter,
+        update: UpdateMessage,
+        now: Millis,
+    ) -> Result<(), crate::session::SessionError> {
+        self.session.send_update(update)?;
         self.pump(router, now);
+        Ok(())
     }
 
     /// Tears the session down administratively and pumps the NOTIFICATION.

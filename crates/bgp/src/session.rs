@@ -16,7 +16,7 @@ use bytes::{Bytes, BytesMut};
 use ef_net_types::Asn;
 
 use crate::message::{BgpMessage, NotificationMessage, OpenMessage, UpdateMessage};
-use crate::wire::{decode_message, encode_message, WireError};
+use crate::wire::{decode_message_graded, encode_message, Disposition, WireError};
 
 /// Simulated time in milliseconds since scenario start.
 pub type Millis = u64;
@@ -81,6 +81,27 @@ pub enum SessionEvent {
     Update(UpdateMessage),
 }
 
+/// Errors from local session operations (the send side; the receive side
+/// grades wire errors per RFC 7606 instead of failing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// UPDATEs may only be sent on an established session.
+    NotEstablished,
+    /// The message failed to wire-encode (oversize or malformed).
+    Encode(WireError),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SessionError::NotEstablished => write!(f, "session not established"),
+            SessionError::Encode(e) => write!(f, "encode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
 /// Why a session went down.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DownReason {
@@ -113,6 +134,12 @@ pub struct Session {
     outbox: VecDeque<Bytes>,
     /// Bytes received but not yet framed into a whole message.
     inbuf: BytesMut,
+    /// Malformed UPDATEs downgraded to withdrawals (RFC 7606
+    /// treat-as-withdraw) over the session's lifetime.
+    updates_downgraded: u64,
+    /// Malformed non-critical attributes dropped (RFC 7606
+    /// attribute-discard) over the session's lifetime.
+    attrs_discarded: u64,
 }
 
 impl Session {
@@ -127,7 +154,21 @@ impl Session {
             keepalive_deadline: None,
             outbox: VecDeque::new(),
             inbuf: BytesMut::new(),
+            updates_downgraded: 0,
+            attrs_discarded: 0,
         }
+    }
+
+    /// Malformed UPDATEs this session downgraded to withdrawals instead of
+    /// resetting (RFC 7606 treat-as-withdraw).
+    pub fn updates_downgraded(&self) -> u64 {
+        self.updates_downgraded
+    }
+
+    /// Malformed non-critical attributes this session dropped while keeping
+    /// the routes (RFC 7606 attribute-discard).
+    pub fn attrs_discarded(&self) -> u64 {
+        self.attrs_discarded
     }
 
     /// Current FSM state.
@@ -192,20 +233,16 @@ impl Session {
         if self.state == SessionState::Idle {
             return None;
         }
-        self.enqueue(BgpMessage::Notification(
-            NotificationMessage::admin_shutdown(),
-        ));
-        self.reset();
+        self.reset_with_notification(NotificationMessage::admin_shutdown());
         Some(SessionEvent::Down(DownReason::AdminStop))
     }
 
     /// Queues an UPDATE. Errors unless established.
-    pub fn send_update(&mut self, update: UpdateMessage) -> Result<(), WireError> {
-        assert!(
-            self.is_established(),
-            "send_update on non-established session"
-        );
-        let bytes = encode_message(&BgpMessage::Update(update))?;
+    pub fn send_update(&mut self, update: UpdateMessage) -> Result<(), SessionError> {
+        if !self.is_established() {
+            return Err(SessionError::NotEstablished);
+        }
+        let bytes = encode_message(&BgpMessage::Update(update)).map_err(SessionError::Encode)?;
         self.outbox.push_back(bytes);
         Ok(())
     }
@@ -216,29 +253,48 @@ impl Session {
     }
 
     /// Feeds received transport bytes; returns application events.
+    ///
+    /// Decode failures are graded per RFC 7606: a malformed UPDATE on an
+    /// established session becomes a withdrawal of its salvaged prefixes
+    /// (the session survives); only framing-level damage and malformed
+    /// non-UPDATE messages reset the session.
     pub fn receive_bytes(&mut self, data: &[u8], now: Millis) -> Vec<SessionEvent> {
         self.inbuf.extend_from_slice(data);
         let mut events = Vec::new();
         loop {
             let mut probe = self.inbuf.clone().freeze();
-            match decode_message(&mut probe) {
-                Ok(msg) => {
+            match decode_message_graded(&mut probe) {
+                Ok(None) => break, // incomplete frame; wait for more bytes
+                Ok(Some(decoded)) => {
                     let consumed = self.inbuf.len() - probe.len();
                     let _ = self.inbuf.split_to(consumed);
-                    if let Some(ev) = self.handle_message(msg, now) {
+                    self.attrs_discarded += decoded.discarded_attrs as u64;
+                    if let Some(ev) = self.handle_message(decoded.msg, now) {
                         events.push(ev);
                         if matches!(events.last(), Some(SessionEvent::Down(_))) {
                             break;
                         }
                     }
                 }
-                Err(WireError::Truncated) => break,
                 Err(e) => {
-                    self.enqueue(BgpMessage::Notification(NotificationMessage::update_error(
-                        0,
+                    let consumed = self.inbuf.len() - probe.len();
+                    let _ = self.inbuf.split_to(consumed);
+                    if e.disposition == Disposition::TreatAsWithdraw
+                        && self.state == SessionState::Established
+                    {
+                        // RFC 7606 §2: keep the session, withdraw the
+                        // routes the malformed UPDATE touched.
+                        self.updates_downgraded += 1;
+                        self.refresh_hold(now);
+                        if !e.withdraw.is_empty() {
+                            events.push(SessionEvent::Update(UpdateMessage::withdraw(e.withdraw)));
+                        }
+                        continue;
+                    }
+                    self.reset_with_notification(NotificationMessage::update_error(0));
+                    events.push(SessionEvent::Down(DownReason::ProtocolError(
+                        e.error.to_string(),
                     )));
-                    self.reset();
-                    events.push(SessionEvent::Down(DownReason::ProtocolError(e.to_string())));
                     break;
                 }
             }
@@ -265,10 +321,7 @@ impl Session {
                     SessionState::OpenSent | SessionState::OpenConfirm | SessionState::Established
                 )
             {
-                self.enqueue(BgpMessage::Notification(
-                    NotificationMessage::hold_timer_expired(),
-                ));
-                self.reset();
+                self.reset_with_notification(NotificationMessage::hold_timer_expired());
                 events.push(SessionEvent::Down(DownReason::HoldTimerExpired));
             }
         }
@@ -287,12 +340,25 @@ impl Session {
             }
             (SessionState::OpenConfirm, BgpMessage::Keepalive) => {
                 self.refresh_hold(now);
-                self.state = SessionState::Established;
-                Some(SessionEvent::Up(
-                    self.peer_open
-                        .clone()
-                        .expect("OPEN received before confirm"),
-                ))
+                // INVARIANT: peer_open is set by the OpenSent→OpenConfirm
+                // transition, the only path into OpenConfirm. Guard anyway:
+                // a missing OPEN is an FSM error, not a panic.
+                match self.peer_open.clone() {
+                    Some(open) => {
+                        self.state = SessionState::Established;
+                        Some(SessionEvent::Up(open))
+                    }
+                    None => {
+                        self.reset_with_notification(NotificationMessage {
+                            code: 5, // FSM error
+                            subcode: 0,
+                            data: Vec::new(),
+                        });
+                        Some(SessionEvent::Down(DownReason::ProtocolError(
+                            "confirm without OPEN".into(),
+                        )))
+                    }
+                }
             }
             (SessionState::Established, BgpMessage::Keepalive) => {
                 self.refresh_hold(now);
@@ -308,12 +374,11 @@ impl Session {
             }
             // Anything else out of order is a protocol error.
             (state, msg) => {
-                self.enqueue(BgpMessage::Notification(NotificationMessage {
+                self.reset_with_notification(NotificationMessage {
                     code: 5, // FSM error
                     subcode: 0,
                     data: Vec::new(),
-                }));
-                self.reset();
+                });
                 Some(SessionEvent::Down(DownReason::ProtocolError(format!(
                     "unexpected {:?} in {:?}",
                     msg.type_code(),
@@ -337,8 +402,23 @@ impl Session {
     }
 
     fn enqueue(&mut self, msg: BgpMessage) {
-        let bytes = encode_message(&msg).expect("internally-built message encodes");
-        self.outbox.push_back(bytes);
+        // INVARIANT: only internally-built OPEN / KEEPALIVE / NOTIFICATION
+        // messages reach this path; all are tiny and carry no NLRI, so
+        // encoding cannot fail. Should the invariant ever break, dropping
+        // the message is strictly better than panicking the FSM.
+        if let Ok(bytes) = encode_message(&msg) {
+            self.outbox.push_back(bytes);
+        }
+    }
+
+    /// Tears the session down and leaves exactly one NOTIFICATION queued.
+    ///
+    /// The order matters: resetting first flushes any stale queued UPDATEs
+    /// (e.g. a replay in flight when the hold timer fired) so a subsequent
+    /// re-establishment cannot deliver them into the fresh session.
+    fn reset_with_notification(&mut self, n: NotificationMessage) {
+        self.reset();
+        self.enqueue(BgpMessage::Notification(n));
     }
 
     fn reset(&mut self) {
@@ -347,6 +427,7 @@ impl Session {
         self.hold_deadline = None;
         self.keepalive_deadline = None;
         self.inbuf.clear();
+        self.outbox.clear();
     }
 }
 
@@ -421,10 +502,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-established")]
-    fn update_before_established_panics() {
+    fn update_before_established_is_a_typed_error() {
         let (mut a, _) = pair();
-        let _ = a.send_update(UpdateMessage::default());
+        assert_eq!(
+            a.send_update(UpdateMessage::default()),
+            Err(SessionError::NotEstablished)
+        );
     }
 
     #[test]
@@ -551,5 +634,208 @@ mod tests {
             evs.as_slice(),
             [SessionEvent::Down(DownReason::ProtocolError(_))]
         ));
+    }
+
+    #[test]
+    fn malformed_update_is_treated_as_withdraw_not_reset() {
+        let (mut a, mut b) = pair();
+        establish_pair(&mut a, &mut b, 0);
+        let prefix: ef_net_types::Prefix = "203.0.113.0/24".parse().unwrap();
+        let update = UpdateMessage::announce(
+            prefix,
+            PathAttributes {
+                next_hop: Some(Ipv4Addr::new(192, 0, 2, 1)),
+                ..Default::default()
+            },
+        );
+        a.send_update(update).unwrap();
+        let bytes = a.take_outbox().remove(0);
+        // Truncate the ORIGIN attribute's declared length into garbage:
+        // overwrite the attribute length field to overrun the section.
+        let mut raw = bytes.to_vec();
+        let wd_len = u16::from_be_bytes([raw[19], raw[20]]) as usize;
+        raw[19 + 2 + wd_len + 2 + 2] = 0xEE; // ORIGIN length byte → 238
+        let evs = b.receive_bytes(&raw, 1);
+        assert!(b.is_established(), "session survives the malformed UPDATE");
+        assert_eq!(b.updates_downgraded(), 1);
+        assert_eq!(
+            evs,
+            vec![SessionEvent::Update(UpdateMessage::withdraw([prefix]))],
+            "the announced prefix came back as a withdrawal"
+        );
+    }
+
+    #[test]
+    fn malformed_optional_attribute_is_discarded_route_kept() {
+        let (mut a, mut b) = pair();
+        establish_pair(&mut a, &mut b, 0);
+        // Hand-assemble an UPDATE whose COMMUNITIES attribute has a
+        // non-multiple-of-4 length: a content error that keeps the stream
+        // aligned on a non-critical attribute → attribute-discard.
+        let mut attrs = Vec::new();
+        attrs.extend_from_slice(&[0x40, 1, 1, 0]); // ORIGIN Igp
+        attrs.extend_from_slice(&[0x40, 2, 0]); // empty AS_PATH
+        attrs.extend_from_slice(&[0x40, 3, 4, 192, 0, 2, 1]); // NEXT_HOP
+        attrs.extend_from_slice(&[0xC0, 8, 3, 0, 0, 0]); // bad COMMUNITIES
+        let nlri = [24u8, 203, 0, 113];
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&[0xFF; 16]);
+        let total = 19 + 2 + 2 + attrs.len() + nlri.len();
+        raw.extend_from_slice(&(total as u16).to_be_bytes());
+        raw.push(2); // UPDATE
+        raw.extend_from_slice(&0u16.to_be_bytes()); // withdrawn len
+        raw.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+        raw.extend_from_slice(&attrs);
+        raw.extend_from_slice(&nlri);
+        let evs = b.receive_bytes(&raw, 1);
+        assert!(b.is_established());
+        assert_eq!(b.attrs_discarded(), 1, "bad COMMUNITIES dropped");
+        assert_eq!(b.updates_downgraded(), 0);
+        match evs.as_slice() {
+            [SessionEvent::Update(u)] => {
+                assert_eq!(u.announced, vec!["203.0.113.0/24".parse().unwrap()]);
+                assert!(u.attrs.communities.is_empty());
+            }
+            other => panic!("expected one Update, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_origin_value_downgrades_not_resets() {
+        let (mut a, mut b) = pair();
+        establish_pair(&mut a, &mut b, 0);
+        let prefix: ef_net_types::Prefix = "198.51.100.0/24".parse().unwrap();
+        let update = UpdateMessage::announce(
+            prefix,
+            PathAttributes {
+                next_hop: Some(Ipv4Addr::new(192, 0, 2, 1)),
+                ..Default::default()
+            },
+        );
+        a.send_update(update).unwrap();
+        let bytes = a.take_outbox().remove(0);
+        // ORIGIN value byte → invalid code 0x77: content error, stream
+        // aligned, but ORIGIN is critical → treat-as-withdraw.
+        let mut raw = bytes.to_vec();
+        let wd_len = u16::from_be_bytes([raw[19], raw[20]]) as usize;
+        raw[19 + 2 + wd_len + 2 + 3] = 0x77; // ORIGIN value byte
+        let evs = b.receive_bytes(&raw, 1);
+        assert!(b.is_established());
+        assert_eq!(
+            evs,
+            vec![SessionEvent::Update(UpdateMessage::withdraw([prefix]))]
+        );
+    }
+
+    #[test]
+    fn framing_damage_still_resets_session() {
+        let (mut a, mut b) = pair();
+        establish_pair(&mut a, &mut b, 0);
+        let update = UpdateMessage::announce(
+            "203.0.113.0/24".parse().unwrap(),
+            PathAttributes {
+                next_hop: Some(Ipv4Addr::new(192, 0, 2, 1)),
+                ..Default::default()
+            },
+        );
+        a.send_update(update).unwrap();
+        let bytes = a.take_outbox().remove(0);
+        let mut raw = bytes.to_vec();
+        raw[0] = 0x00; // break the marker: framing-level damage
+        let evs = b.receive_bytes(&raw, 1);
+        assert!(matches!(
+            evs.as_slice(),
+            [SessionEvent::Down(DownReason::ProtocolError(_))]
+        ));
+        assert_eq!(b.state(), SessionState::Idle);
+    }
+
+    #[test]
+    fn hold_expiry_mid_replay_flushes_queued_updates() {
+        let (mut a, mut b) = pair();
+        establish_pair(&mut a, &mut b, 0);
+        // Queue a replay burst without draining the outbox.
+        for i in 0..5u32 {
+            a.send_update(UpdateMessage::announce(
+                format!("10.{i}.0.0/16").parse().unwrap(),
+                PathAttributes {
+                    next_hop: Some(Ipv4Addr::new(192, 0, 2, 1)),
+                    ..Default::default()
+                },
+            ))
+            .unwrap();
+        }
+        // Hold timer fires mid-replay: the stale queue must not leak into
+        // the wire after the reset.
+        let events = a.tick(90_001);
+        assert_eq!(
+            events,
+            vec![SessionEvent::Down(DownReason::HoldTimerExpired)]
+        );
+        let out = a.take_outbox();
+        assert_eq!(out.len(), 1, "only the NOTIFICATION survives the reset");
+        let evs = b.receive_bytes(&out[0], 90_001);
+        assert!(matches!(
+            evs.as_slice(),
+            [SessionEvent::Down(DownReason::Notification(n))] if n.code == 4
+        ));
+    }
+
+    #[test]
+    fn connect_collision_establishes_once() {
+        // Both sides open simultaneously (connect collision): the OPENs
+        // cross on the wire. Each side must still establish exactly once.
+        let (mut a, mut b) = pair();
+        a.start();
+        b.start();
+        a.transport_connected(0);
+        b.transport_connected(0);
+        // Collect both OPENs before delivering either, so they truly cross.
+        let from_a = a.take_outbox();
+        let from_b = b.take_outbox();
+        let mut events = Vec::new();
+        for bytes in from_a {
+            events.extend(b.receive_bytes(&bytes, 0));
+        }
+        for bytes in from_b {
+            events.extend(a.receive_bytes(&bytes, 0));
+        }
+        // Keepalives confirm.
+        for bytes in a.take_outbox() {
+            events.extend(b.receive_bytes(&bytes, 0));
+        }
+        for bytes in b.take_outbox() {
+            events.extend(a.receive_bytes(&bytes, 0));
+        }
+        assert!(a.is_established());
+        assert!(b.is_established());
+        let ups = events
+            .iter()
+            .filter(|e| matches!(e, SessionEvent::Up(_)))
+            .count();
+        assert_eq!(ups, 2, "each side sees exactly one Up");
+    }
+
+    #[test]
+    fn reestablish_after_down_with_queued_withdrawals_is_clean() {
+        let (mut a, mut b) = pair();
+        establish_pair(&mut a, &mut b, 0);
+        // Withdrawals sit queued when the transport drops.
+        a.send_update(UpdateMessage::withdraw(["10.0.0.0/8"
+            .parse::<ef_net_types::Prefix>()
+            .unwrap()]))
+            .unwrap();
+        assert!(a.transport_closed().is_some());
+        assert!(b.transport_closed().is_some(), "both ends see the drop");
+        assert!(a.take_outbox().is_empty(), "queued withdrawal flushed");
+        // Re-establishment starts from a clean slate: no stale UPDATE can
+        // hit the peer's fresh OpenSent state and kill the new session.
+        let events = establish_pair(&mut a, &mut b, 1_000);
+        assert!(a.is_established());
+        assert!(b.is_established());
+        assert!(
+            events.iter().all(|e| !matches!(e, SessionEvent::Update(_))),
+            "no stale withdrawal leaked into the new session"
+        );
     }
 }

@@ -79,6 +79,66 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// How a decode failure must be handled, per RFC 7606 ("Revised Error
+/// Handling for BGP UPDATE Messages").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Unrecoverable: NOTIFICATION and session reset (RFC 4271 behavior).
+    /// Framing errors, malformed OPEN/NOTIFICATION, and unparseable NLRI
+    /// land here — there is no safe way to keep the byte stream aligned.
+    SessionReset,
+    /// The malformed UPDATE's routes are treated as withdrawn; the session
+    /// survives (RFC 7606 §2's headline change).
+    TreatAsWithdraw,
+    /// A malformed non-critical attribute is dropped; the route survives
+    /// with the remaining attributes.
+    AttributeDiscard,
+}
+
+/// A graded decode failure.
+///
+/// `disposition` says what the receiver must do; for
+/// [`Disposition::TreatAsWithdraw`] the salvaged prefixes — the UPDATE's
+/// withdrawn routes plus every parseable announced prefix — are in
+/// `withdraw`, ready to be applied as a withdrawal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeError {
+    /// The underlying wire error.
+    pub error: WireError,
+    /// RFC 7606 grading.
+    pub disposition: Disposition,
+    /// Prefixes to withdraw (non-empty only for `TreatAsWithdraw`).
+    pub withdraw: Vec<Prefix>,
+}
+
+impl DecodeError {
+    fn reset(error: WireError) -> Self {
+        DecodeError {
+            error,
+            disposition: Disposition::SessionReset,
+            withdraw: Vec::new(),
+        }
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({:?})", self.error, self.disposition)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A successfully decoded message plus RFC 7606 bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decoded {
+    /// The message.
+    pub msg: BgpMessage,
+    /// Malformed non-critical attributes dropped on the way
+    /// ([`Disposition::AttributeDiscard`]).
+    pub discarded_attrs: usize,
+}
+
 // ---------------------------------------------------------------------------
 // Encoding
 // ---------------------------------------------------------------------------
@@ -351,6 +411,168 @@ pub fn decode_message(buf: &mut Bytes) -> Result<BgpMessage, WireError> {
     }
 }
 
+/// Attempts to decode one message from the front of `buf` with RFC 7606
+/// graded error handling.
+///
+/// Returns `Ok(None)` without consuming anything when `buf` holds an
+/// incomplete message (wait for more bytes). On any complete-but-malformed
+/// message the frame **is** consumed and the error carries a
+/// [`Disposition`]: `SessionReset` for framing and non-UPDATE errors,
+/// `TreatAsWithdraw` (with the salvaged prefixes) for UPDATE body errors
+/// that leave the NLRI recoverable. Malformed non-critical attributes never
+/// error at all — they are dropped and counted in
+/// [`Decoded::discarded_attrs`].
+pub fn decode_message_graded(buf: &mut Bytes) -> Result<Option<Decoded>, DecodeError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let header = &buf[..HEADER_LEN];
+    if header[..16].iter().any(|b| *b != 0xFF) {
+        return Err(DecodeError::reset(WireError::BadMarker));
+    }
+    let total = u16::from_be_bytes([header[16], header[17]]) as usize;
+    if !(HEADER_LEN..=MAX_MESSAGE_LEN).contains(&total) {
+        return Err(DecodeError::reset(WireError::BadLength(total as u16)));
+    }
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let type_code = header[18];
+    let mut msg = buf.split_to(total);
+    msg.advance(HEADER_LEN);
+    let mut body = msg;
+    match type_code {
+        1 => decode_open(&mut body)
+            .map(|msg| {
+                Some(Decoded {
+                    msg,
+                    discarded_attrs: 0,
+                })
+            })
+            .map_err(DecodeError::reset),
+        2 => decode_update_graded(&mut body).map(Some),
+        3 => decode_notification(&mut body)
+            .map(|msg| {
+                Some(Decoded {
+                    msg,
+                    discarded_attrs: 0,
+                })
+            })
+            .map_err(DecodeError::reset),
+        4 => {
+            if body.is_empty() {
+                Ok(Some(Decoded {
+                    msg: BgpMessage::Keepalive,
+                    discarded_attrs: 0,
+                }))
+            } else {
+                Err(DecodeError::reset(WireError::BadLength(
+                    (HEADER_LEN + body.len()) as u16,
+                )))
+            }
+        }
+        t => Err(DecodeError::reset(WireError::BadType(t))),
+    }
+}
+
+/// Decodes an UPDATE body with RFC 7606 grading. `body` is the complete
+/// message body (the frame has already been consumed from the stream).
+fn decode_update_graded(body: &mut Bytes) -> Result<Decoded, DecodeError> {
+    // Withdrawn-routes section. An error here offers no safe resync point
+    // before the attribute section, so RFC 7606 §5.1 keeps session reset.
+    if body.len() < 2 {
+        return Err(DecodeError::reset(WireError::Truncated));
+    }
+    let wd_len = body.get_u16() as usize;
+    if body.len() < wd_len {
+        return Err(DecodeError::reset(WireError::Truncated));
+    }
+    let mut wd = body.split_to(wd_len);
+    let mut withdrawn = Vec::new();
+    while wd.has_remaining() {
+        match decode_prefix(&mut wd, false) {
+            Ok(p) => withdrawn.push(p),
+            Err(e) => return Err(DecodeError::reset(e)),
+        }
+    }
+
+    if body.len() < 2 {
+        return Err(DecodeError::reset(WireError::Truncated));
+    }
+    let attrs_len = body.get_u16() as usize;
+    if body.len() < attrs_len {
+        return Err(DecodeError::reset(WireError::Truncated));
+    }
+    let mut raw_attrs = body.split_to(attrs_len);
+    // `body` now holds exactly the v4 NLRI: because the attribute section
+    // is length-delimited, the NLRI stays recoverable no matter how the
+    // attribute bytes are mangled — the property treat-as-withdraw rests on.
+
+    let mut attrs = PathAttributes::default();
+    let mut announced = Vec::new();
+    let mut discarded_attrs = 0usize;
+    let mut downgrade: Option<WireError> = None;
+    while raw_attrs.has_remaining() {
+        match decode_attribute(&mut raw_attrs, &mut attrs, &mut announced, &mut withdrawn) {
+            Ok(()) => {}
+            Err(f) if f.aligned && !attr_is_critical(f.type_code) => {
+                // RFC 7606 §2 attribute-discard: drop the malformed
+                // attribute, keep the route.
+                discarded_attrs += 1;
+            }
+            Err(f) => {
+                // Critical attribute or lost alignment: grade the whole
+                // UPDATE treat-as-withdraw and stop attribute parsing.
+                downgrade = Some(f.error);
+                break;
+            }
+        }
+    }
+
+    // v4 NLRI. Unparseable NLRI leaves nothing to withdraw by prefix, so
+    // session reset remains the only sound response (RFC 7606 §5.3).
+    while body.has_remaining() {
+        match decode_prefix(body, false) {
+            Ok(p) => announced.push(p),
+            Err(e) => return Err(DecodeError::reset(e)),
+        }
+    }
+
+    // A missing mandatory NEXT_HOP on a v4 announcement is graded
+    // treat-as-withdraw (RFC 7606 §3 item j).
+    if downgrade.is_none() && attrs.next_hop.is_none() && announced.iter().any(|p| p.is_v4()) {
+        downgrade = Some(WireError::BadAttribute("v4 NLRI without NEXT_HOP"));
+    }
+
+    if let Some(error) = downgrade {
+        let mut withdraw = withdrawn;
+        withdraw.extend(announced);
+        return Err(DecodeError {
+            error,
+            disposition: Disposition::TreatAsWithdraw,
+            withdraw,
+        });
+    }
+
+    // Canonicalize: attributes on an UPDATE that announces nothing carry no
+    // meaning (RFC 4271 §4.3 ties them to NLRI), and the encoder never emits
+    // them. Dropping them here keeps accept → re-encode → strict-decode a
+    // fixed point, which the corruption corpus asserts.
+    if announced.is_empty() && attrs != PathAttributes::default() {
+        attrs = PathAttributes::default();
+        discarded_attrs += 1;
+    }
+
+    Ok(Decoded {
+        msg: BgpMessage::Update(UpdateMessage {
+            withdrawn,
+            attrs,
+            announced,
+        }),
+        discarded_attrs,
+    })
+}
+
 fn need(buf: &Bytes, n: usize) -> Result<(), WireError> {
     if buf.len() < n {
         Err(WireError::Truncated)
@@ -431,7 +653,8 @@ fn decode_update(body: &mut Bytes) -> Result<BgpMessage, WireError> {
     let mut attrs = PathAttributes::default();
     let mut announced = Vec::new();
     while raw_attrs.has_remaining() {
-        decode_attribute(&mut raw_attrs, &mut attrs, &mut announced, &mut withdrawn)?;
+        decode_attribute(&mut raw_attrs, &mut attrs, &mut announced, &mut withdrawn)
+            .map_err(|f| f.error)?;
     }
 
     // Remaining bytes are v4 NLRI.
@@ -446,25 +669,80 @@ fn decode_update(body: &mut Bytes) -> Result<BgpMessage, WireError> {
     }))
 }
 
+/// Why one attribute failed to parse, with enough context for RFC 7606
+/// grading.
+struct AttrFailure {
+    /// The attribute's type code, when the header parsed far enough to know.
+    type_code: Option<u8>,
+    error: WireError,
+    /// True when the attribute's declared length was fully consumed before
+    /// the failure — the attribute stream is still aligned and parsing can
+    /// continue past this attribute (attribute-discard territory).
+    aligned: bool,
+}
+
+/// Attributes whose corruption invalidates the whole route (RFC 7606 §3:
+/// ORIGIN / AS_PATH / NEXT_HOP errors are treat-as-withdraw, and MP reach /
+/// unreach carry NLRI, so a parse failure loses routes).
+fn attr_is_critical(type_code: Option<u8>) -> bool {
+    match type_code {
+        Some(attr_type::ORIGIN)
+        | Some(attr_type::AS_PATH)
+        | Some(attr_type::NEXT_HOP)
+        | Some(attr_type::MP_REACH_NLRI)
+        | Some(attr_type::MP_UNREACH_NLRI) => true,
+        Some(_) => false,
+        // Header did not parse: alignment is lost anyway.
+        None => true,
+    }
+}
+
 fn decode_attribute(
     buf: &mut Bytes,
     attrs: &mut PathAttributes,
     announced: &mut Vec<Prefix>,
     withdrawn: &mut Vec<Prefix>,
-) -> Result<(), WireError> {
-    need(buf, 2)?;
+) -> Result<(), AttrFailure> {
+    // Attribute header failures lose stream alignment: nothing past this
+    // point in the attribute section can be parsed.
+    let misaligned = |type_code: Option<u8>| {
+        move |error: WireError| AttrFailure {
+            type_code,
+            error,
+            aligned: false,
+        }
+    };
+    need(buf, 2).map_err(misaligned(None))?;
     let flags = buf.get_u8();
     let type_code = buf.get_u8();
     let len = if flags & FLAG_EXT_LEN != 0 {
-        need(buf, 2)?;
+        need(buf, 2).map_err(misaligned(Some(type_code)))?;
         buf.get_u16() as usize
     } else {
-        need(buf, 1)?;
+        need(buf, 1).map_err(misaligned(Some(type_code)))?;
         buf.get_u8() as usize
     };
-    need(buf, len)?;
+    need(buf, len).map_err(misaligned(Some(type_code)))?;
     let mut value = buf.split_to(len);
+    // From here on the attribute's bytes are fully consumed: any failure
+    // leaves the stream aligned on the next attribute.
+    decode_attribute_value(flags, type_code, &mut value, attrs, announced, withdrawn).map_err(
+        |error| AttrFailure {
+            type_code: Some(type_code),
+            error,
+            aligned: true,
+        },
+    )
+}
 
+fn decode_attribute_value(
+    flags: u8,
+    type_code: u8,
+    value: &mut Bytes,
+    attrs: &mut PathAttributes,
+    announced: &mut Vec<Prefix>,
+    withdrawn: &mut Vec<Prefix>,
+) -> Result<(), WireError> {
     match type_code {
         attr_type::ORIGIN => {
             if value.len() != 1 {
@@ -476,10 +754,10 @@ fn decode_attribute(
         attr_type::AS_PATH => {
             let mut segments = Vec::new();
             while value.has_remaining() {
-                need(&value, 2)?;
+                need(value, 2)?;
                 let seg_type = value.get_u8();
                 let count = value.get_u8() as usize;
-                need(&value, count * 4)?;
+                need(value, count * 4)?;
                 let mut asns = Vec::with_capacity(count);
                 for _ in 0..count {
                     asns.push(Asn(value.get_u32()));
@@ -519,11 +797,11 @@ fn decode_attribute(
             }
         }
         attr_type::MP_REACH_NLRI => {
-            need(&value, 4)?;
+            need(value, 4)?;
             let afi = value.get_u16();
             let _safi = value.get_u8();
             let nh_len = value.get_u8() as usize;
-            need(&value, nh_len + 1)?;
+            need(value, nh_len + 1)?;
             // Recover an IPv4-mapped next hop (the encoder's form) so
             // consumers that resolve egress from the next hop — the Edge
             // Fabric override path — work for IPv6 NLRI too.
@@ -542,18 +820,18 @@ fn decode_attribute(
                 return Err(WireError::BadAttribute("MP_REACH AFI"));
             }
             while value.has_remaining() {
-                announced.push(decode_prefix(&mut value, true)?);
+                announced.push(decode_prefix(value, true)?);
             }
         }
         attr_type::MP_UNREACH_NLRI => {
-            need(&value, 3)?;
+            need(value, 3)?;
             let afi = value.get_u16();
             let _safi = value.get_u8();
             if afi != 2 {
                 return Err(WireError::BadAttribute("MP_UNREACH AFI"));
             }
             while value.has_remaining() {
-                withdrawn.push(decode_prefix(&mut value, true)?);
+                withdrawn.push(decode_prefix(value, true)?);
             }
         }
         _ => {
@@ -713,6 +991,154 @@ mod tests {
         assert_eq!(
             encode_message(&BgpMessage::Update(update)),
             Err(WireError::BadAttribute("v4 NLRI without NEXT_HOP"))
+        );
+    }
+
+    // --- RFC 7606 graded decoding ------------------------------------------
+
+    /// Wraps a hand-assembled body in a valid BGP header of the given type.
+    fn frame(type_code: u8, body: &[u8]) -> Bytes {
+        let mut raw = vec![0xFFu8; 16];
+        raw.extend_from_slice(&((HEADER_LEN + body.len()) as u16).to_be_bytes());
+        raw.push(type_code);
+        raw.extend_from_slice(body);
+        Bytes::from(raw)
+    }
+
+    fn sample_update() -> UpdateMessage {
+        UpdateMessage {
+            withdrawn: vec!["198.51.100.0/24".parse().unwrap()],
+            attrs: sample_attrs(),
+            announced: vec!["203.0.113.0/24".parse().unwrap()],
+        }
+    }
+
+    /// Byte offsets into an encoded UPDATE frame: (attrs_start, attrs_len).
+    fn attr_section(raw: &[u8]) -> (usize, usize) {
+        let wd_len = u16::from_be_bytes([raw[HEADER_LEN], raw[HEADER_LEN + 1]]) as usize;
+        let len_at = HEADER_LEN + 2 + wd_len;
+        let attrs_len = u16::from_be_bytes([raw[len_at], raw[len_at + 1]]) as usize;
+        (len_at + 2, attrs_len)
+    }
+
+    #[test]
+    fn graded_incomplete_frame_returns_none_and_consumes_nothing() {
+        let bytes = encode_message(&BgpMessage::Update(sample_update())).expect("encode");
+        let mut partial = bytes.slice(..bytes.len() - 1);
+        let before = partial.len();
+        assert!(matches!(decode_message_graded(&mut partial), Ok(None)));
+        assert_eq!(
+            partial.len(),
+            before,
+            "incomplete frame must not be consumed"
+        );
+    }
+
+    #[test]
+    fn graded_valid_frame_matches_strict_decode() {
+        let msg = BgpMessage::Update(sample_update());
+        let mut bytes = encode_message(&msg).expect("encode");
+        let decoded = decode_message_graded(&mut bytes)
+            .expect("graded decode")
+            .expect("complete frame");
+        assert_eq!(decoded.msg, msg);
+        assert_eq!(decoded.discarded_attrs, 0);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn graded_bad_marker_is_session_reset() {
+        let bytes = encode_message(&BgpMessage::Update(sample_update())).expect("encode");
+        let mut raw = bytes.to_vec();
+        raw[0] = 0x00;
+        let mut buf = Bytes::from(raw);
+        let err = decode_message_graded(&mut buf).expect_err("bad marker");
+        assert_eq!(err.disposition, Disposition::SessionReset);
+        assert_eq!(err.error, WireError::BadMarker);
+    }
+
+    #[test]
+    fn graded_critical_attr_error_withdraws_salvaged_prefixes() {
+        let bytes = encode_message(&BgpMessage::Update(sample_update())).expect("encode");
+        let mut raw = bytes.to_vec();
+        // Mangle the length of the first attribute (ORIGIN: flags, type, len):
+        // alignment is lost, so the whole UPDATE downgrades to withdraw.
+        let (attrs_start, _) = attr_section(&raw);
+        raw[attrs_start + 2] = 0xEE;
+        let mut buf = Bytes::from(raw);
+        let err = decode_message_graded(&mut buf).expect_err("mangled critical attr");
+        assert_eq!(err.disposition, Disposition::TreatAsWithdraw);
+        let mut got = err.withdraw.clone();
+        got.sort();
+        let mut want: Vec<Prefix> = vec![
+            "198.51.100.0/24".parse().unwrap(),
+            "203.0.113.0/24".parse().unwrap(),
+        ];
+        want.sort();
+        assert_eq!(got, want, "withdraw covers withdrawn + announced NLRI");
+    }
+
+    #[test]
+    fn graded_noncritical_attr_error_is_discarded_route_kept() {
+        // Hand-assembled body: no withdrawals; ORIGIN + empty AS_PATH +
+        // NEXT_HOP valid, then a COMMUNITIES attribute whose length (3) is
+        // not a multiple of 4 — malformed but aligned and non-critical.
+        let mut body = vec![0, 0]; // withdrawn len
+        let attrs: Vec<u8> = [
+            &[0x40, 1, 1, 0][..],            // ORIGIN = IGP
+            &[0x40, 2, 0][..],               // empty AS_PATH
+            &[0x40, 3, 4, 192, 0, 2, 1][..], // NEXT_HOP
+            &[0xC0, 8, 3, 0, 0, 0][..],      // COMMUNITIES, bad length
+        ]
+        .concat();
+        body.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+        body.extend_from_slice(&attrs);
+        body.extend_from_slice(&[24, 203, 0, 113]); // NLRI 203.0.113.0/24
+        let mut buf = frame(2, &body);
+        let decoded = decode_message_graded(&mut buf)
+            .expect("non-critical error must not fail the message")
+            .expect("complete frame");
+        assert_eq!(decoded.discarded_attrs, 1);
+        match decoded.msg {
+            BgpMessage::Update(u) => {
+                assert_eq!(
+                    u.announced,
+                    vec!["203.0.113.0/24".parse::<Prefix>().unwrap()]
+                );
+                assert!(u.attrs.communities.is_empty(), "malformed attr dropped");
+                assert_eq!(u.attrs.next_hop, Some(Ipv4Addr::new(192, 0, 2, 1)));
+            }
+            other => panic!("wrong type: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graded_unparseable_nlri_is_session_reset() {
+        let bytes = encode_message(&BgpMessage::Update(sample_update())).expect("encode");
+        let mut raw = bytes.to_vec();
+        // First NLRI byte is the prefix length; 255 bits is unparseable and
+        // leaves nothing to withdraw by prefix.
+        let (attrs_start, attrs_len) = attr_section(&raw);
+        raw[attrs_start + attrs_len] = 0xFF;
+        let mut buf = Bytes::from(raw);
+        let err = decode_message_graded(&mut buf).expect_err("bad NLRI");
+        assert_eq!(err.disposition, Disposition::SessionReset);
+    }
+
+    #[test]
+    fn graded_missing_next_hop_with_v4_nlri_downgrades() {
+        // ORIGIN + AS_PATH but no NEXT_HOP, with v4 NLRI present.
+        let mut body = vec![0, 0];
+        let attrs: Vec<u8> = [&[0x40u8, 1, 1, 0][..], &[0x40, 2, 0][..]].concat();
+        body.extend_from_slice(&(attrs.len() as u16).to_be_bytes());
+        body.extend_from_slice(&attrs);
+        body.extend_from_slice(&[24, 203, 0, 113]);
+        let mut buf = frame(2, &body);
+        let err = decode_message_graded(&mut buf).expect_err("missing NEXT_HOP");
+        assert_eq!(err.disposition, Disposition::TreatAsWithdraw);
+        assert_eq!(
+            err.withdraw,
+            vec!["203.0.113.0/24".parse::<Prefix>().unwrap()]
         );
     }
 

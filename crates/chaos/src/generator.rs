@@ -48,7 +48,7 @@ pub struct ChaosProfile {
     pub min_fault_secs: u64,
     pub max_fault_secs: u64,
     /// Kinds eligible for sampling, by [`FaultKind::label`] name. Empty
-    /// means all seven kinds.
+    /// means every kind in [`FaultKind::ALL_LABELS`].
     #[serde(default)]
     pub kinds: Vec<String>,
 }
@@ -155,6 +155,36 @@ pub fn generate(
             "flash_crowd" => (
                 FaultKind::FlashCrowd {
                     multiplier: rng.gen_range(1.5..3.0),
+                },
+                FaultTarget::Pop { pop },
+            ),
+            "update_corruption" => {
+                if pop_surface.peers.is_empty() {
+                    continue;
+                }
+                let peer = pop_surface.peers[rng.gen_range(0..pop_surface.peers.len())];
+                (
+                    FaultKind::UpdateCorruption {
+                        rate: rng.gen_range(0.1..0.6),
+                    },
+                    FaultTarget::Peer { pop, peer },
+                )
+            }
+            "session_flap_storm" => {
+                if pop_surface.peers.is_empty() {
+                    continue;
+                }
+                let peer = pop_surface.peers[rng.gen_range(0..pop_surface.peers.len())];
+                (
+                    FaultKind::SessionFlapStorm {
+                        period_s: rng.gen_range(2..=15),
+                    },
+                    FaultTarget::Peer { pop, peer },
+                )
+            }
+            "injector_partial_loss" => (
+                FaultKind::InjectorPartialLoss {
+                    fraction: rng.gen_range(0.2..0.8),
                 },
                 FaultTarget::Pop { pop },
             ),

@@ -70,6 +70,28 @@ pub enum FaultKind {
         /// Demand multiplier, `> 1`.
         multiplier: f64,
     },
+    /// A fraction of the peer's UPDATEs arrive with mangled attribute
+    /// bytes; RFC 7606 grading on the receive path downgrades them to
+    /// treat-as-withdraw / attribute-discard instead of resetting the
+    /// session. Target: `Peer`.
+    UpdateCorruption {
+        /// Fraction of the peer's UPDATEs corrupted, in `(0, 1]`.
+        rate: f64,
+    },
+    /// The peer's session flaps repeatedly: it drops every `period_s`
+    /// seconds for the window, exercising the reconnect governor's backoff
+    /// and flap damping. Target: `Peer`.
+    SessionFlapStorm {
+        /// Seconds between consecutive drops, `>= 1`.
+        period_s: u64,
+    },
+    /// A fraction of the controller's per-prefix injection sends are lost
+    /// before reaching the router; the injector's retry/reconciliation
+    /// machinery must repair the divergence. Target: `Pop`.
+    InjectorPartialLoss {
+        /// Fraction of injection sends dropped, in `(0, 1]`.
+        fraction: f64,
+    },
 }
 
 impl FaultKind {
@@ -83,11 +105,14 @@ impl FaultKind {
             FaultKind::ControllerCrash => "controller_crash",
             FaultKind::InjectorLoss => "injector_loss",
             FaultKind::FlashCrowd { .. } => "flash_crowd",
+            FaultKind::UpdateCorruption { .. } => "update_corruption",
+            FaultKind::SessionFlapStorm { .. } => "session_flap_storm",
+            FaultKind::InjectorPartialLoss { .. } => "injector_partial_loss",
         }
     }
 
     /// All labels, in declaration order (for matrix sweeps and reports).
-    pub const ALL_LABELS: [&'static str; 7] = [
+    pub const ALL_LABELS: [&'static str; 10] = [
         "peer_failure",
         "link_capacity_loss",
         "bmp_stall",
@@ -95,6 +120,9 @@ impl FaultKind {
         "controller_crash",
         "injector_loss",
         "flash_crowd",
+        "update_corruption",
+        "session_flap_storm",
+        "injector_partial_loss",
     ];
 }
 
@@ -157,6 +185,35 @@ impl FaultEvent {
                     Ok(())
                 } else {
                     Err(format!("flash_crowd multiplier {multiplier} must be > 1"))
+                }
+            }
+            (FaultKind::UpdateCorruption { rate }, FaultTarget::Peer { .. }) => {
+                if rate > 0.0 && rate <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(format!("update_corruption rate {rate} outside (0, 1]"))
+                }
+            }
+            (FaultKind::UpdateCorruption { .. }, t) => {
+                Err(format!("update_corruption must target a Peer, got {t:?}"))
+            }
+            (FaultKind::SessionFlapStorm { period_s }, FaultTarget::Peer { .. }) => {
+                if period_s >= 1 {
+                    Ok(())
+                } else {
+                    Err("session_flap_storm period_s must be >= 1".to_string())
+                }
+            }
+            (FaultKind::SessionFlapStorm { .. }, t) => {
+                Err(format!("session_flap_storm must target a Peer, got {t:?}"))
+            }
+            (FaultKind::InjectorPartialLoss { fraction }, FaultTarget::Pop { .. }) => {
+                if fraction > 0.0 && fraction <= 1.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "injector_partial_loss fraction {fraction} outside (0, 1]"
+                    ))
                 }
             }
             (
@@ -249,6 +306,9 @@ fn kind_rank(kind: &FaultKind) -> u8 {
         FaultKind::ControllerCrash => 4,
         FaultKind::InjectorLoss => 5,
         FaultKind::FlashCrowd { .. } => 6,
+        FaultKind::UpdateCorruption { .. } => 7,
+        FaultKind::SessionFlapStorm { .. } => 8,
+        FaultKind::InjectorPartialLoss { .. } => 9,
     }
 }
 
@@ -340,6 +400,48 @@ mod tests {
         assert!(ev(0, 0, FaultKind::BmpStall, FaultTarget::Pop { pop: 0 })
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn validation_covers_robustness_fault_kinds() {
+        let peer = FaultTarget::Peer { pop: 0, peer: 7 };
+        let pop = FaultTarget::Pop { pop: 0 };
+        assert!(ev(0, 10, FaultKind::UpdateCorruption { rate: 0.3 }, peer)
+            .validate()
+            .is_ok());
+        assert!(ev(0, 10, FaultKind::UpdateCorruption { rate: 0.0 }, peer)
+            .validate()
+            .is_err());
+        assert!(ev(0, 10, FaultKind::UpdateCorruption { rate: 0.3 }, pop)
+            .validate()
+            .is_err());
+        assert!(ev(0, 10, FaultKind::SessionFlapStorm { period_s: 5 }, peer)
+            .validate()
+            .is_ok());
+        assert!(ev(0, 10, FaultKind::SessionFlapStorm { period_s: 0 }, peer)
+            .validate()
+            .is_err());
+        assert!(ev(0, 10, FaultKind::SessionFlapStorm { period_s: 5 }, pop)
+            .validate()
+            .is_err());
+        assert!(
+            ev(0, 10, FaultKind::InjectorPartialLoss { fraction: 0.5 }, pop)
+                .validate()
+                .is_ok()
+        );
+        assert!(
+            ev(0, 10, FaultKind::InjectorPartialLoss { fraction: 1.5 }, pop)
+                .validate()
+                .is_err()
+        );
+        assert!(ev(
+            0,
+            10,
+            FaultKind::InjectorPartialLoss { fraction: 0.5 },
+            peer
+        )
+        .validate()
+        .is_err());
     }
 
     #[test]

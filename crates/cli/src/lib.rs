@@ -127,6 +127,10 @@ pub struct ChaosArgs {
     pub chaos_seed: u64,
     /// Number of generated fault events.
     pub events: usize,
+    /// Named kind filter for generated schedules. `adversarial` samples
+    /// only the hostile-ingest kinds (update corruption, session flap
+    /// storms, partial injection loss); absent means every kind.
+    pub profile: Option<String>,
 }
 
 impl Default for ChaosArgs {
@@ -139,6 +143,7 @@ impl Default for ChaosArgs {
             schedule: None,
             chaos_seed: 1,
             events: 8,
+            profile: None,
         }
     }
 }
@@ -220,7 +225,15 @@ USAGE:
                    [--epoch SECS] [--out FILE]
   efctl chaos      [--seed N] [--pops N] [--prefixes N] [--hours H]
                    [--schedule FILE] [--chaos-seed N] [--events N]
-                   [--baseline] [--epoch SECS] [--out FILE]
+                   [--profile adversarial] [--baseline] [--epoch SECS]
+                   [--out FILE]
+
+Chaos fault kinds: peer_failure, link_capacity_loss, bmp_stall,
+sflow_loss, controller_crash, injector_loss, flash_crowd,
+update_corruption (mangled UPDATEs, handled per RFC 7606),
+session_flap_storm (flaps governed by backoff + damping), and
+injector_partial_loss (dropped injections, retried + reconciled).
+--profile adversarial samples only the last three.
   efctl trace      [--seed N] [--pops N] [--prefixes N] [--hours H]
                    [--epoch SECS] [--limit N] [--out FILE]
   efctl explain PREFIX [--seed N] [--pops N] [--prefixes N]
@@ -333,6 +346,7 @@ fn parse_chaos(args: &[String]) -> Result<ChaosArgs, ParseError> {
             "--schedule" => out.schedule = Some(take_value(flag, &mut iter)?.to_string()),
             "--chaos-seed" => out.chaos_seed = parse_num(flag, take_value(flag, &mut iter)?)?,
             "--events" => out.events = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--profile" => out.profile = Some(take_value(flag, &mut iter)?.to_string()),
             other => return Err(ParseError(format!("unknown flag {other:?}"))),
         }
     }
@@ -343,6 +357,18 @@ fn parse_chaos(args: &[String]) -> Result<ChaosArgs, ParseError> {
         return Err(ParseError(
             "--events must be positive (or pass --schedule)".into(),
         ));
+    }
+    if let Some(profile) = &out.profile {
+        if profile != "adversarial" {
+            return Err(ParseError(format!(
+                "unknown profile {profile:?}; known profiles: adversarial"
+            )));
+        }
+        if out.schedule.is_some() {
+            return Err(ParseError(
+                "--profile only applies to generated schedules; drop --schedule".into(),
+            ));
+        }
     }
     Ok(out)
 }
@@ -625,13 +651,24 @@ fn execute_inner(cmd: Command) -> Result<Output, String> {
                     ef_chaos::FaultSchedule::from_json(&text)?
                 }
                 None => {
+                    // `adversarial` narrows sampling to the hostile-ingest
+                    // kinds the RFC 7606 / recovery hardening defends
+                    // against; the default samples every kind.
+                    let kinds = match args.profile.as_deref() {
+                        Some("adversarial") => vec![
+                            "update_corruption".to_string(),
+                            "session_flap_storm".to_string(),
+                            "injector_partial_loss".to_string(),
+                        ],
+                        _ => Vec::new(),
+                    };
                     let profile = ef_chaos::ChaosProfile {
                         duration_secs: cfg.duration_secs,
                         warmup_secs: cfg.duration_secs / 6,
                         events: args.events,
                         min_fault_secs: (2 * cfg.epoch_secs).max(60),
                         max_fault_secs: (cfg.duration_secs / 4).max((2 * cfg.epoch_secs).max(60)),
-                        kinds: Vec::new(),
+                        kinds,
                     };
                     ef_chaos::generate(
                         &profile,
@@ -1040,6 +1077,52 @@ mod tests {
         }
         assert!(parse_args(&argv("chaos --events 0")).is_err());
         assert!(parse_args(&argv("chaos --hours 0")).is_err());
+    }
+
+    #[test]
+    fn chaos_profile_flag() {
+        match parse_args(&argv("chaos --profile adversarial")).unwrap() {
+            Command::Chaos(c) => assert_eq!(c.profile.as_deref(), Some("adversarial")),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&argv("chaos --profile meteor")).is_err());
+        assert!(parse_args(&argv("chaos --profile adversarial --schedule f.json")).is_err());
+    }
+
+    #[test]
+    fn chaos_adversarial_profile_end_to_end() {
+        let mut args = ChaosArgs::default();
+        args.common.pops = 4;
+        args.common.prefixes = 200;
+        args.common.seed = 3;
+        args.hours = 0.5;
+        args.epoch_secs = 60;
+        args.events = 4;
+        args.profile = Some("adversarial".into());
+        let out = execute(Command::Chaos(args)).unwrap();
+        assert!(out.stderr.contains("under 4 fault(s)"));
+        // Only the hostile-ingest kinds are sampled.
+        for line in out.stderr.lines().filter(|l| {
+            l.contains("update_corruption")
+                || l.contains("session_flap_storm")
+                || l.contains("injector_partial_loss")
+        }) {
+            assert!(!line.is_empty());
+        }
+        for kind in [
+            "peer_failure",
+            "link_capacity_loss",
+            "bmp_stall",
+            "sflow_loss",
+            "controller_crash",
+            "injector_loss",
+            "flash_crowd",
+        ] {
+            assert!(
+                !out.stderr.contains(kind),
+                "adversarial profile sampled {kind}"
+            );
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ use std::collections::HashMap;
 
 use serde::Serialize;
 
+use ef_bgp::backoff::ReconnectGovernor;
 use ef_bgp::bmp::BmpMessage;
 use ef_bgp::peer::{PeerId, PeerKind};
 use ef_bgp::route::EgressId;
@@ -33,7 +34,7 @@ use ef_telemetry::{audit_overrides, ExplainRecord, ExplainVerdict, TelemetryHand
 use crate::allocator::allocate;
 use crate::collector::RouteCollector;
 use crate::config::ControllerConfig;
-use crate::injector::Injector;
+use crate::injector::{InjectionLedger, InjectionReport, Injector};
 use crate::overrides::OverrideSet;
 use crate::projection::{project, project_cached, Projection, ProjectionCache};
 use crate::state::{InterfaceMap, TrafficState};
@@ -147,6 +148,10 @@ pub struct PopController {
     /// no semantic state — a fresh cache converges on the first epoch.
     projection_cache: ProjectionCache,
     injector: Injector,
+    /// Governs reattach pacing after injector session losses: exponential
+    /// backoff with decorrelated jitter, plus flap damping that suppresses
+    /// a storming session until it cools.
+    injector_governor: ReconnectGovernor,
     perf_overrides: OverrideSet,
     telemetry: TelemetryHandle,
     last_degraded: bool,
@@ -184,12 +189,13 @@ impl PopController {
                 peer_egress.insert(peer, attach.egress);
             }
         }
-        let injector = Injector::attach(
+        let injector = Injector::try_attach(
             router,
             PeerId(1_000_000 + pop as u64),
             cfg.override_marker,
             0,
-        );
+        )
+        .map_err(|e| e.to_string())?;
         Ok(PopController {
             pop,
             cfg,
@@ -197,6 +203,7 @@ impl PopController {
             collector: RouteCollector::new(peer_egress),
             projection_cache: ProjectionCache::new(),
             injector,
+            injector_governor: ReconnectGovernor::with_seed(0xEF1A_7C00 ^ pop as u64),
             perf_overrides: OverrideSet::new(),
             telemetry: TelemetryHandle::disabled(),
             last_degraded: false,
@@ -376,8 +383,8 @@ impl PopController {
         self.note_mode_transitions(degraded, fail_open, age_ms, now);
 
         let injection_timer = self.telemetry.timer();
-        let diff = if self.cfg.dry_run {
-            Default::default()
+        let report = if self.cfg.dry_run {
+            InjectionReport::default()
         } else {
             self.injector.apply(router, &desired, now)
         };
@@ -389,12 +396,60 @@ impl PopController {
         self.collector.ingest(router.drain_bmp());
         let bmp_ingest_us = bmp_timer.elapsed_us();
 
+        // Post-epoch audit + reconciliation. This runs whether or not
+        // telemetry is attached (the auditor's `emit` is the only
+        // telemetry-gated part), so reports stay byte-identical with and
+        // without a sink, and divergence is *repaired*, not just reported:
+        // believed-announced-but-missing overrides are re-announced, leaked
+        // override routes are force-withdrawn.
+        if !self.cfg.dry_run {
+            let expected: Vec<_> = self
+                .injector
+                .announced()
+                .iter_sorted()
+                .into_iter()
+                .map(|o| (o.prefix, o.target))
+                .collect();
+            let audit = audit_overrides(router, &expected, &report.sent.withdraw);
+            if !audit.clean() {
+                let not_installed: Vec<ef_net_types::Prefix> = audit
+                    .not_installed
+                    .iter()
+                    .filter_map(|f| f.prefix.parse().ok())
+                    .collect();
+                let leaked: Vec<ef_net_types::Prefix> = audit
+                    .leaked
+                    .iter()
+                    .filter_map(|f| f.prefix.parse().ok())
+                    .collect();
+                let (reannounced, force_withdrawn) =
+                    self.injector
+                        .reconcile(router, &not_installed, &leaked, now);
+                // Keep the collector's view current after the repair.
+                self.collector.ingest(router.drain_bmp());
+                self.telemetry.counter("reconcile.reannounced", reannounced);
+                self.telemetry
+                    .counter("reconcile.force_withdrawn", force_withdrawn);
+                self.telemetry.emit(
+                    self.pop,
+                    now,
+                    "reconcile",
+                    &[
+                        ("findings", audit.failures().into()),
+                        ("reannounced", reannounced.into()),
+                        ("force_withdrawn", force_withdrawn.into()),
+                    ],
+                );
+            }
+            audit.emit(&self.telemetry, self.pop, now);
+        }
+
         let active = self.injector.announced();
         if self.telemetry.enabled() {
             for rec in &explains {
                 self.telemetry.explain(self.pop, now, rec);
             }
-            for o in &diff.announce {
+            for o in &report.sent.announce {
                 self.telemetry.emit(
                     self.pop,
                     now,
@@ -408,7 +463,7 @@ impl PopController {
                     ],
                 );
             }
-            for prefix in &diff.withdraw {
+            for prefix in &report.sent.withdraw {
                 self.telemetry.emit(
                     self.pop,
                     now,
@@ -416,20 +471,20 @@ impl PopController {
                     &[("prefix", prefix.to_string().into())],
                 );
             }
-            if !self.cfg.dry_run {
-                // Verify the router state matches what we believe we did.
-                let expected: Vec<_> = active
-                    .iter_sorted()
-                    .into_iter()
-                    .map(|o| (o.prefix, o.target))
-                    .collect();
-                let audit = audit_overrides(router, &expected, &diff.withdraw);
-                audit.emit(&self.telemetry, self.pop, now);
+            self.telemetry
+                .counter("overrides.announced", report.sent.announce.len() as u64);
+            self.telemetry
+                .counter("overrides.withdrawn", report.sent.withdraw.len() as u64);
+            if !report.is_clean() {
+                self.telemetry.counter(
+                    "inject.dropped_announce",
+                    report.dropped_announce.len() as u64,
+                );
+                self.telemetry.counter(
+                    "inject.dropped_withdraw",
+                    report.dropped_withdraw.len() as u64,
+                );
             }
-            self.telemetry
-                .counter("overrides.announced", diff.announce.len() as u64);
-            self.telemetry
-                .counter("overrides.withdrawn", diff.withdraw.len() as u64);
             self.telemetry.gauge(
                 &format!("pop{}.overrides_active", self.pop),
                 active.len() as f64,
@@ -449,8 +504,8 @@ impl PopController {
                     ("degraded", degraded.into()),
                     ("fail_open", fail_open.into()),
                     ("overrides_active", active.len().into()),
-                    ("announced", diff.announce.len().into()),
-                    ("withdrawn", diff.withdraw.len().into()),
+                    ("announced", report.sent.announce.len().into()),
+                    ("withdrawn", report.sent.withdraw.len().into()),
                     ("projection_us", projection_us.into()),
                     ("allocation_us", allocation_us.into()),
                     ("guards_us", guards_us.into()),
@@ -484,8 +539,8 @@ impl PopController {
                 .into_iter()
                 .map(|(k, v)| (k.label().to_string(), v))
                 .collect(),
-            churn_announced: diff.announce.len(),
-            churn_withdrawn: diff.withdraw.len(),
+            churn_announced: report.sent.announce.len(),
+            churn_withdrawn: report.sent.withdraw.len(),
             projected_load: projection
                 .load_mbps
                 .iter()
@@ -635,15 +690,50 @@ impl PopController {
     /// Records a router-side loss of the injector session (the fault model
     /// or a real transport removed the controller pseudo-peer). All
     /// overrides are implicitly withdrawn by BGP; subsequent guarded
-    /// epochs return [`EpochError::InjectorDown`] until
-    /// [`reattach_injector`](Self::reattach_injector).
-    pub fn injector_session_lost(&mut self) {
+    /// epochs return [`EpochError::InjectorDown`] until a reattach
+    /// succeeds. The loss is charged to the backoff governor, so a
+    /// flapping session earns growing reconnect delays and, past the
+    /// damping threshold, outright suppression until it cools.
+    pub fn injector_session_lost(&mut self, now: Millis) {
         self.injector.session_lost();
+        self.injector_governor.record_down(now);
     }
 
-    /// Re-establishes the injector session after a loss. The announced set
-    /// starts empty (stateless restart); the next epoch recomputes and
-    /// re-announces whatever the inputs justify.
+    /// Attempts a governed reattach of the injector session: a no-op
+    /// (returning `false`) while the backoff governor still holds the
+    /// session down. On a successful attach the governor is credited; on a
+    /// failed attach it is charged another failure. Call once per
+    /// simulation step (or epoch) while [`injector_up`](Self::injector_up)
+    /// is false.
+    pub fn try_reattach_injector(&mut self, router: &mut BgpRouter, now: Millis) -> bool {
+        if self.injector.session_up() {
+            return true;
+        }
+        if !self.injector_governor.can_reconnect(now) {
+            return false;
+        }
+        match Injector::try_attach(
+            router,
+            self.injector_peer_id(),
+            self.cfg.override_marker,
+            now,
+        ) {
+            Ok(inj) => {
+                self.injector = inj;
+                self.injector_governor.record_up(now);
+                true
+            }
+            Err(_) => {
+                self.injector_governor.record_down(now);
+                false
+            }
+        }
+    }
+
+    /// Re-establishes the injector session after a loss, immediately and
+    /// unconditionally (operator-initiated restart: bypasses the backoff
+    /// governor). The announced set starts empty (stateless restart); the
+    /// next epoch recomputes and re-announces whatever the inputs justify.
     pub fn reattach_injector(&mut self, router: &mut BgpRouter, now: Millis) {
         self.injector = Injector::attach(
             router,
@@ -651,6 +741,19 @@ impl PopController {
             self.cfg.override_marker,
             now,
         );
+        self.injector_governor.record_up(now);
+    }
+
+    /// Cumulative injection accounting: sends, drops, session refusals,
+    /// and reconciliation repairs.
+    pub fn injection_ledger(&self) -> &InjectionLedger {
+        self.injector.ledger()
+    }
+
+    /// Configures the injector's deterministic partial-loss gate (the
+    /// `InjectorPartialLoss` fault). `fraction == 0` disables it.
+    pub fn set_injection_loss(&mut self, fraction: f64, seed: u64) {
+        self.injector.set_loss(fraction, seed);
     }
 
     /// Updates an interface's usable capacity (provisioning change or
@@ -1074,7 +1177,7 @@ mod tests {
         // The router loses the controller pseudo-peer.
         let injector_peer = w.controller.injector_peer_id();
         w.router.remove_peer(injector_peer, 40_000);
-        w.controller.injector_session_lost();
+        w.controller.injector_session_lost(40_000);
         assert!(!w.controller.injector_up());
         assert!(!w.router.fib_entry(&p("1.0.0.0/24")).unwrap().is_override);
 
@@ -1094,6 +1197,104 @@ mod tests {
         let report = w.controller.run_epoch(&peak, &mut w.router, 120_000);
         assert_eq!(report.overrides_active, 1);
         assert_eq!(report.churn_announced, 1);
+    }
+
+    #[test]
+    fn governed_reattach_waits_out_the_backoff_then_recovers() {
+        let mut w = world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let peak = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 70.0)]);
+        w.controller.run_epoch(&peak, &mut w.router, 30_000);
+        assert_eq!(w.controller.active_overrides().len(), 1);
+
+        let injector_peer = w.controller.injector_peer_id();
+        w.router.remove_peer(injector_peer, 40_000);
+        w.controller.injector_session_lost(40_000);
+
+        // Immediately after the loss the governor still holds the session
+        // down (base backoff is at least a second).
+        assert!(!w.controller.try_reattach_injector(&mut w.router, 40_000));
+        assert!(!w.controller.injector_up());
+
+        // Once the backoff elapses the governed reattach succeeds and the
+        // next epoch replays the needed override.
+        assert!(w.controller.try_reattach_injector(&mut w.router, 70_000));
+        assert!(w.controller.injector_up());
+        let report = w.controller.run_epoch(&peak, &mut w.router, 90_000);
+        assert_eq!(report.overrides_active, 1);
+        assert_eq!(report.churn_announced, 1);
+    }
+
+    /// The acceptance scenario for reconciliation: divergence injected
+    /// behind the controller's back is detected by the post-epoch audit and
+    /// repaired in the same epoch, so the following audit is clean.
+    #[test]
+    fn reconciliation_repairs_injected_divergence_within_one_epoch() {
+        use ef_bgp::message::{BgpMessage, UpdateMessage};
+        use ef_bgp::wire::encode_message;
+
+        let mut w = world(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let peak = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 70.0)]);
+        w.controller.run_epoch(&peak, &mut w.router, 30_000);
+        let overridden: Vec<_> = w
+            .controller
+            .active_overrides()
+            .iter_sorted()
+            .into_iter()
+            .map(|o| (o.prefix, o.target))
+            .collect();
+        assert_eq!(overridden.len(), 1);
+        let (prefix, _) = overridden[0];
+
+        // Divergence 1 (not-installed): the router loses the override route
+        // while the controller still believes it announced — modeled as a
+        // withdraw arriving on the injector session without the injector's
+        // knowledge.
+        let withdraw =
+            encode_message(&BgpMessage::Update(UpdateMessage::withdraw([prefix]))).unwrap();
+        w.router
+            .deliver(w.controller.injector_peer_id(), &withdraw, 40_000);
+        assert!(!w.router.fib_entry(&prefix).unwrap().is_override);
+
+        // Divergence 2 (leak): an override route the controller never asked
+        // for shows up on the injector session.
+        let stray = p("2.0.0.0/24");
+        let mut attrs = ef_bgp::attrs::PathAttributes {
+            origin: ef_bgp::attrs::Origin::Igp,
+            next_hop: Some(EgressId(2).to_next_hop()),
+            ..Default::default()
+        };
+        attrs.add_community(w.controller.config().override_marker);
+        let announce =
+            encode_message(&BgpMessage::Update(UpdateMessage::announce(stray, attrs))).unwrap();
+        w.router
+            .deliver(w.controller.injector_peer_id(), &announce, 41_000);
+        assert!(w.router.fib_entry(&stray).unwrap().is_override);
+
+        // The next epoch's audit finds both divergences and reconciliation
+        // repairs them in place.
+        w.controller.run_epoch(&peak, &mut w.router, 60_000);
+        assert!(
+            w.router.fib_entry(&prefix).unwrap().is_override,
+            "missing override re-announced"
+        );
+        assert!(
+            !w.router.fib_entry(&stray).unwrap().is_override,
+            "leaked override force-withdrawn"
+        );
+        assert_eq!(w.controller.injection_ledger().reconcile_reannounced, 1);
+        assert_eq!(w.controller.injection_ledger().reconcile_force_withdrawn, 1);
+
+        // Post-repair the audit is clean: findings went to zero within one
+        // epoch of the divergence being observable.
+        let expected: Vec<_> = w
+            .controller
+            .active_overrides()
+            .iter_sorted()
+            .into_iter()
+            .map(|o| (o.prefix, o.target))
+            .collect();
+        let audit = ef_telemetry::audit_overrides(&w.router, &expected, &[]);
+        assert!(audit.clean(), "clean after repair: {audit:?}");
     }
 
     #[test]

@@ -5,11 +5,18 @@
 //! tick it diffs the set of active fault windows and applies start/end
 //! transitions to the live substrate — tearing BGP sessions, degrading
 //! interface capacity, stalling the BMP feed, starving the sampler,
-//! crashing the controller, dropping the injector session, or inflating
-//! demand. The controller itself is never told a fault is active; it only
-//! sees the degraded inputs (that is the point — the graceful-degradation
-//! guards in `edge-fabric` must react to input staleness, not to an
-//! out-of-band oracle).
+//! crashing the controller, dropping the injector session, corrupting
+//! UPDATE frames on the wire, storming sessions with flaps, dropping a
+//! fraction of injected routes, or inflating demand. The controller
+//! itself is never told a fault is active; it only sees the degraded
+//! inputs (that is the point — the graceful-degradation guards in
+//! `edge-fabric` must react to input staleness, not to an out-of-band
+//! oracle).
+//!
+//! Recovery is *governed*, not instant: every session re-establishment
+//! (peer or injector) waits out a seeded exponential-backoff +
+//! flap-damping gate ([`ReconnectGovernor`]), so a storm that ends still
+//! pays a cool-down before the session returns.
 
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
@@ -19,10 +26,13 @@ use edge_fabric::controller::{EpochError, EpochInputs, PopController};
 use edge_fabric::perf_aware::{adapt_comparisons, build_perf_overrides};
 use edge_fabric::state::{InterfaceInfo, InterfaceMap};
 use ef_bgp::attrs::{AsPath, PathAttributes};
+use ef_bgp::backoff::ReconnectGovernor;
 use ef_bgp::bmp::BmpMessage;
+use ef_bgp::message::{BgpMessage, UpdateMessage};
 use ef_bgp::peer::PeerId;
 use ef_bgp::route::EgressId;
 use ef_bgp::router::{BgpRouter, PeerAttachment, PeerStub, RouterConfig};
+use ef_bgp::wire::encode_message;
 use ef_chaos::{FaultEvent, FaultKind, FaultTarget};
 use ef_net_types::{Asn, Prefix};
 use ef_perf::measurement::{AltPathMeasurer, CandidatePath, MeasurerConfig};
@@ -31,6 +41,8 @@ use ef_topology::{Deployment, Pop, PopId};
 use ef_traffic::demand::DemandPoint;
 use ef_traffic::estimator::RateEstimator;
 use ef_traffic::sampler::{SamplerConfig, SflowSampler};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::metrics::{MetricsStore, PopEpochRecord};
 use crate::scenario::SimConfig;
@@ -57,6 +69,29 @@ enum FibCacheEntry {
         egress: EgressId,
         is_override: bool,
     },
+}
+
+/// Per-tick signals derived from the active fault windows.
+#[derive(Debug, Default)]
+struct TickFaults {
+    /// Labels of currently active faults (for the epoch record).
+    labels: Vec<String>,
+    /// Flash-crowd demand inflation (multiplicative across windows).
+    demand_multiplier: f64,
+    /// Worst active sFlow drop fraction.
+    sflow_drop: f64,
+    /// BMP feed stalled this tick.
+    bmp_stalled: bool,
+    /// Peers with an active `UpdateCorruption` window, with the rate.
+    corrupt: Vec<(PeerId, f64)>,
+    /// Peers with an active `SessionFlapStorm` window, with the period.
+    flap: Vec<(PeerId, u64)>,
+    /// Peers whose session fault is still active — held down, the
+    /// governed reconnect pass must not revive them mid-window.
+    held_down: BTreeSet<PeerId>,
+    /// An `InjectorLoss` window is active: the governed injector
+    /// reattach pass must wait the window out.
+    injector_fault_active: bool,
 }
 
 /// Signals one epoch hands to the global (cross-PoP) layer.
@@ -129,6 +164,16 @@ pub struct PopRuntime {
     controller_enabled: bool,
     controller_cfg: ControllerConfig,
     local_asn: Asn,
+    /// Per-peer reconnect governors: exponential backoff + flap damping
+    /// gate every session re-establishment (no instant reconnects).
+    peer_governors: HashMap<PeerId, ReconnectGovernor>,
+    /// Peers whose session is down and awaiting a governed reconnect.
+    peers_wanting_up: BTreeSet<PeerId>,
+    /// Seed for per-peer governors and the injection loss gate,
+    /// deterministic in `(demand_seed, pop)`.
+    chaos_seed: u64,
+    /// Seeded RNG driving `UpdateCorruption` byte mangling.
+    corruption_rng: StdRng,
     /// BMP messages withheld from the controller during a feed stall.
     stalled_bmp: Vec<BmpMessage>,
     /// Last simulated second the controller saw a live BMP feed.
@@ -332,6 +377,12 @@ impl PopRuntime {
             controller_enabled: cfg.controller_enabled,
             controller_cfg,
             local_asn: deployment.local_asn,
+            peer_governors: HashMap::new(),
+            peers_wanting_up: BTreeSet::new(),
+            chaos_seed: cfg.demand_seed ^ ((pop_id.0 as u64) << 23) ^ 0x0000_BADF_A017,
+            corruption_rng: StdRng::seed_from_u64(
+                cfg.demand_seed ^ ((pop_id.0 as u64) << 23) ^ 0xC099_B17E,
+            ),
             stalled_bmp: Vec::new(),
             last_bmp_secs: 0,
             last_traffic: None,
@@ -349,8 +400,8 @@ impl PopRuntime {
     /// Diffs the schedule's active windows against last tick's and applies
     /// start/end transitions. Returns the labels of currently active
     /// faults plus the per-tick signal levels (demand multiplier, sFlow
-    /// drop fraction, BMP stall flag).
-    fn apply_fault_transitions(&mut self, t_secs: u64) -> (Vec<String>, f64, f64, bool) {
+    /// drop fraction, BMP stall flag, corruption/flap targets).
+    fn apply_fault_transitions(&mut self, t_secs: u64) -> TickFaults {
         let now_ms = t_secs * 1000;
         let desired: BTreeSet<usize> = self
             .chaos_events
@@ -371,23 +422,40 @@ impl PopRuntime {
         }
         self.active_faults = desired;
 
-        let mut labels = Vec::new();
-        let mut demand_multiplier = 1.0f64;
-        let mut sflow_drop = 0.0f64;
-        let mut bmp_stalled = false;
+        let mut tick = TickFaults {
+            demand_multiplier: 1.0,
+            ..Default::default()
+        };
         for idx in &self.active_faults {
             let event = &self.chaos_events[*idx];
-            labels.push(event.kind.label().to_string());
+            tick.labels.push(event.kind.label().to_string());
             match event.kind {
-                FaultKind::FlashCrowd { multiplier } => demand_multiplier *= multiplier,
+                FaultKind::FlashCrowd { multiplier } => tick.demand_multiplier *= multiplier,
                 FaultKind::SflowLoss { drop_fraction } => {
-                    sflow_drop = sflow_drop.max(drop_fraction)
+                    tick.sflow_drop = tick.sflow_drop.max(drop_fraction)
                 }
-                FaultKind::BmpStall => bmp_stalled = true,
+                FaultKind::BmpStall => tick.bmp_stalled = true,
+                FaultKind::UpdateCorruption { rate } => {
+                    if let FaultTarget::Peer { peer, .. } = event.target {
+                        tick.corrupt.push((PeerId(peer), rate));
+                    }
+                }
+                FaultKind::SessionFlapStorm { period_s } => {
+                    if let FaultTarget::Peer { peer, .. } = event.target {
+                        tick.flap.push((PeerId(peer), period_s));
+                        tick.held_down.insert(PeerId(peer));
+                    }
+                }
+                FaultKind::PeerFailure => {
+                    if let FaultTarget::Peer { peer, .. } = event.target {
+                        tick.held_down.insert(PeerId(peer));
+                    }
+                }
+                FaultKind::InjectorLoss => tick.injector_fault_active = true,
                 _ => {}
             }
         }
-        (labels, demand_multiplier, sflow_drop, bmp_stalled)
+        tick
     }
 
     fn start_fault(&mut self, event: &FaultEvent, now_ms: u64) {
@@ -403,9 +471,12 @@ impl PopRuntime {
         self.telemetry.counter("faults.started", 1);
         match (&event.kind, &event.target) {
             (FaultKind::PeerFailure, FaultTarget::Peer { peer, .. }) => {
-                if let Some(stub) = self.stubs.get_mut(&PeerId(*peer)) {
+                let peer = PeerId(*peer);
+                if let Some(stub) = self.stubs.get_mut(&peer) {
                     stub.shutdown(&mut self.router, now_ms);
                 }
+                self.governor(peer).record_down(now_ms);
+                self.peers_wanting_up.insert(peer);
             }
             (FaultKind::LinkCapacityLoss { fraction }, FaultTarget::Interface { egress, .. }) => {
                 let id = EgressId(*egress);
@@ -429,11 +500,16 @@ impl PopRuntime {
             (FaultKind::InjectorLoss, _) => {
                 if let Some(ctl) = self.controller.as_mut() {
                     self.router.remove_peer(ctl.injector_peer_id(), now_ms);
-                    ctl.injector_session_lost();
+                    ctl.injector_session_lost(now_ms);
                 }
             }
-            // Per-tick faults (stall, sample loss, flash crowd) have no
-            // edge-triggered action.
+            (FaultKind::InjectorPartialLoss { fraction }, _) => {
+                if let Some(ctl) = self.controller.as_mut() {
+                    ctl.set_injection_loss(*fraction, self.chaos_seed);
+                }
+            }
+            // Per-tick faults (stall, sample loss, flash crowd, update
+            // corruption, flap storms) have no edge-triggered action.
             _ => {}
         }
     }
@@ -449,39 +525,16 @@ impl PopRuntime {
             ],
         );
         match (&event.kind, &event.target) {
-            (FaultKind::PeerFailure, FaultTarget::Peer { peer, .. }) => {
-                let peer = PeerId(*peer);
-                if let Some(conn) = self.pop.peers.iter().find(|c| c.peer == peer).cloned() {
-                    self.router.remove_peer(conn.peer, now_ms);
-                    self.router.add_peer(PeerAttachment {
-                        peer: conn.peer,
-                        peer_asn: conn.asn,
-                        kind: conn.kind,
-                        egress: conn.egress,
-                        policy: ef_bgp::policy::Policy::default_import(self.local_asn, conn.kind),
-                        max_prefixes: 0,
-                    });
-                    let mut stub = PeerStub::new(
-                        conn.peer,
-                        conn.asn,
-                        std::net::Ipv4Addr::new(
-                            10,
-                            210,
-                            (conn.peer.0 >> 8) as u8,
-                            conn.peer.0 as u8,
-                        ),
-                    );
-                    stub.pump(&mut self.router, now_ms);
-                    for (prefix, attrs) in self
-                        .announcements
-                        .get(&conn.peer)
-                        .cloned()
-                        .unwrap_or_default()
-                    {
-                        stub.announce(&mut self.router, prefix, attrs, now_ms);
-                    }
-                    self.stubs.insert(conn.peer, stub);
-                }
+            // A failed peer is NOT revived here: the session stays down
+            // until its reconnect governor clears the backoff/damping gate
+            // (the per-tick recovery pass in `step` §0).
+            (FaultKind::PeerFailure, FaultTarget::Peer { .. }) => {}
+            // RFC 7606 recovery: treat-as-withdraw removed routes without
+            // dropping the session, so once the corruption clears the peer
+            // is bounced (our stand-in for a route refresh) and its
+            // original announcements replayed.
+            (FaultKind::UpdateCorruption { .. }, FaultTarget::Peer { peer, .. }) => {
+                self.revive_peer(PeerId(*peer), now_ms);
             }
             (FaultKind::LinkCapacityLoss { .. }, FaultTarget::Interface { egress, .. }) => {
                 let id = EgressId(*egress);
@@ -530,12 +583,150 @@ impl PopRuntime {
                 self.last_bmp_secs = t_secs;
                 self.controller = Some(ctl);
             }
-            (FaultKind::InjectorLoss, _) => {
+            // The injector is NOT reattached here: the controller's own
+            // reconnect governor decides when (the per-tick pass in `step`
+            // §0 calls `try_reattach_injector` once the window clears).
+            (FaultKind::InjectorLoss, _) => {}
+            (FaultKind::InjectorPartialLoss { .. }, _) => {
                 if let Some(ctl) = self.controller.as_mut() {
-                    ctl.reattach_injector(&mut self.router, now_ms);
+                    ctl.set_injection_loss(0.0, 0);
                 }
             }
             _ => {}
+        }
+    }
+
+    /// Lazily created per-peer reconnect governor, seeded deterministically
+    /// in `(demand_seed, pop, peer)`.
+    fn governor(&mut self, peer: PeerId) -> &mut ReconnectGovernor {
+        let seed = self.chaos_seed ^ peer.0;
+        self.peer_governors
+            .entry(peer)
+            .or_insert_with(|| ReconnectGovernor::with_seed(seed))
+    }
+
+    /// Tears down and re-establishes one peer session, replaying its
+    /// original announcements — the recovery path for failed, flapped, and
+    /// corruption-bounced peers.
+    fn revive_peer(&mut self, peer: PeerId, now_ms: u64) {
+        let Some(conn) = self.pop.peers.iter().find(|c| c.peer == peer).cloned() else {
+            return;
+        };
+        self.router.remove_peer(conn.peer, now_ms);
+        self.router.add_peer(PeerAttachment {
+            peer: conn.peer,
+            peer_asn: conn.asn,
+            kind: conn.kind,
+            egress: conn.egress,
+            policy: ef_bgp::policy::Policy::default_import(self.local_asn, conn.kind),
+            max_prefixes: 0,
+        });
+        let mut stub = PeerStub::new(
+            conn.peer,
+            conn.asn,
+            std::net::Ipv4Addr::new(10, 210, (conn.peer.0 >> 8) as u8, conn.peer.0 as u8),
+        );
+        stub.pump(&mut self.router, now_ms);
+        for (prefix, attrs) in self
+            .announcements
+            .get(&conn.peer)
+            .cloned()
+            .unwrap_or_default()
+        {
+            stub.announce(&mut self.router, prefix, attrs, now_ms);
+        }
+        self.stubs.insert(conn.peer, stub);
+    }
+
+    /// Per-tick fault mechanics that are not edge-triggered: flap-storm
+    /// session drops, governed session/injector recovery, and corrupted
+    /// UPDATE delivery. Runs right after the window transitions, before
+    /// demand is forwarded, so the FIB the tick observes reflects them.
+    fn run_fault_mechanics(&mut self, tick: &TickFaults, now_ms: u64) {
+        // Flap storms: drop the session (again) and charge the governor
+        // once per flap the storm would have caused this tick — the
+        // damping penalty accumulates at the storm's rate even though the
+        // simulation only observes epoch boundaries.
+        for (peer, period_s) in &tick.flap {
+            let peer = *peer;
+            if let Some(stub) = self.stubs.get_mut(&peer) {
+                if stub.is_established() {
+                    stub.shutdown(&mut self.router, now_ms);
+                }
+            }
+            let flaps = (self.epoch_secs / (*period_s).max(1)).max(1);
+            for _ in 0..flaps {
+                self.governor(peer).record_down(now_ms);
+            }
+            self.peers_wanting_up.insert(peer);
+        }
+
+        // Governed session recovery: a down peer re-establishes only when
+        // its fault window has ended AND its governor clears the
+        // backoff + flap-damping gate.
+        let candidates: Vec<PeerId> = self
+            .peers_wanting_up
+            .iter()
+            .filter(|p| !tick.held_down.contains(p))
+            .copied()
+            .collect();
+        for peer in candidates {
+            if self.governor(peer).can_reconnect(now_ms) {
+                self.revive_peer(peer, now_ms);
+                self.governor(peer).record_up(now_ms);
+                self.peers_wanting_up.remove(&peer);
+            }
+        }
+
+        // Update corruption: mangle one byte inside the path-attribute
+        // section of a re-encoded announcement and deliver the frame on
+        // the live session. The graded decoder downgrades these to
+        // treat-as-withdraw or attribute-discard — never a session reset.
+        for (peer, rate) in &tick.corrupt {
+            let Some(list) = self.announcements.get(peer) else {
+                continue;
+            };
+            let mut frames: Vec<Vec<u8>> = Vec::new();
+            for (prefix, attrs) in list {
+                if self.corruption_rng.gen::<f64>() >= *rate {
+                    continue;
+                }
+                let mut attrs = attrs.clone();
+                if attrs.next_hop.is_none() && prefix.is_v4() {
+                    // Same fill as `PeerStub::announce` so the frame
+                    // encodes validly before mangling.
+                    attrs.next_hop = Some(std::net::Ipv4Addr::new(192, 0, 2, 1));
+                }
+                let msg = BgpMessage::Update(UpdateMessage::announce(*prefix, attrs));
+                let Ok(bytes) = encode_message(&msg) else {
+                    continue;
+                };
+                let mut raw = bytes.to_vec();
+                // Header is 19 bytes, withdrawn-routes length (0) is 2,
+                // then the attribute-section length; mangling stays inside
+                // the attribute section so framing and NLRI stay intact.
+                let attrs_len = u16::from_be_bytes([raw[21], raw[22]]) as usize;
+                if attrs_len == 0 {
+                    continue;
+                }
+                let at = 23 + self.corruption_rng.gen_range(0..attrs_len);
+                raw[at] ^= self.corruption_rng.gen_range(1u8..=0xFF);
+                frames.push(raw);
+            }
+            for raw in frames {
+                self.router.deliver(*peer, &raw, now_ms);
+                self.telemetry.counter("chaos.corrupt_frames", 1);
+            }
+        }
+
+        // Governed injector recovery: once no injector fault window is
+        // active, reattach as soon as the controller's governor allows.
+        if !tick.injector_fault_active {
+            if let Some(ctl) = self.controller.as_mut() {
+                if !ctl.injector_up() {
+                    ctl.try_reattach_injector(&mut self.router, now_ms);
+                }
+            }
         }
     }
 
@@ -548,8 +739,15 @@ impl PopRuntime {
         perf_model: &PathPerfModel,
     ) -> StepOutcome {
         // --- 0. Fault windows ----------------------------------------------
-        let (fault_labels, demand_multiplier, sflow_drop, bmp_stalled) =
-            self.apply_fault_transitions(t_secs);
+        let tick = self.apply_fault_transitions(t_secs);
+        self.run_fault_mechanics(&tick, t_secs * 1000);
+        let TickFaults {
+            labels: fault_labels,
+            demand_multiplier,
+            sflow_drop,
+            bmp_stalled,
+            ..
+        } = tick;
         let scaled_demand: Vec<DemandPoint>;
         let demand: &[DemandPoint] = if demand_multiplier != 1.0 {
             scaled_demand = demand

@@ -14,8 +14,12 @@
 //!
 //! Violations become `audit.override_not_installed` /
 //! `audit.override_leaked` events plus `audit.*` counters via
-//! [`AuditOutcome::emit`]. The audit is read-only and deterministic; it
-//! runs only when telemetry is enabled, so ordinary runs pay nothing.
+//! [`AuditOutcome::emit`]. The audit itself is read-only and
+//! deterministic, and the controller runs it after every non-dry-run
+//! epoch regardless of whether telemetry is attached: its findings feed
+//! the post-epoch reconciliation pass (re-announce what is missing,
+//! force-withdraw what leaked), while `emit` is the only part gated on a
+//! telemetry sink.
 
 use std::collections::HashSet;
 

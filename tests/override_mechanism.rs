@@ -146,7 +146,7 @@ fn injector_loss_fails_open_until_reattach() {
     // The router drops the controller's pseudo-session: BGP reverts the
     // override on its own, and guarded epochs refuse to run.
     router.remove_peer(ctl.injector_peer_id(), 60_000);
-    ctl.injector_session_lost();
+    ctl.injector_session_lost(60_000);
     assert_eq!(router.fib_entry(&prefix).unwrap().egress, EgressId(1));
     let err = ctl
         .run_epoch_guarded(&traffic, &mut router, 90_000, EpochInputs::fresh())
