@@ -19,7 +19,7 @@ use ef_bench::write_json;
 use ef_bgp::peer::PeerKind;
 use ef_bgp::route::EgressId;
 use ef_chaos::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
-use ef_sim::{MetricsStore, PopEpochRecord, SimConfig, SimEngine};
+use ef_sim::{scenario, MetricsStore, PopEpochRecord, ScenarioBuilder, SimConfig};
 use ef_topology::{generate, Deployment};
 use serde::Serialize;
 
@@ -40,20 +40,23 @@ const W_INJLOSS: (u64, u64) = (2100, 150);
 const W_FLASH: (u64, u64) = (2400, 150);
 
 fn base_config() -> SimConfig {
-    let mut cfg = SimConfig::test_small(SEED);
-    cfg.epoch_secs = EPOCH_SECS;
-    cfg.duration_secs = DURATION_SECS;
-    cfg.sampled_rates = false; // exact rates isolate the fault response
-    cfg.controller.stale_input_secs = STALE_SECS;
-    cfg.controller.fail_open_secs = FAIL_OPEN_SECS;
     // EF_TELEMETRY=<path> streams events/explains/audits to a JSON-lines
     // file; results/ output is byte-identical either way.
-    cfg.telemetry = ef_bench::telemetry_from_env();
-    cfg
+    scenario()
+        .small_topology(SEED)
+        .duration_secs(DURATION_SECS)
+        .epoch_secs(EPOCH_SECS)
+        .exact_rates() // exact rates isolate the fault response
+        .tune_controller(|c| {
+            c.stale_input_secs = STALE_SECS;
+            c.fail_open_secs = FAIL_OPEN_SECS;
+        })
+        .telemetry(ef_bench::telemetry_from_env())
+        .build()
 }
 
 fn run_arm(cfg: SimConfig, deployment: &Deployment, flag: &[EgressId]) -> MetricsStore {
-    let mut engine = SimEngine::with_deployment(cfg, deployment.clone());
+    let mut engine = ScenarioBuilder::from_config(cfg).engine_with(deployment.clone());
     for egress in flag {
         engine.flag_interface(*egress);
     }
@@ -190,8 +193,9 @@ fn main() {
     ])
     .expect("schedule is valid");
 
-    let mut chaos_cfg = cfg.clone();
-    chaos_cfg.chaos = Some(schedule);
+    let chaos_cfg = ScenarioBuilder::from_config(cfg.clone())
+        .chaos(schedule)
+        .build();
 
     eprintln!("[fault-matrix] EF-on arm under faults (twice, for reproducibility)...");
     let ef_on = run_arm(chaos_cfg.clone(), &deployment, &[target_egress]);

@@ -10,7 +10,8 @@ use std::collections::HashMap;
 use ef_bench::{cdf_points, write_json};
 use ef_bgp::route::EgressId;
 use ef_perf::compare::{compare_paths, summarize};
-use ef_sim::{PerfSimConfig, SimConfig, SimEngine};
+use ef_sim::{scenario, PerfSimConfig};
+use ef_topology::GenConfig;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -23,21 +24,23 @@ struct Fig10Output {
 }
 
 fn main() {
-    let mut cfg = SimConfig::default();
-    cfg.gen.n_pops = 10;
-    cfg.gen.n_ases = 250;
-    cfg.gen.n_prefixes = 1500;
-    cfg.gen.total_avg_gbps = 4000.0;
-    cfg.duration_secs = 4 * 3600;
-    cfg.epoch_secs = 30;
-    cfg.perf = Some(PerfSimConfig {
-        slice_fraction: 0.005,
-        steer: false,
-        ..Default::default()
-    });
-
     eprintln!("[E10] running 4h measurement-only scenario over 10 PoPs...");
-    let mut engine = SimEngine::new(cfg);
+    let mut engine = scenario()
+        .topology(GenConfig {
+            n_pops: 10,
+            n_ases: 250,
+            n_prefixes: 1500,
+            total_avg_gbps: 4000.0,
+            ..GenConfig::default()
+        })
+        .hours(4)
+        .epoch_secs(30)
+        .perf(PerfSimConfig {
+            slice_fraction: 0.005,
+            steer: false,
+            ..Default::default()
+        })
+        .engine();
     engine.run();
 
     let mut improvements: Vec<f64> = Vec::new();

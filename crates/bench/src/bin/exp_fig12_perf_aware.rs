@@ -11,8 +11,8 @@ use std::collections::HashMap;
 use ef_bench::write_json;
 use ef_bgp::route::EgressId;
 use ef_perf::compare::compare_paths;
-use ef_sim::{PerfSimConfig, SimConfig, SimEngine};
-use ef_topology::generate;
+use ef_sim::{scenario, PerfSimConfig, ScenarioBuilder, SimConfig};
+use ef_topology::{generate, GenConfig};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -25,26 +25,30 @@ struct Fig12Output {
     ifaces_over_capacity_steering: usize,
 }
 
-fn scenario(steer: bool) -> SimConfig {
-    let mut cfg = SimConfig::default();
-    cfg.gen.n_pops = 6;
-    cfg.gen.n_ases = 150;
-    cfg.gen.n_prefixes = 900;
-    cfg.gen.total_avg_gbps = 2000.0;
-    cfg.duration_secs = 2 * 3600;
-    cfg.epoch_secs = 30;
-    cfg.perf = Some(PerfSimConfig {
-        slice_fraction: 0.005,
-        steer,
-        ..Default::default()
-    });
-    cfg
+fn arm_config(steer: bool) -> SimConfig {
+    scenario()
+        .topology(GenConfig {
+            n_pops: 6,
+            n_ases: 150,
+            n_prefixes: 900,
+            total_avg_gbps: 2000.0,
+            ..GenConfig::default()
+        })
+        .hours(2)
+        .epoch_secs(30)
+        .perf(PerfSimConfig {
+            slice_fraction: 0.005,
+            steer,
+            ..Default::default()
+        })
+        .build()
 }
 
 /// Runs one arm; returns (tail size, tail-on-best count, overloaded iface
 /// count, active perf override count).
 fn run_arm(steer: bool, deployment: &ef_topology::Deployment) -> (usize, usize, usize, usize) {
-    let mut engine = SimEngine::with_deployment(scenario(steer), deployment.clone());
+    let mut engine =
+        ScenarioBuilder::from_config(arm_config(steer)).engine_with(deployment.clone());
     engine.run();
 
     let mut tail = 0usize;
@@ -114,7 +118,7 @@ fn run_arm(steer: bool, deployment: &ef_topology::Deployment) -> (usize, usize, 
 }
 
 fn main() {
-    let deployment = generate(&scenario(false).gen);
+    let deployment = generate(&arm_config(false).gen);
     eprintln!("[E13] measure-only arm...");
     let (tail_a, on_best_a, over_a, _) = run_arm(false, &deployment);
     eprintln!("[E13] steering arm...");

@@ -82,15 +82,18 @@ fn main() {
     );
     let mut ablation = Vec::new();
     for hysteresis in [0.0, 0.03, 0.08] {
-        let mut cfg = ef_sim::SimConfig::default();
-        cfg.gen.n_pops = 8;
-        cfg.gen.n_ases = 200;
-        cfg.gen.n_prefixes = 1200;
-        cfg.gen.total_avg_gbps = 3000.0;
-        cfg.duration_secs = 6 * 3600;
-        cfg.epoch_secs = 30;
-        cfg.controller.withdraw_hysteresis = hysteresis;
-        let mut engine = ef_sim::SimEngine::new(cfg);
+        let mut engine = ef_sim::scenario()
+            .topology(ef_topology::GenConfig {
+                n_pops: 8,
+                n_ases: 200,
+                n_prefixes: 1200,
+                total_avg_gbps: 3000.0,
+                ..ef_topology::GenConfig::default()
+            })
+            .hours(6)
+            .epoch_secs(30)
+            .tune_controller(|c| c.withdraw_hysteresis = hysteresis)
+            .engine();
         engine.run();
         let m = engine.take_metrics();
         let churn: f64 = m

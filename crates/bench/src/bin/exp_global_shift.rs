@@ -8,8 +8,8 @@
 //! Edge Fabric + the global shifter.
 
 use ef_bench::write_json;
-use ef_sim::{GlobalShifterConfig, SimConfig, SimEngine};
-use ef_topology::{generate, Deployment, PopId};
+use ef_sim::{scenario, GlobalShifterConfig, ScenarioBuilder, SimConfig};
+use ef_topology::{generate, Deployment, GenConfig, PopId};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -23,15 +23,18 @@ struct E14Output {
     residual_epochs_with_global: usize,
 }
 
-fn scenario() -> SimConfig {
-    let mut cfg = SimConfig::default();
-    cfg.gen.n_pops = 8;
-    cfg.gen.n_ases = 200;
-    cfg.gen.n_prefixes = 1200;
-    cfg.gen.total_avg_gbps = 3000.0;
-    cfg.duration_secs = 8 * 3600;
-    cfg.epoch_secs = 30;
-    cfg
+fn base_config() -> SimConfig {
+    scenario()
+        .topology(GenConfig {
+            n_pops: 8,
+            n_ases: 200,
+            n_prefixes: 1200,
+            total_avg_gbps: 3000.0,
+            ..GenConfig::default()
+        })
+        .hours(8)
+        .epoch_secs(30)
+        .build()
 }
 
 /// Cripples the victim PoP: every egress interface shrinks so the PoP's
@@ -49,7 +52,7 @@ fn cripple(dep: &mut Deployment, victim: PopId) {
 
 fn run(cfg: SimConfig, dep: &Deployment, victim: PopId) -> (f64, usize, f64) {
     let epochs = cfg.epochs();
-    let mut engine = SimEngine::with_deployment(cfg, dep.clone());
+    let mut engine = ScenarioBuilder::from_config(cfg).engine_with(dep.clone());
     // Step manually so the *peak* shift fraction can be observed (it
     // decays once the pressure clears).
     let mut peak_shift = 0.0f64;
@@ -75,7 +78,7 @@ fn run(cfg: SimConfig, dep: &Deployment, victim: PopId) -> (f64, usize, f64) {
 }
 
 fn main() {
-    let cfg = scenario();
+    let cfg = base_config();
     let victim = PopId(0);
     let mut dep = generate(&cfg.gen);
     cripple(&mut dep, victim);
@@ -84,8 +87,9 @@ fn main() {
     let (drops_ef, residual_ef, _) = run(cfg.clone(), &dep, victim);
 
     eprintln!("[E14] Edge Fabric + global demand shifting...");
-    let mut global_cfg = cfg;
-    global_cfg.global_shift = Some(GlobalShifterConfig::default());
+    let global_cfg = ScenarioBuilder::from_config(cfg)
+        .global_shift(GlobalShifterConfig::default())
+        .build();
     let (drops_global, residual_global, peak_shift) = run(global_cfg, &dep, victim);
 
     println!("E14 (extension) — a PoP whose total egress < peak demand");

@@ -18,7 +18,7 @@
 use std::time::Instant;
 
 use ef_bench::{results_dir, write_json};
-use ef_sim::{SimConfig, SimEngine};
+use ef_sim::{scenario, ScenarioBuilder, SimConfig};
 use ef_telemetry::{Event, FieldValue, TelemetryHandle};
 use ef_topology::{generate, Deployment, GenConfig};
 use serde::{Deserialize, Serialize};
@@ -69,23 +69,23 @@ struct BenchReport {
 
 fn config(n_pops: usize, n_prefixes: usize, duration_secs: u64) -> SimConfig {
     let n_ases = (n_prefixes / 10).max(20);
-    let mut cfg = SimConfig::test_small(SEED);
-    cfg.gen = GenConfig {
-        seed: SEED,
-        n_pops,
-        n_ases,
-        n_prefixes,
-        total_avg_gbps: 100.0 * n_pops as f64,
-        ..GenConfig::small(SEED)
-    };
-    cfg.epoch_secs = EPOCH_SECS;
-    cfg.duration_secs = duration_secs;
-    cfg.sampled_rates = false;
-    cfg.perf = None;
-    // Splitting doubles the lookup units per prefix — the hardest case for
-    // the FIB cache, and the configuration the determinism suite pins.
-    cfg.controller.split_depth = 1;
-    cfg
+    scenario()
+        .topology(GenConfig {
+            seed: SEED,
+            n_pops,
+            n_ases,
+            n_prefixes,
+            total_avg_gbps: 100.0 * n_pops as f64,
+            ..GenConfig::small(SEED)
+        })
+        .duration_secs(duration_secs)
+        .epoch_secs(EPOCH_SECS)
+        .exact_rates()
+        // Splitting doubles the lookup units per prefix — the hardest case
+        // for the FIB cache, and the configuration the determinism suite
+        // pins.
+        .tune_controller(|c| c.split_depth = 1)
+        .build()
 }
 
 fn mean_field(events: &[Event], key: &str) -> f64 {
@@ -109,10 +109,10 @@ fn mean_field(events: &[Event], key: &str) -> f64 {
 /// absolute numbers, so these are for relative attribution only).
 fn phase_profile(cfg: &SimConfig, deployment: &Deployment, incremental: bool) -> PhaseUs {
     let (handle, sink) = TelemetryHandle::memory();
-    let mut cfg = cfg.clone();
-    cfg.incremental = incremental;
-    cfg.telemetry = handle;
-    let mut engine = SimEngine::with_deployment(cfg, deployment.clone());
+    let mut engine = ScenarioBuilder::from_config(cfg.clone())
+        .incremental(incremental)
+        .telemetry(handle)
+        .engine_with(deployment.clone());
     engine.run();
     let epochs = sink.events_named("epoch");
     PhaseUs {
@@ -127,9 +127,9 @@ fn phase_profile(cfg: &SimConfig, deployment: &Deployment, incremental: bool) ->
 
 /// One telemetry-free timed run; returns wall seconds.
 fn timed_wall(cfg: &SimConfig, deployment: &Deployment, incremental: bool) -> f64 {
-    let mut cfg = cfg.clone();
-    cfg.incremental = incremental;
-    let mut engine = SimEngine::with_deployment(cfg, deployment.clone());
+    let mut engine = ScenarioBuilder::from_config(cfg.clone())
+        .incremental(incremental)
+        .engine_with(deployment.clone());
     let start = Instant::now();
     engine.run();
     start.elapsed().as_secs_f64()

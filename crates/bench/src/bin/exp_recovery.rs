@@ -1,4 +1,4 @@
-//! E16: bounded recovery — epochs back to steady state after each fault.
+//! E17: bounded recovery — epochs back to steady state after each fault.
 //!
 //! Every fault kind the chaos layer can inject runs as its own arm: one
 //! 300-second window against PoP 0, over the same deployment as a
@@ -6,13 +6,16 @@
 //! records must converge back to the reference — byte-for-byte — within a
 //! bounded number of epochs:
 //!
+//! - *refresh-healed faults* (update corruption) leave the session up and
+//!   recover over a governed ROUTE-REFRESH replay (RFC 2918 / RFC 7313) —
+//!   **1 epoch**, with **zero session resets** over the whole arm;
 //! - *input faults* (capacity loss, BMP stall, sFlow loss, flash crowd,
-//!   update corruption, partial injection loss) leave sessions and the
-//!   controller standing, so fresh inputs restore the steady state within
-//!   **2 epochs**;
+//!   partial injection loss) leave sessions and the controller standing,
+//!   so fresh inputs restore the steady state within **2 epochs**;
 //! - *crash and session faults* (controller crash, injector loss, peer
-//!   failure, flap storm) additionally pay the reconnect governor's
-//!   backoff / flap-damping cool-down, and get **3 epochs**.
+//!   failure, flap storm — including a flap storm overlapping an update
+//!   corruption window on the same peer) additionally pay the reconnect
+//!   governor's backoff / flap-damping cool-down, and get **3 epochs**.
 //!
 //! Each arm also runs twice and must reproduce byte-identically (the
 //! determinism contract), and every BGP session must be re-established by
@@ -24,7 +27,7 @@ use std::collections::HashMap;
 use ef_bench::write_json;
 use ef_bgp::peer::PeerKind;
 use ef_chaos::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
-use ef_sim::{MetricsStore, PopEpochRecord, SimConfig, SimEngine};
+use ef_sim::{scenario, MetricsStore, PopEpochRecord, ScenarioBuilder, SimConfig};
 use ef_topology::{generate, Deployment, PopId};
 use serde::Serialize;
 
@@ -38,24 +41,31 @@ const STALE_SECS: u64 = 60;
 /// Fail-open horizon: inputs older than this withdraw everything.
 const FAIL_OPEN_SECS: u64 = 240;
 
+/// Recovery bound for treat-as-withdraw damage healed over ROUTE-REFRESH.
+const BOUND_REFRESH: u64 = 1;
 /// Recovery bound for faults that only degrade *inputs*.
 const BOUND_INPUT: u64 = 2;
 /// Recovery bound for faults that tear down a session or the controller.
 const BOUND_SESSION: u64 = 3;
 
 fn base_config() -> SimConfig {
-    let mut cfg = SimConfig::test_small(SEED);
-    cfg.epoch_secs = EPOCH_SECS;
-    cfg.duration_secs = DURATION_SECS;
-    cfg.sampled_rates = false; // exact rates isolate the fault response
-    cfg.controller.stale_input_secs = STALE_SECS;
-    cfg.controller.fail_open_secs = FAIL_OPEN_SECS;
-    cfg.telemetry = ef_bench::telemetry_from_env();
-    cfg
+    scenario()
+        .small_topology(SEED)
+        .epoch_secs(EPOCH_SECS)
+        .duration_secs(DURATION_SECS)
+        .exact_rates() // exact rates isolate the fault response
+        .tune_controller(|c| {
+            c.stale_input_secs = STALE_SECS;
+            c.fail_open_secs = FAIL_OPEN_SECS;
+        })
+        .telemetry(ef_bench::telemetry_from_env())
+        .build()
 }
 
-fn run_arm(cfg: SimConfig, deployment: &Deployment) -> MetricsStore {
-    let mut engine = SimEngine::with_deployment(cfg, deployment.clone());
+/// Runs one arm; returns its metrics and how many established sessions
+/// were torn down over the run.
+fn run_arm(cfg: SimConfig, deployment: &Deployment) -> (MetricsStore, u64) {
+    let mut engine = ScenarioBuilder::from_config(cfg).engine_with(deployment.clone());
     // Record the faulted PoP's full per-interface load series: steadiness
     // is judged on interface loads too, not just the epoch records.
     for iface in &deployment.pops[0].interfaces {
@@ -66,7 +76,8 @@ fn run_arm(cfg: SimConfig, deployment: &Deployment) -> MetricsStore {
         engine.all_sessions_up(),
         "sessions re-established by run end"
     );
-    engine.take_metrics()
+    let resets = engine.session_resets();
+    (engine.take_metrics(), resets)
 }
 
 fn pop_records(m: &MetricsStore, pop: u16) -> Vec<&PopEpochRecord> {
@@ -77,6 +88,17 @@ fn fingerprint(m: &MetricsStore) -> String {
     serde_json::to_string(&(&m.pop_epochs, &m.episodes)).expect("serializes")
 }
 
+struct Case {
+    label: &'static str,
+    /// Fault kinds sharing the window (one entry per event; more than one
+    /// makes an overlapping-fault arm).
+    faults: Vec<(FaultKind, FaultTarget)>,
+    bound: u64,
+    /// Hard cap on sessions reset over the arm, when the recovery path
+    /// promises one (the ROUTE-REFRESH arm promises zero).
+    max_resets: Option<u64>,
+}
+
 #[derive(Serialize)]
 struct RecoveryRow {
     fault: &'static str,
@@ -84,6 +106,7 @@ struct RecoveryRow {
     t_clear_secs: u64,
     epochs_to_steady: u64,
     bound_epochs: u64,
+    session_resets: u64,
 }
 
 #[derive(Serialize)]
@@ -102,7 +125,7 @@ fn main() {
     let pop = 0usize;
 
     eprintln!("[recovery] reference run (EF on, no faults)...");
-    let reference = run_arm(cfg.clone(), &deployment);
+    let (reference, _) = run_arm(cfg.clone(), &deployment);
     let ref_pop = pop_records(&reference, pop as u16);
 
     // Fault targets: the busiest PoP-0 peering interface during the fault
@@ -140,91 +163,144 @@ fn main() {
         .expect("busiest interface has an announcing peer");
     let egress = egress.0;
 
-    let cases: Vec<(&'static str, FaultKind, FaultTarget, u64)> = vec![
-        (
-            "link_capacity_loss",
-            FaultKind::LinkCapacityLoss { fraction: 0.75 },
-            FaultTarget::Interface { pop, egress },
-            BOUND_INPUT,
-        ),
-        (
-            "bmp_stall",
-            FaultKind::BmpStall,
-            FaultTarget::Pop { pop },
-            BOUND_INPUT,
-        ),
-        (
-            "sflow_loss",
-            FaultKind::SflowLoss {
-                drop_fraction: 0.95,
-            },
-            FaultTarget::Pop { pop },
-            BOUND_INPUT,
-        ),
-        (
-            "flash_crowd",
-            FaultKind::FlashCrowd { multiplier: 2.0 },
-            FaultTarget::Pop { pop },
-            BOUND_INPUT,
-        ),
-        (
-            "update_corruption",
-            FaultKind::UpdateCorruption { rate: 0.5 },
-            FaultTarget::Peer { pop, peer },
-            BOUND_INPUT,
-        ),
-        (
-            "injector_partial_loss",
-            FaultKind::InjectorPartialLoss { fraction: 0.5 },
-            FaultTarget::Pop { pop },
-            BOUND_INPUT,
-        ),
-        (
-            "controller_crash",
-            FaultKind::ControllerCrash,
-            FaultTarget::Pop { pop },
-            BOUND_SESSION,
-        ),
-        (
-            "injector_loss",
-            FaultKind::InjectorLoss,
-            FaultTarget::Pop { pop },
-            BOUND_SESSION,
-        ),
-        (
-            "peer_failure",
-            FaultKind::PeerFailure,
-            FaultTarget::Peer { pop, peer },
-            BOUND_SESSION,
-        ),
-        (
-            "session_flap_storm",
-            FaultKind::SessionFlapStorm { period_s: 5 },
-            FaultTarget::Peer { pop, peer },
-            BOUND_SESSION,
-        ),
+    let cases: Vec<Case> = vec![
+        Case {
+            label: "link_capacity_loss",
+            faults: vec![(
+                FaultKind::LinkCapacityLoss { fraction: 0.75 },
+                FaultTarget::Interface { pop, egress },
+            )],
+            bound: BOUND_INPUT,
+            max_resets: None,
+        },
+        Case {
+            label: "bmp_stall",
+            faults: vec![(FaultKind::BmpStall, FaultTarget::Pop { pop })],
+            bound: BOUND_INPUT,
+            max_resets: None,
+        },
+        Case {
+            label: "sflow_loss",
+            faults: vec![(
+                FaultKind::SflowLoss {
+                    drop_fraction: 0.95,
+                },
+                FaultTarget::Pop { pop },
+            )],
+            bound: BOUND_INPUT,
+            max_resets: None,
+        },
+        Case {
+            label: "flash_crowd",
+            faults: vec![(
+                FaultKind::FlashCrowd { multiplier: 2.0 },
+                FaultTarget::Pop { pop },
+            )],
+            bound: BOUND_INPUT,
+            max_resets: None,
+        },
+        // The tentpole arm: treat-as-withdraw damage heals over a governed
+        // ROUTE-REFRESH on the live session — one epoch, zero resets.
+        Case {
+            label: "update_corruption",
+            faults: vec![(
+                FaultKind::UpdateCorruption { rate: 0.5 },
+                FaultTarget::Peer { pop, peer },
+            )],
+            bound: BOUND_REFRESH,
+            max_resets: Some(0),
+        },
+        Case {
+            label: "injector_partial_loss",
+            faults: vec![(
+                FaultKind::InjectorPartialLoss { fraction: 0.5 },
+                FaultTarget::Pop { pop },
+            )],
+            bound: BOUND_INPUT,
+            max_resets: Some(0),
+        },
+        Case {
+            label: "controller_crash",
+            faults: vec![(FaultKind::ControllerCrash, FaultTarget::Pop { pop })],
+            bound: BOUND_SESSION,
+            max_resets: None,
+        },
+        Case {
+            label: "injector_loss",
+            faults: vec![(FaultKind::InjectorLoss, FaultTarget::Pop { pop })],
+            bound: BOUND_SESSION,
+            max_resets: None,
+        },
+        Case {
+            label: "peer_failure",
+            faults: vec![(FaultKind::PeerFailure, FaultTarget::Peer { pop, peer })],
+            bound: BOUND_SESSION,
+            max_resets: None,
+        },
+        Case {
+            label: "session_flap_storm",
+            faults: vec![(
+                FaultKind::SessionFlapStorm { period_s: 5 },
+                FaultTarget::Peer { pop, peer },
+            )],
+            bound: BOUND_SESSION,
+            max_resets: None,
+        },
+        // Overlapping faults on the same peer: the corrupted updates land
+        // on a session the storm keeps tearing down. The refresh path must
+        // stand aside (a down session replays in full on reconnect) and
+        // the session-fault bound still holds.
+        Case {
+            label: "flap_storm_with_corruption",
+            faults: vec![
+                (
+                    FaultKind::SessionFlapStorm { period_s: 5 },
+                    FaultTarget::Peer { pop, peer },
+                ),
+                (
+                    FaultKind::UpdateCorruption { rate: 0.5 },
+                    FaultTarget::Peer { pop, peer },
+                ),
+            ],
+            bound: BOUND_SESSION,
+            max_resets: None,
+        },
     ];
 
     let clear = W_FAULT.0 + W_FAULT.1;
     let mut rows = Vec::new();
-    for (label, kind, target, bound) in cases {
+    for case in cases {
+        let label = case.label;
         eprintln!("[recovery] {label} arm (twice, for reproducibility)...");
-        let schedule = FaultSchedule::new(vec![FaultEvent {
-            t_start_secs: W_FAULT.0,
-            duration_secs: W_FAULT.1,
-            target,
-            kind,
-        }])
+        let schedule = FaultSchedule::new(
+            case.faults
+                .into_iter()
+                .map(|(kind, target)| FaultEvent {
+                    t_start_secs: W_FAULT.0,
+                    duration_secs: W_FAULT.1,
+                    target,
+                    kind,
+                })
+                .collect(),
+        )
         .expect("schedule is valid");
-        let mut arm_cfg = cfg.clone();
-        arm_cfg.chaos = Some(schedule);
-        let arm = run_arm(arm_cfg.clone(), &deployment);
-        let again = run_arm(arm_cfg, &deployment);
+        let arm_cfg = ScenarioBuilder::from_config(cfg.clone())
+            .chaos(schedule)
+            .build();
+        let (arm, resets) = run_arm(arm_cfg.clone(), &deployment);
+        let (again, resets_again) = run_arm(arm_cfg, &deployment);
         assert_eq!(
             fingerprint(&arm),
             fingerprint(&again),
             "{label}: arm reproduces byte-identically"
         );
+        assert_eq!(resets, resets_again, "{label}: reset count reproduces");
+        if let Some(cap) = case.max_resets {
+            assert!(
+                resets <= cap,
+                "{label}: {resets} session resets, promised at most {cap}"
+            );
+        }
 
         // Epochs-to-steady: the smallest k such that from `clear + k`
         // epochs on, every per-epoch record of the faulted PoP matches the
@@ -288,11 +364,12 @@ fn main() {
             None => 0,
             Some((t, _, _)) => (t - clear) / EPOCH_SECS + 1,
         };
-        if epochs_to_steady > bound {
+        if epochs_to_steady > case.bound {
             let (t, aj, bj) = last_mismatch.expect("mismatch recorded");
             panic!(
-                "{label}: steady after {epochs_to_steady} epochs, bound {bound}\n\
-                 last mismatch at t={t}:\n  arm: {aj}\n  ref: {bj}"
+                "{label}: steady after {epochs_to_steady} epochs, bound {}\n\
+                 last mismatch at t={t}:\n  arm: {aj}\n  ref: {bj}",
+                case.bound
             );
         }
         rows.push(RecoveryRow {
@@ -300,19 +377,25 @@ fn main() {
             t_start_secs: W_FAULT.0,
             t_clear_secs: clear,
             epochs_to_steady,
-            bound_epochs: bound,
+            bound_epochs: case.bound,
+            session_resets: resets,
         });
     }
 
     println!("Bounded recovery — epochs back to the reference steady state");
     println!(
-        "{:>22} {:>8} {:>8} {:>8} {:>6}",
-        "fault", "start", "clear", "epochs", "bound"
+        "{:>26} {:>8} {:>8} {:>8} {:>6} {:>7}",
+        "fault", "start", "clear", "epochs", "bound", "resets"
     );
     for r in &rows {
         println!(
-            "{:>22} {:>8} {:>8} {:>8} {:>6}",
-            r.fault, r.t_start_secs, r.t_clear_secs, r.epochs_to_steady, r.bound_epochs
+            "{:>26} {:>8} {:>8} {:>8} {:>6} {:>7}",
+            r.fault,
+            r.t_start_secs,
+            r.t_clear_secs,
+            r.epochs_to_steady,
+            r.bound_epochs,
+            r.session_resets
         );
     }
 

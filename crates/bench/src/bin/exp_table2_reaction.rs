@@ -7,7 +7,7 @@
 use ef_bench::write_json;
 use ef_perf::rtt::{PathPerfModel, PerfConfig};
 use ef_sim::runtime::PopRuntime;
-use ef_sim::SimConfig;
+use ef_sim::scenario;
 use ef_topology::{generate, PopId};
 use ef_traffic::demand::DemandPoint;
 use serde::Serialize;
@@ -28,8 +28,12 @@ fn main() {
     let mut trials = Vec::new();
 
     for seed in 0..10u64 {
-        let mut cfg = SimConfig::test_small(seed);
-        cfg.sampled_rates = false; // isolate reaction time from estimator noise
+        let cfg = scenario()
+            .small_topology(seed)
+            .duration_secs(2 * 3600)
+            .epoch_secs(60)
+            .exact_rates() // isolate reaction time from estimator noise
+            .build();
         let deployment = generate(&cfg.gen);
 
         // Pick a private interconnect and the prefixes its peer originates.

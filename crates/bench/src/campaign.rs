@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use ef_bgp::route::EgressId;
-use ef_sim::{MetricsStore, SimConfig, SimEngine};
+use ef_sim::{scenario, MetricsStore, ScenarioBuilder, SimConfig};
 use ef_topology::generate;
 
 use crate::output::results_dir;
@@ -49,12 +49,11 @@ pub struct CampaignData {
 /// The scenario both arms share: the default 20-PoP deployment, one
 /// simulated day of 30-second epochs, production-like sampled rates.
 pub fn campaign_config() -> SimConfig {
-    SimConfig {
-        duration_secs: 24 * 3600,
-        epoch_secs: 30,
-        telemetry: crate::output::telemetry_from_env(),
-        ..Default::default()
-    }
+    scenario()
+        .hours(24)
+        .epoch_secs(30)
+        .telemetry(crate::output::telemetry_from_env())
+        .build()
 }
 
 /// The interfaces watched with full time series: chosen by a fast
@@ -67,10 +66,11 @@ pub fn watched_interfaces() -> Vec<u32> {
         }
     }
     eprintln!("[campaign] probing for the busiest interfaces (coarse baseline run)...");
-    let mut cfg = campaign_config().baseline();
-    cfg.epoch_secs = 300; // coarse: 288 epochs over the day
-    cfg.sampled_rates = false;
-    let mut engine = SimEngine::new(cfg);
+    let mut engine = ScenarioBuilder::from_config(campaign_config())
+        .baseline()
+        .epoch_secs(300) // coarse: 288 epochs over the day
+        .exact_rates()
+        .engine();
     engine.run();
     let metrics = engine.take_metrics();
     let watched: Vec<u32> = metrics
@@ -120,7 +120,7 @@ pub fn load_or_run(arm: Arm) -> CampaignData {
         cfg.gen.n_pops
     );
     let deployment = generate(&cfg.gen);
-    let mut engine = SimEngine::with_deployment(cfg.clone(), deployment);
+    let mut engine = ScenarioBuilder::from_config(cfg.clone()).engine_with(deployment);
     for egress in &watched {
         engine.flag_interface(EgressId(*egress));
     }

@@ -11,7 +11,10 @@
 //!
 //! * [`attrs`] — path attributes: origin, AS path, MED, local-pref,
 //!   communities.
-//! * [`message`] — the four BGP-4 message types.
+//! * [`message`] — the BGP-4 message types, plus ROUTE-REFRESH (RFC 2918
+//!   with RFC 7313 BoRR/EoRR demarcation).
+//! * [`capabilities`] — typed OPEN-capability negotiation (MP-BGP, route
+//!   refresh, enhanced refresh, ADD-PATH) behind one entry point.
 //! * [`wire`] — an RFC 4271 binary codec (4-octet ASNs assumed negotiated,
 //!   RFC 6793), plus MP_REACH/MP_UNREACH for IPv6 NLRI.
 //! * [`peer`] — peer identity and the four interconnect kinds the paper
@@ -66,6 +69,7 @@ pub mod addpath;
 pub mod attrs;
 pub mod backoff;
 pub mod bmp;
+pub mod capabilities;
 pub mod decision;
 pub mod message;
 pub mod peer;
@@ -77,6 +81,10 @@ pub mod session;
 pub mod wire;
 
 pub use attrs::{AsPath, Origin, PathAttributes};
-pub use message::{BgpMessage, NotificationMessage, OpenMessage, UpdateMessage};
+pub use capabilities::Capabilities;
+pub use message::{
+    BgpMessage, NotificationMessage, OpenMessage, RefreshSubtype, RouteRefreshMessage,
+    UpdateMessage,
+};
 pub use peer::{PeerId, PeerKind};
 pub use route::{EgressId, Route, RouteSource};

@@ -1,4 +1,5 @@
-//! The four BGP-4 message types (RFC 4271 §4).
+//! The BGP-4 message types (RFC 4271 §4), plus ROUTE-REFRESH (RFC 2918)
+//! with the Enhanced Route Refresh demarcation subtypes (RFC 7313).
 
 use std::net::Ipv4Addr;
 
@@ -22,6 +23,8 @@ pub enum BgpMessage {
     Notification(NotificationMessage),
     /// Hold-timer refresh (type 4).
     Keepalive,
+    /// Adj-RIB-Out replay request / demarcation (type 5, RFC 2918 + 7313).
+    RouteRefresh(RouteRefreshMessage),
 }
 
 impl BgpMessage {
@@ -32,6 +35,84 @@ impl BgpMessage {
             BgpMessage::Update(_) => 2,
             BgpMessage::Notification(_) => 3,
             BgpMessage::Keepalive => 4,
+            BgpMessage::RouteRefresh(_) => 5,
+        }
+    }
+}
+
+/// The RFC 7313 reading of the ROUTE-REFRESH "reserved" octet: a plain
+/// request (RFC 2918 compatible), or the Begin/End-of-Route-Refresh
+/// demarcation markers that bracket the responder's replay so the
+/// requester can sweep paths that were not re-advertised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RefreshSubtype {
+    /// Ask the peer to replay its Adj-RIB-Out (demarcation octet 0).
+    Request,
+    /// Begin-of-Route-Refresh: replay follows (demarcation octet 1).
+    BoRR,
+    /// End-of-Route-Refresh: replay complete, sweep stale paths
+    /// (demarcation octet 2).
+    EoRR,
+}
+
+impl RefreshSubtype {
+    /// Wire value of the demarcation octet.
+    pub fn wire_value(self) -> u8 {
+        match self {
+            RefreshSubtype::Request => 0,
+            RefreshSubtype::BoRR => 1,
+            RefreshSubtype::EoRR => 2,
+        }
+    }
+
+    /// Parses the demarcation octet; values this implementation does not
+    /// emit are rejected so accepted frames re-encode canonically.
+    pub fn from_wire(value: u8) -> Option<Self> {
+        match value {
+            0 => Some(RefreshSubtype::Request),
+            1 => Some(RefreshSubtype::BoRR),
+            2 => Some(RefreshSubtype::EoRR),
+            _ => None,
+        }
+    }
+}
+
+/// ROUTE-REFRESH message (RFC 2918 §3): `<AFI, demarcation, SAFI>`. The
+/// middle octet is reserved in RFC 2918 and repurposed by RFC 7313 as the
+/// BoRR/EoRR demarcation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteRefreshMessage {
+    /// Address family (1 = IPv4, 2 = IPv6).
+    pub afi: u16,
+    /// Subsequent address family (1 = unicast).
+    pub safi: u8,
+    /// Request or RFC 7313 demarcation marker.
+    pub subtype: RefreshSubtype,
+}
+
+impl RouteRefreshMessage {
+    /// A plain IPv4-unicast refresh request.
+    pub fn request() -> Self {
+        RouteRefreshMessage {
+            afi: 1,
+            safi: 1,
+            subtype: RefreshSubtype::Request,
+        }
+    }
+
+    /// Begin-of-Route-Refresh marker for IPv4 unicast.
+    pub fn borr() -> Self {
+        RouteRefreshMessage {
+            subtype: RefreshSubtype::BoRR,
+            ..Self::request()
+        }
+    }
+
+    /// End-of-Route-Refresh marker for IPv4 unicast.
+    pub fn eorr() -> Self {
+        RouteRefreshMessage {
+            subtype: RefreshSubtype::EoRR,
+            ..Self::request()
         }
     }
 }
@@ -162,6 +243,34 @@ mod tests {
         let notif = BgpMessage::Notification(NotificationMessage::admin_shutdown());
         assert_eq!(notif.type_code(), 3);
         assert_eq!(BgpMessage::Keepalive.type_code(), 4);
+        let refresh = BgpMessage::RouteRefresh(RouteRefreshMessage::request());
+        assert_eq!(refresh.type_code(), 5);
+    }
+
+    #[test]
+    fn refresh_subtypes_round_trip_the_demarcation_octet() {
+        for sub in [
+            RefreshSubtype::Request,
+            RefreshSubtype::BoRR,
+            RefreshSubtype::EoRR,
+        ] {
+            assert_eq!(RefreshSubtype::from_wire(sub.wire_value()), Some(sub));
+        }
+        assert_eq!(RefreshSubtype::from_wire(3), None);
+        assert_eq!(RefreshSubtype::from_wire(0xFF), None);
+        assert_eq!(
+            RouteRefreshMessage::request().subtype,
+            RefreshSubtype::Request
+        );
+        assert_eq!(RouteRefreshMessage::borr().subtype, RefreshSubtype::BoRR);
+        assert_eq!(RouteRefreshMessage::eorr().subtype, RefreshSubtype::EoRR);
+        assert_eq!(
+            (
+                RouteRefreshMessage::borr().afi,
+                RouteRefreshMessage::borr().safi
+            ),
+            (1, 1)
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! `LOCAL_PREF` high enough to win the decision process — exactly the
 //! injection mechanism of paper §4.3.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::Ipv4Addr;
 
 use bytes::Bytes;
@@ -15,12 +15,12 @@ use bytes::Bytes;
 use ef_net_types::{Asn, Prefix, PrefixTrie};
 
 use crate::bmp::{BmpMessage, BmpPeerHeader};
-use crate::message::UpdateMessage;
+use crate::message::{RefreshSubtype, RouteRefreshMessage, UpdateMessage};
 use crate::peer::{PeerId, PeerKind};
 use crate::policy::{Policy, PolicyVerdict};
 use crate::rib::{AdjRibIn, BestChange, LocRib};
 use crate::route::{EgressId, Route, RouteSource};
-use crate::session::{Millis, Session, SessionConfig, SessionEvent};
+use crate::session::{Millis, Session, SessionConfig, SessionEvent, SessionStats};
 
 /// Static identity of a router.
 #[derive(Debug, Clone)]
@@ -69,6 +69,10 @@ struct PeerState {
     session: Session,
     adj_in: AdjRibIn,
     up: bool,
+    /// Adj-RIB-In prefixes snapshotted when the peer's BoRR arrived; each
+    /// re-announcement during the replay removes its prefix, and whatever
+    /// remains at EoRR is stale and swept (RFC 7313 §4.2).
+    stale_sweep: Option<BTreeSet<Prefix>>,
 }
 
 /// A BGP peering router.
@@ -177,6 +181,7 @@ impl BgpRouter {
                 session,
                 adj_in: AdjRibIn::new(),
                 up: false,
+                stale_sweep: None,
             },
         );
     }
@@ -263,13 +268,77 @@ impl BgpRouter {
                     if let Some(state) = self.peers.get_mut(&peer) {
                         state.up = false;
                         state.adj_in.clear();
+                        state.stale_sweep = None;
                         let attach = state.attach.clone();
                         self.flush_peer_routes(peer, &attach, now, 1);
                     }
                 }
                 SessionEvent::Update(update) => self.apply_update(peer, update, now),
+                SessionEvent::Refresh(refresh) => self.handle_refresh(peer, refresh, now),
             }
         }
+    }
+
+    /// Handles a ROUTE-REFRESH on `peer`'s session. As responder, a request
+    /// is answered by replaying this router's Adj-RIB-Out toward the peer
+    /// (its locally originated prefixes), bracketed with BoRR/EoRR when the
+    /// session negotiated enhanced refresh. As requester, BoRR snapshots the
+    /// Adj-RIB-In and EoRR sweeps whatever the replay did not re-announce.
+    fn handle_refresh(&mut self, peer: PeerId, refresh: RouteRefreshMessage, now: Millis) {
+        match refresh.subtype {
+            RefreshSubtype::Request => {
+                let export = self.export_attrs();
+                let origins = self.local_origins.clone();
+                if let Some(state) = self.peers.get_mut(&peer) {
+                    let enhanced = state.session.negotiated().enhanced_refresh;
+                    if enhanced {
+                        let _ = state.session.send_refresh_marker(RefreshSubtype::BoRR);
+                    }
+                    if state.attach.kind != PeerKind::Controller {
+                        for prefix in origins {
+                            let _ = state
+                                .session
+                                .send_update(UpdateMessage::announce(prefix, export.clone()));
+                        }
+                    }
+                    if enhanced {
+                        let _ = state.session.send_refresh_marker(RefreshSubtype::EoRR);
+                    }
+                }
+            }
+            RefreshSubtype::BoRR => {
+                if let Some(state) = self.peers.get_mut(&peer) {
+                    state.stale_sweep = Some(state.adj_in.iter().map(|r| r.prefix).collect());
+                }
+            }
+            RefreshSubtype::EoRR => {
+                let stale = self
+                    .peers
+                    .get_mut(&peer)
+                    .and_then(|state| state.stale_sweep.take());
+                if let Some(stale) = stale {
+                    if !stale.is_empty() {
+                        self.apply_update(peer, UpdateMessage::withdraw(stale), now);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Asks `peer` to replay its Adj-RIB-Out (RFC 2918) — the recovery path
+    /// used after RFC 7606 treat-as-withdraw damage instead of a session
+    /// bounce. The sweep of stale paths arms itself when the peer's BoRR
+    /// arrives.
+    pub fn request_refresh(&mut self, peer: PeerId) -> Result<(), crate::session::SessionError> {
+        match self.peers.get_mut(&peer) {
+            Some(state) => state.session.request_refresh(),
+            None => Err(crate::session::SessionError::NotEstablished),
+        }
+    }
+
+    /// Snapshot of `peer`'s RFC 7606 / refresh counters, for telemetry.
+    pub fn session_stats(&self, peer: PeerId) -> Option<SessionStats> {
+        self.peers.get(&peer).map(|state| state.session.stats())
     }
 
     fn flush_peer_routes(
@@ -305,6 +374,14 @@ impl BgpRouter {
             peer_asn: attach.peer_asn,
             kind: attach.kind,
         };
+
+        // During an enhanced-refresh replay, anything the peer re-announces
+        // (or explicitly withdraws) is no longer a sweep candidate.
+        if let Some(sweep) = state.stale_sweep.as_mut() {
+            for prefix in update.announced.iter().chain(update.withdrawn.iter()) {
+                sweep.remove(prefix);
+            }
+        }
 
         let mut accepted: Vec<(Prefix, crate::attrs::PathAttributes)> = Vec::new();
         let mut effective_withdrawals: Vec<Prefix> = update.withdrawn.clone();
@@ -536,6 +613,11 @@ pub struct PeerStub {
     /// Sends refused by the session (not established, or encode failure),
     /// recorded by the infallible convenience senders instead of panicking.
     send_errors: u64,
+    /// This stub's intended Adj-RIB-Out: every prefix it currently
+    /// advertises with the attributes last sent. A ROUTE-REFRESH request
+    /// from the router is answered by replaying this map, which is what
+    /// heals treat-as-withdraw damage without a session bounce.
+    advertised: BTreeMap<Prefix, crate::attrs::PathAttributes>,
 }
 
 impl PeerStub {
@@ -549,6 +631,7 @@ impl PeerStub {
             session,
             received: Vec::new(),
             send_errors: 0,
+            advertised: BTreeMap::new(),
         }
     }
 
@@ -569,6 +652,10 @@ impl PeerStub {
     }
 
     /// Runs the handshake / delivers pending data both ways until quiescent.
+    /// A ROUTE-REFRESH request from the router is answered in-line by
+    /// replaying the advertised map (bracketed with BoRR/EoRR when the
+    /// session negotiated enhanced refresh); the replay drains on the next
+    /// shuttle round.
     pub fn pump(&mut self, router: &mut BgpRouter, now: Millis) {
         for _ in 0..8 {
             let to_router = self.session.take_outbox();
@@ -580,8 +667,23 @@ impl PeerStub {
             moved |= !to_stub.is_empty();
             for bytes in to_stub {
                 for event in self.session.receive_bytes(&bytes, now) {
-                    if let crate::session::SessionEvent::Update(update) = event {
-                        self.received.push(update);
+                    match event {
+                        SessionEvent::Update(update) => self.received.push(update),
+                        SessionEvent::Refresh(r) if r.subtype == RefreshSubtype::Request => {
+                            let enhanced = self.session.negotiated().enhanced_refresh;
+                            if enhanced {
+                                let _ = self.session.send_refresh_marker(RefreshSubtype::BoRR);
+                            }
+                            for (prefix, attrs) in &self.advertised {
+                                let _ = self
+                                    .session
+                                    .send_update(UpdateMessage::announce(*prefix, attrs.clone()));
+                            }
+                            if enhanced {
+                                let _ = self.session.send_refresh_marker(RefreshSubtype::EoRR);
+                            }
+                        }
+                        _ => {}
                     }
                 }
             }
@@ -589,6 +691,22 @@ impl PeerStub {
                 break;
             }
         }
+    }
+
+    /// Asks the router to replay its exports toward this peer and pumps.
+    pub fn request_refresh(
+        &mut self,
+        router: &mut BgpRouter,
+        now: Millis,
+    ) -> Result<(), crate::session::SessionError> {
+        self.session.request_refresh()?;
+        self.pump(router, now);
+        Ok(())
+    }
+
+    /// Snapshot of this stub's session counters.
+    pub fn session_stats(&self) -> SessionStats {
+        self.session.stats()
     }
 
     /// Announces a prefix with the given attributes and pumps.
@@ -647,7 +765,13 @@ impl PeerStub {
         update: UpdateMessage,
         now: Millis,
     ) -> Result<(), crate::session::SessionError> {
-        self.session.send_update(update)?;
+        self.session.send_update(update.clone())?;
+        for prefix in &update.withdrawn {
+            self.advertised.remove(prefix);
+        }
+        for prefix in &update.announced {
+            self.advertised.insert(*prefix, update.attrs.clone());
+        }
         self.pump(router, now);
         Ok(())
     }
@@ -1044,6 +1168,83 @@ mod tests {
             r.fib_version() > v2,
             "flushing a peer's winning route bumps the version"
         );
+    }
+
+    #[test]
+    fn refresh_heals_treat_as_withdraw_and_sweeps_stale_paths() {
+        let mut r = router();
+        let mut s = wire_peer(&mut r, 1, 65001, PeerKind::PrivatePeer, 11);
+        s.announce(&mut r, p("203.0.113.0/24"), attrs(&[65001]), 1);
+        s.announce(&mut r, p("198.51.100.0/24"), attrs(&[65001]), 1);
+        assert_eq!(r.fib_len(), 2);
+
+        // A corrupted re-announcement of the first prefix: RFC 7606
+        // downgrades it to a withdrawal instead of resetting the session.
+        let mut reattrs = attrs(&[65001]);
+        reattrs.next_hop = Some(Ipv4Addr::new(192, 0, 2, 1));
+        let update = UpdateMessage::announce(p("203.0.113.0/24"), reattrs);
+        let mut raw = crate::wire::encode_message(&crate::message::BgpMessage::Update(update))
+            .unwrap()
+            .to_vec();
+        let wd_len = u16::from_be_bytes([raw[19], raw[20]]) as usize;
+        raw[19 + 2 + wd_len + 2 + 2] = 0xEE; // ORIGIN length byte → garbage
+        r.deliver(PeerId(1), &raw, 2);
+        assert!(r.peer_up(PeerId(1)), "session survived the corruption");
+        assert!(r.fib_entry(&p("203.0.113.0/24")).is_none(), "route lost");
+        assert_eq!(r.session_stats(PeerId(1)).unwrap().updates_downgraded, 1);
+
+        // A ghost route the peer never tracked in its Adj-RIB-Out (as if
+        // its withdrawal was lost in the same damage window).
+        let mut ghost_attrs = attrs(&[65001]);
+        ghost_attrs.next_hop = Some(Ipv4Addr::new(192, 0, 2, 1));
+        let ghost = UpdateMessage::announce(p("192.0.2.0/24"), ghost_attrs);
+        let ghost_raw =
+            crate::wire::encode_message(&crate::message::BgpMessage::Update(ghost)).unwrap();
+        r.deliver(PeerId(1), &ghost_raw, 3);
+        assert!(r.fib_entry(&p("192.0.2.0/24")).is_some());
+
+        // ROUTE-REFRESH instead of a bounce: the replay restores the lost
+        // route and the EoRR sweep removes the ghost.
+        r.request_refresh(PeerId(1)).unwrap();
+        s.pump(&mut r, 4);
+        assert!(r.peer_up(PeerId(1)), "no session flap");
+        assert!(r.fib_entry(&p("203.0.113.0/24")).is_some(), "healed");
+        assert!(r.fib_entry(&p("198.51.100.0/24")).is_some(), "kept");
+        assert!(r.fib_entry(&p("192.0.2.0/24")).is_none(), "ghost swept");
+        assert_eq!(r.session_stats(PeerId(1)).unwrap().refreshes_sent, 1);
+        assert_eq!(s.session_stats().refreshes_answered, 1);
+        // No PeerDown appeared on the BMP feed at any point.
+        assert!(r
+            .drain_bmp()
+            .iter()
+            .all(|m| !matches!(m, BmpMessage::PeerDown { .. })));
+    }
+
+    #[test]
+    fn stub_refresh_request_replays_router_exports() {
+        let mut r = router();
+        r.originate(p("157.240.0.0/17"));
+        let mut s = wire_peer(&mut r, 1, 65001, PeerKind::PrivatePeer, 11);
+        assert_eq!(s.received_updates().len(), 1, "export at session-up");
+        s.request_refresh(&mut r, 1).unwrap();
+        let got = s.received_updates();
+        assert_eq!(got.len(), 2, "refresh replayed the export");
+        assert_eq!(got[1].announced, vec![p("157.240.0.0/17")]);
+        assert_eq!(r.session_stats(PeerId(1)).unwrap().refreshes_answered, 1);
+    }
+
+    #[test]
+    fn withdraw_during_replay_is_not_resurrected() {
+        let mut r = router();
+        let mut s = wire_peer(&mut r, 1, 65001, PeerKind::PrivatePeer, 11);
+        s.announce(&mut r, p("203.0.113.0/24"), attrs(&[65001]), 1);
+        // The peer withdraws before answering: the replay must not bring
+        // the prefix back, and the sweep must not double-withdraw.
+        s.withdraw(&mut r, [p("203.0.113.0/24")], 2);
+        r.request_refresh(PeerId(1)).unwrap();
+        s.pump(&mut r, 3);
+        assert!(r.fib_entry(&p("203.0.113.0/24")).is_none());
+        assert!(r.peer_up(PeerId(1)));
     }
 
     #[test]

@@ -15,7 +15,11 @@ use bytes::{Bytes, BytesMut};
 
 use ef_net_types::Asn;
 
-use crate::message::{BgpMessage, NotificationMessage, OpenMessage, UpdateMessage};
+use crate::capabilities::Capabilities;
+use crate::message::{
+    BgpMessage, NotificationMessage, OpenMessage, RefreshSubtype, RouteRefreshMessage,
+    UpdateMessage,
+};
 use crate::wire::{decode_message_graded, encode_message, Disposition, WireError};
 
 /// Simulated time in milliseconds since scenario start.
@@ -32,24 +36,32 @@ pub struct SessionConfig {
     /// both sides' proposals (RFC 4271 §4.2); keepalives go out at a third
     /// of it.
     pub hold_time_secs: u16,
-    /// Advertise the ADD-PATH capability (RFC 7911) in OPEN.
-    pub advertise_addpath: bool,
+    /// The optional capabilities advertised in OPEN (what used to be a
+    /// scatter of per-feature booleans).
+    pub caps: Capabilities,
 }
 
 impl SessionConfig {
-    /// A conventional 90-second-hold configuration.
+    /// A conventional 90-second-hold configuration advertising the default
+    /// capability set (MP-BGP + route refresh + enhanced refresh).
     pub fn new(local_asn: Asn, local_router_id: std::net::Ipv4Addr) -> Self {
         SessionConfig {
             local_asn,
             local_router_id,
             hold_time_secs: 90,
-            advertise_addpath: false,
+            caps: Capabilities::default(),
         }
+    }
+
+    /// Replaces the advertised capability set.
+    pub fn with_capabilities(mut self, caps: Capabilities) -> Self {
+        self.caps = caps;
+        self
     }
 
     /// Enables the ADD-PATH capability on this endpoint.
     pub fn with_addpath(mut self) -> Self {
-        self.advertise_addpath = true;
+        self.caps.addpath = true;
         self
     }
 }
@@ -79,6 +91,10 @@ pub enum SessionEvent {
     Down(DownReason),
     /// An UPDATE arrived while established.
     Update(UpdateMessage),
+    /// A ROUTE-REFRESH arrived while established: a request the embedding
+    /// must answer by replaying its Adj-RIB-Out, or an RFC 7313 BoRR/EoRR
+    /// demarcation bracketing the peer's replay.
+    Refresh(RouteRefreshMessage),
 }
 
 /// Errors from local session operations (the send side; the receive side
@@ -89,6 +105,9 @@ pub enum SessionError {
     NotEstablished,
     /// The message failed to wire-encode (oversize or malformed).
     Encode(WireError),
+    /// A refresh was requested but the session did not negotiate the
+    /// route-refresh capability.
+    RefreshUnsupported,
 }
 
 impl std::fmt::Display for SessionError {
@@ -96,6 +115,9 @@ impl std::fmt::Display for SessionError {
         match self {
             SessionError::NotEstablished => write!(f, "session not established"),
             SessionError::Encode(e) => write!(f, "encode failed: {e}"),
+            SessionError::RefreshUnsupported => {
+                write!(f, "route-refresh capability not negotiated")
+            }
         }
     }
 }
@@ -115,6 +137,21 @@ pub enum DownReason {
     AdminStop,
     /// A protocol error (decode failure etc.).
     ProtocolError(String),
+}
+
+/// Snapshot of a session's RFC 7606 grading and ROUTE-REFRESH counters,
+/// surfaced per peer through the telemetry registry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Malformed UPDATEs downgraded to withdrawals (treat-as-withdraw).
+    pub updates_downgraded: u64,
+    /// Malformed non-critical attributes dropped (attribute-discard).
+    pub attrs_discarded: u64,
+    /// ROUTE-REFRESH requests this endpoint sent.
+    pub refreshes_sent: u64,
+    /// ROUTE-REFRESH requests received from the peer and surfaced for
+    /// answering.
+    pub refreshes_answered: u64,
 }
 
 /// One endpoint of a BGP session.
@@ -140,6 +177,14 @@ pub struct Session {
     /// Malformed non-critical attributes dropped (RFC 7606
     /// attribute-discard) over the session's lifetime.
     attrs_discarded: u64,
+    /// The capability intersection with the peer, fixed when its OPEN
+    /// arrives; `None` before negotiation.
+    negotiated: Option<Capabilities>,
+    /// ROUTE-REFRESH requests this endpoint sent.
+    refreshes_sent: u64,
+    /// ROUTE-REFRESH requests received from the peer (each one is
+    /// surfaced as [`SessionEvent::Refresh`] for the embedding to answer).
+    refreshes_answered: u64,
 }
 
 impl Session {
@@ -156,6 +201,9 @@ impl Session {
             inbuf: BytesMut::new(),
             updates_downgraded: 0,
             attrs_discarded: 0,
+            negotiated: None,
+            refreshes_sent: 0,
+            refreshes_answered: 0,
         }
     }
 
@@ -169,6 +217,32 @@ impl Session {
     /// the routes (RFC 7606 attribute-discard).
     pub fn attrs_discarded(&self) -> u64 {
         self.attrs_discarded
+    }
+
+    /// ROUTE-REFRESH requests this endpoint sent over its lifetime.
+    pub fn refreshes_sent(&self) -> u64 {
+        self.refreshes_sent
+    }
+
+    /// ROUTE-REFRESH requests received from the peer over its lifetime.
+    pub fn refreshes_answered(&self) -> u64 {
+        self.refreshes_answered
+    }
+
+    /// Snapshot of all four lifetime counters at once.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            updates_downgraded: self.updates_downgraded,
+            attrs_discarded: self.attrs_discarded,
+            refreshes_sent: self.refreshes_sent,
+            refreshes_answered: self.refreshes_answered,
+        }
+    }
+
+    /// The capabilities both ends share, fixed when the peer's OPEN
+    /// arrived. [`Capabilities::none`] before negotiation.
+    pub fn negotiated(&self) -> Capabilities {
+        self.negotiated.unwrap_or_else(Capabilities::none)
     }
 
     /// Current FSM state.
@@ -207,14 +281,12 @@ impl Session {
         if self.state != SessionState::Connect {
             return;
         }
-        let mut open = OpenMessage::new(
-            self.cfg.local_asn,
-            self.cfg.hold_time_secs,
-            self.cfg.local_router_id,
-        );
-        if self.cfg.advertise_addpath {
-            open.capabilities.push(crate::addpath::addpath_capability());
-        }
+        let open = OpenMessage {
+            asn: self.cfg.local_asn,
+            hold_time: self.cfg.hold_time_secs,
+            router_id: self.cfg.local_router_id,
+            capabilities: self.cfg.caps.to_tlvs(self.cfg.local_asn),
+        };
         self.enqueue(BgpMessage::Open(open));
         self.state = SessionState::OpenSent;
     }
@@ -244,6 +316,42 @@ impl Session {
         }
         let bytes = encode_message(&BgpMessage::Update(update)).map_err(SessionError::Encode)?;
         self.outbox.push_back(bytes);
+        Ok(())
+    }
+
+    /// Queues a ROUTE-REFRESH request asking the peer to replay its
+    /// Adj-RIB-Out — the RFC 7606 §2 remedy for treat-as-withdraw damage
+    /// that a session bounce would otherwise amplify. Errors unless the
+    /// session is established and negotiated the capability.
+    pub fn request_refresh(&mut self) -> Result<(), SessionError> {
+        if !self.is_established() {
+            return Err(SessionError::NotEstablished);
+        }
+        if !self.negotiated().route_refresh {
+            return Err(SessionError::RefreshUnsupported);
+        }
+        self.enqueue(BgpMessage::RouteRefresh(RouteRefreshMessage::request()));
+        self.refreshes_sent += 1;
+        Ok(())
+    }
+
+    /// Queues a BoRR or EoRR demarcation marker around an Adj-RIB-Out
+    /// replay (the answering side of a refresh). Markers are only sent
+    /// when the session negotiated enhanced refresh (RFC 7313); without it
+    /// the replay goes unbracketed, exactly as RFC 2918 specifies.
+    pub fn send_refresh_marker(&mut self, subtype: RefreshSubtype) -> Result<(), SessionError> {
+        if !self.is_established() {
+            return Err(SessionError::NotEstablished);
+        }
+        if !self.negotiated().enhanced_refresh {
+            return Err(SessionError::RefreshUnsupported);
+        }
+        let msg = match subtype {
+            RefreshSubtype::BoRR => RouteRefreshMessage::borr(),
+            RefreshSubtype::EoRR => RouteRefreshMessage::eorr(),
+            RefreshSubtype::Request => RouteRefreshMessage::request(),
+        };
+        self.enqueue(BgpMessage::RouteRefresh(msg));
         Ok(())
     }
 
@@ -332,6 +440,7 @@ impl Session {
         match (self.state, msg) {
             (SessionState::OpenSent, BgpMessage::Open(open)) => {
                 self.hold_ms = 1000 * u64::from(open.hold_time.min(self.cfg.hold_time_secs));
+                self.negotiated = Some(self.cfg.caps.negotiate(&open.capabilities));
                 self.peer_open = Some(open);
                 self.enqueue(BgpMessage::Keepalive);
                 self.arm_timers(now);
@@ -367,6 +476,13 @@ impl Session {
             (SessionState::Established, BgpMessage::Update(update)) => {
                 self.refresh_hold(now);
                 Some(SessionEvent::Update(update))
+            }
+            (SessionState::Established, BgpMessage::RouteRefresh(r)) => {
+                self.refresh_hold(now);
+                if r.subtype == RefreshSubtype::Request {
+                    self.refreshes_answered += 1;
+                }
+                Some(SessionEvent::Refresh(r))
             }
             (_, BgpMessage::Notification(n)) => {
                 self.reset();
@@ -424,6 +540,7 @@ impl Session {
     fn reset(&mut self) {
         self.state = SessionState::Idle;
         self.peer_open = None;
+        self.negotiated = None;
         self.hold_deadline = None;
         self.keepalive_deadline = None;
         self.inbuf.clear();
@@ -618,6 +735,92 @@ mod tests {
         establish_pair(&mut c, &mut d, 0);
         assert!(c.peer_supports_addpath(), "peer d advertised it");
         assert!(!d.peer_supports_addpath(), "peer c did not");
+    }
+
+    #[test]
+    fn refresh_request_round_trips_with_demarcation() {
+        let (mut a, mut b) = pair();
+        establish_pair(&mut a, &mut b, 0);
+        assert!(a.negotiated().route_refresh && a.negotiated().enhanced_refresh);
+
+        a.request_refresh().unwrap();
+        assert_eq!(a.refreshes_sent(), 1);
+        let mut got = Vec::new();
+        for bytes in a.take_outbox() {
+            got.extend(b.receive_bytes(&bytes, 1));
+        }
+        assert_eq!(
+            got,
+            vec![SessionEvent::Refresh(RouteRefreshMessage::request())]
+        );
+        assert_eq!(b.refreshes_answered(), 1);
+
+        // The responder brackets its replay with BoRR/EoRR.
+        b.send_refresh_marker(RefreshSubtype::BoRR).unwrap();
+        b.send_refresh_marker(RefreshSubtype::EoRR).unwrap();
+        let mut markers = Vec::new();
+        for bytes in b.take_outbox() {
+            markers.extend(a.receive_bytes(&bytes, 1));
+        }
+        assert_eq!(
+            markers,
+            vec![
+                SessionEvent::Refresh(RouteRefreshMessage::borr()),
+                SessionEvent::Refresh(RouteRefreshMessage::eorr()),
+            ]
+        );
+        // Markers are not counted as requests needing an answer.
+        assert_eq!(a.refreshes_answered(), 0);
+        assert!(a.is_established() && b.is_established());
+    }
+
+    #[test]
+    fn refresh_without_capability_is_a_typed_error() {
+        let mut a = Session::new(SessionConfig::new(Asn(32934), Ipv4Addr::new(10, 0, 0, 1)));
+        let mut b = Session::new(
+            SessionConfig::new(Asn(65001), Ipv4Addr::new(10, 0, 0, 2))
+                .with_capabilities(Capabilities::none()),
+        );
+        establish_pair(&mut a, &mut b, 0);
+        assert!(a.is_established());
+        assert!(!a.negotiated().route_refresh);
+        assert_eq!(a.request_refresh(), Err(SessionError::RefreshUnsupported));
+        assert_eq!(
+            a.send_refresh_marker(RefreshSubtype::BoRR),
+            Err(SessionError::RefreshUnsupported)
+        );
+        assert_eq!(a.refreshes_sent(), 0);
+    }
+
+    #[test]
+    fn refresh_before_established_is_not_established() {
+        let (mut a, _) = pair();
+        assert_eq!(a.request_refresh(), Err(SessionError::NotEstablished));
+    }
+
+    #[test]
+    fn refresh_in_open_sent_is_fsm_error() {
+        let (mut a, mut b) = pair();
+        a.start();
+        b.start();
+        a.transport_connected(0);
+        b.transport_connected(0);
+        let refresh =
+            encode_message(&BgpMessage::RouteRefresh(RouteRefreshMessage::request())).unwrap();
+        let evs = b.receive_bytes(&refresh, 0);
+        assert!(matches!(
+            evs.as_slice(),
+            [SessionEvent::Down(DownReason::ProtocolError(_))]
+        ));
+    }
+
+    #[test]
+    fn negotiation_clears_on_reset() {
+        let (mut a, mut b) = pair();
+        establish_pair(&mut a, &mut b, 0);
+        assert!(a.negotiated().route_refresh);
+        a.transport_closed();
+        assert_eq!(a.negotiated(), Capabilities::none());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Binary wire codec for BGP-4 messages (RFC 4271), with 4-octet ASNs
-//! (RFC 6793, assumed negotiated) and MP_REACH/MP_UNREACH (RFC 4760) for
-//! IPv6 NLRI.
+//! (RFC 6793, assumed negotiated), MP_REACH/MP_UNREACH (RFC 4760) for
+//! IPv6 NLRI, and ROUTE-REFRESH (RFC 2918) with the RFC 7313 BoRR/EoRR
+//! demarcation carried in the reserved octet.
 //!
 //! The codec is strict on encode (it refuses to build malformed or oversize
 //! messages) and defensive on decode (every length is validated before use,
@@ -15,7 +16,10 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ef_net_types::{Asn, Community, Prefix};
 
 use crate::attrs::{AsPath, AsPathSegment, Origin, PathAttributes, UnknownAttribute};
-use crate::message::{BgpMessage, NotificationMessage, OpenMessage, UpdateMessage, BGP_VERSION};
+use crate::message::{
+    BgpMessage, NotificationMessage, OpenMessage, RefreshSubtype, RouteRefreshMessage,
+    UpdateMessage, BGP_VERSION,
+};
 
 /// Fixed header length (marker + length + type).
 pub const HEADER_LEN: usize = 19;
@@ -150,6 +154,7 @@ pub fn encode_message(msg: &BgpMessage) -> Result<Bytes, WireError> {
         BgpMessage::Update(update) => encode_update(update)?,
         BgpMessage::Notification(n) => encode_notification(n),
         BgpMessage::Keepalive => BytesMut::new(),
+        BgpMessage::RouteRefresh(r) => encode_route_refresh(r),
     };
     let total = HEADER_LEN + body.len();
     if total > MAX_MESSAGE_LEN {
@@ -190,6 +195,16 @@ fn encode_open(open: &OpenMessage) -> BytesMut {
         body.put_u8(caps.len() as u8);
         body.extend_from_slice(&caps);
     }
+    body
+}
+
+/// ROUTE-REFRESH body (RFC 2918 §3): AFI, the RFC 7313 demarcation octet
+/// (reserved in RFC 2918, always 0 for a plain request), then SAFI.
+fn encode_route_refresh(r: &RouteRefreshMessage) -> BytesMut {
+    let mut body = BytesMut::with_capacity(4);
+    body.put_u16(r.afi);
+    body.put_u8(r.subtype.wire_value());
+    body.put_u8(r.safi);
     body
 }
 
@@ -407,8 +422,29 @@ pub fn decode_message(buf: &mut Bytes) -> Result<BgpMessage, WireError> {
                 Err(WireError::BadLength((HEADER_LEN + body.len()) as u16))
             }
         }
+        5 => decode_route_refresh(&mut body),
         t => Err(WireError::BadType(t)),
     }
+}
+
+/// Decodes a ROUTE-REFRESH body. RFC 7313 §5 keeps the RFC 4271 error
+/// model for this message type: a body that is not exactly 4 octets, or a
+/// demarcation octet this implementation does not emit, is a
+/// NOTIFICATION-grade error (there is no treat-as-withdraw for refreshes).
+fn decode_route_refresh(body: &mut Bytes) -> Result<BgpMessage, WireError> {
+    if body.len() != 4 {
+        return Err(WireError::BadLength((HEADER_LEN + body.len()) as u16));
+    }
+    let afi = body.get_u16();
+    let demarcation = body.get_u8();
+    let safi = body.get_u8();
+    let subtype = RefreshSubtype::from_wire(demarcation)
+        .ok_or(WireError::BadAttribute("refresh demarcation octet"))?;
+    Ok(BgpMessage::RouteRefresh(RouteRefreshMessage {
+        afi,
+        safi,
+        subtype,
+    }))
 }
 
 /// Attempts to decode one message from the front of `buf` with RFC 7606
@@ -471,6 +507,16 @@ pub fn decode_message_graded(buf: &mut Bytes) -> Result<Option<Decoded>, DecodeE
                 )))
             }
         }
+        // A malformed ROUTE-REFRESH stays session-reset grade: it carries
+        // no NLRI to salvage, and RFC 7313 §5 keeps RFC 4271 handling.
+        5 => decode_route_refresh(&mut body)
+            .map(|msg| {
+                Some(Decoded {
+                    msg,
+                    discarded_attrs: 0,
+                })
+            })
+            .map_err(DecodeError::reset),
         t => Err(DecodeError::reset(WireError::BadType(t))),
     }
 }
@@ -1158,6 +1204,61 @@ mod tests {
     }
 
     #[test]
+    fn route_refresh_round_trips_all_subtypes() {
+        for msg in [
+            RouteRefreshMessage::request(),
+            RouteRefreshMessage::borr(),
+            RouteRefreshMessage::eorr(),
+            RouteRefreshMessage {
+                afi: 2,
+                safi: 1,
+                subtype: RefreshSubtype::Request,
+            },
+        ] {
+            assert_eq!(
+                round_trip(BgpMessage::RouteRefresh(msg)),
+                BgpMessage::RouteRefresh(msg)
+            );
+        }
+    }
+
+    #[test]
+    fn route_refresh_frame_layout_matches_rfc2918() {
+        let bytes =
+            encode_message(&BgpMessage::RouteRefresh(RouteRefreshMessage::borr())).expect("encode");
+        assert_eq!(bytes.len(), HEADER_LEN + 4);
+        assert_eq!(bytes[18], 5, "type code");
+        assert_eq!(&bytes[19..], &[0, 1, 1, 1], "AFI=1, BoRR=1, SAFI=1");
+    }
+
+    #[test]
+    fn route_refresh_bad_length_is_session_reset() {
+        for body in [&[][..], &[0, 1, 0][..], &[0, 1, 0, 1, 9][..]] {
+            let mut buf = frame(5, body);
+            let err = decode_message_graded(&mut buf).expect_err("wrong-size refresh");
+            assert_eq!(err.disposition, Disposition::SessionReset);
+            assert!(matches!(err.error, WireError::BadLength(_)));
+        }
+    }
+
+    #[test]
+    fn route_refresh_unknown_demarcation_is_session_reset() {
+        let mut buf = frame(5, &[0, 1, 7, 1]);
+        let err = decode_message_graded(&mut buf).expect_err("demarcation 7");
+        assert_eq!(err.disposition, Disposition::SessionReset);
+        assert_eq!(
+            err.error,
+            WireError::BadAttribute("refresh demarcation octet")
+        );
+        // Strict decode agrees.
+        let mut buf = frame(5, &[0, 1, 7, 1]);
+        assert_eq!(
+            decode_message(&mut buf),
+            Err(WireError::BadAttribute("refresh demarcation octet"))
+        );
+    }
+
+    #[test]
     fn bad_marker_is_rejected() {
         let mut bytes = encode_message(&BgpMessage::Keepalive).unwrap().to_vec();
         bytes[0] = 0;
@@ -1282,7 +1383,7 @@ mod tests {
         #[test]
         fn prop_decoder_never_panics_on_fuzzed_body(
             body in proptest::collection::vec(any::<u8>(), 0..256),
-            ty in 1u8..=4,
+            ty in 1u8..=5,
         ) {
             let total = HEADER_LEN + body.len();
             let mut msg = BytesMut::new();

@@ -75,6 +75,9 @@ proptest! {
                                 SessionEvent::Update(_) => {
                                     prop_assert!(a_up, "update only while up");
                                 }
+                                SessionEvent::Refresh(_) => {
+                                    prop_assert!(a_up, "refresh only while up");
+                                }
                             }
                         }
                     }
@@ -120,7 +123,7 @@ proptest! {
                                     a_up = true;
                                 }
                                 SessionEvent::Down(_) => a_up = false,
-                                SessionEvent::Update(_) => {}
+                                SessionEvent::Update(_) | SessionEvent::Refresh(_) => {}
                             }
                         }
                     }

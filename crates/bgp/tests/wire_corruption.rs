@@ -10,7 +10,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use ef_bgp::attrs::{AsPath, Origin, PathAttributes};
-use ef_bgp::message::{BgpMessage, NotificationMessage, OpenMessage, UpdateMessage};
+use ef_bgp::message::{
+    BgpMessage, NotificationMessage, OpenMessage, RouteRefreshMessage, UpdateMessage,
+};
 use ef_bgp::wire::{decode_message, decode_message_graded, encode_message, Disposition};
 use ef_net_types::{Asn, Community, Prefix};
 
@@ -69,6 +71,9 @@ fn seed_messages() -> Vec<BgpMessage> {
             prefix("10.0.0.0/8"),
             prefix("2001:db8:2::/48"),
         ])),
+        BgpMessage::RouteRefresh(RouteRefreshMessage::request()),
+        BgpMessage::RouteRefresh(RouteRefreshMessage::borr()),
+        BgpMessage::RouteRefresh(RouteRefreshMessage::eorr()),
     ]
 }
 

@@ -23,7 +23,6 @@
 use std::fmt::Write as _;
 
 use ef_net_types::Prefix;
-use ef_sim::{SimConfig, SimEngine};
 use ef_telemetry::{ExplainRecord, TelemetryHandle, TelemetryRecord};
 use ef_topology::stats::{pop_summaries, route_diversity};
 use ef_topology::{generate, GenConfig};
@@ -468,14 +467,12 @@ fn traced_run(
     epoch_secs: u64,
 ) -> Result<Vec<TelemetryRecord>, String> {
     let (handle, sink) = TelemetryHandle::memory();
-    let cfg = SimConfig {
-        gen: gen_config(common),
-        duration_secs: (hours * 3600.0) as u64,
-        epoch_secs,
-        telemetry: handle,
-        ..Default::default()
-    };
-    let mut engine = SimEngine::new(cfg);
+    let mut engine = ef_sim::scenario()
+        .topology(gen_config(common))
+        .duration_secs((hours * 3600.0) as u64)
+        .epoch_secs(epoch_secs)
+        .telemetry(handle)
+        .engine();
     engine.run();
     let mut records = sink.records();
     records.sort_by_key(record_key);
@@ -580,21 +577,21 @@ fn execute_inner(cmd: Command) -> Result<Output, String> {
             }
         }
         Command::Run(args) => {
-            let mut cfg = SimConfig {
-                gen: gen_config(&args.common),
-                duration_secs: (args.hours * 3600.0) as u64,
-                epoch_secs: args.epoch_secs,
-                controller_enabled: !args.baseline,
-                ..Default::default()
-            };
-            cfg.controller.withdraw_hysteresis = args.hysteresis;
-            if args.split {
-                cfg.controller.split_depth = 1;
-            }
+            let mut builder = ef_sim::scenario()
+                .topology(gen_config(&args.common))
+                .duration_secs((args.hours * 3600.0) as u64)
+                .epoch_secs(args.epoch_secs)
+                .controller_enabled(!args.baseline)
+                .tune_controller(|c| {
+                    c.withdraw_hysteresis = args.hysteresis;
+                    if args.split {
+                        c.split_depth = 1;
+                    }
+                });
             if args.global {
-                cfg.global_shift = Some(ef_sim::GlobalShifterConfig::default());
+                builder = builder.global_shift(ef_sim::GlobalShifterConfig::default());
             }
-            let mut engine = SimEngine::new(cfg);
+            let mut engine = builder.engine();
             engine.run();
             let metrics = engine.take_metrics();
             let report = ef_sim::RunReport::from_metrics(&metrics);
@@ -636,13 +633,12 @@ fn execute_inner(cmd: Command) -> Result<Output, String> {
             }
         }
         Command::Chaos(args) => {
-            let mut cfg = SimConfig {
-                gen: gen_config(&args.common),
-                duration_secs: (args.hours * 3600.0) as u64,
-                epoch_secs: args.epoch_secs,
-                controller_enabled: !args.baseline,
-                ..Default::default()
-            };
+            let cfg = ef_sim::scenario()
+                .topology(gen_config(&args.common))
+                .duration_secs((args.hours * 3600.0) as u64)
+                .epoch_secs(args.epoch_secs)
+                .controller_enabled(!args.baseline)
+                .build();
             let deployment = generate(&cfg.gen);
             let schedule = match &args.schedule {
                 Some(path) => {
@@ -710,8 +706,9 @@ fn execute_inner(cmd: Command) -> Result<Output, String> {
             }
 
             let n_faults = schedule.len();
-            cfg.chaos = Some(schedule);
-            let mut engine = SimEngine::with_deployment(cfg, deployment);
+            let mut engine = ef_sim::ScenarioBuilder::from_config(cfg)
+                .chaos(schedule)
+                .engine_with(deployment);
             engine.run();
             let metrics = engine.take_metrics();
 
@@ -1191,13 +1188,27 @@ mod tests {
         let out = execute(Command::Trace(args.clone())).unwrap();
         assert!(!out.stdout.is_empty());
         let mut saw_epoch = false;
+        let mut saw_peer_session_gauge = false;
         for line in out.stdout.lines() {
             let rec: TelemetryRecord = serde_json::from_str(line).unwrap();
             if rec.as_event().is_some_and(|e| e.name == "epoch") {
                 saw_epoch = true;
             }
+            if let TelemetryRecord::Metrics { snapshot, .. } = &rec {
+                if snapshot
+                    .gauges
+                    .keys()
+                    .any(|k| k.starts_with("session.peer.") && k.ends_with(".refreshes_sent"))
+                {
+                    saw_peer_session_gauge = true;
+                }
+            }
         }
         assert!(saw_epoch, "trace must contain per-epoch events");
+        assert!(
+            saw_peer_session_gauge,
+            "trace must surface per-peer session counters"
+        );
         assert!(out.stderr.contains("telemetry records"));
 
         // --limit caps the stream.

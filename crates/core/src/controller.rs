@@ -744,6 +744,20 @@ impl PopController {
         self.injector_governor.record_up(now);
     }
 
+    /// Resynchronises the router with the injector's announced set via
+    /// ROUTE-REFRESH on the live session — the recovery used when the
+    /// *content* of the injector feed was damaged (partial loss, update
+    /// corruption) but the session itself held. Returns `false` if the
+    /// session is down or refresh was not negotiated; those cases are
+    /// handled by the reattach and audit/reconcile paths instead.
+    pub fn resync_injector(&mut self, router: &mut BgpRouter, now: Millis) -> bool {
+        let ok = self.injector.resync_via_refresh(router, now);
+        if ok {
+            self.telemetry.counter("injector.refresh_resyncs", 1);
+        }
+        ok
+    }
+
     /// Cumulative injection accounting: sends, drops, session refusals,
     /// and reconciliation repairs.
     pub fn injection_ledger(&self) -> &InjectionLedger {

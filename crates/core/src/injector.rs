@@ -381,6 +381,25 @@ impl Injector {
         let empty = OverrideSet::new();
         self.apply(router, &empty, now);
     }
+
+    /// Resynchronises the router with the injector's view via a
+    /// ROUTE-REFRESH request on the live session (RFC 2918): the stub
+    /// replays exactly what it actually sent (loss-gate drops never made it
+    /// into that set), and with enhanced refresh (RFC 7313) the EoRR sweep
+    /// clears any stale route the router holds that the injector no longer
+    /// stands behind. No session bounce, no override withdrawal window.
+    /// Returns `false` if the session is down or refresh was not
+    /// negotiated — callers fall back to the reattach/reconcile paths.
+    pub fn resync_via_refresh(&mut self, router: &mut BgpRouter, now: Millis) -> bool {
+        if !self.session_up() {
+            return false;
+        }
+        if router.request_refresh(self.stub.peer).is_err() {
+            return false;
+        }
+        self.stub.pump(router, now);
+        true
+    }
 }
 
 #[cfg(test)]

@@ -177,18 +177,28 @@ impl SimEngine {
     pub fn all_sessions_up(&self) -> bool {
         self.pops.iter().all(|p| p.all_sessions_up())
     }
+
+    /// Established peer sessions torn down across every PoP (fault
+    /// shutdowns and bounces). Pure update-corruption runs must keep this
+    /// at zero: the ROUTE-REFRESH path heals them without a reset.
+    pub fn session_resets(&self) -> u64 {
+        self.pops.iter().map(|p| p.session_resets()).sum()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    use crate::scenario::scenario;
+
     fn small_engine(enabled: bool) -> SimEngine {
-        let mut cfg = SimConfig::test_small(5);
-        cfg.controller_enabled = enabled;
-        cfg.duration_secs = 10 * 60;
-        cfg.epoch_secs = 60;
-        SimEngine::new(cfg)
+        scenario()
+            .small_topology(5)
+            .controller_enabled(enabled)
+            .duration_secs(10 * 60)
+            .epoch_secs(60)
+            .engine()
     }
 
     #[test]
@@ -243,10 +253,12 @@ mod tests {
 
     #[test]
     fn shared_deployment_gives_identical_worlds() {
-        let cfg = SimConfig::test_small(9);
+        let cfg = scenario().small_topology(9).build();
         let dep = generate(&cfg.gen);
-        let a = SimEngine::with_deployment(cfg.clone(), dep.clone());
-        let b = SimEngine::with_deployment(cfg.baseline(), dep);
+        let a = crate::scenario::ScenarioBuilder::from_config(cfg.clone()).engine_with(dep.clone());
+        let b = crate::scenario::ScenarioBuilder::from_config(cfg)
+            .baseline()
+            .engine_with(dep);
         assert_eq!(a.deployment, b.deployment);
     }
 
@@ -256,10 +268,11 @@ mod tests {
         kind: ef_chaos::FaultKind,
         target: ef_chaos::FaultTarget,
     ) -> (SimEngine, SimEngine) {
-        let mut cfg = SimConfig::test_small(5);
-        cfg.duration_secs = 30 * 60;
-        cfg.epoch_secs = 60;
-        let dep = generate(&cfg.gen);
+        let base = scenario()
+            .small_topology(5)
+            .duration_secs(30 * 60)
+            .epoch_secs(60);
+        let dep = generate(&base.clone().build().gen);
         let schedule = ef_chaos::FaultSchedule::new(vec![ef_chaos::FaultEvent {
             t_start_secs: 300,
             duration_secs: 300,
@@ -267,18 +280,15 @@ mod tests {
             kind,
         }])
         .expect("valid schedule");
-        let mut faulted_cfg = cfg.clone();
-        faulted_cfg.chaos = Some(schedule);
-        let faulted = SimEngine::with_deployment(faulted_cfg, dep.clone());
-        let reference = SimEngine::with_deployment(cfg, dep);
+        let faulted = base.clone().chaos(schedule).engine_with(dep.clone());
+        let reference = base.engine_with(dep);
         (faulted, reference)
     }
 
     #[test]
     fn update_corruption_never_resets_the_session_and_recovers() {
         let peer = {
-            let cfg = SimConfig::test_small(5);
-            let dep = generate(&cfg.gen);
+            let dep = generate(&scenario().small_topology(5).build().gen);
             dep.pops[0].peers[0].peer.0
         };
         let (mut faulted, mut reference) = faulted_pair(
@@ -288,9 +298,14 @@ mod tests {
         faulted.run();
         reference.run();
         // RFC 7606: corruption downgrades to treat-as-withdraw, the
-        // session itself never resets, and after the window the replayed
-        // announcements restore the exact routing state.
+        // session itself never resets, and after the window a governed
+        // ROUTE-REFRESH replay restores the exact routing state.
         assert!(faulted.all_sessions_up());
+        assert_eq!(
+            faulted.session_resets(),
+            0,
+            "refresh recovery must not bounce any session"
+        );
         for (f, r) in faulted.pops.iter().zip(&reference.pops) {
             assert_eq!(f.router.fib_len(), r.router.fib_len());
         }
@@ -299,8 +314,7 @@ mod tests {
     #[test]
     fn session_flap_storm_holds_the_session_down_then_recovers_governed() {
         let peer = {
-            let cfg = SimConfig::test_small(5);
-            let dep = generate(&cfg.gen);
+            let dep = generate(&scenario().small_topology(5).build().gen);
             dep.pops[0].peers[0].peer.0
         };
         let (mut faulted, mut reference) = faulted_pair(

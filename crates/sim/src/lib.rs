@@ -34,4 +34,4 @@ pub use engine::SimEngine;
 pub use global::{GlobalShifter, GlobalShifterConfig};
 pub use metrics::{DetourEpisode, InterfaceStats, MetricsStore, PopEpochRecord};
 pub use report::{PopReport, RunReport};
-pub use scenario::{PerfSimConfig, SimConfig};
+pub use scenario::{scenario, PerfSimConfig, ScenarioBuilder, SimConfig};

@@ -159,14 +159,15 @@ impl RunReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{SimConfig, SimEngine};
+    use crate::scenario::scenario;
 
     #[test]
     fn report_summarizes_a_real_run() {
-        let mut cfg = SimConfig::test_small(29);
-        cfg.duration_secs = 3600;
-        cfg.epoch_secs = 300;
-        let mut engine = SimEngine::new(cfg);
+        let mut engine = scenario()
+            .small_topology(29)
+            .duration_secs(3600)
+            .epoch_secs(300)
+            .engine();
         engine.run();
         let metrics = engine.take_metrics();
         let report = RunReport::from_metrics(&metrics);
@@ -195,10 +196,11 @@ mod tests {
 
     #[test]
     fn report_serde_round_trip() {
-        let mut cfg = SimConfig::test_small(31);
-        cfg.duration_secs = 600;
-        cfg.epoch_secs = 300;
-        let mut engine = SimEngine::new(cfg);
+        let mut engine = scenario()
+            .small_topology(31)
+            .duration_secs(600)
+            .epoch_secs(300)
+            .engine();
         engine.run();
         let report = RunReport::from_metrics(&engine.take_metrics());
         let json = serde_json::to_string(&report).unwrap();

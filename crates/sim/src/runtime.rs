@@ -169,6 +169,17 @@ pub struct PopRuntime {
     peer_governors: HashMap<PeerId, ReconnectGovernor>,
     /// Peers whose session is down and awaiting a governed reconnect.
     peers_wanting_up: BTreeSet<PeerId>,
+    /// Per-peer refresh governors: the same backoff/damping policy applied
+    /// to ROUTE-REFRESH requests, so a corruption storm cannot become a
+    /// refresh storm.
+    refresh_governors: HashMap<PeerId, ReconnectGovernor>,
+    /// Peers whose Adj-RIB-In took treat-as-withdraw damage and await a
+    /// governed ROUTE-REFRESH (the RFC 7606 recovery, no session bounce).
+    peers_wanting_refresh: BTreeSet<PeerId>,
+    /// Peer sessions torn down (fault shutdowns and bounces) over the run.
+    /// The refresh recovery path must keep this at zero for pure
+    /// update-corruption faults.
+    session_resets: u64,
     /// Seed for per-peer governors and the injection loss gate,
     /// deterministic in `(demand_seed, pop)`.
     chaos_seed: u64,
@@ -379,6 +390,9 @@ impl PopRuntime {
             local_asn: deployment.local_asn,
             peer_governors: HashMap::new(),
             peers_wanting_up: BTreeSet::new(),
+            refresh_governors: HashMap::new(),
+            peers_wanting_refresh: BTreeSet::new(),
+            session_resets: 0,
             chaos_seed: cfg.demand_seed ^ ((pop_id.0 as u64) << 23) ^ 0x0000_BADF_A017,
             corruption_rng: StdRng::seed_from_u64(
                 cfg.demand_seed ^ ((pop_id.0 as u64) << 23) ^ 0xC099_B17E,
@@ -473,6 +487,10 @@ impl PopRuntime {
             (FaultKind::PeerFailure, FaultTarget::Peer { peer, .. }) => {
                 let peer = PeerId(*peer);
                 if let Some(stub) = self.stubs.get_mut(&peer) {
+                    if stub.is_established() {
+                        self.session_resets += 1;
+                        self.telemetry.counter("session.resets", 1);
+                    }
                     stub.shutdown(&mut self.router, now_ms);
                 }
                 self.governor(peer).record_down(now_ms);
@@ -531,10 +549,15 @@ impl PopRuntime {
             (FaultKind::PeerFailure, FaultTarget::Peer { .. }) => {}
             // RFC 7606 recovery: treat-as-withdraw removed routes without
             // dropping the session, so once the corruption clears the peer
-            // is bounced (our stand-in for a route refresh) and its
-            // original announcements replayed.
+            // is asked for a ROUTE-REFRESH replay (RFC 2918) — no bounce.
+            // The governed refresh pass in `run_fault_mechanics` issues it.
+            // The injector's view may also have diverged while the inputs
+            // were damaged; it resyncs via refresh as well.
             (FaultKind::UpdateCorruption { .. }, FaultTarget::Peer { peer, .. }) => {
-                self.revive_peer(PeerId(*peer), now_ms);
+                self.peers_wanting_refresh.insert(PeerId(*peer));
+                if let Some(ctl) = self.controller.as_mut() {
+                    ctl.resync_injector(&mut self.router, now_ms);
+                }
             }
             (FaultKind::LinkCapacityLoss { .. }, FaultTarget::Interface { egress, .. }) => {
                 let id = EgressId(*egress);
@@ -590,6 +613,10 @@ impl PopRuntime {
             (FaultKind::InjectorPartialLoss { .. }, _) => {
                 if let Some(ctl) = self.controller.as_mut() {
                     ctl.set_injection_loss(0.0, 0);
+                    // Refresh-based resync: the router re-learns exactly
+                    // what the injector believes is announced, and the
+                    // EoRR sweep clears anything it should not hold.
+                    ctl.resync_injector(&mut self.router, now_ms);
                 }
             }
             _ => {}
@@ -605,6 +632,16 @@ impl PopRuntime {
             .or_insert_with(|| ReconnectGovernor::with_seed(seed))
     }
 
+    /// Lazily created per-peer refresh governor. Deliberately a separate
+    /// instance (and RNG stream) from the reconnect governor: rate-limiting
+    /// ROUTE-REFRESH requests must not perturb reconnect backoff draws.
+    fn refresh_governor(&mut self, peer: PeerId) -> &mut ReconnectGovernor {
+        let seed = self.chaos_seed ^ peer.0 ^ 0xEF2E_511D;
+        self.refresh_governors
+            .entry(peer)
+            .or_insert_with(|| ReconnectGovernor::with_seed(seed))
+    }
+
     /// Tears down and re-establishes one peer session, replaying its
     /// original announcements — the recovery path for failed, flapped, and
     /// corruption-bounced peers.
@@ -612,6 +649,15 @@ impl PopRuntime {
         let Some(conn) = self.pop.peers.iter().find(|c| c.peer == peer).cloned() else {
             return;
         };
+        // Bouncing a live session is a reset; reviving an already-down
+        // peer is not (its teardown was counted when it went down).
+        if self.stubs.get(&peer).is_some_and(|s| s.is_established()) {
+            self.session_resets += 1;
+            self.telemetry.counter("session.resets", 1);
+        }
+        // A fresh session replays the full table, superseding any pending
+        // refresh for this peer.
+        self.peers_wanting_refresh.remove(&peer);
         self.router.remove_peer(conn.peer, now_ms);
         self.router.add_peer(PeerAttachment {
             peer: conn.peer,
@@ -651,6 +697,8 @@ impl PopRuntime {
             let peer = *peer;
             if let Some(stub) = self.stubs.get_mut(&peer) {
                 if stub.is_established() {
+                    self.session_resets += 1;
+                    self.telemetry.counter("session.resets", 1);
                     stub.shutdown(&mut self.router, now_ms);
                 }
             }
@@ -713,9 +761,68 @@ impl PopRuntime {
                 raw[at] ^= self.corruption_rng.gen_range(1u8..=0xFF);
                 frames.push(raw);
             }
+            let damaged = !frames.is_empty();
             for raw in frames {
                 self.router.deliver(*peer, &raw, now_ms);
                 self.telemetry.counter("chaos.corrupt_frames", 1);
+            }
+            if damaged {
+                // The router detected treat-as-withdraw downgrades on this
+                // session; queue a governed ROUTE-REFRESH instead of a bounce.
+                self.peers_wanting_refresh.insert(*peer);
+            }
+        }
+
+        // Governed ROUTE-REFRESH recovery (RFC 2918 / RFC 7313): a peer
+        // whose Adj-RIB-In took treat-as-withdraw damage asks for a table
+        // replay on the *live* session instead of resetting it. The refresh
+        // governor applies the same backoff/damping policy as reconnects, so
+        // a corruption storm cannot become a refresh storm.
+        let pending: Vec<PeerId> = self
+            .peers_wanting_refresh
+            .iter()
+            .filter(|p| !tick.held_down.contains(p))
+            .copied()
+            .collect();
+        for peer in pending {
+            if !self.stubs.get(&peer).is_some_and(|s| s.is_established()) {
+                // A down session replays the full table on reconnect;
+                // nothing left to refresh.
+                self.peers_wanting_refresh.remove(&peer);
+                continue;
+            }
+            if !self.refresh_governor(peer).can_reconnect(now_ms) {
+                continue;
+            }
+            self.refresh_governor(peer).record_down(now_ms);
+            // While a corruption window is still open, the refresh reply
+            // itself crosses the damaged channel and may be lost.
+            let lost = tick
+                .corrupt
+                .iter()
+                .find(|(p, _)| *p == peer)
+                .map(|(_, rate)| self.corruption_rng.gen::<f64>() < *rate)
+                .unwrap_or(false);
+            if lost {
+                self.telemetry.counter("chaos.refresh_lost", 1);
+                continue; // stays pending; the governor paces the retry
+            }
+            match self.router.request_refresh(peer) {
+                Ok(()) => {
+                    if let Some(stub) = self.stubs.get_mut(&peer) {
+                        stub.pump(&mut self.router, now_ms);
+                    }
+                    self.refresh_governor(peer).record_up(now_ms);
+                    self.peers_wanting_refresh.remove(&peer);
+                    self.telemetry.counter("session.refreshes", 1);
+                }
+                Err(_) => {
+                    // The peer never negotiated the capability (or is
+                    // gone): fall back to the governed bounce path.
+                    self.peers_wanting_refresh.remove(&peer);
+                    self.governor(peer).record_down(now_ms);
+                    self.peers_wanting_up.insert(peer);
+                }
             }
         }
 
@@ -741,6 +848,31 @@ impl PopRuntime {
         // --- 0. Fault windows ----------------------------------------------
         let tick = self.apply_fault_transitions(t_secs);
         self.run_fault_mechanics(&tick, t_secs * 1000);
+        // Per-peer RFC 7606 / refresh counters surface as gauges: the
+        // current session's lifetime totals (they restart with the session).
+        if self.telemetry.enabled() {
+            for peer in self.router.peer_ids() {
+                if let Some(stats) = self.router.session_stats(peer) {
+                    let base = format!("session.peer.{}", peer.0);
+                    self.telemetry.gauge(
+                        &format!("{base}.updates_downgraded"),
+                        stats.updates_downgraded as f64,
+                    );
+                    self.telemetry.gauge(
+                        &format!("{base}.attrs_discarded"),
+                        stats.attrs_discarded as f64,
+                    );
+                    self.telemetry.gauge(
+                        &format!("{base}.refreshes_sent"),
+                        stats.refreshes_sent as f64,
+                    );
+                    self.telemetry.gauge(
+                        &format!("{base}.refreshes_answered"),
+                        stats.refreshes_answered as f64,
+                    );
+                }
+            }
+        }
         let TickFaults {
             labels: fault_labels,
             demand_multiplier,
@@ -1093,6 +1225,13 @@ impl PopRuntime {
     /// Whether any stub session dropped (sanity check for long runs).
     pub fn all_sessions_up(&self) -> bool {
         self.stubs.values().all(|s| s.is_established())
+    }
+
+    /// Established peer sessions torn down over the run (fault shutdowns
+    /// and bounces). The ROUTE-REFRESH recovery path keeps this at zero
+    /// for pure update-corruption faults.
+    pub fn session_resets(&self) -> u64 {
+        self.session_resets
     }
 
     /// Closes open detour episodes at simulation end.

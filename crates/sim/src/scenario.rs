@@ -101,13 +101,15 @@ fn default_incremental() -> bool {
 
 impl SimConfig {
     /// A fast scenario for unit tests: tiny deployment, two hours.
+    ///
+    /// Thin shim over the fluent API — equivalent to
+    /// `scenario().small_topology(seed).duration_secs(2 * 3600).epoch_secs(60).build()`.
     pub fn test_small(seed: u64) -> Self {
-        SimConfig {
-            gen: GenConfig::small(seed),
-            duration_secs: 2 * 3600,
-            epoch_secs: 60,
-            ..Default::default()
-        }
+        scenario()
+            .small_topology(seed)
+            .duration_secs(2 * 3600)
+            .epoch_secs(60)
+            .build()
     }
 
     /// The same scenario with the controller switched off (baseline arm).
@@ -119,6 +121,177 @@ impl SimConfig {
     /// Number of epochs the scenario runs.
     pub fn epochs(&self) -> u64 {
         self.duration_secs / self.epoch_secs
+    }
+}
+
+/// Starts a fluent scenario description — the one construction idiom for
+/// simulations:
+///
+/// ```
+/// use ef_sim::scenario;
+///
+/// let mut engine = scenario()
+///     .small_topology(7)
+///     .duration_secs(10 * 60)
+///     .epoch_secs(60)
+///     .engine();
+/// engine.run();
+/// ```
+///
+/// Every knob has a sensible default (the paper-scale sunny-day run);
+/// builders flip only what the experiment varies. `build()` yields the
+/// serializable [`SimConfig`]; `engine()` / `engine_with()` go straight to
+/// a ready [`crate::engine::SimEngine`].
+pub fn scenario() -> ScenarioBuilder {
+    ScenarioBuilder {
+        cfg: SimConfig::default(),
+    }
+}
+
+/// Fluent builder for [`SimConfig`] / [`crate::engine::SimEngine`]. Create
+/// one with [`scenario()`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    cfg: SimConfig,
+}
+
+impl ScenarioBuilder {
+    /// Continues building from an existing config — the idiom for deriving
+    /// experiment arms from a shared base scenario.
+    pub fn from_config(cfg: SimConfig) -> Self {
+        ScenarioBuilder { cfg }
+    }
+
+    /// Seeds the whole world: topology generation and the demand model's
+    /// noise together. Use [`Self::demand_seed`] / [`Self::topology`] to
+    /// vary them independently.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.gen.seed = seed;
+        self.cfg.demand_seed = seed;
+        self
+    }
+
+    /// Seeds only the demand model's noise.
+    pub fn demand_seed(mut self, seed: u64) -> Self {
+        self.cfg.demand_seed = seed;
+        self
+    }
+
+    /// Full custom topology-generator parameters.
+    pub fn topology(mut self, gen: GenConfig) -> Self {
+        self.cfg.gen = gen;
+        self
+    }
+
+    /// The tiny 4-PoP test topology with the given seed.
+    pub fn small_topology(mut self, seed: u64) -> Self {
+        self.cfg.gen = GenConfig::small(seed);
+        self
+    }
+
+    /// Simulated duration, seconds.
+    pub fn duration_secs(mut self, secs: u64) -> Self {
+        self.cfg.duration_secs = secs;
+        self
+    }
+
+    /// Simulated duration, hours.
+    pub fn hours(mut self, hours: u64) -> Self {
+        self.cfg.duration_secs = hours * 3600;
+        self
+    }
+
+    /// Controller epoch / metric sampling period, seconds.
+    pub fn epoch_secs(mut self, secs: u64) -> Self {
+        self.cfg.epoch_secs = secs;
+        self
+    }
+
+    /// Switches the controller off (baseline BGP arm).
+    pub fn baseline(mut self) -> Self {
+        self.cfg.controller_enabled = false;
+        self
+    }
+
+    /// Explicitly sets whether the controller runs.
+    pub fn controller_enabled(mut self, enabled: bool) -> Self {
+        self.cfg.controller_enabled = enabled;
+        self
+    }
+
+    /// Tunes controller knobs in place, keeping the rest at their defaults.
+    pub fn tune_controller(mut self, f: impl FnOnce(&mut ControllerConfig)) -> Self {
+        f(&mut self.cfg.controller);
+        self
+    }
+
+    /// Feeds the controller production-like 1-in-N sampled rate estimates.
+    pub fn sample_rate(mut self, rate: u32) -> Self {
+        self.cfg.sampled_rates = true;
+        self.cfg.sample_rate = rate;
+        self
+    }
+
+    /// Feeds the controller exact demand (isolates allocator behaviour).
+    pub fn exact_rates(mut self) -> Self {
+        self.cfg.sampled_rates = false;
+        self
+    }
+
+    /// Enables the alternate-path performance-measurement arm.
+    pub fn perf(mut self, perf: PerfSimConfig) -> Self {
+        self.cfg.perf = Some(perf);
+        self
+    }
+
+    /// Enables global (cross-PoP) demand shifting.
+    pub fn global_shift(mut self, shift: GlobalShifterConfig) -> Self {
+        self.cfg.global_shift = Some(shift);
+        self
+    }
+
+    /// Installs a fault schedule for the run.
+    pub fn chaos(mut self, schedule: FaultSchedule) -> Self {
+        self.cfg.chaos = Some(schedule);
+        self
+    }
+
+    /// Installs a fault schedule when one is given — keeps call sites that
+    /// derive faulted/sunny arm pairs from an `Option` fluent.
+    pub fn maybe_chaos(mut self, schedule: Option<FaultSchedule>) -> Self {
+        self.cfg.chaos = schedule;
+        self
+    }
+
+    /// Flips the incremental hot paths (projection memo, FIB cache).
+    /// Results are byte-identical either way; the determinism suite and
+    /// perf benches compare both.
+    pub fn incremental(mut self, on: bool) -> Self {
+        self.cfg.incremental = on;
+        self
+    }
+
+    /// Attaches a telemetry pipeline (disabled handle by default).
+    pub fn telemetry(mut self, handle: ef_telemetry::TelemetryHandle) -> Self {
+        self.cfg.telemetry = handle;
+        self
+    }
+
+    /// Finishes the description as a serializable config.
+    pub fn build(self) -> SimConfig {
+        self.cfg
+    }
+
+    /// Builds the engine directly: generates the deployment, brings up
+    /// every PoP and attaches controllers.
+    pub fn engine(self) -> crate::engine::SimEngine {
+        crate::engine::SimEngine::new(self.cfg)
+    }
+
+    /// Builds the engine over an existing deployment — lets the arms of a
+    /// with/without comparison share the exact same world.
+    pub fn engine_with(self, deployment: ef_topology::Deployment) -> crate::engine::SimEngine {
+        crate::engine::SimEngine::with_deployment(self.cfg, deployment)
     }
 }
 

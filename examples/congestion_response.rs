@@ -8,24 +8,29 @@
 //! Run with: `cargo run --release --example congestion_response`
 
 use ef_bgp::route::EgressId;
-use ef_sim::{SimConfig, SimEngine};
-use ef_topology::generate;
+use ef_sim::{scenario, ScenarioBuilder, SimConfig};
+use ef_topology::{generate, GenConfig};
 
 fn main() {
-    let mut cfg = SimConfig::default();
-    cfg.gen.n_pops = 8;
-    cfg.gen.n_ases = 200;
-    cfg.gen.n_prefixes = 1200;
-    cfg.gen.total_avg_gbps = 3000.0;
-    cfg.duration_secs = 6 * 3600; // span a regional peak
-    cfg.epoch_secs = 30;
+    let cfg = scenario()
+        .topology(GenConfig {
+            n_pops: 8,
+            n_ases: 200,
+            n_prefixes: 1200,
+            total_avg_gbps: 3000.0,
+            ..GenConfig::default()
+        })
+        .hours(6) // span a regional peak
+        .epoch_secs(30)
+        .build();
 
     let deployment = generate(&cfg.gen);
 
     // Pick the tightest private interconnect to watch: run a short baseline
     // probe and take the interface with the most overload.
     println!("== Probing for the busiest interface ==");
-    let mut probe = SimEngine::with_deployment(cfg.clone().baseline(), deployment.clone());
+    let mut probe =
+        ScenarioBuilder::from_config(cfg.clone().baseline()).engine_with(deployment.clone());
     probe.run_epochs(cfg.duration_secs / cfg.epoch_secs / 4);
     let probe_metrics = probe.take_metrics();
     let victim = probe_metrics
@@ -44,7 +49,7 @@ fn main() {
 
     let run_arm = |label: &str, arm_cfg: SimConfig| -> (Vec<(u64, f64)>, f64, f64) {
         println!("== Running {label} arm ==");
-        let mut engine = SimEngine::with_deployment(arm_cfg, deployment.clone());
+        let mut engine = ScenarioBuilder::from_config(arm_cfg).engine_with(deployment.clone());
         engine.flag_interface(victim);
         engine.run();
         let metrics = engine.take_metrics();
@@ -58,7 +63,9 @@ fn main() {
     let (ef_series, ef_drops, ef_offered) = run_arm("Edge Fabric", cfg.clone());
 
     let capacity = victim_stats.capacity_mbps;
-    let perf = &SimEngine::with_deployment(cfg.clone(), deployment.clone()).perf_model;
+    let perf = &ScenarioBuilder::from_config(cfg.clone())
+        .engine_with(deployment.clone())
+        .perf_model;
 
     println!(
         "\n-- if{} utilization through the peak (20-min samples) --",

@@ -6,19 +6,15 @@
 //!
 //! Run with: `cargo run --release --example global_deployment`
 
-use ef_sim::{SimConfig, SimEngine};
+use ef_sim::scenario;
 use ef_topology::stats::{pop_summaries, route_diversity};
 
 fn main() {
     // Three hours around the first regional evening peaks.
-    let cfg = SimConfig {
-        duration_secs: 3 * 3600,
-        epoch_secs: 30,
-        ..Default::default()
-    };
+    let cfg = scenario().hours(3).epoch_secs(30).build();
 
     println!("== Building deployment (seed {}) ==", cfg.gen.seed);
-    let mut engine = SimEngine::new(cfg);
+    let mut engine = ef_sim::ScenarioBuilder::from_config(cfg).engine();
     let dep = &engine.deployment;
     println!(
         "{} PoPs, {} BGP adjacencies, {} egress interfaces, {} prefixes from {} eyeball ASes\n",

@@ -11,24 +11,29 @@ use std::collections::HashMap;
 
 use ef_bgp::route::EgressId;
 use ef_perf::compare::{compare_paths, summarize};
-use ef_sim::{PerfSimConfig, SimConfig, SimEngine};
+use ef_sim::{scenario, PerfSimConfig, ScenarioBuilder};
+use ef_topology::GenConfig;
 
 fn main() {
-    let mut cfg = SimConfig::default();
-    cfg.gen.n_pops = 6;
-    cfg.gen.n_ases = 150;
-    cfg.gen.n_prefixes = 900;
-    cfg.gen.total_avg_gbps = 2000.0;
-    cfg.duration_secs = 2 * 3600;
-    cfg.epoch_secs = 30;
-    cfg.perf = Some(PerfSimConfig {
-        slice_fraction: 0.005,
-        steer: false, // measure first, steer later
-        ..Default::default()
-    });
+    let cfg = scenario()
+        .topology(GenConfig {
+            n_pops: 6,
+            n_ases: 150,
+            n_prefixes: 900,
+            total_avg_gbps: 2000.0,
+            ..GenConfig::default()
+        })
+        .hours(2)
+        .epoch_secs(30)
+        .perf(PerfSimConfig {
+            slice_fraction: 0.005,
+            steer: false, // measure first, steer later
+            ..Default::default()
+        })
+        .build();
 
     println!("== Phase 1: measurement only (§6.1) ==");
-    let mut engine = SimEngine::new(cfg.clone());
+    let mut engine = ScenarioBuilder::from_config(cfg.clone()).engine();
     engine.run();
 
     // Compare preferred vs alternates at each PoP.
@@ -72,13 +77,13 @@ fn main() {
     println!("than the BGP-preferred path — the tail §6 targets.\n");
 
     println!("== Phase 2: steering enabled (§6.2) ==");
-    let mut steer_cfg = cfg;
-    steer_cfg.perf = Some(PerfSimConfig {
-        slice_fraction: 0.005,
-        steer: true,
-        ..Default::default()
-    });
-    let mut engine = SimEngine::new(steer_cfg);
+    let mut engine = ScenarioBuilder::from_config(cfg)
+        .perf(PerfSimConfig {
+            slice_fraction: 0.005,
+            steer: true,
+            ..Default::default()
+        })
+        .engine();
     engine.run();
     let metrics = engine.take_metrics();
 

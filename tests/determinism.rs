@@ -4,33 +4,34 @@
 //! differences to the controller, which only holds if nothing else in the
 //! run is nondeterministic).
 
-use ef_sim::{SimConfig, SimEngine};
+use ef_sim::{scenario, ScenarioBuilder, SimConfig};
 
 /// Serialized fingerprint of everything a run records.
 fn fingerprint(cfg: SimConfig) -> String {
-    let mut engine = SimEngine::new(cfg);
+    let mut engine = ScenarioBuilder::from_config(cfg).engine();
     engine.run();
     let metrics = engine.take_metrics();
     serde_json::to_string(&(&metrics.pop_epochs, &metrics.episodes)).expect("metrics serialize")
 }
 
-fn short_config(seed: u64) -> SimConfig {
-    let mut cfg = SimConfig::test_small(seed);
-    cfg.duration_secs = 900;
-    cfg.epoch_secs = 60;
-    cfg
+/// The 15-minute small-world scenario every check here varies.
+fn short(seed: u64) -> ScenarioBuilder {
+    scenario()
+        .small_topology(seed)
+        .duration_secs(900)
+        .epoch_secs(60)
 }
 
 #[test]
 fn same_seed_runs_are_byte_identical() {
-    let a = fingerprint(short_config(11));
-    let b = fingerprint(short_config(11));
+    let a = fingerprint(short(11).build());
+    let b = fingerprint(short(11).build());
     assert_eq!(a, b, "two runs of the same seed diverged");
 }
 
 #[test]
 fn same_seed_runs_with_chaos_are_byte_identical() {
-    let mut cfg = short_config(11);
+    let cfg = short(11).build();
     let deployment = ef_topology::generate(&cfg.gen);
     let profile = ef_chaos::ChaosProfile {
         duration_secs: cfg.duration_secs,
@@ -42,7 +43,7 @@ fn same_seed_runs_with_chaos_are_byte_identical() {
     };
     let schedule = ef_chaos::generate(&profile, &ef_sim::chaos_surface(&deployment), 5)
         .expect("schedule generates");
-    cfg.chaos = Some(schedule);
+    let cfg = short(11).chaos(schedule).build();
     let a = fingerprint(cfg.clone());
     let b = fingerprint(cfg);
     assert_eq!(a, b, "two chaotic runs of the same seed diverged");
@@ -50,15 +51,15 @@ fn same_seed_runs_with_chaos_are_byte_identical() {
 
 #[test]
 fn different_seeds_differ() {
-    let a = fingerprint(short_config(11));
-    let b = fingerprint(short_config(12));
+    let a = fingerprint(short(11).build());
+    let b = fingerprint(short(12).build());
     assert_ne!(a, b, "different demand seeds produced identical runs");
 }
 
 #[test]
 fn baseline_arm_is_deterministic_too() {
-    let a = fingerprint(short_config(11).baseline());
-    let b = fingerprint(short_config(11).baseline());
+    let a = fingerprint(short(11).baseline().build());
+    let b = fingerprint(short(11).baseline().build());
     assert_eq!(a, b);
 }
 
@@ -82,10 +83,8 @@ fn caches_off_matches_caches_on() {
     // The incremental epoch engine (projection memo + FIB lookup cache) is
     // an implementation strategy, not a semantic change: flipping it off
     // must reproduce the exact same bytes.
-    let cached = fingerprint(short_config(11));
-    let mut cfg = short_config(11);
-    cfg.incremental = false;
-    let scratch = fingerprint(cfg);
+    let cached = fingerprint(short(11).build());
+    let scratch = fingerprint(short(11).incremental(false).build());
     assert_eq!(cached, scratch, "caching changed the results");
 }
 
@@ -94,12 +93,11 @@ fn caches_off_matches_caches_on_under_chaos_and_splitting() {
     // Same equivalence where it is hardest to keep: faults invalidate the
     // caches mid-run (peer failures, controller crash-resync, capacity
     // loss) and prefix splitting doubles the lookup units per prefix.
-    let mut cfg = short_config(11);
-    cfg.controller.split_depth = 1;
-    cfg.chaos = Some(chaos_schedule(&cfg));
+    let base = short(11).tune_controller(|c| c.split_depth = 1).build();
+    let schedule = chaos_schedule(&base);
+    let cfg = ScenarioBuilder::from_config(base).chaos(schedule).build();
     let cached = fingerprint(cfg.clone());
-    cfg.incremental = false;
-    let scratch = fingerprint(cfg);
+    let scratch = fingerprint(ScenarioBuilder::from_config(cfg).incremental(false).build());
     assert_eq!(
         cached, scratch,
         "caching changed the results under chaos with splitting"
@@ -113,11 +111,9 @@ fn telemetry_sink_never_changes_results() {
     // under chaos. This is the determinism half of the telemetry contract
     // (the sink gets wall-clock timings and thread-interleaved records;
     // none of that may leak into results).
-    let plain = fingerprint(short_config(11));
+    let plain = fingerprint(short(11).build());
     let (handle, sink) = ef_telemetry::TelemetryHandle::memory();
-    let mut cfg = short_config(11);
-    cfg.telemetry = handle;
-    let observed = fingerprint(cfg);
+    let observed = fingerprint(short(11).telemetry(handle).build());
     assert_eq!(
         plain, observed,
         "telemetry sink changed the recorded metrics"
@@ -129,23 +125,11 @@ fn telemetry_sink_never_changes_results() {
 
     // Same check under a fault schedule, where the controller's degraded
     // and fail-open paths emit far more telemetry.
-    let mut cfg = short_config(11);
-    let deployment = ef_topology::generate(&cfg.gen);
-    let profile = ef_chaos::ChaosProfile {
-        duration_secs: cfg.duration_secs,
-        warmup_secs: 120,
-        events: 6,
-        min_fault_secs: 120,
-        max_fault_secs: 240,
-        kinds: Vec::new(),
-    };
-    let schedule = ef_chaos::generate(&profile, &ef_sim::chaos_surface(&deployment), 5)
-        .expect("schedule generates");
-    cfg.chaos = Some(schedule);
+    let schedule = chaos_schedule(&short(11).build());
+    let cfg = short(11).chaos(schedule).build();
     let plain = fingerprint(cfg.clone());
     let (handle, sink) = ef_telemetry::TelemetryHandle::memory();
-    cfg.telemetry = handle;
-    let observed = fingerprint(cfg);
+    let observed = fingerprint(ScenarioBuilder::from_config(cfg).telemetry(handle).build());
     assert_eq!(
         plain, observed,
         "telemetry sink changed the recorded metrics under chaos"

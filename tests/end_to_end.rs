@@ -1,9 +1,9 @@
 //! Whole-system comparison: Edge Fabric on vs. off over the same world.
 
-use ef_sim::{SimConfig, SimEngine};
+use ef_sim::{scenario, ScenarioBuilder, SimConfig};
 
 fn run(cfg: SimConfig, deployment: ef_topology::Deployment) -> ef_sim::MetricsStore {
-    let mut engine = SimEngine::with_deployment(cfg, deployment);
+    let mut engine = ScenarioBuilder::from_config(cfg).engine_with(deployment);
     engine.run();
     assert!(engine.all_sessions_up());
     engine.take_metrics()
@@ -11,9 +11,11 @@ fn run(cfg: SimConfig, deployment: ef_topology::Deployment) -> ef_sim::MetricsSt
 
 #[test]
 fn edge_fabric_drops_no_more_than_baseline() {
-    let mut cfg = SimConfig::test_small(7);
-    cfg.duration_secs = 3600;
-    cfg.epoch_secs = 60;
+    let cfg = scenario()
+        .small_topology(7)
+        .duration_secs(3600)
+        .epoch_secs(60)
+        .build();
     let deployment = ef_topology::generate(&cfg.gen);
 
     let ef = run(cfg.clone(), deployment.clone());

@@ -3,27 +3,31 @@
 //! paper's fail-static behavior (§4.4) falls out per fault kind.
 
 use ef_chaos::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
-use ef_sim::{MetricsStore, SimConfig, SimEngine};
+use ef_sim::{scenario, MetricsStore, ScenarioBuilder, SimConfig, SimEngine};
 
 fn base_cfg() -> SimConfig {
-    let mut cfg = SimConfig::test_small(7);
-    cfg.duration_secs = 1500;
-    cfg.epoch_secs = 60;
-    cfg.sampled_rates = false;
-    cfg.controller.stale_input_secs = 120;
-    cfg.controller.fail_open_secs = 360;
-    cfg
+    scenario()
+        .small_topology(7)
+        .duration_secs(1500)
+        .epoch_secs(60)
+        .exact_rates()
+        .tune_controller(|c| {
+            c.stale_input_secs = 120;
+            c.fail_open_secs = 360;
+        })
+        .build()
 }
 
 fn run(cfg: SimConfig) -> MetricsStore {
-    let mut engine = SimEngine::new(cfg);
+    let mut engine = ScenarioBuilder::from_config(cfg).engine();
     engine.run();
     engine.take_metrics()
 }
 
-fn with_chaos(mut cfg: SimConfig, events: Vec<FaultEvent>) -> SimConfig {
-    cfg.chaos = Some(FaultSchedule::new(events).expect("valid schedule"));
-    cfg
+fn with_chaos(cfg: SimConfig, events: Vec<FaultEvent>) -> SimConfig {
+    ScenarioBuilder::from_config(cfg)
+        .chaos(FaultSchedule::new(events).expect("valid schedule"))
+        .build()
 }
 
 /// The PoP doing the most steering in the fault window — the interesting
@@ -139,7 +143,7 @@ fn injector_loss_fails_open_and_recovers() {
 fn peer_failure_drops_the_session_and_recovery_restores_routes() {
     let cfg = base_cfg();
     let deployment = ef_topology::generate(&cfg.gen);
-    let mut engine = SimEngine::with_deployment(cfg.clone(), deployment.clone());
+    let mut engine = ScenarioBuilder::from_config(cfg.clone()).engine_with(deployment.clone());
 
     // Prefixes whose FIB entry egresses via `egress` at PoP 0.
     let via = |engine: &SimEngine, egress: ef_bgp::route::EgressId| -> usize {
@@ -177,7 +181,7 @@ fn peer_failure_drops_the_session_and_recovery_restores_routes() {
             kind: FaultKind::PeerFailure,
         }],
     );
-    engine = SimEngine::with_deployment(cfg, deployment.clone());
+    engine = ScenarioBuilder::from_config(cfg).engine_with(deployment.clone());
     assert_eq!(via(&engine, conn.egress), routes_before);
     assert!(engine.all_sessions_up());
     while engine.now_secs() < 660 {
@@ -202,7 +206,10 @@ fn peer_failure_drops_the_session_and_recovery_restores_routes() {
         routes_before,
         "replayed announcements restored the FIB"
     );
-    // The fault was recorded against the right PoP.
+    // The fault was recorded against the right PoP, and tearing the
+    // session down (plus its governed revival) counts as resets — the
+    // contrast with the refresh path, which must not.
+    assert!(engine.session_resets() > 0, "peer failure is a hard reset");
     let metrics = engine.take_metrics();
     assert!(pop_records(&metrics, 0)
         .iter()
