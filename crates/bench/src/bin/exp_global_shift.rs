@@ -5,10 +5,13 @@
 //! out of egress — even transit — no amount of detouring inside the PoP
 //! helps, and demand must move to sibling PoPs. This experiment cripples
 //! one PoP's transit capacity and compares Edge Fabric alone against
-//! Edge Fabric + the global shifter.
+//! Edge Fabric + the global steering tier (DNS backend with a one-epoch
+//! TTL — the direct successor of the retired `GlobalShifter` prototype).
+//! E18 (`exp_global_steering`) stresses the same tier much harder.
 
 use ef_bench::write_json;
-use ef_sim::{scenario, GlobalShifterConfig, ScenarioBuilder, SimConfig};
+use ef_global::GlobalConfig;
+use ef_sim::{scenario, ScenarioBuilder, SimConfig};
 use ef_topology::{generate, Deployment, GenConfig, PopId};
 use serde::Serialize;
 
@@ -37,29 +40,16 @@ fn base_config() -> SimConfig {
         .build()
 }
 
-/// Cripples the victim PoP: every egress interface shrinks so the PoP's
-/// total capacity sits below its regional evening peak.
-fn cripple(dep: &mut Deployment, victim: PopId) {
-    let pop = &mut dep.pops[victim.0 as usize];
-    let avg = pop.total_avg_demand_mbps();
-    let total_cap: f64 = pop.interfaces.iter().map(|i| i.capacity_mbps).sum();
-    // Peak runs ~1.8× average; scale so capacity ≈ 1.2× average.
-    let scale = (avg * 1.2) / total_cap;
-    for iface in &mut pop.interfaces {
-        iface.capacity_mbps *= scale;
-    }
-}
-
 fn run(cfg: SimConfig, dep: &Deployment, victim: PopId) -> (f64, usize, f64) {
     let epochs = cfg.epochs();
     let mut engine = ScenarioBuilder::from_config(cfg).engine_with(dep.clone());
-    // Step manually so the *peak* shift fraction can be observed (it
+    // Step manually so the *peak* away-fraction can be observed (it
     // decays once the pressure clears).
     let mut peak_shift = 0.0f64;
     for _ in 0..epochs {
         engine.step();
-        if let Some(s) = engine.shifter.as_ref() {
-            peak_shift = peak_shift.max(s.shift_fraction(victim));
+        if let Some(g) = engine.global.as_ref() {
+            peak_shift = peak_shift.max(g.away_fraction(victim));
         }
     }
     let m = engine.take_metrics();
@@ -81,14 +71,17 @@ fn main() {
     let cfg = base_config();
     let victim = PopId(0);
     let mut dep = generate(&cfg.gen);
-    cripple(&mut dep, victim);
+    // Cripple the victim: peak runs ~1.8× average, so capping total
+    // capacity at 1.2× average guarantees the evening peak exceeds every
+    // egress combined.
+    dep.cap_pop_capacity_to_demand(victim, 1.2);
 
     eprintln!("[E14] Edge Fabric only (victim PoP capacity < peak demand)...");
     let (drops_ef, residual_ef, _) = run(cfg.clone(), &dep, victim);
 
-    eprintln!("[E14] Edge Fabric + global demand shifting...");
+    eprintln!("[E14] Edge Fabric + global steering tier (dns, ttl 1)...");
     let global_cfg = ScenarioBuilder::from_config(cfg)
-        .global_shift(GlobalShifterConfig::default())
+        .global(GlobalConfig::dns(1))
         .build();
     let (drops_global, residual_global, peak_shift) = run(global_cfg, &dep, victim);
 
@@ -117,7 +110,7 @@ fn main() {
         drops_global < drops_ef / 2.0,
         "global shifting halves drops at minimum ({drops_global} vs {drops_ef})"
     );
-    assert!(peak_shift > 0.0, "the shifter actually engaged");
+    assert!(peak_shift > 0.0, "the steering tier actually engaged");
 
     write_json(
         "exp_global_shift",

@@ -1,0 +1,265 @@
+//! E18 — the global steering tier under a regional PoP blackout plus a
+//! World-Cup-scale flash crowd.
+//!
+//! The scenario stacks the two failure modes per-PoP Edge Fabric cannot
+//! handle alone: at t=2h the EU PoP loses 90% of every egress interface
+//! (a regional blackout, via the chaos layer), and at t=2.5h the EU user
+//! population's demand multiplies 2.5× for an hour (the World Cup final
+//! from the paper's §2, landing while the region's PoP is down). Three
+//! arms share the same deployment, fault schedule, and shaped demand:
+//!
+//! * **EF only** — the tier shapes the flash crowd but never steers;
+//! * **DNS steering** — fractional shifts, converging over a 4-epoch TTL;
+//! * **anycast steering** — whole-population cutover, 4-epoch convergence.
+//!
+//! Reported per arm: total and victim drop volume, *time-to-drain* (how
+//! many blackout epochs the victim kept dropping traffic), and the peak
+//! away-fraction. The paper-level claims asserted here: steering cuts
+//! drop volume ≥10× versus EF-only, and anycast drains the victim faster
+//! than DNS (atomic cutover beats TTL-paced convergence) at the price of
+//! moving the whole population at once.
+
+use ef_bench::{telemetry_from_env, write_json};
+use ef_chaos::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
+use ef_global::{BackendKind, FlashCrowdSpec, GlobalConfig};
+use ef_sim::{scenario, ScenarioBuilder, SimConfig};
+use ef_topology::{generate, Deployment, GenConfig, PopId, Region};
+use serde::Serialize;
+
+const EPOCH_SECS: u64 = 60;
+const BLACKOUT_START_SECS: u64 = 2 * 3600;
+const BLACKOUT_SECS: u64 = 2 * 3600;
+const CROWD_START_SECS: u64 = 9 * 1800; // 2.5 h
+const CROWD_SECS: u64 = 3600;
+const CROWD_MULTIPLIER: f64 = 2.5;
+
+#[derive(Serialize)]
+struct ArmResult {
+    backend: String,
+    drops_total_mbps_epochs: f64,
+    drops_victim_mbps_epochs: f64,
+    /// Blackout-window epochs in which the victim still dropped traffic.
+    drain_epochs: usize,
+    peak_away_fraction: f64,
+}
+
+#[derive(Serialize)]
+struct E18Output {
+    victim_pop: u16,
+    victim_region: String,
+    blackout_start_secs: u64,
+    blackout_secs: u64,
+    capacity_loss_fraction: f64,
+    crowd_population: String,
+    crowd_multiplier: f64,
+    arms: Vec<ArmResult>,
+    drop_cut_dns: f64,
+    drop_cut_anycast: f64,
+}
+
+fn base_config() -> SimConfig {
+    scenario()
+        .topology(GenConfig {
+            n_pops: 8,
+            n_ases: 200,
+            n_prefixes: 1200,
+            total_avg_gbps: 3000.0,
+            ..GenConfig::default()
+        })
+        .hours(6)
+        .epoch_secs(EPOCH_SECS)
+        .telemetry(telemetry_from_env())
+        .build()
+}
+
+/// The tier's configuration for one arm. All arms shape the same flash
+/// crowd so offered demand is identical; only steering differs. E18's
+/// tuning is more aggressive than the defaults because a 90% capacity
+/// loss cannot be fixed by moving half the demand: `max_shift` is 1.0.
+fn steering(backend: Option<BackendKind>) -> GlobalConfig {
+    GlobalConfig {
+        backend,
+        step: 0.1,
+        max_shift: 1.0,
+        decay: 0.02,
+        ..GlobalConfig::default()
+    }
+    .with_flash_crowd(FlashCrowdSpec {
+        population: "EU".into(),
+        t_start_secs: CROWD_START_SECS,
+        duration_secs: CROWD_SECS,
+        multiplier: CROWD_MULTIPLIER,
+    })
+}
+
+/// One `LinkCapacityLoss` event per victim interface: the whole PoP loses
+/// 90% of its egress for the blackout window.
+fn blackout(dep: &Deployment, victim: PopId) -> FaultSchedule {
+    let events: Vec<FaultEvent> = dep.pops[victim.0 as usize]
+        .interfaces
+        .iter()
+        .map(|iface| FaultEvent {
+            t_start_secs: BLACKOUT_START_SECS,
+            duration_secs: BLACKOUT_SECS,
+            target: FaultTarget::Interface {
+                pop: victim.0 as usize,
+                egress: iface.id.0,
+            },
+            kind: FaultKind::LinkCapacityLoss { fraction: 0.9 },
+        })
+        .collect();
+    FaultSchedule::new(events).expect("valid blackout schedule")
+}
+
+fn run(cfg: SimConfig, dep: &Deployment, victim: PopId, backend: &str) -> ArmResult {
+    let epochs = cfg.epochs();
+    let mut engine = ScenarioBuilder::from_config(cfg).engine_with(dep.clone());
+    let mut peak_away = 0.0f64;
+    for _ in 0..epochs {
+        engine.step();
+        if let Some(g) = engine.global.as_ref() {
+            peak_away = peak_away.max(g.away_fraction(victim));
+        }
+    }
+    let m = engine.take_metrics();
+    let drops_total: f64 = m.pop_epochs.iter().map(|r| r.dropped_mbps).sum();
+    let drops_victim: f64 = m
+        .pop_epochs
+        .iter()
+        .filter(|r| r.pop == victim.0)
+        .map(|r| r.dropped_mbps)
+        .sum();
+    let blackout_end = BLACKOUT_START_SECS + BLACKOUT_SECS;
+    let drain_epochs = m
+        .pop_epochs
+        .iter()
+        .filter(|r| {
+            r.pop == victim.0
+                && r.t_secs >= BLACKOUT_START_SECS
+                && r.t_secs < blackout_end
+                && r.dropped_mbps > 0.0
+        })
+        .count();
+    ArmResult {
+        backend: backend.to_string(),
+        drops_total_mbps_epochs: drops_total,
+        drops_victim_mbps_epochs: drops_victim,
+        drain_epochs,
+        peak_away_fraction: peak_away,
+    }
+}
+
+fn main() {
+    let cfg = base_config();
+    let dep = generate(&cfg.gen);
+    let victim = dep
+        .pops
+        .iter()
+        .find(|p| p.region == Region::Europe)
+        .map(|p| p.id)
+        .expect("an 8-PoP world has an EU PoP");
+    let schedule = blackout(&dep, victim);
+
+    let arm = |backend: Option<BackendKind>| {
+        ScenarioBuilder::from_config(cfg.clone())
+            .global(steering(backend))
+            .chaos(schedule.clone())
+            .build()
+    };
+
+    eprintln!("[E18] EF only: blackout + flash crowd, no steering...");
+    let ef_only = run(arm(None), &dep, victim, "ef_only");
+    eprintln!("[E18] DNS steering (ttl 4 epochs)...");
+    let dns = run(
+        arm(Some(BackendKind::Dns { ttl_epochs: 4 })),
+        &dep,
+        victim,
+        "dns",
+    );
+    eprintln!("[E18] anycast steering (convergence 4 epochs)...");
+    let anycast = run(
+        arm(Some(BackendKind::Anycast {
+            convergence_epochs: 4,
+        })),
+        &dep,
+        victim,
+        "anycast",
+    );
+
+    let cut_dns = ef_only.drops_total_mbps_epochs / dns.drops_total_mbps_epochs.max(1e-9);
+    let cut_anycast = ef_only.drops_total_mbps_epochs / anycast.drops_total_mbps_epochs.max(1e-9);
+
+    println!("E18 — regional blackout + flash crowd, DNS vs anycast steering");
+    println!(
+        "{:<34} {:>12} {:>12} {:>12}",
+        "", "EF only", "DNS", "anycast"
+    );
+    println!(
+        "{:<34} {:>12.0} {:>12.0} {:>12.0}",
+        "total drops (Mbps·epochs)",
+        ef_only.drops_total_mbps_epochs,
+        dns.drops_total_mbps_epochs,
+        anycast.drops_total_mbps_epochs
+    );
+    println!(
+        "{:<34} {:>12.0} {:>12.0} {:>12.0}",
+        "victim drops (Mbps·epochs)",
+        ef_only.drops_victim_mbps_epochs,
+        dns.drops_victim_mbps_epochs,
+        anycast.drops_victim_mbps_epochs
+    );
+    println!(
+        "{:<34} {:>12} {:>12} {:>12}",
+        "time-to-drain (blackout epochs)",
+        ef_only.drain_epochs,
+        dns.drain_epochs,
+        anycast.drain_epochs
+    );
+    println!(
+        "{:<34} {:>12.2} {:>12.2} {:>12.2}",
+        "peak away-fraction",
+        ef_only.peak_away_fraction,
+        dns.peak_away_fraction,
+        anycast.peak_away_fraction
+    );
+    println!("\ndrop-volume cut vs EF-only: dns {cut_dns:.1}x, anycast {cut_anycast:.1}x");
+
+    assert!(
+        ef_only.drops_total_mbps_epochs > 0.0,
+        "a 90% blackout under a flash crowd must drop traffic without steering"
+    );
+    assert!(
+        cut_dns >= 10.0,
+        "DNS steering cuts drop volume >=10x (got {cut_dns:.1}x)"
+    );
+    assert!(
+        cut_anycast >= 10.0,
+        "anycast steering cuts drop volume >=10x (got {cut_anycast:.1}x)"
+    );
+    assert!(
+        anycast.drain_epochs < dns.drain_epochs,
+        "atomic cutover drains the victim faster than TTL-paced DNS ({} vs {})",
+        anycast.drain_epochs,
+        dns.drain_epochs
+    );
+    assert_eq!(
+        ef_only.peak_away_fraction, 0.0,
+        "shape-only arm never steers"
+    );
+
+    write_json(
+        "exp_global_steering",
+        &E18Output {
+            victim_pop: victim.0,
+            victim_region: "EU".into(),
+            blackout_start_secs: BLACKOUT_START_SECS,
+            blackout_secs: BLACKOUT_SECS,
+            capacity_loss_fraction: 0.9,
+            crowd_population: "EU".into(),
+            crowd_multiplier: CROWD_MULTIPLIER,
+            arms: vec![ef_only, dns, anycast],
+            drop_cut_dns: cut_dns,
+            drop_cut_anycast: cut_anycast,
+        },
+    );
+}

@@ -13,6 +13,8 @@
 //!                  [--chaos-seed N] [--events N] [--baseline] [--out FILE]
 //! efctl trace      [--seed N] [--hours H] [--epoch SECS] [--limit N]
 //! efctl explain PREFIX [--seed N] [--hours H] [--epoch SECS]
+//! efctl global     [--seed N] [--hours H] [--backend dns|anycast]
+//!                  [--cripple POP] [--epoch SECS] [--out FILE]
 //! efctl help
 //! ```
 //!
@@ -44,6 +46,8 @@ pub enum Command {
     Trace(TraceArgs),
     /// Run a scenario and show decision provenance for one prefix.
     Explain(ExplainArgs),
+    /// Run a scenario with the global steering tier and dump placements.
+    Global(GlobalArgs),
     /// Show usage.
     Help,
 }
@@ -197,6 +201,35 @@ impl Default for ExplainArgs {
     }
 }
 
+/// Options for `efctl global`: a scenario run with the user→PoP steering
+/// tier enabled, reporting per-population placement state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalArgs {
+    /// Deployment options (`--out` redirects the JSON to a file).
+    pub common: CommonArgs,
+    /// Simulated duration in hours.
+    pub hours: f64,
+    /// Controller epoch seconds.
+    pub epoch_secs: u64,
+    /// Steering backend: `dns` or `anycast`.
+    pub backend: String,
+    /// Cripple this PoP's capacity to 1.2× its average demand before the
+    /// run, so the evening peak forces the tier to steer.
+    pub cripple: Option<usize>,
+}
+
+impl Default for GlobalArgs {
+    fn default() -> Self {
+        GlobalArgs {
+            common: CommonArgs::default(),
+            hours: 2.0,
+            epoch_secs: 60,
+            backend: "dns".into(),
+            cripple: None,
+        }
+    }
+}
+
 /// What a command produced: machine-readable stdout (JSON / JSON lines)
 /// and human-readable stderr (tables, notes). `main` prints each half to
 /// its stream; tests assert on them separately.
@@ -237,7 +270,15 @@ injector_partial_loss (dropped injections, retried + reconciled).
                    [--epoch SECS] [--limit N] [--out FILE]
   efctl explain PREFIX [--seed N] [--pops N] [--prefixes N]
                    [--hours H] [--epoch SECS]
+  efctl global     [--seed N] [--pops N] [--prefixes N] [--hours H]
+                   [--backend dns|anycast] [--cripple POP]
+                   [--epoch SECS] [--out FILE]
   efctl help
+
+`global` runs with the user->PoP steering tier above per-PoP Edge
+Fabric and prints each population's placement (away-fractions per PoP,
+demand moved). --cripple caps one PoP's capacity below its peak demand
+so the tier has something to do.
 
 All commands accept --quiet.
 ";
@@ -267,6 +308,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "chaos" => Ok(Command::Chaos(parse_chaos(rest)?)),
         "trace" => Ok(Command::Trace(parse_trace(rest)?)),
         "explain" => Ok(Command::Explain(parse_explain(rest)?)),
+        "global" => Ok(Command::Global(parse_global(rest)?)),
         other => Err(ParseError(format!(
             "unknown command {other:?}; try 'efctl help'"
         ))),
@@ -394,6 +436,42 @@ fn parse_trace(args: &[String]) -> Result<TraceArgs, ParseError> {
     Ok(out)
 }
 
+fn parse_global(args: &[String]) -> Result<GlobalArgs, ParseError> {
+    let mut out = GlobalArgs::default();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--seed" => out.common.seed = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--pops" => out.common.pops = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--prefixes" => out.common.prefixes = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--out" => out.common.out = Some(take_value(flag, &mut iter)?.to_string()),
+            "--quiet" => out.common.quiet = true,
+            "--hours" => out.hours = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--epoch" => out.epoch_secs = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--backend" => out.backend = take_value(flag, &mut iter)?.to_string(),
+            "--cripple" => out.cripple = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
+            other => return Err(ParseError(format!("unknown flag {other:?}"))),
+        }
+    }
+    if out.hours <= 0.0 {
+        return Err(ParseError("--hours must be positive".into()));
+    }
+    if out.backend != "dns" && out.backend != "anycast" {
+        return Err(ParseError(format!(
+            "--backend must be dns or anycast, got {:?}",
+            out.backend
+        )));
+    }
+    if out.cripple.is_some_and(|p| p >= out.common.pops) {
+        return Err(ParseError(format!(
+            "--cripple {} is out of range for {} PoPs",
+            out.cripple.unwrap_or(0),
+            out.common.pops
+        )));
+    }
+    Ok(out)
+}
+
 fn parse_explain(args: &[String]) -> Result<ExplainArgs, ParseError> {
     let mut out = ExplainArgs::default();
     let mut iter = args.iter();
@@ -456,6 +534,7 @@ fn record_key(r: &TelemetryRecord) -> (u64, u16) {
         TelemetryRecord::Event(e) => (e.now_ms, e.pop),
         TelemetryRecord::Explain { pop, now_ms, .. } => (*now_ms, *pop),
         TelemetryRecord::Metrics { pop, now_ms, .. } => (*now_ms, *pop),
+        TelemetryRecord::Placement { pop, now_ms, .. } => (*now_ms, *pop),
     }
 }
 
@@ -487,6 +566,7 @@ pub fn execute(cmd: Command) -> Result<Output, String> {
         Command::Chaos(a) => a.common.quiet,
         Command::Trace(a) => a.common.quiet,
         Command::Explain(a) => a.common.quiet,
+        Command::Global(a) => a.common.quiet,
         Command::Help => false,
     };
     let mut out = execute_inner(cmd)?;
@@ -589,7 +669,7 @@ fn execute_inner(cmd: Command) -> Result<Output, String> {
                     }
                 });
             if args.global {
-                builder = builder.global_shift(ef_sim::GlobalShifterConfig::default());
+                builder = builder.global(ef_global::GlobalConfig::default());
             }
             let mut engine = builder.engine();
             engine.run();
@@ -778,7 +858,11 @@ fn execute_inner(cmd: Command) -> Result<Output, String> {
             }
             let events = records.iter().filter(|r| r.as_event().is_some()).count();
             let explains = records.iter().filter(|r| r.as_explain().is_some()).count();
-            let snapshots = total - events - explains;
+            let placements = records
+                .iter()
+                .filter(|r| r.as_placement().is_some())
+                .count();
+            let snapshots = total - events - explains - placements;
             if let Some(path) = &args.common.out {
                 std::fs::write(path, &lines).map_err(|e| e.to_string())?;
                 writeln!(out.stderr, "[wrote {shown} records to {path}]").unwrap();
@@ -788,9 +872,83 @@ fn execute_inner(cmd: Command) -> Result<Output, String> {
             writeln!(
                 out.stderr,
                 "{total} telemetry records ({events} events, {explains} explains, \
-                 {snapshots} metric snapshots); showing {shown}"
+                 {placements} placements, {snapshots} metric snapshots); showing {shown}"
             )
             .unwrap();
+        }
+        Command::Global(args) => {
+            let cfg = match args.backend.as_str() {
+                "anycast" => ef_global::GlobalConfig::anycast(2),
+                _ => ef_global::GlobalConfig::dns(2),
+            };
+            let sim = ef_sim::scenario()
+                .topology(gen_config(&args.common))
+                .duration_secs((args.hours * 3600.0) as u64)
+                .epoch_secs(args.epoch_secs)
+                .global(cfg)
+                .build();
+            let mut deployment = generate(&sim.gen);
+            if let Some(victim) = args.cripple {
+                // Peak demand runs ~1.8x average, so 1.2x average cannot
+                // carry the evening peak — the tier must move users.
+                let applied =
+                    deployment.cap_pop_capacity_to_demand(ef_topology::PopId(victim as u16), 1.2);
+                writeln!(
+                    out.stderr,
+                    "crippled pop{victim}: capacity scaled by {applied:.2}"
+                )
+                .unwrap();
+            }
+            let mut engine = ef_sim::ScenarioBuilder::from_config(sim).engine_with(deployment);
+            engine.run();
+            let (backend, placements) = match engine.global.as_ref() {
+                Some(g) => (g.backend_name(), g.placements()),
+                None => ("shape_only", Vec::new()),
+            };
+            let metrics = engine.take_metrics();
+            let dropped: f64 = metrics.pop_epochs.iter().map(|r| r.dropped_mbps).sum();
+
+            #[derive(serde::Serialize)]
+            struct Summary<'a> {
+                backend: &'a str,
+                dropped_mbps_epochs: f64,
+                placements: &'a [ef_global::PlacementSummary],
+            }
+            let json = serde_json::to_string_pretty(&Summary {
+                backend,
+                dropped_mbps_epochs: dropped,
+                placements: &placements,
+            })
+            .map_err(|e| e.to_string())?;
+
+            writeln!(out.stderr, "backend: {backend}").unwrap();
+            writeln!(
+                out.stderr,
+                "{:<10} {:>14} {:>12} {:>10}",
+                "population", "baseline(Mbps)", "moved(Mbps)", "max away"
+            )
+            .unwrap();
+            for p in &placements {
+                let away_max = p.away.iter().fold(0.0f64, |a, f| a.max(*f));
+                writeln!(
+                    out.stderr,
+                    "{:<10} {:>14.0} {:>12.0} {:>9.0}%",
+                    p.population,
+                    p.baseline_mbps.iter().sum::<f64>(),
+                    p.moved_mbps,
+                    away_max * 100.0
+                )
+                .unwrap();
+            }
+            writeln!(out.stderr, "total dropped: {dropped:.0} Mbps-epochs").unwrap();
+
+            if let Some(path) = &args.common.out {
+                std::fs::write(path, &json).map_err(|e| e.to_string())?;
+                writeln!(out.stderr, "[wrote {path}]").unwrap();
+            } else {
+                out.stdout = json;
+                out.stdout.push('\n');
+            }
         }
         Command::Explain(args) => {
             let query: Prefix = args
@@ -934,6 +1092,7 @@ mod tests {
             "chaos --quiet",
             "trace --quiet",
             "explain 1.0.0.0/24 --quiet",
+            "global --quiet",
         ] {
             let parsed = parse_args(&argv(cmd)).unwrap();
             let quiet = match parsed {
@@ -942,10 +1101,64 @@ mod tests {
                 Command::Chaos(a) => a.common.quiet,
                 Command::Trace(a) => a.common.quiet,
                 Command::Explain(a) => a.common.quiet,
+                Command::Global(a) => a.common.quiet,
                 Command::Help => false,
             };
             assert!(quiet, "{cmd}");
         }
+    }
+
+    #[test]
+    fn global_flags() {
+        match parse_args(&argv(
+            "global --seed 3 --pops 6 --hours 1.5 --backend anycast --cripple 2 --epoch 30",
+        ))
+        .unwrap()
+        {
+            Command::Global(g) => {
+                assert_eq!(g.common.seed, 3);
+                assert_eq!(g.common.pops, 6);
+                assert_eq!(g.hours, 1.5);
+                assert_eq!(g.backend, "anycast");
+                assert_eq!(g.cripple, Some(2));
+                assert_eq!(g.epoch_secs, 30);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("global")).unwrap() {
+            Command::Global(g) => {
+                assert_eq!(g.backend, "dns");
+                assert_eq!(g.cripple, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&argv("global --backend carrier-pigeon")).is_err());
+        assert!(parse_args(&argv("global --pops 4 --cripple 4")).is_err());
+        assert!(parse_args(&argv("global --hours 0")).is_err());
+    }
+
+    #[test]
+    fn global_small_scenario_end_to_end() {
+        let mut args = GlobalArgs::default();
+        args.common.pops = 4;
+        args.common.prefixes = 200;
+        args.common.seed = 3;
+        args.hours = 1.0;
+        args.epoch_secs = 60;
+        args.cripple = Some(0);
+        let out = execute(Command::Global(args)).unwrap();
+        assert!(out.stderr.contains("backend: dns"));
+        assert!(out.stderr.contains("crippled pop0"));
+        let summary = serde_json::parse_value(&out.stdout).unwrap();
+        assert!(matches!(
+            summary.get("backend"),
+            Some(serde_json::Value::Str(s)) if s == "dns"
+        ));
+        // One placement row per population (regions present in a 4-PoP world).
+        assert!(summary
+            .get("placements")
+            .and_then(|p| p.as_array())
+            .is_some_and(|a| !a.is_empty()));
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! Pluggable steering backends: how a placement decision becomes traffic.
+//!
+//! The controller decides *that* a population should leave a PoP; a
+//! [`SteeringBackend`] models *how fast and how completely* that decision
+//! takes effect. Two mechanisms bracket the space:
+//!
+//! * [`DnsBackend`] — fractional and gradual. The map can move any
+//!   fraction of a population, but resolver caches mean an issued change
+//!   only converges over a TTL horizon.
+//! * [`AnycastBackend`] — atomic and delayed. Withdrawing an announcement
+//!   moves the whole catchment at once, a BGP-convergence delay after the
+//!   decision. There is never a fractional state.
+//!
+//! Both gate the *return* path on reported headroom: a population only
+//! flows back once its former PoP has room for the population's whole
+//! baseline again. Without that gate a blackout oscillates — drain
+//! empties the PoP, the empty PoP looks healthy, traffic returns, the PoP
+//! overloads, drain restarts.
+
+/// Controller tunables a backend's update rule may use.
+#[derive(Debug, Clone, Copy)]
+pub struct ShiftTuning {
+    /// Shift increment per overloaded epoch.
+    pub step: f64,
+    /// Ceiling on a fractional backend's away-fraction.
+    pub max_shift: f64,
+    /// Decay per healthy epoch.
+    pub decay: f64,
+}
+
+/// One epoch's observation of a (population, PoP) cell.
+///
+/// The steering trigger is *actual drops*, not residual overload:
+/// per-PoP Edge Fabric routinely reports transient residual overload it
+/// then relieves itself, and a global tier that reacts to every such
+/// blip sheds a little from everywhere — leaving no healthy PoPs to
+/// receive anything. Users move only once the PoP is demonstrably
+/// losing traffic, i.e. the layer below has already lost.
+#[derive(Debug, Clone, Copy)]
+pub struct CellObservation {
+    /// Traffic the PoP dropped this epoch, Mbps.
+    pub dropped_mbps: f64,
+    /// Total demand offered to the PoP this epoch, Mbps.
+    pub offered_mbps: f64,
+    /// The PoP's reported spare egress capacity, Mbps.
+    pub headroom_mbps: f64,
+    /// This population's average demand at this PoP, Mbps.
+    pub baseline_mbps: f64,
+}
+
+impl CellObservation {
+    /// Fraction of the PoP's offered demand being dropped — the shed
+    /// fraction that would have made this epoch loss-free.
+    pub fn needed_shed(&self) -> f64 {
+        if self.offered_mbps > 0.0 {
+            (self.dropped_mbps / self.offered_mbps).clamp(0.0, 1.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A steering mechanism. `update` is called once per (population, PoP)
+/// cell per epoch, in deterministic index order, and returns the cell's
+/// new away-fraction in `[0, 1]`.
+pub trait SteeringBackend: Send {
+    /// Short mechanism name for telemetry and reports.
+    fn name(&self) -> &'static str;
+    /// Sizes internal state; called once before the first `update`.
+    fn init(&mut self, populations: usize, pops: usize);
+    /// Feeds one epoch's observation; returns the new away-fraction.
+    fn update(
+        &mut self,
+        population: usize,
+        pop: usize,
+        obs: &CellObservation,
+        tuning: &ShiftTuning,
+    ) -> f64;
+}
+
+/// DNS-map steering: fractional targets, TTL-delayed convergence.
+#[derive(Debug)]
+pub struct DnsBackend {
+    ttl_epochs: u64,
+    /// Issued away-fraction per (population, pop) — what the map says.
+    target: Vec<Vec<f64>>,
+    /// Observed away-fraction — what resolvers have picked up so far.
+    current: Vec<Vec<f64>>,
+}
+
+impl DnsBackend {
+    /// A DNS backend whose issued changes converge over `ttl_epochs`.
+    pub fn new(ttl_epochs: u64) -> Self {
+        DnsBackend {
+            ttl_epochs: ttl_epochs.max(1),
+            target: Vec::new(),
+            current: Vec::new(),
+        }
+    }
+}
+
+impl SteeringBackend for DnsBackend {
+    fn name(&self) -> &'static str {
+        "dns"
+    }
+
+    fn init(&mut self, populations: usize, pops: usize) {
+        self.target = vec![vec![0.0; pops]; populations];
+        self.current = vec![vec![0.0; pops]; populations];
+    }
+
+    fn update(
+        &mut self,
+        population: usize,
+        pop: usize,
+        obs: &CellObservation,
+        tuning: &ShiftTuning,
+    ) -> f64 {
+        let Some(target) = self
+            .target
+            .get_mut(population)
+            .and_then(|row| row.get_mut(pop))
+        else {
+            return 0.0;
+        };
+        let needed = obs.needed_shed();
+        if needed > 0.0 {
+            // Harm-proportional ramp: never issue more than `step` per
+            // epoch, and never more than the loss actually calls for — a
+            // 0.1% drop blip must not shed 10% of a healthy PoP.
+            *target = (*target + needed.min(tuning.step)).min(tuning.max_shift);
+        } else if *target > 0.0 && obs.headroom_mbps > obs.baseline_mbps {
+            // Only walk the map back once the PoP could absorb this
+            // population's whole baseline again.
+            *target = (*target - tuning.decay).max(0.0);
+        }
+        let issued = *target;
+        let Some(current) = self
+            .current
+            .get_mut(population)
+            .and_then(|row| row.get_mut(pop))
+        else {
+            return 0.0;
+        };
+        // Resolver caches expire uniformly over the TTL horizon: each
+        // epoch closes 1/ttl of the remaining gap.
+        *current += (issued - *current) / self.ttl_epochs as f64;
+        if (*current - issued).abs() < 1e-6 {
+            *current = issued;
+        }
+        if issued == 0.0 && *current < 1e-3 {
+            // The stragglers still on stale cache entries are <0.1% of
+            // the population — call the withdrawal converged.
+            *current = 0.0;
+        }
+        current.clamp(0.0, 1.0)
+    }
+}
+
+/// Anycast withdraws from a PoP only when the PoP is dropping more than
+/// this fraction of everything offered to it. Whole-population cutover
+/// is a blunt instrument; firing it on transient blips (a receiver
+/// absorbing a fresh cutover while its Edge Fabric re-detours) turns one
+/// failure into a network-wide withdrawal cascade.
+const ANYCAST_CUT_FRACTION: f64 = 0.25;
+
+/// After a transition lands, the cell holds its state for this many
+/// convergence periods before the opposite transition may be scheduled.
+/// Without hold-down, a restored population overloads the PoP it
+/// returns to and immediately withdraws again — route flapping, the
+/// classic anycast failure mode.
+const ANYCAST_HOLD_PERIODS: u64 = 3;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct AnycastCell {
+    /// The announcement toward this PoP is currently withdrawn.
+    withdrawn: bool,
+    /// An in-flight transition: (epochs until effect, end state).
+    pending: Option<(u64, bool)>,
+    /// Hold-down epochs left before another transition may be scheduled.
+    hold: u64,
+}
+
+/// Anycast steering: whole-population cutover after a convergence delay.
+#[derive(Debug)]
+pub struct AnycastBackend {
+    convergence_epochs: u64,
+    cells: Vec<Vec<AnycastCell>>,
+}
+
+impl AnycastBackend {
+    /// An anycast backend whose decisions take `convergence_epochs` to
+    /// propagate.
+    pub fn new(convergence_epochs: u64) -> Self {
+        AnycastBackend {
+            convergence_epochs: convergence_epochs.max(1),
+            cells: Vec::new(),
+        }
+    }
+}
+
+impl SteeringBackend for AnycastBackend {
+    fn name(&self) -> &'static str {
+        "anycast"
+    }
+
+    fn init(&mut self, populations: usize, pops: usize) {
+        self.cells = vec![vec![AnycastCell::default(); pops]; populations];
+    }
+
+    fn update(
+        &mut self,
+        population: usize,
+        pop: usize,
+        obs: &CellObservation,
+        _tuning: &ShiftTuning,
+    ) -> f64 {
+        let Some(cell) = self
+            .cells
+            .get_mut(population)
+            .and_then(|row| row.get_mut(pop))
+        else {
+            return 0.0;
+        };
+        // Tick an in-flight transition. Once issued, a BGP change
+        // completes even if conditions flip mid-convergence — there is no
+        // recalling an UPDATE already in the network.
+        if let Some((left, end_state)) = cell.pending.take() {
+            if left <= 1 {
+                cell.withdrawn = end_state;
+                cell.hold = ANYCAST_HOLD_PERIODS * self.convergence_epochs;
+            } else {
+                cell.pending = Some((left - 1, end_state));
+            }
+        }
+        if cell.hold > 0 {
+            cell.hold -= 1;
+        } else if cell.pending.is_none() {
+            let severe = obs.needed_shed() > ANYCAST_CUT_FRACTION;
+            if severe && !cell.withdrawn {
+                cell.pending = Some((self.convergence_epochs, true));
+            } else if cell.withdrawn
+                && obs.dropped_mbps <= 0.0
+                && obs.headroom_mbps > obs.baseline_mbps
+            {
+                cell.pending = Some((self.convergence_epochs, false));
+            }
+        }
+        if cell.withdrawn {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const TUNING: ShiftTuning = ShiftTuning {
+        step: 0.05,
+        max_shift: 0.5,
+        decay: 0.01,
+    };
+
+    /// Dropping half of what is offered: a needed shed far above `step`,
+    /// so the ramp advances by the full step each epoch.
+    fn overloaded() -> CellObservation {
+        CellObservation {
+            dropped_mbps: 500.0,
+            offered_mbps: 1000.0,
+            headroom_mbps: 0.0,
+            baseline_mbps: 100.0,
+        }
+    }
+
+    fn healthy(headroom: f64) -> CellObservation {
+        CellObservation {
+            dropped_mbps: 0.0,
+            offered_mbps: 1000.0,
+            headroom_mbps: headroom,
+            baseline_mbps: 100.0,
+        }
+    }
+
+    #[test]
+    fn dns_converges_to_target_over_ttl() {
+        let mut b = DnsBackend::new(4);
+        b.init(1, 1);
+        // One overloaded epoch issues target 0.05; observed fraction
+        // closes 1/4 of the remaining gap each epoch.
+        let f1 = b.update(0, 0, &overloaded(), &TUNING);
+        assert!((f1 - 0.05 / 4.0).abs() < 1e-12);
+        let mut last = f1;
+        for _ in 0..60 {
+            last = b.update(0, 0, &overloaded(), &TUNING);
+        }
+        // Long overload saturates at max_shift.
+        assert!((last - TUNING.max_shift).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dns_ttl_1_applies_immediately() {
+        let mut b = DnsBackend::new(1);
+        b.init(1, 1);
+        assert!((b.update(0, 0, &overloaded(), &TUNING) - 0.05).abs() < 1e-12);
+        assert!((b.update(0, 0, &overloaded(), &TUNING) - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dns_decay_gated_on_headroom() {
+        let mut b = DnsBackend::new(1);
+        b.init(1, 1);
+        for _ in 0..4 {
+            b.update(0, 0, &overloaded(), &TUNING);
+        }
+        // Healthy but without room for the baseline: shift holds.
+        let held = b.update(0, 0, &healthy(50.0), &TUNING);
+        assert!((held - 0.20).abs() < 1e-12);
+        // Healthy with room: decays, eventually to zero.
+        let mut f = held;
+        for _ in 0..200 {
+            f = b.update(0, 0, &healthy(500.0), &TUNING);
+        }
+        assert_eq!(f, 0.0);
+    }
+
+    #[test]
+    fn anycast_cuts_over_after_convergence_and_restores() {
+        let mut b = AnycastBackend::new(2);
+        b.init(1, 1);
+        // Decision epoch: still announced.
+        assert_eq!(b.update(0, 0, &overloaded(), &TUNING), 0.0);
+        // One epoch of convergence left.
+        assert_eq!(b.update(0, 0, &overloaded(), &TUNING), 0.0);
+        // Converged: whole population gone. Hold-down starts (3 periods
+        // of 2 epochs, one consumed by the applying update itself).
+        assert_eq!(b.update(0, 0, &overloaded(), &TUNING), 1.0);
+        // Healthy with room, but held: no restore may be scheduled yet.
+        for _ in 0..5 {
+            assert_eq!(b.update(0, 0, &healthy(500.0), &TUNING), 1.0);
+        }
+        // Hold expired: restore is scheduled, converges 2 epochs later.
+        assert_eq!(b.update(0, 0, &healthy(500.0), &TUNING), 1.0);
+        assert_eq!(b.update(0, 0, &healthy(500.0), &TUNING), 1.0);
+        assert_eq!(b.update(0, 0, &healthy(500.0), &TUNING), 0.0);
+        // Healthy but without room for the baseline: stays announced.
+        assert_eq!(b.update(0, 0, &healthy(50.0), &TUNING), 0.0);
+    }
+
+    proptest! {
+        /// Anycast never yields a fractional away-fraction: a population
+        /// is either fully at a PoP or fully moved — no double counting.
+        #[test]
+        fn prop_anycast_is_always_all_or_nothing(
+            convergence in 1u64..5,
+            steps in proptest::collection::vec(
+                (any::<bool>(), 0.0f64..1000.0), 1..200),
+        ) {
+            let mut b = AnycastBackend::new(convergence);
+            b.init(1, 1);
+            for (over, headroom) in steps {
+                let obs = CellObservation {
+                    dropped_mbps: if over { 500.0 } else { 0.0 },
+                    offered_mbps: 1000.0,
+                    headroom_mbps: headroom,
+                    baseline_mbps: 100.0,
+                };
+                let f = b.update(0, 0, &obs, &TUNING);
+                prop_assert!(f == 0.0 || f == 1.0);
+            }
+        }
+
+        /// DNS away-fractions stay within [0, max_shift] for any
+        /// observation sequence.
+        #[test]
+        fn prop_dns_fraction_bounded(
+            ttl in 1u64..8,
+            steps in proptest::collection::vec(
+                (any::<bool>(), 0.0f64..1000.0), 1..200),
+        ) {
+            let mut b = DnsBackend::new(ttl);
+            b.init(1, 1);
+            for (over, headroom) in steps {
+                let obs = CellObservation {
+                    dropped_mbps: if over { 500.0 } else { 0.0 },
+                    offered_mbps: 1000.0,
+                    headroom_mbps: headroom,
+                    baseline_mbps: 100.0,
+                };
+                let f = b.update(0, 0, &obs, &TUNING);
+                prop_assert!((0.0..=TUNING.max_shift + 1e-9).contains(&f));
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Configuration for the global steering tier.
+
+use serde::{Deserialize, Serialize};
+
+use crate::population::PopulationGrouping;
+
+/// Which mechanism moves user populations between PoPs. The two variants
+/// bracket the design space the paper's successors explored: DNS maps
+/// (gradual, fractional, delayed by resolver caches) versus anycast
+/// announcements (instant whole-catchment cutover once BGP converges).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BackendKind {
+    /// DNS-style steering: per epoch the map may move a fraction of a
+    /// population, and issued changes take effect gradually as resolver
+    /// caches expire over `ttl_epochs`.
+    Dns {
+        /// Cache-expiry horizon in controller epochs (≥ 1). Each epoch the
+        /// observed fraction closes `1/ttl_epochs` of the gap to the
+        /// issued target.
+        ttl_epochs: u64,
+    },
+    /// Anycast-style steering: withdrawing the announcement moves the
+    /// *whole* population at once, `convergence_epochs` after the decision
+    /// (BGP propagation delay). No fractional states ever exist.
+    Anycast {
+        /// Decision-to-effect delay in controller epochs (≥ 1).
+        convergence_epochs: u64,
+    },
+}
+
+/// A scheduled flash crowd: one population's demand multiplied for a
+/// window of simulated time (the World-Cup-final scenario from §2 of the
+/// paper, scaled to a named region).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlashCrowdSpec {
+    /// Population name (`"EU"`, `"AS64512"`, …). Unknown names are
+    /// ignored.
+    pub population: String,
+    /// Window start, simulated seconds.
+    pub t_start_secs: u64,
+    /// Window length, seconds.
+    pub duration_secs: u64,
+    /// Demand multiplier applied inside the window.
+    pub multiplier: f64,
+}
+
+/// Global-tier configuration.
+///
+/// `backend: None` is the *shape-only* arm: flash crowds still shape
+/// demand (so baseline and steered experiment arms see byte-identical
+/// offered load) but no steering ever happens.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalConfig {
+    /// How prefixes group into populations.
+    #[serde(default)]
+    pub grouping: PopulationGrouping,
+    /// Steering mechanism; `None` disables steering (shape-only).
+    #[serde(default)]
+    pub backend: Option<BackendKind>,
+    /// Shift increment per epoch of observed residual overload.
+    #[serde(default = "default_step")]
+    pub step: f64,
+    /// Ceiling on the fraction of a population's demand at one PoP that a
+    /// fractional backend may move away. Anycast ignores this: a
+    /// withdrawal is all-or-nothing by construction.
+    #[serde(default = "default_max_shift")]
+    pub max_shift: f64,
+    /// Decay per healthy epoch (fractional backends).
+    #[serde(default = "default_decay")]
+    pub decay: f64,
+    /// Fraction of a PoP's reported headroom the global tier may consume
+    /// as detour budget each epoch. Below 1.0 so global placement never
+    /// eats the margin the per-PoP controller needs for its own detours.
+    #[serde(default = "default_headroom_safety")]
+    pub headroom_safety: f64,
+    /// Scheduled flash crowds.
+    #[serde(default)]
+    pub flash_crowds: Vec<FlashCrowdSpec>,
+}
+
+fn default_step() -> f64 {
+    0.05
+}
+fn default_max_shift() -> f64 {
+    0.5
+}
+fn default_decay() -> f64 {
+    0.01
+}
+fn default_headroom_safety() -> f64 {
+    0.8
+}
+
+impl Default for GlobalConfig {
+    fn default() -> Self {
+        GlobalConfig {
+            grouping: PopulationGrouping::default(),
+            backend: Some(BackendKind::Dns { ttl_epochs: 1 }),
+            step: default_step(),
+            max_shift: default_max_shift(),
+            decay: default_decay(),
+            headroom_safety: default_headroom_safety(),
+            flash_crowds: Vec::new(),
+        }
+    }
+}
+
+impl GlobalConfig {
+    /// DNS-style steering with the given cache-expiry horizon.
+    pub fn dns(ttl_epochs: u64) -> Self {
+        GlobalConfig {
+            backend: Some(BackendKind::Dns {
+                ttl_epochs: ttl_epochs.max(1),
+            }),
+            ..GlobalConfig::default()
+        }
+    }
+
+    /// Anycast-style steering with the given convergence delay.
+    pub fn anycast(convergence_epochs: u64) -> Self {
+        GlobalConfig {
+            backend: Some(BackendKind::Anycast {
+                convergence_epochs: convergence_epochs.max(1),
+            }),
+            ..GlobalConfig::default()
+        }
+    }
+
+    /// Demand shaping only — flash crowds apply, steering never does.
+    pub fn shape_only() -> Self {
+        GlobalConfig {
+            backend: None,
+            ..GlobalConfig::default()
+        }
+    }
+
+    /// Adds a scheduled flash crowd (builder-style).
+    pub fn with_flash_crowd(mut self, spec: FlashCrowdSpec) -> Self {
+        self.flash_crowds.push(spec);
+        self
+    }
+}
+
+/// Tunables of the retired `ef_sim::GlobalShifter` prototype, kept so old
+/// configs and call sites migrate mechanically:
+/// `GlobalConfig::from(old_cfg)` yields an equivalent DNS backend with a
+/// one-epoch TTL (the prototype applied its shift immediately).
+#[deprecated(note = "use ef_global::GlobalConfig instead")]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GlobalShifterConfig {
+    /// Shift increment per overloaded epoch.
+    pub step: f64,
+    /// Ceiling on the shifted-away fraction.
+    pub max_shift: f64,
+    /// Decay per quiet epoch.
+    pub decay: f64,
+}
+
+#[allow(deprecated)]
+impl Default for GlobalShifterConfig {
+    fn default() -> Self {
+        GlobalShifterConfig {
+            step: default_step(),
+            max_shift: default_max_shift(),
+            decay: default_decay(),
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<GlobalShifterConfig> for GlobalConfig {
+    fn from(old: GlobalShifterConfig) -> Self {
+        GlobalConfig {
+            backend: Some(BackendKind::Dns { ttl_epochs: 1 }),
+            step: old.step,
+            max_shift: old.max_shift,
+            decay: old.decay,
+            ..GlobalConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_pick_the_right_backend() {
+        assert_eq!(
+            GlobalConfig::dns(4).backend,
+            Some(BackendKind::Dns { ttl_epochs: 4 })
+        );
+        assert_eq!(
+            GlobalConfig::anycast(3).backend,
+            Some(BackendKind::Anycast {
+                convergence_epochs: 3
+            })
+        );
+        assert_eq!(GlobalConfig::shape_only().backend, None);
+        // Degenerate horizons are clamped to 1.
+        assert_eq!(
+            GlobalConfig::dns(0).backend,
+            Some(BackendKind::Dns { ttl_epochs: 1 })
+        );
+    }
+
+    #[test]
+    fn serde_round_trip_with_defaults() {
+        let cfg = GlobalConfig::dns(4).with_flash_crowd(FlashCrowdSpec {
+            population: "EU".into(),
+            t_start_secs: 9000,
+            duration_secs: 3600,
+            multiplier: 2.5,
+        });
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: GlobalConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(cfg, back);
+        // Missing optional fields come back as defaults.
+        let minimal: GlobalConfig = serde_json::from_str("{}").unwrap();
+        assert_eq!(minimal.step, 0.05);
+        assert_eq!(minimal.backend, None);
+        assert!(minimal.flash_crowds.is_empty());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn shifter_config_migrates_to_dns_ttl_1() {
+        let old = GlobalShifterConfig {
+            step: 0.1,
+            max_shift: 0.6,
+            decay: 0.02,
+        };
+        let cfg: GlobalConfig = old.into();
+        assert_eq!(cfg.backend, Some(BackendKind::Dns { ttl_epochs: 1 }));
+        assert_eq!(cfg.step, 0.1);
+        assert_eq!(cfg.max_shift, 0.6);
+        assert_eq!(cfg.decay, 0.02);
+    }
+}

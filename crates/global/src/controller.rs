@@ -1,0 +1,770 @@
+//! The global controller: user→PoP placement above per-PoP Edge Fabric.
+//!
+//! Edge Fabric (the paper's system) runs one controller per PoP and can
+//! only shuffle traffic between that PoP's own egresses. When a whole PoP
+//! runs out of capacity — a regional blackout, a flash crowd — the fix
+//! lives a layer up: move *users* to other PoPs, the job of Facebook's
+//! Cartographer and its successors. [`GlobalController`] reproduces that
+//! layer:
+//!
+//! * demand is grouped into named [populations](crate::population) and
+//!   optionally *shaped* by scheduled flash crowds;
+//! * each epoch every PoP reports up a [`PopReport`] (residual overload,
+//!   drops, headroom) and a [steering backend](crate::backend) updates
+//!   per-(population, PoP) away-fractions;
+//! * before the next epoch the controller *places* the moved demand onto
+//!   other PoPs that serve the same prefixes, within per-PoP detour
+//!   budgets negotiated from reported headroom — so global steering never
+//!   overloads a healthy PoP to save a sick one.
+//!
+//! Placement conserves demand exactly: whatever cannot be granted a
+//! budget stays at its source PoP (and keeps hurting, which keeps the
+//! backend shifting). Every placement action is emitted as a
+//! [`PlacementRecord`] so `efctl trace` can answer *why* a population
+//! moved where it did.
+
+use serde::{Deserialize, Serialize};
+
+use ef_telemetry::{
+    PlacementRecord, PlacementRejectReason, PlacementTarget, PlacementVerdict, RejectedTarget,
+    TelemetryHandle,
+};
+use ef_topology::{Deployment, PopId};
+use ef_traffic::demand::DemandPoint;
+
+use crate::backend::{AnycastBackend, CellObservation, DnsBackend, ShiftTuning, SteeringBackend};
+use crate::config::{BackendKind, GlobalConfig};
+use crate::population::PopulationMap;
+
+const EPS: f64 = 1e-12;
+
+/// Above this away-fraction a PoP that received nothing is reported as
+/// [`PlacementRejectReason::SourceShifted`] (it is mostly withdrawn
+/// itself) rather than out of budget.
+const SOURCE_SHIFTED_AWAY: f64 = 0.5;
+
+/// What one PoP reports up to the global tier after an epoch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PopReport {
+    /// The per-PoP controller saw overload it could not relieve.
+    pub residual_overloaded: bool,
+    /// Traffic actually dropped at this PoP during the epoch, Mbps.
+    pub dropped_mbps: f64,
+    /// Total demand offered to this PoP during the epoch, Mbps.
+    pub offered_mbps: f64,
+    /// Spare egress capacity under the utilization limit, Mbps.
+    pub headroom_mbps: f64,
+}
+
+impl PopReport {
+    /// The overload signal backends react to: actual drops. Residual
+    /// overload without loss is the per-PoP controller's problem; the
+    /// global tier moves users only once traffic is demonstrably lost.
+    pub fn overloaded(&self) -> bool {
+        self.dropped_mbps > 0.0
+    }
+}
+
+/// One population's current placement state, for reports and the CLI.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementSummary {
+    /// Population name.
+    pub population: String,
+    /// Away-fraction per PoP (how much of the population's demand at that
+    /// PoP is currently steered elsewhere).
+    pub away: Vec<f64>,
+    /// Demand actually moved in the last epoch, Mbps.
+    pub moved_mbps: f64,
+    /// The population's average demand per PoP, Mbps.
+    pub baseline_mbps: Vec<f64>,
+}
+
+/// The global steering tier. One instance sits above all PoPs; the
+/// simulation engine calls [`shape_demand`](Self::shape_demand) →
+/// [`place`](Self::place) before stepping the PoPs and
+/// [`observe`](Self::observe) with their reports afterwards.
+pub struct GlobalController {
+    cfg: GlobalConfig,
+    map: PopulationMap,
+    backend: Option<Box<dyn SteeringBackend>>,
+    /// `away[population][pop]` — fraction steered away, updated by the
+    /// backend each `observe`.
+    away: Vec<Vec<f64>>,
+    /// Per-PoP detour budget (Mbps) from the last `observe`.
+    budgets: Vec<f64>,
+    /// Demand moved per population in the last `place`, Mbps.
+    moved_last: Vec<f64>,
+    /// Flash crowds resolved to population indices:
+    /// `(population, start_secs, end_secs, multiplier)`.
+    crowds: Vec<(usize, u64, u64, f64)>,
+    /// `holders[prefix_idx]` — every `(pop_idx, demand_point_idx)` serving
+    /// that prefix, in deployment order.
+    holders: Vec<Vec<(u32, u32)>>,
+    epoch: u64,
+    n_pops: usize,
+    telemetry: TelemetryHandle,
+}
+
+impl std::fmt::Debug for GlobalController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GlobalController")
+            .field("backend", &self.backend_name())
+            .field("populations", &self.map.len())
+            .field("pops", &self.n_pops)
+            .field("epoch", &self.epoch)
+            .finish()
+    }
+}
+
+impl GlobalController {
+    /// Builds the tier for a deployment. Flash crowds naming unknown
+    /// populations are ignored.
+    pub fn new(deployment: &Deployment, cfg: GlobalConfig, telemetry: TelemetryHandle) -> Self {
+        let map = PopulationMap::build(deployment, cfg.grouping);
+        let n_pops = deployment.pops.len();
+        let n_populations = map.len();
+        let mut backend: Option<Box<dyn SteeringBackend>> = match cfg.backend {
+            Some(BackendKind::Dns { ttl_epochs }) => Some(Box::new(DnsBackend::new(ttl_epochs))),
+            Some(BackendKind::Anycast { convergence_epochs }) => {
+                Some(Box::new(AnycastBackend::new(convergence_epochs)))
+            }
+            None => None,
+        };
+        if let Some(b) = backend.as_mut() {
+            b.init(n_populations, n_pops);
+        }
+        let mut holders: Vec<Vec<(u32, u32)>> =
+            vec![Vec::new(); deployment.universe.prefixes.len()];
+        for (pop_idx, pop) in deployment.pops.iter().enumerate() {
+            for (point_idx, served) in pop.served.iter().enumerate() {
+                if let Some(h) = holders.get_mut(served.prefix_idx as usize) {
+                    h.push((pop_idx as u32, point_idx as u32));
+                }
+            }
+        }
+        let crowds = cfg
+            .flash_crowds
+            .iter()
+            .filter_map(|spec| {
+                map.population_named(&spec.population).map(|pi| {
+                    (
+                        pi,
+                        spec.t_start_secs,
+                        spec.t_start_secs.saturating_add(spec.duration_secs),
+                        spec.multiplier,
+                    )
+                })
+            })
+            .collect();
+        GlobalController {
+            away: vec![vec![0.0; n_pops]; n_populations],
+            budgets: vec![0.0; n_pops],
+            moved_last: vec![0.0; n_populations],
+            crowds,
+            holders,
+            epoch: 0,
+            n_pops,
+            cfg,
+            map,
+            backend,
+            telemetry,
+        }
+    }
+
+    /// The steering mechanism's name (`"dns"`, `"anycast"`, or
+    /// `"shape_only"` when steering is disabled).
+    pub fn backend_name(&self) -> &'static str {
+        match self.backend.as_deref() {
+            Some(b) => b.name(),
+            None => "shape_only",
+        }
+    }
+
+    /// The configuration the tier runs with.
+    pub fn config(&self) -> &GlobalConfig {
+        &self.cfg
+    }
+
+    /// The population partition.
+    pub fn population_map(&self) -> &PopulationMap {
+        &self.map
+    }
+
+    /// Epochs observed so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// True when any population currently has demand steered away.
+    pub fn is_active(&self) -> bool {
+        self.away.iter().any(|row| row.iter().any(|f| *f > EPS))
+    }
+
+    /// The largest away-fraction any population has at `pop` — the
+    /// successor of the prototype shifter's per-PoP shift fraction.
+    pub fn away_fraction(&self, pop: PopId) -> f64 {
+        let idx = pop.0 as usize;
+        self.away
+            .iter()
+            .filter_map(|row| row.get(idx))
+            .fold(0.0, |acc, f| acc.max(*f))
+    }
+
+    /// Current placement state per population, for reports and `efctl`.
+    pub fn placements(&self) -> Vec<PlacementSummary> {
+        self.map
+            .populations
+            .iter()
+            .enumerate()
+            .map(|(pi, p)| PlacementSummary {
+                population: p.name.clone(),
+                away: self.away.get(pi).cloned().unwrap_or_default(),
+                moved_mbps: self.moved_last.get(pi).copied().unwrap_or(0.0),
+                baseline_mbps: p.baseline_mbps.clone(),
+            })
+            .collect()
+    }
+
+    /// Applies scheduled flash crowds to offered demand: every demand
+    /// point belonging to an active crowd's population is multiplied, at
+    /// every PoP (the crowd raises the population's demand; the serving
+    /// footprint splits it as usual).
+    pub fn shape_demand(&self, t_secs: u64, demands: &mut [(PopId, Vec<DemandPoint>)]) {
+        for &(pi, start, end, mult) in &self.crowds {
+            if t_secs < start || t_secs >= end {
+                continue;
+            }
+            for (_, points) in demands.iter_mut() {
+                for point in points.iter_mut() {
+                    let member = self
+                        .map
+                        .of_prefix
+                        .get(point.prefix_idx as usize)
+                        .is_some_and(|p| *p as usize == pi);
+                    if member {
+                        point.mbps *= mult;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Moves steered-away demand onto other PoPs serving the same
+    /// prefixes, within per-PoP detour budgets. Demand is conserved
+    /// exactly: the fraction of a victim's moved demand that no budget
+    /// accepts stays at the victim. Emits one [`PlacementRecord`] per
+    /// (population, drained PoP) with demand in motion.
+    pub fn place(&mut self, t_secs: u64, demands: &mut [(PopId, Vec<DemandPoint>)]) {
+        let n_pops = self.n_pops;
+        let n_populations = self.map.len();
+        for m in &mut self.moved_last {
+            *m = 0.0;
+        }
+        if !self.is_active() || n_pops == 0 {
+            return;
+        }
+        // Map pop index → position in `demands` (callers usually pass
+        // deployment order, but don't rely on it).
+        let mut arm_of_pop: Vec<usize> = vec![demands.len(); n_pops];
+        for (arm, (pop, _)) in demands.iter().enumerate() {
+            if let Some(slot) = arm_of_pop.get_mut(pop.0 as usize) {
+                *slot = arm;
+            }
+        }
+        let mut remaining = self.budgets.clone();
+        // Attribution, indexed [population][src] and [population][src][dst].
+        let mut attempted = vec![0.0f64; n_populations * n_pops];
+        let mut placed = vec![0.0f64; n_populations * n_pops];
+        let mut granted = vec![0.0f64; n_populations * n_pops * n_pops];
+
+        let mut victims: Vec<(usize, usize, usize, f64)> = Vec::new();
+        let mut receivers: Vec<(usize, usize, usize, f64)> = Vec::new();
+        let mut grants: Vec<f64> = Vec::new();
+        for (prefix_idx, holders) in self.holders.iter().enumerate() {
+            let Some(pi) = self.map.of_prefix.get(prefix_idx).map(|p| *p as usize) else {
+                continue;
+            };
+            let Some(a_row) = self.away.get(pi) else {
+                continue;
+            };
+            victims.clear();
+            receivers.clear();
+            let mut moved = 0.0f64;
+            let mut total_w = 0.0f64;
+            for &(pop_idx, point_idx) in holders {
+                let (p, q) = (pop_idx as usize, point_idx as usize);
+                let Some(&arm) = arm_of_pop.get(p) else {
+                    continue;
+                };
+                let Some((_, points)) = demands.get(arm) else {
+                    continue;
+                };
+                let Some(point) = points.get(q) else { continue };
+                let away = a_row.get(p).copied().unwrap_or(0.0).clamp(0.0, 1.0);
+                if away > EPS {
+                    let contribution = point.mbps * away;
+                    if contribution > EPS {
+                        moved += contribution;
+                        victims.push((arm, q, p, contribution));
+                    }
+                }
+                // Receiver weight fades continuously with the cell's own
+                // away-fraction: a fully withdrawn PoP receives nothing, a
+                // lightly shifted one (decay residue, a transient blip)
+                // stays usable. A hard "must be exactly at home" cutoff
+                // regularly leaves *no* receivers, because per-PoP drop
+                // blips sprinkle small away-fractions everywhere.
+                let receiving = 1.0 - away;
+                if receiving > EPS {
+                    let budget = remaining.get(p).copied().unwrap_or(0.0).max(0.0);
+                    if budget > EPS {
+                        let w = budget * receiving;
+                        total_w += w;
+                        receivers.push((arm, q, p, w));
+                    }
+                }
+            }
+            if moved <= EPS {
+                continue;
+            }
+            for &(_, _, src, c) in &victims {
+                attempted[pi * n_pops + src] += c;
+            }
+            if total_w <= EPS {
+                continue; // nowhere to place — demand stays and keeps hurting
+            }
+            // Grant each receiver its budget-proportional share, capped by
+            // what is left of that PoP's budget.
+            grants.clear();
+            let mut total_granted = 0.0f64;
+            for &(_, _, dst, w) in &receivers {
+                let ideal = moved * w / total_w;
+                let cap = remaining.get(dst).copied().unwrap_or(0.0).max(0.0);
+                let g = ideal.min(cap);
+                grants.push(g);
+                total_granted += g;
+            }
+            if total_granted <= EPS {
+                continue;
+            }
+            // Victims lose exactly what receivers gain, proportionally to
+            // their contribution — conservation is exact by construction.
+            let scale = total_granted / moved;
+            for &(arm, q, src, c) in &victims {
+                if let Some((_, points)) = demands.get_mut(arm) {
+                    if let Some(point) = points.get_mut(q) {
+                        point.mbps = (point.mbps - c * scale).max(0.0);
+                    }
+                }
+                placed[pi * n_pops + src] += c * scale;
+            }
+            for (ri, &(arm, q, dst, _)) in receivers.iter().enumerate() {
+                let g = grants.get(ri).copied().unwrap_or(0.0);
+                if g <= EPS {
+                    continue;
+                }
+                if let Some((_, points)) = demands.get_mut(arm) {
+                    if let Some(point) = points.get_mut(q) {
+                        point.mbps += g;
+                    }
+                }
+                if let Some(r) = remaining.get_mut(dst) {
+                    *r -= g;
+                }
+                for &(_, _, src, c) in &victims {
+                    granted[(pi * n_pops + src) * n_pops + dst] += g * c / moved;
+                }
+            }
+        }
+
+        // Roll up per-population totals and emit provenance.
+        let now_ms = t_secs.saturating_mul(1000);
+        for pi in 0..n_populations {
+            let mut population_moved = 0.0f64;
+            for src in 0..n_pops {
+                let att = attempted[pi * n_pops + src];
+                if att <= EPS {
+                    continue;
+                }
+                let plc = placed[pi * n_pops + src];
+                population_moved += plc;
+                if self.telemetry.enabled() {
+                    self.emit_placement(pi, src, plc, &granted, &remaining, now_ms);
+                }
+            }
+            if let Some(m) = self.moved_last.get_mut(pi) {
+                *m = population_moved;
+            }
+            if self.telemetry.enabled() && population_moved > EPS {
+                if let Some(p) = self.map.populations.get(pi) {
+                    self.telemetry
+                        .gauge(&format!("global.{}.moved_mbps", p.name), population_moved);
+                    let away_max = self
+                        .away
+                        .get(pi)
+                        .map(|row| row.iter().fold(0.0f64, |a, f| a.max(*f)))
+                        .unwrap_or(0.0);
+                    self.telemetry
+                        .gauge(&format!("global.{}.away_max", p.name), away_max);
+                }
+            }
+        }
+    }
+
+    fn emit_placement(
+        &self,
+        pi: usize,
+        src: usize,
+        moved_mbps: f64,
+        granted: &[f64],
+        remaining: &[f64],
+        now_ms: u64,
+    ) {
+        let Some(population) = self.map.populations.get(pi) else {
+            return;
+        };
+        let n_pops = self.n_pops;
+        let mut targets = Vec::new();
+        let mut rejected = Vec::new();
+        for dst in 0..n_pops {
+            if dst == src {
+                continue;
+            }
+            let g = granted
+                .get((pi * n_pops + src) * n_pops + dst)
+                .copied()
+                .unwrap_or(0.0);
+            if g > EPS {
+                targets.push(PlacementTarget {
+                    pop: dst as u16,
+                    granted_mbps: g,
+                });
+                continue;
+            }
+            let baseline = population.baseline_mbps.get(dst).copied().unwrap_or(0.0);
+            let away = self
+                .away
+                .get(pi)
+                .and_then(|row| row.get(dst))
+                .copied()
+                .unwrap_or(0.0);
+            let reason = if baseline <= EPS {
+                PlacementRejectReason::NoFootprint
+            } else if away > SOURCE_SHIFTED_AWAY {
+                PlacementRejectReason::SourceShifted
+            } else {
+                PlacementRejectReason::NoHeadroom {
+                    budget_mbps: remaining.get(dst).copied().unwrap_or(0.0).max(0.0),
+                }
+            };
+            rejected.push(RejectedTarget {
+                pop: dst as u16,
+                reason,
+            });
+        }
+        let verdict = if moved_mbps > EPS {
+            PlacementVerdict::Applied
+        } else {
+            PlacementVerdict::NoFeasibleTarget
+        };
+        let record = PlacementRecord {
+            population: population.name.clone(),
+            backend: self.backend_name().to_string(),
+            trigger: "overload".to_string(),
+            from_pop: src as u16,
+            away_fraction: self
+                .away
+                .get(pi)
+                .and_then(|row| row.get(src))
+                .copied()
+                .unwrap_or(0.0),
+            moved_mbps,
+            targets,
+            rejected,
+            verdict,
+        };
+        self.telemetry.placement(src as u16, now_ms, &record);
+    }
+
+    /// Feeds the epoch's per-PoP reports: refreshes detour budgets from
+    /// reported headroom and lets the backend update every
+    /// (population, PoP) away-fraction. `reports` is indexed by PoP.
+    pub fn observe(&mut self, reports: &[PopReport]) {
+        for (j, budget) in self.budgets.iter_mut().enumerate() {
+            *budget = reports
+                .get(j)
+                .map(|r| (r.headroom_mbps * self.cfg.headroom_safety).max(0.0))
+                .unwrap_or(0.0);
+        }
+        self.epoch = self.epoch.saturating_add(1);
+        let tuning = ShiftTuning {
+            step: self.cfg.step,
+            max_shift: self.cfg.max_shift,
+            decay: self.cfg.decay,
+        };
+        let Some(backend) = self.backend.as_mut() else {
+            return;
+        };
+        for (pi, population) in self.map.populations.iter().enumerate() {
+            for j in 0..self.n_pops {
+                let baseline = population.baseline_mbps.get(j).copied().unwrap_or(0.0);
+                if baseline <= 0.0 {
+                    continue; // no footprint — nothing of this population here
+                }
+                let Some(report) = reports.get(j) else {
+                    continue;
+                };
+                let obs = CellObservation {
+                    dropped_mbps: report.dropped_mbps.max(0.0),
+                    offered_mbps: report.offered_mbps.max(0.0),
+                    headroom_mbps: report.headroom_mbps,
+                    baseline_mbps: baseline,
+                };
+                let fraction = backend.update(pi, j, &obs, &tuning).clamp(0.0, 1.0);
+                if let Some(cell) = self.away.get_mut(pi).and_then(|row| row.get_mut(j)) {
+                    *cell = fraction;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ef_topology::{generate, GenConfig};
+    use proptest::prelude::*;
+
+    fn deployment(pops: u16) -> Deployment {
+        generate(&GenConfig {
+            n_pops: pops as usize,
+            ..GenConfig::small(3)
+        })
+    }
+
+    fn demands_for(dep: &Deployment) -> Vec<(PopId, Vec<DemandPoint>)> {
+        dep.pops
+            .iter()
+            .map(|pop| {
+                (
+                    pop.id,
+                    pop.served
+                        .iter()
+                        .map(|s| DemandPoint {
+                            prefix_idx: s.prefix_idx,
+                            mbps: s.avg_mbps,
+                        })
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn total(demands: &[(PopId, Vec<DemandPoint>)]) -> f64 {
+        demands
+            .iter()
+            .map(|(_, pts)| pts.iter().map(|p| p.mbps).sum::<f64>())
+            .sum()
+    }
+
+    fn pop_total(demands: &[(PopId, Vec<DemandPoint>)], pop: PopId) -> f64 {
+        demands
+            .iter()
+            .find(|(p, _)| *p == pop)
+            .map(|(_, pts)| pts.iter().map(|p| p.mbps).sum())
+            .unwrap()
+    }
+
+    /// Reports where `victim` is overloaded and everyone else has
+    /// abundant headroom.
+    fn reports(dep: &Deployment, victim: PopId, headroom: f64) -> Vec<PopReport> {
+        dep.pops
+            .iter()
+            .map(|p| {
+                if p.id == victim {
+                    // Dropping half of everything offered: severe enough
+                    // that every backend reacts at full tilt.
+                    PopReport {
+                        residual_overloaded: true,
+                        dropped_mbps: 1e9,
+                        offered_mbps: 2e9,
+                        headroom_mbps: 0.0,
+                    }
+                } else {
+                    PopReport {
+                        residual_overloaded: false,
+                        dropped_mbps: 0.0,
+                        offered_mbps: 1e9,
+                        headroom_mbps: headroom,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dns_steering_drains_an_overloaded_pop() {
+        let dep = deployment(4);
+        let mut ctl =
+            GlobalController::new(&dep, GlobalConfig::dns(1), TelemetryHandle::disabled());
+        let victim = PopId(0);
+        for _ in 0..6 {
+            ctl.observe(&reports(&dep, victim, 1e9));
+        }
+        assert!(ctl.is_active());
+        assert!((ctl.away_fraction(victim) - 0.30).abs() < 1e-9);
+        let mut demands = demands_for(&dep);
+        let before_total = total(&demands);
+        let before_victim = pop_total(&demands, victim);
+        ctl.place(3600, &mut demands);
+        assert!((total(&demands) - before_total).abs() < 1e-6);
+        let after_victim = pop_total(&demands, victim);
+        assert!(after_victim < before_victim * 0.75, "{after_victim}");
+        let moved: f64 = ctl.placements().iter().map(|p| p.moved_mbps).sum();
+        assert!(moved > 0.0);
+    }
+
+    #[test]
+    fn place_respects_detour_budgets() {
+        let dep = deployment(3);
+        let mut ctl =
+            GlobalController::new(&dep, GlobalConfig::dns(1), TelemetryHandle::disabled());
+        let victim = PopId(0);
+        // Zero headroom anywhere: nothing may be placed.
+        for _ in 0..6 {
+            ctl.observe(&reports(&dep, victim, 0.0));
+        }
+        let mut demands = demands_for(&dep);
+        let snapshot = demands.clone();
+        ctl.place(0, &mut demands);
+        for ((pa, a), (pb, b)) in demands.iter().zip(snapshot.iter()) {
+            assert_eq!(pa, pb);
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x.mbps - y.mbps).abs() < 1e-9);
+            }
+        }
+        // A tiny budget is consumed but never exceeded.
+        for _ in 0..6 {
+            ctl.observe(&reports(&dep, victim, 10.0));
+        }
+        let mut demands = demands_for(&dep);
+        let before: Vec<f64> = dep.pops.iter().map(|p| pop_total(&demands, p.id)).collect();
+        ctl.place(0, &mut demands);
+        for (idx, pop) in dep.pops.iter().enumerate() {
+            if pop.id == victim {
+                continue;
+            }
+            let gained = pop_total(&demands, pop.id) - before[idx];
+            // budget = headroom × safety = 10 × 0.8
+            assert!(gained <= 8.0 + 1e-6, "pop {idx} gained {gained}");
+        }
+    }
+
+    #[test]
+    fn shape_only_never_steers_but_shapes_crowds() {
+        let dep = deployment(3);
+        let cfg = GlobalConfig::shape_only().with_flash_crowd(crate::config::FlashCrowdSpec {
+            population: "NA".into(),
+            t_start_secs: 100,
+            duration_secs: 100,
+            multiplier: 2.0,
+        });
+        let mut ctl = GlobalController::new(&dep, cfg, TelemetryHandle::disabled());
+        let victim = PopId(0);
+        for _ in 0..10 {
+            ctl.observe(&reports(&dep, victim, 1e9));
+        }
+        assert!(!ctl.is_active());
+        assert_eq!(ctl.backend_name(), "shape_only");
+        // The crowd multiplies exactly the NA population's demand.
+        let na = ctl.population_map().population_named("NA").unwrap();
+        let mut demands = demands_for(&dep);
+        let before = total(&demands);
+        let na_before: f64 = demands
+            .iter()
+            .flat_map(|(_, pts)| pts.iter())
+            .filter(|p| ctl.population_map().of_prefix[p.prefix_idx as usize] as usize == na)
+            .map(|p| p.mbps)
+            .sum();
+        ctl.shape_demand(150, &mut demands);
+        assert!((total(&demands) - (before + na_before)).abs() < 1e-6);
+        // Outside the window: identity.
+        let snapshot = demands.clone();
+        ctl.shape_demand(300, &mut demands);
+        assert_eq!(demands, snapshot);
+    }
+
+    #[test]
+    fn placement_records_carry_provenance() {
+        let dep = deployment(3);
+        let (telemetry, sink) = TelemetryHandle::memory();
+        let mut ctl = GlobalController::new(&dep, GlobalConfig::dns(1), telemetry);
+        let victim = PopId(1);
+        for _ in 0..6 {
+            ctl.observe(&reports(&dep, victim, 1e9));
+        }
+        let mut demands = demands_for(&dep);
+        ctl.place(7200, &mut demands);
+        let placements = sink.placements();
+        assert!(!placements.is_empty());
+        for (pop, now_ms, record) in &placements {
+            assert_eq!(*pop, victim.0);
+            assert_eq!(*now_ms, 7_200_000);
+            assert_eq!(record.backend, "dns");
+            assert!(record.applied());
+            assert!(!record.targets.is_empty());
+            assert!(record.moved_mbps > 0.0);
+            assert!(record.away_fraction > 0.0);
+        }
+    }
+
+    #[test]
+    fn anycast_moves_whole_population_after_convergence() {
+        let dep = deployment(4);
+        let mut ctl =
+            GlobalController::new(&dep, GlobalConfig::anycast(2), TelemetryHandle::disabled());
+        let victim = PopId(0);
+        // Decision + convergence epochs.
+        for _ in 0..3 {
+            ctl.observe(&reports(&dep, victim, 1e9));
+        }
+        // Every population served at the victim is fully withdrawn.
+        assert_eq!(ctl.away_fraction(victim), 1.0);
+        let mut demands = demands_for(&dep);
+        let before = total(&demands);
+        ctl.place(0, &mut demands);
+        assert!((total(&demands) - before).abs() < 1e-6);
+        // The victim keeps only demand no budget accepted (here: none).
+        assert!(pop_total(&demands, victim) < 1e-6);
+    }
+
+    proptest! {
+        /// DNS placement conserves total demand for any overload pattern,
+        /// any headroom distribution, and any number of epochs.
+        #[test]
+        fn prop_dns_place_conserves_demand(
+            seed_pops in 2u16..6,
+            victim in 0u16..6,
+            epochs in 1usize..12,
+            headroom in 0.0f64..100_000.0,
+        ) {
+            let dep = deployment(seed_pops);
+            let victim = PopId(victim % seed_pops);
+            let mut ctl = GlobalController::new(
+                &dep, GlobalConfig::dns(2), TelemetryHandle::disabled());
+            for _ in 0..epochs {
+                ctl.observe(&reports(&dep, victim, headroom));
+            }
+            let mut demands = demands_for(&dep);
+            let before = total(&demands);
+            ctl.place(0, &mut demands);
+            prop_assert!((total(&demands) - before).abs() < 1e-6);
+            // No demand point ever goes negative.
+            for (_, pts) in &demands {
+                for p in pts {
+                    prop_assert!(p.mbps >= 0.0);
+                }
+            }
+        }
+    }
+}

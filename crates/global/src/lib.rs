@@ -1,0 +1,36 @@
+//! Global steering tier for the Edge Fabric reproduction.
+//!
+//! Edge Fabric (SIGCOMM 2017) is deliberately per-PoP: each PoP's
+//! controller only moves traffic between that PoP's own egress
+//! interfaces. The paper's §7 points a layer up — systems like
+//! Facebook's Cartographer steer *users* between PoPs, deciding which
+//! PoP serves which population before per-PoP egress control ever runs.
+//! This crate reproduces that layer:
+//!
+//! * [`population`] — named user populations (by region or by origin AS)
+//!   with per-PoP demand baselines derived from the serving footprint;
+//! * [`config`] — [`GlobalConfig`]: grouping, steering backend, shift
+//!   tunables, headroom safety margin, scheduled flash crowds;
+//! * [`backend`] — the [`SteeringBackend`] trait and its two
+//!   implementations: [`DnsBackend`] (fractional, TTL-delayed) and
+//!   [`AnycastBackend`] (all-or-nothing, convergence-delayed);
+//! * [`controller`] — [`GlobalController`], which shapes demand (flash
+//!   crowds), places steered-away demand under per-PoP headroom budgets,
+//!   and feeds per-PoP [`PopReport`]s to the backend each epoch.
+//!
+//! **Determinism contract**: the controller is pure state machine — no
+//! clocks, no randomness, Vec-indexed state, fixed iteration order — so
+//! simulation results with the tier enabled are byte-identical across
+//! reruns and unaffected by telemetry being on or off.
+
+pub mod backend;
+pub mod config;
+pub mod controller;
+pub mod population;
+
+pub use backend::{AnycastBackend, CellObservation, DnsBackend, ShiftTuning, SteeringBackend};
+#[allow(deprecated)]
+pub use config::GlobalShifterConfig;
+pub use config::{BackendKind, FlashCrowdSpec, GlobalConfig};
+pub use controller::{GlobalController, PlacementSummary, PopReport};
+pub use population::{Population, PopulationGrouping, PopulationMap};

@@ -7,7 +7,8 @@ use ef_perf::rtt::{PathPerfModel, PerfConfig};
 use ef_topology::{generate, Deployment, PopId};
 use ef_traffic::demand::DemandModel;
 
-use crate::global::GlobalShifter;
+use ef_global::{GlobalController, PopReport};
+
 use crate::metrics::MetricsStore;
 use crate::runtime::PopRuntime;
 use crate::scenario::SimConfig;
@@ -23,8 +24,8 @@ pub struct SimEngine {
     pub pops: Vec<PopRuntime>,
     /// The latent path-performance model.
     pub perf_model: PathPerfModel,
-    /// Cross-PoP demand shifting, when the scenario enables it.
-    pub shifter: Option<GlobalShifter>,
+    /// The global steering tier, when the scenario enables it.
+    pub global: Option<GlobalController>,
     t_secs: u64,
 }
 
@@ -62,14 +63,17 @@ impl SimEngine {
             seed: cfg.demand_seed ^ 0xE0E0,
             ..Default::default()
         });
-        let shifter = cfg.global_shift.map(GlobalShifter::new);
+        let global = cfg
+            .global
+            .clone()
+            .map(|g| GlobalController::new(&deployment, g, cfg.telemetry.clone()));
         SimEngine {
             cfg,
             deployment,
             demand,
             pops,
             perf_model,
-            shifter,
+            global,
             t_secs: 0,
         }
     }
@@ -95,16 +99,17 @@ impl SimEngine {
         let deployment = &self.deployment;
         let perf_model = &self.perf_model;
 
-        if let Some(shifter) = &self.shifter {
-            // Global arm: compute every PoP's demand first, let the shifter
-            // redistribute it, then step (parallel) and feed observations
-            // back.
+        if let Some(global) = self.global.as_mut() {
+            // Global arm: compute every PoP's demand first, let the tier
+            // shape (flash crowds) and place (steering) it, then step the
+            // PoPs (parallel) and report back up.
             let mut demands: Vec<(PopId, Vec<ef_traffic::demand::DemandPoint>)> = self
                 .pops
                 .iter()
                 .map(|pop| (pop.pop.id, demand_model.offered(deployment, pop.pop.id, t)))
                 .collect();
-            shifter.apply(deployment, &mut demands);
+            global.shape_demand(t, &mut demands);
+            global.place(t, &mut demands);
             let outcomes: Vec<(PopId, crate::runtime::StepOutcome)> =
                 crossbeam::thread::scope(|s| {
                     let handles: Vec<_> = self
@@ -122,10 +127,18 @@ impl SimEngine {
                         .collect()
                 })
                 .expect("sim worker panicked");
-            let shifter = self.shifter.as_mut().expect("checked above");
+            let mut reports = vec![PopReport::default(); self.deployment.pops.len()];
             for (pop_id, outcome) in outcomes {
-                shifter.observe(pop_id, outcome.residual_overloaded);
+                if let Some(report) = reports.get_mut(pop_id.0 as usize) {
+                    *report = PopReport {
+                        residual_overloaded: outcome.residual_overloaded,
+                        dropped_mbps: outcome.dropped_mbps,
+                        offered_mbps: outcome.offered_mbps,
+                        headroom_mbps: outcome.headroom_mbps,
+                    };
+                }
             }
+            global.observe(&reports);
         } else {
             crossbeam::thread::scope(|s| {
                 for pop in self.pops.iter_mut() {

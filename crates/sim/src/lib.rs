@@ -23,7 +23,6 @@
 
 pub mod chaos;
 pub mod engine;
-pub mod global;
 pub mod metrics;
 pub mod report;
 pub mod runtime;
@@ -31,7 +30,11 @@ pub mod scenario;
 
 pub use chaos::surface as chaos_surface;
 pub use engine::SimEngine;
-pub use global::{GlobalShifter, GlobalShifterConfig};
+// The global-shifter prototype moved up into its own crate (`ef-global`);
+// the deprecated config shim is re-exported so old call sites keep
+// compiling while they migrate to `ef_global::GlobalConfig`.
+#[allow(deprecated)]
+pub use ef_global::GlobalShifterConfig;
 pub use metrics::{DetourEpisode, InterfaceStats, MetricsStore, PopEpochRecord};
 pub use report::{PopReport, RunReport};
 pub use scenario::{scenario, PerfSimConfig, ScenarioBuilder, SimConfig};

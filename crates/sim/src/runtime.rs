@@ -102,6 +102,11 @@ pub struct StepOutcome {
     pub residual_overloaded: bool,
     /// Traffic dropped at this PoP this epoch, Mbps.
     pub dropped_mbps: f64,
+    /// Total demand offered to this PoP this epoch, Mbps.
+    pub offered_mbps: f64,
+    /// Spare egress capacity under the utilization limit, summed across
+    /// interfaces, Mbps. The global tier budgets detours against this.
+    pub headroom_mbps: f64,
 }
 
 /// One PoP's live state: router, peer sessions, optional controller,
@@ -1002,6 +1007,7 @@ impl PopRuntime {
 
         // --- 2. Record interface metrics -----------------------------------
         let mut dropped = 0.0f64;
+        let mut headroom = 0.0f64;
         for (slot, iface) in self.pop.interfaces.iter().enumerate() {
             let l = self.load_scratch[slot];
             self.metrics
@@ -1009,6 +1015,7 @@ impl PopRuntime {
             if l > iface.capacity_mbps {
                 dropped += l - iface.capacity_mbps;
             }
+            headroom += (iface.capacity_mbps * self.util_limit - l).max(0.0);
         }
 
         // --- 3. Alternate-path measurement ----------------------------------
@@ -1191,6 +1198,8 @@ impl PopRuntime {
             StepOutcome {
                 residual_overloaded: residual,
                 dropped_mbps: dropped,
+                offered_mbps: offered,
+                headroom_mbps: headroom,
             }
         } else {
             // Baseline arm (or a crashed controller): record the epoch
@@ -1218,6 +1227,8 @@ impl PopRuntime {
             StepOutcome {
                 residual_overloaded: dropped > 0.0,
                 dropped_mbps: dropped,
+                offered_mbps: offered,
+                headroom_mbps: headroom,
             }
         }
     }

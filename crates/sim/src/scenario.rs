@@ -8,7 +8,7 @@ use edge_fabric::perf_aware::PerfAwareConfig;
 use ef_chaos::FaultSchedule;
 use ef_topology::GenConfig;
 
-use crate::global::GlobalShifterConfig;
+use ef_global::GlobalConfig;
 
 /// Performance-measurement arm of a scenario.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -55,8 +55,10 @@ pub struct SimConfig {
     pub sample_rate: u32,
     /// Alternate-path measurement arm, if any.
     pub perf: Option<PerfSimConfig>,
-    /// Global (cross-PoP) demand shifting, the paper's future-work layer.
-    pub global_shift: Option<GlobalShifterConfig>,
+    /// Global steering tier (user→PoP placement above per-PoP Edge
+    /// Fabric), the paper's future-work layer.
+    #[serde(default)]
+    pub global: Option<GlobalConfig>,
     /// Fault schedule the run interprets (`None` = sunny-day run).
     #[serde(default)]
     pub chaos: Option<FaultSchedule>,
@@ -87,7 +89,7 @@ impl Default for SimConfig {
             sampled_rates: true,
             sample_rate: 1000,
             perf: None,
-            global_shift: None,
+            global: None,
             chaos: None,
             incremental: true,
             telemetry: ef_telemetry::TelemetryHandle::disabled(),
@@ -244,10 +246,18 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Enables global (cross-PoP) demand shifting.
-    pub fn global_shift(mut self, shift: GlobalShifterConfig) -> Self {
-        self.cfg.global_shift = Some(shift);
+    /// Enables the global steering tier with the given configuration.
+    pub fn global(mut self, global: GlobalConfig) -> Self {
+        self.cfg.global = Some(global);
         self
+    }
+
+    /// Enables global (cross-PoP) demand shifting — retired prototype
+    /// shim: the tunables map onto a DNS backend with a one-epoch TTL.
+    #[deprecated(note = "use `global(GlobalConfig)` instead")]
+    #[allow(deprecated)]
+    pub fn global_shift(self, shift: ef_global::GlobalShifterConfig) -> Self {
+        self.global(shift.into())
     }
 
     /// Installs a fault schedule for the run.

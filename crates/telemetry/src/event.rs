@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Error, Serialize, Value};
 
 use crate::explain::ExplainRecord;
+use crate::placement::PlacementRecord;
 use crate::registry::MetricsSnapshot;
 
 /// A scalar field value. Serialized untagged (as the bare JSON scalar), so
@@ -139,6 +140,14 @@ pub enum TelemetryRecord {
         now_ms: u64,
         snapshot: MetricsSnapshot,
     },
+    /// Placement provenance for one global-tier steering action. `pop` is
+    /// the source PoP being drained (the global controller itself is not a
+    /// PoP).
+    Placement {
+        pop: u16,
+        now_ms: u64,
+        record: PlacementRecord,
+    },
 }
 
 impl TelemetryRecord {
@@ -154,6 +163,18 @@ impl TelemetryRecord {
     pub fn as_explain(&self) -> Option<(u16, u64, &ExplainRecord)> {
         match self {
             TelemetryRecord::Explain {
+                pop,
+                now_ms,
+                record,
+            } => Some((*pop, *now_ms, record)),
+            _ => None,
+        }
+    }
+
+    /// The placement record inside, if this record is one.
+    pub fn as_placement(&self) -> Option<(u16, u64, &PlacementRecord)> {
+        match self {
+            TelemetryRecord::Placement {
                 pop,
                 now_ms,
                 record,

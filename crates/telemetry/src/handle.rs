@@ -13,6 +13,7 @@ use std::time::Instant;
 
 use crate::event::{Event, FieldValue, TelemetryRecord};
 use crate::explain::ExplainRecord;
+use crate::placement::PlacementRecord;
 use crate::registry::{MetricsRegistry, MetricsSnapshot};
 use crate::sink::{JsonLinesSink, MemorySink, Sink};
 
@@ -118,6 +119,19 @@ impl TelemetryHandle {
             return;
         };
         t.sink.write(&TelemetryRecord::Explain {
+            pop,
+            now_ms,
+            record: record.clone(),
+        });
+    }
+
+    /// Emits a placement-provenance record from the global steering tier.
+    /// `pop` is the source PoP being drained.
+    pub fn placement(&self, pop: u16, now_ms: u64, record: &PlacementRecord) {
+        let Some(t) = self.inner.as_deref() else {
+            return;
+        };
+        t.sink.write(&TelemetryRecord::Placement {
             pop,
             now_ms,
             record: record.clone(),

@@ -17,6 +17,10 @@
 //!   [`ExplainRecord`](explain::ExplainRecord) per override decision,
 //!   naming the overloaded interface, the chosen alternate, and every
 //!   rejected alternative with its rejection reason;
+//! * [`placement`] — the global steering tier's provenance: one
+//!   [`PlacementRecord`](placement::PlacementRecord) per population-level
+//!   steering action, naming the backend, the drained PoP, each target
+//!   with its granted volume, and every rejected candidate;
 //! * [`registry`] — counters / gauges / histograms, snapshotted into the
 //!   event stream once per controller epoch;
 //! * [`audit`] — the override auditor: re-runs the BGP decision process
@@ -34,6 +38,7 @@ pub mod audit;
 pub mod event;
 pub mod explain;
 pub mod handle;
+pub mod placement;
 pub mod registry;
 pub mod sink;
 
@@ -41,5 +46,8 @@ pub use audit::{audit_overrides, AuditFinding, AuditOutcome};
 pub use event::{Event, FieldValue, TelemetryRecord};
 pub use explain::{ExplainRecord, ExplainVerdict, RejectReason, RejectedAlternative};
 pub use handle::{PhaseTimer, TelemetryHandle};
+pub use placement::{
+    PlacementRecord, PlacementRejectReason, PlacementTarget, PlacementVerdict, RejectedTarget,
+};
 pub use registry::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use sink::{JsonLinesSink, MemorySink, Sink};

@@ -1,0 +1,233 @@
+//! Placement provenance: why the global steering tier moved (or declined
+//! to move) a user population between PoPs.
+//!
+//! The global tier's analogue of [`ExplainRecord`](crate::explain): one
+//! [`PlacementRecord`] per population-level steering action, naming the
+//! backend that carried it (DNS or anycast), the source PoP being drained,
+//! every target PoP with the volume granted to it, and every candidate
+//! that was rejected with the reason ([`PlacementRejectReason`]) — no
+//! serving footprint, or an exhausted headroom budget from the epoch's
+//! cross-PoP negotiation.
+//!
+//! Like explain records, placements use plain serializable types so the
+//! provenance chain survives a JSON round trip and renders without the
+//! control crates loaded.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a candidate target PoP was not given (more) demand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlacementRejectReason {
+    /// The PoP serves none of this population's prefixes; users cannot be
+    /// mapped to a PoP with no serving footprint.
+    NoFootprint,
+    /// The PoP's negotiated headroom budget for this epoch was exhausted
+    /// before this population's demand was placed.
+    NoHeadroom {
+        /// Budget the PoP had left when this placement was attempted, Mbps.
+        budget_mbps: f64,
+    },
+    /// The PoP is itself shifted away from (a drain source cannot also be
+    /// a target).
+    SourceShifted,
+}
+
+impl PlacementRejectReason {
+    /// Short label for rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementRejectReason::NoFootprint => "no footprint",
+            PlacementRejectReason::NoHeadroom { .. } => "no headroom",
+            PlacementRejectReason::SourceShifted => "source shifted",
+        }
+    }
+}
+
+/// One candidate PoP the placement pass rejected.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RejectedTarget {
+    /// The candidate PoP.
+    pub pop: u16,
+    /// Why it received nothing.
+    pub reason: PlacementRejectReason,
+}
+
+/// One PoP that received part of the moved demand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementTarget {
+    /// The receiving PoP.
+    pub pop: u16,
+    /// Demand granted to it this epoch, Mbps.
+    pub granted_mbps: f64,
+}
+
+/// The outcome of one population placement this epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementVerdict {
+    /// Demand moved to at least one target PoP.
+    Applied,
+    /// The backend holds an active shift but nothing moved this epoch
+    /// (e.g. an anycast cutover still waiting out BGP convergence).
+    Pending,
+    /// Every candidate was rejected; the demand stayed at the source.
+    NoFeasibleTarget,
+}
+
+impl PlacementVerdict {
+    /// Short label for rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementVerdict::Applied => "applied",
+            PlacementVerdict::Pending => "pending",
+            PlacementVerdict::NoFeasibleTarget => "no feasible target",
+        }
+    }
+}
+
+/// Provenance for one population-level steering action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementRecord {
+    /// The user population being steered (e.g. a region label).
+    pub population: String,
+    /// The steering backend that carried the move: `dns` or `anycast`.
+    pub backend: String,
+    /// What drove the action: `overload` (the source PoP reported
+    /// unresolved overload) or `drain` (an earlier shift still active).
+    pub trigger: String,
+    /// The PoP demand is moving away from.
+    pub from_pop: u16,
+    /// Fraction of the population's demand at the source currently mapped
+    /// away, after this epoch's backend update.
+    pub away_fraction: f64,
+    /// Demand moved away from the source this epoch, Mbps.
+    pub moved_mbps: f64,
+    /// Targets that received demand, in PoP order.
+    pub targets: Vec<PlacementTarget>,
+    /// Candidates rejected, in PoP order.
+    pub rejected: Vec<RejectedTarget>,
+    /// What ultimately happened.
+    pub verdict: PlacementVerdict,
+}
+
+impl PlacementRecord {
+    /// True when demand actually moved this epoch.
+    pub fn applied(&self) -> bool {
+        self.verdict == PlacementVerdict::Applied
+    }
+
+    /// One-paragraph human rendering of the placement chain.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{} [{}/{}] pop{}: {:.0}% away, {:.1} Mbps moved",
+            self.population,
+            self.backend,
+            self.trigger,
+            self.from_pop,
+            self.away_fraction * 100.0,
+            self.moved_mbps
+        ));
+        out.push_str(&format!(" — {}", self.verdict.label()));
+        for t in &self.targets {
+            out.push_str(&format!("\n  -> pop{}: {:.1} Mbps", t.pop, t.granted_mbps));
+        }
+        for r in &self.rejected {
+            match &r.reason {
+                PlacementRejectReason::NoHeadroom { budget_mbps } => {
+                    out.push_str(&format!(
+                        "\n  rejected pop{}: no headroom ({budget_mbps:.1} Mbps budget left)",
+                        r.pop
+                    ));
+                }
+                reason => {
+                    out.push_str(&format!("\n  rejected pop{}: {}", r.pop, reason.label()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> PlacementRecord {
+        PlacementRecord {
+            population: "EU".into(),
+            backend: "dns".into(),
+            trigger: "overload".into(),
+            from_pop: 1,
+            away_fraction: 0.35,
+            moved_mbps: 1234.5,
+            targets: vec![
+                PlacementTarget {
+                    pop: 0,
+                    granted_mbps: 800.0,
+                },
+                PlacementTarget {
+                    pop: 2,
+                    granted_mbps: 434.5,
+                },
+            ],
+            rejected: vec![
+                RejectedTarget {
+                    pop: 3,
+                    reason: PlacementRejectReason::NoHeadroom { budget_mbps: 0.0 },
+                },
+                RejectedTarget {
+                    pop: 4,
+                    reason: PlacementRejectReason::NoFootprint,
+                },
+            ],
+            verdict: PlacementVerdict::Applied,
+        }
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let rec = record();
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: PlacementRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn render_names_the_whole_chain() {
+        let text = record().render();
+        assert!(text.contains("EU [dns/overload] pop1"));
+        assert!(text.contains("35% away"));
+        assert!(text.contains("-> pop0: 800.0 Mbps"));
+        assert!(text.contains("rejected pop3: no headroom (0.0 Mbps budget left)"));
+        assert!(text.contains("rejected pop4: no footprint"));
+        assert!(text.contains("applied"));
+    }
+
+    #[test]
+    fn verdict_and_reason_labels_are_distinct() {
+        let verdicts = [
+            PlacementVerdict::Applied,
+            PlacementVerdict::Pending,
+            PlacementVerdict::NoFeasibleTarget,
+        ];
+        let labels: std::collections::HashSet<&str> = verdicts.iter().map(|v| v.label()).collect();
+        assert_eq!(labels.len(), verdicts.len());
+        let reasons = [
+            PlacementRejectReason::NoFootprint,
+            PlacementRejectReason::NoHeadroom { budget_mbps: 1.0 },
+            PlacementRejectReason::SourceShifted,
+        ];
+        let labels: std::collections::HashSet<&str> = reasons.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), reasons.len());
+    }
+
+    #[test]
+    fn applied_tracks_verdict() {
+        assert!(record().applied());
+        let pending = PlacementRecord {
+            verdict: PlacementVerdict::Pending,
+            ..record()
+        };
+        assert!(!pending.applied());
+    }
+}

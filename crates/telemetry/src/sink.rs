@@ -17,6 +17,7 @@ use std::sync::Mutex;
 
 use crate::event::{Event, TelemetryRecord};
 use crate::explain::ExplainRecord;
+use crate::placement::PlacementRecord;
 use crate::registry::MetricsSnapshot;
 
 /// A destination for telemetry records.
@@ -68,6 +69,16 @@ impl MemorySink {
             .unwrap()
             .iter()
             .filter_map(|r| r.as_explain().map(|(p, t, e)| (p, t, e.clone())))
+            .collect()
+    }
+
+    /// Just the placement records, as `(pop, now_ms, record)`.
+    pub fn placements(&self) -> Vec<(u16, u64, PlacementRecord)> {
+        self.records
+            .lock()
+            .unwrap()
+            .iter()
+            .filter_map(|r| r.as_placement().map(|(p, t, rec)| (p, t, rec.clone())))
             .collect()
     }
 

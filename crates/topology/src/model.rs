@@ -220,6 +220,44 @@ impl Deployment {
         self.pops.iter().map(|p| p.peers.len()).sum()
     }
 
+    /// Scales every egress interface capacity at `pop` by `factor`.
+    /// Nonpositive factors are ignored (capacities must stay positive for
+    /// [`Self::validate`]); returns the factor actually applied.
+    pub fn scale_pop_capacity(&mut self, pop: PopId, factor: f64) -> f64 {
+        if factor <= 0.0 || !factor.is_finite() {
+            return 1.0;
+        }
+        if let Some(p) = self.pops.get_mut(pop.0 as usize) {
+            for iface in &mut p.interfaces {
+                iface.capacity_mbps *= factor;
+            }
+        }
+        factor
+    }
+
+    /// Caps a PoP's total egress capacity at `ratio ×` its average offered
+    /// demand, scaling every interface proportionally (the experiment idiom
+    /// for a capacity-crippled PoP: with the default diurnal peak at ~1.8×
+    /// average, `ratio = 1.2` guarantees the evening peak exceeds every
+    /// egress combined). Returns the scale factor applied; `1.0` means the
+    /// PoP already sat at or below the cap (or has no demand/capacity to
+    /// scale).
+    pub fn cap_pop_capacity_to_demand(&mut self, pop: PopId, ratio: f64) -> f64 {
+        let Some(p) = self.pops.get(pop.0 as usize) else {
+            return 1.0;
+        };
+        let avg = p.total_avg_demand_mbps();
+        let total_cap: f64 = p.interfaces.iter().map(|i| i.capacity_mbps).sum();
+        if avg <= 0.0 || total_cap <= 0.0 || ratio <= 0.0 {
+            return 1.0;
+        }
+        let factor = (avg * ratio) / total_cap;
+        if factor >= 1.0 {
+            return 1.0;
+        }
+        self.scale_pop_capacity(pop, factor)
+    }
+
     /// Checks the structural invariants every consumer relies on; returns
     /// the list of violations (empty = valid). `efctl gen` validates before
     /// writing, and generator tests validate every seed they touch.
@@ -383,6 +421,37 @@ mod tests {
         assert_eq!(dep.pop(PopId(0)).name, "pop0");
         assert_eq!(dep.interface_count(), 2);
         assert_eq!(dep.peer_count(), 2);
+    }
+
+    #[test]
+    fn capacity_scaling_helpers() {
+        let pop = tiny_pop();
+        let mut dep = Deployment {
+            local_asn: Asn::LOCAL,
+            pops: vec![pop],
+            universe: Universe::default(),
+            routes: vec![vec![]],
+            local_prefixes: vec![],
+            seed: 7,
+        };
+        // tiny_pop: 110 Gbps capacity over 2 Gbps average demand.
+        let applied = dep.cap_pop_capacity_to_demand(PopId(0), 1.2);
+        let expect = (2000.0 * 1.2) / 110_000.0;
+        assert!((applied - expect).abs() < 1e-12);
+        let total: f64 = dep.pops[0].interfaces.iter().map(|i| i.capacity_mbps).sum();
+        assert!((total - 2400.0).abs() < 1e-9);
+        // Relative interface sizes are preserved (10:1).
+        let r = dep.pops[0].interfaces[0].capacity_mbps / dep.pops[0].interfaces[1].capacity_mbps;
+        assert!((r - 10.0).abs() < 1e-9);
+        // Already at/below the cap: no-op.
+        assert_eq!(dep.cap_pop_capacity_to_demand(PopId(0), 1.2), 1.0);
+        // Degenerate inputs are ignored.
+        assert_eq!(dep.scale_pop_capacity(PopId(0), 0.0), 1.0);
+        assert_eq!(dep.scale_pop_capacity(PopId(0), -2.0), 1.0);
+        assert_eq!(dep.scale_pop_capacity(PopId(0), f64::NAN), 1.0);
+        // Explicit scaling applies and keeps capacities positive.
+        assert_eq!(dep.scale_pop_capacity(PopId(0), 0.5), 0.5);
+        assert!(dep.pops[0].interfaces.iter().all(|i| i.capacity_mbps > 0.0));
     }
 
     #[test]

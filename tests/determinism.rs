@@ -104,6 +104,58 @@ fn caches_off_matches_caches_on_under_chaos_and_splitting() {
     );
 }
 
+/// A global-tier configuration aggressive enough to actually engage in
+/// the 15-minute small world: a 4x flash crowd on the NA population
+/// forces drops, which the steering backend answers with placements.
+fn global_cfg(backend: ef_global::BackendKind) -> ef_global::GlobalConfig {
+    ef_global::GlobalConfig {
+        backend: Some(backend),
+        step: 0.1,
+        ..Default::default()
+    }
+    .with_flash_crowd(ef_global::FlashCrowdSpec {
+        population: "NA".into(),
+        t_start_secs: 240,
+        duration_secs: 480,
+        multiplier: 4.0,
+    })
+}
+
+#[test]
+fn global_tier_runs_are_byte_identical() {
+    // Both steering backends: the user->PoP layer sits above every PoP
+    // and reshuffles demand between them, so any nondeterminism in it
+    // (map iteration, report ordering) would corrupt every arm of E14/E18.
+    for backend in [
+        ef_global::BackendKind::Dns { ttl_epochs: 2 },
+        ef_global::BackendKind::Anycast {
+            convergence_epochs: 2,
+        },
+    ] {
+        let a = fingerprint(short(11).global(global_cfg(backend)).build());
+        let b = fingerprint(short(11).global(global_cfg(backend)).build());
+        assert_eq!(a, b, "global-tier runs diverged ({backend:?})");
+    }
+}
+
+#[test]
+fn global_tier_telemetry_invariance() {
+    // Placement provenance is emitted only when a sink is attached; the
+    // emission path must not perturb the placement itself.
+    let dns = ef_global::BackendKind::Dns { ttl_epochs: 2 };
+    let plain = fingerprint(short(11).global(global_cfg(dns)).build());
+    let (handle, sink) = ef_telemetry::TelemetryHandle::memory();
+    let observed = fingerprint(short(11).global(global_cfg(dns)).telemetry(handle).build());
+    assert_eq!(
+        plain, observed,
+        "telemetry sink changed results with the global tier on"
+    );
+    assert!(
+        !sink.placements().is_empty(),
+        "the crowd-stressed run actually emitted placement records"
+    );
+}
+
 #[test]
 fn telemetry_sink_never_changes_results() {
     // Attaching a telemetry sink is pure observation: the run's recorded
