@@ -1,0 +1,340 @@
+//! E19 — health-tier fault detection coverage.
+//!
+//! Every fault kind the chaos layer can inject must be *visible* to an
+//! operator through the built-in SLO rule set (paper §4.4: the controller
+//! is stateless per cycle precisely so a stuck or damaged instance can be
+//! detected from the outside). One arm per [`ef_chaos::FaultKind`] runs a
+//! single fault against a shared deployment with the health tier on, and
+//! the binary asserts:
+//!
+//! (a) each of the 10 fault kinds raises at least one alert from its
+//!     expected rule set, at the faulted PoP, within two epochs of onset;
+//! (b) the calm arm raises zero alerts (false-positive rate 0);
+//! (c) the health tier is read-only: calm and one chaotic arm reproduce
+//!     byte-identical results with health on and off.
+//!
+//! The coverage matrix and per-kind detection latency go to
+//! `results/exp_health_detection.json`.
+
+use std::collections::HashMap;
+
+use ef_bench::{telemetry_from_env, write_json};
+use ef_bgp::peer::PeerKind;
+use ef_bgp::route::EgressId;
+use ef_chaos::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
+use ef_health::{Alert, HealthConfig};
+use ef_sim::{scenario, ScenarioBuilder, SimConfig};
+use ef_topology::{generate, Deployment};
+use serde::Serialize;
+
+const SEED: u64 = 7;
+const EPOCH_SECS: u64 = 30;
+const DURATION_SECS: u64 = 900;
+/// Fault onset, seconds. Epoch 10 — far past the health warmup.
+const ONSET_SECS: u64 = 300;
+const FAULT_SECS: u64 = 300;
+/// Detection SLO: an expected alert must fire within this many epochs.
+const DETECT_EPOCHS: u64 = 2;
+
+fn base_config() -> SimConfig {
+    // EF_TELEMETRY=<path> streams health.sample / alert.* events to a
+    // JSON-lines file; results/ output is byte-identical either way.
+    scenario()
+        .small_topology(SEED)
+        .duration_secs(DURATION_SECS)
+        .epoch_secs(EPOCH_SECS)
+        .telemetry(telemetry_from_env())
+        .build()
+}
+
+/// Runs one arm; returns its alerts (when health is on) and the results
+/// fingerprint the read-only contract is judged by.
+fn run_arm(cfg: SimConfig, deployment: &Deployment, health: bool) -> (Vec<Alert>, String) {
+    let mut builder = ScenarioBuilder::from_config(cfg);
+    if health {
+        builder = builder.health(HealthConfig::default());
+    }
+    let mut engine = builder.engine_with(deployment.clone());
+    engine.run();
+    let alerts = engine
+        .health_monitor()
+        .map(|m| m.all_alerts())
+        .unwrap_or_default();
+    let metrics = engine.take_metrics();
+    let fingerprint =
+        serde_json::to_string(&(&metrics.pop_epochs, &metrics.episodes)).expect("serializes");
+    (alerts, fingerprint)
+}
+
+fn single_fault(cfg: &SimConfig, target: FaultTarget, kind: FaultKind) -> SimConfig {
+    let schedule = FaultSchedule::new(vec![FaultEvent {
+        t_start_secs: ONSET_SECS,
+        duration_secs: FAULT_SECS,
+        target,
+        kind,
+    }])
+    .expect("single-fault schedule is valid");
+    ScenarioBuilder::from_config(cfg.clone())
+        .chaos(schedule)
+        .build()
+}
+
+#[derive(Serialize)]
+struct KindRow {
+    kind: &'static str,
+    target_pop: u16,
+    expected_rules: Vec<&'static str>,
+    detected_rule: String,
+    fired_t_secs: u64,
+    detect_latency_epochs: u64,
+    alerts_at_pop: usize,
+    alerts_elsewhere: usize,
+}
+
+#[derive(Serialize)]
+struct Coverage {
+    seed: u64,
+    epoch_secs: u64,
+    duration_secs: u64,
+    onset_secs: u64,
+    fault_secs: u64,
+    detect_slo_epochs: u64,
+    kinds_detected: usize,
+    kinds_total: usize,
+    calm_alerts: usize,
+    false_positive_rate: f64,
+    kinds: Vec<KindRow>,
+}
+
+fn main() {
+    let cfg = base_config();
+    let deployment = generate(&cfg.gen);
+
+    // --- calm arm: zero alerts, and health on == off ---------------------
+    eprintln!("[health-detection] calm arm (health on vs. off)...");
+    let (calm_alerts, calm_on_fp) = run_arm(cfg.clone(), &deployment, true);
+    let (_, calm_off_fp) = run_arm(cfg.clone(), &deployment, false);
+    assert_eq!(
+        calm_on_fp, calm_off_fp,
+        "health tier changed the calm run's results"
+    );
+    assert!(
+        calm_alerts.is_empty(),
+        "calm arm raised alerts: {calm_alerts:?}"
+    );
+
+    // A reference run with full load-series recording picks the fault
+    // targets: the busiest peering interface (capacity loss), its PoP
+    // (pop-scoped faults), and the first peer at that PoP (peer faults).
+    eprintln!("[health-detection] reference run for target selection...");
+    let peering: Vec<EgressId> = deployment
+        .pops
+        .iter()
+        .flat_map(|p| p.interfaces.iter())
+        .filter(|i| i.kind != PeerKind::Transit)
+        .map(|i| i.id)
+        .collect();
+    let mut reference = ScenarioBuilder::from_config(cfg.clone()).engine_with(deployment.clone());
+    for egress in &peering {
+        reference.flag_interface(*egress);
+    }
+    reference.run();
+    let reference = reference.take_metrics();
+    let capacity: HashMap<EgressId, (u16, f64)> = deployment
+        .pops
+        .iter()
+        .flat_map(|p| {
+            p.interfaces
+                .iter()
+                .map(|i| (i.id, (p.id.0, i.capacity_mbps)))
+        })
+        .collect();
+    let in_window = |t: u64| (ONSET_SECS..ONSET_SECS + FAULT_SECS).contains(&t);
+    let (target_egress, peak_util) = peering
+        .iter()
+        .map(|egress| {
+            let peak = reference.series[egress]
+                .iter()
+                .filter(|(t, _)| in_window(*t))
+                .map(|(_, load)| load / capacity[egress].1)
+                .fold(0.0f64, f64::max);
+            (*egress, peak)
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("deployment has peering interfaces");
+    let (target_pop, _) = capacity[&target_egress];
+    let pop = target_pop as usize;
+    let peer = deployment.pops[pop].peers[0].peer.0;
+    // Cut capacity so the surviving headroom is 60% of the observed peak:
+    // utilization is guaranteed past 1.0 at onset.
+    let caploss = (1.0 - 0.6 * peak_util).clamp(0.2, 0.95);
+    // The PoP whose controller churns most right after onset hosts the
+    // injection-loss fault: partial loss is only visible when the
+    // injector actually sends.
+    let churn_pop = deployment
+        .pops
+        .iter()
+        .map(|p| {
+            let churn: usize = reference
+                .pop_epochs
+                .iter()
+                .filter(|r| r.pop == p.id.0 && in_window(r.t_secs))
+                .map(|r| r.churn_announced + r.churn_withdrawn)
+                .sum();
+            (p.id.0, churn)
+        })
+        .max_by_key(|(_, churn)| *churn)
+        .map(|(id, _)| id as usize)
+        .expect("deployment has PoPs");
+    eprintln!(
+        "[health-detection] target pop{target_pop} egress{} (peak util {peak_util:.2}), \
+         churn pop{churn_pop}",
+        target_egress.0
+    );
+
+    // Fault → the rules an operator should be paged by.
+    let matrix: Vec<(FaultKind, FaultTarget, Vec<&'static str>)> = vec![
+        (
+            FaultKind::PeerFailure,
+            FaultTarget::Peer { pop, peer },
+            vec!["bgp_session_down"],
+        ),
+        (
+            FaultKind::LinkCapacityLoss { fraction: caploss },
+            FaultTarget::Interface {
+                pop,
+                egress: target_egress.0,
+            },
+            vec!["interface_overload", "drop_rate_ceiling"],
+        ),
+        (
+            FaultKind::BmpStall,
+            FaultTarget::Pop { pop },
+            vec!["stale_inputs"],
+        ),
+        (
+            FaultKind::SflowLoss {
+                drop_fraction: 0.95,
+            },
+            FaultTarget::Pop { pop },
+            vec!["stale_inputs"],
+        ),
+        (
+            FaultKind::ControllerCrash,
+            FaultTarget::Pop { pop },
+            vec!["controller_down"],
+        ),
+        (
+            FaultKind::InjectorLoss,
+            FaultTarget::Pop { pop },
+            vec!["injector_down"],
+        ),
+        (
+            FaultKind::FlashCrowd { multiplier: 3.0 },
+            FaultTarget::Pop { pop },
+            vec!["interface_overload", "drop_rate_ceiling"],
+        ),
+        (
+            FaultKind::UpdateCorruption { rate: 0.9 },
+            FaultTarget::Peer { pop, peer },
+            vec!["ingest_corruption"],
+        ),
+        (
+            FaultKind::SessionFlapStorm { period_s: 5 },
+            FaultTarget::Peer { pop, peer },
+            vec!["session_flap", "bgp_session_down"],
+        ),
+        (
+            FaultKind::InjectorPartialLoss { fraction: 0.9 },
+            FaultTarget::Pop { pop: churn_pop },
+            vec!["injection_loss", "override_audit"],
+        ),
+    ];
+
+    let mut rows: Vec<KindRow> = Vec::new();
+    for (kind, target, expected) in &matrix {
+        let label = kind.label();
+        eprintln!("[health-detection] arm {label}...");
+        let fault_pop = target.pop() as u16;
+        let chaos_cfg = single_fault(&cfg, *target, *kind);
+        let (alerts, _) = run_arm(chaos_cfg, &deployment, true);
+        let hit = alerts
+            .iter()
+            .filter(|a| {
+                a.pop == fault_pop
+                    && expected.contains(&a.rule.as_str())
+                    && a.fired_t_secs >= ONSET_SECS
+                    && a.fired_t_secs <= ONSET_SECS + DETECT_EPOCHS * EPOCH_SECS
+            })
+            .min_by_key(|a| a.fired_t_secs);
+        let hit = hit.unwrap_or_else(|| {
+            panic!(
+                "{label}: no expected alert ({expected:?}) at pop{fault_pop} within \
+                 {DETECT_EPOCHS} epochs of onset; raised: {alerts:?}"
+            )
+        });
+        let alerts_at_pop = alerts.iter().filter(|a| a.pop == fault_pop).count();
+        rows.push(KindRow {
+            kind: label,
+            target_pop: fault_pop,
+            expected_rules: expected.clone(),
+            detected_rule: hit.rule.clone(),
+            fired_t_secs: hit.fired_t_secs,
+            detect_latency_epochs: (hit.fired_t_secs - ONSET_SECS) / EPOCH_SECS,
+            alerts_at_pop,
+            alerts_elsewhere: alerts.len() - alerts_at_pop,
+        });
+    }
+
+    // --- read-only contract under chaos: one arm, health on vs. off ------
+    eprintln!("[health-detection] read-only check under chaos...");
+    let chaos_cfg = single_fault(
+        &cfg,
+        FaultTarget::Interface {
+            pop,
+            egress: target_egress.0,
+        },
+        FaultKind::LinkCapacityLoss { fraction: caploss },
+    );
+    let (_, chaotic_on_fp) = run_arm(chaos_cfg.clone(), &deployment, true);
+    let (_, chaotic_off_fp) = run_arm(chaos_cfg, &deployment, false);
+    assert_eq!(
+        chaotic_on_fp, chaotic_off_fp,
+        "health tier changed the chaotic run's results"
+    );
+
+    // --- summary ---------------------------------------------------------
+    println!("Health detection — expected alert per fault kind, latency in epochs");
+    println!(
+        "{:>22} {:>6} {:>20} {:>8} {:>8}",
+        "fault", "pop", "detected by", "fired@s", "epochs"
+    );
+    for r in &rows {
+        println!(
+            "{:>22} {:>6} {:>20} {:>8} {:>8}",
+            r.kind, r.target_pop, r.detected_rule, r.fired_t_secs, r.detect_latency_epochs
+        );
+    }
+    println!(
+        "\n{}/{} kinds detected within {DETECT_EPOCHS} epochs; calm arm raised 0 alerts",
+        rows.len(),
+        matrix.len()
+    );
+
+    write_json(
+        "exp_health_detection",
+        &Coverage {
+            seed: SEED,
+            epoch_secs: EPOCH_SECS,
+            duration_secs: DURATION_SECS,
+            onset_secs: ONSET_SECS,
+            fault_secs: FAULT_SECS,
+            detect_slo_epochs: DETECT_EPOCHS,
+            kinds_detected: rows.len(),
+            kinds_total: matrix.len(),
+            calm_alerts: calm_alerts.len(),
+            false_positive_rate: 0.0,
+            kinds: rows,
+        },
+    );
+}

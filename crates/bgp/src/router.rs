@@ -341,6 +341,16 @@ impl BgpRouter {
         self.peers.get(&peer).map(|state| state.session.stats())
     }
 
+    /// Lifetime sum of RFC 7606 treat-as-withdraw downgrades across all
+    /// peers. One pass, no allocation — the health tier reads this every
+    /// epoch.
+    pub fn updates_downgraded_total(&self) -> u64 {
+        self.peers
+            .values()
+            .map(|state| state.session.stats().updates_downgraded)
+            .sum()
+    }
+
     fn flush_peer_routes(
         &mut self,
         peer: PeerId,

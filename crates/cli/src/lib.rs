@@ -48,6 +48,10 @@ pub enum Command {
     Explain(ExplainArgs),
     /// Run a scenario with the global steering tier and dump placements.
     Global(GlobalArgs),
+    /// Judge a captured telemetry file: SLO table, percentiles, alerts.
+    Report(ReportArgs),
+    /// Tail a telemetry file as one-line health/alert/fault views.
+    Watch(WatchArgs),
     /// Show usage.
     Help,
 }
@@ -163,6 +167,14 @@ pub struct TraceArgs {
     pub epoch_secs: u64,
     /// Cap on the number of records printed (0 = everything).
     pub limit: usize,
+    /// Only records from this PoP.
+    pub pop: Option<u16>,
+    /// Only records from this epoch index (`t_secs / epoch_secs`).
+    pub epoch: Option<u64>,
+    /// Only records of this kind: an event name (`epoch`,
+    /// `health.sample`, ...) or a record category (`event`, `metrics`,
+    /// `explain`, `placement`).
+    pub kind: Option<String>,
 }
 
 impl Default for TraceArgs {
@@ -172,6 +184,9 @@ impl Default for TraceArgs {
             hours: 0.5,
             epoch_secs: 30,
             limit: 0,
+            pop: None,
+            epoch: None,
+            kind: None,
         }
     }
 }
@@ -188,6 +203,9 @@ pub struct ExplainArgs {
     /// The prefix to explain. A covering or covered prefix also matches,
     /// so `efctl explain 10.0.0.0/8` shows every decision inside that /8.
     pub prefix: String,
+    /// Also run the global steering tier and render its placement
+    /// provenance alongside the per-prefix decisions.
+    pub global: bool,
 }
 
 impl Default for ExplainArgs {
@@ -197,8 +215,34 @@ impl Default for ExplainArgs {
             hours: 0.5,
             epoch_secs: 30,
             prefix: String::new(),
+            global: false,
         }
     }
+}
+
+/// Options for `efctl report FILE`: judge a captured JSON-lines
+/// telemetry stream offline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportArgs {
+    /// The telemetry JSON-lines file to judge.
+    pub file: String,
+    /// Exit with an error when any alert fired during the run.
+    pub fail_on_alerts: bool,
+    /// Suppress the human-readable stderr stream.
+    pub quiet: bool,
+}
+
+/// Options for `efctl watch FILE`: tail a telemetry stream as one-line
+/// health views. With `--once` the file is read to EOF and the command
+/// exits; without it, `efctl` follows the file live.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchArgs {
+    /// The telemetry JSON-lines file to tail.
+    pub file: String,
+    /// Read to EOF and exit instead of following.
+    pub once: bool,
+    /// Suppress the human-readable stderr stream.
+    pub quiet: bool,
 }
 
 /// Options for `efctl global`: a scenario run with the user→PoP steering
@@ -267,18 +311,32 @@ session_flap_storm (flaps governed by backoff + damping), and
 injector_partial_loss (dropped injections, retried + reconciled).
 --profile adversarial samples only the last three.
   efctl trace      [--seed N] [--pops N] [--prefixes N] [--hours H]
-                   [--epoch SECS] [--limit N] [--out FILE]
+                   [--epoch SECS] [--limit N] [--pop N] [--at-epoch N]
+                   [--kind NAME] [--out FILE]
   efctl explain PREFIX [--seed N] [--pops N] [--prefixes N]
-                   [--hours H] [--epoch SECS]
+                   [--hours H] [--epoch SECS] [--global]
   efctl global     [--seed N] [--pops N] [--prefixes N] [--hours H]
                    [--backend dns|anycast] [--cripple POP]
                    [--epoch SECS] [--out FILE]
+  efctl report FILE [--fail-on-alerts]
+  efctl watch  FILE [--once]
   efctl help
 
 `global` runs with the user->PoP steering tier above per-PoP Edge
 Fabric and prints each population's placement (away-fractions per PoP,
 demand moved). --cripple caps one PoP's capacity below its peak demand
 so the tier has something to do.
+
+`trace` runs with the health tier attached, so the stream includes
+health.sample and alert.* events. --pop / --at-epoch / --kind narrow
+the dump (--kind takes an event name like epoch or health.sample, or a
+record category: event, metrics, explain, placement).
+
+`report` replays a captured JSON-lines telemetry file through the
+health tier: SLO pass/fail table, per-PoP percentiles, and the alert
+timeline (JSON on stdout, tables on stderr). --fail-on-alerts exits
+nonzero when any alert fired — CI's calm-run gate. `watch` renders the
+same file as a one-line-per-event live view; --once stops at EOF.
 
 All commands accept --quiet.
 ";
@@ -309,6 +367,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, ParseError> {
         "trace" => Ok(Command::Trace(parse_trace(rest)?)),
         "explain" => Ok(Command::Explain(parse_explain(rest)?)),
         "global" => Ok(Command::Global(parse_global(rest)?)),
+        "report" => Ok(Command::Report(parse_report(rest)?)),
+        "watch" => Ok(Command::Watch(parse_watch(rest)?)),
         other => Err(ParseError(format!(
             "unknown command {other:?}; try 'efctl help'"
         ))),
@@ -427,6 +487,9 @@ fn parse_trace(args: &[String]) -> Result<TraceArgs, ParseError> {
             "--hours" => out.hours = parse_num(flag, take_value(flag, &mut iter)?)?,
             "--epoch" => out.epoch_secs = parse_num(flag, take_value(flag, &mut iter)?)?,
             "--limit" => out.limit = parse_num(flag, take_value(flag, &mut iter)?)?,
+            "--pop" => out.pop = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
+            "--at-epoch" => out.epoch = Some(parse_num(flag, take_value(flag, &mut iter)?)?),
+            "--kind" => out.kind = Some(take_value(flag, &mut iter)?.to_string()),
             other => return Err(ParseError(format!("unknown flag {other:?}"))),
         }
     }
@@ -434,6 +497,64 @@ fn parse_trace(args: &[String]) -> Result<TraceArgs, ParseError> {
         return Err(ParseError("--hours must be positive".into()));
     }
     Ok(out)
+}
+
+fn parse_report(args: &[String]) -> Result<ReportArgs, ParseError> {
+    let mut file = None;
+    let mut fail_on_alerts = false;
+    let mut quiet = false;
+    for arg in args {
+        match arg.as_str() {
+            "--fail-on-alerts" => fail_on_alerts = true,
+            "--quiet" => quiet = true,
+            flag if flag.starts_with("--") => {
+                return Err(ParseError(format!("unknown flag {flag:?}")))
+            }
+            positional => {
+                if file.is_some() {
+                    return Err(ParseError(format!(
+                        "report takes one file, got a second: {positional:?}"
+                    )));
+                }
+                file = Some(positional.to_string());
+            }
+        }
+    }
+    let file = file.ok_or_else(|| {
+        ParseError("report needs a telemetry file, e.g. 'efctl report run.jsonl'".into())
+    })?;
+    Ok(ReportArgs {
+        file,
+        fail_on_alerts,
+        quiet,
+    })
+}
+
+fn parse_watch(args: &[String]) -> Result<WatchArgs, ParseError> {
+    let mut file = None;
+    let mut once = false;
+    let mut quiet = false;
+    for arg in args {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--quiet" => quiet = true,
+            flag if flag.starts_with("--") => {
+                return Err(ParseError(format!("unknown flag {flag:?}")))
+            }
+            positional => {
+                if file.is_some() {
+                    return Err(ParseError(format!(
+                        "watch takes one file, got a second: {positional:?}"
+                    )));
+                }
+                file = Some(positional.to_string());
+            }
+        }
+    }
+    let file = file.ok_or_else(|| {
+        ParseError("watch needs a telemetry file, e.g. 'efctl watch run.jsonl'".into())
+    })?;
+    Ok(WatchArgs { file, once, quiet })
 }
 
 fn parse_global(args: &[String]) -> Result<GlobalArgs, ParseError> {
@@ -483,6 +604,7 @@ fn parse_explain(args: &[String]) -> Result<ExplainArgs, ParseError> {
             "--quiet" => out.common.quiet = true,
             "--hours" => out.hours = parse_num(arg, take_value(arg, &mut iter)?)?,
             "--epoch" => out.epoch_secs = parse_num(arg, take_value(arg, &mut iter)?)?,
+            "--global" => out.global = true,
             flag if flag.starts_with("--") => {
                 return Err(ParseError(format!("unknown flag {flag:?}")))
             }
@@ -539,23 +661,104 @@ fn record_key(r: &TelemetryRecord) -> (u64, u16) {
 }
 
 /// Runs a telemetry-captured scenario and returns the collected records
-/// in `(now_ms, pop)` order.
+/// in `(now_ms, pop)` order. The health tier rides along so the stream
+/// carries `health.sample` / `alert.*` events; `global` adds the user→PoP
+/// steering tier (and its placement provenance) on top.
 fn traced_run(
     common: &CommonArgs,
     hours: f64,
     epoch_secs: u64,
+    global: bool,
 ) -> Result<Vec<TelemetryRecord>, String> {
     let (handle, sink) = TelemetryHandle::memory();
-    let mut engine = ef_sim::scenario()
+    let mut builder = ef_sim::scenario()
         .topology(gen_config(common))
         .duration_secs((hours * 3600.0) as u64)
         .epoch_secs(epoch_secs)
-        .telemetry(handle)
-        .engine();
+        .health(ef_health::HealthConfig::default())
+        .telemetry(handle);
+    if global {
+        builder = builder.global(ef_global::GlobalConfig::default());
+    }
+    let mut engine = builder.engine();
     engine.run();
     let mut records = sink.records();
     records.sort_by_key(record_key);
     Ok(records)
+}
+
+/// True when a record matches a `--kind` filter: an event's name, or a
+/// record-category label.
+fn record_matches_kind(r: &TelemetryRecord, kind: &str) -> bool {
+    match r {
+        TelemetryRecord::Event(e) => kind == "event" || e.name == kind,
+        TelemetryRecord::Explain { .. } => kind == "explain",
+        TelemetryRecord::Metrics { .. } => kind == "metrics",
+        TelemetryRecord::Placement { .. } => kind == "placement",
+    }
+}
+
+/// Reads a JSON-lines telemetry file, skipping lines that do not parse
+/// (a live writer may leave a torn final line). Returns the records and
+/// the number of skipped lines.
+fn load_records(path: &str) -> Result<(Vec<TelemetryRecord>, usize), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<TelemetryRecord>(line) {
+            Ok(r) => records.push(r),
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok((records, skipped))
+}
+
+/// Follows a telemetry JSON-lines file live, rendering watchable events
+/// as they are appended (the no-`--once` arm of `efctl watch`). Polls
+/// every `poll_ms`; runs until the process is killed. Lines are written
+/// straight to stdout because the tail never "finishes" into an
+/// [`Output`].
+pub fn watch_follow(path: &str, poll_ms: u64) -> Result<(), String> {
+    use std::io::{BufRead as _, Seek as _, Write as _};
+    let mut offset = 0u64;
+    loop {
+        let mut file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => return Err(format!("cannot read {path}: {e}")),
+        };
+        let len = file.metadata().map_err(|e| e.to_string())?.len();
+        if len < offset {
+            // Truncated/rotated: start over.
+            offset = 0;
+        }
+        if len > offset {
+            file.seek(std::io::SeekFrom::Start(offset))
+                .map_err(|e| e.to_string())?;
+            let mut reader = std::io::BufReader::new(file);
+            let mut line = String::new();
+            loop {
+                line.clear();
+                let n = reader.read_line(&mut line).map_err(|e| e.to_string())?;
+                if n == 0 || !line.ends_with('\n') {
+                    // EOF or a torn line the writer is still appending:
+                    // leave it for the next poll.
+                    break;
+                }
+                offset += n as u64;
+                if let Ok(record) = serde_json::from_str::<TelemetryRecord>(line.trim_end()) {
+                    if let Some(rendered) = ef_health::render_watch_line(&record) {
+                        println!("{rendered}");
+                    }
+                }
+            }
+            let _ = std::io::stdout().flush();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+    }
 }
 
 /// Executes a command, returning its stdout/stderr halves.
@@ -567,6 +770,8 @@ pub fn execute(cmd: Command) -> Result<Output, String> {
         Command::Trace(a) => a.common.quiet,
         Command::Explain(a) => a.common.quiet,
         Command::Global(a) => a.common.quiet,
+        Command::Report(a) => a.quiet,
+        Command::Watch(a) => a.quiet,
         Command::Help => false,
     };
     let mut out = execute_inner(cmd)?;
@@ -844,12 +1049,27 @@ fn execute_inner(cmd: Command) -> Result<Output, String> {
             }
         }
         Command::Trace(args) => {
-            let records = traced_run(&args.common, args.hours, args.epoch_secs)?;
-            let total = records.len();
+            let all = traced_run(&args.common, args.hours, args.epoch_secs, false)?;
+            let total = all.len();
+            let records: Vec<&TelemetryRecord> = all
+                .iter()
+                .filter(|r| {
+                    let (now_ms, pop) = record_key(r);
+                    args.pop.is_none_or(|p| p == pop)
+                        && args
+                            .epoch
+                            .is_none_or(|e| (now_ms / 1000) / args.epoch_secs == e)
+                        && args
+                            .kind
+                            .as_deref()
+                            .is_none_or(|k| record_matches_kind(r, k))
+                })
+                .collect();
+            let matched = records.len();
             let shown = if args.limit > 0 {
-                args.limit.min(total)
+                args.limit.min(matched)
             } else {
-                total
+                matched
             };
             let mut lines = String::new();
             for r in records.iter().take(shown) {
@@ -862,7 +1082,7 @@ fn execute_inner(cmd: Command) -> Result<Output, String> {
                 .iter()
                 .filter(|r| r.as_placement().is_some())
                 .count();
-            let snapshots = total - events - explains - placements;
+            let snapshots = matched - events - explains - placements;
             if let Some(path) = &args.common.out {
                 std::fs::write(path, &lines).map_err(|e| e.to_string())?;
                 writeln!(out.stderr, "[wrote {shown} records to {path}]").unwrap();
@@ -871,8 +1091,53 @@ fn execute_inner(cmd: Command) -> Result<Output, String> {
             }
             writeln!(
                 out.stderr,
-                "{total} telemetry records ({events} events, {explains} explains, \
+                "{matched} of {total} telemetry records ({events} events, {explains} explains, \
                  {placements} placements, {snapshots} metric snapshots); showing {shown}"
+            )
+            .unwrap();
+        }
+        Command::Report(args) => {
+            let (records, skipped) = load_records(&args.file)?;
+            if skipped > 0 {
+                writeln!(out.stderr, "[skipped {skipped} unparseable line(s)]").unwrap();
+            }
+            let cfg = ef_health::HealthConfig::default();
+            let report = ef_health::analyze(&records, &cfg);
+            out.stdout = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+            out.stdout.push('\n');
+            out.stderr.push_str(&ef_health::render_report(&report));
+            if args.fail_on_alerts && !report.clean() {
+                let names: Vec<String> = report
+                    .alerts
+                    .iter()
+                    .map(|a| format!("{}@pop{}", a.rule, a.pop))
+                    .collect();
+                return Err(format!(
+                    "{} alert(s) fired during the run: {}",
+                    report.alerts.len(),
+                    names.join(", ")
+                ));
+            }
+        }
+        Command::Watch(args) => {
+            // `--once` reads to EOF here; live following happens in main,
+            // which re-renders appended lines with the same helper.
+            let (records, skipped) = load_records(&args.file)?;
+            let mut shown = 0usize;
+            for r in &records {
+                if let Some(line) = ef_health::render_watch_line(r) {
+                    out.stdout.push_str(&line);
+                    out.stdout.push('\n');
+                    shown += 1;
+                }
+            }
+            if skipped > 0 {
+                writeln!(out.stderr, "[skipped {skipped} unparseable line(s)]").unwrap();
+            }
+            writeln!(
+                out.stderr,
+                "{shown} watchable event(s) in {} record(s)",
+                records.len()
             )
             .unwrap();
         }
@@ -955,7 +1220,7 @@ fn execute_inner(cmd: Command) -> Result<Output, String> {
                 .prefix
                 .parse()
                 .map_err(|_| format!("cannot parse prefix {:?}", args.prefix))?;
-            let records = traced_run(&args.common, args.hours, args.epoch_secs)?;
+            let records = traced_run(&args.common, args.hours, args.epoch_secs, args.global)?;
 
             #[derive(serde::Serialize)]
             struct Row<'a> {
@@ -976,17 +1241,55 @@ fn execute_inner(cmd: Command) -> Result<Output, String> {
                     }
                 }
             }
-            out.stdout = serde_json::to_string_pretty(
-                &rows
+            let json_rows = rows
+                .iter()
+                .map(|(pop, now_ms, explain)| Row {
+                    pop: *pop,
+                    now_ms: *now_ms,
+                    explain,
+                })
+                .collect::<Vec<_>>();
+            if args.global {
+                // With the global tier on, pair the per-prefix decisions
+                // with the tier's population-level placement provenance.
+                #[derive(serde::Serialize)]
+                struct PlacementRow<'a> {
+                    pop: u16,
+                    now_ms: u64,
+                    placement: &'a ef_telemetry::PlacementRecord,
+                }
+                #[derive(serde::Serialize)]
+                struct WithPlacements<'a> {
+                    explains: Vec<Row<'a>>,
+                    placements: Vec<PlacementRow<'a>>,
+                }
+                let placements: Vec<PlacementRow> = records
                     .iter()
-                    .map(|(pop, now_ms, explain)| Row {
-                        pop: *pop,
-                        now_ms: *now_ms,
-                        explain,
+                    .filter_map(|r| r.as_placement())
+                    .map(|(pop, now_ms, placement)| PlacementRow {
+                        pop,
+                        now_ms,
+                        placement,
                     })
-                    .collect::<Vec<_>>(),
-            )
-            .map_err(|e| e.to_string())?;
+                    .collect();
+                writeln!(out.stderr, "{} placement action(s):", placements.len()).unwrap();
+                for p in &placements {
+                    writeln!(
+                        out.stderr,
+                        "t={}s {}",
+                        p.now_ms / 1000,
+                        p.placement.render()
+                    )
+                    .unwrap();
+                }
+                out.stdout = serde_json::to_string_pretty(&WithPlacements {
+                    explains: json_rows,
+                    placements,
+                })
+                .map_err(|e| e.to_string())?;
+            } else {
+                out.stdout = serde_json::to_string_pretty(&json_rows).map_err(|e| e.to_string())?;
+            }
             out.stdout.push('\n');
 
             if rows.is_empty() {
@@ -1093,6 +1396,8 @@ mod tests {
             "trace --quiet",
             "explain 1.0.0.0/24 --quiet",
             "global --quiet",
+            "report run.jsonl --quiet",
+            "watch run.jsonl --quiet",
         ] {
             let parsed = parse_args(&argv(cmd)).unwrap();
             let quiet = match parsed {
@@ -1102,6 +1407,8 @@ mod tests {
                 Command::Trace(a) => a.common.quiet,
                 Command::Explain(a) => a.common.quiet,
                 Command::Global(a) => a.common.quiet,
+                Command::Report(a) => a.quiet,
+                Command::Watch(a) => a.quiet,
                 Command::Help => false,
             };
             assert!(quiet, "{cmd}");
@@ -1184,6 +1491,187 @@ mod tests {
         assert!(parse_args(&argv("explain")).is_err());
         assert!(parse_args(&argv("explain banana")).is_err());
         assert!(parse_args(&argv("explain 1.0.0.0/24 2.0.0.0/24")).is_err());
+    }
+
+    #[test]
+    fn report_and_watch_flags() {
+        match parse_args(&argv("report run.jsonl --fail-on-alerts --quiet")).unwrap() {
+            Command::Report(r) => {
+                assert_eq!(r.file, "run.jsonl");
+                assert!(r.fail_on_alerts);
+                assert!(r.quiet);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("watch run.jsonl --once")).unwrap() {
+            Command::Watch(w) => {
+                assert_eq!(w.file, "run.jsonl");
+                assert!(w.once);
+                assert!(!w.quiet);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&argv("report")).is_err());
+        assert!(parse_args(&argv("report a.jsonl b.jsonl")).is_err());
+        assert!(parse_args(&argv("watch")).is_err());
+        assert!(parse_args(&argv("watch a.jsonl --frob")).is_err());
+    }
+
+    #[test]
+    fn trace_filter_flags() {
+        match parse_args(&argv("trace --pop 2 --at-epoch 5 --kind health.sample")).unwrap() {
+            Command::Trace(t) => {
+                assert_eq!(t.pop, Some(2));
+                assert_eq!(t.epoch, Some(5));
+                assert_eq!(t.kind.as_deref(), Some("health.sample"));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_args(&argv("trace")).unwrap() {
+            Command::Trace(t) => {
+                assert_eq!(t.pop, None);
+                assert_eq!(t.epoch, None);
+                assert_eq!(t.kind, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_args(&argv("explain 1.0.0.0/24 --global")).is_ok());
+    }
+
+    #[test]
+    fn trace_filters_narrow_the_stream() {
+        let mut args = TraceArgs::default();
+        args.common.pops = 4;
+        args.common.prefixes = 200;
+        args.common.seed = 3;
+        args.hours = 0.25;
+        args.epoch_secs = 60;
+        args.pop = Some(1);
+        args.kind = Some("health.sample".into());
+        let out = execute(Command::Trace(args.clone())).unwrap();
+        assert!(!out.stdout.is_empty(), "health tier rides along on traces");
+        for line in out.stdout.lines() {
+            let rec: TelemetryRecord = serde_json::from_str(line).unwrap();
+            let e = rec.as_event().expect("only events pass the kind filter");
+            assert_eq!(e.name, "health.sample");
+            assert_eq!(e.pop, 1);
+        }
+        // One sample per epoch for this PoP: 15 epochs in 0.25 h at 60 s.
+        assert_eq!(out.stdout.lines().count(), 15);
+
+        // The epoch filter pins one epoch across all kinds.
+        args.kind = None;
+        args.pop = None;
+        args.epoch = Some(3);
+        let out = execute(Command::Trace(args)).unwrap();
+        assert!(!out.stdout.is_empty());
+        for line in out.stdout.lines() {
+            let rec: TelemetryRecord = serde_json::from_str(line).unwrap();
+            let (now_ms, _) = match &rec {
+                TelemetryRecord::Event(e) => (e.now_ms, e.pop),
+                TelemetryRecord::Explain { pop, now_ms, .. } => (*now_ms, *pop),
+                TelemetryRecord::Metrics { pop, now_ms, .. } => (*now_ms, *pop),
+                TelemetryRecord::Placement { pop, now_ms, .. } => (*now_ms, *pop),
+            };
+            assert_eq!((now_ms / 1000) / 60, 3);
+        }
+    }
+
+    #[test]
+    fn report_and_watch_judge_a_captured_file() {
+        // Capture a small traced run to a file, then judge it offline.
+        let mut args = TraceArgs::default();
+        args.common.pops = 4;
+        args.common.prefixes = 200;
+        args.common.seed = 3;
+        args.hours = 0.25;
+        args.epoch_secs = 60;
+        let traced = execute(Command::Trace(args)).unwrap();
+        let dir = std::env::temp_dir().join("efctl-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        std::fs::write(&path, &traced.stdout).unwrap();
+
+        let report = execute(Command::Report(ReportArgs {
+            file: path.to_string_lossy().into_owned(),
+            fail_on_alerts: false,
+            quiet: false,
+        }))
+        .unwrap();
+        assert!(report.stderr.contains("SLO"));
+        assert!(report.stderr.contains("drop_rate_ceiling"));
+        let parsed = serde_json::parse_value(&report.stdout).unwrap();
+        assert!(parsed.get("slo").and_then(|v| v.as_array()).is_some());
+        assert!(matches!(
+            parsed.get("samples"),
+            Some(serde_json::Value::U64(n)) if *n > 0
+        ));
+
+        let watch = execute(Command::Watch(WatchArgs {
+            file: path.to_string_lossy().into_owned(),
+            once: true,
+            quiet: false,
+        }))
+        .unwrap();
+        assert!(watch.stdout.contains("drop_rate="));
+        assert!(watch.stderr.contains("watchable event(s)"));
+
+        // A missing file errors cleanly for both.
+        assert!(execute(Command::Report(ReportArgs {
+            file: "/nonexistent/run.jsonl".into(),
+            fail_on_alerts: false,
+            quiet: false,
+        }))
+        .is_err());
+        assert!(execute(Command::Watch(WatchArgs {
+            file: "/nonexistent/run.jsonl".into(),
+            once: true,
+            quiet: false,
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn report_fail_on_alerts_gates_a_dirty_stream() {
+        // Hand-build a stream with a firing alert via the health monitor.
+        let (handle, sink) = ef_telemetry::TelemetryHandle::memory();
+        let mut mon = ef_health::HealthMonitor::new(ef_health::HealthConfig::default(), handle);
+        // Two calm warmup epochs, then a sustained breach.
+        for (t, dropped) in [(30, 0.0), (60, 0.0), (90, 100.0), (120, 100.0)] {
+            let s = ef_health::EpochSignals {
+                t_secs: t,
+                pop: 0,
+                offered_mbps: 1000.0,
+                dropped_mbps: dropped,
+                ..Default::default()
+            };
+            mon.observe_epoch(&s, None);
+        }
+        let mut lines = String::new();
+        for r in sink.records() {
+            lines.push_str(&serde_json::to_string(&r).unwrap());
+            lines.push('\n');
+        }
+        let dir = std::env::temp_dir().join("efctl-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dirty.jsonl");
+        std::fs::write(&path, &lines).unwrap();
+
+        let err = execute(Command::Report(ReportArgs {
+            file: path.to_string_lossy().into_owned(),
+            fail_on_alerts: true,
+            quiet: false,
+        }))
+        .unwrap_err();
+        assert!(err.contains("drop_rate_ceiling"));
+        // Without the gate the same stream reports fine.
+        let ok = execute(Command::Report(ReportArgs {
+            file: path.to_string_lossy().into_owned(),
+            fail_on_alerts: false,
+            quiet: false,
+        }))
+        .unwrap();
+        assert!(ok.stderr.contains("FAIL"));
     }
 
     #[test]
@@ -1439,7 +1927,7 @@ mod tests {
         targs.common.seed = 3;
         targs.hours = 0.25;
         targs.epoch_secs = 60;
-        let records = traced_run(&targs.common, targs.hours, targs.epoch_secs).unwrap();
+        let records = traced_run(&targs.common, targs.hours, targs.epoch_secs, false).unwrap();
         let steered = records
             .iter()
             .filter_map(|r| r.as_explain())
@@ -1452,6 +1940,7 @@ mod tests {
             hours: targs.hours,
             epoch_secs: targs.epoch_secs,
             prefix: steered.clone(),
+            global: false,
         };
         let out = execute(Command::Explain(args)).unwrap();
         let rows = serde_json::parse_value(&out.stdout).unwrap();
@@ -1465,6 +1954,7 @@ mod tests {
             hours: targs.hours,
             epoch_secs: targs.epoch_secs,
             prefix: "203.0.113.0/24".into(),
+            global: false,
         };
         let out = execute(Command::Explain(args)).unwrap();
         let rows = serde_json::parse_value(&out.stdout).unwrap();

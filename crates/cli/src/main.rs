@@ -5,11 +5,19 @@
 
 use std::io::Write as _;
 
-use ef_cli::{execute, parse_args, USAGE};
+use ef_cli::{execute, parse_args, watch_follow, Command, USAGE};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match parse_args(&args) {
+        // `watch` without --once tails the file until killed; it never
+        // produces a finished Output, so it bypasses execute().
+        Ok(Command::Watch(w)) if !w.once => {
+            if let Err(e) = watch_follow(&w.file, 500) {
+                eprintln!("efctl: {e}");
+                std::process::exit(1);
+            }
+        }
         Ok(cmd) => match execute(cmd) {
             Ok(out) => {
                 // stderr first so progress/tables appear before the JSON

@@ -82,6 +82,12 @@ pub struct EpochReport {
     pub fail_open: bool,
     /// Demand the blast-radius cap refused to newly shift this epoch, Mbps.
     pub shift_capped_mbps: f64,
+    /// Post-epoch audit: overrides believed announced but absent from the
+    /// router's decision (before reconciliation repaired them).
+    pub audit_not_installed: usize,
+    /// Post-epoch audit: withdrawn overrides still winning in the router
+    /// (before reconciliation repaired them).
+    pub audit_leaked: usize,
     /// Decision provenance: one record per steering decision the allocator
     /// considered, with verdicts amended by the guards (blast-radius,
     /// hold-or-shrink, fail-open). Always populated — it is derived purely
@@ -402,6 +408,8 @@ impl PopController {
         // without a sink, and divergence is *repaired*, not just reported:
         // believed-announced-but-missing overrides are re-announced, leaked
         // override routes are force-withdrawn.
+        let mut audit_not_installed = 0usize;
+        let mut audit_leaked = 0usize;
         if !self.cfg.dry_run {
             let expected: Vec<_> = self
                 .injector
@@ -411,6 +419,8 @@ impl PopController {
                 .map(|o| (o.prefix, o.target))
                 .collect();
             let audit = audit_overrides(router, &expected, &report.sent.withdraw);
+            audit_not_installed = audit.not_installed.len();
+            audit_leaked = audit.leaked.len();
             if !audit.clean() {
                 let not_installed: Vec<ef_net_types::Prefix> = audit
                     .not_installed
@@ -551,6 +561,8 @@ impl PopController {
             degraded,
             fail_open,
             shift_capped_mbps,
+            audit_not_installed,
+            audit_leaked,
             explains,
         })
     }
@@ -678,6 +690,8 @@ impl PopController {
             degraded: false,
             fail_open: true,
             shift_capped_mbps: 0.0,
+            audit_not_installed: 0,
+            audit_leaked: 0,
             explains: Vec::new(),
         }
     }

@@ -1,0 +1,126 @@
+//! Microbenchmark for the health tier's hot path: the per-epoch cost of
+//! `HealthMonitor::observe_epoch` and its pieces (metric derivation,
+//! slot-addressed interface series, named series, rule evaluation), at a
+//! typical per-PoP interface count. The perf-scaling sweep gates the
+//! end-to-end overhead; this breaks it down when that gate gets tight.
+//!
+//! Run: cargo run --release -p ef-health --example observe_cost
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use ef_health::{EpochSignals, HealthConfig, HealthMonitor};
+use ef_telemetry::TelemetryHandle;
+
+fn signals_for(n_ifaces: u32) -> EpochSignals {
+    EpochSignals {
+        pop: 0,
+        offered_mbps: 1000.0,
+        input_age_ms: 1000,
+        iface_util: (0..n_ifaces).map(|i| (i, 0.5)).collect(),
+        ..EpochSignals::default()
+    }
+}
+
+fn update(signals: &mut EpochSignals, t: u64) {
+    signals.t_secs = t * 30;
+    for (i, (_, u)) in signals.iface_util.iter_mut().enumerate() {
+        *u = 0.3 + ((t as f64 * 0.7 + i as f64 * 0.13).sin() * 0.3);
+    }
+}
+
+fn main() {
+    let n_ifaces = 50;
+    let epochs = 200_000u64;
+
+    // Arm 0: signal generation alone.
+    let mut signals = signals_for(n_ifaces);
+    let start = Instant::now();
+    for t in 1..=epochs {
+        update(&mut signals, t);
+        black_box(&signals);
+    }
+    let base = start.elapsed().as_secs_f64();
+
+    // Arm 1: + metric_map.
+    let mon = HealthMonitor::new(HealthConfig::default(), TelemetryHandle::disabled());
+    let start = Instant::now();
+    for t in 1..=epochs {
+        update(&mut signals, t);
+        black_box(mon.metric_map(&signals, None));
+    }
+    let mm = start.elapsed().as_secs_f64();
+
+    // Arm 2: full observe_epoch.
+    let mut mon = HealthMonitor::new(HealthConfig::default(), TelemetryHandle::disabled());
+    let start = Instant::now();
+    for t in 1..=epochs {
+        update(&mut signals, t);
+        black_box(mon.observe_epoch(&signals, None));
+    }
+    let full = start.elapsed().as_secs_f64();
+
+    // Arm 3b: slot-series with small rings/digests.
+    let mut store = ef_health::SeriesStore::new(64, 32);
+    let start = Instant::now();
+    for t in 1..=epochs {
+        update(&mut signals, t);
+        for (slot, (egress, util)) in signals.iface_util.iter().enumerate() {
+            store.record_slot(slot, || format!("iface{egress}.util"), t * 30, *util);
+        }
+    }
+    let slots_small = start.elapsed().as_secs_f64();
+
+    // Arm 3: slot-series recording alone (50 slots).
+    let mut store = ef_health::SeriesStore::new(512, 64);
+    let start = Instant::now();
+    for t in 1..=epochs {
+        update(&mut signals, t);
+        for (slot, (egress, util)) in signals.iface_util.iter().enumerate() {
+            store.record_slot(slot, || format!("iface{egress}.util"), t * 30, *util);
+        }
+    }
+    let slots = start.elapsed().as_secs_f64();
+
+    // Arm 4: named-series recording alone (15 names, same value pattern).
+    let mon2 = HealthMonitor::new(HealthConfig::default(), TelemetryHandle::disabled());
+    let mut store = ef_health::SeriesStore::new(512, 64);
+    let start = Instant::now();
+    for t in 1..=epochs {
+        update(&mut signals, t);
+        for (name, value) in mon2.metric_map(&signals, None) {
+            store.record(name, t * 30, value);
+        }
+    }
+    let named = start.elapsed().as_secs_f64();
+
+    // Arm 5: rule engine alone.
+    let mut engine = ef_health::RuleEngine::new(HealthConfig::default().rules());
+    let start = Instant::now();
+    for t in 1..=epochs {
+        update(&mut signals, t);
+        let m = mon2.metric_map(&signals, None);
+        black_box(engine.observe(0, t * 30, &m));
+    }
+    let rules = start.elapsed().as_secs_f64();
+
+    let per = |s: f64| s * 1e6 / epochs as f64;
+    println!("signal gen alone : {:.2} us/epoch", per(base));
+    println!(
+        "+ metric_map     : {:.2} us/epoch ({:.2} net)",
+        per(mm),
+        per(mm - base)
+    );
+    println!(
+        "full observe     : {:.2} us/epoch ({:.2} net)",
+        per(full),
+        per(full - base)
+    );
+    println!("slot series x50  : {:.2} us/epoch net", per(slots - base));
+    println!(
+        "slot small x50   : {:.2} us/epoch net",
+        per(slots_small - base)
+    );
+    println!("named series x15 : {:.2} us/epoch net", per(named - mm));
+    println!("rule engine      : {:.2} us/epoch net", per(rules - mm));
+}

@@ -1,0 +1,48 @@
+//! Health & SLO tier for the Edge Fabric reproduction.
+//!
+//! Edge Fabric is operable in production because it is continuously
+//! *judged*, not just logged: the controller is stateless per cycle
+//! precisely so a stuck instance can be detected and its overrides
+//! reverted (paper §4.4), and operators watch egress drop rate, interface
+//! utilization, and detour churn. `ef-telemetry` records everything;
+//! this crate is the layer that says "this run is unhealthy".
+//!
+//! Four pieces, one per module:
+//!
+//! * [`digest`] — a hand-rolled streaming quantile digest
+//!   ([`QuantileDigest`]): bounded-memory percentiles over unbounded
+//!   value ranges, deterministic for identical input streams;
+//! * [`series`] — ring-buffer time series ([`RingSeries`], one
+//!   [`SeriesStore`] per PoP): recent samples for live views plus a
+//!   whole-run digest per metric;
+//! * [`rules`] — the declarative SLO/alert engine: [`SloRule`]s with
+//!   sustain/clear hysteresis, typed [`Alert`]s with firing/cleared
+//!   edges, strict-inequality thresholds so boundary values never flap;
+//! * [`monitor`] — the live tier ([`HealthMonitor`]): consumes one
+//!   [`EpochSignals`] per PoP per epoch from the simulator, feeds series
+//!   and rules, and emits `health.sample` / `alert.fire` / `alert.clear`
+//!   events into the telemetry stream;
+//! * [`report`] — offline judgment ([`analyze`]) of a recorded telemetry
+//!   stream for `efctl report` / `efctl watch`, no simulation crates
+//!   required.
+//!
+//! **Determinism contract**: the health tier is read-only with respect to
+//! the simulation. It consumes deterministic end-of-epoch state, writes
+//! only to its own buffers and the telemetry sink, and nothing it
+//! produces feeds back into control decisions — `tests/health.rs` proves
+//! a run's `results/` output is byte-identical with health on or off,
+//! including under chaos schedules.
+
+pub mod digest;
+pub mod monitor;
+pub mod report;
+pub mod rules;
+pub mod series;
+
+pub use digest::QuantileDigest;
+pub use monitor::{sample_iface_util, EpochSignals, HealthConfig, HealthMonitor};
+pub use report::{
+    analyze, num_field, render_report, render_watch_line, HealthReport, PercentileRow, SloRow,
+};
+pub use rules::{Alert, AlertEdge, Comparison, MetricView, RuleEngine, Severity, SloRule};
+pub use series::{RingSeries, SeriesStore};

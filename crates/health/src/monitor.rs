@@ -1,0 +1,693 @@
+//! The live health monitor: per-epoch sampling, rule evaluation, and
+//! alert emission.
+//!
+//! The simulation engine hands the monitor one [`EpochSignals`] per PoP
+//! per epoch — a pure read of state the engine already computed. The
+//! monitor derives a flat metric map, feeds its ring-buffer series and
+//! quantile digests, runs the [`RuleEngine`], and emits `health.sample` /
+//! `alert.fire` / `alert.clear` events into the telemetry stream.
+//!
+//! **Determinism contract**: the monitor only ever *reads* simulation
+//! state and only ever *writes* to its own state and the telemetry sink.
+//! Alerts never feed back into control decisions, so a run's `results/`
+//! output is byte-identical with health on or off. The one wall-clock
+//! input — the engine-measured epoch wall time behind the
+//! `epoch_deadline` rule — exists only when health is on and flows only
+//! into the sink, same as telemetry phase timers.
+
+use std::collections::BTreeMap;
+
+use ef_telemetry::TelemetryHandle;
+use serde::{Deserialize, Serialize};
+
+use crate::rules::{Alert, AlertEdge, Comparison, RuleEngine, Severity, SloRule};
+use crate::series::SeriesStore;
+
+/// Everything the monitor reads from one PoP after one epoch. All fields
+/// are deterministic simulation state; none involve the wall clock.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochSignals {
+    /// Simulated time at the end of the epoch, seconds.
+    pub t_secs: u64,
+    /// The PoP.
+    pub pop: u16,
+    /// Demand offered this tick, Mbps.
+    pub offered_mbps: f64,
+    /// Demand dropped at over-capacity interfaces this tick, Mbps.
+    pub dropped_mbps: f64,
+    /// Traffic currently detoured by overrides, Mbps.
+    pub detoured_mbps: f64,
+    /// Overrides active after the epoch.
+    pub overrides_active: u64,
+    /// Overrides announced + withdrawn this epoch.
+    pub churn: u64,
+    /// Interfaces still over their utilization limit after the epoch.
+    pub residual_overloaded: u64,
+    /// Controller ran degraded (held/shrunk on stale inputs).
+    pub degraded: bool,
+    /// Controller is failing open (withdrawing overrides).
+    pub fail_open: bool,
+    /// The epoch was skipped (injector unreachable).
+    pub epoch_skipped: bool,
+    /// A controller should be running here but is crashed.
+    pub controller_missing: bool,
+    /// Age of the freshest usable input pair, ms.
+    pub input_age_ms: u64,
+    /// Peering sessions currently down.
+    pub sessions_down: u64,
+    /// Cumulative established-session teardowns.
+    pub session_resets_total: u64,
+    /// Cumulative UPDATEs downgraded to treat-as-withdraw.
+    pub updates_downgraded_total: u64,
+    /// Cumulative injector announces/withdraws dropped by fault loss.
+    pub injection_dropped_total: u64,
+    /// Post-epoch audit findings this epoch (not-installed + leaked).
+    pub audit_failures: u64,
+    /// Per-interface utilization `(egress, load/capacity)`, egress order.
+    pub iface_util: Vec<(u32, f64)>,
+}
+
+fn default_ring_capacity() -> usize {
+    512
+}
+fn default_digest_bins() -> usize {
+    64
+}
+fn default_drop_rate_ceiling() -> f64 {
+    0.005
+}
+fn default_util_overload() -> f64 {
+    1.0
+}
+fn default_churn_storm() -> f64 {
+    50.0
+}
+fn default_churn_sustain() -> u32 {
+    3
+}
+fn default_stale_input_ms() -> f64 {
+    45_000.0
+}
+fn default_session_reset_storm() -> f64 {
+    2.5
+}
+fn default_clear_epochs() -> u32 {
+    2
+}
+fn default_warmup_epochs() -> u32 {
+    2
+}
+
+/// Tunable thresholds for the built-in SLO rule set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthConfig {
+    /// Samples kept per ring series.
+    #[serde(default = "default_ring_capacity")]
+    pub ring_capacity: usize,
+    /// Centroids per quantile digest.
+    #[serde(default = "default_digest_bins")]
+    pub digest_bins: usize,
+    /// `drop_rate_ceiling` fires above this dropped/offered fraction.
+    #[serde(default = "default_drop_rate_ceiling")]
+    pub drop_rate_ceiling: f64,
+    /// `interface_overload` fires above this load/capacity utilization.
+    #[serde(default = "default_util_overload")]
+    pub util_overload: f64,
+    /// `churn_storm` fires above this many override announce+withdraws
+    /// per epoch, sustained for `churn_sustain` epochs.
+    #[serde(default = "default_churn_storm")]
+    pub churn_storm: f64,
+    /// Sustain requirement for `churn_storm`.
+    #[serde(default = "default_churn_sustain")]
+    pub churn_sustain: u32,
+    /// `stale_inputs` fires above this input age, ms. The default sits
+    /// between one and two 30 s epochs, so a stalled feed fires on the
+    /// second stale epoch.
+    #[serde(default = "default_stale_input_ms")]
+    pub stale_input_ms: f64,
+    /// `session_flap` fires above this many session resets per epoch.
+    #[serde(default = "default_session_reset_storm")]
+    pub session_reset_storm: f64,
+    /// `epoch_deadline` fires when the measured epoch wall time exceeds
+    /// this, ms. None disables the rule (the default: wall time is
+    /// nondeterministic, so deterministic experiments leave it off).
+    #[serde(default)]
+    pub epoch_deadline_ms: Option<f64>,
+    /// Recovered epochs required before any alert clears.
+    #[serde(default = "default_clear_epochs")]
+    pub clear_epochs: u32,
+    /// Per-PoP epochs to sample but not judge at the start of a run. A
+    /// cold-started controller has not placed its first overrides yet, so
+    /// the first epoch legitimately shows drops/overload; paging on the
+    /// convergence transient would make every run "dirty".
+    #[serde(default = "default_warmup_epochs")]
+    pub warmup_epochs: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            ring_capacity: default_ring_capacity(),
+            digest_bins: default_digest_bins(),
+            drop_rate_ceiling: default_drop_rate_ceiling(),
+            util_overload: default_util_overload(),
+            churn_storm: default_churn_storm(),
+            churn_sustain: default_churn_sustain(),
+            stale_input_ms: default_stale_input_ms(),
+            session_reset_storm: default_session_reset_storm(),
+            epoch_deadline_ms: None,
+            clear_epochs: default_clear_epochs(),
+            warmup_epochs: default_warmup_epochs(),
+        }
+    }
+}
+
+impl HealthConfig {
+    /// The built-in rule set under this config's thresholds, in a stable
+    /// declaration order.
+    pub fn rules(&self) -> Vec<SloRule> {
+        let clear = self.clear_epochs;
+        let rule =
+            |name: &str, metric: &str, threshold: f64, sustain: u32, sev: Severity| SloRule {
+                name: name.to_string(),
+                metric: metric.to_string(),
+                threshold,
+                cmp: Comparison::Above,
+                sustain_epochs: sustain,
+                clear_epochs: clear,
+                severity: sev,
+            };
+        let mut rules = vec![
+            // The paper's first-order SLO: egress drops despite EF.
+            rule(
+                "drop_rate_ceiling",
+                "drop_rate",
+                self.drop_rate_ceiling,
+                1,
+                Severity::Critical,
+            ),
+            // An interface past capacity even after detours.
+            rule(
+                "interface_overload",
+                "iface_util_max",
+                self.util_overload,
+                1,
+                Severity::Warning,
+            ),
+            // Override churn storm: sustained announce/withdraw thrash.
+            rule(
+                "churn_storm",
+                "override_churn",
+                self.churn_storm,
+                self.churn_sustain,
+                Severity::Warning,
+            ),
+            // Watchdog: the controller is deciding on stale inputs.
+            rule(
+                "stale_inputs",
+                "input_age_ms",
+                self.stale_input_ms,
+                1,
+                Severity::Critical,
+            ),
+            // Watchdog: the controller process itself is gone.
+            rule(
+                "controller_down",
+                "controller_down",
+                0.5,
+                1,
+                Severity::Critical,
+            ),
+            // Watchdog: the BGP injector is unreachable (epochs skipped).
+            rule("injector_down", "epoch_skipped", 0.5, 1, Severity::Critical),
+            // Watchdog: overrides the post-epoch auditor cannot justify.
+            rule(
+                "override_audit",
+                "audit_failures",
+                0.5,
+                1,
+                Severity::Critical,
+            ),
+            // Peering session health.
+            rule(
+                "bgp_session_down",
+                "sessions_down",
+                0.5,
+                1,
+                Severity::Warning,
+            ),
+            rule(
+                "session_flap",
+                "session_resets",
+                self.session_reset_storm,
+                1,
+                Severity::Warning,
+            ),
+            // Ingest corruption: UPDATEs downgraded to treat-as-withdraw.
+            rule(
+                "ingest_corruption",
+                "updates_downgraded",
+                0.5,
+                1,
+                Severity::Warning,
+            ),
+            // Injection loss: announces/withdraws dropped on the wire.
+            rule(
+                "injection_loss",
+                "injection_drops",
+                0.5,
+                1,
+                Severity::Critical,
+            ),
+        ];
+        if let Some(deadline_ms) = self.epoch_deadline_ms {
+            rules.push(rule(
+                "epoch_deadline",
+                "epoch_wall_us",
+                deadline_ms * 1000.0,
+                1,
+                Severity::Warning,
+            ));
+        }
+        rules
+    }
+}
+
+/// Samples one PoP's per-interface utilization series — the monitor's
+/// only O(interfaces) work — into that PoP's store. Slot-addressed: the
+/// interface list is fixed by the topology, so after the first epoch
+/// each sample is a direct index, no string formatting or lookups. The
+/// engine calls this from inside the PoP's parallel step worker (the
+/// stores are per-PoP, so the mutations are disjoint); the serial
+/// [`HealthMonitor::observe_epoch_presampled`] pass then covers named
+/// metrics and rules without re-walking the interface list.
+pub fn sample_iface_util(store: &mut SeriesStore, signals: &EpochSignals) {
+    for (slot, (egress, util)) in signals.iface_util.iter().enumerate() {
+        store.record_slot(
+            slot,
+            || format!("iface{egress}.util"),
+            signals.t_secs,
+            *util,
+        );
+    }
+}
+
+/// Cumulative totals remembered per PoP so per-epoch deltas can be formed.
+#[derive(Debug, Clone, Copy, Default)]
+struct PrevTotals {
+    session_resets: u64,
+    updates_downgraded: u64,
+    injection_dropped: u64,
+}
+
+/// The live health tier: series store + rule engine + alert emission.
+#[derive(Debug)]
+pub struct HealthMonitor {
+    cfg: HealthConfig,
+    engine: RuleEngine,
+    series: BTreeMap<u16, SeriesStore>,
+    prev: BTreeMap<u16, PrevTotals>,
+    epochs_seen: BTreeMap<u16, u64>,
+    telemetry: TelemetryHandle,
+}
+
+impl HealthMonitor {
+    /// A monitor over the config's built-in rules, emitting into
+    /// `telemetry` (which may be disabled — the monitor still evaluates).
+    pub fn new(cfg: HealthConfig, telemetry: TelemetryHandle) -> Self {
+        let engine = RuleEngine::new(cfg.rules());
+        HealthMonitor {
+            cfg,
+            engine,
+            series: BTreeMap::new(),
+            prev: BTreeMap::new(),
+            epochs_seen: BTreeMap::new(),
+            telemetry,
+        }
+    }
+
+    /// The config in force.
+    pub fn config(&self) -> &HealthConfig {
+        &self.cfg
+    }
+
+    /// Derives the flat metric vector the rules and series consume, in
+    /// alphabetical key order (the order a `BTreeMap` would iterate, so
+    /// telemetry field order is stable). Static keys and one Vec: this
+    /// runs per PoP per epoch and must not churn allocations.
+    /// `epoch_wall_us` (engine-measured wall time) is included only when
+    /// measured, so the deadline rule is skipped rather than cleared when
+    /// timing is unavailable.
+    pub fn metric_map(
+        &self,
+        signals: &EpochSignals,
+        epoch_wall_us: Option<u64>,
+    ) -> Vec<(&'static str, f64)> {
+        let prev = self.prev.get(&signals.pop).copied().unwrap_or_default();
+        let drop_rate = if signals.offered_mbps > 0.0 {
+            signals.dropped_mbps / signals.offered_mbps
+        } else {
+            0.0
+        };
+        let util_max = signals
+            .iface_util
+            .iter()
+            .map(|(_, u)| *u)
+            .fold(0.0_f64, f64::max);
+        let bool_metric = |b: bool| if b { 1.0 } else { 0.0 };
+        let mut m: Vec<(&'static str, f64)> = Vec::with_capacity(16);
+        m.push(("audit_failures", signals.audit_failures as f64));
+        m.push(("controller_down", bool_metric(signals.controller_missing)));
+        m.push(("detoured_mbps", signals.detoured_mbps));
+        m.push(("drop_rate", drop_rate));
+        m.push(("epoch_skipped", bool_metric(signals.epoch_skipped)));
+        if let Some(us) = epoch_wall_us {
+            m.push(("epoch_wall_us", us as f64));
+        }
+        m.push(("iface_util_max", util_max));
+        m.push((
+            "injection_drops",
+            signals
+                .injection_dropped_total
+                .saturating_sub(prev.injection_dropped) as f64,
+        ));
+        m.push(("input_age_ms", signals.input_age_ms as f64));
+        m.push(("override_churn", signals.churn as f64));
+        m.push(("overrides_active", signals.overrides_active as f64));
+        m.push(("residual_overloaded", signals.residual_overloaded as f64));
+        m.push((
+            "session_resets",
+            signals
+                .session_resets_total
+                .saturating_sub(prev.session_resets) as f64,
+        ));
+        m.push(("sessions_down", signals.sessions_down as f64));
+        m.push((
+            "updates_downgraded",
+            signals
+                .updates_downgraded_total
+                .saturating_sub(prev.updates_downgraded) as f64,
+        ));
+        m
+    }
+
+    /// Feeds one PoP's end-of-epoch signals. Updates series and digests,
+    /// evaluates every rule, emits `health.sample` + `alert.*` telemetry,
+    /// and returns the alert edges this epoch produced.
+    pub fn observe_epoch(
+        &mut self,
+        signals: &EpochSignals,
+        epoch_wall_us: Option<u64>,
+    ) -> Vec<AlertEdge> {
+        self.observe_epoch_inner(signals, epoch_wall_us, true)
+    }
+
+    /// [`observe_epoch`](Self::observe_epoch) for a caller that already
+    /// ran [`sample_iface_util`] on this PoP's store — the engine samples
+    /// interface series inside each PoP's parallel step worker, leaving
+    /// only the named metrics and rule pass for this serial call.
+    pub fn observe_epoch_presampled(
+        &mut self,
+        signals: &EpochSignals,
+        epoch_wall_us: Option<u64>,
+    ) -> Vec<AlertEdge> {
+        self.observe_epoch_inner(signals, epoch_wall_us, false)
+    }
+
+    fn observe_epoch_inner(
+        &mut self,
+        signals: &EpochSignals,
+        epoch_wall_us: Option<u64>,
+        sample_ifaces: bool,
+    ) -> Vec<AlertEdge> {
+        let metrics = self.metric_map(signals, epoch_wall_us);
+        let store = self
+            .series
+            .entry(signals.pop)
+            .or_insert_with(|| SeriesStore::new(self.cfg.ring_capacity, self.cfg.digest_bins));
+        for (name, value) in &metrics {
+            store.record(name, signals.t_secs, *value);
+        }
+        if sample_ifaces {
+            sample_iface_util(store, signals);
+        }
+        self.prev.insert(
+            signals.pop,
+            PrevTotals {
+                session_resets: signals.session_resets_total,
+                updates_downgraded: signals.updates_downgraded_total,
+                injection_dropped: signals.injection_dropped_total,
+            },
+        );
+        let seen = self.epochs_seen.entry(signals.pop).or_insert(0);
+        *seen += 1;
+        // Cold-start warmup: sample and emit, but don't judge yet.
+        let edges = if *seen <= self.cfg.warmup_epochs as u64 {
+            Vec::new()
+        } else {
+            self.engine.observe(signals.pop, signals.t_secs, &metrics)
+        };
+        self.emit(signals, &metrics, &edges);
+        edges
+    }
+
+    /// Writes the epoch's sample and any alert edges to the sink.
+    fn emit(&self, signals: &EpochSignals, metrics: &[(&'static str, f64)], edges: &[AlertEdge]) {
+        if !self.telemetry.enabled() {
+            return;
+        }
+        let now_ms = signals.t_secs * 1000;
+        let fields: Vec<(&str, ef_telemetry::FieldValue)> =
+            metrics.iter().map(|(k, v)| (*k, (*v).into())).collect();
+        self.telemetry
+            .emit(signals.pop, now_ms, "health.sample", &fields);
+        for edge in edges {
+            let alert = edge.alert();
+            let name = if edge.is_fired() {
+                "alert.fire"
+            } else {
+                "alert.clear"
+            };
+            self.telemetry.emit(
+                signals.pop,
+                now_ms,
+                name,
+                &[
+                    ("rule", alert.rule.as_str().into()),
+                    ("severity", alert.severity.label().into()),
+                    ("metric", alert.metric.as_str().into()),
+                    ("threshold", alert.threshold.into()),
+                    ("peak_value", alert.peak_value.into()),
+                    ("fired_t_secs", alert.fired_t_secs.into()),
+                ],
+            );
+        }
+        self.telemetry.gauge(
+            &format!("pop{}.alerts_firing", signals.pop),
+            self.engine
+                .firing()
+                .iter()
+                .filter(|a| a.pop == signals.pop)
+                .count() as f64,
+        );
+    }
+
+    /// Alerts currently firing.
+    pub fn firing(&self) -> Vec<&Alert> {
+        self.engine.firing()
+    }
+
+    /// Every alert raised so far (cleared then firing).
+    pub fn all_alerts(&self) -> Vec<Alert> {
+        self.engine.all_alerts()
+    }
+
+    /// The series store for one PoP, if it has been sampled.
+    pub fn series(&self, pop: u16) -> Option<&SeriesStore> {
+        self.series.get(&pop)
+    }
+
+    /// Mutable per-PoP stores in the caller's PoP order (which must be
+    /// ascending), creating any that do not exist yet. The stores are
+    /// disjoint, so the engine can hand one to each PoP's parallel step
+    /// worker for [`sample_iface_util`].
+    pub fn pop_stores(&mut self, pops: &[u16]) -> Vec<&mut SeriesStore> {
+        debug_assert!(
+            pops.windows(2).all(|w| w[0] < w[1]),
+            "pop ids must be ascending"
+        );
+        for &pop in pops {
+            self.series
+                .entry(pop)
+                .or_insert_with(|| SeriesStore::new(self.cfg.ring_capacity, self.cfg.digest_bins));
+        }
+        let mut out = Vec::with_capacity(pops.len());
+        let mut want = pops.iter();
+        let mut next = want.next();
+        for (k, v) in self.series.iter_mut() {
+            if let Some(&p) = next {
+                if *k == p {
+                    out.push(v);
+                    next = want.next();
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), pops.len());
+        out
+    }
+
+    /// PoPs that have been sampled, ascending.
+    pub fn pops(&self) -> Vec<u16> {
+        self.series.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::MetricView;
+
+    fn calm(pop: u16, t_secs: u64) -> EpochSignals {
+        EpochSignals {
+            t_secs,
+            pop,
+            offered_mbps: 1000.0,
+            dropped_mbps: 0.0,
+            iface_util: vec![(0, 0.7), (1, 0.5)],
+            input_age_ms: 1000,
+            ..EpochSignals::default()
+        }
+    }
+
+    #[test]
+    fn calm_epochs_raise_nothing() {
+        let mut mon = HealthMonitor::new(HealthConfig::default(), TelemetryHandle::disabled());
+        for t in 1..=20u64 {
+            for pop in 0..2 {
+                assert!(mon.observe_epoch(&calm(pop, t * 30), None).is_empty());
+            }
+        }
+        assert!(mon.firing().is_empty());
+        assert_eq!(mon.pops(), vec![0, 1]);
+        let s = mon.series(0).unwrap();
+        assert_eq!(s.get("drop_rate").unwrap().digest().count(), 20);
+        assert!(s.get("iface0.util").is_some());
+    }
+
+    /// Default config with warmup off, for tests that fire on the first
+    /// observed epoch.
+    fn no_warmup() -> HealthConfig {
+        HealthConfig {
+            warmup_epochs: 0,
+            ..HealthConfig::default()
+        }
+    }
+
+    #[test]
+    fn warmup_suppresses_cold_start_alerts() {
+        let mut mon = HealthMonitor::new(HealthConfig::default(), TelemetryHandle::disabled());
+        // A cold start: the first two epochs show convergence drops.
+        let mut s = calm(0, 30);
+        s.dropped_mbps = 100.0;
+        assert!(mon.observe_epoch(&s, None).is_empty());
+        let mut s = calm(0, 60);
+        s.dropped_mbps = 100.0;
+        assert!(mon.observe_epoch(&s, None).is_empty());
+        // Series still sampled during warmup.
+        assert_eq!(mon.series(0).unwrap().get("drop_rate").unwrap().len(), 2);
+        // Past warmup, a breach fires normally.
+        let mut s = calm(0, 90);
+        s.dropped_mbps = 100.0;
+        let edges = mon.observe_epoch(&s, None);
+        assert!(edges.iter().any(|e| e.alert().rule == "drop_rate_ceiling"));
+    }
+
+    #[test]
+    fn drops_fire_and_clear_through_telemetry() {
+        let (handle, sink) = TelemetryHandle::memory();
+        let mut mon = HealthMonitor::new(no_warmup(), handle);
+        mon.observe_epoch(&calm(0, 30), None);
+        let mut bad = calm(0, 60);
+        bad.dropped_mbps = 100.0;
+        let edges = mon.observe_epoch(&bad, None);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].alert().rule, "drop_rate_ceiling");
+        assert!(edges[0].is_fired());
+        // Default clear_epochs = 2.
+        assert!(mon.observe_epoch(&calm(0, 90), None).is_empty());
+        let edges = mon.observe_epoch(&calm(0, 120), None);
+        assert_eq!(edges.len(), 1);
+        assert!(!edges[0].is_fired());
+        let events = sink.events();
+        let fires: Vec<_> = events.iter().filter(|e| e.name == "alert.fire").collect();
+        let clears: Vec<_> = events.iter().filter(|e| e.name == "alert.clear").collect();
+        assert_eq!(fires.len(), 1);
+        assert_eq!(clears.len(), 1);
+        assert_eq!(fires[0].str_field("rule"), Some("drop_rate_ceiling"));
+        assert_eq!(fires[0].str_field("severity"), Some("critical"));
+        let samples = events.iter().filter(|e| e.name == "health.sample").count();
+        assert_eq!(samples, 4);
+    }
+
+    #[test]
+    fn totals_become_deltas() {
+        let mut mon = HealthMonitor::new(no_warmup(), TelemetryHandle::disabled());
+        let mut s = calm(0, 30);
+        s.session_resets_total = 2;
+        mon.observe_epoch(&s, None);
+        // Same total next epoch: delta 0, no flap even though total > storm.
+        let mut s2 = calm(0, 60);
+        s2.session_resets_total = 2;
+        let m = mon.metric_map(&s2, None);
+        assert_eq!(m.metric("session_resets"), Some(0.0));
+        // A burst of 6 resets within one epoch breaches the storm rule.
+        let mut s3 = calm(0, 90);
+        s3.session_resets_total = 8;
+        let edges = mon.observe_epoch(&s3, None);
+        assert!(edges.iter().any(|e| e.alert().rule == "session_flap"));
+    }
+
+    #[test]
+    fn watchdog_rules_fire_on_their_signals() {
+        let mut mon = HealthMonitor::new(no_warmup(), TelemetryHandle::disabled());
+        let mut s = calm(0, 30);
+        s.controller_missing = true;
+        s.epoch_skipped = true;
+        s.audit_failures = 2;
+        s.input_age_ms = 60_000;
+        let edges = mon.observe_epoch(&s, None);
+        let rules: Vec<_> = edges.iter().map(|e| e.alert().rule.as_str()).collect();
+        assert!(rules.contains(&"controller_down"));
+        assert!(rules.contains(&"injector_down"));
+        assert!(rules.contains(&"override_audit"));
+        assert!(rules.contains(&"stale_inputs"));
+    }
+
+    #[test]
+    fn deadline_rule_exists_only_when_configured() {
+        let cfg = HealthConfig::default();
+        assert!(!cfg.rules().iter().any(|r| r.name == "epoch_deadline"));
+        let cfg = HealthConfig {
+            epoch_deadline_ms: Some(50.0),
+            ..no_warmup()
+        };
+        assert!(cfg.rules().iter().any(|r| r.name == "epoch_deadline"));
+        let mut mon = HealthMonitor::new(cfg, TelemetryHandle::disabled());
+        // No measurement: rule skipped.
+        assert!(mon.observe_epoch(&calm(0, 30), None).is_empty());
+        // 80 ms epoch against a 50 ms deadline: fires.
+        let edges = mon.observe_epoch(&calm(0, 60), Some(80_000));
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].alert().rule, "epoch_deadline");
+    }
+
+    #[test]
+    fn config_round_trips_and_defaults() {
+        let cfg = HealthConfig::default();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: HealthConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+        let sparse: HealthConfig = serde_json::from_str("{}").unwrap();
+        assert_eq!(sparse, cfg);
+    }
+}

@@ -26,6 +26,10 @@ pub struct SimEngine {
     pub perf_model: PathPerfModel,
     /// The global steering tier, when the scenario enables it.
     pub global: Option<GlobalController>,
+    /// The health & SLO tier, when the scenario enables it. Strictly
+    /// read-only: it samples end-of-epoch signals after the PoPs step and
+    /// never feeds back into control decisions.
+    health: Option<ef_health::HealthMonitor>,
     t_secs: u64,
 }
 
@@ -67,6 +71,10 @@ impl SimEngine {
             .global
             .clone()
             .map(|g| GlobalController::new(&deployment, g, cfg.telemetry.clone()));
+        let health = cfg
+            .health
+            .clone()
+            .map(|h| ef_health::HealthMonitor::new(h, cfg.telemetry.clone()));
         SimEngine {
             cfg,
             deployment,
@@ -74,6 +82,7 @@ impl SimEngine {
             pops,
             perf_model,
             global,
+            health,
             t_secs: 0,
         }
     }
@@ -98,6 +107,18 @@ impl SimEngine {
         let demand_model = &self.demand;
         let deployment = &self.deployment;
         let perf_model = &self.perf_model;
+        // Wall-clock only exists when health is on, and only ever flows
+        // into the monitor's telemetry — never into control decisions.
+        let epoch_start = self.health.as_ref().map(|_| std::time::Instant::now());
+        // Per-interface series sampling is the monitor's only
+        // O(interfaces) work; hand each PoP's worker its own (disjoint)
+        // store so that cost rides inside the parallel step, leaving only
+        // the cheap named-metric + rule pass for the serial loop below.
+        let pop_ids: Vec<u16> = self.pops.iter().map(|p| p.pop.id.0).collect();
+        let store_opts: Vec<Option<&mut ef_health::SeriesStore>> = match self.health.as_mut() {
+            Some(monitor) => monitor.pop_stores(&pop_ids).into_iter().map(Some).collect(),
+            None => pop_ids.iter().map(|_| None).collect(),
+        };
 
         if let Some(global) = self.global.as_mut() {
             // Global arm: compute every PoP's demand first, let the tier
@@ -116,9 +137,17 @@ impl SimEngine {
                         .pops
                         .iter_mut()
                         .zip(demands.iter())
-                        .map(|(pop, (pop_id, demand))| {
+                        .zip(store_opts)
+                        .map(|((pop, (pop_id, demand)), store)| {
                             let pop_id = *pop_id;
-                            s.spawn(move |_| (pop_id, pop.step(t, demand, perf_model)))
+                            s.spawn(move |_| {
+                                let outcome = pop.step(t, demand, perf_model);
+                                if let (Some(store), Some(signals)) = (store, pop.health_signals())
+                                {
+                                    ef_health::sample_iface_util(store, signals);
+                                }
+                                (pop_id, outcome)
+                            })
                         })
                         .collect();
                     handles
@@ -141,14 +170,28 @@ impl SimEngine {
             global.observe(&reports);
         } else {
             crossbeam::thread::scope(|s| {
-                for pop in self.pops.iter_mut() {
+                for (pop, store) in self.pops.iter_mut().zip(store_opts) {
                     s.spawn(move |_| {
                         let demand = demand_model.offered(deployment, pop.pop.id, t);
                         pop.step(t, &demand, perf_model);
+                        if let (Some(store), Some(signals)) = (store, pop.health_signals()) {
+                            ef_health::sample_iface_util(store, signals);
+                        }
                     });
                 }
             })
             .expect("sim worker panicked");
+        }
+        if let Some(monitor) = self.health.as_mut() {
+            let wall_us = epoch_start.map(|s| s.elapsed().as_micros() as u64);
+            // Rule evaluation and telemetry emission stay serial in
+            // canonical PoP order for determinism; the interface series
+            // were already sampled inside each PoP's parallel worker.
+            for pop in &self.pops {
+                if let Some(signals) = pop.health_signals() {
+                    monitor.observe_epoch_presampled(signals, wall_us);
+                }
+            }
         }
         self.t_secs += self.cfg.epoch_secs;
     }
@@ -184,6 +227,11 @@ impl SimEngine {
     /// The prefix for a universe index.
     pub fn prefix_of(&self, idx: u32) -> Prefix {
         self.deployment.universe.prefixes[idx as usize].prefix
+    }
+
+    /// The health monitor, when the scenario enables the tier.
+    pub fn health_monitor(&self) -> Option<&ef_health::HealthMonitor> {
+        self.health.as_ref()
     }
 
     /// Every BGP session still established? (sanity for long runs)

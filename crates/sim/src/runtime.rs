@@ -201,6 +201,12 @@ pub struct PopRuntime {
     last_traffic: Option<(u64, Arc<HashMap<Prefix, f64>>)>,
     /// Telemetry pipeline shared with the controller (disabled by default).
     telemetry: ef_telemetry::TelemetryHandle,
+    /// Collect end-of-epoch health signals (`SimConfig::health`). The
+    /// signals are pure reads of state this step already computed; when
+    /// off, `step` skips even building them.
+    health_enabled: bool,
+    /// The last epoch's health signals, read by the engine's monitor.
+    health_signals: Option<ef_health::EpochSignals>,
 }
 
 impl PopRuntime {
@@ -406,6 +412,8 @@ impl PopRuntime {
             last_bmp_secs: 0,
             last_traffic: None,
             telemetry: cfg.telemetry.clone(),
+            health_enabled: cfg.health.is_some(),
+            health_signals: None,
         }
     }
 
@@ -1145,7 +1153,7 @@ impl PopRuntime {
             };
             let epoch =
                 controller.run_epoch_guarded(&traffic, &mut self.router, t_secs * 1000, inputs);
-            let (record, residual) = match epoch {
+            let (record, residual, sig_extra) = match epoch {
                 Ok(report) => (
                     PopEpochRecord {
                         t_secs,
@@ -1164,6 +1172,11 @@ impl PopRuntime {
                         fail_open: report.fail_open,
                     },
                     !report.residual_overloaded.is_empty(),
+                    (
+                        report.input_age_ms,
+                        (report.audit_not_installed + report.audit_leaked) as u64,
+                        false,
+                    ),
                 ),
                 // The injector session is down: the epoch is skipped
                 // entirely and BGP has already reverted every override.
@@ -1185,7 +1198,25 @@ impl PopRuntime {
                         fail_open: true,
                     },
                     dropped > 0.0,
+                    (bmp_age_ms.max(traffic_age_ms), 0, true),
                 ),
+            };
+            // Copy what the signals need out of the record now; the
+            // collection itself waits until the controller borrow ends.
+            let health_args = if self.health_enabled {
+                let (input_age_ms, audit_failures, epoch_skipped) = sig_extra;
+                Some((
+                    record.overrides_active as u64,
+                    (record.churn_announced + record.churn_withdrawn) as u64,
+                    record.residual_overloaded as u64,
+                    record.degraded,
+                    record.fail_open,
+                    epoch_skipped,
+                    input_age_ms,
+                    audit_failures,
+                ))
+            } else {
+                None
             };
             self.metrics.record_pop_epoch(record);
             let active: Vec<Prefix> = controller
@@ -1195,6 +1226,32 @@ impl PopRuntime {
                 .map(|o| o.prefix)
                 .collect();
             self.metrics.update_episodes(self.pop.id, t_secs, active);
+            if let Some((
+                overrides_active,
+                churn,
+                residual_overloaded,
+                degraded,
+                fail_open,
+                epoch_skipped,
+                input_age_ms,
+                audit_failures,
+            )) = health_args
+            {
+                self.health_signals = Some(self.collect_health_signals(
+                    t_secs,
+                    offered,
+                    dropped,
+                    detoured,
+                    overrides_active,
+                    churn,
+                    residual_overloaded,
+                    degraded,
+                    fail_open,
+                    epoch_skipped,
+                    input_age_ms,
+                    audit_failures,
+                ));
+            }
             StepOutcome {
                 residual_overloaded: residual,
                 dropped_mbps: dropped,
@@ -1206,6 +1263,22 @@ impl PopRuntime {
             // without controller fields and discard the unconsumed BMP feed.
             self.router.drain_bmp();
             self.stalled_bmp.clear();
+            if self.health_enabled {
+                self.health_signals = Some(self.collect_health_signals(
+                    t_secs,
+                    offered,
+                    dropped,
+                    detoured,
+                    0,
+                    0,
+                    0,
+                    false,
+                    self.controller_enabled,
+                    false,
+                    0,
+                    0,
+                ));
+            }
             self.metrics.record_pop_epoch(PopEpochRecord {
                 t_secs,
                 pop: self.pop.id.0,
@@ -1231,6 +1304,79 @@ impl PopRuntime {
                 headroom_mbps: headroom,
             }
         }
+    }
+
+    /// Builds this epoch's health signals from state `step` already
+    /// computed — pure reads of simulation state, so collecting them
+    /// cannot perturb the run. The previous epoch's `iface_util` buffer
+    /// is recycled, so the steady state allocates nothing per epoch.
+    #[allow(clippy::too_many_arguments)]
+    fn collect_health_signals(
+        &mut self,
+        t_secs: u64,
+        offered: f64,
+        dropped: f64,
+        detoured: f64,
+        overrides_active: u64,
+        churn: u64,
+        residual_overloaded: u64,
+        degraded: bool,
+        fail_open: bool,
+        epoch_skipped: bool,
+        input_age_ms: u64,
+        audit_failures: u64,
+    ) -> ef_health::EpochSignals {
+        let sessions_down = self.stubs.values().filter(|s| !s.is_established()).count() as u64;
+        let updates_downgraded_total = self.router.updates_downgraded_total();
+        let injection_dropped_total = self
+            .controller
+            .as_ref()
+            .map(|ctl| ctl.injection_ledger().dropped_total())
+            .unwrap_or(0);
+        let mut iface_util = self
+            .health_signals
+            .take()
+            .map(|s| {
+                let mut v = s.iface_util;
+                v.clear();
+                v
+            })
+            .unwrap_or_default();
+        iface_util.extend(self.pop.interfaces.iter().enumerate().map(|(slot, iface)| {
+            let util = if iface.capacity_mbps > 0.0 {
+                self.load_scratch[slot] / iface.capacity_mbps
+            } else {
+                0.0
+            };
+            (iface.id.0, util)
+        }));
+        ef_health::EpochSignals {
+            t_secs,
+            pop: self.pop.id.0,
+            offered_mbps: offered,
+            dropped_mbps: dropped,
+            detoured_mbps: detoured,
+            overrides_active,
+            churn,
+            residual_overloaded,
+            degraded,
+            fail_open,
+            epoch_skipped,
+            controller_missing: self.controller_enabled && self.controller.is_none(),
+            input_age_ms,
+            sessions_down,
+            session_resets_total: self.session_resets,
+            updates_downgraded_total,
+            injection_dropped_total,
+            audit_failures,
+            iface_util,
+        }
+    }
+
+    /// The last epoch's health signals (None until the first step with
+    /// health sampling enabled).
+    pub fn health_signals(&self) -> Option<&ef_health::EpochSignals> {
+        self.health_signals.as_ref()
     }
 
     /// Whether any stub session dropped (sanity check for long runs).

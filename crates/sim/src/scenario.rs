@@ -62,6 +62,11 @@ pub struct SimConfig {
     /// Fault schedule the run interprets (`None` = sunny-day run).
     #[serde(default)]
     pub chaos: Option<FaultSchedule>,
+    /// Health & SLO tier: per-epoch sampling into ring-buffer series and
+    /// the alert-rule engine (`None` = no sampling). Strictly read-only —
+    /// results are byte-identical with health on or off.
+    #[serde(default)]
+    pub health: Option<ef_health::HealthConfig>,
     /// Run the epoch hot paths incrementally: the controller's projection
     /// memo and the runtime's version-checked FIB lookup cache (this flag
     /// is copied over `controller.incremental` at build time). Results are
@@ -91,6 +96,7 @@ impl Default for SimConfig {
             perf: None,
             global: None,
             chaos: None,
+            health: None,
             incremental: true,
             telemetry: ef_telemetry::TelemetryHandle::disabled(),
         }
@@ -270,6 +276,13 @@ impl ScenarioBuilder {
     /// derive faulted/sunny arm pairs from an `Option` fluent.
     pub fn maybe_chaos(mut self, schedule: Option<FaultSchedule>) -> Self {
         self.cfg.chaos = schedule;
+        self
+    }
+
+    /// Enables the health & SLO tier: per-epoch signal sampling and the
+    /// built-in alert rules under the given thresholds.
+    pub fn health(mut self, cfg: ef_health::HealthConfig) -> Self {
+        self.cfg.health = Some(cfg);
         self
     }
 
