@@ -6,7 +6,10 @@
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use ef_bgp::attrs::{AsPath, PathAttributes};
-use ef_bgp::decision::{best_route, best_route_where, rank_routes};
+use ef_bgp::attrstore::{AttrStore, RouteRec};
+use ef_bgp::decision::{
+    best_rec, best_rec_where, best_route, best_route_where, rank_recs_into, rank_routes,
+};
 use ef_bgp::peer::{PeerId, PeerKind};
 use ef_bgp::route::{EgressId, Route, RouteSource};
 use ef_net_types::Asn;
@@ -35,20 +38,44 @@ fn candidates(n: usize) -> Vec<Route> {
         .collect()
 }
 
+/// The same candidate sets as compact interned records — what the pooled
+/// Loc-RIB actually stores and the hot loops actually rank.
+fn rec_candidates(n: usize) -> Vec<RouteRec> {
+    let mut store = AttrStore::new();
+    candidates(n)
+        .into_iter()
+        .map(|r| store.make_rec(&r.attrs, r.source, r.egress))
+        .collect()
+}
+
 fn bench_decision(c: &mut Criterion) {
     let mut group = c.benchmark_group("decision");
     for n in [2usize, 4, 8, 16] {
         let routes = candidates(n);
+        let recs = rec_candidates(n);
         group.bench_with_input(BenchmarkId::new("best_route", n), &routes, |b, routes| {
             b.iter(|| best_route(black_box(routes)))
+        });
+        group.bench_with_input(BenchmarkId::new("rec/best", n), &recs, |b, recs| {
+            b.iter(|| best_rec(black_box(recs)))
         });
         group.bench_with_input(
             BenchmarkId::new("best_route_where", n),
             &routes,
             |b, routes| b.iter(|| best_route_where(black_box(routes), |r| !r.is_override())),
         );
+        group.bench_with_input(BenchmarkId::new("rec/best_where", n), &recs, |b, recs| {
+            b.iter(|| best_rec_where(black_box(recs), |r| !r.is_override()))
+        });
         group.bench_with_input(BenchmarkId::new("rank_routes", n), &routes, |b, routes| {
             b.iter(|| rank_routes(black_box(routes)))
+        });
+        group.bench_with_input(BenchmarkId::new("rec/rank_into", n), &recs, |b, recs| {
+            let mut out = Vec::with_capacity(recs.len());
+            b.iter(|| {
+                rank_recs_into(black_box(recs), &mut out);
+                black_box(out.len())
+            })
         });
     }
     group.finish();

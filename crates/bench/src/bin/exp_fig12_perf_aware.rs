@@ -75,7 +75,7 @@ fn run_arm(steer: bool, deployment: &ef_topology::Deployment) -> (usize, usize, 
             .iter()
             .filter_map(|d| {
                 let prefix = engine.prefix_of(d.key.prefix_idx);
-                ef_bgp::decision::best_route_where(pop.router.candidates(&prefix), |r| {
+                ef_bgp::decision::best_rec_where(pop.router.candidates(&prefix), |r| {
                     !r.is_override()
                 })
                 .map(|r| (d.key.prefix_idx, r.egress))

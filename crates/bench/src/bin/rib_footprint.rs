@@ -1,0 +1,195 @@
+//! Full-table RIB memory footprint: bytes per route in the pooled,
+//! attribute-interned Loc-RIB.
+//!
+//! Builds a 100k-prefix, 3-peers-per-prefix table with realistic attribute
+//! diversity (a few thousand distinct AS-path/MED patterns shared across
+//! the prefix fan-out, like a real DFZ feed), compacts it, and reports:
+//!
+//! * `bytes_per_route` — resident bytes per candidate route in the arena
+//!   layout (pool + slots + index + interned attribute store);
+//! * `naive_bytes_per_route` — the same table as the old representation
+//!   (`HashMap<Prefix, Vec<Route>>` with a deep `PathAttributes` clone per
+//!   route), estimated from the same entries.
+//!
+//! Output: `results/BENCH_rib_bytes.json`, which also carries the committed
+//! `budget_bytes_per_route`. With `--check`, the binary re-measures and
+//! exits nonzero if bytes/route exceeds the committed budget — the CI
+//! memory gate for the full-table layout. The build is deterministic
+//! (seeded patterns, deterministic allocation growth), so the measurement
+//! is machine-independent.
+
+use std::mem;
+
+use ef_bench::{results_dir, write_json};
+use ef_bgp::attrs::{AsPath, PathAttributes};
+use ef_bgp::peer::{PeerId, PeerKind};
+use ef_bgp::rib::LocRib;
+use ef_bgp::route::{EgressId, Route, RouteSource};
+use ef_net_types::{Asn, Prefix};
+use serde::{Deserialize, Serialize};
+
+const N_PREFIXES: u32 = 100_000;
+const N_PEERS: u64 = 3;
+/// Distinct attribute patterns in the synthetic feed. Real full tables see
+/// tens of distinct paths per thousand prefixes; this is deliberately on
+/// the diverse side so the interning win is not overstated.
+const N_PATTERNS: usize = 5_000;
+/// Headroom multiplier when (re)committing the budget.
+const BUDGET_HEADROOM: f64 = 1.25;
+
+#[derive(Serialize, Deserialize)]
+struct FootprintReport {
+    n_prefixes: u32,
+    n_peers: u64,
+    routes: usize,
+    distinct_attrs: usize,
+    rib_bytes: usize,
+    bytes_per_route: f64,
+    naive_bytes: usize,
+    naive_bytes_per_route: f64,
+    compression_ratio: f64,
+    budget_bytes_per_route: f64,
+}
+
+fn splitmix(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The distinct attribute patterns the feed draws from.
+fn patterns() -> Vec<PathAttributes> {
+    let mut rng = 0xEF00u64;
+    (0..N_PATTERNS)
+        .map(|_| {
+            let r = splitmix(&mut rng);
+            let hops = 1 + (r % 4) as usize;
+            let path: Vec<Asn> = (0..hops)
+                .map(|h| Asn(64_000 + ((r >> (8 * h)) % 2_000) as u32))
+                .collect();
+            let mut attrs = PathAttributes {
+                as_path: AsPath::sequence(path),
+                med: Some((r % 16) as u32),
+                ..Default::default()
+            };
+            let kind = match r % 3 {
+                0 => PeerKind::PrivatePeer,
+                1 => PeerKind::PublicPeer,
+                _ => PeerKind::Transit,
+            };
+            attrs.local_pref = Some(kind.default_local_pref());
+            attrs.add_community(kind.tag_community());
+            attrs
+        })
+        .collect()
+}
+
+/// Deep heap bytes of one materialized attribute set — what every route
+/// paid individually in the pre-interning representation.
+fn deep_attr_bytes(attrs: &PathAttributes) -> usize {
+    let path: usize = attrs
+        .as_path
+        .segments
+        .iter()
+        .map(|s| mem::size_of_val(s) + std::mem::size_of_val(s.asns()))
+        .sum();
+    path + attrs.communities.capacity() * mem::size_of::<ef_net_types::Community>()
+}
+
+fn build() -> LocRib {
+    let pool = patterns();
+    let mut rib = LocRib::new();
+    let mut rng = 0xFABu64;
+    for i in 0..N_PREFIXES {
+        let addr = i.wrapping_mul(2_654_435_761);
+        let len = if i % 3 == 0 { 16 } else { 24 };
+        let prefix = Prefix::v4(std::net::Ipv4Addr::from(addr), len);
+        for p in 0..N_PEERS {
+            let attrs = &pool[(splitmix(&mut rng) as usize) % pool.len()];
+            let kind = match p {
+                0 => PeerKind::PrivatePeer,
+                1 => PeerKind::PublicPeer,
+                _ => PeerKind::Transit,
+            };
+            let source = RouteSource {
+                peer: PeerId(p + 1),
+                peer_asn: Asn(65_000 + p as u32),
+                kind,
+            };
+            rib.install_ref(prefix, attrs, source, EgressId(p as u32 + 1));
+        }
+    }
+    rib.compact();
+    rib
+}
+
+fn measure(budget: Option<f64>) -> FootprintReport {
+    let rib = build();
+    let routes = rib.route_count();
+    let rib_bytes = rib.approx_bytes();
+    // The old representation: one `Route` (inline prefix + attrs + source +
+    // egress) plus a deep attribute clone per candidate, in per-prefix Vecs
+    // behind a HashMap.
+    let mut naive_bytes = 0usize;
+    for (_, recs) in rib.iter() {
+        naive_bytes += mem::size_of::<Prefix>() + mem::size_of::<Vec<Route>>();
+        for rec in recs {
+            naive_bytes += mem::size_of::<Route>() + deep_attr_bytes(rib.store().attrs(rec.attr));
+        }
+    }
+    let bytes_per_route = rib_bytes as f64 / routes as f64;
+    let report = FootprintReport {
+        n_prefixes: N_PREFIXES,
+        n_peers: N_PEERS,
+        routes,
+        distinct_attrs: rib.distinct_attrs(),
+        rib_bytes,
+        bytes_per_route,
+        naive_bytes,
+        naive_bytes_per_route: naive_bytes as f64 / routes as f64,
+        compression_ratio: naive_bytes as f64 / rib_bytes as f64,
+        budget_bytes_per_route: budget
+            .unwrap_or_else(|| (bytes_per_route * BUDGET_HEADROOM).ceil()),
+    };
+    println!(
+        "rib-footprint: {} routes over {} prefixes, {} distinct attr sets",
+        report.routes, report.n_prefixes, report.distinct_attrs
+    );
+    println!(
+        "rib-footprint: arena {:.1} B/route ({:.1} MiB), naive {:.1} B/route ({:.1} MiB), {:.2}x smaller",
+        report.bytes_per_route,
+        report.rib_bytes as f64 / (1024.0 * 1024.0),
+        report.naive_bytes_per_route,
+        report.naive_bytes as f64 / (1024.0 * 1024.0),
+        report.compression_ratio
+    );
+    report
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    if check {
+        let path = results_dir().join("BENCH_rib_bytes.json");
+        let committed: Option<FootprintReport> = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok());
+        let Some(committed) = committed else {
+            eprintln!("[rib-footprint] no committed baseline at {path:?}; check passes vacuously");
+            return;
+        };
+        let report = measure(Some(committed.budget_bytes_per_route));
+        println!(
+            "rib-footprint gate: measured {:.1} B/route, budget {:.1}",
+            report.bytes_per_route, committed.budget_bytes_per_route
+        );
+        if report.bytes_per_route > committed.budget_bytes_per_route {
+            eprintln!("[rib-footprint] FAIL: bytes/route exceeds the committed budget");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let report = measure(None);
+    write_json("BENCH_rib_bytes", &report);
+}

@@ -10,6 +10,7 @@
 
 use std::cmp::Ordering;
 
+use crate::attrstore::RouteRec;
 use crate::route::Route;
 
 /// Why one route beat another — returned by [`compare`] for observability
@@ -125,6 +126,108 @@ pub fn best_route_where<'a>(
         }
     }
     best
+}
+
+/// Compares two compact route records for the same prefix.
+///
+/// Field-for-field the same ladder as [`compare`], but reading the
+/// precomputed [`DecisionKey`](crate::attrstore::DecisionKey) — no heap
+/// access, no effective-value recomputation. The equivalence is enforced by
+/// the interned-RIB proptest suite.
+pub fn compare_recs(a: &RouteRec, b: &RouteRec) -> (Ordering, DecisionStep) {
+    // 1. Highest LOCAL_PREF.
+    let lp = a.key.local_pref.cmp(&b.key.local_pref);
+    if lp != Ordering::Equal {
+        return (lp, DecisionStep::LocalPref);
+    }
+
+    // 2. Shortest AS path (sets count once).
+    let len = b.key.path_len.cmp(&a.key.path_len);
+    if len != Ordering::Equal {
+        return (len, DecisionStep::AsPathLength);
+    }
+
+    // 3. Lowest origin code.
+    let origin = b.key.origin.cmp(&a.key.origin);
+    if origin != Ordering::Equal {
+        return (origin, DecisionStep::Origin);
+    }
+
+    // 4. Lowest MED, only when the neighbor AS matches (RFC 4271 §9.1.2.2 c).
+    if a.key.neighbor_as.is_some() && a.key.neighbor_as == b.key.neighbor_as {
+        let med = b.key.med.cmp(&a.key.med);
+        if med != Ordering::Equal {
+            return (med, DecisionStep::Med);
+        }
+    }
+
+    // 6. Deterministic final tie-break: lowest peer id.
+    let peer = b.source.peer.cmp(&a.source.peer);
+    if peer != Ordering::Equal {
+        return (peer, DecisionStep::PeerId);
+    }
+
+    (Ordering::Equal, DecisionStep::Tie)
+}
+
+/// Selects the best record among candidates for one prefix; ties resolve to
+/// the first listed, matching [`best_route`].
+pub fn best_rec<'a>(candidates: &'a [RouteRec]) -> Option<&'a RouteRec> {
+    let mut best: Option<&'a RouteRec> = None;
+    for r in candidates {
+        match best {
+            None => best = Some(r),
+            Some(b) => {
+                if compare_recs(r, b).0 == Ordering::Greater {
+                    best = Some(r);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Selects the best record satisfying `pred`, without allocating — the
+/// zero-alloc core of the per-epoch projection.
+pub fn best_rec_where<'a>(
+    candidates: &'a [RouteRec],
+    mut pred: impl FnMut(&RouteRec) -> bool,
+) -> Option<&'a RouteRec> {
+    let mut best: Option<&'a RouteRec> = None;
+    for r in candidates {
+        if !pred(r) {
+            continue;
+        }
+        match best {
+            None => best = Some(r),
+            Some(b) => {
+                if compare_recs(r, b).0 == Ordering::Greater {
+                    best = Some(r);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Ranks records best-first into a caller-provided buffer (cleared first),
+/// so hot loops reuse one scratch vector instead of allocating per prefix.
+///
+/// Uses the same stable `sort_by` as [`rank_routes`]. That matters beyond
+/// taste: MED comparability makes the ladder a non-total order, so the
+/// ranked order of incomparable routes depends on arrival order *and* on
+/// the sort algorithm. Sharing the algorithm makes the compact and fat
+/// representations byte-identical by construction; candidate sets are tiny
+/// (one route per peer), which keeps std's stable sort on its
+/// allocation-free insertion-sort path.
+pub fn rank_recs_into(candidates: &[RouteRec], out: &mut Vec<RouteRec>) {
+    out.clear();
+    out.extend_from_slice(candidates);
+    out.sort_by(|a, b| match compare_recs(a, b).0 {
+        Ordering::Greater => Ordering::Less,
+        Ordering::Less => Ordering::Greater,
+        Ordering::Equal => Ordering::Equal,
+    });
 }
 
 /// Ranks candidates best-first, the order the Edge Fabric allocator walks

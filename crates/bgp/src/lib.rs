@@ -11,6 +11,8 @@
 //!
 //! * [`attrs`] — path attributes: origin, AS path, MED, local-pref,
 //!   communities.
+//! * [`attrstore`] — interned attribute pool ([`AttrStore`]) and the compact
+//!   per-candidate record ([`RouteRec`]) the full-table RIB layout stores.
 //! * [`message`] — the BGP-4 message types, plus ROUTE-REFRESH (RFC 2918
 //!   with RFC 7313 BoRR/EoRR demarcation).
 //! * [`capabilities`] — typed OPEN-capability negotiation (MP-BGP, route
@@ -67,6 +69,7 @@
 
 pub mod addpath;
 pub mod attrs;
+pub mod attrstore;
 pub mod backoff;
 pub mod bmp;
 pub mod capabilities;
@@ -81,6 +84,7 @@ pub mod session;
 pub mod wire;
 
 pub use attrs::{AsPath, Origin, PathAttributes};
+pub use attrstore::{AttrId, AttrStore, DecisionKey, RouteRec};
 pub use capabilities::Capabilities;
 pub use message::{
     BgpMessage, NotificationMessage, OpenMessage, RefreshSubtype, RouteRefreshMessage,

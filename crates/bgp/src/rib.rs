@@ -1,24 +1,45 @@
 //! Routing Information Bases: per-peer Adj-RIB-In and the router-wide
-//! Loc-RIB.
+//! Loc-RIB, laid out for full-table scale.
 //!
 //! Edge Fabric needs more than a FIB view: the controller must see *every*
 //! route available for a prefix (paper §4.1, "the controller needs to know
 //! all routes, not just the best") in order to pick detour targets. The
 //! [`LocRib`] therefore keeps the full candidate set per prefix and exposes
 //! both the winner and the ranked alternatives.
+//!
+//! At ~900k prefixes × 2–6 paths the old `HashMap<Prefix, Vec<Route>>` paid
+//! one heap vector plus a deep [`PathAttributes`] clone per route. The
+//! compact layout stores all candidates in one pooled `Vec<RouteRec>` carved
+//! into power-of-two chunks, with attributes interned once per *distinct*
+//! set in an [`AttrStore`]:
+//!
+//! ```text
+//!   index: Prefix ─▶ slot ─▶ { start, len, class }   (one slot per prefix)
+//!   pool:  [ rec rec rec · | rec · · · | rec rec ... ]  chunk = 1<<class recs
+//!   store: AttrId ─▶ { PathAttributes, DecisionKey, refs }
+//! ```
+//!
+//! Within a chunk, records keep **arrival order** — the decision ladder is
+//! not a total order (MED comparability), so best/ranked results depend on
+//! iteration order and the pool must reproduce the reference `Vec` semantics
+//! (append new peers, replace in place, shift left on withdraw) exactly for
+//! determinism to hold byte-for-byte.
 
 use std::collections::HashMap;
 
 use ef_net_types::Prefix;
 
-use crate::decision::{best_route, rank_routes};
+use crate::attrs::PathAttributes;
+use crate::attrstore::{AttrStore, RouteRec};
+use crate::decision::{best_rec, rank_recs_into};
 use crate::peer::PeerId;
-use crate::route::Route;
+use crate::route::{EgressId, Route, RouteSource};
 
-/// The routes received from one peer, post-import-policy.
+/// The routes received from one peer, post-import-policy, attribute-interned.
 #[derive(Debug, Clone, Default)]
 pub struct AdjRibIn {
-    routes: HashMap<Prefix, Route>,
+    routes: HashMap<Prefix, RouteRec>,
+    store: AttrStore,
 }
 
 impl AdjRibIn {
@@ -28,19 +49,49 @@ impl AdjRibIn {
     }
 
     /// Installs or replaces the peer's route for a prefix, returning the
-    /// previous route if one existed.
-    pub fn install(&mut self, route: Route) -> Option<Route> {
-        self.routes.insert(route.prefix, route)
+    /// record it replaced if one existed. The returned record's attribute
+    /// handle may already be recycled — treat it as provenance only.
+    pub fn install(&mut self, route: Route) -> Option<RouteRec> {
+        self.install_ref(route.prefix, &route.attrs, route.source, route.egress)
+    }
+
+    /// Like [`install`](Self::install) without requiring an owned [`Route`]
+    /// (no attribute clone when the set is already interned).
+    pub fn install_ref(
+        &mut self,
+        prefix: Prefix,
+        attrs: &PathAttributes,
+        source: RouteSource,
+        egress: EgressId,
+    ) -> Option<RouteRec> {
+        let rec = self.store.make_rec(attrs, source, egress);
+        let prev = self.routes.insert(prefix, rec);
+        if let Some(prev) = prev {
+            self.store.release(prev.attr);
+        }
+        prev
     }
 
     /// Removes the peer's route for a prefix.
-    pub fn withdraw(&mut self, prefix: &Prefix) -> Option<Route> {
-        self.routes.remove(prefix)
+    pub fn withdraw(&mut self, prefix: &Prefix) -> Option<RouteRec> {
+        let prev = self.routes.remove(prefix);
+        if let Some(prev) = prev {
+            self.store.release(prev.attr);
+        }
+        prev
     }
 
-    /// The peer's route for a prefix, if any.
-    pub fn get(&self, prefix: &Prefix) -> Option<&Route> {
+    /// The peer's record for a prefix, if any.
+    pub fn get(&self, prefix: &Prefix) -> Option<&RouteRec> {
         self.routes.get(prefix)
+    }
+
+    /// Materializes the full route for a prefix (cold path: BMP snapshots,
+    /// diagnostics).
+    pub fn get_route(&self, prefix: &Prefix) -> Option<Route> {
+        self.routes
+            .get(prefix)
+            .map(|rec| self.store.materialize(*prefix, rec))
     }
 
     /// Number of prefixes this peer currently announces.
@@ -53,33 +104,64 @@ impl AdjRibIn {
         self.routes.is_empty()
     }
 
-    /// Iterates all routes (arbitrary order).
-    pub fn iter(&self) -> impl Iterator<Item = &Route> {
-        self.routes.values()
+    /// Iterates all records (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &RouteRec)> {
+        self.routes.iter()
     }
 
-    /// Drains every route, as on session teardown.
-    pub fn clear(&mut self) -> Vec<Route> {
-        self.routes.drain().map(|(_, r)| r).collect()
+    /// The attribute store backing this RIB (for materializing records).
+    pub fn store(&self) -> &AttrStore {
+        &self.store
+    }
+
+    /// Drains every route, as on session teardown. Returns how many prefixes
+    /// were announced.
+    pub fn clear(&mut self) -> usize {
+        let n = self.routes.len();
+        for (_, rec) in self.routes.drain() {
+            self.store.release(rec.attr);
+        }
+        n
     }
 }
 
 /// How the best route for a prefix changed after a RIB operation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BestChange {
     /// The best route is unchanged.
     Unchanged,
     /// The prefix gained its first route, or best switched to this route.
-    NewBest(Route),
+    NewBest(RouteRec),
     /// The prefix no longer has any route.
     Unreachable,
 }
 
+/// Per-prefix slot: an index range into the pooled record storage.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    prefix: Prefix,
+    /// First record index in the pool.
+    start: u32,
+    /// Live records (arrival order).
+    len: u16,
+    /// Chunk capacity is `1 << class` records.
+    class: u8,
+}
+
+const FREE_SLOT: u8 = u8::MAX;
+
 /// The router's collected view: every candidate route per prefix (at most
-/// one per peer) and the decision-process winner.
+/// one per peer) and the decision-process winner, in pooled compact storage.
 #[derive(Debug, Clone, Default)]
 pub struct LocRib {
-    by_prefix: HashMap<Prefix, Vec<Route>>,
+    store: AttrStore,
+    index: HashMap<Prefix, u32>,
+    slots: Vec<Slot>,
+    free_slots: Vec<u32>,
+    pool: Vec<RouteRec>,
+    /// Free chunk start indices, per size class.
+    free_chunks: Vec<Vec<u32>>,
+    routes: usize,
 }
 
 impl LocRib {
@@ -88,21 +170,136 @@ impl LocRib {
         Self::default()
     }
 
+    fn alloc_chunk(&mut self, class: u8) -> u32 {
+        if let Some(free) = self.free_chunks.get_mut(class as usize) {
+            if let Some(start) = free.pop() {
+                return start;
+            }
+        }
+        let start = self.pool.len() as u32;
+        self.pool.resize(
+            self.pool.len() + (1usize << class),
+            RouteRec {
+                attr: crate::attrstore::AttrId(0),
+                egress: EgressId(0),
+                source: RouteSource {
+                    peer: PeerId(0),
+                    peer_asn: ef_net_types::Asn(0),
+                    kind: crate::peer::PeerKind::Transit,
+                },
+                key: crate::attrstore::DecisionKey {
+                    local_pref: 0,
+                    path_len: 0,
+                    origin: crate::attrs::Origin::Igp,
+                    med: 0,
+                    neighbor_as: None,
+                },
+            },
+        );
+        start
+    }
+
+    fn free_chunk(&mut self, start: u32, class: u8) {
+        let class = class as usize;
+        if self.free_chunks.len() <= class {
+            self.free_chunks.resize_with(class + 1, Vec::new);
+        }
+        self.free_chunks[class].push(start);
+    }
+
+    fn slot_recs(&self, slot: &Slot) -> &[RouteRec] {
+        &self.pool[slot.start as usize..slot.start as usize + slot.len as usize]
+    }
+
+    /// Grows the slot's chunk to the next size class, copying live records.
+    fn grow(&mut self, slot_id: u32) {
+        let (start, len, class) = {
+            let s = &self.slots[slot_id as usize];
+            (s.start, s.len, s.class)
+        };
+        let new_class = class + 1;
+        let new_start = self.alloc_chunk(new_class);
+        let (src, dst) = (start as usize, new_start as usize);
+        for i in 0..len as usize {
+            self.pool[dst + i] = self.pool[src + i];
+        }
+        self.free_chunk(start, class);
+        let s = &mut self.slots[slot_id as usize];
+        s.start = new_start;
+        s.class = new_class;
+    }
+
     /// Installs or replaces `route` (keyed by its source peer), returning
     /// how the best route changed.
     pub fn install(&mut self, route: Route) -> BestChange {
-        let entry = self.by_prefix.entry(route.prefix).or_default();
-        let old_best = best_route(entry).cloned();
-        if let Some(existing) = entry
-            .iter_mut()
-            .find(|r| r.source.peer == route.source.peer)
-        {
-            *existing = route;
-        } else {
-            entry.push(route);
+        self.install_ref(route.prefix, &route.attrs, route.source, route.egress)
+    }
+
+    /// Like [`install`](Self::install) without requiring an owned [`Route`]:
+    /// the attributes are interned (or their refcount bumped) directly from
+    /// the borrowed set, so multi-prefix UPDATEs pay one deep clone total.
+    pub fn install_ref(
+        &mut self,
+        prefix: Prefix,
+        attrs: &PathAttributes,
+        source: RouteSource,
+        egress: EgressId,
+    ) -> BestChange {
+        let rec = self.store.make_rec(attrs, source, egress);
+        let slot_id = match self.index.get(&prefix) {
+            Some(&id) => id,
+            None => {
+                let start = self.alloc_chunk(0);
+                let slot = Slot {
+                    prefix,
+                    start,
+                    len: 0,
+                    class: 0,
+                };
+                let id = match self.free_slots.pop() {
+                    Some(id) => {
+                        self.slots[id as usize] = slot;
+                        id
+                    }
+                    None => {
+                        self.slots.push(slot);
+                        (self.slots.len() - 1) as u32
+                    }
+                };
+                self.index.insert(prefix, id);
+                id
+            }
+        };
+
+        let old_best = best_rec(self.slot_recs(&self.slots[slot_id as usize])).copied();
+
+        // Replace in place if this peer already has a route; append otherwise
+        // — same ordering semantics as the reference Vec representation.
+        let slot = self.slots[slot_id as usize];
+        let base = slot.start as usize;
+        let existing =
+            (0..slot.len as usize).find(|&i| self.pool[base + i].source.peer == source.peer);
+        match existing {
+            Some(i) => {
+                let old = self.pool[base + i];
+                self.pool[base + i] = rec;
+                self.store.release(old.attr);
+            }
+            None => {
+                if usize::from(slot.len) == 1usize << slot.class {
+                    self.grow(slot_id);
+                }
+                let s = self.slots[slot_id as usize];
+                self.pool[s.start as usize + s.len as usize] = rec;
+                self.slots[slot_id as usize].len += 1;
+                self.routes += 1;
+            }
         }
-        let new_best = best_route(entry).cloned().expect("nonempty");
-        if old_best.as_ref() == Some(&new_best) {
+
+        let new_best = best_rec(self.slot_recs(&self.slots[slot_id as usize]))
+            .copied()
+            .unwrap_or(rec);
+        if old_best == Some(new_best) {
             BestChange::Unchanged
         } else {
             BestChange::NewBest(new_best)
@@ -111,36 +308,55 @@ impl LocRib {
 
     /// Removes the route for `prefix` learned from `peer`.
     pub fn withdraw(&mut self, prefix: &Prefix, peer: PeerId) -> BestChange {
-        let Some(entry) = self.by_prefix.get_mut(prefix) else {
+        let Some(&slot_id) = self.index.get(prefix) else {
             return BestChange::Unchanged;
         };
-        let old_best = best_route(entry).cloned();
-        let before = entry.len();
-        entry.retain(|r| r.source.peer != peer);
-        if entry.len() == before {
+        let slot = self.slots[slot_id as usize];
+        let base = slot.start as usize;
+        let len = slot.len as usize;
+        let Some(hit) = (0..len).find(|&i| self.pool[base + i].source.peer == peer) else {
             return BestChange::Unchanged;
+        };
+
+        let old_best = best_rec(self.slot_recs(&slot)).copied();
+        let removed = self.pool[base + hit];
+        // Shift left to preserve arrival order (the reference `retain`).
+        for i in hit..len - 1 {
+            self.pool[base + i] = self.pool[base + i + 1];
         }
-        if entry.is_empty() {
-            self.by_prefix.remove(prefix);
+        self.slots[slot_id as usize].len -= 1;
+        self.routes -= 1;
+        self.store.release(removed.attr);
+
+        if self.slots[slot_id as usize].len == 0 {
+            self.index.remove(prefix);
+            self.free_chunk(slot.start, slot.class);
+            self.slots[slot_id as usize].class = FREE_SLOT;
+            self.free_slots.push(slot_id);
             return BestChange::Unreachable;
         }
-        let new_best = best_route(entry).cloned().expect("nonempty");
-        if old_best.as_ref() == Some(&new_best) {
+        let new_best = best_rec(self.slot_recs(&self.slots[slot_id as usize])).copied();
+        if old_best == new_best {
             BestChange::Unchanged
         } else {
-            BestChange::NewBest(new_best)
+            match new_best {
+                Some(b) => BestChange::NewBest(b),
+                None => BestChange::Unreachable,
+            }
         }
     }
 
     /// Removes every route learned from `peer` (session teardown). Returns
-    /// the per-prefix best-route changes that resulted.
+    /// the per-prefix best-route changes that resulted, in prefix order.
     pub fn withdraw_peer(&mut self, peer: PeerId) -> Vec<(Prefix, BestChange)> {
-        let prefixes: Vec<Prefix> = self
-            .by_prefix
+        let mut prefixes: Vec<Prefix> = self
+            .slots
             .iter()
-            .filter(|(_, routes)| routes.iter().any(|r| r.source.peer == peer))
-            .map(|(p, _)| *p)
+            .filter(|s| s.class != FREE_SLOT)
+            .filter(|s| self.slot_recs(s).iter().any(|r| r.source.peer == peer))
+            .map(|s| s.prefix)
             .collect();
+        prefixes.sort_unstable();
         prefixes
             .into_iter()
             .map(|p| {
@@ -151,44 +367,132 @@ impl LocRib {
             .collect()
     }
 
-    /// All candidate routes for a prefix (unordered).
-    pub fn candidates(&self, prefix: &Prefix) -> &[Route] {
-        self.by_prefix
-            .get(prefix)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+    /// All candidate records for a prefix, in arrival order.
+    pub fn candidates(&self, prefix: &Prefix) -> &[RouteRec] {
+        match self.index.get(prefix) {
+            Some(&id) => self.slot_recs(&self.slots[id as usize]),
+            None => &[],
+        }
     }
 
-    /// Candidates ranked best-first by the decision process.
-    pub fn ranked(&self, prefix: &Prefix) -> Vec<&Route> {
-        rank_routes(self.candidates(prefix))
+    /// Candidates ranked best-first by the decision process, written into a
+    /// caller-provided scratch buffer (cleared first) so per-prefix calls in
+    /// the allocator's hot loop stop allocating.
+    pub fn ranked_into(&self, prefix: &Prefix, out: &mut Vec<RouteRec>) {
+        rank_recs_into(self.candidates(prefix), out);
+    }
+
+    /// Candidates ranked best-first (allocating convenience for cold paths
+    /// and tests; hot paths use [`ranked_into`](Self::ranked_into)).
+    pub fn ranked(&self, prefix: &Prefix) -> Vec<RouteRec> {
+        let mut out = Vec::new();
+        self.ranked_into(prefix, &mut out);
+        out
     }
 
     /// The decision-process winner for a prefix.
-    pub fn best(&self, prefix: &Prefix) -> Option<&Route> {
-        best_route(self.candidates(prefix))
+    pub fn best(&self, prefix: &Prefix) -> Option<&RouteRec> {
+        best_rec(self.candidates(prefix))
+    }
+
+    /// Materializes a full [`Route`] for a record of this RIB.
+    pub fn route(&self, prefix: Prefix, rec: &RouteRec) -> Route {
+        self.store.materialize(prefix, rec)
+    }
+
+    /// The attribute store backing this RIB.
+    pub fn store(&self) -> &AttrStore {
+        &self.store
     }
 
     /// Number of prefixes with at least one route.
     pub fn len(&self) -> usize {
-        self.by_prefix.len()
+        self.index.len()
     }
 
     /// True if no prefix has a route.
     pub fn is_empty(&self) -> bool {
-        self.by_prefix.is_empty()
+        self.index.is_empty()
     }
 
-    /// Iterates `(prefix, candidates)` in arbitrary order.
-    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &[Route])> {
-        self.by_prefix.iter().map(|(p, v)| (p, v.as_slice()))
+    /// Total candidate routes across all prefixes.
+    pub fn route_count(&self) -> usize {
+        self.routes
     }
 
-    /// Iterates `(prefix, best route)` in arbitrary order.
-    pub fn iter_best(&self) -> impl Iterator<Item = (&Prefix, &Route)> {
-        self.by_prefix
+    /// Number of distinct attribute sets currently interned.
+    pub fn distinct_attrs(&self) -> usize {
+        self.store.distinct()
+    }
+
+    /// Approximate resident bytes of the compact layout: pooled records,
+    /// slot table, prefix index, and the interned attribute store. The CI
+    /// bytes/route gate divides this by [`route_count`](Self::route_count).
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let pool = self.pool.capacity() * size_of::<RouteRec>();
+        let slots = self.slots.capacity() * size_of::<Slot>();
+        // HashMap entry ≈ key + value + control byte overhead (~1.1 factor).
+        let index = self.index.capacity() * (size_of::<Prefix>() + size_of::<u32>() + 8);
+        pool + slots + index + self.store.approx_bytes()
+    }
+
+    /// Iterates `(prefix, candidates)` in slot (arrival) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &[RouteRec])> {
+        self.slots
             .iter()
-            .filter_map(|(p, v)| best_route(v).map(|b| (p, b)))
+            .filter(|s| s.class != FREE_SLOT)
+            .map(|s| (&s.prefix, self.slot_recs(s)))
+    }
+
+    /// Iterates `(prefix, best record)` in slot (arrival) order, selecting
+    /// per slot without sorting or allocating.
+    pub fn iter_best(&self) -> impl Iterator<Item = (&Prefix, &RouteRec)> {
+        self.slots
+            .iter()
+            .filter(|s| s.class != FREE_SLOT)
+            .filter_map(|s| best_rec(self.slot_recs(s)).map(|b| (&s.prefix, b)))
+    }
+
+    /// Re-lays the pool out prefix-sorted with no free chunks or slack — the
+    /// batched-build companion: after a bulk load (or heavy churn), one pass
+    /// leaves candidates contiguous in prefix order for cache-friendly scans
+    /// and minimal footprint.
+    pub fn compact(&mut self) {
+        let mut live: Vec<Slot> = self
+            .slots
+            .iter()
+            .filter(|s| s.class != FREE_SLOT)
+            .copied()
+            .collect();
+        live.sort_unstable_by_key(|s| s.prefix);
+
+        let mut new_pool: Vec<RouteRec> = Vec::with_capacity(self.routes);
+        let mut new_slots: Vec<Slot> = Vec::with_capacity(live.len());
+        let mut new_index: HashMap<Prefix, u32> = HashMap::with_capacity(live.len());
+        for slot in &live {
+            let start = new_pool.len() as u32;
+            new_pool.extend_from_slice(self.slot_recs(slot));
+            // Exact-fit class: smallest power of two holding `len`.
+            let class = (u16::BITS - slot.len.max(1).leading_zeros() - 1) as u8
+                + u8::from(!slot.len.is_power_of_two());
+            new_pool.resize(
+                start as usize + (1usize << class),
+                *new_pool.last().expect("slot nonempty"),
+            );
+            new_index.insert(slot.prefix, new_slots.len() as u32);
+            new_slots.push(Slot {
+                prefix: slot.prefix,
+                start,
+                len: slot.len,
+                class,
+            });
+        }
+        self.pool = new_pool;
+        self.slots = new_slots;
+        self.index = new_index;
+        self.free_slots.clear();
+        self.free_chunks.clear();
     }
 }
 
@@ -229,11 +533,12 @@ mod tests {
         assert!(rib.install(route("1.0.0.0/8", 1, 200)).is_some());
         assert_eq!(rib.len(), 1);
         assert_eq!(
-            rib.get(&p("1.0.0.0/8")).unwrap().attrs.local_pref,
+            rib.get_route(&p("1.0.0.0/8")).unwrap().attrs.local_pref,
             Some(200)
         );
         assert!(rib.withdraw(&p("1.0.0.0/8")).is_some());
         assert!(rib.withdraw(&p("1.0.0.0/8")).is_none());
+        assert!(rib.store().is_empty(), "all attrs released");
     }
 
     #[test]
@@ -241,25 +546,34 @@ mod tests {
         let mut rib = AdjRibIn::new();
         rib.install(route("1.0.0.0/8", 1, 100));
         rib.install(route("2.0.0.0/8", 1, 100));
-        let drained = rib.clear();
-        assert_eq!(drained.len(), 2);
+        assert_eq!(rib.clear(), 2);
         assert!(rib.is_empty());
+        assert!(rib.store().is_empty());
     }
 
     #[test]
     fn loc_rib_first_route_is_new_best() {
         let mut rib = LocRib::new();
         let r = route("1.0.0.0/8", 1, 100);
-        assert_eq!(rib.install(r.clone()), BestChange::NewBest(r));
+        match rib.install(r.clone()) {
+            BestChange::NewBest(rec) => {
+                assert_eq!(rec.source.peer, PeerId(1));
+                assert_eq!(rib.route(p("1.0.0.0/8"), &rec), r);
+            }
+            other => panic!("expected NewBest, got {other:?}"),
+        }
         assert_eq!(rib.len(), 1);
+        assert_eq!(rib.route_count(), 1);
     }
 
     #[test]
     fn loc_rib_better_route_takes_over() {
         let mut rib = LocRib::new();
         rib.install(route("1.0.0.0/8", 1, 100));
-        let better = route("1.0.0.0/8", 2, 900);
-        assert_eq!(rib.install(better.clone()), BestChange::NewBest(better));
+        match rib.install(route("1.0.0.0/8", 2, 900)) {
+            BestChange::NewBest(rec) => assert_eq!(rec.source.peer, PeerId(2)),
+            other => panic!("expected NewBest, got {other:?}"),
+        }
         // A worse newcomer does not change best.
         assert_eq!(
             rib.install(route("1.0.0.0/8", 3, 50)),
@@ -274,10 +588,8 @@ mod tests {
         rib.install(route("1.0.0.0/8", 1, 100));
         rib.install(route("1.0.0.0/8", 1, 150));
         assert_eq!(rib.candidates(&p("1.0.0.0/8")).len(), 1);
-        assert_eq!(
-            rib.best(&p("1.0.0.0/8")).unwrap().attrs.local_pref,
-            Some(150)
-        );
+        assert_eq!(rib.best(&p("1.0.0.0/8")).unwrap().key.local_pref, 150);
+        assert_eq!(rib.distinct_attrs(), 1, "replaced attrs released");
     }
 
     #[test]
@@ -311,6 +623,8 @@ mod tests {
             BestChange::Unreachable
         );
         assert!(rib.is_empty());
+        assert_eq!(rib.route_count(), 0);
+        assert_eq!(rib.distinct_attrs(), 0);
         // Withdrawing again is a no-op.
         assert_eq!(
             rib.withdraw(&p("1.0.0.0/8"), PeerId(1)),
@@ -346,6 +660,19 @@ mod tests {
     }
 
     #[test]
+    fn ranked_into_reuses_scratch() {
+        let mut rib = LocRib::new();
+        rib.install(route("1.0.0.0/8", 1, 100));
+        rib.install(route("1.0.0.0/8", 2, 900));
+        let mut scratch = Vec::with_capacity(8);
+        rib.ranked_into(&p("1.0.0.0/8"), &mut scratch);
+        assert_eq!(scratch.len(), 2);
+        assert_eq!(scratch[0].source.peer, PeerId(2));
+        rib.ranked_into(&p("9.0.0.0/8"), &mut scratch);
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
     fn iter_best_covers_all_prefixes() {
         let mut rib = LocRib::new();
         rib.install(route("1.0.0.0/8", 1, 100));
@@ -353,5 +680,72 @@ mod tests {
         let mut prefixes: Vec<Prefix> = rib.iter_best().map(|(p, _)| *p).collect();
         prefixes.sort();
         assert_eq!(prefixes, vec![p("1.0.0.0/8"), p("2.0.0.0/8")]);
+    }
+
+    #[test]
+    fn chunks_grow_and_recycle() {
+        let mut rib = LocRib::new();
+        // 5 peers forces class 0 -> 1 -> 2 growth with chunk recycling.
+        for peer in 1..=5 {
+            rib.install(route("1.0.0.0/8", peer, 100 + peer as u32));
+        }
+        assert_eq!(rib.candidates(&p("1.0.0.0/8")).len(), 5);
+        let arrival: Vec<u64> = rib
+            .candidates(&p("1.0.0.0/8"))
+            .iter()
+            .map(|r| r.source.peer.0)
+            .collect();
+        assert_eq!(arrival, vec![1, 2, 3, 4, 5], "arrival order preserved");
+        for peer in 1..=5 {
+            rib.withdraw(&p("1.0.0.0/8"), PeerId(peer));
+        }
+        assert!(rib.is_empty());
+        // A new prefix reuses recycled storage rather than growing the pool.
+        let before = rib.pool.len();
+        rib.install(route("3.0.0.0/8", 1, 100));
+        assert_eq!(rib.pool.len(), before);
+    }
+
+    #[test]
+    fn attrs_are_shared_across_prefixes() {
+        let mut rib = LocRib::new();
+        for i in 0..100u32 {
+            rib.install(route(&format!("{}.0.0.0/8", i + 1), 1, 300));
+        }
+        assert_eq!(rib.route_count(), 100);
+        assert_eq!(rib.distinct_attrs(), 1, "one shared attribute set");
+    }
+
+    #[test]
+    fn compact_preserves_contents_and_order() {
+        let mut rib = LocRib::new();
+        rib.install(route("2.0.0.0/8", 2, 100));
+        rib.install(route("1.0.0.0/8", 1, 900));
+        rib.install(route("1.0.0.0/8", 3, 500));
+        rib.install(route("3.0.0.0/8", 1, 100));
+        rib.withdraw(&p("3.0.0.0/8"), PeerId(1));
+        let before: Vec<(Prefix, Vec<RouteRec>)> = {
+            let mut v: Vec<(Prefix, Vec<RouteRec>)> =
+                rib.iter().map(|(p, r)| (*p, r.to_vec())).collect();
+            v.sort_by_key(|(p, _)| *p);
+            v
+        };
+        rib.compact();
+        let after: Vec<(Prefix, Vec<RouteRec>)> =
+            rib.iter().map(|(p, r)| (*p, r.to_vec())).collect();
+        assert_eq!(before, after, "compact iterates prefix-sorted");
+        assert_eq!(rib.route_count(), 3);
+        assert_eq!(rib.best(&p("1.0.0.0/8")).unwrap().source.peer, PeerId(1));
+    }
+
+    #[test]
+    fn best_change_equality_detects_idempotent_reinstall() {
+        let mut rib = LocRib::new();
+        rib.install(route("1.0.0.0/8", 1, 100));
+        // Identical re-announcement: same interned id, same rec, unchanged.
+        assert_eq!(
+            rib.install(route("1.0.0.0/8", 1, 100)),
+            BestChange::Unchanged
+        );
     }
 }

@@ -27,6 +27,24 @@ impl fmt::Display for EgressId {
     }
 }
 
+/// An [`EgressId`] outside the 2²⁴ range the synthetic next-hop encoding can
+/// carry. A malformed topology (or a corrupted controller message) produces
+/// this error instead of panicking the daemon path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EgressIdOutOfRange(pub u32);
+
+impl fmt::Display for EgressIdOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "EgressId {} exceeds the 2^24-1 next-hop encoding bound",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for EgressIdOutOfRange {}
+
 impl EgressId {
     /// Encodes this egress as a synthetic next-hop address in `10.0.0.0/8`.
     ///
@@ -35,15 +53,13 @@ impl EgressId {
     /// reproduction mirrors that: controller updates carry a next hop that
     /// encodes the target [`EgressId`], and the router resolves it back with
     /// [`from_next_hop`](Self::from_next_hop). Supports up to 2²⁴
-    /// interfaces.
-    pub fn to_next_hop(self) -> std::net::Ipv4Addr {
-        assert!(
-            self.0 < (1 << 24),
-            "EgressId {} too large for next-hop encoding",
-            self.0
-        );
+    /// interfaces; larger ids yield [`EgressIdOutOfRange`].
+    pub fn to_next_hop(self) -> Result<std::net::Ipv4Addr, EgressIdOutOfRange> {
+        if self.0 >= (1 << 24) {
+            return Err(EgressIdOutOfRange(self.0));
+        }
         let [_, b, c, d] = self.0.to_be_bytes();
-        std::net::Ipv4Addr::new(10, b, c, d)
+        Ok(std::net::Ipv4Addr::new(10, b, c, d))
     }
 
     /// Reverse of [`to_next_hop`](Self::to_next_hop). Returns `None` when
@@ -152,7 +168,7 @@ mod tests {
     fn egress_next_hop_round_trip() {
         for id in [0u32, 1, 255, 256, 65_535, (1 << 24) - 1] {
             let eg = EgressId(id);
-            assert_eq!(EgressId::from_next_hop(eg.to_next_hop()), Some(eg));
+            assert_eq!(EgressId::from_next_hop(eg.to_next_hop().unwrap()), Some(eg));
         }
     }
 
@@ -162,8 +178,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "too large")]
-    fn oversized_egress_panics() {
-        EgressId(1 << 24).to_next_hop();
+    fn oversized_egress_is_a_typed_error() {
+        let err = EgressId(1 << 24).to_next_hop().unwrap_err();
+        assert_eq!(err, EgressIdOutOfRange(1 << 24));
+        assert!(err.to_string().contains("2^24"));
     }
 }

@@ -12,8 +12,9 @@ use std::net::Ipv4Addr;
 
 use bytes::Bytes;
 
-use ef_net_types::{Asn, Prefix, PrefixTrie};
+use ef_net_types::{Asn, CompressedTrie, Prefix};
 
+use crate::attrstore::{AttrId, AttrStore, RouteRec};
 use crate::bmp::{BmpMessage, BmpPeerHeader};
 use crate::message::{RefreshSubtype, RouteRefreshMessage, UpdateMessage};
 use crate::peer::{PeerId, PeerKind};
@@ -80,7 +81,7 @@ pub struct BgpRouter {
     cfg: RouterConfig,
     peers: HashMap<PeerId, PeerState>,
     loc_rib: LocRib,
-    fib: PrefixTrie<FibEntry>,
+    fib: CompressedTrie<FibEntry>,
     bmp_queue: Vec<BmpMessage>,
     /// Locally originated prefixes (the content provider's own nets),
     /// exported to every real peer with the local ASN prepended.
@@ -102,7 +103,7 @@ impl BgpRouter {
             cfg,
             peers: HashMap::new(),
             loc_rib: LocRib::new(),
-            fib: PrefixTrie::new(),
+            fib: CompressedTrie::new(),
             bmp_queue,
             local_origins: Vec::new(),
             fib_version: 0,
@@ -308,7 +309,7 @@ impl BgpRouter {
             }
             RefreshSubtype::BoRR => {
                 if let Some(state) = self.peers.get_mut(&peer) {
-                    state.stale_sweep = Some(state.adj_in.iter().map(|r| r.prefix).collect());
+                    state.stale_sweep = Some(state.adj_in.iter().map(|(p, _)| *p).collect());
                 }
             }
             RefreshSubtype::EoRR => {
@@ -410,15 +411,11 @@ impl BgpRouter {
                     } else {
                         attach.egress
                     };
-                    let route = Route {
-                        prefix: *prefix,
-                        attrs: attrs.clone(),
-                        source,
-                        egress,
-                    };
-                    state.adj_in.install(route.clone());
+                    // Attribute sets are interned: both RIBs take a handle,
+                    // paying one deep clone per *distinct* set, not per route.
+                    state.adj_in.install_ref(*prefix, &attrs, source, egress);
+                    let change = self.loc_rib.install_ref(*prefix, &attrs, source, egress);
                     accepted.push((*prefix, attrs));
-                    let change = self.loc_rib.install(route);
                     Self::apply_best_change(&mut self.fib, &mut self.fib_version, *prefix, change);
                 }
                 PolicyVerdict::Reject => {
@@ -495,7 +492,7 @@ impl BgpRouter {
     // Static over `&mut self` because callers hold disjoint borrows into
     // `self.peers` while mutating the FIB.
     fn apply_best_change(
-        fib: &mut PrefixTrie<FibEntry>,
+        fib: &mut CompressedTrie<FibEntry>,
         version: &mut u64,
         prefix: Prefix,
         change: BestChange,
@@ -542,28 +539,66 @@ impl BgpRouter {
     }
 
     /// The router's full view of candidates for a prefix (all peers).
-    pub fn candidates(&self, prefix: &Prefix) -> &[Route] {
+    pub fn candidates(&self, prefix: &Prefix) -> &[RouteRec] {
         self.loc_rib.candidates(prefix)
     }
 
-    /// Candidates ranked best-first.
-    pub fn ranked(&self, prefix: &Prefix) -> Vec<&Route> {
+    /// Candidates ranked best-first (allocating; hot paths use
+    /// [`ranked_into`](Self::ranked_into)).
+    pub fn ranked(&self, prefix: &Prefix) -> Vec<RouteRec> {
         self.loc_rib.ranked(prefix)
     }
 
+    /// Candidates ranked best-first into a reused scratch buffer.
+    pub fn ranked_into(&self, prefix: &Prefix, out: &mut Vec<RouteRec>) {
+        self.loc_rib.ranked_into(prefix, out)
+    }
+
     /// The decision winner for a prefix.
-    pub fn best(&self, prefix: &Prefix) -> Option<&Route> {
+    pub fn best(&self, prefix: &Prefix) -> Option<&RouteRec> {
         self.loc_rib.best(prefix)
     }
 
+    /// Materializes the full route for a Loc-RIB record (cold paths:
+    /// reports, audits).
+    pub fn rib_route(&self, prefix: Prefix, rec: &RouteRec) -> Route {
+        self.loc_rib.route(prefix, rec)
+    }
+
+    /// The attribute store backing the Loc-RIB.
+    pub fn rib_store(&self) -> &AttrStore {
+        self.loc_rib.store()
+    }
+
     /// Iterates `(prefix, best)` over the whole Loc-RIB.
-    pub fn iter_best(&self) -> impl Iterator<Item = (&Prefix, &Route)> {
+    pub fn iter_best(&self) -> impl Iterator<Item = (&Prefix, &RouteRec)> {
         self.loc_rib.iter_best()
     }
 
     /// Iterates `(prefix, all candidates)`.
-    pub fn iter_candidates(&self) -> impl Iterator<Item = (&Prefix, &[Route])> {
+    pub fn iter_candidates(&self) -> impl Iterator<Item = (&Prefix, &[RouteRec])> {
         self.loc_rib.iter()
+    }
+
+    /// Total candidate routes across all prefixes.
+    pub fn rib_route_count(&self) -> usize {
+        self.loc_rib.route_count()
+    }
+
+    /// Distinct attribute sets interned in the Loc-RIB.
+    pub fn rib_distinct_attrs(&self) -> usize {
+        self.loc_rib.distinct_attrs()
+    }
+
+    /// Approximate resident bytes of the Loc-RIB's compact layout.
+    pub fn rib_approx_bytes(&self) -> usize {
+        self.loc_rib.approx_bytes()
+    }
+
+    /// Re-lays the Loc-RIB pool out prefix-sorted with no slack — call once
+    /// after a bulk table load to finish the batched build.
+    pub fn compact_rib(&mut self) {
+        self.loc_rib.compact()
     }
 
     /// Drains queued BMP messages (the monitoring feed).
@@ -593,15 +628,16 @@ impl BgpRouter {
                 timestamp_ms: now,
             };
             out.push(BmpMessage::PeerUp(header));
-            let mut routes: Vec<&Route> = state.adj_in.iter().collect();
-            routes.sort_by_key(|r| r.prefix);
-            for route in routes {
+            let mut entries: Vec<(Prefix, RouteRec)> =
+                state.adj_in.iter().map(|(p, r)| (*p, *r)).collect();
+            entries.sort_by_key(|(p, _)| *p);
+            for (prefix, rec) in entries {
                 out.push(BmpMessage::RouteMonitoring {
                     peer: header,
                     update: UpdateMessage {
                         withdrawn: Vec::new(),
-                        attrs: route.attrs.clone(),
-                        announced: vec![route.prefix],
+                        attrs: state.adj_in.store().attrs(rec.attr).clone(),
+                        announced: vec![prefix],
                     },
                 });
             }
@@ -626,8 +662,11 @@ pub struct PeerStub {
     /// This stub's intended Adj-RIB-Out: every prefix it currently
     /// advertises with the attributes last sent. A ROUTE-REFRESH request
     /// from the router is answered by replaying this map, which is what
-    /// heals treat-as-withdraw damage without a session bounce.
-    advertised: BTreeMap<Prefix, crate::attrs::PathAttributes>,
+    /// heals treat-as-withdraw damage without a session bounce. Attribute
+    /// sets are interned in `adv_store` — at full-table scale this map is
+    /// one of four per-route attribute copies the compact layout collapses.
+    advertised: BTreeMap<Prefix, AttrId>,
+    adv_store: AttrStore,
 }
 
 impl PeerStub {
@@ -642,6 +681,7 @@ impl PeerStub {
             received: Vec::new(),
             send_errors: 0,
             advertised: BTreeMap::new(),
+            adv_store: AttrStore::new(),
         }
     }
 
@@ -684,10 +724,11 @@ impl PeerStub {
                             if enhanced {
                                 let _ = self.session.send_refresh_marker(RefreshSubtype::BoRR);
                             }
-                            for (prefix, attrs) in &self.advertised {
+                            for (prefix, id) in &self.advertised {
+                                let attrs = self.adv_store.attrs(*id).clone();
                                 let _ = self
                                     .session
-                                    .send_update(UpdateMessage::announce(*prefix, attrs.clone()));
+                                    .send_update(UpdateMessage::announce(*prefix, attrs));
                             }
                             if enhanced {
                                 let _ = self.session.send_refresh_marker(RefreshSubtype::EoRR);
@@ -777,10 +818,22 @@ impl PeerStub {
     ) -> Result<(), crate::session::SessionError> {
         self.session.send_update(update.clone())?;
         for prefix in &update.withdrawn {
-            self.advertised.remove(prefix);
+            if let Some(old) = self.advertised.remove(prefix) {
+                self.adv_store.release(old);
+            }
         }
-        for prefix in &update.announced {
-            self.advertised.insert(*prefix, update.attrs.clone());
+        if !update.announced.is_empty() {
+            // One intern per UPDATE; additional prefixes only bump the
+            // refcount on the shared attribute set.
+            let id = self.adv_store.intern(&update.attrs);
+            for (i, prefix) in update.announced.iter().enumerate() {
+                if i > 0 {
+                    self.adv_store.retain(id);
+                }
+                if let Some(old) = self.advertised.insert(*prefix, id) {
+                    self.adv_store.release(old);
+                }
+            }
         }
         self.pump(router, now);
         Ok(())
@@ -852,13 +905,18 @@ mod tests {
         let mut r = router();
         let mut s = wire_peer(&mut r, 1, 65001, PeerKind::PrivatePeer, 11);
         s.announce(&mut r, p("203.0.113.0/24"), attrs(&[65001]), 1);
-        let best = r.best(&p("203.0.113.0/24")).unwrap();
+        let best = *r.best(&p("203.0.113.0/24")).unwrap();
         assert_eq!(best.source.peer, PeerId(1));
         assert_eq!(best.egress, EgressId(11));
         assert_eq!(
-            best.attrs.local_pref,
-            Some(PeerKind::PrivatePeer.default_local_pref()),
+            best.key.local_pref,
+            PeerKind::PrivatePeer.default_local_pref(),
             "import policy applied"
+        );
+        let materialized = r.rib_route(p("203.0.113.0/24"), &best);
+        assert_eq!(
+            materialized.attrs.local_pref,
+            Some(PeerKind::PrivatePeer.default_local_pref()),
         );
         let fib = r.fib_entry(&p("203.0.113.0/24")).unwrap();
         assert_eq!(fib.egress, EgressId(11));
@@ -956,7 +1014,7 @@ mod tests {
 
         // Inject an override steering the prefix to the transit interface.
         let mut oattrs = PathAttributes {
-            next_hop: Some(EgressId(12).to_next_hop()),
+            next_hop: Some(EgressId(12).to_next_hop().unwrap()),
             ..Default::default()
         };
         oattrs.add_community(marker);
@@ -991,7 +1049,7 @@ mod tests {
             &mut r,
             p("203.0.113.0/24"),
             PathAttributes {
-                next_hop: Some(EgressId(5).to_next_hop()),
+                next_hop: Some(EgressId(5).to_next_hop().unwrap()),
                 ..Default::default()
             },
             1,

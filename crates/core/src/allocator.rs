@@ -22,7 +22,8 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use ef_bgp::route::{EgressId, Route};
+use ef_bgp::attrstore::RouteRec;
+use ef_bgp::route::EgressId;
 use ef_net_types::Prefix;
 use ef_telemetry::{ExplainRecord, ExplainVerdict, RejectReason, RejectedAlternative};
 
@@ -231,6 +232,11 @@ pub fn allocate(
         }
     }
 
+    // Ranked-candidate scratch reused across every prefix below: ranking
+    // writes pooled records into this buffer instead of allocating a fresh
+    // `Vec` per call (the old `Vec<&Route>` shape).
+    let mut ranked_scratch: Vec<RouteRec> = Vec::new();
+
     for (hot, _) in &overloaded {
         // Prefixes currently assigned to the hot interface, with demand.
         let mut victims: Vec<(Prefix, f64)> = victims_by_egress
@@ -259,15 +265,15 @@ pub fn allocate(
                 let mut keyed: Vec<(i64, Prefix, f64)> = victims
                     .into_iter()
                     .map(|(prefix, mbps)| {
-                        let ranked: Vec<&Route> = routes
-                            .ranked(&prefix)
-                            .into_iter()
-                            .filter(|r| !r.is_override())
-                            .collect();
-                        let gap = match (ranked.first(), ranked.iter().find(|r| r.egress != *hot)) {
+                        routes.ranked_into(&prefix, &mut ranked_scratch);
+                        let best = ranked_scratch.iter().find(|r| !r.is_override());
+                        let alt = ranked_scratch
+                            .iter()
+                            .find(|r| !r.is_override() && r.egress != *hot);
+                        let gap = match (best, alt) {
                             (Some(best), Some(alt)) => {
-                                i64::from(best.attrs.effective_local_pref())
-                                    - i64::from(alt.attrs.effective_local_pref())
+                                i64::from(best.effective_local_pref())
+                                    - i64::from(alt.effective_local_pref())
                             }
                             _ => i64::MAX,
                         };
@@ -292,7 +298,7 @@ pub fn allocate(
                 break; // interface relieved
             }
             let hot_util = util_of(*hot, &load);
-            let explain = |rejected, chosen: Option<&Route>, verdict| ExplainRecord {
+            let explain = |rejected, chosen: Option<&RouteRec>, verdict| ExplainRecord {
                 prefix: unit.to_string(),
                 trigger: "capacity".into(),
                 hot_egress: Some(hot.0),
@@ -331,16 +337,16 @@ pub fn allocate(
             // Find the most-preferred feasible alternate, keeping the
             // rejection trail for provenance.
             let mut rejected: Vec<RejectedAlternative> = Vec::new();
-            let mut target: Option<Route> = None;
-            for r in routes
-                .ranked(&lookup)
-                .into_iter()
+            let mut target: Option<RouteRec> = None;
+            routes.ranked_into(&lookup, &mut ranked_scratch);
+            for r in ranked_scratch
+                .iter()
                 .filter(|r| !r.is_override() && r.egress != *hot)
             {
                 let projected = load.get(&r.egress).copied().unwrap_or(0.0) + mbps;
                 let limit = limit_of(r.egress);
                 if projected <= limit {
-                    target = Some(r.clone());
+                    target = Some(*r);
                     break;
                 }
                 rejected.push(RejectedAlternative {

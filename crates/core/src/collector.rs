@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+use ef_bgp::attrstore::{AttrStore, RouteRec};
 use ef_bgp::bmp::BmpMessage;
 use ef_bgp::peer::{PeerId, PeerKind};
 use ef_bgp::rib::LocRib;
@@ -128,12 +129,9 @@ impl RouteCollector {
                         kind,
                     };
                     for prefix in &update.announced {
-                        self.rib.install(Route {
-                            prefix: *prefix,
-                            attrs: update.attrs.clone(),
-                            source,
-                            egress,
-                        });
+                        // One deep clone per distinct attribute set: the
+                        // interned store dedups across the prefix fan-out.
+                        self.rib.install_ref(*prefix, &update.attrs, source, egress);
                         // Controller self-echoes are overrides: projection
                         // never reads them, so they must not dirty the memo.
                         if kind != PeerKind::Controller {
@@ -166,14 +164,31 @@ impl RouteCollector {
         }
     }
 
-    /// Every candidate route for a prefix.
-    pub fn candidates(&self, prefix: &Prefix) -> &[Route] {
+    /// Every candidate route for a prefix, as compact pooled records.
+    pub fn candidates(&self, prefix: &Prefix) -> &[RouteRec] {
         self.rib.candidates(prefix)
     }
 
     /// Candidates ranked best-first by the BGP decision process.
-    pub fn ranked(&self, prefix: &Prefix) -> Vec<&Route> {
+    pub fn ranked(&self, prefix: &Prefix) -> Vec<RouteRec> {
         self.rib.ranked(prefix)
+    }
+
+    /// Zero-alloc variant of [`ranked`](Self::ranked): ranks into a
+    /// caller-owned scratch vector.
+    pub fn ranked_into(&self, prefix: &Prefix, out: &mut Vec<RouteRec>) {
+        self.rib.ranked_into(prefix, out)
+    }
+
+    /// The interned attribute store backing the records, for the cold paths
+    /// that need full [`Route`]s.
+    pub fn store(&self) -> &AttrStore {
+        self.rib.store()
+    }
+
+    /// Materializes a full [`Route`] from a pooled record.
+    pub fn route(&self, prefix: Prefix, rec: &RouteRec) -> Route {
+        self.rib.route(prefix, rec)
     }
 
     /// Number of prefixes with at least one route.
@@ -181,8 +196,18 @@ impl RouteCollector {
         self.rib.len()
     }
 
+    /// Approximate resident bytes of the merged route view.
+    pub fn approx_bytes(&self) -> usize {
+        self.rib.approx_bytes()
+    }
+
+    /// Re-lays the route pool out prefix-sorted (after bulk load).
+    pub fn compact(&mut self) {
+        self.rib.compact()
+    }
+
     /// Iterates `(prefix, candidates)`.
-    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &[Route])> {
+    pub fn iter(&self) -> impl Iterator<Item = (&Prefix, &[RouteRec])> {
         self.rib.iter()
     }
 }
@@ -328,7 +353,7 @@ mod tests {
     fn controller_routes_resolve_egress_from_next_hop() {
         let mut c = collector();
         let mut attrs = tagged_attrs(PeerKind::Controller, &[]);
-        attrs.next_hop = Some(EgressId(42).to_next_hop());
+        attrs.next_hop = Some(EgressId(42).to_next_hop().unwrap());
         c.ingest([BmpMessage::RouteMonitoring {
             peer: header(100, 32934),
             update: UpdateMessage::announce(p("203.0.113.0/24"), attrs),
@@ -354,7 +379,7 @@ mod tests {
 
         // Override churn is invisible to projection and must not dirty.
         let mut oattrs = tagged_attrs(PeerKind::Controller, &[]);
-        oattrs.next_hop = Some(EgressId(42).to_next_hop());
+        oattrs.next_hop = Some(EgressId(42).to_next_hop().unwrap());
         c.ingest([BmpMessage::RouteMonitoring {
             peer: header(100, 32934),
             update: UpdateMessage::announce(prefix, oattrs),

@@ -1288,7 +1288,7 @@ mod tests {
         let stray = p("2.0.0.0/24");
         let mut attrs = ef_bgp::attrs::PathAttributes {
             origin: ef_bgp::attrs::Origin::Igp,
-            next_hop: Some(EgressId(2).to_next_hop()),
+            next_hop: Some(EgressId(2).to_next_hop().unwrap()),
             ..Default::default()
         };
         attrs.add_community(w.controller.config().override_marker);

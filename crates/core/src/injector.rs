@@ -298,9 +298,17 @@ impl Injector {
                 report.dropped_announce.push(o.prefix);
                 continue;
             }
+            // An egress outside the synthetic next-hop range means the
+            // allocation is corrupt; drop the announce rather than inject
+            // an unroutable override.
+            let Ok(next_hop) = o.target.to_next_hop() else {
+                self.ledger.send_errors += 1;
+                report.dropped_announce.push(o.prefix);
+                continue;
+            };
             let mut attrs = PathAttributes {
                 origin: Origin::Igp,
-                next_hop: Some(o.target.to_next_hop()),
+                next_hop: Some(next_hop),
                 ..Default::default()
             };
             attrs.add_community(self.marker);
@@ -341,9 +349,13 @@ impl Injector {
             let Some(o) = self.announced.get(prefix).copied() else {
                 continue; // no longer desired; nothing to repair
             };
+            let Ok(next_hop) = o.target.to_next_hop() else {
+                self.ledger.send_errors += 1;
+                continue;
+            };
             let mut attrs = PathAttributes {
                 origin: Origin::Igp,
-                next_hop: Some(o.target.to_next_hop()),
+                next_hop: Some(next_hop),
                 ..Default::default()
             };
             attrs.add_community(self.marker);

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use ef_bgp::decision::best_route_where;
+use ef_bgp::decision::best_rec_where;
 use ef_bgp::route::EgressId;
 use ef_net_types::Prefix;
 
@@ -87,7 +87,7 @@ pub fn project(routes: &RouteCollector, traffic: &TrafficState) -> Projection {
         if *mbps <= 0.0 {
             continue;
         }
-        match best_route_where(routes.candidates(prefix), |r| !r.is_override()) {
+        match best_rec_where(routes.candidates(prefix), |r| !r.is_override()) {
             Some(best) => {
                 *projection.load_mbps.entry(best.egress).or_default() += mbps;
                 projection.routed.push((*prefix, *mbps, best.egress));
@@ -225,8 +225,8 @@ pub fn project_cached(
         let (stamp, slot1) = if memo_hit {
             (memo[mi].1, memo[mi].2)
         } else {
-            let best = best_route_where(routes.candidates(&prefix), |r| !r.is_override())
-                .map(|r| r.egress);
+            let best =
+                best_rec_where(routes.candidates(&prefix), |r| !r.is_override()).map(|r| r.egress);
             let slot1 = match best {
                 None => 0,
                 Some(egress) => match cache.slot_of.get(&egress) {
@@ -300,7 +300,7 @@ mod tests {
         };
         attrs.add_community(kind.tag_community());
         if kind == PeerKind::Controller {
-            attrs.next_hop = Some(EgressId(99).to_next_hop());
+            attrs.next_hop = Some(EgressId(99).to_next_hop().unwrap());
         }
         c.ingest([BmpMessage::RouteMonitoring {
             peer: BmpPeerHeader {

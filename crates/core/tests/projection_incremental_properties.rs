@@ -76,7 +76,7 @@ fn override_announce(pfx: usize, egress: u32) -> BmpMessage {
         ..Default::default()
     };
     attrs.add_community(PeerKind::Controller.tag_community());
-    attrs.next_hop = Some(EgressId(egress).to_next_hop());
+    attrs.next_hop = Some(EgressId(egress).to_next_hop().unwrap());
     BmpMessage::RouteMonitoring {
         peer: header(CONTROLLER, 32934),
         update: UpdateMessage::announce(prefix(pfx), attrs),

@@ -1,8 +1,9 @@
 //! Core network types shared by every crate in the Edge Fabric reproduction.
 //!
 //! This crate is dependency-light on purpose: it defines the vocabulary —
-//! [`Prefix`], [`Asn`], [`Community`] — and one data structure that several
-//! subsystems need, the longest-prefix-match [`PrefixTrie`].
+//! [`Prefix`], [`Asn`], [`Community`] — and the longest-prefix-match tries
+//! several subsystems need: the simple binary [`PrefixTrie`] and the
+//! path-compressed arena [`CompressedTrie`] used at full-table scale.
 //!
 //! # Examples
 //!
@@ -19,10 +20,12 @@
 
 mod asn;
 mod community;
+mod ctrie;
 mod prefix;
 mod trie;
 
 pub use asn::Asn;
 pub use community::Community;
+pub use ctrie::CompressedTrie;
 pub use prefix::{Prefix, PrefixParseError};
 pub use trie::PrefixTrie;

@@ -1,0 +1,110 @@
+//! Equivalence proptests: the path-compressed [`CompressedTrie`] (both the
+//! incremental and the batched `from_sorted` build) must be observationally
+//! identical to the simple binary [`PrefixTrie`] on arbitrary mixed v4/v6
+//! prefix sets — exact match, longest-prefix match, `matches`, removal, and
+//! iteration order.
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use proptest::prelude::*;
+
+use ef_net_types::{CompressedTrie, Prefix, PrefixTrie};
+
+/// An arbitrary prefix from either family, biased toward short masks so
+/// overlap (and therefore interesting LPM behaviour) is common.
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    prop_oneof![
+        (any::<u32>(), 0u8..=32).prop_map(|(a, l)| Prefix::v4(Ipv4Addr::from(a), l)),
+        (any::<u32>(), 0u8..=16).prop_map(|(a, l)| Prefix::v4(Ipv4Addr::from(a), l)),
+        (any::<u128>(), 0u8..=128).prop_map(|(a, l)| Prefix::v6(Ipv6Addr::from(a), l)),
+        (any::<u128>(), 0u8..=48).prop_map(|(a, l)| Prefix::v6(Ipv6Addr::from(a), l)),
+    ]
+}
+
+fn arb_entries() -> impl Strategy<Value = Vec<(Prefix, u32)>> {
+    proptest::collection::vec((arb_prefix(), any::<u32>()), 0..60)
+}
+
+proptest! {
+    /// Incremental inserts: every observation matches the binary trie.
+    #[test]
+    fn incremental_build_matches_binary_trie(
+        entries in arb_entries(),
+        keys in proptest::collection::vec(arb_prefix(), 1..20),
+    ) {
+        let mut simple = PrefixTrie::new();
+        let mut compressed = CompressedTrie::new();
+        for (pfx, v) in &entries {
+            prop_assert_eq!(simple.insert(*pfx, *v), compressed.insert(*pfx, *v));
+        }
+        prop_assert_eq!(simple.len(), compressed.len());
+        for key in entries.iter().map(|(p, _)| *p).chain(keys) {
+            prop_assert_eq!(simple.get(&key), compressed.get(&key));
+            prop_assert_eq!(simple.longest_match(key), compressed.longest_match(key));
+            prop_assert_eq!(simple.matches(key), compressed.matches(key));
+        }
+        let a: Vec<(Prefix, u32)> = simple.iter().map(|(p, v)| (p, *v)).collect();
+        let b: Vec<(Prefix, u32)> = compressed.iter().map(|(p, v)| (p, *v)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The batched one-pass build is indistinguishable from incremental
+    /// insertion, including last-wins duplicate handling.
+    #[test]
+    fn batched_build_matches_incremental(entries in arb_entries()) {
+        let mut incremental = CompressedTrie::new();
+        for (pfx, v) in &entries {
+            incremental.insert(*pfx, *v);
+        }
+        let batched = CompressedTrie::from_sorted(entries.clone());
+        prop_assert_eq!(batched.len(), incremental.len());
+        let a: Vec<(Prefix, u32)> = incremental.iter().map(|(p, v)| (p, *v)).collect();
+        let b: Vec<(Prefix, u32)> = batched.iter().map(|(p, v)| (p, *v)).collect();
+        prop_assert_eq!(a, b);
+        for (pfx, _) in &entries {
+            prop_assert_eq!(batched.get(pfx), incremental.get(pfx));
+            prop_assert_eq!(batched.longest_match(*pfx), incremental.longest_match(*pfx));
+        }
+        // Canonical patricia bound: at most 2n-1 live nodes.
+        if !batched.is_empty() {
+            prop_assert!(batched.node_count() < 2 * batched.len());
+        }
+    }
+
+    /// Interleaved removals track the binary trie, and the arena stays
+    /// canonical (merge-on-remove) after every step.
+    #[test]
+    fn removal_matches_binary_trie(
+        entries in arb_entries(),
+        remove_mask in proptest::collection::vec(any::<bool>(), 60),
+    ) {
+        let mut simple = PrefixTrie::new();
+        let mut compressed = CompressedTrie::new();
+        for (pfx, v) in &entries {
+            simple.insert(*pfx, *v);
+            compressed.insert(*pfx, *v);
+        }
+        for (i, (pfx, _)) in entries.iter().enumerate() {
+            if remove_mask[i % remove_mask.len()] {
+                prop_assert_eq!(simple.remove(pfx), compressed.remove(pfx));
+                if !compressed.is_empty() {
+                    prop_assert!(compressed.node_count() < 2 * compressed.len());
+                }
+            }
+        }
+        prop_assert_eq!(simple.len(), compressed.len());
+        for (pfx, _) in &entries {
+            prop_assert_eq!(simple.get(pfx), compressed.get(pfx));
+            prop_assert_eq!(simple.longest_match(*pfx), compressed.longest_match(*pfx));
+        }
+        let a: Vec<(Prefix, u32)> = simple.iter().map(|(p, v)| (p, *v)).collect();
+        let b: Vec<(Prefix, u32)> = compressed.iter().map(|(p, v)| (p, *v)).collect();
+        prop_assert_eq!(a, b);
+        // Removing everything must drain the arena completely.
+        for (pfx, _) in &entries {
+            compressed.remove(pfx);
+        }
+        prop_assert!(compressed.is_empty());
+        prop_assert_eq!(compressed.node_count(), 0);
+    }
+}

@@ -75,6 +75,12 @@ impl SimEngine {
             .health
             .clone()
             .map(|h| ef_health::HealthMonitor::new(h, cfg.telemetry.clone()));
+        // Route specs exist to seed the PoP runtimes (which intern them into
+        // their own announcement tables); keeping them alive would hold the
+        // largest per-prefix structure in the deployment for the whole run —
+        // at 500k prefixes that's gigabytes of dead weight.
+        let mut deployment = deployment;
+        deployment.routes = Vec::new();
         SimEngine {
             cfg,
             deployment,

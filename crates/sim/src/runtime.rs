@@ -162,9 +162,14 @@ pub struct PopRuntime {
     active_faults: BTreeSet<usize>,
     /// Nominal interface capacities, for restoring after capacity faults.
     base_capacity: HashMap<EgressId, f64>,
-    /// Each peer's original announcements, replayed when a failed peer's
+    /// Each peer's original announcements (attributes interned in
+    /// [`ann_store`](Self::ann_store)), replayed when a failed peer's
     /// session is re-established.
-    announcements: HashMap<PeerId, Vec<(Prefix, PathAttributes)>>,
+    announcements: HashMap<PeerId, Vec<(Prefix, ef_bgp::attrstore::AttrId)>>,
+    /// Interned attribute pool for the replay table: route sets share a
+    /// handful of distinct attribute patterns, so the full-table replay
+    /// state stays a few pointers per prefix instead of a deep clone.
+    ann_store: ef_bgp::attrstore::AttrStore,
     /// Controller construction facts, for rebuilding after a crash.
     controller_enabled: bool,
     controller_cfg: ControllerConfig,
@@ -248,7 +253,9 @@ impl PopRuntime {
         // Announce the deployment's route set over the real sessions,
         // remembering each peer's announcements so a failed session can be
         // replayed on recovery.
-        let mut announcements: HashMap<PeerId, Vec<(Prefix, PathAttributes)>> = HashMap::new();
+        let mut announcements: HashMap<PeerId, Vec<(Prefix, ef_bgp::attrstore::AttrId)>> =
+            HashMap::new();
+        let mut ann_store = ef_bgp::attrstore::AttrStore::new();
         for spec in deployment.routes_at(pop_id) {
             let prefix = deployment.universe.prefixes[spec.prefix_idx as usize].prefix;
             let attrs = PathAttributes {
@@ -261,9 +268,13 @@ impl PopRuntime {
                 announcements
                     .entry(spec.via)
                     .or_default()
-                    .push((prefix, attrs));
+                    .push((prefix, ann_store.intern(&attrs)));
             }
         }
+        // The bulk load above appended route chunks in arrival order;
+        // re-lay the pool out prefix-sorted once so the epoch loop scans
+        // the Loc-RIB with locality.
+        router.compact_rib();
 
         // Controller, fed by the router's BMP feed.
         let mut controller_cfg = cfg.controller;
@@ -396,6 +407,7 @@ impl PopRuntime {
             active_faults: BTreeSet::new(),
             base_capacity,
             announcements,
+            ann_store,
             controller_enabled: cfg.controller_enabled,
             controller_cfg,
             local_asn: deployment.local_asn,
@@ -686,12 +698,13 @@ impl PopRuntime {
             std::net::Ipv4Addr::new(10, 210, (conn.peer.0 >> 8) as u8, conn.peer.0 as u8),
         );
         stub.pump(&mut self.router, now_ms);
-        for (prefix, attrs) in self
+        for (prefix, id) in self
             .announcements
             .get(&conn.peer)
             .cloned()
             .unwrap_or_default()
         {
+            let attrs = self.ann_store.attrs(id).clone();
             stub.announce(&mut self.router, prefix, attrs, now_ms);
         }
         self.stubs.insert(conn.peer, stub);
@@ -748,11 +761,11 @@ impl PopRuntime {
                 continue;
             };
             let mut frames: Vec<Vec<u8>> = Vec::new();
-            for (prefix, attrs) in list {
+            for (prefix, id) in list {
                 if self.corruption_rng.gen::<f64>() >= *rate {
                     continue;
                 }
-                let mut attrs = attrs.clone();
+                let mut attrs = self.ann_store.attrs(*id).clone();
                 if attrs.next_hop.is_none() && prefix.is_v4() {
                     // Same fill as `PeerStub::announce` so the frame
                     // encodes validly before mangling.
@@ -1072,10 +1085,9 @@ impl PopRuntime {
                         .iter()
                         .filter_map(|point| {
                             let prefix = self.prefix_of[point.prefix_idx as usize];
-                            ef_bgp::decision::best_route_where(
-                                self.router.candidates(&prefix),
-                                |r| !r.is_override(),
-                            )
+                            ef_bgp::decision::best_rec_where(self.router.candidates(&prefix), |r| {
+                                !r.is_override()
+                            })
                             .map(|r| (point.prefix_idx, r.egress))
                         })
                         .collect();

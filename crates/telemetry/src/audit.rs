@@ -127,7 +127,7 @@ pub fn audit_overrides(
     // Installed check: each announced override must win the decision
     // process and own the FIB entry.
     for (prefix, target) in expected {
-        let best = decision::best_route(router.candidates(prefix));
+        let best = decision::best_rec(router.candidates(prefix));
         let fib = router.fib_entry(prefix);
         let detail = match (best, fib) {
             (None, _) => Some("no route at all for announced override".to_string()),
@@ -276,7 +276,7 @@ mod tests {
     fn inject(router: &mut BgpRouter, ctl: &mut PeerStub, marker: Community, prefix: &str) {
         let mut attrs = PathAttributes {
             origin: ef_bgp::attrs::Origin::Igp,
-            next_hop: Some(EgressId(2).to_next_hop()),
+            next_hop: Some(EgressId(2).to_next_hop().unwrap()),
             ..Default::default()
         };
         attrs.add_community(marker);
