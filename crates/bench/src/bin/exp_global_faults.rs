@@ -1,0 +1,418 @@
+//! E20 — the global-fault matrix: every global-tier fault kind against
+//! the E18 blackout + flash-crowd scenario, with bounded recovery.
+//!
+//! The worry E20 retires is split-brain: a global tier acting on a
+//! partitioned, stale, or lying view of the world can *add* damage to an
+//! incident that per-PoP Edge Fabric was already containing. Each arm
+//! reuses a shrunken E18 world (EU PoP loses 90% of its egress at t=1.5h
+//! for an hour; the EU population's demand multiplies 2.5× from t=1.75h)
+//! and injects one global fault overlapping the incident:
+//!
+//! * **report_partition** — 4 of 6 PoPs stop reporting: below the report
+//!   quorum the tier must run *fail-static* (hold placements, initiate
+//!   nothing);
+//! * **report_staleness** — the victim's report stream replays 4 epochs
+//!   late: its budgets/cells must age out rather than steer on fiction;
+//! * **global_controller_crash** — the tier is down: issued placements
+//!   outlive it, recovery restarts from decayed budgets;
+//! * **headroom_lie** — a helper PoP reports 50× its true headroom: the
+//!   plausibility clamp must bound its budget by baseline demand.
+//!
+//! Asserted per arm, the bounded-recovery contract:
+//!
+//! 1. the matching guard engages within one epoch of fault start;
+//! 2. placements drain within `K = ceil(1/decay) + ttl + hold_down + 2`
+//!    epochs of the incident's end (guards may pause recovery, never
+//!    wedge it);
+//! 3. the guarded arm never drops more traffic than EF-only — degraded
+//!    steering must stay no worse than no steering at all.
+
+use ef_bench::{telemetry_from_env, write_json};
+use ef_chaos::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
+use ef_global::{BackendKind, FlashCrowdSpec, GlobalConfig};
+use ef_sim::{scenario, ScenarioBuilder, SimConfig};
+use ef_topology::{generate, Deployment, GenConfig, PopId, Region};
+use serde::Serialize;
+
+const EPOCH_SECS: u64 = 60;
+const BLACKOUT_START_SECS: u64 = 5400; // 1.5 h
+const BLACKOUT_SECS: u64 = 3600;
+const CROWD_START_SECS: u64 = 6300; // 1.75 h
+const CROWD_SECS: u64 = 2700;
+const CROWD_MULTIPLIER: f64 = 2.5;
+const GLOBAL_FAULT_START_SECS: u64 = 6300; // mid-blackout, with the crowd
+const GLOBAL_FAULT_SECS: u64 = 1800;
+const DECAY: f64 = 0.05;
+const TTL_EPOCHS: u64 = 4;
+/// Away-fraction below which a placement counts as drained.
+const DRAINED: f64 = 0.01;
+
+#[derive(Serialize)]
+struct ArmResult {
+    arm: String,
+    drops_total_mbps_epochs: f64,
+    drops_victim_mbps_epochs: f64,
+    peak_away_fraction: f64,
+    /// Epochs between fault start and the guard signal firing
+    /// (fault arms only).
+    engage_lag_epochs: Option<u64>,
+    /// Epochs past incident end until the victim's away-fraction stayed
+    /// below the drained threshold.
+    drain_lag_epochs: u64,
+    /// Fail-static epochs over the whole run.
+    frozen_epochs: u64,
+}
+
+#[derive(Serialize)]
+struct E20Output {
+    victim_pop: u16,
+    lied_pop: u16,
+    blackout_start_secs: u64,
+    blackout_secs: u64,
+    crowd_multiplier: f64,
+    fault_start_secs: u64,
+    fault_secs: u64,
+    recovery_budget_epochs: u64,
+    arms: Vec<ArmResult>,
+}
+
+fn base_config() -> SimConfig {
+    scenario()
+        .topology(GenConfig {
+            n_pops: 6,
+            n_ases: 150,
+            n_prefixes: 800,
+            total_avg_gbps: 2000.0,
+            ..GenConfig::default()
+        })
+        .hours(5)
+        .epoch_secs(EPOCH_SECS)
+        .telemetry(telemetry_from_env())
+        .build()
+}
+
+/// E18's aggressive steering tuning with guards at their defaults; a
+/// faster decay keeps the recovery budget within the 5-hour run.
+fn steering(backend: Option<BackendKind>) -> GlobalConfig {
+    GlobalConfig {
+        backend,
+        step: 0.1,
+        max_shift: 1.0,
+        decay: DECAY,
+        ..GlobalConfig::default()
+    }
+    .with_flash_crowd(FlashCrowdSpec {
+        population: "EU".into(),
+        t_start_secs: CROWD_START_SECS,
+        duration_secs: CROWD_SECS,
+        multiplier: CROWD_MULTIPLIER,
+    })
+}
+
+fn blackout(dep: &Deployment, victim: PopId) -> Vec<FaultEvent> {
+    dep.pops[victim.0 as usize]
+        .interfaces
+        .iter()
+        .map(|iface| FaultEvent {
+            t_start_secs: BLACKOUT_START_SECS,
+            duration_secs: BLACKOUT_SECS,
+            target: FaultTarget::Interface {
+                pop: victim.0 as usize,
+                egress: iface.id.0,
+            },
+            kind: FaultKind::LinkCapacityLoss { fraction: 0.9 },
+        })
+        .collect()
+}
+
+fn global_fault(kind: FaultKind, pop: Option<usize>) -> FaultEvent {
+    FaultEvent {
+        t_start_secs: GLOBAL_FAULT_START_SECS,
+        duration_secs: GLOBAL_FAULT_SECS,
+        target: FaultTarget::Global { pop },
+        kind,
+    }
+}
+
+/// How many epochs recovery may lawfully take after the incident ends:
+/// full decay from away=1, plus the DNS TTL convergence lag, plus the
+/// restore hold-down, plus slack for the epoch grid.
+fn recovery_budget_epochs() -> u64 {
+    let cfg = GlobalConfig::default();
+    (1.0 / DECAY).ceil() as u64 + TTL_EPOCHS + cfg.hold_down_epochs + 2
+}
+
+struct GuardProbe {
+    /// Fires when the arm's guard signal is active for the epoch.
+    engaged: fn(&ef_global::GuardSnapshot) -> bool,
+}
+
+fn run(
+    cfg: SimConfig,
+    dep: &Deployment,
+    victim: PopId,
+    arm: &str,
+    probe: Option<&GuardProbe>,
+    lie_check: Option<u16>,
+) -> ArmResult {
+    let epochs = cfg.epochs();
+    let mut engine = ScenarioBuilder::from_config(cfg).engine_with(dep.clone());
+    let fault_end = GLOBAL_FAULT_START_SECS + GLOBAL_FAULT_SECS;
+    let incident_end = (BLACKOUT_START_SECS + BLACKOUT_SECS).max(fault_end);
+    let mut peak_away = 0.0f64;
+    let mut engaged_at: Option<u64> = None;
+    let mut last_undrained: Option<u64> = None;
+    let mut frozen_epochs = 0u64;
+    for _ in 0..epochs {
+        let t = engine.now_secs();
+        engine.step();
+        let Some(g) = engine.global.as_ref() else {
+            continue;
+        };
+        let away = g.away_fraction(victim);
+        peak_away = peak_away.max(away);
+        let snap = g.guard_snapshot();
+        frozen_epochs = snap.frozen_epochs;
+        if let Some(probe) = probe {
+            if engaged_at.is_none() && t >= GLOBAL_FAULT_START_SECS && (probe.engaged)(&snap) {
+                engaged_at = Some(t);
+            }
+        }
+        if let Some(lied) = lie_check {
+            if t >= GLOBAL_FAULT_START_SECS && t < fault_end {
+                let j = lied as usize;
+                let budget = g.detour_budgets().get(j).copied().unwrap_or(0.0);
+                let cap = GlobalConfig::default().budget_plausibility
+                    * g.pop_baseline().get(j).copied().unwrap_or(0.0);
+                assert!(
+                    budget <= cap * (1.0 + 1e-9),
+                    "[E20] {arm}: lied budget {budget:.0} exceeds plausibility cap {cap:.0}"
+                );
+            }
+        }
+        if t >= incident_end && away > DRAINED {
+            last_undrained = Some(t);
+        }
+    }
+    let engage_lag_epochs = probe.map(|_| match engaged_at {
+        Some(t) => (t - GLOBAL_FAULT_START_SECS) / EPOCH_SECS,
+        None => u64::MAX,
+    });
+    let drain_lag_epochs = match last_undrained {
+        Some(t) => (t + EPOCH_SECS - incident_end) / EPOCH_SECS,
+        None => 0,
+    };
+    let m = engine.take_metrics();
+    let drops_total: f64 = m.pop_epochs.iter().map(|r| r.dropped_mbps).sum();
+    let drops_victim: f64 = m
+        .pop_epochs
+        .iter()
+        .filter(|r| r.pop == victim.0)
+        .map(|r| r.dropped_mbps)
+        .sum();
+    ArmResult {
+        arm: arm.to_string(),
+        drops_total_mbps_epochs: drops_total,
+        drops_victim_mbps_epochs: drops_victim,
+        peak_away_fraction: peak_away,
+        engage_lag_epochs,
+        drain_lag_epochs,
+        frozen_epochs,
+    }
+}
+
+fn main() {
+    let cfg = base_config();
+    let dep = generate(&cfg.gen);
+    let victim = dep
+        .pops
+        .iter()
+        .find(|p| p.region == Region::Europe)
+        .map(|p| p.id)
+        .expect("a 6-PoP world has an EU PoP");
+    // The lie lands on a helper PoP — one absorbing detours, not the
+    // victim — so an unclamped lie would over-steer traffic toward it.
+    let lied = dep
+        .pops
+        .iter()
+        .find(|p| p.id != victim)
+        .map(|p| p.id)
+        .expect("more than one PoP");
+    // 4 of 6 partitioned PoPs leaves 2 delivered < quorum(0.5) × 6.
+    let partitioned: Vec<usize> = (0..dep.pops.len()).take(4).collect();
+
+    let incident = blackout(&dep, victim);
+    let schedule = |extra: Vec<FaultEvent>| {
+        let mut events = incident.clone();
+        events.extend(extra);
+        FaultSchedule::new(events).expect("valid schedule")
+    };
+    let arm_cfg = |backend: Option<BackendKind>, extra: Vec<FaultEvent>| {
+        ScenarioBuilder::from_config(cfg.clone())
+            .global(steering(backend))
+            .chaos(schedule(extra))
+            .build()
+    };
+    let dns = || {
+        Some(BackendKind::Dns {
+            ttl_epochs: TTL_EPOCHS,
+        })
+    };
+
+    eprintln!("[E20] EF only: incident without steering...");
+    let ef_only = run(arm_cfg(None, vec![]), &dep, victim, "ef_only", None, None);
+    eprintln!("[E20] DNS steering, no global fault...");
+    let clean = run(
+        arm_cfg(dns(), vec![]),
+        &dep,
+        victim,
+        "dns_clean",
+        None,
+        None,
+    );
+
+    eprintln!("[E20] report_partition (4 of 6 PoPs dark)...");
+    let partition = run(
+        arm_cfg(
+            dns(),
+            partitioned
+                .iter()
+                .map(|&j| global_fault(FaultKind::ReportPartition, Some(j)))
+                .collect(),
+        ),
+        &dep,
+        victim,
+        "report_partition",
+        Some(&GuardProbe {
+            engaged: |s| s.fail_static,
+        }),
+        None,
+    );
+    eprintln!("[E20] report_staleness (victim stream 4 epochs late)...");
+    let staleness = run(
+        arm_cfg(
+            dns(),
+            vec![global_fault(
+                FaultKind::ReportStaleness { epochs: 4 },
+                Some(victim.0 as usize),
+            )],
+        ),
+        &dep,
+        victim,
+        "report_staleness",
+        Some(&GuardProbe {
+            engaged: |s| s.stale_pops > 0,
+        }),
+        None,
+    );
+    eprintln!("[E20] global_controller_crash (tier down 30 min)...");
+    let crash = run(
+        arm_cfg(
+            dns(),
+            vec![global_fault(FaultKind::GlobalControllerCrash, None)],
+        ),
+        &dep,
+        victim,
+        "global_controller_crash",
+        Some(&GuardProbe {
+            engaged: |s| s.fail_static,
+        }),
+        None,
+    );
+    eprintln!("[E20] headroom_lie (helper PoP claims 50x headroom)...");
+    let lie = run(
+        arm_cfg(
+            dns(),
+            vec![global_fault(
+                FaultKind::HeadroomLie { factor: 50.0 },
+                Some(lied.0 as usize),
+            )],
+        ),
+        &dep,
+        victim,
+        "headroom_lie",
+        Some(&GuardProbe {
+            engaged: |s| s.plausibility_clamped,
+        }),
+        Some(lied.0),
+    );
+
+    let budget_epochs = recovery_budget_epochs();
+    println!("E20 — global-fault matrix over the E18 incident");
+    println!(
+        "{:<24} {:>14} {:>12} {:>10} {:>10} {:>8}",
+        "arm", "drops (Mb·ep)", "victim", "engage", "drain", "frozen"
+    );
+    for a in [&ef_only, &clean, &partition, &staleness, &crash, &lie] {
+        println!(
+            "{:<24} {:>14.0} {:>12.0} {:>10} {:>10} {:>8}",
+            a.arm,
+            a.drops_total_mbps_epochs,
+            a.drops_victim_mbps_epochs,
+            a.engage_lag_epochs
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "-".into()),
+            a.drain_lag_epochs,
+            a.frozen_epochs
+        );
+    }
+    println!("recovery budget: {budget_epochs} epochs past incident end");
+
+    assert!(
+        ef_only.drops_total_mbps_epochs > 0.0,
+        "the incident must drop traffic without steering"
+    );
+    assert!(
+        clean.drops_total_mbps_epochs < ef_only.drops_total_mbps_epochs / 5.0,
+        "clean steering must cut drops >=5x before faults mean anything"
+    );
+    for a in [&partition, &staleness, &crash, &lie] {
+        let lag = a.engage_lag_epochs.unwrap_or(u64::MAX);
+        assert!(
+            lag <= 1,
+            "[E20] {}: guard engaged {lag} epochs after fault start (want <=1)",
+            a.arm
+        );
+        assert!(
+            a.drain_lag_epochs <= budget_epochs,
+            "[E20] {}: placements took {} epochs past incident end to drain (budget {})",
+            a.arm,
+            a.drain_lag_epochs,
+            budget_epochs
+        );
+        assert!(
+            a.drops_total_mbps_epochs <= ef_only.drops_total_mbps_epochs * (1.0 + 1e-9),
+            "[E20] {}: guarded steering dropped more than EF-only ({:.0} vs {:.0})",
+            a.arm,
+            a.drops_total_mbps_epochs,
+            ef_only.drops_total_mbps_epochs
+        );
+    }
+    assert!(
+        partition.frozen_epochs >= GLOBAL_FAULT_SECS / EPOCH_SECS,
+        "partition below quorum must run fail-static for the fault window"
+    );
+    assert!(
+        crash.frozen_epochs >= GLOBAL_FAULT_SECS / EPOCH_SECS,
+        "a crashed tier counts every fault epoch as frozen"
+    );
+    assert_eq!(
+        staleness.frozen_epochs, 0,
+        "one stale PoP keeps quorum; staleness degrades budgets, not the tier"
+    );
+
+    write_json(
+        "exp_global_faults",
+        &E20Output {
+            victim_pop: victim.0,
+            lied_pop: lied.0,
+            blackout_start_secs: BLACKOUT_START_SECS,
+            blackout_secs: BLACKOUT_SECS,
+            crowd_multiplier: CROWD_MULTIPLIER,
+            fault_start_secs: GLOBAL_FAULT_START_SECS,
+            fault_secs: GLOBAL_FAULT_SECS,
+            recovery_budget_epochs: budget_epochs,
+            arms: vec![ef_only, clean, partition, staleness, crash, lie],
+        },
+    );
+}

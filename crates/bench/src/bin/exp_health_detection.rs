@@ -255,7 +255,8 @@ fn main() {
     for (kind, target, expected) in &matrix {
         let label = kind.label();
         eprintln!("[health-detection] arm {label}...");
-        let fault_pop = target.pop() as u16;
+        // Every arm in this matrix targets a per-PoP fault.
+        let fault_pop = target.pop().unwrap_or(0) as u16;
         let chaos_cfg = single_fault(&cfg, *target, *kind);
         let (alerts, _) = run_arm(chaos_cfg, &deployment, true);
         let hit = alerts

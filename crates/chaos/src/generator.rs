@@ -48,7 +48,9 @@ pub struct ChaosProfile {
     pub min_fault_secs: u64,
     pub max_fault_secs: u64,
     /// Kinds eligible for sampling, by [`FaultKind::label`] name. Empty
-    /// means every kind in [`FaultKind::ALL_LABELS`].
+    /// means every per-PoP kind in [`FaultKind::ALL_LABELS`]; the
+    /// global-tier kinds ([`FaultKind::GLOBAL_LABELS`]) must be named
+    /// explicitly — they are no-ops in scenarios without the tier.
     #[serde(default)]
     pub kinds: Vec<String>,
 }
@@ -81,7 +83,9 @@ impl ChaosProfile {
             ));
         }
         for kind in &self.kinds {
-            if !FaultKind::ALL_LABELS.contains(&kind.as_str()) {
+            if !FaultKind::ALL_LABELS.contains(&kind.as_str())
+                && !FaultKind::GLOBAL_LABELS.contains(&kind.as_str())
+            {
                 return Err(format!("unknown fault kind {kind:?}"));
             }
         }
@@ -188,6 +192,26 @@ pub fn generate(
                 },
                 FaultTarget::Pop { pop },
             ),
+            "report_partition" => (
+                FaultKind::ReportPartition,
+                FaultTarget::Global { pop: Some(pop) },
+            ),
+            "report_staleness" => (
+                FaultKind::ReportStaleness {
+                    epochs: rng.gen_range(2..=6),
+                },
+                FaultTarget::Global { pop: Some(pop) },
+            ),
+            "global_controller_crash" => (
+                FaultKind::GlobalControllerCrash,
+                FaultTarget::Global { pop: None },
+            ),
+            "headroom_lie" => (
+                FaultKind::HeadroomLie {
+                    factor: rng.gen_range(2.0..10.0),
+                },
+                FaultTarget::Global { pop: Some(pop) },
+            ),
             other => return Err(format!("unknown fault kind {other:?}")),
         };
         let duration_secs = rng.gen_range(profile.min_fault_secs..=profile.max_fault_secs);
@@ -275,6 +299,34 @@ mod tests {
                 e.kind,
                 FaultKind::BmpStall | FaultKind::FlashCrowd { .. }
             ));
+        }
+    }
+
+    #[test]
+    fn global_kinds_are_opt_in_and_sample_valid_targets() {
+        // The default (empty kinds) never samples a global fault.
+        let sched = generate(&ChaosProfile::default(), &surface(), 5).unwrap();
+        for e in &sched.events {
+            assert!(e.target.pop().is_some(), "default sampling stays per-PoP");
+        }
+        // Asking for them yields validated Global targets.
+        let profile = ChaosProfile {
+            events: 16,
+            kinds: FaultKind::GLOBAL_LABELS
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            ..Default::default()
+        };
+        let sched = generate(&profile, &surface(), 9).unwrap();
+        assert_eq!(sched.len(), 16);
+        for e in &sched.events {
+            assert_eq!(e.target.pop(), None);
+            assert!(e.validate().is_ok());
+            match e.kind {
+                FaultKind::GlobalControllerCrash => assert_eq!(e.target.global_pop(), None),
+                _ => assert!(e.target.global_pop().is_some()),
+            }
         }
     }
 

@@ -18,15 +18,32 @@ pub enum FaultTarget {
     Peer { pop: usize, peer: u64 },
     /// One egress interface at a PoP, by egress id.
     Interface { pop: usize, egress: u32 },
+    /// The global steering tier. `pop: Some(p)` breaks the reporting path
+    /// between PoP `p` and the tier (partition, staleness, a lying
+    /// exporter); `pop: None` takes down the tier itself. Global faults
+    /// never reach a PoP runtime — [`FaultTarget::pop`] is `None` — the
+    /// engine interprets them around the tier's observe/place cycle.
+    Global { pop: Option<usize> },
 }
 
 impl FaultTarget {
-    /// The PoP this target lives at.
-    pub fn pop(&self) -> usize {
+    /// The PoP runtime this fault is applied at; `None` for global-tier
+    /// faults, which the engine interprets above the PoPs.
+    pub fn pop(&self) -> Option<usize> {
         match *self {
             FaultTarget::Pop { pop }
             | FaultTarget::Peer { pop, .. }
-            | FaultTarget::Interface { pop, .. } => pop,
+            | FaultTarget::Interface { pop, .. } => Some(pop),
+            FaultTarget::Global { .. } => None,
+        }
+    }
+
+    /// The PoP whose *reporting path to the global tier* this fault
+    /// breaks, for `Global` targets that name one.
+    pub fn global_pop(&self) -> Option<usize> {
+        match *self {
+            FaultTarget::Global { pop } => pop,
+            _ => None,
         }
     }
 }
@@ -92,6 +109,29 @@ pub enum FaultKind {
         /// Fraction of injection sends dropped, in `(0, 1]`.
         fraction: f64,
     },
+    /// One PoP's `PopReport` never reaches the global controller for the
+    /// window — the tier sees the PoP go silent. Target: `Global` with a
+    /// named pop.
+    ReportPartition,
+    /// One PoP's reports still arrive but are frozen `epochs` old — a
+    /// stalled exporter replaying its last measurements. Target: `Global`
+    /// with a named pop.
+    ReportStaleness {
+        /// How many epochs behind real time the delivered reports are,
+        /// `>= 1`.
+        epochs: u64,
+    },
+    /// The global controller itself is down: no reports are processed and
+    /// every placement is frozen as issued until the window closes.
+    /// Target: `Global` with `pop: None`.
+    GlobalControllerCrash,
+    /// One PoP's exporter over-reports headroom by `factor` — a
+    /// mis-measured or lying capacity feed tempting the tier to steer
+    /// users into a wall. Target: `Global` with a named pop.
+    HeadroomLie {
+        /// Multiplier applied to the reported headroom, `> 1`.
+        factor: f64,
+    },
 }
 
 impl FaultKind {
@@ -108,10 +148,17 @@ impl FaultKind {
             FaultKind::UpdateCorruption { .. } => "update_corruption",
             FaultKind::SessionFlapStorm { .. } => "session_flap_storm",
             FaultKind::InjectorPartialLoss { .. } => "injector_partial_loss",
+            FaultKind::ReportPartition => "report_partition",
+            FaultKind::ReportStaleness { .. } => "report_staleness",
+            FaultKind::GlobalControllerCrash => "global_controller_crash",
+            FaultKind::HeadroomLie { .. } => "headroom_lie",
         }
     }
 
-    /// All labels, in declaration order (for matrix sweeps and reports).
+    /// Per-PoP labels, in declaration order (for matrix sweeps and
+    /// reports). Default generation samples from this set; the global-tier
+    /// kinds in [`GLOBAL_LABELS`](Self::GLOBAL_LABELS) are opt-in because
+    /// they are no-ops in scenarios without the tier.
     pub const ALL_LABELS: [&'static str; 10] = [
         "peer_failure",
         "link_capacity_loss",
@@ -123,6 +170,14 @@ impl FaultKind {
         "update_corruption",
         "session_flap_storm",
         "injector_partial_loss",
+    ];
+
+    /// Labels of the global-tier fault kinds, in declaration order.
+    pub const GLOBAL_LABELS: [&'static str; 4] = [
+        "report_partition",
+        "report_staleness",
+        "global_controller_crash",
+        "headroom_lie",
     ];
 }
 
@@ -220,6 +275,34 @@ impl FaultEvent {
                 FaultKind::BmpStall | FaultKind::ControllerCrash | FaultKind::InjectorLoss,
                 FaultTarget::Pop { .. },
             ) => Ok(()),
+            (FaultKind::ReportPartition, FaultTarget::Global { pop: Some(_) }) => Ok(()),
+            (FaultKind::ReportPartition, t) => Err(format!(
+                "report_partition must target Global with a pop, got {t:?}"
+            )),
+            (FaultKind::ReportStaleness { epochs }, FaultTarget::Global { pop: Some(_) }) => {
+                if epochs >= 1 {
+                    Ok(())
+                } else {
+                    Err("report_staleness epochs must be >= 1".to_string())
+                }
+            }
+            (FaultKind::ReportStaleness { .. }, t) => Err(format!(
+                "report_staleness must target Global with a pop, got {t:?}"
+            )),
+            (FaultKind::GlobalControllerCrash, FaultTarget::Global { pop: None }) => Ok(()),
+            (FaultKind::GlobalControllerCrash, t) => Err(format!(
+                "global_controller_crash must target Global with pop: None, got {t:?}"
+            )),
+            (FaultKind::HeadroomLie { factor }, FaultTarget::Global { pop: Some(_) }) => {
+                if factor > 1.0 && factor.is_finite() {
+                    Ok(())
+                } else {
+                    Err(format!("headroom_lie factor {factor} must be > 1"))
+                }
+            }
+            (FaultKind::HeadroomLie { .. }, t) => Err(format!(
+                "headroom_lie must target Global with a pop, got {t:?}"
+            )),
             (k, t) => Err(format!("{} must target a Pop, got {t:?}", k.label())),
         }
     }
@@ -265,14 +348,15 @@ impl FaultSchedule {
             .filter(move |(_, e)| e.active_at(t_secs))
     }
 
-    /// Active events at `t_secs` whose target lives at `pop`.
+    /// Active events at `t_secs` whose target lives at `pop`. Global-tier
+    /// faults never match — they have no PoP runtime to land on.
     pub fn active_at_pop(
         &self,
         t_secs: u64,
         pop: usize,
     ) -> impl Iterator<Item = (usize, &FaultEvent)> {
         self.active_at(t_secs)
-            .filter(move |(_, e)| e.target.pop() == pop)
+            .filter(move |(_, e)| e.target.pop() == Some(pop))
     }
 
     /// The last instant at which any fault is still active, or 0.
@@ -309,6 +393,10 @@ fn kind_rank(kind: &FaultKind) -> u8 {
         FaultKind::UpdateCorruption { .. } => 7,
         FaultKind::SessionFlapStorm { .. } => 8,
         FaultKind::InjectorPartialLoss { .. } => 9,
+        FaultKind::ReportPartition => 10,
+        FaultKind::ReportStaleness { .. } => 11,
+        FaultKind::GlobalControllerCrash => 12,
+        FaultKind::HeadroomLie { .. } => 13,
     }
 }
 
@@ -442,6 +530,76 @@ mod tests {
         )
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn global_targets_validate_and_stay_off_pop_slices() {
+        let at_pop = FaultTarget::Global { pop: Some(1) };
+        let tier = FaultTarget::Global { pop: None };
+        assert!(ev(0, 10, FaultKind::ReportPartition, at_pop)
+            .validate()
+            .is_ok());
+        assert!(ev(
+            0,
+            10,
+            FaultKind::ReportPartition,
+            FaultTarget::Pop { pop: 1 }
+        )
+        .validate()
+        .is_err());
+        assert!(ev(0, 10, FaultKind::ReportPartition, tier)
+            .validate()
+            .is_err());
+        assert!(ev(0, 10, FaultKind::ReportStaleness { epochs: 3 }, at_pop)
+            .validate()
+            .is_ok());
+        assert!(ev(0, 10, FaultKind::ReportStaleness { epochs: 0 }, at_pop)
+            .validate()
+            .is_err());
+        assert!(ev(0, 10, FaultKind::GlobalControllerCrash, tier)
+            .validate()
+            .is_ok());
+        assert!(ev(0, 10, FaultKind::GlobalControllerCrash, at_pop)
+            .validate()
+            .is_err());
+        assert!(ev(0, 10, FaultKind::HeadroomLie { factor: 10.0 }, at_pop)
+            .validate()
+            .is_ok());
+        assert!(ev(0, 10, FaultKind::HeadroomLie { factor: 1.0 }, at_pop)
+            .validate()
+            .is_err());
+        assert!(
+            ev(0, 10, FaultKind::HeadroomLie { factor: f64::NAN }, at_pop)
+                .validate()
+                .is_err()
+        );
+        // Global faults never land on any per-PoP schedule slice.
+        assert_eq!(at_pop.pop(), None);
+        assert_eq!(at_pop.global_pop(), Some(1));
+        assert_eq!(tier.global_pop(), None);
+        let sched = FaultSchedule::new(vec![
+            ev(100, 60, FaultKind::ReportPartition, at_pop),
+            ev(100, 60, FaultKind::BmpStall, FaultTarget::Pop { pop: 1 }),
+        ])
+        .unwrap();
+        assert_eq!(sched.active_at_pop(110, 1).count(), 1);
+        assert_eq!(sched.active_at(110).count(), 2);
+    }
+
+    #[test]
+    fn global_labels_are_distinct_and_ranked() {
+        for label in FaultKind::GLOBAL_LABELS {
+            assert!(!FaultKind::ALL_LABELS.contains(&label));
+        }
+        let kinds = [
+            FaultKind::ReportPartition,
+            FaultKind::ReportStaleness { epochs: 2 },
+            FaultKind::GlobalControllerCrash,
+            FaultKind::HeadroomLie { factor: 4.0 },
+        ];
+        for (kind, label) in kinds.iter().zip(FaultKind::GLOBAL_LABELS) {
+            assert_eq!(kind.label(), label);
+        }
     }
 
     #[test]

@@ -301,8 +301,8 @@ USAGE:
                    [--epoch SECS] [--out FILE]
   efctl chaos      [--seed N] [--pops N] [--prefixes N] [--hours H]
                    [--schedule FILE] [--chaos-seed N] [--events N]
-                   [--profile adversarial] [--baseline] [--epoch SECS]
-                   [--out FILE]
+                   [--profile adversarial|global-partition] [--baseline]
+                   [--epoch SECS] [--out FILE]
 
 Chaos fault kinds: peer_failure, link_capacity_loss, bmp_stall,
 sflow_loss, controller_crash, injector_loss, flash_crowd,
@@ -310,6 +310,9 @@ update_corruption (mangled UPDATEs, handled per RFC 7606),
 session_flap_storm (flaps governed by backoff + damping), and
 injector_partial_loss (dropped injections, retried + reconciled).
 --profile adversarial samples only the last three.
+--profile global-partition enables the global steering tier and
+samples only the faults that break it: report_partition,
+report_staleness, global_controller_crash, headroom_lie.
   efctl trace      [--seed N] [--pops N] [--prefixes N] [--hours H]
                    [--epoch SECS] [--limit N] [--pop N] [--at-epoch N]
                    [--kind NAME] [--out FILE]
@@ -460,9 +463,9 @@ fn parse_chaos(args: &[String]) -> Result<ChaosArgs, ParseError> {
         ));
     }
     if let Some(profile) = &out.profile {
-        if profile != "adversarial" {
+        if profile != "adversarial" && profile != "global-partition" {
             return Err(ParseError(format!(
-                "unknown profile {profile:?}; known profiles: adversarial"
+                "unknown profile {profile:?}; known profiles: adversarial, global-partition"
             )));
         }
         if out.schedule.is_some() {
@@ -934,13 +937,20 @@ fn execute_inner(cmd: Command) -> Result<Output, String> {
                 None => {
                     // `adversarial` narrows sampling to the hostile-ingest
                     // kinds the RFC 7606 / recovery hardening defends
-                    // against; the default samples every kind.
+                    // against; `global-partition` samples only the
+                    // global-tier kinds (report partitions, stale replays,
+                    // controller crashes, headroom lies); the default
+                    // samples every per-PoP kind.
                     let kinds = match args.profile.as_deref() {
                         Some("adversarial") => vec![
                             "update_corruption".to_string(),
                             "session_flap_storm".to_string(),
                             "injector_partial_loss".to_string(),
                         ],
+                        Some("global-partition") => ef_chaos::FaultKind::GLOBAL_LABELS
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect(),
                         _ => Vec::new(),
                     };
                     let profile = ef_chaos::ChaosProfile {
@@ -983,7 +993,13 @@ fn execute_inner(cmd: Command) -> Result<Output, String> {
                     out.stderr,
                     "{:>20} {:>6} {:>8} {:>8}",
                     e.kind.label(),
-                    e.target.pop(),
+                    match e.target.pop() {
+                        Some(p) => p.to_string(),
+                        None => match e.target.global_pop() {
+                            Some(p) => format!("g:{p}"),
+                            None => "global".to_string(),
+                        },
+                    },
                     e.t_start_secs,
                     e.duration_secs
                 )
@@ -991,9 +1007,12 @@ fn execute_inner(cmd: Command) -> Result<Output, String> {
             }
 
             let n_faults = schedule.len();
-            let mut engine = ef_sim::ScenarioBuilder::from_config(cfg)
-                .chaos(schedule)
-                .engine_with(deployment);
+            let mut builder = ef_sim::ScenarioBuilder::from_config(cfg).chaos(schedule);
+            if args.profile.as_deref() == Some("global-partition") {
+                // Global-tier faults are no-ops without the tier they break.
+                builder = builder.global(ef_global::GlobalConfig::default());
+            }
+            let mut engine = builder.engine_with(deployment);
             engine.run();
             let metrics = engine.take_metrics();
 
@@ -1783,6 +1802,10 @@ mod tests {
             Command::Chaos(c) => assert_eq!(c.profile.as_deref(), Some("adversarial")),
             other => panic!("{other:?}"),
         }
+        match parse_args(&argv("chaos --profile global-partition")).unwrap() {
+            Command::Chaos(c) => assert_eq!(c.profile.as_deref(), Some("global-partition")),
+            other => panic!("{other:?}"),
+        }
         assert!(parse_args(&argv("chaos --profile meteor")).is_err());
         assert!(parse_args(&argv("chaos --profile adversarial --schedule f.json")).is_err());
     }
@@ -1819,6 +1842,42 @@ mod tests {
             assert!(
                 !out.stderr.contains(kind),
                 "adversarial profile sampled {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_global_partition_profile_end_to_end() {
+        let mut args = ChaosArgs::default();
+        args.common.pops = 4;
+        args.common.prefixes = 200;
+        args.common.seed = 3;
+        args.hours = 0.5;
+        args.epoch_secs = 60;
+        args.events = 4;
+        args.profile = Some("global-partition".into());
+        let out = execute(Command::Chaos(args)).unwrap();
+        assert!(out.stderr.contains("under 4 fault(s)"));
+        // Only the global-tier kinds are sampled...
+        let sampled = out
+            .stderr
+            .lines()
+            .filter(|l| {
+                ef_chaos::FaultKind::GLOBAL_LABELS
+                    .iter()
+                    .any(|k| l.trim_start().starts_with(k))
+            })
+            .count();
+        assert_eq!(
+            sampled, 4,
+            "all faults are global-tier kinds:\n{}",
+            out.stderr
+        );
+        // ...and none of the per-PoP kinds appear.
+        for kind in ["peer_failure", "link_capacity_loss", "flash_crowd"] {
+            assert!(
+                !out.stderr.contains(kind),
+                "global-partition profile sampled {kind}"
             );
         }
     }

@@ -26,14 +26,14 @@
 use serde::{Deserialize, Serialize};
 
 use ef_telemetry::{
-    PlacementRecord, PlacementRejectReason, PlacementTarget, PlacementVerdict, RejectedTarget,
-    TelemetryHandle,
+    PlacementGuard, PlacementRecord, PlacementRejectReason, PlacementTarget, PlacementVerdict,
+    RejectedTarget, TelemetryHandle,
 };
 use ef_topology::{Deployment, PopId};
 use ef_traffic::demand::DemandPoint;
 
 use crate::backend::{AnycastBackend, CellObservation, DnsBackend, ShiftTuning, SteeringBackend};
-use crate::config::{BackendKind, GlobalConfig};
+use crate::config::{BackendKind, ConfigError, GlobalConfig};
 use crate::population::PopulationMap;
 
 const EPS: f64 = 1e-12;
@@ -54,15 +54,53 @@ pub struct PopReport {
     pub offered_mbps: f64,
     /// Spare egress capacity under the utilization limit, Mbps.
     pub headroom_mbps: f64,
+    /// Controller epoch the report describes, stamped by the producer.
+    /// Freshness is judged against this stamp, not against delivery —
+    /// a frozen exporter that keeps re-sending an old epoch looks exactly
+    /// as stale as a partitioned one. Pre-stamp reports deserialize as
+    /// epoch 0 (maximally old).
+    #[serde(default)]
+    pub epoch: u64,
 }
 
 impl PopReport {
     /// The overload signal backends react to: actual drops. Residual
     /// overload without loss is the per-PoP controller's problem; the
     /// global tier moves users only once traffic is demonstrably lost.
+    /// Drops with zero offered demand are a measurement artifact (a
+    /// counter race at an idle PoP), not overload.
     pub fn overloaded(&self) -> bool {
-        self.dropped_mbps > 0.0
+        self.dropped_mbps > 0.0 && self.offered_mbps > 0.0
     }
+}
+
+/// One epoch's degradation-guard verdicts, for health rules and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct GuardSnapshot {
+    /// Reports delivered in the last observed epoch.
+    pub delivered_reports: usize,
+    /// Reports expected per epoch (one per PoP).
+    pub expected_reports: usize,
+    /// PoPs whose freshest report is at least one epoch old.
+    pub stale_pops: usize,
+    /// Largest report age across PoPs, epochs (0 = all fresh).
+    pub max_report_age: u64,
+    /// The last epoch ran fail-static (below report quorum, or crashed).
+    pub fail_static: bool,
+    /// Total epochs spent fail-static or crashed since start.
+    pub frozen_epochs: u64,
+    /// Away-fraction direction flips in the last epoch (a drain right
+    /// after a restore or vice versa) — the thrash signal.
+    pub flips: u64,
+    /// Restores suppressed by the hold-down in the last epoch.
+    pub suppressed_restores: u64,
+    /// The last placement epoch hit the blast-radius cap.
+    pub blast_capped: bool,
+    /// The last observed epoch clamped at least one PoP's budget to its
+    /// plausibility cap — reported headroom exceeded the configured
+    /// multiple of the PoP's baseline demand. A richly provisioned healthy
+    /// PoP can trip this too; the cap is the point, not the accusation.
+    pub plausibility_clamped: bool,
 }
 
 /// One population's current placement state, for reports and the CLI.
@@ -102,6 +140,22 @@ pub struct GlobalController {
     holders: Vec<Vec<(u32, u32)>>,
     epoch: u64,
     n_pops: usize,
+    /// Total baseline demand per PoP, Mbps — the plausibility yardstick
+    /// for reported headroom.
+    pop_baseline: Vec<f64>,
+    /// Freshest report seen per PoP, kept across missed epochs so budgets
+    /// decay from the last known headroom instead of snapping to zero.
+    last_report: Vec<Option<PopReport>>,
+    /// Remaining suppressed-restore count per `(population, pop)` cell.
+    hold: Vec<Vec<u64>>,
+    /// Last movement direction per cell: +1 drain, -1 restore, 0 none.
+    last_dir: Vec<Vec<i8>>,
+    /// Guard verdicts of the last epoch.
+    guards: GuardSnapshot,
+    /// The tier is down (crash fault): everything frozen until `observe`.
+    crashed: bool,
+    /// Blast-radius cap applied in the last `place`, Mbps.
+    blast_cap_mbps: f64,
     telemetry: TelemetryHandle,
 }
 
@@ -117,9 +171,14 @@ impl std::fmt::Debug for GlobalController {
 }
 
 impl GlobalController {
-    /// Builds the tier for a deployment. Flash crowds naming unknown
-    /// populations are ignored.
-    pub fn new(deployment: &Deployment, cfg: GlobalConfig, telemetry: TelemetryHandle) -> Self {
+    /// Builds the tier for a deployment, rejecting out-of-range
+    /// configuration. Flash crowds naming unknown populations are ignored.
+    pub fn new(
+        deployment: &Deployment,
+        cfg: GlobalConfig,
+        telemetry: TelemetryHandle,
+    ) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let map = PopulationMap::build(deployment, cfg.grouping);
         let n_pops = deployment.pops.len();
         let n_populations = map.len();
@@ -156,7 +215,15 @@ impl GlobalController {
                 })
             })
             .collect();
-        GlobalController {
+        let mut pop_baseline = vec![0.0f64; n_pops];
+        for population in &map.populations {
+            for (j, b) in population.baseline_mbps.iter().enumerate() {
+                if let Some(total) = pop_baseline.get_mut(j) {
+                    *total += b.max(0.0);
+                }
+            }
+        }
+        Ok(GlobalController {
             away: vec![vec![0.0; n_pops]; n_populations],
             budgets: vec![0.0; n_pops],
             moved_last: vec![0.0; n_populations],
@@ -164,11 +231,21 @@ impl GlobalController {
             holders,
             epoch: 0,
             n_pops,
+            pop_baseline,
+            last_report: vec![None; n_pops],
+            hold: vec![vec![0; n_pops]; n_populations],
+            last_dir: vec![vec![0; n_pops]; n_populations],
+            guards: GuardSnapshot {
+                expected_reports: n_pops,
+                ..GuardSnapshot::default()
+            },
+            crashed: false,
+            blast_cap_mbps: f64::INFINITY,
             cfg,
             map,
             backend,
             telemetry,
-        }
+        })
     }
 
     /// The steering mechanism's name (`"dns"`, `"anycast"`, or
@@ -272,6 +349,15 @@ impl GlobalController {
             }
         }
         let mut remaining = self.budgets.clone();
+        // Blast-radius cap: however wrong this epoch's inputs are, at most
+        // this much demand moves before the next epoch's reports arrive.
+        let total_offered: f64 = demands
+            .iter()
+            .map(|(_, pts)| pts.iter().map(|p| p.mbps.max(0.0)).sum::<f64>())
+            .sum();
+        let blast_cap = self.cfg.blast_radius_fraction * total_offered;
+        let mut blast_remaining = blast_cap;
+        let mut blast_capped = false;
         // Attribution, indexed [population][src] and [population][src][dst].
         let mut attempted = vec![0.0f64; n_populations * n_pops];
         let mut placed = vec![0.0f64; n_populations * n_pops];
@@ -344,9 +430,22 @@ impl GlobalController {
                 grants.push(g);
                 total_granted += g;
             }
+            if total_granted > blast_remaining {
+                blast_capped = true;
+                let scale = if total_granted > EPS {
+                    (blast_remaining.max(0.0)) / total_granted
+                } else {
+                    0.0
+                };
+                for g in grants.iter_mut() {
+                    *g *= scale;
+                }
+                total_granted *= scale;
+            }
             if total_granted <= EPS {
                 continue;
             }
+            blast_remaining -= total_granted;
             // Victims lose exactly what receivers gain, proportionally to
             // their contribution — conservation is exact by construction.
             let scale = total_granted / moved;
@@ -378,6 +477,8 @@ impl GlobalController {
         }
 
         // Roll up per-population totals and emit provenance.
+        self.guards.blast_capped = blast_capped;
+        self.blast_cap_mbps = blast_cap;
         let now_ms = t_secs.saturating_mul(1000);
         for pi in 0..n_populations {
             let mut population_moved = 0.0f64;
@@ -448,10 +549,17 @@ impl GlobalController {
                 .and_then(|row| row.get(dst))
                 .copied()
                 .unwrap_or(0.0);
+            let stale_age = self
+                .report_age(dst)
+                .filter(|age| *age >= self.cfg.staleness_horizon_epochs.max(1));
             let reason = if baseline <= EPS {
                 PlacementRejectReason::NoFootprint
             } else if away > SOURCE_SHIFTED_AWAY {
                 PlacementRejectReason::SourceShifted
+            } else if let Some(age_epochs) = stale_age {
+                // The budget is zero because the PoP went quiet, not
+                // because it reported being full.
+                PlacementRejectReason::StaleReport { age_epochs }
             } else {
                 PlacementRejectReason::NoHeadroom {
                     budget_mbps: remaining.get(dst).copied().unwrap_or(0.0).max(0.0),
@@ -467,6 +575,26 @@ impl GlobalController {
         } else {
             PlacementVerdict::NoFeasibleTarget
         };
+        let mut guards = Vec::new();
+        if self.crashed {
+            guards.push(PlacementGuard::ControllerFrozen);
+        } else if self.guards.fail_static {
+            guards.push(PlacementGuard::FailStatic);
+        }
+        if self.guards.blast_capped {
+            guards.push(PlacementGuard::BlastRadiusCapped {
+                cap_mbps: self.blast_cap_mbps,
+            });
+        }
+        let epochs_left = self
+            .hold
+            .get(pi)
+            .and_then(|row| row.get(src))
+            .copied()
+            .unwrap_or(0);
+        if epochs_left > 0 {
+            guards.push(PlacementGuard::HoldDown { epochs_left });
+        }
         let record = PlacementRecord {
             population: population.name.clone(),
             backend: self.backend_name().to_string(),
@@ -482,26 +610,167 @@ impl GlobalController {
             targets,
             rejected,
             verdict,
+            guards,
         };
         self.telemetry.placement(src as u16, now_ms, &record);
     }
 
-    /// Feeds the epoch's per-PoP reports: refreshes detour budgets from
-    /// reported headroom and lets the backend update every
-    /// (population, PoP) away-fraction. `reports` is indexed by PoP.
-    pub fn observe(&mut self, reports: &[PopReport]) {
-        for (j, budget) in self.budgets.iter_mut().enumerate() {
-            *budget = reports
-                .get(j)
-                .map(|r| (r.headroom_mbps * self.cfg.headroom_safety).max(0.0))
-                .unwrap_or(0.0);
+    /// Age of PoP `j`'s freshest report in epochs (0 = stamped in the most
+    /// recently observed epoch), or `None` if it never reported.
+    fn report_age(&self, j: usize) -> Option<u64> {
+        self.last_report
+            .get(j)
+            .and_then(|r| r.as_ref())
+            .map(|r| self.epoch.saturating_sub(1).saturating_sub(r.epoch))
+    }
+
+    /// Usable-budget multiplier for a report of the given age: linear
+    /// decay from 1 at age 0 to 0 at the staleness horizon. The tier
+    /// steadily stops trusting headroom it cannot re-verify.
+    fn freshness(&self, age: u64) -> f64 {
+        let h = self.cfg.staleness_horizon_epochs.max(1);
+        1.0 - (age.min(h) as f64) / (h as f64)
+    }
+
+    /// The guard verdicts of the last epoch.
+    pub fn guard_snapshot(&self) -> GuardSnapshot {
+        self.guards
+    }
+
+    /// Per-PoP detour budgets from the last `observe`, Mbps.
+    pub fn detour_budgets(&self) -> &[f64] {
+        &self.budgets
+    }
+
+    /// Demand moved by the last placement pass, all populations, Mbps.
+    pub fn moved_last_mbps(&self) -> f64 {
+        self.moved_last.iter().sum()
+    }
+
+    /// Per-PoP baseline demand (summed over populations), Mbps — the
+    /// reference the plausibility clamp bounds budgets against.
+    pub fn pop_baseline(&self) -> &[f64] {
+        &self.pop_baseline
+    }
+
+    /// An epoch during which the tier itself is down. Placements, budgets,
+    /// away-fractions, and backend state all freeze — issued DNS maps and
+    /// anycast announcements outlive the controller that issued them, so
+    /// the world keeps the last placement until the tier returns. Only the
+    /// epoch counter advances (report ages keep growing, so budgets pick
+    /// up decayed on recovery rather than snapping back to stale values).
+    pub fn crash_epoch(&mut self) {
+        self.epoch = self.epoch.saturating_add(1);
+        self.crashed = true;
+        self.guards.fail_static = true;
+        self.guards.frozen_epochs = self.guards.frozen_epochs.saturating_add(1);
+        self.guards.delivered_reports = 0;
+        self.guards.flips = 0;
+        self.guards.suppressed_restores = 0;
+        self.refresh_staleness_counters();
+    }
+
+    fn refresh_staleness_counters(&mut self) {
+        let mut stale = 0usize;
+        let mut max_age = 0u64;
+        for j in 0..self.n_pops {
+            match self.report_age(j) {
+                Some(age) => {
+                    if age >= 1 {
+                        stale += 1;
+                    }
+                    max_age = max_age.max(age);
+                }
+                None => {
+                    // Never reported: stale only once epochs have passed.
+                    if self.epoch > 0 {
+                        stale += 1;
+                        max_age = max_age.max(self.epoch);
+                    }
+                }
+            }
+        }
+        self.guards.stale_pops = stale;
+        self.guards.max_report_age = max_age;
+    }
+
+    /// Feeds the epoch's per-PoP reports, `None` where a PoP's report did
+    /// not arrive. Degradation guards run first:
+    ///
+    /// * budgets derive from the freshest report each PoP ever sent,
+    ///   decayed linearly with the report's age and clamped to
+    ///   `budget_plausibility ×` the PoP's own baseline demand;
+    /// * below `fail_static_quorum` delivered reports the epoch is
+    ///   *fail-static*: every away-fraction freezes, no move is initiated;
+    /// * a cell whose report aged past the staleness horizon is skipped
+    ///   (frozen) rather than steered on fiction;
+    /// * restores are suppressed while the cell's hold-down is armed — a
+    ///   drain re-arms it — so placements cannot thrash on alternating
+    ///   reports. Drains are never suppressed: shedding load off a sick
+    ///   PoP is always the safe direction.
+    pub fn observe(&mut self, reports: &[Option<PopReport>]) {
+        self.crashed = false;
+        let mut delivered = 0usize;
+        for j in 0..self.n_pops {
+            if let Some(report) = reports.get(j).and_then(|r| r.as_ref()) {
+                delivered += 1;
+                let keep = self
+                    .last_report
+                    .get(j)
+                    .and_then(|r| r.as_ref())
+                    .is_some_and(|old| old.epoch > report.epoch);
+                if !keep {
+                    if let Some(slot) = self.last_report.get_mut(j) {
+                        *slot = Some(*report);
+                    }
+                }
+            }
         }
         self.epoch = self.epoch.saturating_add(1);
+
+        let mut clamped = false;
+        for j in 0..self.n_pops {
+            let budget = match self.last_report.get(j).and_then(|r| r.as_ref()) {
+                Some(report) => {
+                    let age = self.report_age(j).unwrap_or(0);
+                    let raw = (report.headroom_mbps * self.cfg.headroom_safety).max(0.0)
+                        * self.freshness(age);
+                    let cap = (self.cfg.budget_plausibility
+                        * self.pop_baseline.get(j).copied().unwrap_or(0.0))
+                    .max(0.0);
+                    if raw > cap {
+                        clamped = true;
+                    }
+                    raw.min(cap)
+                }
+                None => 0.0,
+            };
+            if let Some(slot) = self.budgets.get_mut(j) {
+                *slot = budget;
+            }
+        }
+        self.guards.plausibility_clamped = clamped;
+
+        let fail_static = (delivered as f64) < self.cfg.fail_static_quorum * (self.n_pops as f64);
+        self.guards.delivered_reports = delivered;
+        self.guards.fail_static = fail_static;
+        self.guards.flips = 0;
+        self.guards.suppressed_restores = 0;
+        self.refresh_staleness_counters();
+        if fail_static {
+            self.guards.frozen_epochs = self.guards.frozen_epochs.saturating_add(1);
+            return; // hold placements; never initiate a move on a dark map
+        }
+
         let tuning = ShiftTuning {
             step: self.cfg.step,
             max_shift: self.cfg.max_shift,
             decay: self.cfg.decay,
         };
+        let horizon = self.cfg.staleness_horizon_epochs.max(1);
+        let hold_down = self.cfg.hold_down_epochs;
+        let mut flips = 0u64;
+        let mut suppressed = 0u64;
         let Some(backend) = self.backend.as_mut() else {
             return;
         };
@@ -511,9 +780,16 @@ impl GlobalController {
                 if baseline <= 0.0 {
                     continue; // no footprint — nothing of this population here
                 }
-                let Some(report) = reports.get(j) else {
+                if reports.get(j).and_then(|r| r.as_ref()).is_none() {
+                    continue; // nothing delivered this epoch — cell freezes
+                }
+                let Some(report) = self.last_report.get(j).and_then(|r| r.as_ref()) else {
                     continue;
                 };
+                let age = self.epoch.saturating_sub(1).saturating_sub(report.epoch);
+                if age >= horizon {
+                    continue; // content too old to act on — cell freezes
+                }
                 let obs = CellObservation {
                     dropped_mbps: report.dropped_mbps.max(0.0),
                     offered_mbps: report.offered_mbps.max(0.0),
@@ -521,11 +797,48 @@ impl GlobalController {
                     baseline_mbps: baseline,
                 };
                 let fraction = backend.update(pi, j, &obs, &tuning).clamp(0.0, 1.0);
-                if let Some(cell) = self.away.get_mut(pi).and_then(|row| row.get_mut(j)) {
+                let Some(cell) = self.away.get_mut(pi).and_then(|row| row.get_mut(j)) else {
+                    continue;
+                };
+                let dir: i8 = if fraction > *cell + EPS {
+                    1
+                } else if fraction < *cell - EPS {
+                    -1
+                } else {
+                    0
+                };
+                if dir == -1 {
+                    // Restore: suppressed while the hold-down is armed.
+                    let held = self
+                        .hold
+                        .get_mut(pi)
+                        .and_then(|row| row.get_mut(j))
+                        .filter(|h| **h > 0);
+                    if let Some(h) = held {
+                        *h -= 1;
+                        suppressed += 1;
+                        continue;
+                    }
+                }
+                if dir == 1 {
+                    if let Some(h) = self.hold.get_mut(pi).and_then(|row| row.get_mut(j)) {
+                        *h = hold_down;
+                    }
+                }
+                if dir != 0 {
+                    let prev = self.last_dir.get_mut(pi).and_then(|row| row.get_mut(j));
+                    if let Some(prev) = prev {
+                        if *prev != 0 && *prev != dir {
+                            flips += 1;
+                        }
+                        *prev = dir;
+                    }
                     *cell = fraction;
                 }
             }
         }
+        self.guards.flips = flips;
+        self.guards.suppressed_restores = suppressed;
     }
 }
 
@@ -575,41 +888,53 @@ mod tests {
             .unwrap()
     }
 
-    /// Reports where `victim` is overloaded and everyone else has
-    /// abundant headroom.
-    fn reports(dep: &Deployment, victim: PopId, headroom: f64) -> Vec<PopReport> {
+    /// Reports for epoch `epoch` where `victim` is overloaded and everyone
+    /// else has abundant headroom, all delivered and freshly stamped.
+    fn reports(
+        dep: &Deployment,
+        victim: PopId,
+        headroom: f64,
+        epoch: u64,
+    ) -> Vec<Option<PopReport>> {
         dep.pops
             .iter()
             .map(|p| {
                 if p.id == victim {
                     // Dropping half of everything offered: severe enough
                     // that every backend reacts at full tilt.
-                    PopReport {
+                    Some(PopReport {
                         residual_overloaded: true,
                         dropped_mbps: 1e9,
                         offered_mbps: 2e9,
                         headroom_mbps: 0.0,
-                    }
+                        epoch,
+                    })
                 } else {
-                    PopReport {
+                    Some(PopReport {
                         residual_overloaded: false,
                         dropped_mbps: 0.0,
                         offered_mbps: 1e9,
                         headroom_mbps: headroom,
-                    }
+                        epoch,
+                    })
                 }
             })
             .collect()
     }
 
+    /// A controller with a generous plausibility cap, so tests that drive
+    /// absurd headroom through the budgets still exercise the old paths.
+    fn controller(dep: &Deployment, cfg: GlobalConfig) -> GlobalController {
+        GlobalController::new(dep, cfg, TelemetryHandle::disabled()).unwrap()
+    }
+
     #[test]
     fn dns_steering_drains_an_overloaded_pop() {
         let dep = deployment(4);
-        let mut ctl =
-            GlobalController::new(&dep, GlobalConfig::dns(1), TelemetryHandle::disabled());
+        let mut ctl = controller(&dep, GlobalConfig::dns(1));
         let victim = PopId(0);
-        for _ in 0..6 {
-            ctl.observe(&reports(&dep, victim, 1e9));
+        for e in 0..6 {
+            ctl.observe(&reports(&dep, victim, 1e9, e));
         }
         assert!(ctl.is_active());
         assert!((ctl.away_fraction(victim) - 0.30).abs() < 1e-9);
@@ -627,12 +952,11 @@ mod tests {
     #[test]
     fn place_respects_detour_budgets() {
         let dep = deployment(3);
-        let mut ctl =
-            GlobalController::new(&dep, GlobalConfig::dns(1), TelemetryHandle::disabled());
+        let mut ctl = controller(&dep, GlobalConfig::dns(1));
         let victim = PopId(0);
         // Zero headroom anywhere: nothing may be placed.
-        for _ in 0..6 {
-            ctl.observe(&reports(&dep, victim, 0.0));
+        for e in 0..6 {
+            ctl.observe(&reports(&dep, victim, 0.0, e));
         }
         let mut demands = demands_for(&dep);
         let snapshot = demands.clone();
@@ -644,8 +968,8 @@ mod tests {
             }
         }
         // A tiny budget is consumed but never exceeded.
-        for _ in 0..6 {
-            ctl.observe(&reports(&dep, victim, 10.0));
+        for e in 6..12 {
+            ctl.observe(&reports(&dep, victim, 10.0, e));
         }
         let mut demands = demands_for(&dep);
         let before: Vec<f64> = dep.pops.iter().map(|p| pop_total(&demands, p.id)).collect();
@@ -669,10 +993,10 @@ mod tests {
             duration_secs: 100,
             multiplier: 2.0,
         });
-        let mut ctl = GlobalController::new(&dep, cfg, TelemetryHandle::disabled());
+        let mut ctl = controller(&dep, cfg);
         let victim = PopId(0);
-        for _ in 0..10 {
-            ctl.observe(&reports(&dep, victim, 1e9));
+        for e in 0..10 {
+            ctl.observe(&reports(&dep, victim, 1e9, e));
         }
         assert!(!ctl.is_active());
         assert_eq!(ctl.backend_name(), "shape_only");
@@ -698,10 +1022,10 @@ mod tests {
     fn placement_records_carry_provenance() {
         let dep = deployment(3);
         let (telemetry, sink) = TelemetryHandle::memory();
-        let mut ctl = GlobalController::new(&dep, GlobalConfig::dns(1), telemetry);
+        let mut ctl = GlobalController::new(&dep, GlobalConfig::dns(1), telemetry).unwrap();
         let victim = PopId(1);
-        for _ in 0..6 {
-            ctl.observe(&reports(&dep, victim, 1e9));
+        for e in 0..6 {
+            ctl.observe(&reports(&dep, victim, 1e9, e));
         }
         let mut demands = demands_for(&dep);
         ctl.place(7200, &mut demands);
@@ -721,12 +1045,11 @@ mod tests {
     #[test]
     fn anycast_moves_whole_population_after_convergence() {
         let dep = deployment(4);
-        let mut ctl =
-            GlobalController::new(&dep, GlobalConfig::anycast(2), TelemetryHandle::disabled());
+        let mut ctl = controller(&dep, GlobalConfig::anycast(2));
         let victim = PopId(0);
         // Decision + convergence epochs.
-        for _ in 0..3 {
-            ctl.observe(&reports(&dep, victim, 1e9));
+        for e in 0..3 {
+            ctl.observe(&reports(&dep, victim, 1e9, e));
         }
         // Every population served at the victim is fully withdrawn.
         assert_eq!(ctl.away_fraction(victim), 1.0);
@@ -736,6 +1059,270 @@ mod tests {
         assert!((total(&demands) - before).abs() < 1e-6);
         // The victim keeps only demand no budget accepted (here: none).
         assert!(pop_total(&demands, victim) < 1e-6);
+    }
+
+    #[test]
+    fn overload_signal_needs_offered_demand() {
+        let drops_at_idle = PopReport {
+            dropped_mbps: 5.0,
+            offered_mbps: 0.0,
+            ..PopReport::default()
+        };
+        assert!(!drops_at_idle.overloaded());
+        let real = PopReport {
+            dropped_mbps: 5.0,
+            offered_mbps: 100.0,
+            ..PopReport::default()
+        };
+        assert!(real.overloaded());
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let dep = deployment(2);
+        let cfg = GlobalConfig {
+            headroom_safety: f64::NAN,
+            ..GlobalConfig::default()
+        };
+        assert!(GlobalController::new(&dep, cfg, TelemetryHandle::disabled()).is_err());
+    }
+
+    #[test]
+    fn stale_reports_decay_budgets_to_zero() {
+        let dep = deployment(3);
+        let mut cfg = GlobalConfig::dns(1);
+        cfg.staleness_horizon_epochs = 4;
+        cfg.budget_plausibility = 1e12; // isolate the freshness decay
+        let mut ctl = controller(&dep, cfg);
+        let victim = PopId(0);
+        ctl.observe(&reports(&dep, victim, 1000.0, 0));
+        let fresh: Vec<f64> = ctl.detour_budgets().to_vec();
+        assert!(fresh.iter().any(|b| (*b - 800.0).abs() < 1e-9));
+        // Reports stop arriving: budgets shrink linearly, hitting zero at
+        // the horizon.
+        let dark: Vec<Option<PopReport>> = vec![None; dep.pops.len()];
+        let mut prev = fresh.clone();
+        for step in 1..=4u64 {
+            ctl.observe(&dark);
+            for (j, b) in ctl.detour_budgets().iter().enumerate() {
+                assert!(*b <= prev[j] + 1e-9, "budget grew while dark");
+                if fresh[j] > 0.0 {
+                    let expect = fresh[j] * (1.0 - step.min(4) as f64 / 4.0);
+                    assert!(
+                        (b - expect).abs() < 1e-6,
+                        "step {step} pop {j}: {b} vs {expect}"
+                    );
+                }
+            }
+            prev = ctl.detour_budgets().to_vec();
+        }
+        assert!(ctl.detour_budgets().iter().all(|b| *b == 0.0));
+        let snap = ctl.guard_snapshot();
+        assert_eq!(snap.stale_pops, dep.pops.len());
+        assert_eq!(snap.max_report_age, 4);
+    }
+
+    #[test]
+    fn fail_static_freezes_away_fractions() {
+        let dep = deployment(4);
+        let mut ctl = controller(&dep, GlobalConfig::dns(1));
+        let victim = PopId(0);
+        // Majority of reports missing from the start: the tier must never
+        // initiate a move, however loudly the one delivered report screams.
+        for e in 0..6 {
+            let mut r = reports(&dep, victim, 1e9, e);
+            for (j, slot) in r.iter_mut().enumerate() {
+                if j != victim.0 as usize {
+                    *slot = None;
+                }
+            }
+            ctl.observe(&r);
+            assert!(ctl.guard_snapshot().fail_static);
+        }
+        assert!(!ctl.is_active(), "fail-static initiated a move");
+        assert_eq!(ctl.guard_snapshot().frozen_epochs, 6);
+        // Once active, losing quorum freezes (not resets) the placement.
+        for e in 6..12 {
+            ctl.observe(&reports(&dep, victim, 1e9, e));
+        }
+        let away = ctl.away_fraction(victim);
+        assert!(away > 0.0);
+        let dark: Vec<Option<PopReport>> = vec![None; dep.pops.len()];
+        ctl.observe(&dark);
+        assert!(ctl.guard_snapshot().fail_static);
+        assert_eq!(ctl.away_fraction(victim), away, "away moved while dark");
+    }
+
+    #[test]
+    fn crash_epochs_freeze_everything() {
+        let dep = deployment(3);
+        let mut ctl = controller(&dep, GlobalConfig::dns(1));
+        let victim = PopId(0);
+        for e in 0..6 {
+            ctl.observe(&reports(&dep, victim, 1e9, e));
+        }
+        let away = ctl.away_fraction(victim);
+        let budgets = ctl.detour_budgets().to_vec();
+        let epoch = ctl.epoch();
+        for _ in 0..3 {
+            ctl.crash_epoch();
+        }
+        assert_eq!(ctl.away_fraction(victim), away);
+        assert_eq!(ctl.detour_budgets(), &budgets[..]);
+        assert_eq!(ctl.epoch(), epoch + 3);
+        let snap = ctl.guard_snapshot();
+        assert!(snap.fail_static);
+        assert_eq!(snap.frozen_epochs, 3);
+        // Recovery: fresh reports bring the backend right back.
+        ctl.observe(&reports(&dep, victim, 1e9, epoch + 3));
+        assert!(!ctl.guard_snapshot().fail_static);
+    }
+
+    #[test]
+    fn plausibility_clamp_bounds_lied_headroom() {
+        let dep = deployment(3);
+        let mut ctl = controller(&dep, GlobalConfig::dns(1));
+        let victim = PopId(0);
+        // An exporter claiming absurd headroom gets a budget no larger
+        // than its own baseline demand (budget_plausibility = 1.0).
+        ctl.observe(&reports(&dep, victim, 1e18, 0));
+        for (j, budget) in ctl.detour_budgets().iter().enumerate() {
+            if j == victim.0 as usize {
+                continue;
+            }
+            let cap = ctl
+                .population_map()
+                .populations
+                .iter()
+                .map(|p| p.baseline_mbps.get(j).copied().unwrap_or(0.0))
+                .sum::<f64>();
+            assert!(*budget <= cap + 1e-9, "pop {j}: {budget} > cap {cap}");
+            assert!(*budget > 0.0);
+        }
+    }
+
+    #[test]
+    fn blast_radius_caps_per_epoch_movement() {
+        let dep = deployment(4);
+        let mut cfg = GlobalConfig::dns(1);
+        cfg.blast_radius_fraction = 0.02;
+        let mut ctl = controller(&dep, cfg);
+        let victim = PopId(0);
+        for e in 0..12 {
+            ctl.observe(&reports(&dep, victim, 1e9, e));
+        }
+        let mut demands = demands_for(&dep);
+        let before_total = total(&demands);
+        ctl.place(0, &mut demands);
+        assert!((total(&demands) - before_total).abs() < 1e-6);
+        let moved: f64 = ctl.placements().iter().map(|p| p.moved_mbps).sum();
+        assert!(moved > 0.0);
+        assert!(
+            moved <= 0.02 * before_total + 1e-6,
+            "moved {moved} exceeds cap {}",
+            0.02 * before_total
+        );
+        assert!(ctl.guard_snapshot().blast_capped);
+    }
+
+    #[test]
+    fn hold_down_suppresses_restores_not_drains() {
+        let dep = deployment(3);
+        let mut cfg = GlobalConfig::dns(1);
+        cfg.hold_down_epochs = 3;
+        cfg.decay = 0.05;
+        let mut ctl = controller(&dep, cfg);
+        let victim = PopId(0);
+        for e in 0..6 {
+            ctl.observe(&reports(&dep, victim, 1e9, e));
+        }
+        let peak = ctl.away_fraction(victim);
+        assert!(peak > 0.0);
+        // Healthy reports now: the backend wants to restore, but the first
+        // three attempts per cell are held down.
+        let healthy = |e: u64| reports(&dep, PopId(u16::MAX), 1e9, e);
+        for (i, e) in (6..9u64).enumerate() {
+            ctl.observe(&healthy(e));
+            assert_eq!(
+                ctl.away_fraction(victim),
+                peak,
+                "restore applied during hold-down epoch {i}"
+            );
+            assert!(ctl.guard_snapshot().suppressed_restores > 0);
+        }
+        ctl.observe(&healthy(9));
+        assert!(
+            ctl.away_fraction(victim) < peak,
+            "hold-down never released the restore"
+        );
+    }
+
+    #[test]
+    fn guard_provenance_reaches_placement_records() {
+        let dep = deployment(3);
+        let (telemetry, sink) = TelemetryHandle::memory();
+        let mut cfg = GlobalConfig::dns(1);
+        cfg.blast_radius_fraction = 0.02;
+        let mut ctl = GlobalController::new(&dep, cfg, telemetry).unwrap();
+        let victim = PopId(0);
+        for e in 0..12 {
+            ctl.observe(&reports(&dep, victim, 1e9, e));
+        }
+        let mut demands = demands_for(&dep);
+        ctl.place(0, &mut demands);
+        let placements = sink.placements();
+        assert!(!placements.is_empty());
+        assert!(placements.iter().any(|(_, _, r)| r
+            .guards
+            .iter()
+            .any(|g| matches!(g, ef_telemetry::PlacementGuard::BlastRadiusCapped { .. }))));
+    }
+
+    proptest! {
+        /// Whatever subset of reports arrives, however stale their stamps:
+        /// no PoP ever receives more than its budget, demand is conserved,
+        /// and an epoch below the report quorum never initiates a move.
+        #[test]
+        fn prop_guards_bound_placement(
+            seed_pops in 2u16..6,
+            victim in 0u16..6,
+            epochs in 1usize..12,
+            headroom in 0.0f64..100_000.0,
+            mask in proptest::collection::vec(any::<bool>(), 12),
+            stale_by in 0u64..8,
+        ) {
+            let dep = deployment(seed_pops);
+            let victim = PopId(victim % seed_pops);
+            let mut ctl = controller(&dep, GlobalConfig::dns(2));
+            for e in 0..epochs {
+                let stamp = (e as u64).saturating_sub(stale_by);
+                let mut r = reports(&dep, victim, headroom, stamp);
+                for (j, slot) in r.iter_mut().enumerate() {
+                    if !mask.get((e + j) % mask.len()).copied().unwrap_or(true) {
+                        *slot = None;
+                    }
+                }
+                let was_active = ctl.is_active();
+                ctl.observe(&r);
+                if ctl.guard_snapshot().fail_static && !was_active {
+                    prop_assert!(!ctl.is_active(), "fail-static initiated a move");
+                }
+            }
+            let budgets = ctl.detour_budgets().to_vec();
+            let mut demands = demands_for(&dep);
+            let before_total = total(&demands);
+            let before: Vec<f64> =
+                dep.pops.iter().map(|p| pop_total(&demands, p.id)).collect();
+            ctl.place(0, &mut demands);
+            prop_assert!((total(&demands) - before_total).abs() < 1e-6);
+            for (idx, pop) in dep.pops.iter().enumerate() {
+                let gained = pop_total(&demands, pop.id) - before[idx];
+                prop_assert!(
+                    gained <= budgets[idx] + 1e-6,
+                    "pop {} gained {} over budget {}", idx, gained, budgets[idx]
+                );
+            }
+        }
     }
 
     proptest! {
@@ -750,10 +1337,9 @@ mod tests {
         ) {
             let dep = deployment(seed_pops);
             let victim = PopId(victim % seed_pops);
-            let mut ctl = GlobalController::new(
-                &dep, GlobalConfig::dns(2), TelemetryHandle::disabled());
-            for _ in 0..epochs {
-                ctl.observe(&reports(&dep, victim, headroom));
+            let mut ctl = controller(&dep, GlobalConfig::dns(2));
+            for e in 0..epochs {
+                ctl.observe(&reports(&dep, victim, headroom, e as u64));
             }
             let mut demands = demands_for(&dep);
             let before = total(&demands);

@@ -16,7 +16,13 @@
 //!   [`AnycastBackend`] (all-or-nothing, convergence-delayed);
 //! * [`controller`] — [`GlobalController`], which shapes demand (flash
 //!   crowds), places steered-away demand under per-PoP headroom budgets,
-//!   and feeds per-PoP [`PopReport`]s to the backend each epoch.
+//!   and feeds per-PoP [`PopReport`]s to the backend each epoch. The
+//!   controller degrades like the paper's §5 fail-safes: stale reports
+//!   decay budgets toward zero, losing report quorum freezes placements
+//!   (*fail-static*), per-epoch movement is blast-radius capped, and
+//!   restores are held down so placements cannot thrash — stale or
+//!   missing inputs shrink the tier's authority, never expand it
+//!   ([`GuardSnapshot`] records each epoch's verdicts).
 //!
 //! **Determinism contract**: the controller is pure state machine — no
 //! clocks, no randomness, Vec-indexed state, fixed iteration order — so
@@ -31,6 +37,6 @@ pub mod population;
 pub use backend::{AnycastBackend, CellObservation, DnsBackend, ShiftTuning, SteeringBackend};
 #[allow(deprecated)]
 pub use config::GlobalShifterConfig;
-pub use config::{BackendKind, FlashCrowdSpec, GlobalConfig};
-pub use controller::{GlobalController, PlacementSummary, PopReport};
+pub use config::{BackendKind, ConfigError, FlashCrowdSpec, GlobalConfig};
+pub use controller::{GlobalController, GuardSnapshot, PlacementSummary, PopReport};
 pub use population::{Population, PopulationGrouping, PopulationMap};

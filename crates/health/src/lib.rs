@@ -40,7 +40,9 @@ pub mod rules;
 pub mod series;
 
 pub use digest::QuantileDigest;
-pub use monitor::{sample_iface_util, EpochSignals, HealthConfig, HealthMonitor};
+pub use monitor::{
+    sample_iface_util, EpochSignals, GlobalSignals, HealthConfig, HealthMonitor, GLOBAL_POP,
+};
 pub use report::{
     analyze, num_field, render_report, render_watch_line, HealthReport, PercentileRow, SloRow,
 };

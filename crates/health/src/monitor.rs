@@ -67,6 +67,36 @@ pub struct EpochSignals {
     pub iface_util: Vec<(u32, f64)>,
 }
 
+/// Sentinel "PoP" id under which global-tier metrics and alerts are
+/// keyed. Real PoP ids are dense from zero; `u16::MAX` can never collide
+/// with one.
+pub const GLOBAL_POP: u16 = u16::MAX;
+
+/// What the monitor reads from the global steering tier after one epoch —
+/// a pure copy of the tier's guard verdicts, same read-only contract as
+/// [`EpochSignals`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GlobalSignals {
+    /// Simulated time at the end of the epoch, seconds.
+    pub t_secs: u64,
+    /// PoP reports delivered this epoch.
+    pub delivered_reports: u64,
+    /// PoP reports expected per epoch.
+    pub expected_reports: u64,
+    /// PoPs whose freshest report is at least one epoch old.
+    pub stale_pops: u64,
+    /// Largest report age across PoPs, epochs.
+    pub max_report_age: u64,
+    /// The epoch ran fail-static (below report quorum or tier down).
+    pub fail_static: bool,
+    /// Away-fraction direction flips this epoch (the thrash signal).
+    pub flips: u64,
+    /// Restores suppressed by the hold-down this epoch.
+    pub suppressed_restores: u64,
+    /// Demand the placement pass moved this epoch, Mbps.
+    pub moved_mbps: f64,
+}
+
 fn default_ring_capacity() -> usize {
     512
 }
@@ -95,6 +125,12 @@ fn default_clear_epochs() -> u32 {
     2
 }
 fn default_warmup_epochs() -> u32 {
+    2
+}
+fn default_placement_thrash() -> f64 {
+    4.0
+}
+fn default_thrash_sustain() -> u32 {
     2
 }
 
@@ -133,6 +169,13 @@ pub struct HealthConfig {
     /// nondeterministic, so deterministic experiments leave it off).
     #[serde(default)]
     pub epoch_deadline_ms: Option<f64>,
+    /// `placement_thrash` fires above this many global away-fraction
+    /// direction flips per epoch, sustained for `thrash_sustain` epochs.
+    #[serde(default = "default_placement_thrash")]
+    pub placement_thrash: f64,
+    /// Sustain requirement for `placement_thrash`.
+    #[serde(default = "default_thrash_sustain")]
+    pub thrash_sustain: u32,
     /// Recovered epochs required before any alert clears.
     #[serde(default = "default_clear_epochs")]
     pub clear_epochs: u32,
@@ -156,6 +199,8 @@ impl Default for HealthConfig {
             stale_input_ms: default_stale_input_ms(),
             session_reset_storm: default_session_reset_storm(),
             epoch_deadline_ms: None,
+            placement_thrash: default_placement_thrash(),
+            thrash_sustain: default_thrash_sustain(),
             clear_epochs: default_clear_epochs(),
             warmup_epochs: default_warmup_epochs(),
         }
@@ -258,6 +303,32 @@ impl HealthConfig {
                 0.5,
                 1,
                 Severity::Critical,
+            ),
+            // Global tier (metrics exist only at the GLOBAL_POP key, so
+            // these rules never fire for a real PoP and vice versa):
+            // the tier is steering on reports at least an epoch old.
+            rule(
+                "global_reports_stale",
+                "global_report_age",
+                0.5,
+                1,
+                Severity::Critical,
+            ),
+            // The tier froze placements for lack of report quorum.
+            rule(
+                "global_fail_static",
+                "global_fail_static",
+                0.5,
+                1,
+                Severity::Critical,
+            ),
+            // Placements bouncing between PoPs on alternating reports.
+            rule(
+                "placement_thrash",
+                "placement_flips",
+                self.placement_thrash,
+                self.thrash_sustain,
+                Severity::Warning,
             ),
         ];
         if let Some(deadline_ms) = self.epoch_deadline_ms {
@@ -451,16 +522,60 @@ impl HealthMonitor {
         edges
     }
 
+    /// Derives the global tier's flat metric vector, alphabetical key
+    /// order like [`metric_map`](Self::metric_map).
+    pub fn global_metric_map(&self, signals: &GlobalSignals) -> Vec<(&'static str, f64)> {
+        let bool_metric = |b: bool| if b { 1.0 } else { 0.0 };
+        vec![
+            ("global_delivered_reports", signals.delivered_reports as f64),
+            ("global_fail_static", bool_metric(signals.fail_static)),
+            ("global_moved_mbps", signals.moved_mbps),
+            ("global_report_age", signals.max_report_age as f64),
+            ("global_stale_pops", signals.stale_pops as f64),
+            ("placement_flips", signals.flips as f64),
+            ("placement_suppressed", signals.suppressed_restores as f64),
+        ]
+    }
+
+    /// Feeds the global steering tier's end-of-epoch guard verdicts,
+    /// keyed under [`GLOBAL_POP`]. Same contract as
+    /// [`observe_epoch`](Self::observe_epoch): series + rules + telemetry,
+    /// nothing fed back. Global metrics exist only at this key, so the
+    /// per-PoP rules never judge the global sample (their metrics are
+    /// absent) and the global rules never judge a real PoP.
+    pub fn observe_global(&mut self, signals: &GlobalSignals) -> Vec<AlertEdge> {
+        let metrics = self.global_metric_map(signals);
+        let store = self
+            .series
+            .entry(GLOBAL_POP)
+            .or_insert_with(|| SeriesStore::new(self.cfg.ring_capacity, self.cfg.digest_bins));
+        for (name, value) in &metrics {
+            store.record(name, signals.t_secs, *value);
+        }
+        let seen = self.epochs_seen.entry(GLOBAL_POP).or_insert(0);
+        *seen += 1;
+        let edges = if *seen <= self.cfg.warmup_epochs as u64 {
+            Vec::new()
+        } else {
+            self.engine.observe(GLOBAL_POP, signals.t_secs, &metrics)
+        };
+        self.emit_at(GLOBAL_POP, signals.t_secs, &metrics, &edges);
+        edges
+    }
+
     /// Writes the epoch's sample and any alert edges to the sink.
     fn emit(&self, signals: &EpochSignals, metrics: &[(&'static str, f64)], edges: &[AlertEdge]) {
+        self.emit_at(signals.pop, signals.t_secs, metrics, edges);
+    }
+
+    fn emit_at(&self, pop: u16, t_secs: u64, metrics: &[(&'static str, f64)], edges: &[AlertEdge]) {
         if !self.telemetry.enabled() {
             return;
         }
-        let now_ms = signals.t_secs * 1000;
+        let now_ms = t_secs * 1000;
         let fields: Vec<(&str, ef_telemetry::FieldValue)> =
             metrics.iter().map(|(k, v)| (*k, (*v).into())).collect();
-        self.telemetry
-            .emit(signals.pop, now_ms, "health.sample", &fields);
+        self.telemetry.emit(pop, now_ms, "health.sample", &fields);
         for edge in edges {
             let alert = edge.alert();
             let name = if edge.is_fired() {
@@ -469,7 +584,7 @@ impl HealthMonitor {
                 "alert.clear"
             };
             self.telemetry.emit(
-                signals.pop,
+                pop,
                 now_ms,
                 name,
                 &[
@@ -482,13 +597,14 @@ impl HealthMonitor {
                 ],
             );
         }
+        let key = if pop == GLOBAL_POP {
+            "global.alerts_firing".to_string()
+        } else {
+            format!("pop{pop}.alerts_firing")
+        };
         self.telemetry.gauge(
-            &format!("pop{}.alerts_firing", signals.pop),
-            self.engine
-                .firing()
-                .iter()
-                .filter(|a| a.pop == signals.pop)
-                .count() as f64,
+            &key,
+            self.engine.firing().iter().filter(|a| a.pop == pop).count() as f64,
         );
     }
 
@@ -679,6 +795,83 @@ mod tests {
         let edges = mon.observe_epoch(&calm(0, 60), Some(80_000));
         assert_eq!(edges.len(), 1);
         assert_eq!(edges[0].alert().rule, "epoch_deadline");
+    }
+
+    #[test]
+    fn global_rules_fire_only_at_the_global_key() {
+        let mut mon = HealthMonitor::new(no_warmup(), TelemetryHandle::disabled());
+        // A real PoP's sample never trips a global rule.
+        assert!(mon.observe_epoch(&calm(0, 30), None).is_empty());
+        // Stale reports + fail-static fire at the sentinel key.
+        let edges = mon.observe_global(&GlobalSignals {
+            t_secs: 30,
+            delivered_reports: 1,
+            expected_reports: 4,
+            stale_pops: 3,
+            max_report_age: 5,
+            fail_static: true,
+            ..GlobalSignals::default()
+        });
+        let rules: Vec<_> = edges.iter().map(|e| e.alert().rule.as_str()).collect();
+        assert!(rules.contains(&"global_reports_stale"));
+        assert!(rules.contains(&"global_fail_static"));
+        for edge in &edges {
+            assert_eq!(edge.alert().pop, GLOBAL_POP);
+        }
+        // A calm global epoch never trips a per-PoP rule (missing metrics
+        // are skipped, not treated as zero breaches).
+        let edges = mon.observe_global(&GlobalSignals {
+            t_secs: 60,
+            delivered_reports: 4,
+            expected_reports: 4,
+            ..GlobalSignals::default()
+        });
+        assert!(edges.iter().all(|e| !e.is_fired()));
+    }
+
+    #[test]
+    fn placement_thrash_needs_sustained_flips() {
+        let cfg = HealthConfig {
+            placement_thrash: 2.0,
+            thrash_sustain: 2,
+            ..no_warmup()
+        };
+        let mut mon = HealthMonitor::new(cfg, TelemetryHandle::disabled());
+        let thrashy = |t: u64| GlobalSignals {
+            t_secs: t,
+            delivered_reports: 4,
+            expected_reports: 4,
+            flips: 6,
+            ..GlobalSignals::default()
+        };
+        // One thrashy epoch: sustained-for-2 rule holds its fire.
+        let edges = mon.observe_global(&thrashy(30));
+        assert!(!edges.iter().any(|e| e.alert().rule == "placement_thrash"));
+        let edges = mon.observe_global(&thrashy(60));
+        assert!(edges.iter().any(|e| e.alert().rule == "placement_thrash"));
+    }
+
+    #[test]
+    fn global_sample_reaches_telemetry() {
+        let (handle, sink) = TelemetryHandle::memory();
+        let mut mon = HealthMonitor::new(no_warmup(), handle);
+        mon.observe_global(&GlobalSignals {
+            t_secs: 30,
+            delivered_reports: 4,
+            expected_reports: 4,
+            moved_mbps: 123.0,
+            ..GlobalSignals::default()
+        });
+        let events = sink.events();
+        let sample = events
+            .iter()
+            .find(|e| e.name == "health.sample")
+            .expect("global health sample emitted");
+        assert_eq!(sample.pop, GLOBAL_POP);
+        assert!(matches!(
+            sample.field("global_moved_mbps"),
+            Some(ef_telemetry::FieldValue::F64(v)) if *v == 123.0
+        ));
     }
 
     #[test]

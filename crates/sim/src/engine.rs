@@ -1,6 +1,8 @@
 //! The simulation engine: builds every PoP runtime from a scenario and
 //! steps them through controller epochs, in parallel across PoPs.
 
+use std::collections::{BTreeSet, VecDeque};
+
 use ef_bgp::route::EgressId;
 use ef_net_types::Prefix;
 use ef_perf::rtt::{PathPerfModel, PerfConfig};
@@ -30,8 +32,21 @@ pub struct SimEngine {
     /// read-only: it samples end-of-epoch signals after the PoPs step and
     /// never feeds back into control decisions.
     health: Option<ef_health::HealthMonitor>,
+    /// Chaos events targeting the global tier (the per-PoP events live in
+    /// each PoP's runtime). Interpreted here because only the engine sees
+    /// the report path between the PoPs and the tier.
+    global_events: Vec<ef_chaos::FaultEvent>,
+    /// Indices into `global_events` active last epoch, for start/end
+    /// telemetry edges.
+    active_global_faults: BTreeSet<usize>,
+    /// Recent true reports per PoP (newest at the back, capped), the
+    /// replay source for report-staleness faults.
+    report_history: Vec<VecDeque<PopReport>>,
     t_secs: u64,
 }
+
+/// Report-staleness replay depth kept per PoP.
+const REPORT_HISTORY_CAP: usize = 64;
 
 impl SimEngine {
     /// Builds the engine: generates the deployment, brings up every PoP's
@@ -67,10 +82,24 @@ impl SimEngine {
             seed: cfg.demand_seed ^ 0xE0E0,
             ..Default::default()
         });
-        let global = cfg
-            .global
-            .clone()
-            .map(|g| GlobalController::new(&deployment, g, cfg.telemetry.clone()));
+        let global = cfg.global.clone().map(|g| {
+            match GlobalController::new(&deployment, g, cfg.telemetry.clone()) {
+                Ok(ctl) => ctl,
+                Err(e) => panic!("invalid global config: {e}"),
+            }
+        });
+        let global_events: Vec<ef_chaos::FaultEvent> = cfg
+            .chaos
+            .as_ref()
+            .map(|s| {
+                s.events
+                    .iter()
+                    .filter(|e| e.target.pop().is_none())
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default();
+        let report_history = vec![VecDeque::new(); deployment.pops.len()];
         let health = cfg
             .health
             .clone()
@@ -89,6 +118,9 @@ impl SimEngine {
             perf_model,
             global,
             health,
+            global_events,
+            active_global_faults: BTreeSet::new(),
+            report_history,
             t_secs: 0,
         }
     }
@@ -162,6 +194,9 @@ impl SimEngine {
                         .collect()
                 })
                 .expect("sim worker panicked");
+            // True end-of-epoch reports, stamped with the epoch they
+            // describe. Faults below corrupt the *delivery*, never these.
+            let stamp = t / self.cfg.epoch_secs;
             let mut reports = vec![PopReport::default(); self.deployment.pops.len()];
             for (pop_id, outcome) in outcomes {
                 if let Some(report) = reports.get_mut(pop_id.0 as usize) {
@@ -170,10 +205,105 @@ impl SimEngine {
                         dropped_mbps: outcome.dropped_mbps,
                         offered_mbps: outcome.offered_mbps,
                         headroom_mbps: outcome.headroom_mbps,
+                        epoch: stamp,
                     };
                 }
             }
-            global.observe(&reports);
+            for (history, report) in self.report_history.iter_mut().zip(&reports) {
+                if history.len() >= REPORT_HISTORY_CAP {
+                    history.pop_front();
+                }
+                history.push_back(*report);
+            }
+            // Fault edges at the sentinel PoP: diff the active set against
+            // last epoch's, in event-index order for determinism.
+            let now_active: BTreeSet<usize> = self
+                .global_events
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.active_at(t))
+                .map(|(i, _)| i)
+                .collect();
+            for &i in now_active.difference(&self.active_global_faults) {
+                if let Some(e) = self.global_events.get(i) {
+                    self.cfg.telemetry.emit(
+                        ef_health::GLOBAL_POP,
+                        t * 1000,
+                        "fault.start",
+                        &[
+                            ("kind", e.kind.label().into()),
+                            ("target", format!("{:?}", e.target).into()),
+                        ],
+                    );
+                    self.cfg.telemetry.counter("faults.started", 1);
+                }
+            }
+            for &i in self.active_global_faults.difference(&now_active) {
+                if let Some(e) = self.global_events.get(i) {
+                    self.cfg.telemetry.emit(
+                        ef_health::GLOBAL_POP,
+                        t * 1000,
+                        "fault.end",
+                        &[
+                            ("kind", e.kind.label().into()),
+                            ("target", format!("{:?}", e.target).into()),
+                        ],
+                    );
+                }
+            }
+            self.active_global_faults = now_active;
+            // What the tier actually receives this epoch. Passes are
+            // kind-ordered (staleness replay, then lie, then partition) so
+            // overlapping faults on one PoP compose deterministically —
+            // and partition always wins.
+            let mut delivered: Vec<Option<PopReport>> = reports.iter().map(|r| Some(*r)).collect();
+            let mut crashed = false;
+            for e in self.global_events.iter().filter(|e| e.active_at(t)) {
+                if let ef_chaos::FaultKind::ReportStaleness { epochs } = e.kind {
+                    let Some(j) = e.target.global_pop() else {
+                        continue;
+                    };
+                    let Some(history) = self.report_history.get(j) else {
+                        continue;
+                    };
+                    let back = (epochs as usize).min(history.len().saturating_sub(1));
+                    let idx = history.len() - 1 - back;
+                    if let (Some(old), Some(slot)) = (history.get(idx), delivered.get_mut(j)) {
+                        // Replayed verbatim, old stamp included: the tier's
+                        // freshness guard sees the age, not a fresh lie.
+                        *slot = Some(*old);
+                    }
+                }
+            }
+            for e in self.global_events.iter().filter(|e| e.active_at(t)) {
+                if let ef_chaos::FaultKind::HeadroomLie { factor } = e.kind {
+                    let Some(j) = e.target.global_pop() else {
+                        continue;
+                    };
+                    if let Some(Some(report)) = delivered.get_mut(j) {
+                        report.headroom_mbps *= factor;
+                    }
+                }
+            }
+            for e in self.global_events.iter().filter(|e| e.active_at(t)) {
+                match e.kind {
+                    ef_chaos::FaultKind::ReportPartition => {
+                        let Some(j) = e.target.global_pop() else {
+                            continue;
+                        };
+                        if let Some(slot) = delivered.get_mut(j) {
+                            *slot = None;
+                        }
+                    }
+                    ef_chaos::FaultKind::GlobalControllerCrash => crashed = true,
+                    _ => {}
+                }
+            }
+            if crashed {
+                global.crash_epoch();
+            } else {
+                global.observe(&delivered);
+            }
         } else {
             crossbeam::thread::scope(|s| {
                 for (pop, store) in self.pops.iter_mut().zip(store_opts) {
@@ -197,6 +327,22 @@ impl SimEngine {
                 if let Some(signals) = pop.health_signals() {
                     monitor.observe_epoch_presampled(signals, wall_us);
                 }
+            }
+            // The global tier reports under its sentinel PoP, after the
+            // real PoPs so the stream order is deterministic.
+            if let Some(global) = self.global.as_ref() {
+                let snap = global.guard_snapshot();
+                monitor.observe_global(&ef_health::GlobalSignals {
+                    t_secs: t,
+                    delivered_reports: snap.delivered_reports as u64,
+                    expected_reports: snap.expected_reports as u64,
+                    stale_pops: snap.stale_pops as u64,
+                    max_report_age: snap.max_report_age,
+                    fail_static: snap.fail_static,
+                    flips: snap.flips,
+                    suppressed_restores: snap.suppressed_restores,
+                    moved_mbps: global.moved_last_mbps(),
+                });
             }
         }
         self.t_secs += self.cfg.epoch_secs;
@@ -316,6 +462,115 @@ mod tests {
         let mut engine = small_engine(true);
         engine.run();
         assert_eq!(engine.now_secs(), 600);
+    }
+
+    fn global_fault_engine(events: Vec<ef_chaos::FaultEvent>) -> SimEngine {
+        scenario()
+            .small_topology(7)
+            .duration_secs(10 * 60)
+            .epoch_secs(60)
+            .global(ef_global::GlobalConfig::default())
+            .chaos(ef_chaos::FaultSchedule::new(events).expect("valid schedule"))
+            .engine()
+    }
+
+    fn guard_snapshot(engine: &SimEngine) -> ef_global::GuardSnapshot {
+        engine
+            .global
+            .as_ref()
+            .expect("global tier enabled")
+            .guard_snapshot()
+    }
+
+    #[test]
+    fn report_partition_below_quorum_goes_fail_static() {
+        // 3 of 4 PoPs partitioned: delivered = 1 < quorum(0.5) × 4.
+        let events = (0..3)
+            .map(|j| ef_chaos::FaultEvent {
+                t_start_secs: 120,
+                duration_secs: 240,
+                target: ef_chaos::FaultTarget::Global { pop: Some(j) },
+                kind: ef_chaos::FaultKind::ReportPartition,
+            })
+            .collect();
+        let mut engine = global_fault_engine(events);
+        engine.run_epochs(2);
+        assert!(!guard_snapshot(&engine).fail_static);
+        engine.step(); // t=120: first faulted epoch — guard engages at once.
+        let snap = guard_snapshot(&engine);
+        assert!(snap.fail_static);
+        assert_eq!(snap.delivered_reports, 1);
+        assert_eq!(snap.expected_reports, 4);
+        engine.run_epochs(4); // through fault end (t=360 is clean again)
+        assert!(!guard_snapshot(&engine).fail_static);
+    }
+
+    #[test]
+    fn report_staleness_ages_one_pop_and_flags_it() {
+        let events = vec![ef_chaos::FaultEvent {
+            t_start_secs: 240,
+            duration_secs: 180,
+            target: ef_chaos::FaultTarget::Global { pop: Some(0) },
+            kind: ef_chaos::FaultKind::ReportStaleness { epochs: 3 },
+        }];
+        let mut engine = global_fault_engine(events);
+        engine.run_epochs(4); // clean history to replay from
+        assert_eq!(guard_snapshot(&engine).max_report_age, 0);
+        // The controller keeps its freshest-ever stamp, so the replayed
+        // stream's age ramps by one per epoch until it plateaus at the
+        // replay delay.
+        engine.step(); // t=240: held stamp is now 1 epoch behind
+        let snap = guard_snapshot(&engine);
+        assert_eq!(snap.max_report_age, 1);
+        assert_eq!(snap.stale_pops, 1);
+        assert!(!snap.fail_static, "staleness alone keeps quorum");
+        engine.run_epochs(2); // t=300, 360: age plateaus at the delay
+        let snap = guard_snapshot(&engine);
+        assert_eq!(snap.max_report_age, 3);
+        assert_eq!(snap.stale_pops, 1);
+    }
+
+    #[test]
+    fn controller_crash_freezes_epochs_then_recovers() {
+        let events = vec![ef_chaos::FaultEvent {
+            t_start_secs: 120,
+            duration_secs: 120,
+            target: ef_chaos::FaultTarget::Global { pop: None },
+            kind: ef_chaos::FaultKind::GlobalControllerCrash,
+        }];
+        let mut engine = global_fault_engine(events);
+        engine.run_epochs(2);
+        assert_eq!(guard_snapshot(&engine).frozen_epochs, 0);
+        engine.run_epochs(2); // t=120, 180 crashed
+        let snap = guard_snapshot(&engine);
+        assert!(snap.fail_static);
+        assert_eq!(snap.frozen_epochs, 2);
+        engine.step(); // t=240: tier is back
+        let snap = guard_snapshot(&engine);
+        assert!(!snap.fail_static);
+        assert_eq!(snap.frozen_epochs, 2, "counter is cumulative");
+    }
+
+    #[test]
+    fn headroom_lie_is_clamped_by_plausibility() {
+        // Two runs differing only in how big the lie is: the plausibility
+        // clamp pins both to the same (baseline-bounded) budget.
+        let lie = |factor: f64| {
+            vec![ef_chaos::FaultEvent {
+                t_start_secs: 0,
+                duration_secs: 10 * 60,
+                target: ef_chaos::FaultTarget::Global { pop: Some(0) },
+                kind: ef_chaos::FaultKind::HeadroomLie { factor },
+            }]
+        };
+        let mut a = global_fault_engine(lie(1e3));
+        let mut b = global_fault_engine(lie(1e6));
+        a.run_epochs(4);
+        b.run_epochs(4);
+        let budget_a = a.global.as_ref().expect("global").detour_budgets()[0];
+        let budget_b = b.global.as_ref().expect("global").detour_budgets()[0];
+        assert!(budget_a.is_finite() && budget_a > 0.0);
+        assert_eq!(budget_a, budget_b, "clamp, not the lie, sets the budget");
     }
 
     #[test]

@@ -338,7 +338,7 @@ impl PopRuntime {
                 schedule
                     .events
                     .iter()
-                    .filter(|e| e.target.pop() == pop_id.0 as usize)
+                    .filter(|e| e.target.pop() == Some(pop_id.0 as usize))
                     .cloned()
                     .collect()
             })

@@ -47,7 +47,8 @@ pub use event::{Event, FieldValue, TelemetryRecord};
 pub use explain::{ExplainRecord, ExplainVerdict, RejectReason, RejectedAlternative};
 pub use handle::{PhaseTimer, TelemetryHandle};
 pub use placement::{
-    PlacementRecord, PlacementRejectReason, PlacementTarget, PlacementVerdict, RejectedTarget,
+    PlacementGuard, PlacementRecord, PlacementRejectReason, PlacementTarget, PlacementVerdict,
+    RejectedTarget,
 };
 pub use registry::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use sink::{JsonLinesSink, MemorySink, Sink};

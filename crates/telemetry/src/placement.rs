@@ -30,6 +30,13 @@ pub enum PlacementRejectReason {
     /// The PoP is itself shifted away from (a drain source cannot also be
     /// a target).
     SourceShifted,
+    /// The PoP's last report is too old to trust: the freshness guard
+    /// decayed its usable budget to zero rather than steer users toward a
+    /// headroom number that may be fiction.
+    StaleReport {
+        /// Age of the PoP's last report, controller epochs.
+        age_epochs: u64,
+    },
 }
 
 impl PlacementRejectReason {
@@ -39,6 +46,42 @@ impl PlacementRejectReason {
             PlacementRejectReason::NoFootprint => "no footprint",
             PlacementRejectReason::NoHeadroom { .. } => "no headroom",
             PlacementRejectReason::SourceShifted => "source shifted",
+            PlacementRejectReason::StaleReport { .. } => "stale report",
+        }
+    }
+}
+
+/// A degradation guard that shaped (suppressed or bounded) a placement.
+/// Carried on [`PlacementRecord`] so `efctl explain --global` can answer
+/// *why* a move was held back, not just that it was.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlacementGuard {
+    /// A majority of PoP reports were missing this epoch: the tier froze
+    /// every away-fraction and initiated no new moves (fail-static).
+    FailStatic,
+    /// The global controller itself was down; placements applied frozen.
+    ControllerFrozen,
+    /// The per-epoch global blast-radius cap bound total moved demand.
+    BlastRadiusCapped {
+        /// The cap in force this epoch, Mbps.
+        cap_mbps: f64,
+    },
+    /// A restore (traffic returning to this source) was suppressed by the
+    /// move-hysteresis hold-down window.
+    HoldDown {
+        /// Epochs left before the hold-down expires.
+        epochs_left: u64,
+    },
+}
+
+impl PlacementGuard {
+    /// Short label for rendering and metrics tagging.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementGuard::FailStatic => "fail_static",
+            PlacementGuard::ControllerFrozen => "controller_frozen",
+            PlacementGuard::BlastRadiusCapped { .. } => "blast_radius_capped",
+            PlacementGuard::HoldDown { .. } => "hold_down",
         }
     }
 }
@@ -107,6 +150,11 @@ pub struct PlacementRecord {
     pub rejected: Vec<RejectedTarget>,
     /// What ultimately happened.
     pub verdict: PlacementVerdict,
+    /// Degradation guards that shaped this placement, in evaluation order.
+    /// Empty on a fully unguarded epoch; defaults to empty when parsing
+    /// JSON written before the guard layer existed.
+    #[serde(default)]
+    pub guards: Vec<PlacementGuard>,
 }
 
 impl PlacementRecord {
@@ -128,6 +176,26 @@ impl PlacementRecord {
             self.moved_mbps
         ));
         out.push_str(&format!(" — {}", self.verdict.label()));
+        for g in &self.guards {
+            match g {
+                PlacementGuard::BlastRadiusCapped { cap_mbps } => {
+                    out.push_str(&format!(
+                        "\n  guard: blast-radius cap bound ({cap_mbps:.1} Mbps/epoch)"
+                    ));
+                }
+                PlacementGuard::HoldDown { epochs_left } => {
+                    out.push_str(&format!(
+                        "\n  guard: restore held down ({epochs_left} epoch(s) left)"
+                    ));
+                }
+                PlacementGuard::FailStatic => {
+                    out.push_str("\n  guard: fail-static (majority of reports missing)");
+                }
+                PlacementGuard::ControllerFrozen => {
+                    out.push_str("\n  guard: controller frozen (tier down)");
+                }
+            }
+        }
         for t in &self.targets {
             out.push_str(&format!("\n  -> pop{}: {:.1} Mbps", t.pop, t.granted_mbps));
         }
@@ -136,6 +204,12 @@ impl PlacementRecord {
                 PlacementRejectReason::NoHeadroom { budget_mbps } => {
                     out.push_str(&format!(
                         "\n  rejected pop{}: no headroom ({budget_mbps:.1} Mbps budget left)",
+                        r.pop
+                    ));
+                }
+                PlacementRejectReason::StaleReport { age_epochs } => {
+                    out.push_str(&format!(
+                        "\n  rejected pop{}: stale report ({age_epochs} epoch(s) old)",
                         r.pop
                     ));
                 }
@@ -181,6 +255,7 @@ mod tests {
                 },
             ],
             verdict: PlacementVerdict::Applied,
+            guards: Vec::new(),
         }
     }
 
@@ -190,6 +265,56 @@ mod tests {
         let json = serde_json::to_string(&rec).unwrap();
         let back: PlacementRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, rec);
+        let guarded = PlacementRecord {
+            guards: vec![
+                PlacementGuard::FailStatic,
+                PlacementGuard::BlastRadiusCapped { cap_mbps: 500.0 },
+                PlacementGuard::HoldDown { epochs_left: 2 },
+            ],
+            ..record()
+        };
+        let json = serde_json::to_string(&guarded).unwrap();
+        let back: PlacementRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, guarded);
+    }
+
+    #[test]
+    fn pre_guard_records_still_parse() {
+        // JSON written before the guard layer existed has no `guards` key.
+        let json = serde_json::to_string(&record()).unwrap();
+        let stripped = json
+            .replace(",\"guards\":[]", "")
+            .replace("\"guards\":[],", "");
+        assert!(!stripped.contains("guards"));
+        let back: PlacementRecord = serde_json::from_str(&stripped).unwrap();
+        assert!(back.guards.is_empty());
+        assert_eq!(back, record());
+    }
+
+    #[test]
+    fn guard_render_names_the_suppression() {
+        let guarded = PlacementRecord {
+            guards: vec![
+                PlacementGuard::FailStatic,
+                PlacementGuard::ControllerFrozen,
+                PlacementGuard::BlastRadiusCapped { cap_mbps: 512.5 },
+                PlacementGuard::HoldDown { epochs_left: 3 },
+            ],
+            rejected: vec![RejectedTarget {
+                pop: 5,
+                reason: PlacementRejectReason::StaleReport { age_epochs: 4 },
+            }],
+            ..record()
+        };
+        let text = guarded.render();
+        assert!(text.contains("guard: fail-static"));
+        assert!(text.contains("guard: controller frozen"));
+        assert!(text.contains("blast-radius cap bound (512.5 Mbps/epoch)"));
+        assert!(text.contains("restore held down (3 epoch(s) left)"));
+        assert!(text.contains("rejected pop5: stale report (4 epoch(s) old)"));
+        let labels: std::collections::HashSet<&str> =
+            guarded.guards.iter().map(|g| g.label()).collect();
+        assert_eq!(labels.len(), guarded.guards.len());
     }
 
     #[test]

@@ -138,6 +138,105 @@ fn global_tier_runs_are_byte_identical() {
     }
 }
 
+/// A deterministic hand-written schedule hitting every global fault kind
+/// inside the crowd window: stale replays, a lie, a partition, and a
+/// controller crash all while placements are in flight.
+fn global_chaos() -> ef_chaos::FaultSchedule {
+    ef_chaos::FaultSchedule::new(vec![
+        ef_chaos::FaultEvent {
+            t_start_secs: 300,
+            duration_secs: 180,
+            target: ef_chaos::FaultTarget::Global { pop: Some(0) },
+            kind: ef_chaos::FaultKind::ReportStaleness { epochs: 3 },
+        },
+        ef_chaos::FaultEvent {
+            t_start_secs: 300,
+            duration_secs: 240,
+            target: ef_chaos::FaultTarget::Global { pop: Some(1) },
+            kind: ef_chaos::FaultKind::HeadroomLie { factor: 20.0 },
+        },
+        ef_chaos::FaultEvent {
+            t_start_secs: 420,
+            duration_secs: 120,
+            target: ef_chaos::FaultTarget::Global { pop: Some(2) },
+            kind: ef_chaos::FaultKind::ReportPartition,
+        },
+        ef_chaos::FaultEvent {
+            t_start_secs: 600,
+            duration_secs: 120,
+            target: ef_chaos::FaultTarget::Global { pop: None },
+            kind: ef_chaos::FaultKind::GlobalControllerCrash,
+        },
+    ])
+    .expect("valid global schedule")
+}
+
+#[test]
+fn global_chaos_runs_are_byte_identical() {
+    // The fault interpretation path (report history replay, partition
+    // masking, crash epochs) and the guard state it drives must be as
+    // reproducible as the sunny-day tier, for both steering backends.
+    for backend in [
+        ef_global::BackendKind::Dns { ttl_epochs: 2 },
+        ef_global::BackendKind::Anycast {
+            convergence_epochs: 2,
+        },
+    ] {
+        let cfg = || {
+            short(11)
+                .global(global_cfg(backend))
+                .chaos(global_chaos())
+                .build()
+        };
+        let a = fingerprint(cfg());
+        let b = fingerprint(cfg());
+        assert_eq!(a, b, "global-chaos runs diverged ({backend:?})");
+    }
+}
+
+#[test]
+fn global_chaos_telemetry_invariance() {
+    // Guard provenance (placement records, fault edges at the sentinel
+    // PoP) is emitted only when a sink listens; the emission must not
+    // perturb what the guards decided.
+    let dns = ef_global::BackendKind::Dns { ttl_epochs: 2 };
+    let plain = fingerprint(
+        short(11)
+            .global(global_cfg(dns))
+            .chaos(global_chaos())
+            .build(),
+    );
+    let (handle, sink) = ef_telemetry::TelemetryHandle::memory();
+    let observed = fingerprint(
+        short(11)
+            .global(global_cfg(dns))
+            .chaos(global_chaos())
+            .telemetry(handle)
+            .build(),
+    );
+    assert_eq!(
+        plain, observed,
+        "telemetry sink changed results under global chaos"
+    );
+    let globals: Vec<_> = sink
+        .events()
+        .iter()
+        .filter(|e| e.pop == ef_health::GLOBAL_POP && e.name == "fault.start")
+        .map(|e| e.str_field("kind").unwrap_or_default().to_string())
+        .collect();
+    for kind in [
+        "report_staleness",
+        "headroom_lie",
+        "report_partition",
+        "global_controller_crash",
+    ] {
+        assert!(
+            globals.iter().any(|k| k == kind),
+            "missing fault.start edge for {kind}, got {globals:?}"
+        );
+    }
+}
+
 #[test]
 fn global_tier_telemetry_invariance() {
     // Placement provenance is emitted only when a sink is attached; the

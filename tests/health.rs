@@ -79,6 +79,43 @@ fn health_telemetry_emission_is_read_only_too() {
 }
 
 #[test]
+fn global_fault_raises_global_alerts_under_the_sentinel_pop() {
+    // 3 of the small world's 4 PoPs stop reporting: the tier must go
+    // fail-static and the health tier must say so — keyed to the global
+    // sentinel, not to any real PoP.
+    let events: Vec<ef_chaos::FaultEvent> = (0..3)
+        .map(|j| ef_chaos::FaultEvent {
+            t_start_secs: 300,
+            duration_secs: 300,
+            target: ef_chaos::FaultTarget::Global { pop: Some(j) },
+            kind: ef_chaos::FaultKind::ReportPartition,
+        })
+        .collect();
+    let mut engine = short(11)
+        .global(ef_global::GlobalConfig::default())
+        .chaos(ef_chaos::FaultSchedule::new(events).expect("valid schedule"))
+        .health(HealthConfig::default())
+        .engine();
+    engine.run();
+    let monitor = engine.health_monitor().expect("health tier enabled");
+    let alerts = monitor.all_alerts();
+    let global_alerts: Vec<_> = alerts
+        .iter()
+        .filter(|a| a.pop == ef_health::GLOBAL_POP)
+        .collect();
+    assert!(
+        global_alerts.iter().any(|a| a.rule == "global_fail_static"),
+        "partition below quorum must raise global_fail_static, got {global_alerts:?}"
+    );
+    assert!(
+        global_alerts
+            .iter()
+            .any(|a| a.rule == "global_reports_stale"),
+        "dark PoPs age out and must raise global_reports_stale, got {global_alerts:?}"
+    );
+}
+
+#[test]
 fn chaotic_run_raises_alerts_and_calm_run_does_not() {
     let mut calm = short(11).health(HealthConfig::default()).engine();
     calm.run();
