@@ -16,23 +16,23 @@ use edge_fabric::projection::project;
 use edge_fabric::state::{InterfaceInfo, InterfaceMap};
 use ef_bgp::attrs::{AsPath, PathAttributes};
 use ef_bgp::bmp::{BmpMessage, BmpPeerHeader};
+use ef_bgp::egress::EgressSpec;
 use ef_bgp::message::UpdateMessage;
-use ef_bgp::peer::{PeerId, PeerKind};
-use ef_bgp::route::EgressId;
-use ef_net_types::{Asn, Prefix};
+use ef_bgp::peer::PeerId;
+use ef_net_types::Prefix;
 
 /// Builds a PoP-scale world: `n_prefixes` prefixes, each with a private
 /// route (half of them on a tight shared PNI) plus two transit routes.
 fn world(n_prefixes: u32) -> (RouteCollector, InterfaceMap, HashMap<Prefix, f64>) {
-    let peers = [
-        (1u64, 65001u32, PeerKind::PrivatePeer, 1u32),
-        (2, 65010, PeerKind::Transit, 2),
-        (3, 65011, PeerKind::Transit, 3),
+    let specs = [
+        EgressSpec::pni(1, 65001),
+        EgressSpec::transit(2, 65010),
+        EgressSpec::transit(3, 65011),
     ];
     let mut collector = RouteCollector::new(
-        peers
+        specs
             .iter()
-            .map(|(p, _, _, e)| (PeerId(*p), EgressId(*e)))
+            .map(|s| (PeerId(s.egress.0 as u64), s.egress))
             .collect(),
     );
     let mut traffic = HashMap::new();
@@ -41,17 +41,18 @@ fn world(n_prefixes: u32) -> (RouteCollector, InterfaceMap, HashMap<Prefix, f64>
             addr: 0x1400_0000 + i * 256,
             len: 24,
         };
-        for (peer, asn, kind, _) in peers {
+        for spec in specs {
+            let kind = spec.kind();
             let mut attrs = PathAttributes {
                 local_pref: Some(kind.default_local_pref()),
-                as_path: AsPath::sequence([Asn(asn)]),
+                as_path: AsPath::sequence([spec.asn]),
                 ..Default::default()
             };
             attrs.add_community(kind.tag_community());
             collector.ingest([BmpMessage::RouteMonitoring {
                 peer: BmpPeerHeader {
-                    peer: PeerId(peer),
-                    peer_asn: Asn(asn),
+                    peer: PeerId(spec.egress.0 as u64),
+                    peer_asn: spec.asn,
                     peer_bgp_id: "10.0.0.1".parse().unwrap(),
                     timestamp_ms: 0,
                 },
@@ -62,29 +63,11 @@ fn world(n_prefixes: u32) -> (RouteCollector, InterfaceMap, HashMap<Prefix, f64>
     }
     // PNI capacity set to ~70% of total preferred demand: real overload.
     let total: f64 = traffic.values().sum();
-    let interfaces = HashMap::from([
-        (
-            EgressId(1),
-            InterfaceInfo {
-                capacity_mbps: total * 0.7,
-                kind: PeerKind::PrivatePeer,
-            },
-        ),
-        (
-            EgressId(2),
-            InterfaceInfo {
-                capacity_mbps: total * 2.0,
-                kind: PeerKind::Transit,
-            },
-        ),
-        (
-            EgressId(3),
-            InterfaceInfo {
-                capacity_mbps: total * 2.0,
-                kind: PeerKind::Transit,
-            },
-        ),
-    ]);
+    let interfaces = specs
+        .iter()
+        .zip([total * 0.7, total * 2.0, total * 2.0])
+        .map(|(s, cap)| (s.egress, InterfaceInfo::with_policy(cap, s.policy())))
+        .collect();
     (collector, interfaces, traffic)
 }
 

@@ -1,0 +1,401 @@
+//! E21: cost-aware egress under 95/5 billing — a compressed billing month
+//! with burstable transit, a mid-month de-peering event, and an IXP
+//! shared-fabric squeeze.
+//!
+//! Six arms over one shared world, all billed by the [`ef_topology`]
+//! 95/5 meter with a non-uniform transit price ladder (the first-ranked
+//! incumbent provider is the expensive one — exactly the legacy-preference
+//! situation cost-aware steering exists to fix):
+//!
+//! - `sunny/blind` vs `sunny/aware`: ordinary diurnal month. The headline
+//!   assertion: cost-aware EF cuts transit spend ≥ 15 % at an
+//!   equal-or-better drop rate.
+//! - `depeer/*`: a flagship PNI de-peers mid-month (session down for the
+//!   rest of the month), forcing its traffic onto paid paths. Both arms
+//!   pay more transit than their sunny selves; the cost-aware arm pays
+//!   less of the premium.
+//! - `ixp/*`: the busiest IXP fabric loses most of its capacity for two
+//!   days — the shared-fabric risk of route-server peering — and EF buys
+//!   its way out through transit. Drops stay bounded.
+//!
+//! Burstable transit is checked directly: with 95/5 billing, some transit
+//! interface's peak 5-minute rate must exceed its billable rate (the top
+//! 5 % of samples are free). The two headline arms run twice and must be
+//! byte-identical; CI reruns the whole binary and diffs `results/`.
+
+use ef_bench::{telemetry_from_env, write_json};
+use ef_bgp::peer::PeerKind;
+use ef_bgp::route::EgressId;
+use ef_chaos::{FaultEvent, FaultKind, FaultSchedule, FaultTarget};
+use ef_sim::{scenario, MetricsStore, ScenarioBuilder, SimConfig};
+use ef_topology::{generate, CostModel, Deployment};
+use serde::Serialize;
+
+const SEED: u64 = 7;
+/// One epoch per 5-minute billing window: every epoch closes one sample.
+const EPOCH_SECS: u64 = 300;
+/// The compressed billing month: ten diurnal days of 5-minute windows
+/// stand in for thirty (2 880 samples; the 5 % burst allowance is 144
+/// windows, exactly 12 hours). The 95/5 percentile of a periodic diurnal
+/// load is insensitive to how many periods it sees.
+const MONTH_SECS: u64 = 10 * 86_400;
+/// De-peering lands mid-month and lasts to the end of it.
+const DEPEER_START: u64 = MONTH_SECS / 2;
+/// The IXP fabric squeeze: two days mid-month.
+const IXP_SQUEEZE: (u64, u64) = (MONTH_SECS / 2, 2 * 86_400);
+/// Fraction of the IXP fabric capacity lost in the squeeze.
+const IXP_LOSS: f64 = 0.6;
+/// The non-uniform transit ladder, priced against provider rank: the
+/// incumbent first-ranked provider is the expensive one.
+const LADDER: [f64; 3] = [3.0, 1.5, 0.5];
+/// Headline requirement: cost-aware EF saves at least this share of
+/// transit spend.
+const MIN_SAVINGS: f64 = 0.15;
+
+fn base(aware: bool) -> SimConfig {
+    scenario()
+        .small_topology(SEED)
+        .duration_secs(MONTH_SECS)
+        .epoch_secs(EPOCH_SECS)
+        .cost_model(CostModel {
+            transit_usd_per_mbps: LADDER.to_vec(),
+            ..Default::default()
+        })
+        .billing_window(EPOCH_SECS)
+        .cost_aware(aware)
+        .telemetry(telemetry_from_env())
+        .build()
+}
+
+fn run_arm(cfg: SimConfig, deployment: &Deployment, flag: &[EgressId]) -> MetricsStore {
+    let mut engine = ScenarioBuilder::from_config(cfg).engine_with(deployment.clone());
+    for egress in flag {
+        engine.flag_interface(*egress);
+    }
+    engine.run();
+    engine.take_metrics()
+}
+
+/// Offered and dropped traffic, Mbps·epochs, summed over the run.
+fn totals(m: &MetricsStore) -> (f64, f64) {
+    m.pop_epochs.iter().fold((0.0, 0.0), |(o, d), r| {
+        (o + r.offered_mbps, d + r.dropped_mbps)
+    })
+}
+
+#[derive(Serialize)]
+struct ArmRow {
+    arm: &'static str,
+    transit_usd: f64,
+    total_usd: f64,
+    offered_mbps_epochs: f64,
+    dropped_mbps_epochs: f64,
+    drop_frac: f64,
+}
+
+fn arm_row(arm: &'static str, m: &MetricsStore) -> ArmRow {
+    let (offered, dropped) = totals(m);
+    ArmRow {
+        arm,
+        transit_usd: m.transit_monthly_usd(),
+        total_usd: m.total_monthly_usd(),
+        offered_mbps_epochs: offered,
+        dropped_mbps_epochs: dropped,
+        drop_frac: dropped / offered,
+    }
+}
+
+#[derive(Serialize)]
+struct CostBilling {
+    seed: u64,
+    epoch_secs: u64,
+    month_secs: u64,
+    transit_ladder: Vec<f64>,
+    savings_frac: f64,
+    depeer_pop: u16,
+    depeer_egress: u32,
+    depeer_premium_blind_usd: f64,
+    depeer_premium_aware_usd: f64,
+    ixp_pop: u16,
+    ixp_egress: u32,
+    burst_egress: u32,
+    burst_peak_mbps: f64,
+    burst_billable_mbps: f64,
+    arms: Vec<ArmRow>,
+}
+
+fn main() {
+    let blind_cfg = base(false);
+    let aware_cfg = base(true);
+    let deployment = generate(&blind_cfg.gen);
+
+    // Flag every transit interface at PoP 0 for full series — the
+    // burstable-billing check below compares peak rate to billed rate.
+    let flagged: Vec<EgressId> = deployment.pops[0]
+        .interfaces
+        .iter()
+        .filter(|i| i.kind() == PeerKind::Transit)
+        .map(|i| i.id)
+        .collect();
+
+    eprintln!("[cost-billing] sunny arms (cost-blind and cost-aware, twice each)...");
+    let sunny_blind = run_arm(blind_cfg.clone(), &deployment, &flagged);
+    let sunny_aware = run_arm(aware_cfg.clone(), &deployment, &flagged);
+    let sunny_blind_again = run_arm(blind_cfg.clone(), &deployment, &flagged);
+    let sunny_aware_again = run_arm(aware_cfg.clone(), &deployment, &flagged);
+
+    // --- byte-identical reruns -------------------------------------------
+    let fingerprint = |m: &MetricsStore| {
+        serde_json::to_string(&(&m.pop_epochs, &m.episodes, &m.billing)).expect("serializes")
+    };
+    assert_eq!(
+        fingerprint(&sunny_blind),
+        fingerprint(&sunny_blind_again),
+        "cost-blind arm reproduces byte-identically"
+    );
+    assert_eq!(
+        fingerprint(&sunny_aware),
+        fingerprint(&sunny_aware_again),
+        "cost-aware arm reproduces byte-identically"
+    );
+
+    // --- headline: ≥15 % transit savings at equal-or-better drops --------
+    let blind_transit = sunny_blind.transit_monthly_usd();
+    let aware_transit = sunny_aware.transit_monthly_usd();
+    let savings = 1.0 - aware_transit / blind_transit;
+    eprintln!(
+        "[cost-billing] transit spend: blind ${blind_transit:.0} vs aware \
+         ${aware_transit:.0} ({:.1}% saved)",
+        savings * 100.0
+    );
+    assert!(
+        savings >= MIN_SAVINGS,
+        "cost-aware EF saves {:.1}% of transit spend, need >= {:.0}%",
+        savings * 100.0,
+        MIN_SAVINGS * 100.0
+    );
+    let (blind_offered, blind_dropped) = totals(&sunny_blind);
+    let (_, aware_dropped) = totals(&sunny_aware);
+    assert!(
+        aware_dropped <= blind_dropped + 1e-6,
+        "cost-aware drops no more than cost-blind ({aware_dropped} vs {blind_dropped})"
+    );
+
+    // --- burstable transit: the top 5 % of samples are free --------------
+    // Some flagged transit interface must have burst past its billed rate.
+    let bill_of = |m: &MetricsStore, egress: EgressId| {
+        m.billing
+            .iter()
+            .find(|b| b.egress == egress.0)
+            .expect("flagged interface is billed")
+            .billable_mbps
+    };
+    let (burst_egress, burst_peak, burst_billable) = flagged
+        .iter()
+        .map(|e| {
+            let peak = sunny_blind.series[e]
+                .iter()
+                .map(|(_, load)| *load)
+                .fold(0.0f64, f64::max);
+            (*e, peak, bill_of(&sunny_blind, *e))
+        })
+        .max_by(|a, b| (a.1 - a.2).total_cmp(&(b.1 - b.2)))
+        .expect("PoP 0 has transit interfaces");
+    assert!(
+        burst_peak > burst_billable,
+        "95/5 billing leaves the top bursts free (peak {burst_peak:.1} vs \
+         billed {burst_billable:.1})"
+    );
+
+    // --- de-peering arm: a flagship PNI session dies mid-month ------------
+    let (depeer_pop, depeer_iface) = deployment
+        .pops
+        .iter()
+        .flat_map(|p| p.interfaces.iter().map(move |i| (p, i)))
+        .filter(|(_, i)| i.kind() == PeerKind::PrivatePeer)
+        .max_by(|a, b| a.1.capacity_mbps.total_cmp(&b.1.capacity_mbps))
+        .expect("world has PNIs");
+    let depeer_peer = deployment
+        .pops
+        .iter()
+        .flat_map(|p| p.peers.iter())
+        .find(|c| c.egress == depeer_iface.id)
+        .expect("the PNI has a session");
+    let depeer_schedule = FaultSchedule::new(vec![FaultEvent {
+        t_start_secs: DEPEER_START,
+        duration_secs: MONTH_SECS - DEPEER_START,
+        target: FaultTarget::Peer {
+            pop: depeer_pop.id.0 as usize,
+            peer: depeer_peer.peer.0,
+        },
+        kind: FaultKind::PeerFailure,
+    }])
+    .expect("de-peering schedule is valid");
+    eprintln!(
+        "[cost-billing] de-peering arms: AS{} PNI at {} ({} Mbps) down from mid-month...",
+        depeer_peer.asn.0, depeer_pop.name, depeer_iface.capacity_mbps
+    );
+    let depeer_blind = run_arm(
+        ScenarioBuilder::from_config(blind_cfg.clone())
+            .chaos(depeer_schedule.clone())
+            .build(),
+        &deployment,
+        &flagged,
+    );
+    let depeer_aware = run_arm(
+        ScenarioBuilder::from_config(aware_cfg.clone())
+            .chaos(depeer_schedule)
+            .build(),
+        &deployment,
+        &flagged,
+    );
+
+    // De-peering forces paid detours: both arms pay a transit premium over
+    // their sunny selves, and the cost-aware arm pays less of it.
+    let depeer_premium_blind = depeer_blind.transit_monthly_usd() - blind_transit;
+    let depeer_premium_aware = depeer_aware.transit_monthly_usd() - aware_transit;
+    assert!(
+        depeer_premium_blind > 0.0,
+        "de-peering costs the cost-blind arm real transit money \
+         (premium ${depeer_premium_blind:.0})"
+    );
+    assert!(
+        depeer_premium_aware > 0.0,
+        "de-peering costs the cost-aware arm real transit money \
+         (premium ${depeer_premium_aware:.0})"
+    );
+    assert!(
+        depeer_aware.transit_monthly_usd() < depeer_blind.transit_monthly_usd(),
+        "cost-aware stays cheaper under de-peering"
+    );
+    // Bounded: EF absorbs the de-peering without melting down — the drop
+    // rate stays within a tenth of a percent of the sunny arm's.
+    for (name, depeer, sunny) in [
+        ("blind", &depeer_blind, &sunny_blind),
+        ("aware", &depeer_aware, &sunny_aware),
+    ] {
+        let (o, d) = totals(depeer);
+        let (so, sd) = totals(sunny);
+        assert!(
+            d / o <= sd / so + 1e-3,
+            "de-peering drop rate bounded ({name}: {:.5} vs sunny {:.5})",
+            d / o,
+            sd / so
+        );
+    }
+
+    // --- IXP arm: the shared fabric congests ------------------------------
+    // Target the busiest IXP port (peak utilization in the sunny arm).
+    let (ixp_pop, ixp_iface) = deployment
+        .pops
+        .iter()
+        .flat_map(|p| p.interfaces.iter().map(move |i| (p, i)))
+        .filter(|(_, i)| i.kind() == PeerKind::PublicPeer)
+        .max_by(|a, b| {
+            let util = |e: EgressId| sunny_blind.interfaces[&e].peak_util;
+            util(a.1.id).total_cmp(&util(b.1.id))
+        })
+        .expect("world has IXP ports");
+    let ixp_schedule = FaultSchedule::new(vec![FaultEvent {
+        t_start_secs: IXP_SQUEEZE.0,
+        duration_secs: IXP_SQUEEZE.1,
+        target: FaultTarget::Interface {
+            pop: ixp_pop.id.0 as usize,
+            egress: ixp_iface.id.0,
+        },
+        kind: FaultKind::LinkCapacityLoss { fraction: IXP_LOSS },
+    }])
+    .expect("IXP schedule is valid");
+    eprintln!(
+        "[cost-billing] IXP arms: {} fabric loses {:.0}% for two days...",
+        ixp_pop.name,
+        IXP_LOSS * 100.0
+    );
+    let ixp_blind = run_arm(
+        ScenarioBuilder::from_config(blind_cfg)
+            .chaos(ixp_schedule.clone())
+            .build(),
+        &deployment,
+        &flagged,
+    );
+    let ixp_aware = run_arm(
+        ScenarioBuilder::from_config(aware_cfg)
+            .chaos(ixp_schedule)
+            .build(),
+        &deployment,
+        &flagged,
+    );
+
+    // Bounded: the squeeze is survivable (drop rate within a tenth of a
+    // percent of sunny) and the cost-aware arm stays the cheaper way out.
+    for (name, ixp, sunny) in [
+        ("blind", &ixp_blind, &sunny_blind),
+        ("aware", &ixp_aware, &sunny_aware),
+    ] {
+        let (o, d) = totals(ixp);
+        let (so, sd) = totals(sunny);
+        assert!(
+            d / o <= sd / so + 1e-3,
+            "IXP-squeeze drop rate bounded ({name}: {:.5} vs sunny {:.5})",
+            d / o,
+            sd / so
+        );
+    }
+    assert!(
+        ixp_aware.transit_monthly_usd() < ixp_blind.transit_monthly_usd(),
+        "cost-aware stays cheaper under the IXP squeeze"
+    );
+
+    // --- summary ----------------------------------------------------------
+    let arms = vec![
+        arm_row("sunny/blind", &sunny_blind),
+        arm_row("sunny/aware", &sunny_aware),
+        arm_row("depeer/blind", &depeer_blind),
+        arm_row("depeer/aware", &depeer_aware),
+        arm_row("ixp/blind", &ixp_blind),
+        arm_row("ixp/aware", &ixp_aware),
+    ];
+    println!("E21 cost billing — transit spend and drop rate per arm");
+    println!(
+        "{:>14} {:>14} {:>14} {:>10}",
+        "arm", "transit $", "total $", "drop"
+    );
+    for a in &arms {
+        println!(
+            "{:>14} {:>14.0} {:>14.0} {:>9.4}%",
+            a.arm,
+            a.transit_usd,
+            a.total_usd,
+            a.drop_frac * 100.0
+        );
+    }
+    println!(
+        "\ncost-aware saves {:.1}% of sunny transit spend; de-peering premium \
+         ${:.0} (blind) vs ${:.0} (aware)",
+        savings * 100.0,
+        depeer_premium_blind,
+        depeer_premium_aware
+    );
+    let _ = blind_offered;
+
+    write_json(
+        "exp_cost_billing",
+        &CostBilling {
+            seed: SEED,
+            epoch_secs: EPOCH_SECS,
+            month_secs: MONTH_SECS,
+            transit_ladder: LADDER.to_vec(),
+            savings_frac: savings,
+            depeer_pop: depeer_pop.id.0,
+            depeer_egress: depeer_iface.id.0,
+            depeer_premium_blind_usd: depeer_premium_blind,
+            depeer_premium_aware_usd: depeer_premium_aware,
+            ixp_pop: ixp_pop.id.0,
+            ixp_egress: ixp_iface.id.0,
+            burst_egress: burst_egress.0,
+            burst_peak_mbps: burst_peak,
+            burst_billable_mbps: burst_billable,
+            arms,
+        },
+    );
+}

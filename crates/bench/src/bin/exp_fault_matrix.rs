@@ -108,7 +108,7 @@ fn main() {
         .pops
         .iter()
         .flat_map(|p| p.interfaces.iter())
-        .filter(|i| i.kind != PeerKind::Transit)
+        .filter(|i| i.kind() != PeerKind::Transit)
         .map(|i| i.id)
         .collect();
 

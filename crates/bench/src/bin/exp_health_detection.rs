@@ -131,7 +131,7 @@ fn main() {
         .pops
         .iter()
         .flat_map(|p| p.interfaces.iter())
-        .filter(|i| i.kind != PeerKind::Transit)
+        .filter(|i| i.kind() != PeerKind::Transit)
         .map(|i| i.id)
         .collect();
     let mut reference = ScenarioBuilder::from_config(cfg.clone()).engine_with(deployment.clone());

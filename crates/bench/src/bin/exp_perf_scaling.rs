@@ -83,6 +83,21 @@ struct SweepPoint {
     /// None only in baselines recorded before the health tier existed.
     #[serde(default)]
     health: Option<HealthArm>,
+    /// None only in baselines recorded before the cost model existed.
+    #[serde(default)]
+    cost: Option<CostArm>,
+}
+
+/// The full cost path (95/5 billing meter sampling every epoch plus
+/// cost-aware band scans over a non-uniform price ladder) timed against
+/// the same scenario with billing off and the tiebreak disabled. Same
+/// fastest-rep-of-interleaved-arms estimator as [`HealthArm`].
+#[derive(Serialize, Deserialize)]
+struct CostArm {
+    wall_secs: f64,
+    pop_epochs_per_sec: f64,
+    /// Fractional wall-clock cost vs. the cost-free arm.
+    overhead_frac: f64,
 }
 
 /// One point on the single-PoP prefix-count axis.
@@ -261,6 +276,7 @@ fn run_point(n_pops: usize, n_prefixes: usize, duration_secs: u64) -> SweepPoint
         scratch,
         speedup,
         health: Some(health),
+        cost: None,
     }
 }
 
@@ -290,6 +306,76 @@ fn run_axis_point(n_prefixes: usize) -> PrefixAxisPoint {
         point.build_secs, point.epoch_wall_secs
     );
     point
+}
+
+/// Times the cost path at a sweep point: billing off + tiebreak off
+/// against the 95/5 meter sampling every epoch + cost-aware band scans.
+/// The default ladder is uniform, so the tiebreak provably picks the same
+/// targets (pinned by `uniform_prices_make_cost_aware_a_noop`) — both
+/// arms do byte-identical steering work over one shared world, and the
+/// difference is purely the cost machinery. Interleaved fastest-rep
+/// minima, as in [`run_point`].
+fn measure_cost_overhead(cfg: &SimConfig) -> CostArm {
+    let plain_cfg = ScenarioBuilder::from_config(cfg.clone())
+        .billing(false)
+        .build();
+    let cost_cfg = ScenarioBuilder::from_config(cfg.clone())
+        .billing(true)
+        .cost_aware(true)
+        .build();
+    let world = generate(&cfg.gen);
+    let timed = |cfg: &SimConfig, world: &Deployment| {
+        let mut engine = ScenarioBuilder::from_config(cfg.clone()).engine_with(world.clone());
+        let start = Instant::now();
+        engine.run();
+        start.elapsed().as_secs_f64()
+    };
+    let pop_epochs = cfg.epochs() * cfg.gen.n_pops as u64;
+    let (mut plain_wall, mut cost_wall) = (f64::INFINITY, f64::INFINITY);
+    let mut plain_total = 0.0;
+    let mut rep = 0usize;
+    loop {
+        let (p, c) = if rep.is_multiple_of(2) {
+            let p = timed(&plain_cfg, &world);
+            (p, timed(&cost_cfg, &world))
+        } else {
+            let c = timed(&cost_cfg, &world);
+            (timed(&plain_cfg, &world), c)
+        };
+        plain_wall = plain_wall.min(p);
+        cost_wall = cost_wall.min(c);
+        plain_total += p;
+        rep += 1;
+        eprintln!(
+            "[perf-scaling] cost-path rep {rep}: plain {:.1} ms, cost {:.1} ms",
+            p * 1e3,
+            c * 1e3
+        );
+        if rep >= TIMED_REPS_MIN && (plain_total >= TIMED_TARGET_SECS || rep >= TIMED_REPS_MAX) {
+            break;
+        }
+    }
+    CostArm {
+        wall_secs: cost_wall,
+        pop_epochs_per_sec: pop_epochs as f64 / cost_wall,
+        overhead_frac: cost_wall / plain_wall - 1.0,
+    }
+}
+
+/// Gate: billing + cost-aware allocation must cost under 5% of epoch
+/// throughput at the smoke point (same estimator caveats as the health
+/// gate — only the smoke point's dozens of short reps resolve a
+/// few-percent difference reliably).
+fn assert_cost_cheap(cost: &CostArm) {
+    println!(
+        "cost-path gate: {:.1}% overhead (limit 5%)",
+        cost.overhead_frac * 100.0
+    );
+    assert!(
+        cost.overhead_frac < 0.05,
+        "billing + cost-aware allocation costs {:.1}% of epoch throughput",
+        cost.overhead_frac * 100.0
+    );
 }
 
 /// Gate: per-epoch health sampling must cost under 5% of epoch
@@ -365,7 +451,10 @@ fn main() {
             .and_then(|s| serde_json::from_str(&s).ok());
 
         let (n_pops, n_prefixes) = SWEEP[0];
-        let point = run_point(n_pops, n_prefixes, SMOKE_DURATION_SECS);
+        let mut point = run_point(n_pops, n_prefixes, SMOKE_DURATION_SECS);
+        let cost = measure_cost_overhead(&config(n_pops, n_prefixes, SMOKE_DURATION_SECS));
+        assert_cost_cheap(&cost);
+        point.cost = Some(cost);
         print_table(std::slice::from_ref(&point));
         assert_health_cheap(std::slice::from_ref(&point));
         let report = BenchReport {
@@ -406,10 +495,15 @@ fn main() {
         return;
     }
 
-    let points: Vec<SweepPoint> = SWEEP
+    let mut points: Vec<SweepPoint> = SWEEP
         .iter()
         .map(|&(n_pops, n_prefixes)| run_point(n_pops, n_prefixes, DURATION_SECS))
         .collect();
+    // Cost-path overhead is measured (and gated) at the smoke-size point
+    // only; the larger points' few multi-second reps cannot resolve it.
+    let cost = measure_cost_overhead(&config(SWEEP[0].0, SWEEP[0].1, DURATION_SECS));
+    assert_cost_cheap(&cost);
+    points[0].cost = Some(cost);
     print_table(&points);
     assert_health_cheap(&points);
     let largest = points.last().expect("sweep is non-empty");

@@ -134,7 +134,7 @@ fn main() {
     let egress = deployment.pops[0]
         .interfaces
         .iter()
-        .filter(|i| i.kind != PeerKind::Transit)
+        .filter(|i| i.kind() != PeerKind::Transit)
         .max_by(|a, b| {
             let peak = |id| {
                 reference.series[&id]

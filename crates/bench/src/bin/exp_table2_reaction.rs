@@ -42,7 +42,7 @@ fn main() {
         let Some(pni) = pop
             .interfaces
             .iter()
-            .find(|i| i.kind == ef_bgp::peer::PeerKind::PrivatePeer)
+            .find(|i| i.kind() == ef_bgp::peer::PeerKind::PrivatePeer)
         else {
             continue; // small PoP without PNI; skip this seed
         };

@@ -22,6 +22,9 @@
 //! * [`peer`] — peer identity and the four interconnect kinds the paper
 //!   distinguishes (transit / private peering / public peering / route
 //!   server), plus the controller pseudo-peer.
+//! * [`egress`] — typed per-egress peering policy ([`PeeringClass`]):
+//!   settlement-free / PNI / transit / IXP route-server economics, from
+//!   which the routing kind (and its `LOCAL_PREF` band) is derived.
 //! * [`route`] — a received route bound to its source peer and egress.
 //! * [`policy`] — import/export policy engine (match → actions), with the
 //!   paper's default tiering policy as a constructor.
@@ -74,6 +77,7 @@ pub mod backoff;
 pub mod bmp;
 pub mod capabilities;
 pub mod decision;
+pub mod egress;
 pub mod message;
 pub mod peer;
 pub mod policy;
@@ -86,6 +90,7 @@ pub mod wire;
 pub use attrs::{AsPath, Origin, PathAttributes};
 pub use attrstore::{AttrId, AttrStore, DecisionKey, RouteRec};
 pub use capabilities::Capabilities;
+pub use egress::{EgressPolicy, EgressSpec, PeeringClass};
 pub use message::{
     BgpMessage, NotificationMessage, OpenMessage, RefreshSubtype, RouteRefreshMessage,
     UpdateMessage,

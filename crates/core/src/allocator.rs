@@ -114,6 +114,12 @@ pub fn allocate(
             .unwrap_or(f64::INFINITY);
         load.get(&egress).copied().unwrap_or(0.0) / cap
     };
+    let cost_of = |egress: EgressId| -> f64 {
+        interfaces
+            .get(&egress)
+            .map(|i| i.marginal_usd_per_mbps())
+            .unwrap_or(0.0)
+    };
 
     // Charge performance overrides to their targets first.
     for o in perf_overrides.iter_sorted() {
@@ -133,6 +139,7 @@ pub fn allocate(
             demand_mbps: demand,
             chosen_egress: Some(o.target.0),
             chosen_kind: Some(o.target_kind.label().to_string()),
+            chosen_usd_per_mbps: Some(cost_of(o.target)),
             rejected: Vec::new(),
             verdict: ExplainVerdict::Emitted,
         });
@@ -181,6 +188,7 @@ pub fn allocate(
                     demand_mbps: demand,
                     chosen_egress: Some(o.target.0),
                     chosen_kind: Some(route.source.kind.label().to_string()),
+                    chosen_usd_per_mbps: Some(cost_of(o.target)),
                     rejected: Vec::new(),
                     verdict: ExplainVerdict::Emitted,
                 });
@@ -306,6 +314,7 @@ pub fn allocate(
                 demand_mbps: mbps,
                 chosen_egress: chosen.map(|r| r.egress.0),
                 chosen_kind: chosen.map(|r| r.source.kind.label().to_string()),
+                chosen_usd_per_mbps: chosen.map(|r| cost_of(r.egress)),
                 rejected,
                 verdict,
             };
@@ -335,7 +344,11 @@ pub fn allocate(
                 break;
             }
             // Find the most-preferred feasible alternate, keeping the
-            // rejection trail for provenance.
+            // rejection trail for provenance. With cost-aware steering on,
+            // the scan continues through the winning preference band and
+            // takes its cheapest feasible member — strictly a tiebreak:
+            // it never crosses into a lower band (BGP preference is never
+            // degraded) and never relaxes the capacity check.
             let mut rejected: Vec<RejectedAlternative> = Vec::new();
             let mut target: Option<RouteRec> = None;
             routes.ranked_into(&lookup, &mut ranked_scratch);
@@ -343,11 +356,48 @@ pub fn allocate(
                 .iter()
                 .filter(|r| !r.is_override() && r.egress != *hot)
             {
+                if let Some(t) = target {
+                    // Cost-aware band scan past the first feasible hit.
+                    if r.effective_local_pref() != t.effective_local_pref() {
+                        break;
+                    }
+                    let projected = load.get(&r.egress).copied().unwrap_or(0.0) + mbps;
+                    if projected > limit_of(r.egress) {
+                        continue; // infeasible band member: never a candidate
+                    }
+                    let (rc, tc) = (cost_of(r.egress), cost_of(t.egress));
+                    if rc < tc {
+                        rejected.push(RejectedAlternative {
+                            egress: Some(t.egress.0),
+                            kind: Some(t.source.kind.label().to_string()),
+                            reason: RejectReason::CostlierAlternate {
+                                usd_per_mbps: tc,
+                                chosen_usd_per_mbps: rc,
+                            },
+                        });
+                        target = Some(*r);
+                    } else if rc > tc {
+                        rejected.push(RejectedAlternative {
+                            egress: Some(r.egress.0),
+                            kind: Some(r.source.kind.label().to_string()),
+                            reason: RejectReason::CostlierAlternate {
+                                usd_per_mbps: rc,
+                                chosen_usd_per_mbps: tc,
+                            },
+                        });
+                    }
+                    // Equal cost: the earlier-ranked holder stands, so the
+                    // cost-blind and cost-aware paths pick identically.
+                    continue;
+                }
                 let projected = load.get(&r.egress).copied().unwrap_or(0.0) + mbps;
                 let limit = limit_of(r.egress);
                 if projected <= limit {
                     target = Some(*r);
-                    break;
+                    if !cfg.cost_aware {
+                        break;
+                    }
+                    continue;
                 }
                 rejected.push(RejectedAlternative {
                     egress: Some(r.egress.0),
@@ -415,69 +465,78 @@ mod tests {
     use crate::state::InterfaceInfo;
     use ef_bgp::attrs::{AsPath, PathAttributes};
     use ef_bgp::bmp::{BmpMessage, BmpPeerHeader};
+    use ef_bgp::egress::EgressSpec;
     use ef_bgp::message::UpdateMessage;
     use ef_bgp::peer::{PeerId, PeerKind};
-    use ef_net_types::Asn;
 
     fn p(s: &str) -> Prefix {
         s.parse().unwrap()
     }
 
+    /// Builds a collector over typed egress specs (peer id = egress id, the
+    /// tuple sites' old convention).
+    fn collector(specs: &[EgressSpec]) -> RouteCollector {
+        RouteCollector::new(
+            specs
+                .iter()
+                .map(|s| (PeerId(s.egress.0 as u64), s.egress))
+                .collect(),
+        )
+    }
+
+    /// Announces `prefix` from the spec's peer with the derived kind's
+    /// LOCAL_PREF band and tag community — the typed replacement for the
+    /// old `(peer, asn, kind)` tuple announce helper.
+    fn announce(c: &mut RouteCollector, spec: EgressSpec, prefix: &str) {
+        let kind = spec.kind();
+        let mut attrs = PathAttributes {
+            local_pref: Some(kind.default_local_pref()),
+            as_path: AsPath::sequence([spec.asn]),
+            ..Default::default()
+        };
+        attrs.add_community(kind.tag_community());
+        c.ingest([BmpMessage::RouteMonitoring {
+            peer: BmpPeerHeader {
+                peer: PeerId(spec.egress.0 as u64),
+                peer_asn: spec.asn,
+                peer_bgp_id: "10.0.0.1".parse().unwrap(),
+                timestamp_ms: 0,
+            },
+            update: UpdateMessage::announce(p(prefix), attrs),
+        }]);
+    }
+
+    fn interface_map(entries: &[(EgressSpec, f64)]) -> InterfaceMap {
+        entries
+            .iter()
+            .map(|(spec, cap)| {
+                (
+                    spec.egress,
+                    InterfaceInfo {
+                        capacity_mbps: *cap,
+                        policy: spec.policy(),
+                    },
+                )
+            })
+            .collect()
+    }
+
     /// Builds a collector with a private peer (egress 1), a public peer
     /// (egress 2), and a transit (egress 3), all announcing `prefixes`.
     fn standard_world(prefixes: &[&str]) -> (RouteCollector, InterfaceMap) {
-        let mut c = RouteCollector::new(HashMap::from([
-            (PeerId(1), EgressId(1)),
-            (PeerId(2), EgressId(2)),
-            (PeerId(3), EgressId(3)),
-        ]));
-        let peers = [
-            (1u64, 65001u32, PeerKind::PrivatePeer),
-            (2, 65002, PeerKind::PublicPeer),
-            (3, 65010, PeerKind::Transit),
+        let specs = [
+            EgressSpec::pni(1, 65001),
+            EgressSpec::settlement_free(2, 65002),
+            EgressSpec::transit(3, 65010),
         ];
+        let mut c = collector(&specs);
         for prefix in prefixes {
-            for (peer, asn, kind) in peers {
-                let mut attrs = PathAttributes {
-                    local_pref: Some(kind.default_local_pref()),
-                    as_path: AsPath::sequence([Asn(asn)]),
-                    ..Default::default()
-                };
-                attrs.add_community(kind.tag_community());
-                c.ingest([BmpMessage::RouteMonitoring {
-                    peer: BmpPeerHeader {
-                        peer: PeerId(peer),
-                        peer_asn: Asn(asn),
-                        peer_bgp_id: "10.0.0.1".parse().unwrap(),
-                        timestamp_ms: 0,
-                    },
-                    update: UpdateMessage::announce(p(prefix), attrs),
-                }]);
+            for spec in specs {
+                announce(&mut c, spec, prefix);
             }
         }
-        let interfaces = HashMap::from([
-            (
-                EgressId(1),
-                InterfaceInfo {
-                    capacity_mbps: 100.0,
-                    kind: PeerKind::PrivatePeer,
-                },
-            ),
-            (
-                EgressId(2),
-                InterfaceInfo {
-                    capacity_mbps: 100.0,
-                    kind: PeerKind::PublicPeer,
-                },
-            ),
-            (
-                EgressId(3),
-                InterfaceInfo {
-                    capacity_mbps: 100_000.0,
-                    kind: PeerKind::Transit,
-                },
-            ),
-        ]);
+        let interfaces =
+            interface_map(&[(specs[0], 100.0), (specs[1], 100.0), (specs[2], 100_000.0)]);
         (c, interfaces)
     }
 
@@ -914,64 +973,163 @@ mod tests {
         // Prefix A's only alternate is transit (rank distance large);
         // prefix B has a public alternate (rank distance 1). With the
         // BestAlternativeFirst strategy and both equally sized, B moves.
-        let mut c = RouteCollector::new(HashMap::from([
-            (PeerId(1), EgressId(1)),
-            (PeerId(2), EgressId(2)),
-            (PeerId(3), EgressId(3)),
-        ]));
-        let announce =
-            |c: &mut RouteCollector, peer: u64, asn: u32, kind: PeerKind, prefix: &str| {
-                let mut attrs = PathAttributes {
-                    local_pref: Some(kind.default_local_pref()),
-                    as_path: AsPath::sequence([Asn(asn)]),
-                    ..Default::default()
-                };
-                attrs.add_community(kind.tag_community());
-                c.ingest([BmpMessage::RouteMonitoring {
-                    peer: BmpPeerHeader {
-                        peer: PeerId(peer),
-                        peer_asn: Asn(asn),
-                        peer_bgp_id: "10.0.0.1".parse().unwrap(),
-                        timestamp_ms: 0,
-                    },
-                    update: UpdateMessage::announce(p(prefix), attrs),
-                }]);
-            };
+        let pni = EgressSpec::pni(1, 65001);
+        let public = EgressSpec::settlement_free(2, 65002);
+        let transit = EgressSpec::transit(3, 65010);
+        let mut c = collector(&[pni, public, transit]);
         // Both prefixes on private; only B has the public alternate.
-        announce(&mut c, 1, 65001, PeerKind::PrivatePeer, "10.0.0.0/24"); // A
-        announce(&mut c, 3, 65010, PeerKind::Transit, "10.0.0.0/24");
-        announce(&mut c, 1, 65001, PeerKind::PrivatePeer, "11.0.0.0/24"); // B
-        announce(&mut c, 2, 65002, PeerKind::PublicPeer, "11.0.0.0/24");
-        announce(&mut c, 3, 65010, PeerKind::Transit, "11.0.0.0/24");
+        announce(&mut c, pni, "10.0.0.0/24"); // A
+        announce(&mut c, transit, "10.0.0.0/24");
+        announce(&mut c, pni, "11.0.0.0/24"); // B
+        announce(&mut c, public, "11.0.0.0/24");
+        announce(&mut c, transit, "11.0.0.0/24");
 
-        let interfaces = HashMap::from([
-            (
-                EgressId(1),
-                InterfaceInfo {
-                    capacity_mbps: 100.0,
-                    kind: PeerKind::PrivatePeer,
-                },
-            ),
-            (
-                EgressId(2),
-                InterfaceInfo {
-                    capacity_mbps: 1000.0,
-                    kind: PeerKind::PublicPeer,
-                },
-            ),
-            (
-                EgressId(3),
-                InterfaceInfo {
-                    capacity_mbps: 100_000.0,
-                    kind: PeerKind::Transit,
-                },
-            ),
-        ]);
+        let interfaces = interface_map(&[(pni, 100.0), (public, 1000.0), (transit, 100_000.0)]);
         let traffic = HashMap::from([(p("10.0.0.0/24"), 60.0), (p("11.0.0.0/24"), 60.0)]);
         let out = run(&ControllerConfig::default(), &c, &interfaces, &traffic);
         assert_eq!(out.overrides.len(), 1);
         let o = out.overrides.iter_sorted()[0];
         assert_eq!(o.prefix, p("11.0.0.0/24"), "B has the closer alternate");
         assert_eq!(o.target, EgressId(2));
+    }
+
+    /// Two transit alternates in the same preference band, priced apart:
+    /// cost-aware steering must take the cheap one (with provenance), and
+    /// the cost-blind default must keep taking the first in rank order.
+    #[test]
+    fn cost_tiebreak_picks_cheapest_in_band() {
+        let pni = EgressSpec::pni(1, 65001);
+        let expensive = EgressSpec::transit(3, 65010).usd_per_mbps(3.0);
+        let cheap = EgressSpec::transit(4, 65011).usd_per_mbps(0.5);
+        let specs = [pni, expensive, cheap];
+        let mut c = collector(&specs);
+        for spec in specs {
+            announce(&mut c, spec, "1.0.0.0/24");
+            announce(&mut c, spec, "2.0.0.0/24");
+        }
+        let interfaces = interface_map(&[(pni, 100.0), (expensive, 100_000.0), (cheap, 100_000.0)]);
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("2.0.0.0/24"), 60.0)]);
+
+        // Cost-blind: first transit in rank order wins (lower egress id).
+        let blind = run(&ControllerConfig::default(), &c, &interfaces, &traffic);
+        assert_eq!(blind.overrides.len(), 1);
+        assert_eq!(blind.overrides.iter_sorted()[0].target, EgressId(3));
+
+        // Cost-aware: the cheap transit wins, and the explain trail shows
+        // the expensive one rejected as a costlier alternate.
+        let cfg = ControllerConfig {
+            cost_aware: true,
+            ..Default::default()
+        };
+        let aware = run(&cfg, &c, &interfaces, &traffic);
+        assert_eq!(aware.overrides.len(), 1);
+        let o = aware.overrides.iter_sorted()[0];
+        assert_eq!(o.target, EgressId(4), "cheapest same-band alternate");
+        let rec = aware
+            .explains
+            .iter()
+            .find(|e| e.emitted() && e.trigger == "capacity")
+            .unwrap();
+        assert_eq!(rec.chosen_egress, Some(4));
+        assert_eq!(rec.chosen_usd_per_mbps, Some(0.5));
+        assert!(
+            rec.rejected.iter().any(|r| r.egress == Some(3)
+                && matches!(
+                    r.reason,
+                    RejectReason::CostlierAlternate {
+                        usd_per_mbps: 3.0,
+                        chosen_usd_per_mbps: 0.5
+                    }
+                )),
+            "{rec:?}"
+        );
+    }
+
+    /// The cost tiebreak is strictly a tiebreak: it never crosses into a
+    /// cheaper-but-lower preference band, and it never picks a same-band
+    /// alternate that lacks spare capacity.
+    #[test]
+    fn cost_tiebreak_never_overrides_preference_or_capacity() {
+        // World: hot PNI; a free public alternate (higher band) and a cheap
+        // transit (lower band). Cost-aware must still take the public peer
+        // even though transit's marginal price is irrelevant — band first.
+        let pni = EgressSpec::pni(1, 65001);
+        let public = EgressSpec::settlement_free(2, 65002);
+        let cheap_transit = EgressSpec::transit(3, 65010).usd_per_mbps(0.01);
+        let specs = [pni, public, cheap_transit];
+        let mut c = collector(&specs);
+        for spec in specs {
+            announce(&mut c, spec, "1.0.0.0/24");
+        }
+        let cfg = ControllerConfig {
+            cost_aware: true,
+            ..Default::default()
+        };
+        let interfaces =
+            interface_map(&[(pni, 50.0), (public, 1000.0), (cheap_transit, 100_000.0)]);
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 80.0)]);
+        let out = run(&cfg, &c, &interfaces, &traffic);
+        assert_eq!(out.overrides.len(), 1);
+        assert_eq!(
+            out.overrides.iter_sorted()[0].target,
+            EgressId(2),
+            "band beats price: the settlement-free peer wins"
+        );
+
+        // Now pin the cheap transit at capacity: the tiebreak may not
+        // relax the capacity check to reach it.
+        let expensive = EgressSpec::transit(4, 65011).usd_per_mbps(3.0);
+        let specs = [pni, cheap_transit, expensive];
+        let mut c = collector(&specs);
+        for spec in specs {
+            announce(&mut c, spec, "1.0.0.0/24");
+            announce(&mut c, spec, "9.0.0.0/24");
+        }
+        let interfaces =
+            interface_map(&[(pni, 50.0), (cheap_transit, 100.0), (expensive, 100_000.0)]);
+        // 9.0/24 pins the cheap transit near its limit; 1.0/24 overloads
+        // the PNI and must detour to the *expensive* transit.
+        let traffic = HashMap::from([(p("1.0.0.0/24"), 80.0), (p("9.0.0.0/24"), 90.0)]);
+        let out = run(&cfg, &c, &interfaces, &traffic);
+        let o = out.overrides.get(&p("1.0.0.0/24")).unwrap();
+        assert_eq!(
+            o.target,
+            EgressId(4),
+            "full cheap transit is infeasible; cost never overrides capacity"
+        );
+        // And the full one is in the trail as capacity-rejected, not cost-rejected.
+        let rec = out
+            .explains
+            .iter()
+            .find(|e| e.prefix == "1.0.0.0/24" && e.emitted())
+            .unwrap();
+        assert!(rec.rejected.iter().any(
+            |r| r.egress == Some(3) && matches!(r.reason, RejectReason::NoSpareCapacity { .. })
+        ));
+    }
+
+    /// With uniform prices (the default cost model), cost-aware and
+    /// cost-blind allocation are identical — the tiebreak only acts on
+    /// real price asymmetry.
+    #[test]
+    fn uniform_prices_make_cost_aware_a_noop() {
+        let (c, ifaces) = standard_world(&["1.0.0.0/24", "2.0.0.0/24", "3.0.0.0/24"]);
+        let traffic = HashMap::from([
+            (p("1.0.0.0/24"), 90.0),
+            (p("2.0.0.0/24"), 60.0),
+            (p("3.0.0.0/24"), 90.0),
+        ]);
+        let blind = run(&ControllerConfig::default(), &c, &ifaces, &traffic);
+        let aware = run(
+            &ControllerConfig {
+                cost_aware: true,
+                ..Default::default()
+            },
+            &c,
+            &ifaces,
+            &traffic,
+        );
+        assert_eq!(blind.overrides, aware.overrides);
+        assert_eq!(blind.post_load, aware.post_load);
     }
 }

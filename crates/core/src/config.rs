@@ -60,6 +60,13 @@ pub struct ControllerConfig {
     /// cross-checking and benchmarking the from-scratch path.
     #[serde(default = "default_incremental")]
     pub incremental: bool,
+    /// Cost-aware detours: when several feasible alternates sit in the
+    /// same BGP preference band, pick the one with the lowest marginal
+    /// cost instead of the first in rank order. Never degrades the BGP
+    /// band and never overrides a capacity constraint — it is strictly a
+    /// tiebreak. Off (default) reproduces cost-blind Edge Fabric.
+    #[serde(default)]
+    pub cost_aware: bool,
 }
 
 fn default_incremental() -> bool {
@@ -82,6 +89,7 @@ impl Default for ControllerConfig {
             fail_open_secs: 600,
             max_shift_fraction_per_epoch: 1.0,
             incremental: true,
+            cost_aware: false,
         }
     }
 }
@@ -182,6 +190,19 @@ mod tests {
         }
         let back = <ControllerConfig as serde::Deserialize>::from_value(&value).unwrap();
         assert!(back.incremental);
+    }
+
+    #[test]
+    fn cost_aware_defaults_off_for_old_configs() {
+        // Pre-cost configs must load cost-blind: steering decisions may
+        // not change under anyone's feet on upgrade.
+        let json = serde_json::to_string(&ControllerConfig::default()).unwrap();
+        let mut value = serde_json::parse_value(&json).unwrap();
+        if let serde::Value::Object(fields) = &mut value {
+            fields.retain(|(key, _)| key != "cost_aware");
+        }
+        let back = <ControllerConfig as serde::Deserialize>::from_value(&value).unwrap();
+        assert!(!back.cost_aware);
     }
 
     #[test]

@@ -807,7 +807,7 @@ impl PopController {
 
     /// Classifies an interface (for reports).
     pub fn interface_kind(&self, egress: EgressId) -> Option<PeerKind> {
-        self.interfaces.get(&egress).map(|i| i.kind)
+        self.interfaces.get(&egress).map(|i| i.kind())
     }
 }
 
@@ -881,17 +881,11 @@ mod tests {
         let interfaces = HashMap::from([
             (
                 EgressId(1),
-                InterfaceInfo {
-                    capacity_mbps: 100.0,
-                    kind: PeerKind::PrivatePeer,
-                },
+                InterfaceInfo::new(100.0, PeerKind::PrivatePeer),
             ),
             (
                 EgressId(2),
-                InterfaceInfo {
-                    capacity_mbps: 100_000.0,
-                    kind: PeerKind::Transit,
-                },
+                InterfaceInfo::new(100_000.0, PeerKind::Transit),
             ),
         ]);
         let mut controller =

@@ -71,8 +71,8 @@
 //!
 //! // Controller watches both interfaces.
 //! let interfaces = HashMap::from([
-//!     (EgressId(1), InterfaceInfo { capacity_mbps: 100.0, kind: PeerKind::PrivatePeer }),
-//!     (EgressId(2), InterfaceInfo { capacity_mbps: 10_000.0, kind: PeerKind::Transit }),
+//!     (EgressId(1), InterfaceInfo::new(100.0, PeerKind::PrivatePeer)),
+//!     (EgressId(2), InterfaceInfo::new(10_000.0, PeerKind::Transit)),
 //! ]);
 //! let mut ctl = PopController::new(0, ControllerConfig::default(), interfaces, &mut router);
 //! ctl.ingest_bmp(router.drain_bmp());

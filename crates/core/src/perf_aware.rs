@@ -22,6 +22,7 @@ use ef_net_types::Prefix;
 
 use crate::collector::RouteCollector;
 use crate::overrides::{Override, OverrideReason, OverrideSet};
+use crate::state::InterfaceMap;
 
 /// Tunables for the §6 extension.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -32,6 +33,14 @@ pub struct PerfAwareConfig {
     pub min_samples: usize,
     /// Cap on concurrent performance overrides (0 = unlimited).
     pub max_overrides: usize,
+    /// Cost-vs-RTT tradeoff, ms per $/Mbps: when a performance detour
+    /// targets an egress with a *higher* marginal cost than the preferred
+    /// path, the measured improvement must additionally clear
+    /// `cost_vs_rtt × (alt − preferred)` $/Mbps of price delta. 0 (the
+    /// default) steers on latency alone — the pre-cost behavior. Moving to
+    /// a cheaper-or-equal alternate is never penalized.
+    #[serde(default)]
+    pub cost_vs_rtt: f64,
 }
 
 impl Default for PerfAwareConfig {
@@ -40,6 +49,7 @@ impl Default for PerfAwareConfig {
             improvement_threshold_ms: 20.0,
             min_samples: 30,
             max_overrides: 0,
+            cost_vs_rtt: 0.0,
         }
     }
 }
@@ -63,15 +73,27 @@ pub struct MeasuredComparison {
 ///
 /// Comparisons that fail the guardrails — too little improvement, too few
 /// samples, an alternate that no longer exists in `routes` — are skipped.
+/// When `cost_vs_rtt > 0`, a detour onto a costlier egress must clear a
+/// raised bar: `improvement_threshold_ms + cost_vs_rtt × price delta`.
 /// If `max_overrides` caps the set, the largest improvements win.
 pub fn build_perf_overrides(
     cfg: &PerfAwareConfig,
+    interfaces: &InterfaceMap,
     routes: &RouteCollector,
     comparisons: impl IntoIterator<Item = MeasuredComparison>,
 ) -> OverrideSet {
+    let cost_of = |egress: EgressId| {
+        interfaces
+            .get(&egress)
+            .map(|i| i.marginal_usd_per_mbps())
+            .unwrap_or(0.0)
+    };
     let mut eligible: Vec<(MeasuredComparison, ef_bgp::peer::PeerKind)> = comparisons
         .into_iter()
-        .filter(|c| c.improvement_ms >= cfg.improvement_threshold_ms)
+        .filter(|c| {
+            let premium = (cost_of(c.best_alt) - cost_of(c.preferred)).max(0.0);
+            c.improvement_ms >= cfg.improvement_threshold_ms + cfg.cost_vs_rtt * premium
+        })
         .filter(|c| c.samples >= cfg.min_samples)
         .filter_map(|c| {
             // The alternate must still be a live, organic route.
@@ -127,6 +149,7 @@ pub fn adapt_comparisons<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::InterfaceInfo;
     use ef_bgp::attrs::{AsPath, PathAttributes};
     use ef_bgp::bmp::{BmpMessage, BmpPeerHeader};
     use ef_bgp::message::UpdateMessage;
@@ -135,6 +158,23 @@ mod tests {
 
     fn p(s: &str) -> Prefix {
         s.parse().unwrap()
+    }
+
+    /// Egress 1 is a free PNI, egress 2 a $2/Mbps transit.
+    fn ifaces() -> InterfaceMap {
+        HashMap::from([
+            (
+                EgressId(1),
+                InterfaceInfo::new(100.0, PeerKind::PrivatePeer),
+            ),
+            (
+                EgressId(2),
+                InterfaceInfo::with_policy(
+                    100_000.0,
+                    ef_bgp::egress::PeeringClass::Transit { usd_per_mbps: 2.0 }.into(),
+                ),
+            ),
+        ])
     }
 
     fn collector_with(prefixes: &[&str]) -> RouteCollector {
@@ -182,6 +222,7 @@ mod tests {
         let routes = collector_with(&["1.0.0.0/24"]);
         let set = build_perf_overrides(
             &PerfAwareConfig::default(),
+            &ifaces(),
             &routes,
             [cmp("1.0.0.0/24", 35.0, 100)],
         );
@@ -197,6 +238,7 @@ mod tests {
         let routes = collector_with(&["1.0.0.0/24"]);
         let set = build_perf_overrides(
             &PerfAwareConfig::default(),
+            &ifaces(),
             &routes,
             [cmp("1.0.0.0/24", 19.9, 100)],
         );
@@ -208,6 +250,7 @@ mod tests {
         let routes = collector_with(&["1.0.0.0/24"]);
         let set = build_perf_overrides(
             &PerfAwareConfig::default(),
+            &ifaces(),
             &routes,
             [cmp("1.0.0.0/24", 50.0, 5)],
         );
@@ -220,7 +263,7 @@ mod tests {
         let routes = collector_with(&["1.0.0.0/24"]);
         let mut c = cmp("1.0.0.0/24", 50.0, 100);
         c.best_alt = EgressId(7);
-        let set = build_perf_overrides(&PerfAwareConfig::default(), &routes, [c]);
+        let set = build_perf_overrides(&PerfAwareConfig::default(), &ifaces(), &routes, [c]);
         assert!(set.is_empty());
     }
 
@@ -233,6 +276,7 @@ mod tests {
         };
         let set = build_perf_overrides(
             &cfg,
+            &ifaces(),
             &routes,
             [
                 cmp("1.0.0.0/24", 25.0, 100),
@@ -244,6 +288,35 @@ mod tests {
         assert!(set.contains(&p("2.0.0.0/24")));
         assert!(set.contains(&p("3.0.0.0/24")));
         assert!(!set.contains(&p("1.0.0.0/24")));
+    }
+
+    #[test]
+    fn cost_vs_rtt_raises_the_bar_for_paid_detours() {
+        // Preferred = free PNI, alternate = $2/Mbps transit. At 10 ms per
+        // $/Mbps the bar becomes 20 + 10×2 = 40 ms.
+        let routes = collector_with(&["1.0.0.0/24", "2.0.0.0/24"]);
+        let cfg = PerfAwareConfig {
+            cost_vs_rtt: 10.0,
+            ..Default::default()
+        };
+        let set = build_perf_overrides(
+            &cfg,
+            &ifaces(),
+            &routes,
+            [cmp("1.0.0.0/24", 35.0, 100), cmp("2.0.0.0/24", 45.0, 100)],
+        );
+        assert!(
+            !set.contains(&p("1.0.0.0/24")),
+            "35 ms must not clear the 40 ms cost-adjusted bar"
+        );
+        assert!(set.contains(&p("2.0.0.0/24")));
+
+        // The knob never penalizes moving toward a cheaper-or-equal path.
+        let mut toward_free = cmp("1.0.0.0/24", 35.0, 100);
+        toward_free.preferred = EgressId(2);
+        toward_free.best_alt = EgressId(1);
+        let set = build_perf_overrides(&cfg, &ifaces(), &routes, [toward_free]);
+        assert!(set.contains(&p("1.0.0.0/24")));
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
+use ef_bgp::egress::{EgressPolicy, PeeringClass};
 use ef_bgp::peer::PeerKind;
 use ef_bgp::route::EgressId;
 use ef_net_types::Prefix;
@@ -14,8 +15,41 @@ use ef_net_types::Prefix;
 pub struct InterfaceInfo {
     /// Usable capacity, Mbps.
     pub capacity_mbps: f64,
-    /// Interconnect kind (for reporting and detour-target statistics).
-    pub kind: PeerKind,
+    /// Peering policy: interconnect economics, from which the routing kind
+    /// (for reporting and detour-target statistics) is derived.
+    pub policy: EgressPolicy,
+}
+
+impl InterfaceInfo {
+    /// Plain capacity + kind info (the pre-cost constructor): the class is
+    /// the default-priced class for that kind, so every transit is priced
+    /// uniformly and cost-blind callers see unchanged decisions.
+    pub fn new(capacity_mbps: f64, kind: PeerKind) -> Self {
+        let class = PeeringClass::from_kind(kind).unwrap_or(PeeringClass::SettlementFree);
+        InterfaceInfo {
+            capacity_mbps,
+            policy: EgressPolicy::new(class),
+        }
+    }
+
+    /// Capacity + explicit peering policy (the typed constructor).
+    pub fn with_policy(capacity_mbps: f64, policy: EgressPolicy) -> Self {
+        InterfaceInfo {
+            capacity_mbps,
+            policy,
+        }
+    }
+
+    /// The routing-layer interconnect kind, derived from the policy.
+    pub fn kind(&self) -> PeerKind {
+        self.policy.kind()
+    }
+
+    /// Marginal cost of billing one more Mbps on this interface, $/Mbps
+    /// per month (zero for anything but transit).
+    pub fn marginal_usd_per_mbps(&self) -> f64 {
+        self.policy.marginal_usd_per_mbps()
+    }
 }
 
 /// Per-prefix demand estimates for one epoch, Mbps.
@@ -40,12 +74,14 @@ mod tests {
 
     #[test]
     fn interface_info_is_plain_data() {
-        let info = InterfaceInfo {
-            capacity_mbps: 10_000.0,
-            kind: PeerKind::PrivatePeer,
-        };
+        let info = InterfaceInfo::new(10_000.0, PeerKind::PrivatePeer);
+        assert_eq!(info.kind(), PeerKind::PrivatePeer);
+        assert_eq!(info.marginal_usd_per_mbps(), 0.0);
         let json = serde_json::to_string(&info).unwrap();
         let back: InterfaceInfo = serde_json::from_str(&json).unwrap();
         assert_eq!(info, back);
+        // Transit is the only metered class.
+        let transit = InterfaceInfo::new(40_000.0, PeerKind::Transit);
+        assert!(transit.marginal_usd_per_mbps() > 0.0);
     }
 }

@@ -15,30 +15,37 @@ use edge_fabric::projection::project;
 use edge_fabric::state::{InterfaceInfo, InterfaceMap};
 use ef_bgp::attrs::{AsPath, PathAttributes};
 use ef_bgp::bmp::{BmpMessage, BmpPeerHeader};
+use ef_bgp::egress::{EgressPolicy, PeeringClass};
 use ef_bgp::message::UpdateMessage;
-use ef_bgp::peer::{PeerId, PeerKind};
+use ef_bgp::peer::PeerId;
 use ef_bgp::route::EgressId;
 use ef_net_types::{Asn, Prefix};
+use ef_telemetry::RejectReason;
 
 /// A randomly generated single-PoP world.
 #[derive(Debug, Clone)]
 struct World {
-    /// Per interface: (kind, capacity).
-    interfaces: Vec<(PeerKind, f64)>,
+    /// Per interface: (peering class, capacity).
+    interfaces: Vec<(PeeringClass, f64)>,
     /// Per prefix: demand and the subset of interfaces announcing it.
     prefixes: Vec<(f64, Vec<usize>)>,
 }
 
 fn world_strategy() -> impl Strategy<Value = World> {
-    // 2..6 interfaces with mixed kinds and capacities.
-    let iface = (0usize..4, 20.0f64..500.0).prop_map(|(k, cap)| {
-        let kind = match k {
-            0 => PeerKind::PrivatePeer,
-            1 => PeerKind::PublicPeer,
-            2 => PeerKind::RouteServer,
-            _ => PeerKind::Transit,
+    // 2..6 interfaces with mixed classes, capacities, and (for transit)
+    // prices — the price spread is what the cost tiebreak acts on.
+    let iface = (0usize..4, 20.0f64..500.0, 0.1f64..4.0).prop_map(|(k, cap, price)| {
+        let class = match k {
+            0 => PeeringClass::Pni { port_cost: 2500.0 },
+            1 => PeeringClass::SettlementFree,
+            2 => PeeringClass::IxpRouteServer {
+                shared_fabric_mbps: 0.0,
+            },
+            _ => PeeringClass::Transit {
+                usd_per_mbps: price,
+            },
         };
-        (kind, cap)
+        (class, cap)
     });
     proptest::collection::vec(iface, 2..6).prop_flat_map(|interfaces| {
         let n = interfaces.len();
@@ -72,7 +79,7 @@ fn materialize(world: &World) -> (RouteCollector, InterfaceMap, HashMap<Prefix, 
             len: 24,
         };
         for via in vias {
-            let kind = world.interfaces[*via].0;
+            let kind = world.interfaces[*via].0.kind();
             let mut attrs = PathAttributes {
                 local_pref: Some(kind.default_local_pref()),
                 as_path: AsPath::sequence([Asn(65000 + *via as u32)]),
@@ -95,12 +102,12 @@ fn materialize(world: &World) -> (RouteCollector, InterfaceMap, HashMap<Prefix, 
         .interfaces
         .iter()
         .enumerate()
-        .map(|(i, (kind, cap))| {
+        .map(|(i, (class, cap))| {
             (
                 EgressId(i as u32),
                 InterfaceInfo {
                     capacity_mbps: *cap,
-                    kind: *kind,
+                    policy: EgressPolicy::new(*class),
                 },
             )
         })
@@ -190,6 +197,70 @@ proptest! {
         let projection = project(&collector, &traffic);
         let out = allocate(&cfg, &interfaces, &collector, &traffic, &projection, &OverrideSet::new(), &OverrideSet::new());
         prop_assert!(out.overrides.len() <= cap);
+    }
+
+    /// Cost-aware allocation obeys the same capacity invariant as the
+    /// cost-blind path (the tiebreak never relaxes the feasibility check),
+    /// and every alternate rejected as "costlier" sits in the same
+    /// preference band at a strictly higher marginal price — cost never
+    /// overrides a capacity or preference constraint.
+    #[test]
+    fn cost_tiebreak_is_capacity_safe_and_band_confined(world in world_strategy()) {
+        let (collector, interfaces, traffic) = materialize(&world);
+        let cfg = ControllerConfig {
+            cost_aware: true,
+            ..Default::default()
+        };
+        let projection = project(&collector, &traffic);
+        let out = allocate(&cfg, &interfaces, &collector, &traffic, &projection, &OverrideSet::new(), &OverrideSet::new());
+
+        let overloaded_before: std::collections::HashSet<u32> =
+            out.overloaded_before.iter().map(|(e, _)| e.0).collect();
+        for (egress, info) in &interfaces {
+            let post_util = out.post_load.get(egress).copied().unwrap_or(0.0) / info.capacity_mbps;
+            if !overloaded_before.contains(&egress.0) {
+                prop_assert!(
+                    post_util <= cfg.util_limit + 1e-9,
+                    "cost-aware newly overloaded {egress:?}: {post_util}"
+                );
+            }
+        }
+        for rec in &out.explains {
+            let Some(chosen) = rec.chosen_egress else { continue };
+            let chosen_info = &interfaces[&EgressId(chosen)];
+            for alt in &rec.rejected {
+                if let RejectReason::CostlierAlternate { usd_per_mbps, chosen_usd_per_mbps } = alt.reason {
+                    prop_assert!(usd_per_mbps > chosen_usd_per_mbps, "cost rejection with no saving");
+                    let rejected_info = &interfaces[&EgressId(alt.egress.unwrap())];
+                    prop_assert_eq!(
+                        rejected_info.kind().default_local_pref(),
+                        chosen_info.kind().default_local_pref(),
+                        "cost rejection crossed a preference band"
+                    );
+                }
+            }
+        }
+    }
+
+    /// With every transit priced identically, cost-aware allocation is
+    /// byte-identical to cost-blind — the tiebreak acts only on real
+    /// price asymmetry.
+    #[test]
+    fn cost_aware_is_noop_under_uniform_prices(world in world_strategy()) {
+        let mut world = world;
+        for (class, _) in &mut world.interfaces {
+            if let PeeringClass::Transit { usd_per_mbps } = class {
+                *usd_per_mbps = 1.0;
+            }
+        }
+        let (collector, interfaces, traffic) = materialize(&world);
+        let projection = project(&collector, &traffic);
+        let blind = allocate(&ControllerConfig::default(), &interfaces, &collector, &traffic, &projection, &OverrideSet::new(), &OverrideSet::new());
+        let aware_cfg = ControllerConfig { cost_aware: true, ..Default::default() };
+        let aware = allocate(&aware_cfg, &interfaces, &collector, &traffic, &projection, &OverrideSet::new(), &OverrideSet::new());
+        prop_assert_eq!(blind.overrides, aware.overrides);
+        prop_assert_eq!(blind.post_load, aware.post_load);
+        prop_assert_eq!(blind.capacity_detoured_mbps, aware.capacity_detoured_mbps);
     }
 
     /// Determinism: identical inputs produce identical outcomes.

@@ -65,6 +65,9 @@ pub struct EpochSignals {
     pub audit_failures: u64,
     /// Per-interface utilization `(egress, load/capacity)`, egress order.
     pub iface_util: Vec<(u32, f64)>,
+    /// Projected monthly egress spend at this epoch's carried rates, USD:
+    /// Σ marginal `$ /Mbps` × carried Mbps over the PoP's interfaces.
+    pub billing_burn_usd: f64,
 }
 
 /// Sentinel "PoP" id under which global-tier metrics and alerts are
@@ -179,6 +182,12 @@ pub struct HealthConfig {
     /// Recovered epochs required before any alert clears.
     #[serde(default = "default_clear_epochs")]
     pub clear_epochs: u32,
+    /// `billing_burn_rate` fires when a PoP's projected monthly egress
+    /// spend (at the epoch's carried rates) exceeds this budget, USD per
+    /// month, sustained for 3 epochs. `None` (the default) disables the
+    /// rule — most runs have no budget to enforce.
+    #[serde(default)]
+    pub billing_budget_usd_per_month: Option<f64>,
     /// Per-PoP epochs to sample but not judge at the start of a run. A
     /// cold-started controller has not placed its first overrides yet, so
     /// the first epoch legitimately shows drops/overload; paging on the
@@ -201,6 +210,7 @@ impl Default for HealthConfig {
             epoch_deadline_ms: None,
             placement_thrash: default_placement_thrash(),
             thrash_sustain: default_thrash_sustain(),
+            billing_budget_usd_per_month: None,
             clear_epochs: default_clear_epochs(),
             warmup_epochs: default_warmup_epochs(),
         }
@@ -340,6 +350,18 @@ impl HealthConfig {
                 Severity::Warning,
             ));
         }
+        if let Some(budget) = self.billing_budget_usd_per_month {
+            // Cost burn: the PoP is on pace to blow its monthly egress
+            // budget. Sustained — a single 5-minute burst is free under
+            // 95/5 billing, so one hot epoch is not a page.
+            rules.push(rule(
+                "billing_burn_rate",
+                "billing_burn_usd",
+                budget,
+                3,
+                Severity::Warning,
+            ));
+        }
         rules
     }
 }
@@ -426,8 +448,9 @@ impl HealthMonitor {
             .map(|(_, u)| *u)
             .fold(0.0_f64, f64::max);
         let bool_metric = |b: bool| if b { 1.0 } else { 0.0 };
-        let mut m: Vec<(&'static str, f64)> = Vec::with_capacity(16);
+        let mut m: Vec<(&'static str, f64)> = Vec::with_capacity(17);
         m.push(("audit_failures", signals.audit_failures as f64));
+        m.push(("billing_burn_usd", signals.billing_burn_usd));
         m.push(("controller_down", bool_metric(signals.controller_missing)));
         m.push(("detoured_mbps", signals.detoured_mbps));
         m.push(("drop_rate", drop_rate));
@@ -743,6 +766,33 @@ mod tests {
         assert_eq!(fires[0].str_field("severity"), Some("critical"));
         let samples = events.iter().filter(|e| e.name == "health.sample").count();
         assert_eq!(samples, 4);
+    }
+
+    #[test]
+    fn billing_burn_rule_is_budget_gated_and_sustained() {
+        // No budget configured → the rule does not exist at all.
+        assert!(!HealthConfig::default()
+            .rules()
+            .iter()
+            .any(|r| r.name == "billing_burn_rate"));
+
+        let cfg = HealthConfig {
+            billing_budget_usd_per_month: Some(10_000.0),
+            ..no_warmup()
+        };
+        let mut mon = HealthMonitor::new(cfg, TelemetryHandle::disabled());
+        // Two hot epochs: under the 3-epoch sustain, nothing fires (one
+        // 5-minute burst is free under 95/5 billing).
+        for t in 1..=2u64 {
+            let mut s = calm(0, t * 30);
+            s.billing_burn_usd = 25_000.0;
+            assert!(mon.observe_epoch(&s, None).is_empty());
+        }
+        // The third consecutive hot epoch pages.
+        let mut s = calm(0, 90);
+        s.billing_burn_usd = 25_000.0;
+        let edges = mon.observe_epoch(&s, None);
+        assert!(edges.iter().any(|e| e.alert().rule == "billing_burn_rate"));
     }
 
     #[test]

@@ -98,6 +98,24 @@ impl InterfaceStats {
     }
 }
 
+/// One interface's end-of-run 95/5 bill: the billable rate at the cost
+/// model's percentile over the run's closed billing windows, priced by the
+/// interface's peering class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InterfaceBill {
+    /// Owning PoP.
+    pub pop: u16,
+    /// The interface.
+    pub egress: u32,
+    /// Peering-class label (`settlement-free` / `pni` / `transit` /
+    /// `ixp-rs`).
+    pub class: String,
+    /// Billable rate at the billing percentile, Mbps.
+    pub billable_mbps: f64,
+    /// The monthly bill: fixed port cost plus metered component, USD.
+    pub monthly_usd: f64,
+}
+
 /// One completed detour episode: a prefix was overridden continuously.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DetourEpisode {
@@ -167,6 +185,10 @@ pub struct MetricsStore {
     flagged: Vec<EgressId>,
     /// Per-PoP per-epoch records.
     pub pop_epochs: Vec<PopEpochRecord>,
+    /// End-of-run 95/5 bills, one row per billed interface, sorted by
+    /// `(pop, egress)` — a canonical order regardless of merge order, so
+    /// billing output is byte-identical at any thread count.
+    pub billing: Vec<InterfaceBill>,
     /// Completed detour episodes.
     pub episodes: Vec<DetourEpisode>,
     /// Open episodes: (pop, prefix) → start time.
@@ -274,9 +296,26 @@ impl MetricsStore {
         }
         self.pop_epochs.extend(other.pop_epochs);
         self.episodes.extend(other.episodes);
+        self.billing.extend(other.billing);
+        self.billing.sort_by_key(|b| (b.pop, b.egress));
         for (k, v) in other.open_episodes {
             self.open_episodes.insert(k, v);
         }
+    }
+
+    /// Total monthly spend across billed interfaces, summed in the
+    /// canonical `(pop, egress)` order.
+    pub fn total_monthly_usd(&self) -> f64 {
+        self.billing.iter().map(|b| b.monthly_usd).sum()
+    }
+
+    /// Monthly spend on metered (transit) interfaces only, canonical order.
+    pub fn transit_monthly_usd(&self) -> f64 {
+        self.billing
+            .iter()
+            .filter(|b| b.class == "transit")
+            .map(|b| b.monthly_usd)
+            .sum()
     }
 
     /// Interfaces sorted by fraction of epochs over capacity, worst first.

@@ -37,7 +37,7 @@ use ef_chaos::{FaultEvent, FaultKind, FaultTarget};
 use ef_net_types::{Asn, Prefix};
 use ef_perf::measurement::{AltPathMeasurer, CandidatePath, MeasurerConfig};
 use ef_perf::rtt::PathPerfModel;
-use ef_topology::{Deployment, Pop, PopId};
+use ef_topology::{BillingMeter, Deployment, Pop, PopId};
 use ef_traffic::demand::DemandPoint;
 use ef_traffic::estimator::RateEstimator;
 use ef_traffic::sampler::{SamplerConfig, SflowSampler};
@@ -154,6 +154,12 @@ pub struct PopRuntime {
     load_scratch: Vec<f64>,
     perf_steer: bool,
     perf_aware_cfg: edge_fabric::perf_aware::PerfAwareConfig,
+    /// The 95/5 billing meter, when `SimConfig::billing` is on. Strictly
+    /// observational: fed carried (post-drop) load each tick, read only at
+    /// [`finish`](Self::finish).
+    billing: Option<BillingMeter>,
+    /// Billing percentile from the scenario's cost model (the "95").
+    billing_percentile: f64,
 
     // --- Fault-injection state ---------------------------------------
     /// This PoP's slice of the scenario fault schedule.
@@ -230,9 +236,9 @@ impl PopRuntime {
             router.add_peer(PeerAttachment {
                 peer: conn.peer,
                 peer_asn: conn.asn,
-                kind: conn.kind,
+                kind: conn.kind(),
                 egress: conn.egress,
-                policy: ef_bgp::policy::Policy::default_import(deployment.local_asn, conn.kind),
+                policy: ef_bgp::policy::Policy::default_import(deployment.local_asn, conn.kind()),
                 max_prefixes: 0,
             });
             let mut stub = PeerStub::new(
@@ -289,7 +295,7 @@ impl PopRuntime {
                         i.id,
                         InterfaceInfo {
                             capacity_mbps: i.capacity_mbps,
-                            kind: i.kind,
+                            policy: i.policy,
                         },
                     )
                 })
@@ -327,7 +333,7 @@ impl PopRuntime {
 
         let mut metrics = MetricsStore::new();
         for iface in &pop.interfaces {
-            metrics.register_interface(pop.id, iface.id, iface.capacity_mbps, iface.kind.label());
+            metrics.register_interface(pop.id, iface.id, iface.capacity_mbps, iface.kind().label());
         }
 
         // This PoP's slice of the fault schedule.
@@ -403,6 +409,8 @@ impl PopRuntime {
             load_scratch,
             perf_steer: cfg.perf.map(|p| p.steer).unwrap_or(false),
             perf_aware_cfg: cfg.perf.map(|p| p.aware).unwrap_or_default(),
+            billing: cfg.billing.then(|| cfg.gen.cost.meter()),
+            billing_percentile: cfg.gen.cost.billing_percentile,
             chaos_events,
             active_faults: BTreeSet::new(),
             base_capacity,
@@ -611,7 +619,7 @@ impl PopRuntime {
                             i.id,
                             InterfaceInfo {
                                 capacity_mbps: i.capacity_mbps,
-                                kind: i.kind,
+                                policy: i.policy,
                             },
                         )
                     })
@@ -687,9 +695,9 @@ impl PopRuntime {
         self.router.add_peer(PeerAttachment {
             peer: conn.peer,
             peer_asn: conn.asn,
-            kind: conn.kind,
+            kind: conn.kind(),
             egress: conn.egress,
-            policy: ef_bgp::policy::Policy::default_import(self.local_asn, conn.kind),
+            policy: ef_bgp::policy::Policy::default_import(self.local_asn, conn.kind()),
             max_prefixes: 0,
         });
         let mut stub = PeerStub::new(
@@ -1037,6 +1045,16 @@ impl PopRuntime {
                 dropped += l - iface.capacity_mbps;
             }
             headroom += (iface.capacity_mbps * self.util_limit - l).max(0.0);
+            if let Some(meter) = self.billing.as_mut() {
+                // The carrier bills carried traffic: offered load past
+                // capacity is dropped, not billed.
+                meter.record(
+                    iface.id,
+                    t_secs,
+                    self.epoch_secs,
+                    l.min(iface.capacity_mbps),
+                );
+            }
         }
 
         // --- 3. Alternate-path measurement ----------------------------------
@@ -1102,8 +1120,12 @@ impl PopRuntime {
                         self.perf_aware_cfg.min_samples,
                     )
                     .collect();
-                    let set =
-                        build_perf_overrides(&self.perf_aware_cfg, controller.collector(), adapted);
+                    let set = build_perf_overrides(
+                        &self.perf_aware_cfg,
+                        controller.interfaces(),
+                        controller.collector(),
+                        adapted,
+                    );
                     controller.set_perf_overrides(set);
                 }
             }
@@ -1362,6 +1384,19 @@ impl PopRuntime {
             };
             (iface.id.0, util)
         }));
+        // Projected monthly spend if this epoch's carried rates persisted:
+        // Σ marginal $/Mbps × carried Mbps, summed in slot order (the
+        // canonical order — billing math must be thread-count-invariant).
+        let billing_burn_usd: f64 = self
+            .pop
+            .interfaces
+            .iter()
+            .enumerate()
+            .map(|(slot, iface)| {
+                iface.policy.marginal_usd_per_mbps()
+                    * self.load_scratch[slot].min(iface.capacity_mbps)
+            })
+            .sum();
         ef_health::EpochSignals {
             t_secs,
             pop: self.pop.id.0,
@@ -1382,6 +1417,7 @@ impl PopRuntime {
             injection_dropped_total,
             audit_failures,
             iface_util,
+            billing_burn_usd,
         }
     }
 
@@ -1403,8 +1439,23 @@ impl PopRuntime {
         self.session_resets
     }
 
-    /// Closes open detour episodes at simulation end.
+    /// Closes open detour episodes at simulation end and finalizes this
+    /// PoP's 95/5 bills (slot order, so billing rows are canonical).
     pub fn finish(&mut self, t_secs: u64) {
         self.metrics.finish(t_secs);
+        if let Some(mut meter) = self.billing.take() {
+            meter.finish();
+            for iface in &self.pop.interfaces {
+                let billable = meter.billable_mbps(iface.id, self.billing_percentile);
+                let class = iface.policy.class;
+                self.metrics.billing.push(crate::metrics::InterfaceBill {
+                    pop: self.pop.id.0,
+                    egress: iface.id.0,
+                    class: class.label().to_string(),
+                    billable_mbps: billable,
+                    monthly_usd: class.monthly_bill_usd(billable),
+                });
+            }
+        }
     }
 }

@@ -67,6 +67,14 @@ pub struct SimConfig {
     /// results are byte-identical with health on or off.
     #[serde(default)]
     pub health: Option<ef_health::HealthConfig>,
+    /// Run the 95/5 billing meter: every interface's per-epoch carried
+    /// load streams into 5-minute billing windows, and `take_metrics`
+    /// reports an end-of-run bill per interface. Strictly observational —
+    /// steering decisions never read the meter — so results other than the
+    /// billing rows are byte-identical with it off. On by default; the
+    /// perf smoke flips it to bound the meter's overhead.
+    #[serde(default = "default_billing")]
+    pub billing: bool,
     /// Run the epoch hot paths incrementally: the controller's projection
     /// memo and the runtime's version-checked FIB lookup cache (this flag
     /// is copied over `controller.incremental` at build time). Results are
@@ -97,6 +105,7 @@ impl Default for SimConfig {
             global: None,
             chaos: None,
             health: None,
+            billing: true,
             incremental: true,
             telemetry: ef_telemetry::TelemetryHandle::disabled(),
         }
@@ -104,6 +113,10 @@ impl Default for SimConfig {
 }
 
 fn default_incremental() -> bool {
+    true
+}
+
+fn default_billing() -> bool {
     true
 }
 
@@ -286,6 +299,64 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Installs the deployment's cost model: the transit price ladder,
+    /// PNI port cost, and billing parameters the topology generator
+    /// stamps onto interfaces and the billing meter consumes.
+    ///
+    /// Rejects malformed models (NaN or negative prices, empty ladder,
+    /// out-of-range percentile) eagerly with the typed
+    /// [`ef_topology::CostConfigError`], the same contract as
+    /// `GlobalConfig::validate`.
+    pub fn cost_model(mut self, cost: ef_topology::CostModel) -> Self {
+        if let Err(e) = cost.validate() {
+            panic!("invalid cost model: {e}");
+        }
+        self.cfg.gen.cost = cost;
+        self
+    }
+
+    /// Billing window length, seconds (the "5" in 95/5 billing; default
+    /// 300). Validated through the cost model's typed error.
+    pub fn billing_window(mut self, secs: u64) -> Self {
+        self.cfg.gen.cost.billing_window_secs = secs;
+        if let Err(e) = self.cfg.gen.cost.validate() {
+            panic!("invalid cost model: {e}");
+        }
+        self
+    }
+
+    /// Flips the 95/5 billing meter (on by default; observational only).
+    pub fn billing(mut self, on: bool) -> Self {
+        self.cfg.billing = on;
+        self
+    }
+
+    /// Cost-aware capacity detours: within a preference band, feasible
+    /// alternates are chosen cheapest-first (see
+    /// `ControllerConfig::cost_aware`).
+    pub fn cost_aware(mut self, on: bool) -> Self {
+        self.cfg.controller.cost_aware = on;
+        self
+    }
+
+    /// Cost-vs-RTT tradeoff for performance steering, ms per $/Mbps: a
+    /// paid detour must beat the free path by this much extra latency per
+    /// dollar of price delta. Requires the perf arm; enables a
+    /// non-steering default arm when none is configured yet. Rejects NaN
+    /// and negative values eagerly.
+    pub fn cost_vs_rtt(mut self, ms_per_usd_mbps: f64) -> Self {
+        let valid = ms_per_usd_mbps.is_finite() && ms_per_usd_mbps >= 0.0;
+        if !valid {
+            panic!("invalid cost_vs_rtt {ms_per_usd_mbps}: must be finite and >= 0");
+        }
+        self.cfg
+            .perf
+            .get_or_insert_with(Default::default)
+            .aware
+            .cost_vs_rtt = ms_per_usd_mbps;
+        self
+    }
+
     /// Flips the incremental hot paths (projection memo, FIB cache).
     /// Results are byte-identical either way; the determinism suite and
     /// perf benches compare both.
@@ -341,6 +412,63 @@ mod tests {
         assert_eq!(cfg.demand_seed, base.demand_seed);
         assert_eq!(cfg.duration_secs, base.duration_secs);
         assert_eq!(cfg.chaos, base.chaos, "both arms share the fault schedule");
+    }
+
+    #[test]
+    fn cost_builders_set_model_and_knobs() {
+        let cfg = scenario()
+            .small_topology(1)
+            .cost_model(ef_topology::CostModel {
+                transit_usd_per_mbps: vec![0.5, 1.5],
+                ..Default::default()
+            })
+            .billing_window(600)
+            .cost_aware(true)
+            .cost_vs_rtt(12.5)
+            .build();
+        assert_eq!(cfg.gen.cost.transit_usd_per_mbps, vec![0.5, 1.5]);
+        assert_eq!(cfg.gen.cost.billing_window_secs, 600);
+        assert!(cfg.controller.cost_aware);
+        assert_eq!(cfg.perf.unwrap().aware.cost_vs_rtt, 12.5);
+        assert!(cfg.billing, "meter on by default");
+        assert!(!scenario().billing(false).build().billing);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cost model")]
+    fn negative_transit_price_is_rejected() {
+        let _ = scenario().cost_model(ef_topology::CostModel {
+            transit_usd_per_mbps: vec![-1.0],
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cost model")]
+    fn nan_pni_port_cost_is_rejected() {
+        let _ = scenario().cost_model(ef_topology::CostModel {
+            pni_port_usd_per_month: f64::NAN,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cost_vs_rtt")]
+    fn nan_cost_vs_rtt_is_rejected() {
+        let _ = scenario().cost_vs_rtt(f64::NAN);
+    }
+
+    #[test]
+    fn billing_defaults_on_for_old_configs() {
+        // Configs serialized before the field existed must load with the
+        // meter on.
+        let json = serde_json::to_string(&SimConfig::test_small(1)).unwrap();
+        let mut value = serde_json::parse_value(&json).unwrap();
+        if let serde::Value::Object(fields) = &mut value {
+            fields.retain(|(key, _)| key != "billing");
+        }
+        let back = <SimConfig as serde::Deserialize>::from_value(&value).unwrap();
+        assert!(back.billing);
     }
 
     #[test]

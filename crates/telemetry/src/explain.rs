@@ -36,6 +36,15 @@ pub enum RejectReason {
     StaleInput,
     /// Inputs were past the fail-open horizon: everything is withdrawn.
     FailOpen,
+    /// The alternate was feasible and equally preferred by BGP, but a
+    /// cheaper same-band alternate was chosen instead (cost-aware
+    /// steering only; never crosses a preference band).
+    CostlierAlternate {
+        /// Marginal cost of this alternate, USD per billable Mbps·month.
+        usd_per_mbps: f64,
+        /// Marginal cost of the alternate chosen instead.
+        chosen_usd_per_mbps: f64,
+    },
 }
 
 impl RejectReason {
@@ -49,6 +58,7 @@ impl RejectReason {
             RejectReason::BlastRadiusCap => "blast-radius cap",
             RejectReason::StaleInput => "stale input",
             RejectReason::FailOpen => "fail-open",
+            RejectReason::CostlierAlternate { .. } => "costlier alternate",
         }
     }
 }
@@ -122,6 +132,11 @@ pub struct ExplainRecord {
     pub chosen_egress: Option<u32>,
     /// Interconnect kind of the chosen alternate.
     pub chosen_kind: Option<String>,
+    /// Marginal cost of the chosen alternate, USD per billable Mbps·month
+    /// (zero for settlement-free / PNI / route-server targets). Absent in
+    /// records written before cost-aware steering existed.
+    #[serde(default)]
+    pub chosen_usd_per_mbps: Option<f64>,
     /// Alternatives considered and rejected, in preference order.
     pub rejected: Vec<RejectedAlternative>,
     /// What ultimately happened.
@@ -154,6 +169,13 @@ impl ExplainRecord {
             Some(chosen) => {
                 let kind = self.chosen_kind.as_deref().unwrap_or("?");
                 write!(out, "chose egress {chosen} ({kind})").unwrap();
+                if let Some(cost) = self.chosen_usd_per_mbps {
+                    if cost > 0.0 {
+                        write!(out, " at ${cost:.2}/Mbps").unwrap();
+                    } else {
+                        out.push_str(" at $0/Mbps");
+                    }
+                }
             }
             None => out.push_str("no alternate chosen"),
         }
@@ -170,6 +192,20 @@ impl ExplainRecord {
                     write!(
                         out,
                         "\n  rejected egress {e}: no spare capacity ({projected_mbps:.1}/{limit_mbps:.1} Mbps)"
+                    )
+                    .unwrap();
+                }
+                (
+                    Some(e),
+                    RejectReason::CostlierAlternate {
+                        usd_per_mbps,
+                        chosen_usd_per_mbps,
+                    },
+                ) => {
+                    write!(
+                        out,
+                        "\n  rejected egress {e}: costlier alternate (${usd_per_mbps:.2}/Mbps vs ${chosen_usd_per_mbps:.2}/Mbps chosen, saves ${:.2}/Mbps)",
+                        usd_per_mbps - chosen_usd_per_mbps
                     )
                     .unwrap();
                 }
@@ -198,6 +234,7 @@ mod tests {
             demand_mbps: 80.0,
             chosen_egress: Some(3),
             chosen_kind: Some("transit".into()),
+            chosen_usd_per_mbps: None,
             rejected: vec![RejectedAlternative {
                 egress: Some(2),
                 kind: Some("public".into()),
@@ -244,6 +281,44 @@ mod tests {
         let text = rec.render();
         assert!(text.contains("no alternate chosen"));
         assert!(text.contains("rejected: no route"));
+    }
+
+    #[test]
+    fn render_shows_cost_provenance() {
+        let rec = ExplainRecord {
+            chosen_usd_per_mbps: Some(0.5),
+            rejected: vec![RejectedAlternative {
+                egress: Some(5),
+                kind: Some("transit".into()),
+                reason: RejectReason::CostlierAlternate {
+                    usd_per_mbps: 3.0,
+                    chosen_usd_per_mbps: 0.5,
+                },
+            }],
+            ..record()
+        };
+        let text = rec.render();
+        assert!(text.contains("chose egress 3 (transit) at $0.50/Mbps"));
+        assert!(text.contains(
+            "rejected egress 5: costlier alternate ($3.00/Mbps vs $0.50/Mbps chosen, saves $2.50/Mbps)"
+        ));
+        // Pre-cost records render unchanged.
+        assert!(!record().render().contains("$"));
+        // Free targets are labeled explicitly.
+        let free = ExplainRecord {
+            chosen_usd_per_mbps: Some(0.0),
+            ..record()
+        };
+        assert!(free.render().contains("at $0/Mbps"));
+    }
+
+    #[test]
+    fn old_records_without_cost_fields_still_parse() {
+        let json = r#"{"prefix":"1.2.3.0/24","trigger":"capacity","hot_egress":1,
+            "hot_util":1.0,"demand_mbps":10.0,"chosen_egress":3,
+            "chosen_kind":"transit","rejected":[],"verdict":"Emitted"}"#;
+        let rec: ExplainRecord = serde_json::from_str(json).unwrap();
+        assert_eq!(rec.chosen_usd_per_mbps, None);
     }
 
     #[test]

@@ -12,10 +12,12 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use ef_bgp::peer::{PeerId, PeerKind};
+use ef_bgp::egress::{EgressPolicy, PeeringClass};
+use ef_bgp::peer::PeerId;
 use ef_bgp::route::EgressId;
 use ef_net_types::{Asn, Prefix};
 
+use crate::cost::CostModel;
 use crate::model::{
     Deployment, EyeballAs, Interface, PeerConn, Pop, PopId, PrefixInfo, RouteSpec, RouterId,
     ServedPrefix, Universe,
@@ -90,6 +92,11 @@ pub struct GenConfig {
     /// Exercises the MP-BGP paths end to end (route announcements, BMP,
     /// controller overrides) with dual-stack route tables.
     pub v6_fraction: f64,
+    /// Interconnect economics: transit price ladder (cycled across a PoP's
+    /// transit providers in order), PNI port amortization, and billing
+    /// parameters. The default's uniform ladder makes cost-aware steering
+    /// a no-op, so legacy experiments are untouched.
+    pub cost: CostModel,
 }
 
 impl Default for GenConfig {
@@ -105,6 +112,7 @@ impl Default for GenConfig {
             tight_fraction: 0.12,
             transit_headroom: 2.5,
             v6_fraction: 0.15,
+            cost: CostModel::default(),
         }
     }
 }
@@ -129,6 +137,9 @@ const TRANSIT_ASNS: [u32; 6] = [3356, 1299, 174, 2914, 6762, 6939];
 /// Generates a deployment from the config. Deterministic in the config.
 pub fn generate(cfg: &GenConfig) -> Deployment {
     assert!(cfg.n_pops >= 1 && cfg.n_ases >= 1 && cfg.n_prefixes >= cfg.n_ases);
+    if let Err(e) = cfg.cost.validate() {
+        panic!("invalid cost model: {e}");
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
     let universe = gen_universe(cfg, &mut rng);
@@ -400,6 +411,10 @@ fn populate_pop(
     const TRANSIT_SESSIONS: usize = 2;
     for (t, choice) in transit_choices.iter().take(n_transit).enumerate() {
         let asn = Asn(*choice);
+        // The ladder prices providers by their per-PoP index: both sessions
+        // of a provider share its price, but different providers can differ
+        // — the asymmetry a cost-aware detour chooser exploits.
+        let class = cfg.cost.transit_class(t);
         for session in 0..TRANSIT_SESSIONS {
             let peer = alloc_peer(next_peer);
             let egress = alloc_iface(next_iface);
@@ -407,7 +422,7 @@ fn populate_pop(
             pop.interfaces.push(Interface {
                 id: egress,
                 router,
-                kind: PeerKind::Transit,
+                policy: EgressPolicy::new(class),
                 capacity_mbps: (pop_demand * cfg.transit_headroom
                     / (n_transit * TRANSIT_SESSIONS) as f64)
                     .max(1000.0),
@@ -416,7 +431,7 @@ fn populate_pop(
             pop.peers.push(PeerConn {
                 peer,
                 asn,
-                kind: PeerKind::Transit,
+                class,
                 router,
                 egress,
             });
@@ -463,7 +478,7 @@ fn populate_pop(
                 || (!same_region && rng.gen_bool(0.04)));
         let route_server = same_region && rng.gen_bool(p_rs);
 
-        let attach = |kind: PeerKind,
+        let attach = |class: PeeringClass,
                       egress: EgressId,
                       router: RouterId,
                       pop: &mut Pop,
@@ -474,7 +489,7 @@ fn populate_pop(
             pop.peers.push(PeerConn {
                 peer,
                 asn: asrec.asn,
-                kind,
+                class,
                 router,
                 egress,
             });
@@ -506,12 +521,12 @@ fn populate_pop(
             pop.interfaces.push(Interface {
                 id: egress,
                 router,
-                kind: PeerKind::PrivatePeer,
+                policy: EgressPolicy::new(cfg.cost.pni_class()),
                 capacity_mbps: (demand_here * headroom).max(50.0),
                 name: format!("{}:pni:AS{}", pop.name, asrec.asn.0),
             });
             attach(
-                PeerKind::PrivatePeer,
+                cfg.cost.pni_class(),
                 egress,
                 router,
                 pop,
@@ -522,7 +537,7 @@ fn populate_pop(
         } else if public {
             ixp_demand += demand_here;
             attach(
-                PeerKind::PublicPeer,
+                PeeringClass::SettlementFree,
                 ixp_egress,
                 ixp_router,
                 pop,
@@ -540,7 +555,10 @@ fn populate_pop(
                 ixp_demand += demand_here * 0.5;
             }
             attach(
-                PeerKind::RouteServer,
+                // Fabric capacity is patched below once the port is sized.
+                PeeringClass::IxpRouteServer {
+                    shared_fabric_mbps: 0.0,
+                },
                 ixp_egress,
                 ixp_router,
                 pop,
@@ -557,13 +575,21 @@ fn populate_pop(
     } else {
         rng.gen_range(1.9..2.8)
     };
+    let ixp_capacity = (ixp_demand * ixp_headroom).max(500.0);
     pop.interfaces.push(Interface {
         id: ixp_egress,
         router: ixp_router,
-        kind: PeerKind::PublicPeer,
-        capacity_mbps: (ixp_demand * ixp_headroom).max(500.0),
+        policy: EgressPolicy::new(PeeringClass::SettlementFree),
+        capacity_mbps: ixp_capacity,
         name: format!("{}:ixp", pop.name),
     });
+    // Route-server peers share the IXP fabric; record its capacity on each
+    // so consumers can see the shared-fabric risk without a PoP lookup.
+    for conn in &mut pop.peers {
+        if let PeeringClass::IxpRouteServer { shared_fabric_mbps } = &mut conn.class {
+            *shared_fabric_mbps = ixp_capacity;
+        }
+    }
 
     specs
 }
@@ -571,6 +597,7 @@ fn populate_pop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ef_bgp::peer::PeerKind;
     use std::collections::{HashMap, HashSet};
 
     fn small() -> Deployment {
@@ -671,7 +698,7 @@ mod tests {
             let ixp = pop
                 .interfaces
                 .iter()
-                .filter(|i| i.kind == PeerKind::PublicPeer)
+                .filter(|i| i.kind() == PeerKind::PublicPeer)
                 .count();
             assert_eq!(ixp, 1);
             for iface in &pop.interfaces {
@@ -799,7 +826,7 @@ mod tests {
             // sizing: a tight interface has capacity < 1.8x avg by
             // construction, so check capacity distribution spread instead.
             for iface in &pop.interfaces {
-                if iface.kind == PeerKind::PrivatePeer {
+                if iface.kind() == PeerKind::PrivatePeer {
                     peering_total += 1;
                 }
             }
@@ -809,6 +836,54 @@ mod tests {
             peering_total > 50,
             "default config has a real PNI population"
         );
+    }
+
+    #[test]
+    fn peering_classes_carry_economics() {
+        let dep = generate(&GenConfig {
+            cost: CostModel {
+                transit_usd_per_mbps: vec![0.5, 1.5, 3.0],
+                ..Default::default()
+            },
+            ..GenConfig::small(3)
+        });
+        for pop in &dep.pops {
+            // Transit providers are priced off the ladder in provider order,
+            // with both sessions of one provider sharing its price.
+            let mut prices: Vec<f64> = Vec::new();
+            for iface in &pop.interfaces {
+                if iface.kind() == PeerKind::Transit {
+                    prices.push(iface.policy.marginal_usd_per_mbps());
+                }
+            }
+            assert_eq!(&prices[..4], &[0.5, 0.5, 1.5, 1.5]);
+            // Every route-server peer records the shared IXP fabric size.
+            let ixp_cap = pop
+                .interfaces
+                .iter()
+                .find(|i| i.kind() == PeerKind::PublicPeer)
+                .unwrap()
+                .capacity_mbps;
+            let mut saw_rs = false;
+            for p in pop.peers_of_kind(PeerKind::RouteServer) {
+                saw_rs = true;
+                assert_eq!(
+                    p.class,
+                    PeeringClass::IxpRouteServer {
+                        shared_fabric_mbps: ixp_cap
+                    }
+                );
+            }
+            assert!(saw_rs, "{} has route-server peers", pop.name);
+            // PNIs carry the port amortization; public peers are free.
+            for p in pop.peers_of_kind(PeerKind::PrivatePeer) {
+                assert!(p.class.fixed_usd_per_month() > 0.0);
+                assert_eq!(p.class.marginal_usd_per_mbps(), 0.0);
+            }
+            for p in pop.peers_of_kind(PeerKind::PublicPeer) {
+                assert_eq!(p.class, PeeringClass::SettlementFree);
+            }
+        }
     }
 
     #[test]

@@ -16,11 +16,14 @@
 //! daily peaks overload a minority of them — the condition that makes
 //! Edge Fabric necessary.
 
+pub mod cost;
 pub mod gen;
 pub mod model;
 pub mod region;
 pub mod stats;
 
+pub use cost::{BillingMeter, CostConfigError, CostModel};
+pub use ef_bgp::egress::{EgressPolicy, EgressSpec, PeeringClass};
 pub use gen::{generate, GenConfig, PopSizeClass};
 pub use model::{
     Deployment, EyeballAs, Interface, PeerConn, Pop, PopId, PrefixInfo, RouteSpec, RouterId,

@@ -3,6 +3,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use ef_bgp::egress::{EgressPolicy, PeeringClass};
 use ef_bgp::peer::{PeerId, PeerKind};
 use ef_bgp::route::EgressId;
 use ef_net_types::{Asn, Prefix};
@@ -44,30 +45,46 @@ pub struct Interface {
     pub id: EgressId,
     /// The router the interface belongs to.
     pub router: RouterId,
-    /// Interconnect kind served by this interface. A `PublicPeer` interface
+    /// Peering policy served by this interface: the interconnect economics
+    /// from which the routing kind is derived. A settlement-free interface
     /// is an IXP fabric port shared by every public/route-server peer at
     /// the PoP.
-    pub kind: PeerKind,
+    pub policy: EgressPolicy,
     /// Usable capacity in Mbps.
     pub capacity_mbps: f64,
     /// Human-readable name for reports, e.g. `"pop3:pni:AS40021"`.
     pub name: String,
 }
 
+impl Interface {
+    /// The routing-layer interconnect kind, derived from the policy class.
+    pub fn kind(&self) -> PeerKind {
+        self.policy.kind()
+    }
+}
+
 /// A BGP adjacency at a PoP.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PeerConn {
     /// Deployment-global peer id.
     pub peer: PeerId,
     /// Neighbor ASN.
     pub asn: Asn,
-    /// Interconnect kind.
-    pub kind: PeerKind,
+    /// Peering class: the interconnect economics of this adjacency, from
+    /// which the routing kind (and its `LOCAL_PREF` band) is derived.
+    pub class: PeeringClass,
     /// Which router terminates the session.
     pub router: RouterId,
     /// Which interface the peer's traffic egresses on. Public and
     /// route-server peers at a PoP share the IXP port.
     pub egress: EgressId,
+}
+
+impl PeerConn {
+    /// The routing-layer interconnect kind, derived from the peering class.
+    pub fn kind(&self) -> PeerKind {
+        self.class.kind()
+    }
 }
 
 /// A point of presence.
@@ -107,7 +124,7 @@ impl Pop {
 
     /// The peers of a given kind.
     pub fn peers_of_kind(&self, kind: PeerKind) -> impl Iterator<Item = &PeerConn> {
-        self.peers.iter().filter(move |p| p.kind == kind)
+        self.peers.iter().filter(move |p| p.kind() == kind)
     }
 
     /// Total average demand served by this PoP, Mbps.
@@ -119,8 +136,17 @@ impl Pop {
     pub fn capacity_by_kind(&self, kind: PeerKind) -> f64 {
         self.interfaces
             .iter()
-            .filter(|i| i.kind == kind)
+            .filter(|i| i.kind() == kind)
             .map(|i| i.capacity_mbps)
+            .sum()
+    }
+
+    /// Monthly fixed interconnect cost at this PoP: the sum of amortized
+    /// PNI port fees (usage-independent, billed per interface).
+    pub fn fixed_monthly_cost_usd(&self) -> f64 {
+        self.interfaces
+            .iter()
+            .map(|i| i.policy.class.fixed_usd_per_month())
             .sum()
     }
 }
@@ -346,14 +372,14 @@ mod tests {
                 Interface {
                     id: EgressId(0),
                     router: RouterId(0),
-                    kind: PeerKind::Transit,
+                    policy: EgressPolicy::new(PeeringClass::Transit { usd_per_mbps: 1.0 }),
                     capacity_mbps: 100_000.0,
                     name: "pop0:transit:AS3356".into(),
                 },
                 Interface {
                     id: EgressId(1),
                     router: RouterId(1),
-                    kind: PeerKind::PrivatePeer,
+                    policy: EgressPolicy::new(PeeringClass::Pni { port_cost: 2500.0 }),
                     capacity_mbps: 10_000.0,
                     name: "pop0:pni:AS64500".into(),
                 },
@@ -362,14 +388,14 @@ mod tests {
                 PeerConn {
                     peer: PeerId(0),
                     asn: Asn(3356),
-                    kind: PeerKind::Transit,
+                    class: PeeringClass::Transit { usd_per_mbps: 1.0 },
                     router: RouterId(0),
                     egress: EgressId(0),
                 },
                 PeerConn {
                     peer: PeerId(1),
                     asn: Asn(64500),
-                    kind: PeerKind::PrivatePeer,
+                    class: PeeringClass::Pni { port_cost: 2500.0 },
                     router: RouterId(1),
                     egress: EgressId(1),
                 },
@@ -391,14 +417,17 @@ mod tests {
     fn pop_accessors() {
         let pop = tiny_pop();
         assert_eq!(
-            pop.interface(EgressId(1)).unwrap().kind,
+            pop.interface(EgressId(1)).unwrap().kind(),
             PeerKind::PrivatePeer
         );
         assert!(pop.interface(EgressId(9)).is_none());
         assert_eq!(pop.peers_of_kind(PeerKind::Transit).count(), 1);
+        assert_eq!(pop.peers[0].kind(), PeerKind::Transit);
         assert_eq!(pop.total_avg_demand_mbps(), 2000.0);
         assert_eq!(pop.capacity_by_kind(PeerKind::Transit), 100_000.0);
         assert_eq!(pop.capacity_by_kind(PeerKind::PublicPeer), 0.0);
+        // Only the PNI carries a fixed monthly fee.
+        assert_eq!(pop.fixed_monthly_cost_usd(), 2500.0);
     }
 
     #[test]

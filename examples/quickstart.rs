@@ -75,17 +75,11 @@ fn main() {
     let interfaces = HashMap::from([
         (
             EgressId(1),
-            InterfaceInfo {
-                capacity_mbps: 100.0,
-                kind: PeerKind::PrivatePeer,
-            },
+            InterfaceInfo::new(100.0, PeerKind::PrivatePeer),
         ),
         (
             EgressId(2),
-            InterfaceInfo {
-                capacity_mbps: 100_000.0,
-                kind: PeerKind::Transit,
-            },
+            InterfaceInfo::new(100_000.0, PeerKind::Transit),
         ),
     ]);
     let mut controller =

@@ -11,7 +11,8 @@ fn fingerprint(cfg: SimConfig) -> String {
     let mut engine = ScenarioBuilder::from_config(cfg).engine();
     engine.run();
     let metrics = engine.take_metrics();
-    serde_json::to_string(&(&metrics.pop_epochs, &metrics.episodes)).expect("metrics serialize")
+    serde_json::to_string(&(&metrics.pop_epochs, &metrics.episodes, &metrics.billing))
+        .expect("metrics serialize")
 }
 
 /// The 15-minute small-world scenario every check here varies.

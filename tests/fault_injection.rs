@@ -164,7 +164,7 @@ fn peer_failure_drops_the_session_and_recovery_restores_routes() {
     let conn = deployment.pops[0]
         .peers
         .iter()
-        .find(|c| c.kind == ef_bgp::peer::PeerKind::PrivatePeer && via(&engine, c.egress) > 0)
+        .find(|c| c.kind() == ef_bgp::peer::PeerKind::PrivatePeer && via(&engine, c.egress) > 0)
         .expect("a private peer carries traffic")
         .clone();
     let routes_before = via(&engine, conn.egress);

@@ -7,7 +7,8 @@ use std::collections::HashMap;
 
 use edge_fabric::state::InterfaceInfo;
 use edge_fabric::{ControllerConfig, EpochError, EpochInputs, PopController};
-use ef_bgp::peer::{PeerId, PeerKind};
+use ef_bgp::egress::EgressSpec;
+use ef_bgp::peer::PeerId;
 use ef_bgp::policy::Policy;
 use ef_bgp::route::EgressId;
 use ef_bgp::router::{BgpRouter, PeerAttachment, PeerStub, RouterConfig};
@@ -21,16 +22,14 @@ fn rig() -> (BgpRouter, PopController, Prefix) {
         asn: Asn::LOCAL,
         router_id: "10.0.0.1".parse().unwrap(),
     });
-    for (id, asn, kind, egress) in [
-        (1u64, 65001u32, PeerKind::PrivatePeer, 1u32),
-        (2, 65010, PeerKind::Transit, 2),
-    ] {
+    let specs = [EgressSpec::pni(1, 65001), EgressSpec::transit(2, 65010)];
+    for spec in specs {
         router.add_peer(PeerAttachment {
-            peer: PeerId(id),
-            peer_asn: Asn(asn),
-            kind,
-            egress: EgressId(egress),
-            policy: Policy::default_import(Asn::LOCAL, kind),
+            peer: PeerId(spec.egress.0 as u64),
+            peer_asn: spec.asn,
+            kind: spec.kind(),
+            egress: spec.egress,
+            policy: Policy::default_import(Asn::LOCAL, spec.kind()),
             max_prefixes: 0,
         });
     }
@@ -45,18 +44,12 @@ fn rig() -> (BgpRouter, PopController, Prefix) {
 
     let interfaces = HashMap::from([
         (
-            EgressId(1),
-            InterfaceInfo {
-                capacity_mbps: 100.0,
-                kind: PeerKind::PrivatePeer,
-            },
+            specs[0].egress,
+            InterfaceInfo::with_policy(100.0, specs[0].policy()),
         ),
         (
-            EgressId(2),
-            InterfaceInfo {
-                capacity_mbps: 10_000.0,
-                kind: PeerKind::Transit,
-            },
+            specs[1].egress,
+            InterfaceInfo::with_policy(10_000.0, specs[1].policy()),
         ),
     ]);
     let cfg = ControllerConfig {
